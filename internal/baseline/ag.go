@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// AG is the adaptive-grid method of Qardaji et al. (ICDE'13), applicable to
+// two-dimensional data only. It spends ε₁ = ε/2 on a coarse first-level
+// grid, then refines each level-1 cell into a finer sub-grid whose
+// granularity adapts to the cell's noisy count, spending ε₂ = ε/2 on the
+// level-2 counts. Queries are answered from the level-2 cells.
+type AG struct {
+	domain geom.Rect
+	m1     int
+	// subgrids[i] is the refined grid inside level-1 cell i (row-major).
+	subgrids []*Grid
+}
+
+// AGLevel1Granularity returns m1 = max(10, ⌈(1/4)·√(nε/10)⌉), the
+// first-level granularity heuristic from the AG paper.
+func AGLevel1Granularity(n int, eps float64) int {
+	m1 := int(math.Ceil(math.Sqrt(float64(n)*eps/10) / 4))
+	if m1 < 10 {
+		m1 = 10
+	}
+	return m1
+}
+
+// NewAG builds the adaptive grid at the recommended granularities.
+func NewAG(data *dataset.Spatial, eps float64, rng *rand.Rand) *AG {
+	return NewAGScaled(data, eps, 1, rng)
+}
+
+// NewAGScaled builds AG with both level granularities scaled so the cell
+// counts grow by factor r (Figure 10's sensitivity study).
+func NewAGScaled(data *dataset.Spatial, eps, r float64, rng *rand.Rand) *AG {
+	if data.Dims() != 2 {
+		panic("baseline: AG is defined for two-dimensional data only")
+	}
+	eps1 := eps / 2
+	eps2 := eps - eps1
+
+	m1 := AGLevel1Granularity(data.N(), eps)
+	m1 = scaleRes(m1, r, 2)
+
+	// Level 1: coarse exact counts + Laplace(1/ε1).
+	level1 := NewGrid(data.Domain, UniformRes(2, m1))
+	level1.CountData(data)
+	noisy1 := make([]float64, len(level1.Cells))
+	scale1 := dp.LaplaceMechanism{Epsilon: eps1, Sensitivity: 1}.Scale()
+	for i, c := range level1.Cells {
+		noisy1[i] = c + dp.LapNoise(rng, scale1)
+	}
+
+	// Partition points among level-1 cells once.
+	cellPoints := make([][]geom.Point, len(level1.Cells))
+	for _, p := range data.Points {
+		ci := level1.CellIndex(p)
+		cellPoints[ci] = append(cellPoints[ci], p)
+	}
+
+	ag := &AG{domain: data.Domain, m1: m1, subgrids: make([]*Grid, len(level1.Cells))}
+	scale2 := dp.LaplaceMechanism{Epsilon: eps2, Sensitivity: 1}.Scale()
+	for ci := range level1.Cells {
+		cellRect := agCellRect(data.Domain, m1, ci)
+		// Adaptive refinement: m2 = ⌈√(max(0,ñ_c)·ε₂ / 5)⌉, clamped to ≥1.
+		nc := noisy1[ci]
+		if nc < 0 {
+			nc = 0
+		}
+		m2 := int(math.Ceil(math.Sqrt(nc * eps2 / 5)))
+		m2 = scaleRes(m2, r, 2)
+		if m2 < 1 {
+			m2 = 1
+		}
+		sub := NewGrid(cellRect, UniformRes(2, m2))
+		for _, p := range cellPoints[ci] {
+			sub.Cells[sub.CellIndex(p)]++
+		}
+		sub.AddLaplace(rng, scale2)
+		ag.subgrids[ci] = sub
+	}
+	return ag
+}
+
+// agCellRect returns the rectangle of level-1 cell ci (row-major over m1²).
+func agCellRect(domain geom.Rect, m1, ci int) geom.Rect {
+	row := ci / m1
+	col := ci % m1
+	w0 := domain.Side(0) / float64(m1)
+	w1 := domain.Side(1) / float64(m1)
+	lo := geom.Point{domain.Lo[0] + float64(row)*w0, domain.Lo[1] + float64(col)*w1}
+	hi := geom.Point{lo[0] + w0, lo[1] + w1}
+	if row == m1-1 {
+		hi[0] = domain.Hi[0]
+	}
+	if col == m1-1 {
+		hi[1] = domain.Hi[1]
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// RangeCount implements workload.Method: it sums over the level-1 cells
+// overlapping q, delegating to each cell's refined sub-grid.
+func (a *AG) RangeCount(q geom.Rect) float64 {
+	// Identify the level-1 cell range overlapping q.
+	r0lo, r0hi := cellSpan(a.domain.Lo[0], a.domain.Hi[0], a.m1, q.Lo[0], q.Hi[0])
+	r1lo, r1hi := cellSpan(a.domain.Lo[1], a.domain.Hi[1], a.m1, q.Lo[1], q.Hi[1])
+	total := 0.0
+	for row := r0lo; row <= r0hi; row++ {
+		for col := r1lo; col <= r1hi; col++ {
+			total += a.subgrids[row*a.m1+col].RangeCount(q)
+		}
+	}
+	return total
+}
+
+// Cells returns the total number of level-2 cells, for diagnostics.
+func (a *AG) Cells() int {
+	total := 0
+	for _, g := range a.subgrids {
+		total += g.TotalCells()
+	}
+	return total
+}
+
+// cellSpan returns the inclusive range of cell indices on one axis whose
+// cells overlap [qlo, qhi).
+func cellSpan(dlo, dhi float64, m int, qlo, qhi float64) (int, int) {
+	span := dhi - dlo
+	lo := int((qlo - dlo) / span * float64(m))
+	hi := int((qhi - dlo) / span * float64(m))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= m {
+		hi = m - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

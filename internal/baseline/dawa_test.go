@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+	"privtree/internal/synth"
+)
+
+func TestDAWAPartitionAdaptsToBudget(t *testing.T) {
+	// More budget ⇒ more signal in stage 1 ⇒ finer partitions.
+	data := synth.RoadLike(100000, dp.NewRand(1))
+	low := NewDAWADebug(data, 0.1, dp.NewRand(2))
+	high := NewDAWADebug(data, 1.6, dp.NewRand(2))
+	if low >= high {
+		t.Fatalf("buckets at ε=0.1 (%d) not fewer than at ε=1.6 (%d)", low, high)
+	}
+	if low < 2 {
+		t.Fatalf("degenerate single-bucket partition at ε=0.1")
+	}
+}
+
+func TestDAWAMassConservation(t *testing.T) {
+	// The full-domain query must recover ~n despite partitioning.
+	data := synth.GowallaLike(50000, dp.NewRand(3))
+	d := NewDAWA(data, 1.0, dp.NewRand(4))
+	got := d.RangeCount(data.Domain)
+	if math.Abs(got-50000) > 3000 {
+		t.Fatalf("full-domain estimate %v far from 50000", got)
+	}
+}
+
+func TestDAWA4D(t *testing.T) {
+	data := synth.BeijingLike(20000, dp.NewRand(5))
+	d := NewDAWA(data, 1.0, dp.NewRand(6))
+	q := geom.NewRect(geom.Point{0, 0, 0, 0}, geom.Point{1, 1, 1, 0.5})
+	want := 0.0
+	for _, p := range data.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	got := d.RangeCount(q)
+	if math.Abs(got-want)/want > 0.3 {
+		t.Fatalf("4-D half-space estimate %v vs exact %v", got, want)
+	}
+}
+
+func TestMortonOrderIsPermutation(t *testing.T) {
+	for _, tc := range []struct{ d, m int }{{1, 8}, {2, 8}, {2, 16}, {4, 4}} {
+		order := mortonOrder(tc.d, tc.m)
+		total := 1
+		for i := 0; i < tc.d; i++ {
+			total *= tc.m
+		}
+		if len(order) != total {
+			t.Fatalf("d=%d m=%d: %d entries, want %d", tc.d, tc.m, len(order), total)
+		}
+		seen := make([]bool, total)
+		for _, cell := range order {
+			if cell < 0 || cell >= total || seen[cell] {
+				t.Fatalf("d=%d m=%d: invalid or duplicate cell %d", tc.d, tc.m, cell)
+			}
+			seen[cell] = true
+		}
+	}
+}
+
+func TestMortonOrderPreservesLocality(t *testing.T) {
+	// Consecutive positions along the curve must be spatially close on
+	// average — far closer than a random permutation would be.
+	const m = 32
+	order := mortonOrder(2, m)
+	dist := func(a, b int) float64 {
+		ar, ac := a/m, a%m
+		br, bc := b/m, b%m
+		return math.Abs(float64(ar-br)) + math.Abs(float64(ac-bc))
+	}
+	sum := 0.0
+	for i := 1; i < len(order); i++ {
+		sum += dist(order[i-1], order[i])
+	}
+	avg := sum / float64(len(order)-1)
+	if avg > 3 {
+		t.Fatalf("average Z-order step distance %v too large", avg)
+	}
+}
+
+func TestDawaPartitionMergesUniformRuns(t *testing.T) {
+	// A flat array should collapse into few buckets; a spiky one should
+	// keep its spikes isolated.
+	flat := make([]float64, 256)
+	for i := range flat {
+		flat[i] = 10
+	}
+	bounds := dawaPartition(flat, 0.001, 1)
+	if len(bounds)-1 > 8 {
+		t.Fatalf("flat array split into %d buckets", len(bounds)-1)
+	}
+
+	spiky := make([]float64, 256)
+	spiky[64] = 1000
+	spiky[192] = 1000
+	bounds = dawaPartition(spiky, 0.001, 1)
+	if len(bounds)-1 < 3 {
+		t.Fatalf("spiky array merged into %d buckets", len(bounds)-1)
+	}
+}
+
+func TestDawaPartitionBoundsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+	}
+	bounds := dawaPartition(x, 1, 5)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != len(x) {
+		t.Fatalf("bounds do not span the array: %v...%v", bounds[0], bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("non-increasing bounds at %d", i)
+		}
+	}
+}
+
+func TestPriveletTransformRoundTrip(t *testing.T) {
+	// Forward + inverse Haar must reproduce the input exactly.
+	rng := rand.New(rand.NewPCG(8, 8))
+	line := make([]float64, 64)
+	orig := make([]float64, 64)
+	for i := range line {
+		line[i] = rng.Float64() * 50
+		orig[i] = line[i]
+	}
+	tmp := make([]float64, 64)
+	haarForward(line, tmp)
+	haarInverse(line, tmp)
+	for i := range line {
+		if math.Abs(line[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip broke at %d: %v vs %v", i, line[i], orig[i])
+		}
+	}
+}
+
+func TestPriveletMultiDimRoundTrip(t *testing.T) {
+	// Per-axis transforms must also invert exactly on a 2-D grid.
+	rng := rand.New(rand.NewPCG(9, 9))
+	g := NewGrid(geom.UnitCube(2), UniformRes(2, 16))
+	orig := make([]float64, len(g.Cells))
+	for i := range g.Cells {
+		g.Cells[i] = rng.Float64() * 10
+		orig[i] = g.Cells[i]
+	}
+	for axis := 0; axis < 2; axis++ {
+		forEachLine(g, axis, haarForward)
+	}
+	for axis := 1; axis >= 0; axis-- {
+		forEachLine(g, axis, haarInverse)
+	}
+	for i := range g.Cells {
+		if math.Abs(g.Cells[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2-D round trip broke at %d", i)
+		}
+	}
+}
+
+func TestPriveletSupports(t *testing.T) {
+	// After the forward transform of length n: positions 0 and 1 have
+	// support n; positions [2^t, 2^{t+1}) have support n/2^t.
+	if support(0, 64) != 64 || support(1, 64) != 64 {
+		t.Fatal("base/top supports wrong")
+	}
+	if support(2, 64) != 32 || support(3, 64) != 32 {
+		t.Fatal("level-1 supports wrong")
+	}
+	if support(32, 64) != 2 || support(63, 64) != 2 {
+		t.Fatal("finest supports wrong")
+	}
+}
+
+func TestPriveletBaseCoefficientIsAverage(t *testing.T) {
+	line := []float64{4, 8, 12, 16}
+	tmp := make([]float64, 4)
+	haarForward(line, tmp)
+	if line[0] != 10 {
+		t.Fatalf("base coefficient %v, want the average 10", line[0])
+	}
+}
+
+func TestPriveletAccuracyScalesWithEps(t *testing.T) {
+	data := synth.GowallaLike(60000, dp.NewRand(9))
+	q := geom.NewRect(geom.Point{0.2, 0.2}, geom.Point{0.8, 0.8})
+	want := 0.0
+	for _, p := range data.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	errAt := func(eps float64) float64 {
+		p := NewPrivelet(data, eps, dp.NewRand(10))
+		return math.Abs(p.RangeCount(q) - want)
+	}
+	lo, hi := errAt(0.05), errAt(5)
+	if hi >= lo {
+		t.Fatalf("error did not shrink with budget: ε=0.05→%v ε=5→%v", lo, hi)
+	}
+}
+
+func TestSimpleTreeHeightCapBinds(t *testing.T) {
+	data := synth.RoadLike(50000, dp.NewRand(11))
+	st := NewSimpleTree(data, geom.FullBisect{Dim: 2}, 1.0, 0, 4, dp.NewRand(12))
+	if h := st.Tree().Height(); h > 3 {
+		t.Fatalf("SimpleTree height %d exceeds h-1=3", h)
+	}
+}
+
+func TestSimpleTreeAnswersQueries(t *testing.T) {
+	data := synth.RoadLike(50000, dp.NewRand(13))
+	st := NewSimpleTree(data, geom.FullBisect{Dim: 2}, 1.0, 0, 8, dp.NewRand(14))
+	got := st.RangeCount(data.Domain)
+	if math.Abs(got-50000) > 3000 {
+		t.Fatalf("full-domain %v far from 50000", got)
+	}
+}

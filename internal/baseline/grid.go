@@ -1,0 +1,219 @@
+// Package baseline implements the five comparison methods of Section 6.1 —
+// UG, AG, Hierarchy, Privelet*, and DAWA — plus the paper's strawman
+// SimpleTree (Algorithm 1). Every method answers range-count queries via
+// the workload.Method interface so the experiment runners treat them and
+// PrivTree uniformly.
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// Grid is a d-dimensional histogram over a domain with per-axis resolution,
+// holding (typically noisy) per-cell values and a prefix-sum array for O(2^d)
+// range queries. Partial-cell coverage is handled by multilinear
+// interpolation of the prefix sums, which is exactly the uniformity
+// assumption applied at cell granularity.
+type Grid struct {
+	Domain geom.Rect
+	Res    []int // cells per axis
+	Cells  []float64
+	prefix []float64 // (res[i]+1)-lattice prefix sums, built lazily
+	stride []int     // strides for the prefix lattice
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(domain geom.Rect, res []int) *Grid {
+	if len(res) != domain.Dims() {
+		panic("baseline: grid resolution dims mismatch")
+	}
+	total := 1
+	for _, r := range res {
+		if r < 1 {
+			panic("baseline: grid resolution must be >= 1 per axis")
+		}
+		total *= r
+	}
+	return &Grid{Domain: domain, Res: append([]int(nil), res...), Cells: make([]float64, total)}
+}
+
+// UniformRes returns a d-length resolution slice of m cells per axis.
+func UniformRes(d, m int) []int {
+	res := make([]int, d)
+	for i := range res {
+		res[i] = m
+	}
+	return res
+}
+
+// CellIndex maps a point to its flattened cell index.
+func (g *Grid) CellIndex(p geom.Point) int {
+	idx := 0
+	for axis, r := range g.Res {
+		lo, hi := g.Domain.Lo[axis], g.Domain.Hi[axis]
+		c := int((p[axis] - lo) / (hi - lo) * float64(r))
+		if c < 0 {
+			c = 0
+		}
+		if c >= r {
+			c = r - 1
+		}
+		idx = idx*r + c
+	}
+	return idx
+}
+
+// CountData fills the grid's cells with the exact point counts of data.
+func (g *Grid) CountData(data *dataset.Spatial) {
+	for _, p := range data.Points {
+		g.Cells[g.CellIndex(p)]++
+	}
+	g.prefix = nil
+}
+
+// AddLaplace perturbs every cell with Lap(scale) noise.
+func (g *Grid) AddLaplace(rng *rand.Rand, scale float64) {
+	for i := range g.Cells {
+		g.Cells[i] += dp.LapNoise(rng, scale)
+	}
+	g.prefix = nil
+}
+
+// buildPrefix materializes the (r+1)^d prefix-sum lattice:
+// prefix[i0,…,id] = Σ cells with index < i_k on every axis.
+func (g *Grid) buildPrefix() {
+	d := len(g.Res)
+	g.stride = make([]int, d)
+	total := 1
+	for axis := d - 1; axis >= 0; axis-- {
+		g.stride[axis] = total
+		total *= g.Res[axis] + 1
+	}
+	g.prefix = make([]float64, total)
+
+	// Scatter cell values into the lattice at (i+1) offsets…
+	co := make([]int, d)
+	for flat := range g.Cells {
+		rem := flat
+		for axis := d - 1; axis >= 0; axis-- {
+			co[axis] = rem % g.Res[axis]
+			rem /= g.Res[axis]
+		}
+		p := 0
+		for axis := 0; axis < d; axis++ {
+			p += (co[axis] + 1) * g.stride[axis]
+		}
+		g.prefix[p] = g.Cells[flat]
+	}
+	// …then accumulate along each axis in turn.
+	for axis := 0; axis < d; axis++ {
+		step := g.stride[axis]
+		size := g.Res[axis] + 1
+		outer := len(g.prefix) / (step * size)
+		for o := 0; o < outer; o++ {
+			for inner := 0; inner < step; inner++ {
+				base := (o*size)*step + inner
+				for i := 1; i < size; i++ {
+					g.prefix[base+i*step] += g.prefix[base+(i-1)*step]
+				}
+			}
+		}
+	}
+}
+
+// prefixAt evaluates the prefix lattice at fractional per-axis cell
+// coordinates by multilinear interpolation. This turns the piecewise
+// constant cell density into a continuous cumulative function, so range
+// sums with partial cells come out exactly as "count × covered fraction".
+func (g *Grid) prefixAt(frac []float64) float64 {
+	d := len(g.Res)
+	base := make([]int, d)
+	w := make([]float64, d)
+	for axis := 0; axis < d; axis++ {
+		f := frac[axis]
+		if f < 0 {
+			f = 0
+		}
+		if f > float64(g.Res[axis]) {
+			f = float64(g.Res[axis])
+		}
+		i := int(f)
+		if i >= g.Res[axis] {
+			i = g.Res[axis] - 1
+		}
+		base[axis] = i
+		w[axis] = f - float64(i)
+	}
+	sum := 0.0
+	for corner := 0; corner < 1<<d; corner++ {
+		weight := 1.0
+		p := 0
+		for axis := 0; axis < d; axis++ {
+			if corner&(1<<axis) != 0 {
+				weight *= w[axis]
+				p += (base[axis] + 1) * g.stride[axis]
+			} else {
+				weight *= 1 - w[axis]
+				p += base[axis] * g.stride[axis]
+			}
+		}
+		if weight != 0 {
+			sum += weight * g.prefix[p]
+		}
+	}
+	return sum
+}
+
+// RangeCount returns the grid's estimate for the count inside q: the sum of
+// cell values weighted by each cell's covered fraction.
+func (g *Grid) RangeCount(q geom.Rect) float64 {
+	if g.prefix == nil {
+		g.buildPrefix()
+	}
+	d := len(g.Res)
+	loF := make([]float64, d)
+	hiF := make([]float64, d)
+	for axis := 0; axis < d; axis++ {
+		lo, hi := g.Domain.Lo[axis], g.Domain.Hi[axis]
+		span := hi - lo
+		loF[axis] = (q.Lo[axis] - lo) / span * float64(g.Res[axis])
+		hiF[axis] = (q.Hi[axis] - lo) / span * float64(g.Res[axis])
+		if hiF[axis] <= 0 || loF[axis] >= float64(g.Res[axis]) {
+			return 0
+		}
+	}
+	// Inclusion–exclusion over the 2^d query corners.
+	total := 0.0
+	frac := make([]float64, d)
+	for corner := 0; corner < 1<<d; corner++ {
+		sign := 1.0
+		for axis := 0; axis < d; axis++ {
+			if corner&(1<<axis) != 0 {
+				frac[axis] = hiF[axis]
+			} else {
+				frac[axis] = loF[axis]
+				sign = -sign
+			}
+		}
+		total += sign * g.prefixAt(frac)
+	}
+	return total
+}
+
+// TotalCells returns the number of cells in the grid.
+func (g *Grid) TotalCells() int { return len(g.Cells) }
+
+// scaleRes applies the Figure 9/10 scale factor r to a per-axis resolution:
+// the total cell count is multiplied by ~r, i.e. each axis by r^(1/d).
+func scaleRes(m int, r float64, d int) int {
+	scaled := int(math.Ceil(math.Pow(r, 1/float64(d)) * float64(m)))
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
+}

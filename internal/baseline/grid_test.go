@@ -1,0 +1,307 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"privtree/internal/dataset"
+	"privtree/internal/geom"
+)
+
+func uniformData(n, d int, seed uint64) *dataset.Spatial {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	ds, err := dataset.NewSpatial(geom.UnitCube(d), pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func skewedData(n int, seed uint64) *dataset.Spatial {
+	rng := rand.New(rand.NewPCG(seed, 19))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if i%5 == 0 {
+			pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+		} else {
+			x := 0.25 + 0.03*rng.NormFloat64()
+			y := 0.75 + 0.03*rng.NormFloat64()
+			pts[i] = geom.Point{clamp01(x), clamp01(y)}
+		}
+	}
+	ds, err := dataset.NewSpatial(geom.UnitCube(2), pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return x
+}
+
+func TestGridCountDataTotals(t *testing.T) {
+	ds := uniformData(5000, 2, 1)
+	g := NewGrid(ds.Domain, UniformRes(2, 10))
+	g.CountData(ds)
+	total := 0.0
+	for _, c := range g.Cells {
+		total += c
+	}
+	if total != 5000 {
+		t.Fatalf("cell counts sum to %v, want 5000", total)
+	}
+}
+
+func TestGridRangeCountExactOnAlignedQueries(t *testing.T) {
+	ds := uniformData(4000, 2, 2)
+	g := NewGrid(ds.Domain, UniformRes(2, 8))
+	g.CountData(ds)
+	// Cell-aligned query: the grid must answer exactly.
+	q := geom.NewRect(geom.Point{0.25, 0.5}, geom.Point{0.75, 1})
+	want := 0.0
+	for _, p := range ds.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	if got := g.RangeCount(q); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("aligned query: got %v, want %v", got, want)
+	}
+}
+
+func TestGridRangeCountPartialCellUniformity(t *testing.T) {
+	// One cell with 100 points; querying half the cell must yield 50.
+	dom := geom.UnitCube(2)
+	g := NewGrid(dom, UniformRes(2, 1))
+	g.Cells[0] = 100
+	q := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 1})
+	if got := g.RangeCount(q); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("half-cell query: got %v, want 50", got)
+	}
+	q2 := geom.NewRect(geom.Point{0.25, 0.25}, geom.Point{0.75, 0.75})
+	if got := g.RangeCount(q2); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("quarter-cell query: got %v, want 25", got)
+	}
+}
+
+func TestGridRangeCountMatchesDirectSum(t *testing.T) {
+	// Property: prefix-sum answer equals the direct Σ count·fraction.
+	ds := uniformData(2000, 2, 3)
+	g := NewGrid(ds.Domain, UniformRes(2, 7))
+	g.CountData(ds)
+	direct := func(q geom.Rect) float64 {
+		total := 0.0
+		for i := range g.Cells {
+			row := i / 7
+			col := i % 7
+			cell := geom.NewRect(
+				geom.Point{float64(row) / 7, float64(col) / 7},
+				geom.Point{float64(row+1) / 7, float64(col+1) / 7},
+			)
+			total += g.Cells[i] * cell.OverlapFraction(q)
+		}
+		return total
+	}
+	f := func(ax, ay, bx, by uint16) bool {
+		x1 := float64(ax%1000) / 1000
+		x2 := float64(bx%1000) / 1000
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		y1 := float64(ay%1000) / 1000
+		y2 := float64(by%1000) / 1000
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		q := geom.NewRect(geom.Point{x1, y1}, geom.Point{x2, y2})
+		got := g.RangeCount(q)
+		want := direct(q)
+		return math.Abs(got-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid4DRangeCount(t *testing.T) {
+	ds := uniformData(3000, 4, 4)
+	g := NewGrid(ds.Domain, UniformRes(4, 4))
+	g.CountData(ds)
+	if got := g.RangeCount(ds.Domain); math.Abs(got-3000) > 1e-6 {
+		t.Fatalf("full-domain: %v", got)
+	}
+	q := geom.NewRect(geom.Point{0, 0, 0, 0}, geom.Point{0.5, 1, 1, 1})
+	want := 0.0
+	for _, p := range ds.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	if got := g.RangeCount(q); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("aligned half-space: got %v, want %v", got, want)
+	}
+}
+
+func TestUGGranularityFormula(t *testing.T) {
+	// m = ⌈(nε/10)^{2/(d+2)}⌉.
+	if got := UGGranularity(1000000, 1.0, 2); got != int(math.Ceil(math.Pow(100000, 0.5))) {
+		t.Fatalf("2-D granularity = %d", got)
+	}
+	if got := UGGranularity(1000000, 1.0, 4); got != int(math.Ceil(math.Pow(100000, 1.0/3))) {
+		t.Fatalf("4-D granularity = %d", got)
+	}
+	if got := UGGranularity(1, 0.001, 2); got < 1 {
+		t.Fatalf("granularity must be >= 1, got %d", got)
+	}
+}
+
+func TestUGUnbiasedOnUniformData(t *testing.T) {
+	ds := uniformData(50000, 2, 5)
+	var rng = rand.New(rand.NewPCG(6, 6))
+	ug := NewUG(ds, 1.0, rng)
+	q := geom.NewRect(geom.Point{0.1, 0.1}, geom.Point{0.6, 0.6})
+	got := ug.RangeCount(q)
+	want := 50000 * 0.25
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("UG estimate %v too far from %v", got, want)
+	}
+}
+
+func TestUGScaledChangesCellCount(t *testing.T) {
+	ds := uniformData(20000, 2, 7)
+	rng := rand.New(rand.NewPCG(8, 8))
+	small := NewUGScaled(ds, 1.0, 1.0/9, rng)
+	big := NewUGScaled(ds, 1.0, 9, rng)
+	if small.Cells() >= big.Cells() {
+		t.Fatalf("r=1/9 cells %d !< r=9 cells %d", small.Cells(), big.Cells())
+	}
+}
+
+func TestAGRefinesDenseCells(t *testing.T) {
+	ds := skewedData(50000, 9)
+	rng := rand.New(rand.NewPCG(10, 10))
+	ag := NewAG(ds, 1.0, rng)
+	// Sub-grid inside the dense blob must be finer than in empty space.
+	denseIdx := -1
+	for ci, sub := range ag.subgrids {
+		r := agCellRect(ds.Domain, ag.m1, ci)
+		if r.Contains(geom.Point{0.25, 0.75}) {
+			denseIdx = ci
+			_ = sub
+		}
+	}
+	if denseIdx < 0 {
+		t.Fatal("dense cell not found")
+	}
+	denseCells := ag.subgrids[denseIdx].TotalCells()
+	// Compare against the average sub-grid.
+	total := 0
+	for _, sub := range ag.subgrids {
+		total += sub.TotalCells()
+	}
+	avg := float64(total) / float64(len(ag.subgrids))
+	if float64(denseCells) <= avg {
+		t.Fatalf("dense cell grid %d not finer than average %.1f", denseCells, avg)
+	}
+}
+
+func TestAGRangeCountReasonable(t *testing.T) {
+	ds := skewedData(50000, 11)
+	rng := rand.New(rand.NewPCG(12, 12))
+	ag := NewAG(ds, 1.0, rng)
+	q := geom.NewRect(geom.Point{0.15, 0.65}, geom.Point{0.35, 0.85})
+	want := 0.0
+	for _, p := range ds.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	got := ag.RangeCount(q)
+	if math.Abs(got-want)/want > 0.2 {
+		t.Fatalf("AG estimate %v too far from exact %v", got, want)
+	}
+}
+
+func TestAGPanicsOn4D(t *testing.T) {
+	ds := uniformData(100, 4, 13)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AG on 4-D data did not panic")
+		}
+	}()
+	NewAG(ds, 1.0, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestHierarchyDefaultsMatchHeuristic(t *testing.T) {
+	ds := uniformData(10000, 2, 14)
+	rng := rand.New(rand.NewPCG(15, 15))
+	h := NewHierarchy(ds, 1.0, rng)
+	if h.Branch() != 8 {
+		t.Fatalf("default branch = %d, want 8 (β=64)", h.Branch())
+	}
+	if h.LeafRes() != 64 {
+		t.Fatalf("default leaf res = %d, want 64", h.LeafRes())
+	}
+}
+
+func TestHierarchyRangeCountAccuracy(t *testing.T) {
+	ds := uniformData(100000, 2, 16)
+	rng := rand.New(rand.NewPCG(17, 17))
+	h := NewHierarchy(ds, 1.0, rng)
+	q := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 0.5})
+	got := h.RangeCount(q)
+	want := 25000.0
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("Hierarchy estimate %v too far from %v", got, want)
+	}
+}
+
+func TestHierarchyHeightsKeepLeafResNear64(t *testing.T) {
+	ds := uniformData(5000, 2, 18)
+	for _, h := range []int{3, 4, 5, 6, 7, 8} {
+		rng := rand.New(rand.NewPCG(uint64(h), 19))
+		hier := NewHierarchyH(ds, 1.0, h, rng)
+		if hier.LeafRes() < 32 || hier.LeafRes() > 128 {
+			t.Errorf("h=%d: leaf res %d outside [32,128]", h, hier.LeafRes())
+		}
+	}
+}
+
+func TestHierarchyPanics(t *testing.T) {
+	ds := uniformData(100, 2, 20)
+	rng := rand.New(rand.NewPCG(1, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("h=1 did not panic")
+			}
+		}()
+		NewHierarchyH(ds, 1.0, 1, rng)
+	}()
+	ds4 := uniformData(100, 4, 21)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("4-D did not panic")
+			}
+		}()
+		NewHierarchy(ds4, 1.0, rng)
+	}()
+}

@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+	"privtree/internal/synth"
+)
+
+func TestKDTreeBuildsAndAnswers(t *testing.T) {
+	data := synth.GowallaLike(40000, dp.NewRand(1))
+	kd := NewKDTree(data, 1.0, dp.NewRand(2))
+	if kd.Size() < 10 {
+		t.Fatalf("k-d tree suspiciously small: %d nodes", kd.Size())
+	}
+	got := kd.RangeCount(data.Domain)
+	if math.Abs(got-40000) > 3000 {
+		t.Fatalf("full-domain count %v far from 40000", got)
+	}
+}
+
+func TestKDTreeInternalCountsAreChildSums(t *testing.T) {
+	data := synth.GowallaLike(10000, dp.NewRand(3))
+	kd := NewKDTreeH(data, 1.0, 6, dp.NewRand(4))
+	var walk func(n *kdNode)
+	walk = func(n *kdNode) {
+		if len(n.children) == 0 {
+			return
+		}
+		sum := n.children[0].count + n.children[1].count
+		if math.Abs(sum-n.count) > 1e-6 {
+			t.Fatalf("internal count %v != child sum %v", n.count, sum)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(kd.root)
+}
+
+func TestKDTreeHalfSpaceQuery(t *testing.T) {
+	data := uniformData(50000, 2, 5)
+	kd := NewKDTree(data, 1.0, dp.NewRand(6))
+	q := geom.NewRect(geom.Point{0, 0}, geom.Point{0.5, 1})
+	got := kd.RangeCount(q)
+	if math.Abs(got-25000)/25000 > 0.1 {
+		t.Fatalf("half-space estimate %v", got)
+	}
+}
+
+func TestKDTreePanicsOnBadHeight(t *testing.T) {
+	data := uniformData(100, 2, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("h=1 did not panic")
+		}
+	}()
+	NewKDTreeH(data, 1.0, 1, dp.NewRand(8))
+}
+
+func TestPrivateMedianNearTrueMedian(t *testing.T) {
+	data := uniformData(20000, 2, 9)
+	view := data.NewView()
+	// Huge budget: selection should be essentially exact.
+	split := privateMedian(view, data.Domain, 0, 100, dp.NewRand(10))
+	if math.Abs(split-0.5) > 0.05 {
+		t.Fatalf("private median %v far from 0.5 on uniform data", split)
+	}
+}
+
+func TestKDTreeAdaptsSplitsToSkew(t *testing.T) {
+	// With mass concentrated on the left, early vertical splits should
+	// land left of center.
+	data := skewedData(30000, 11)
+	kd := NewKDTreeH(data, 4.0, 4, dp.NewRand(12))
+	root := kd.root
+	if len(root.children) == 0 {
+		t.Fatal("root not split")
+	}
+	splitX := root.children[0].region.Hi[0]
+	// The dense blob sits at x=0.25; the median must be pulled below 0.5.
+	if splitX >= 0.5 {
+		t.Fatalf("root split at %v; expected < 0.5 toward the dense blob", splitX)
+	}
+}
+
+func TestHierarchyConsistentParentEqualsChildren(t *testing.T) {
+	data := synth.GowallaLike(30000, dp.NewRand(13))
+	h := NewHierarchyConsistent(data, 1.0, 3, dp.NewRand(14))
+	// After constrained inference, each level must sum to the same total.
+	var prev float64
+	for li := 1; li < h.height; li++ {
+		total := 0.0
+		for _, c := range h.counts[li] {
+			total += c
+		}
+		if li > 1 && math.Abs(total-prev) > 1e-6 {
+			t.Fatalf("level %d total %v != level %d total %v", li, total, li-1, prev)
+		}
+		prev = total
+	}
+	// Spot-check one parent against its children block.
+	branch := h.branch
+	res1 := h.resAt(1)
+	res2 := h.resAt(2)
+	parent := h.counts[1][0]
+	childSum := 0.0
+	for dr := 0; dr < branch; dr++ {
+		for dc := 0; dc < branch; dc++ {
+			childSum += h.counts[2][dr*res2+dc]
+		}
+	}
+	_ = res1
+	if math.Abs(parent-childSum) > 1e-6 {
+		t.Fatalf("parent %v != children %v after consistency", parent, childSum)
+	}
+}
+
+func TestConsistencyImprovesOrMatchesAccuracy(t *testing.T) {
+	// Averaged over seeds, constrained inference must not hurt large-query
+	// accuracy (it is the minimum-variance estimator).
+	data := synth.GowallaLike(50000, dp.NewRand(15))
+	q := geom.NewRect(geom.Point{0.1, 0.1}, geom.Point{0.7, 0.7})
+	exact := 0.0
+	for _, p := range data.Points {
+		if q.Contains(p) {
+			exact++
+		}
+	}
+	var rawErr, conErr float64
+	const reps = 20
+	for r := uint64(0); r < reps; r++ {
+		raw := NewHierarchyH(data, 0.3, 3, dp.NewRand(100+r))
+		con := NewHierarchyConsistent(data, 0.3, 3, dp.NewRand(100+r))
+		rawErr += math.Abs(raw.RangeCount(q) - exact)
+		conErr += math.Abs(con.RangeCount(q) - exact)
+	}
+	if conErr > rawErr*1.1 {
+		t.Fatalf("consistency hurt accuracy: raw %v vs consistent %v", rawErr/reps, conErr/reps)
+	}
+}

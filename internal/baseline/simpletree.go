@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/core"
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// SimpleTree is Algorithm 1 of the paper: the classical private quadtree
+// with a pre-defined height limit h. Every node's count is perturbed with
+// Laplace scale λ = h/ε_tree (the sensitivity of all counts together is h,
+// since an inserted point touches one node per level), and a node splits
+// when its noisy count exceeds θ and the height limit permits.
+//
+// It exists as the ablation contrast for PrivTree: same pipeline, same
+// budget split, but noise that grows with h instead of PrivTree's constant
+// λ.
+type SimpleTree struct {
+	tree *core.Tree
+}
+
+// NewSimpleTree builds the full pipeline under total budget eps: tree
+// construction with ε/2 (λ = h/(ε/2)), then leaf counts with ε/2, matching
+// PrivTree's post-processing so the two methods differ only in the split
+// mechanism. theta ≤ 0 selects the default θ = λ (a split threshold at the
+// noise scale, the paper's cited heuristics use comparable settings).
+func NewSimpleTree(data *dataset.Spatial, split geom.Splitter, eps, theta float64, h int, rng *rand.Rand) *SimpleTree {
+	if h < 1 {
+		panic("baseline: SimpleTree height must be >= 1")
+	}
+	epsTree := eps / 2
+	epsCount := eps - epsTree
+	lambda := float64(h) / epsTree
+	if theta <= 0 {
+		theta = lambda
+	}
+
+	root := &core.Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
+	var grow func(n *core.Node, view *dataset.View)
+	grow = func(n *core.Node, view *dataset.View) {
+		noisy := float64(view.Len()) + dp.LapNoise(rng, lambda)
+		if !(noisy > theta) || n.Depth >= h-1 {
+			return
+		}
+		regions := split.Split(n.Region, n.Depth)
+		views := view.Partition(regions)
+		n.Children = make([]*core.Node, len(regions))
+		for i, r := range regions {
+			child := &core.Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
+			n.Children[i] = child
+			grow(child, views[i])
+		}
+	}
+	grow(root, data.NewView())
+
+	t := &core.Tree{Root: root, Fanout: split.Fanout()}
+	attachLeafCounts(t, data, epsCount, rng)
+	return &SimpleTree{tree: t}
+}
+
+// attachLeafCounts mirrors PrivTree's post-processing: noisy leaf counts,
+// internal nodes as sums.
+func attachLeafCounts(t *core.Tree, data *dataset.Spatial, eps float64, rng *rand.Rand) {
+	mech := dp.LaplaceMechanism{Epsilon: eps, Sensitivity: 1}
+	var walk func(n *core.Node, v *dataset.View) float64
+	walk = func(n *core.Node, v *dataset.View) float64 {
+		if n.IsLeaf() {
+			n.Count = mech.Release(rng, float64(v.Len()))
+			return n.Count
+		}
+		regions := make([]geom.Rect, len(n.Children))
+		for i, c := range n.Children {
+			regions[i] = c.Region
+		}
+		views := v.Partition(regions)
+		sum := 0.0
+		for i, c := range n.Children {
+			sum += walk(c, views[i])
+		}
+		n.Count = sum
+		return sum
+	}
+	walk(t.Root, data.NewView())
+	t.HasCounts = true
+}
+
+// RangeCount implements workload.Method.
+func (s *SimpleTree) RangeCount(q geom.Rect) float64 { return s.tree.RangeCount(q) }
+
+// Tree exposes the underlying decomposition for diagnostics.
+func (s *SimpleTree) Tree() *core.Tree { return s.tree }

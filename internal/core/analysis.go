@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+
+	"privtree/internal/dp"
+)
+
+// Rho is the per-node privacy cost function of Equation (5):
+//
+//	ρ(x) = ln( Pr[x + Lap(λ) > θ] / Pr[x−1 + Lap(λ) > θ] ).
+//
+// It is the exact log-ratio by which one tuple's presence shifts the
+// probability that a node with count x splits. For x ≤ θ it equals 1/λ; for
+// x ≥ θ+1 it decays exponentially — the observation PrivTree exploits.
+func Rho(x, theta, lambda float64) float64 {
+	l := dp.NewLaplace(0, lambda)
+	// Pr[x + η > θ] = Pr[η > θ − x].
+	num := l.Tail(theta - x)
+	den := l.Tail(theta - x + 1)
+	return math.Log(num / den)
+}
+
+// RhoUpper is the closed-form upper bound ρ⊤ of Lemma 3.1 / Equation (7):
+//
+//	ρ⊤(x) = 1/λ                         if x < θ+1
+//	ρ⊤(x) = (1/λ)·exp((θ+1−x)/λ)        otherwise.
+func RhoUpper(x, theta, lambda float64) float64 {
+	if x < theta+1 {
+		return 1 / lambda
+	}
+	return math.Exp((theta+1-x)/lambda) / lambda
+}
+
+// PrivacyCostBound returns the upper bound on the total privacy cost of an
+// arbitrarily long root-to-leaf path when biased counts decrease by at
+// least δ per level (the telescoped sum from the proof of Theorem 3.1):
+//
+//	Σ ρ⊤ ≤ (1/λ)·(2e^{δ/λ} − 1)/(e^{δ/λ} − 1).
+func PrivacyCostBound(lambda, delta float64) float64 {
+	g := delta / lambda
+	eg := math.Exp(g)
+	return (2*eg - 1) / (eg - 1) / lambda
+}
+
+// SplitProbabilityAtFloor returns the probability that a node whose biased
+// count sits at the floor b(v) = θ−δ splits, i.e. Pr[Lap(λ) > δ]. With the
+// paper's δ = λ·ln β this is exactly 1/(2β), which is what makes the
+// expected subtree below a floor node have size ≤ 2 (Lemma 3.2).
+func SplitProbabilityAtFloor(lambda, delta float64) float64 {
+	return dp.NewLaplace(0, lambda).Tail(delta)
+}
+
+// EmpiricalPrivacyLoss estimates, by Monte Carlo over trials, the log-ratio
+// ln(Pr[split | count=x] / Pr[split | count=x−1]) realized by a Decider at
+// the given depth. It is used by tests to confirm the implementation's
+// split decisions actually obey ρ⊤.
+func EmpiricalPrivacyLoss(dec *Decider, x float64, depth, trials int) float64 {
+	splitsHi, splitsLo := 0, 0
+	for i := 0; i < trials; i++ {
+		if dec.ShouldSplit(x, depth) {
+			splitsHi++
+		}
+		if dec.ShouldSplit(x-1, depth) {
+			splitsLo++
+		}
+	}
+	if splitsLo == 0 {
+		return math.Inf(1)
+	}
+	return math.Log(float64(splitsHi) / float64(splitsLo))
+}

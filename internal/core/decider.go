@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"privtree/internal/dp"
+)
+
+// Decider encapsulates lines 5–8 of Algorithm 2: given a node's exact score
+// and depth it computes the biased count b(v) = max(θ−δ, c(v) − depth·δ),
+// perturbs it with Lap(λ), and reports whether the node splits. The same
+// decider drives both the spatial tree (score = point count) and the
+// sequence PST (score = Eq. 13), which only differ in how scores and
+// children are produced.
+type Decider struct {
+	Lambda   float64
+	Theta    float64
+	Delta    float64
+	MaxDepth int
+	rng      *rand.Rand
+}
+
+// NewDecider builds a decider from validated Params and a random source.
+func NewDecider(p Params, rng *rand.Rand) *Decider {
+	return &Decider{
+		Lambda:   p.Lambda(),
+		Theta:    p.Theta,
+		Delta:    p.Delta(),
+		MaxDepth: p.MaxDepth,
+		rng:      rng,
+	}
+}
+
+// BiasedScore returns b(v) for a node with the given exact score and depth
+// (Equation 8).
+func (d *Decider) BiasedScore(score float64, depth int) float64 {
+	b := score - float64(depth)*d.Delta
+	if floor := d.Theta - d.Delta; b < floor {
+		b = floor
+	}
+	return b
+}
+
+// ShouldSplit draws the noisy biased score b̂(v) = b(v) + Lap(λ) and
+// reports whether b̂(v) > θ. The depth guard is an engineering cap only
+// (see DefaultMaxDepth); it refuses to split at MaxDepth-1 so the tree
+// height never exceeds MaxDepth.
+func (d *Decider) ShouldSplit(score float64, depth int) bool {
+	if depth >= d.MaxDepth-1 {
+		return false
+	}
+	noisy := d.BiasedScore(score, depth) + dp.LapNoise(d.rng, d.Lambda)
+	return noisy > d.Theta
+}

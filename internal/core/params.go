@@ -1,0 +1,91 @@
+// Package core implements PrivTree (Algorithm 2 of Zhang, Xiao & Xie,
+// SIGMOD 2016): differentially private hierarchical decomposition with no
+// pre-defined recursion-depth limit. The split decision for every node uses
+// a biased, clamped score b(v) = max(θ−δ, c(v) − depth(v)·δ) plus Laplace
+// noise of a *constant* scale λ; the bias makes the per-level privacy costs
+// telescope (Lemma 3.1), so λ = Θ(1/ε) independent of tree height
+// (Theorem 3.1, Corollary 1).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultMaxDepth is the engineering guard on recursion depth. The
+// algorithm itself needs no height limit — the decaying factor makes the
+// expected tree size bounded (Lemma 3.2) — but float64 subdivision bottoms
+// out near 52 halvings per axis, so we stop there. At the paper's
+// parameterizations the cap never binds (see the abl-depth experiment).
+const DefaultMaxDepth = 64
+
+// Params configures a PrivTree invocation. Epsilon is the budget consumed
+// by tree *construction* only; callers that also publish counts split their
+// total budget first (see BuildNoisy).
+type Params struct {
+	// Epsilon is the differential-privacy budget for the split decisions.
+	Epsilon float64
+	// Fanout is β, the number of children per split. It must match the
+	// splitter used to expand nodes.
+	Fanout int
+	// Theta is the split threshold θ. The paper recommends and uses 0
+	// (Section 3.4): the negative bias already guarantees that split
+	// nodes have large counts.
+	Theta float64
+	// Gamma is γ in δ = γ·λ. Zero means the paper's choice γ = ln β,
+	// which makes a boundary node's expected subtree size 2 (Lemma 3.2).
+	Gamma float64
+	// Sensitivity is the score function's sensitivity: 1 for point
+	// counts, l⊤ for the sequence-model score (Theorem 4.1).
+	Sensitivity float64
+	// MaxDepth guards the recursion; 0 means DefaultMaxDepth.
+	MaxDepth int
+}
+
+// Validate normalizes defaults and rejects unusable configurations.
+func (p *Params) Validate() error {
+	if !(p.Epsilon > 0) {
+		return fmt.Errorf("core: Epsilon must be positive, got %v", p.Epsilon)
+	}
+	if p.Fanout < 2 {
+		return fmt.Errorf("core: Fanout must be >= 2, got %d", p.Fanout)
+	}
+	if p.Gamma == 0 {
+		p.Gamma = math.Log(float64(p.Fanout))
+	}
+	if !(p.Gamma > 0) {
+		return fmt.Errorf("core: Gamma must be positive, got %v", p.Gamma)
+	}
+	if p.Sensitivity == 0 {
+		p.Sensitivity = 1
+	}
+	if !(p.Sensitivity > 0) {
+		return fmt.Errorf("core: Sensitivity must be positive, got %v", p.Sensitivity)
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = DefaultMaxDepth
+	}
+	if p.MaxDepth < 1 {
+		return fmt.Errorf("core: MaxDepth must be >= 1, got %d", p.MaxDepth)
+	}
+	return nil
+}
+
+// Lambda returns the minimal noise scale that makes the construction
+// ε-differentially private: λ = (2e^γ − 1)/(e^γ − 1) · S/ε (Theorem 3.1,
+// generalized to score sensitivity S per Section 3.5/Theorem 4.1). With the
+// default γ = ln β this is Corollary 1's (2β−1)/(β−1) · S/ε.
+func (p Params) Lambda() float64 {
+	eg := math.Exp(p.Gamma)
+	return (2*eg - 1) / (eg - 1) * p.Sensitivity / p.Epsilon
+}
+
+// Delta returns the decaying factor δ = γ·λ (δ = λ·ln β at the default γ).
+func (p Params) Delta() float64 { return p.Gamma * p.Lambda() }
+
+// LambdaForEpsilon is the standalone form of Corollary 1: the minimum noise
+// scale for a fanout-β PrivTree at budget ε with unit sensitivity.
+func LambdaForEpsilon(beta int, eps float64) float64 {
+	b := float64(beta)
+	return (2*b - 1) / (b - 1) / eps
+}

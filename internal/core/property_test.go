@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privtree/internal/dp"
+)
+
+// Property tests on the core mechanism's invariants (testing/quick).
+
+func TestBiasedScoreProperties(t *testing.T) {
+	p := Params{Epsilon: 1, Fanout: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecider(p, dp.NewRand(1))
+	floor := p.Theta - p.Delta()
+
+	// Monotone in score, non-increasing in depth, never below the floor.
+	f := func(s1Raw, s2Raw float64, d1Sel, d2Sel uint8) bool {
+		norm := func(v float64) float64 {
+			if v != v {
+				return 0
+			}
+			return math.Mod(math.Abs(v), 1e6)
+		}
+		s1, s2 := norm(s1Raw), norm(s2Raw)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		d1, d2 := int(d1Sel%40), int(d2Sel%40)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		b := dec.BiasedScore(s1, d1)
+		if b < floor-1e-12 {
+			return false // clamp violated
+		}
+		// Monotone in score at fixed depth.
+		if dec.BiasedScore(s2, d1) < b-1e-12 {
+			return false
+		}
+		// Non-increasing in depth at fixed score.
+		if dec.BiasedScore(s1, d2) > b+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiasedScoreGapProperty(t *testing.T) {
+	// The load-bearing invariant of the Theorem 3.1 proof: along any path
+	// where counts do not increase, consecutive UNCLAMPED biased scores
+	// drop by at least δ — and the clamp can only keep them at the floor.
+	p := Params{Epsilon: 0.5, Fanout: 8}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecider(p, dp.NewRand(2))
+	delta := p.Delta()
+	floor := p.Theta - delta
+	f := func(cRaw float64, dropRaw float64, depthSel uint8) bool {
+		c := math.Mod(math.Abs(cRaw), 1e6)
+		drop := math.Mod(math.Abs(dropRaw), c+1)
+		depth := int(depthSel % 30)
+		parent := dec.BiasedScore(c, depth)
+		child := dec.BiasedScore(c-drop, depth+1)
+		// Either the child sits at the floor, or it is ≥ δ below parent.
+		return child == floor || child <= parent-delta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoUpperNonIncreasingProperty(t *testing.T) {
+	f := func(aRaw, bRaw float64, thetaSel, lambdaSel uint8) bool {
+		theta := float64(thetaSel%10) - 5
+		lambda := 0.5 + float64(lambdaSel%20)/4
+		norm := func(v float64) float64 {
+			if v != v {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		a, b := norm(aRaw), norm(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return RhoUpper(b, theta, lambda) <= RhoUpper(a, theta, lambda)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaMonotoneProperties(t *testing.T) {
+	// λ decreases in ε and in β: more budget or higher fanout both reduce
+	// the required noise scale.
+	f := func(epsSel, betaSel uint8) bool {
+		eps := 0.05 + float64(epsSel%100)/50
+		beta := 2 + int(betaSel%30)
+		l1 := LambdaForEpsilon(beta, eps)
+		if LambdaForEpsilon(beta, eps*2) >= l1 {
+			return false
+		}
+		if LambdaForEpsilon(beta+1, eps) >= l1 {
+			return false
+		}
+		// And λ is always above the naive 1/ε (the constant-noise floor)
+		// and at most 3/ε (the β=2 worst case).
+		return l1 > 1/eps && l1 <= 3/eps+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDecisionMonotoneInScore(t *testing.T) {
+	// Statistically: a strictly larger score must split at least as often.
+	p := Params{Epsilon: 1, Fanout: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecider(p, dp.NewRand(3))
+	const trials = 30000
+	countSplits := func(score float64, depth int) int {
+		n := 0
+		for i := 0; i < trials; i++ {
+			if dec.ShouldSplit(score, depth) {
+				n++
+			}
+		}
+		return n
+	}
+	lo := countSplits(2, 1)
+	hi := countSplits(20, 1)
+	if hi <= lo {
+		t.Fatalf("split frequency not monotone: score 2 → %d, score 20 → %d", lo, hi)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// Node is one region of a spatial decomposition tree. Count is the released
+// noisy count: for leaves it is the directly perturbed value, for internal
+// nodes the sum of their leaves' noisy counts (the paper's post-processing,
+// Section 3.4). Count is NaN on trees built without count release.
+type Node struct {
+	Region   geom.Rect
+	Depth    int
+	Children []*Node
+	Count    float64
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is the output of PrivTree on spatial data: the decomposition plus,
+// optionally, noisy counts.
+type Tree struct {
+	Root   *Node
+	Fanout int
+	// HasCounts records whether noisy counts were released onto nodes.
+	HasCounts bool
+}
+
+// Size returns the total number of nodes.
+func (t *Tree) Size() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// Height returns the maximum depth over all nodes (root = 0).
+func (t *Tree) Height() int { return maxDepth(t.Root) }
+
+func maxDepth(n *Node) int {
+	d := n.Depth
+	for _, c := range n.Children {
+		if cd := maxDepth(c); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Leaves returns all leaf nodes in depth-first order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Build runs Algorithm 2 on the dataset: it releases the decomposition
+// *structure* only (all point counts removed, as in line 11 of the
+// algorithm), consuming p.Epsilon. Use BuildNoisy for the full pipeline
+// with released counts.
+func Build(data *dataset.Spatial, split geom.Splitter, p Params, rng *rand.Rand) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if split.Fanout() != p.Fanout {
+		return nil, fmt.Errorf("core: splitter fanout %d disagrees with Params.Fanout %d", split.Fanout(), p.Fanout)
+	}
+	dec := NewDecider(p, rng)
+	root := &Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
+	expand(root, data.NewView(), split, dec)
+	return &Tree{Root: root, Fanout: p.Fanout}, nil
+}
+
+// expand recursively applies the split decision. The view is partitioned
+// among children so that counting is linear per level.
+func expand(n *Node, view *dataset.View, split geom.Splitter, dec *Decider) {
+	if !dec.ShouldSplit(float64(view.Len()), n.Depth) {
+		return
+	}
+	regions := split.Split(n.Region, n.Depth)
+	views := view.Partition(regions)
+	n.Children = make([]*Node, len(regions))
+	for i, r := range regions {
+		child := &Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
+		n.Children[i] = child
+		expand(child, views[i], split, dec)
+	}
+}
+
+// BuildNoisy runs the full PrivTree pipeline of Section 3.4 under total
+// budget eps: the tree structure is built with ε/2, then each leaf's point
+// count is released with Laplace scale 2/ε (leaf counts have sensitivity 1
+// because every point lies in exactly one leaf), and internal counts are
+// reconstituted as sums of their leaves' noisy counts. By sequential
+// composition (Lemma 2.1) the whole release is ε-DP.
+func BuildNoisy(data *dataset.Spatial, split geom.Splitter, eps float64, fanout int, rng *rand.Rand) (*Tree, error) {
+	return BuildNoisySplit(data, split, eps, 0.5, fanout, rng)
+}
+
+// BuildNoisySplit is BuildNoisy with an explicit budget split: treeFrac of
+// eps goes to the structure, the rest to the leaf counts. It exists for the
+// abl-split ablation; the paper's choice is treeFrac = 0.5.
+func BuildNoisySplit(data *dataset.Spatial, split geom.Splitter, eps, treeFrac float64, fanout int, rng *rand.Rand) (*Tree, error) {
+	if !(treeFrac > 0 && treeFrac < 1) {
+		return nil, fmt.Errorf("core: treeFrac must be in (0,1), got %v", treeFrac)
+	}
+	budget := dp.NewBudget(eps)
+	epsTree := eps * treeFrac
+	epsCount := eps - epsTree
+	budget.MustSpend(epsTree)
+	budget.MustSpend(epsCount)
+
+	p := Params{Epsilon: epsTree, Fanout: fanout}
+	t, err := Build(data, split, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	attachNoisyCounts(t, data, epsCount, rng)
+	return t, nil
+}
+
+// BuildNoisyParams is the fully parameterized pipeline: the tree is built
+// with the given Params (θ, γ, MaxDepth and the tree budget all explicit),
+// then leaf counts are attached at budget epsCount. The total privacy cost
+// is p.Epsilon + epsCount. It exists for ablations; BuildNoisy is the
+// paper-default entry point.
+func BuildNoisyParams(data *dataset.Spatial, split geom.Splitter, p Params, epsCount float64, rng *rand.Rand) (*Tree, error) {
+	if !(epsCount > 0) {
+		return nil, fmt.Errorf("core: epsCount must be positive, got %v", epsCount)
+	}
+	t, err := Build(data, split, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	attachNoisyCounts(t, data, epsCount, rng)
+	return t, nil
+}
+
+// attachNoisyCounts performs the post-processing step: noisy leaf counts at
+// scale 1/epsCount, then bottom-up summation for internal nodes.
+func attachNoisyCounts(t *Tree, data *dataset.Spatial, epsCount float64, rng *rand.Rand) {
+	mech := dp.LaplaceMechanism{Epsilon: epsCount, Sensitivity: 1}
+	view := data.NewView()
+	var walk func(n *Node, v *dataset.View) float64
+	walk = func(n *Node, v *dataset.View) float64 {
+		if n.IsLeaf() {
+			n.Count = mech.Release(rng, float64(v.Len()))
+			return n.Count
+		}
+		regions := make([]geom.Rect, len(n.Children))
+		for i, c := range n.Children {
+			regions[i] = c.Region
+		}
+		views := v.Partition(regions)
+		sum := 0.0
+		for i, c := range n.Children {
+			sum += walk(c, views[i])
+		}
+		n.Count = sum
+		return sum
+	}
+	walk(t.Root, view)
+	t.HasCounts = true
+}
+
+// RangeCount answers a range-count query with the top-down traversal of
+// Section 2.2: fully contained nodes contribute their noisy count, leaves
+// that partially intersect contribute count · |q∩dom|/|dom| (uniformity
+// assumption), disjoint nodes are skipped. It panics if the tree carries no
+// counts.
+func (t *Tree) RangeCount(q geom.Rect) float64 {
+	if !t.HasCounts {
+		panic("core: RangeCount on a tree without released counts")
+	}
+	var visit func(n *Node) float64
+	visit = func(n *Node) float64 {
+		inter, ok := n.Region.Intersect(q)
+		if !ok {
+			return 0
+		}
+		if q.ContainsRect(n.Region) {
+			return n.Count
+		}
+		if n.IsLeaf() {
+			return n.Count * n.Region.OverlapFraction(inter)
+		}
+		sum := 0.0
+		for _, c := range n.Children {
+			sum += visit(c)
+		}
+		return sum
+	}
+	return visit(t.Root)
+}
+
+// BuildExact runs Algorithm 2 with no noise and no bias (b̂(v) = c(v)),
+// producing the tree T* of Lemma 3.2. It is used by the Lemma 3.2 property
+// test and by utility diagnostics; it is NOT differentially private.
+func BuildExact(data *dataset.Spatial, split geom.Splitter, theta float64, maxDepth int) *Tree {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	root := &Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
+	var grow func(n *Node, view *dataset.View)
+	grow = func(n *Node, view *dataset.View) {
+		if float64(view.Len()) <= theta || n.Depth >= maxDepth-1 {
+			return
+		}
+		regions := split.Split(n.Region, n.Depth)
+		views := view.Partition(regions)
+		n.Children = make([]*Node, len(regions))
+		for i, r := range regions {
+			child := &Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
+			n.Children[i] = child
+			grow(child, views[i])
+		}
+	}
+	grow(root, data.NewView())
+	return &Tree{Root: root, Fanout: split.Fanout()}
+}

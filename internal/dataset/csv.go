@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"privtree/internal/geom"
+)
+
+// ReadCSV parses points from r: one point per line, comma-separated
+// coordinates, blank lines and #-comments skipped. All points must share
+// one dimensionality and lie inside domain; pass a zero-dim domain
+// (geom.Rect{}) to infer the bounding unit cube of the first point's
+// dimensionality instead.
+func ReadCSV(r io.Reader, domain geom.Rect) (*Spatial, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pts []geom.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		p := make(geom.Point, len(parts))
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			}
+			if v != v {
+				return nil, fmt.Errorf("dataset: line %d: NaN coordinate", line)
+			}
+			p[i] = v
+		}
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("dataset: line %d: dimension %d, expected %d", line, len(p), len(pts[0]))
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataset: no points in input")
+	}
+	if domain.Dims() == 0 {
+		domain = geom.UnitCube(len(pts[0]))
+	}
+	return NewSpatial(domain, pts)
+}
+
+// WriteCSV emits the dataset in the format ReadCSV parses.
+func WriteCSV(w io.Writer, s *Spatial) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range s.Points {
+		for i, c := range p {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"privtree/internal/geom"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "0.1,0.2\n# comment\n\n0.3,0.4\n"
+	ds, err := ReadCSV(strings.NewReader(in), geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Dims() != 2 {
+		t.Fatalf("parsed %d points of dim %d", ds.N(), ds.Dims())
+	}
+	if ds.Points[1][1] != 0.4 {
+		t.Fatalf("point values wrong: %v", ds.Points[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad float":      "0.1,abc\n",
+		"NaN":            "0.1,NaN\n",
+		"dim mismatch":   "0.1,0.2\n0.3\n",
+		"empty input":    "\n# only comments\n",
+		"outside domain": "1.5,0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), geom.Rect{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadCSVExplicitDomain(t *testing.T) {
+	dom := geom.NewRect(geom.Point{-10, -10}, geom.Point{10, 10})
+	ds, err := ReadCSV(strings.NewReader("-5,5\n"), dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 1 {
+		t.Fatal("point lost")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := randomDataset(500, 3, 77)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("round trip lost points: %d vs %d", back.N(), ds.N())
+	}
+	for i := range ds.Points {
+		for j := range ds.Points[i] {
+			if back.Points[i][j] != ds.Points[i][j] {
+				t.Fatalf("coordinate changed at %d/%d", i, j)
+			}
+		}
+	}
+}

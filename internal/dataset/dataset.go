@@ -1,0 +1,99 @@
+// Package dataset holds spatial point collections and the indexing
+// machinery used to count points in sub-domains efficiently — both during
+// decomposition-tree construction (in-place partitioning) and when computing
+// exact range-count answers for evaluation (grid index).
+package dataset
+
+import (
+	"fmt"
+
+	"privtree/internal/geom"
+)
+
+// Spatial is a set of d-dimensional points together with their domain Ω.
+// Algorithms never mutate the point coordinates; tree builders may reorder
+// the slice via Partition (which is why builders take a fresh View).
+type Spatial struct {
+	Domain geom.Rect
+	Points []geom.Point
+}
+
+// NewSpatial validates that every point lies inside domain and returns the
+// dataset. Points outside Ω would silently vanish from every decomposition,
+// so they are rejected loudly.
+func NewSpatial(domain geom.Rect, points []geom.Point) (*Spatial, error) {
+	for i, p := range points {
+		if len(p) != domain.Dims() {
+			return nil, fmt.Errorf("dataset: point %d has dim %d, domain has dim %d", i, len(p), domain.Dims())
+		}
+		if !domain.Contains(p) {
+			return nil, fmt.Errorf("dataset: point %d (%v) outside domain %v", i, p, domain)
+		}
+	}
+	return &Spatial{Domain: domain, Points: points}, nil
+}
+
+// N returns the dataset cardinality.
+func (s *Spatial) N() int { return len(s.Points) }
+
+// Dims returns the dataset dimensionality.
+func (s *Spatial) Dims() int { return s.Domain.Dims() }
+
+// View is a reorderable window onto a dataset's points, used by tree
+// builders: splitting a node partitions its view into one sub-view per
+// child, so counting at every tree level costs O(n) total per level.
+type View struct {
+	pts []geom.Point
+}
+
+// NewView returns a view over a copy of the dataset's point slice, so the
+// builder's reordering never disturbs the caller's data.
+func (s *Spatial) NewView() *View {
+	pts := make([]geom.Point, len(s.Points))
+	copy(pts, s.Points)
+	return &View{pts: pts}
+}
+
+// Len returns the number of points in the view.
+func (v *View) Len() int { return len(v.pts) }
+
+// Points exposes the underlying points (read-only by convention).
+func (v *View) Points() []geom.Point { return v.pts }
+
+// Partition splits the view into one sub-view per child rectangle,
+// reordering points in place so each sub-view is contiguous. Children must
+// tile the parent region; a point falling in no child (possible only through
+// float edge effects) is assigned to the last child rather than dropped, so
+// counts always sum to the parent count.
+func (v *View) Partition(children []geom.Rect) []*View {
+	out := make([]*View, len(children))
+	rest := v.pts
+	for ci, child := range children {
+		if ci == len(children)-1 {
+			out[ci] = &View{pts: rest}
+			break
+		}
+		// Stable-free two-pointer partition: move points inside child to the front.
+		k := 0
+		for i := 0; i < len(rest); i++ {
+			if child.Contains(rest[i]) {
+				rest[k], rest[i] = rest[i], rest[k]
+				k++
+			}
+		}
+		out[ci] = &View{pts: rest[:k]}
+		rest = rest[k:]
+	}
+	return out
+}
+
+// CountIn returns the number of points in the view inside r by scanning.
+func (v *View) CountIn(r geom.Rect) int {
+	n := 0
+	for _, p := range v.pts {
+		if r.Contains(p) {
+			n++
+		}
+	}
+	return n
+}

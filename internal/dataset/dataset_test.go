@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"privtree/internal/geom"
+)
+
+func randomDataset(n int, d int, seed uint64) *Spatial {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	ds, err := NewSpatial(geom.UnitCube(d), pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestNewSpatialRejectsOutOfDomain(t *testing.T) {
+	dom := geom.UnitCube(2)
+	if _, err := NewSpatial(dom, []geom.Point{{0.5, 1.5}}); err == nil {
+		t.Fatal("point outside domain accepted")
+	}
+	if _, err := NewSpatial(dom, []geom.Point{{0.5}}); err == nil {
+		t.Fatal("wrong-dimension point accepted")
+	}
+	if _, err := NewSpatial(dom, []geom.Point{{0.5, 0.5}}); err != nil {
+		t.Fatalf("valid point rejected: %v", err)
+	}
+}
+
+func TestViewPartitionConservesPoints(t *testing.T) {
+	ds := randomDataset(1000, 2, 1)
+	view := ds.NewView()
+	kids := geom.FullBisect{Dim: 2}.Split(ds.Domain, 0)
+	parts := view.Partition(kids)
+	total := 0
+	for i, part := range parts {
+		total += part.Len()
+		for _, p := range part.Points() {
+			if i < len(parts)-1 && !kids[i].Contains(p) {
+				t.Fatalf("point %v in wrong partition %d", p, i)
+			}
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("partition lost points: %d/1000", total)
+	}
+}
+
+func TestViewPartitionMatchesScanCounts(t *testing.T) {
+	ds := randomDataset(5000, 3, 2)
+	view := ds.NewView()
+	kids := geom.FullBisect{Dim: 3}.Split(ds.Domain, 0)
+	// Count by scan BEFORE partition reorders.
+	want := make([]int, len(kids))
+	for i, k := range kids {
+		want[i] = view.CountIn(k)
+	}
+	parts := view.Partition(kids)
+	for i := range kids {
+		if parts[i].Len() != want[i] {
+			t.Errorf("child %d: partition %d, scan %d", i, parts[i].Len(), want[i])
+		}
+	}
+}
+
+func TestViewDoesNotMutateDataset(t *testing.T) {
+	ds := randomDataset(100, 2, 3)
+	first := append(geom.Point(nil), ds.Points[0]...)
+	view := ds.NewView()
+	view.Partition(geom.FullBisect{Dim: 2}.Split(ds.Domain, 0))
+	if ds.Points[0][0] != first[0] || ds.Points[0][1] != first[1] {
+		t.Fatal("partitioning a view reordered the dataset")
+	}
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	ds := randomDataset(3000, 2, 4)
+	idx := NewGridIndex(ds, 16)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 100; trial++ {
+		lo := geom.Point{rng.Float64() * 0.8, rng.Float64() * 0.8}
+		hi := geom.Point{lo[0] + rng.Float64()*0.2, lo[1] + rng.Float64()*0.2}
+		q := geom.NewRect(lo, hi)
+		want := 0
+		for _, p := range ds.Points {
+			if q.Contains(p) {
+				want++
+			}
+		}
+		if got := idx.RangeCount(q); got != want {
+			t.Fatalf("trial %d: index %d, brute force %d for %v", trial, got, want, q)
+		}
+	}
+}
+
+func TestGridIndex4D(t *testing.T) {
+	ds := randomDataset(2000, 4, 6)
+	idx := NewGridIndex(ds, 6)
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 50; trial++ {
+		lo := make(geom.Point, 4)
+		hi := make(geom.Point, 4)
+		for i := range lo {
+			lo[i] = rng.Float64() * 0.5
+			hi[i] = lo[i] + 0.1 + rng.Float64()*0.4
+		}
+		q := geom.NewRect(lo, hi)
+		want := 0
+		for _, p := range ds.Points {
+			if q.Contains(p) {
+				want++
+			}
+		}
+		if got := idx.RangeCount(q); got != want {
+			t.Fatalf("trial %d: index %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestGridIndexFullDomainQuery(t *testing.T) {
+	ds := randomDataset(500, 2, 9)
+	idx := NewGridIndex(ds, 8)
+	if got := idx.RangeCount(ds.Domain); got != 500 {
+		t.Fatalf("full-domain count = %d, want 500", got)
+	}
+}
+
+func TestGridIndexEmptyQuery(t *testing.T) {
+	ds := randomDataset(500, 2, 10)
+	idx := NewGridIndex(ds, 8)
+	q := geom.NewRect(geom.Point{0.0001, 0.0001}, geom.Point{0.0002, 0.0002})
+	got := idx.RangeCount(q)
+	want := 0
+	for _, p := range ds.Points {
+		if q.Contains(p) {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("tiny query: %d vs %d", got, want)
+	}
+}
+
+func TestGridIndexProperty(t *testing.T) {
+	ds := randomDataset(800, 2, 11)
+	idx := NewGridIndex(ds, 13) // odd resolution stresses cell alignment
+	f := func(ax, ay, bx, by float64) bool {
+		norm := func(v float64) float64 {
+			if v != v || v > 1e300 || v < -1e300 { // NaN or overflow-prone
+				return 0.5
+			}
+			v = math.Abs(math.Mod(v, 1))
+			return v
+		}
+		x1, x2 := norm(ax), norm(bx)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		y1, y2 := norm(ay), norm(by)
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		q := geom.NewRect(geom.Point{x1, y1}, geom.Point{x2, y2})
+		want := 0
+		for _, p := range ds.Points {
+			if q.Contains(p) {
+				want++
+			}
+		}
+		return idx.RangeCount(q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

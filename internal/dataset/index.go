@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"privtree/internal/geom"
+)
+
+// GridIndex buckets a dataset's points into a uniform grid so that exact
+// range counts touch only the cells on the query boundary. It is the
+// evaluation-side oracle for q(D): full interior cells contribute their
+// pre-counted totals, boundary cells are scanned point by point.
+type GridIndex struct {
+	domain geom.Rect
+	res    int // cells per axis
+	dims   int
+	cells  [][]geom.Point // flattened [res^dims] buckets
+	counts []int          // per-cell counts (so interior cells need no scan)
+	n      int
+}
+
+// NewGridIndex builds an index with res cells per axis. For d=2 a res of
+// 256 keeps boundary scans tiny even at millions of points; for d=4 use a
+// smaller res (e.g. 24) to bound the res^d memory.
+func NewGridIndex(s *Spatial, res int) *GridIndex {
+	if res < 1 {
+		panic("dataset: GridIndex resolution must be >= 1")
+	}
+	d := s.Dims()
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= res
+	}
+	idx := &GridIndex{
+		domain: s.Domain,
+		res:    res,
+		dims:   d,
+		cells:  make([][]geom.Point, total),
+		counts: make([]int, total),
+		n:      s.N(),
+	}
+	for _, p := range s.Points {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], p)
+		idx.counts[c]++
+	}
+	return idx
+}
+
+// N returns the indexed cardinality.
+func (g *GridIndex) N() int { return g.n }
+
+// cellOf maps a point to its flattened cell index.
+func (g *GridIndex) cellOf(p geom.Point) int {
+	idx := 0
+	for axis := 0; axis < g.dims; axis++ {
+		lo, hi := g.domain.Lo[axis], g.domain.Hi[axis]
+		f := (p[axis] - lo) / (hi - lo)
+		c := int(f * float64(g.res))
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.res {
+			c = g.res - 1
+		}
+		idx = idx*g.res + c
+	}
+	return idx
+}
+
+// cellRect returns the rectangle of the cell with per-axis coordinates co.
+func (g *GridIndex) cellRect(co []int) geom.Rect {
+	lo := make(geom.Point, g.dims)
+	hi := make(geom.Point, g.dims)
+	for axis := 0; axis < g.dims; axis++ {
+		dlo, dhi := g.domain.Lo[axis], g.domain.Hi[axis]
+		step := (dhi - dlo) / float64(g.res)
+		lo[axis] = dlo + float64(co[axis])*step
+		if co[axis] == g.res-1 {
+			hi[axis] = dhi
+		} else {
+			hi[axis] = dlo + float64(co[axis]+1)*step
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// RangeCount returns the exact number of indexed points inside q.
+func (g *GridIndex) RangeCount(q geom.Rect) int {
+	// Per-axis range of cells overlapping q.
+	loC := make([]int, g.dims)
+	hiC := make([]int, g.dims)
+	for axis := 0; axis < g.dims; axis++ {
+		dlo, dhi := g.domain.Lo[axis], g.domain.Hi[axis]
+		span := dhi - dlo
+		lo := int((q.Lo[axis] - dlo) / span * float64(g.res))
+		hi := int((q.Hi[axis] - dlo) / span * float64(g.res))
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= g.res {
+			hi = g.res - 1
+		}
+		if lo > hi {
+			return 0
+		}
+		loC[axis] = lo
+		hiC[axis] = hi
+	}
+	co := make([]int, g.dims)
+	copy(co, loC)
+	total := 0
+	for {
+		flat := 0
+		for axis := 0; axis < g.dims; axis++ {
+			flat = flat*g.res + co[axis]
+		}
+		cr := g.cellRect(co)
+		if q.ContainsRect(cr) {
+			total += g.counts[flat]
+		} else if cr.Overlaps(q) {
+			for _, p := range g.cells[flat] {
+				if q.Contains(p) {
+					total++
+				}
+			}
+		}
+		// Odometer increment over [loC, hiC].
+		axis := g.dims - 1
+		for axis >= 0 {
+			co[axis]++
+			if co[axis] <= hiC[axis] {
+				break
+			}
+			co[axis] = loC[axis]
+			axis--
+		}
+		if axis < 0 {
+			return total
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacePDFIntegratesToOne(t *testing.T) {
+	l := NewLaplace(2, 1.5)
+	// Trapezoid over a wide range.
+	sum := 0.0
+	const step = 0.001
+	for x := -40.0; x < 44.0; x += step {
+		sum += l.PDF(x) * step
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("PDF mass = %v, want ~1", sum)
+	}
+}
+
+func TestLaplaceCDFMatchesPDFIntegral(t *testing.T) {
+	l := NewLaplace(0, 2)
+	for _, x := range []float64{-5, -1, 0, 0.5, 3, 10} {
+		sum := 0.0
+		const step = 0.0005
+		for u := -60.0; u < x; u += step {
+			sum += l.PDF(u) * step
+		}
+		if math.Abs(sum-l.CDF(x)) > 1e-3 {
+			t.Errorf("CDF(%v) = %v, integral = %v", x, l.CDF(x), sum)
+		}
+	}
+}
+
+func TestLaplaceCDFTailComplement(t *testing.T) {
+	l := NewLaplace(1, 0.7)
+	for _, x := range []float64{-10, -1, 0, 1, 2, 10, 50} {
+		if got := l.CDF(x) + l.Tail(x); math.Abs(got-1) > 1e-12 {
+			t.Errorf("CDF+Tail at %v = %v, want 1", x, got)
+		}
+	}
+}
+
+func TestLaplaceQuantileInvertsCDF(t *testing.T) {
+	l := NewLaplace(-3, 4)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := l.Quantile(p)
+		if got := l.CDF(x); math.Abs(got-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestLaplaceQuantileMedianIsMean(t *testing.T) {
+	l := NewLaplace(7, 2)
+	if got := l.Quantile(0.5); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("median = %v, want 7", got)
+	}
+}
+
+func TestLaplaceSampleMoments(t *testing.T) {
+	rng := NewRand(1)
+	l := NewLaplace(3, 2)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("sample mean = %v, want ~3", mean)
+	}
+	// Var(Lap(λ)) = 2λ² = 8.
+	if math.Abs(variance-8) > 0.3 {
+		t.Errorf("sample variance = %v, want ~8", variance)
+	}
+}
+
+func TestLaplaceSampleEmpiricalCDF(t *testing.T) {
+	rng := NewRand(2)
+	l := NewLaplace(0, 1)
+	const n = 100000
+	points := []float64{-2, -1, 0, 1, 2}
+	counts := make([]int, len(points))
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		for j, p := range points {
+			if x <= p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range points {
+		emp := float64(counts[j]) / n
+		if math.Abs(emp-l.CDF(p)) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, want %v", p, emp, l.CDF(p))
+		}
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLaplace(0, %v) did not panic", scale)
+				}
+			}()
+			NewLaplace(0, scale)
+		}()
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	l := NewLaplace(0, 1)
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", p)
+				}
+			}()
+			l.Quantile(p)
+		}()
+	}
+}
+
+func TestLaplaceTailSymmetryProperty(t *testing.T) {
+	// Tail(mean+x) == CDF(mean−x) for all x, by symmetry.
+	f := func(x float64, scaleSeed uint8) bool {
+		scale := 0.1 + float64(scaleSeed%50)/10
+		l := NewLaplace(0, scale)
+		x = math.Mod(x, 100)
+		a, b := l.Tail(x), l.CDF(-x)
+		return math.Abs(a-b) <= 1e-12*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplaceCDFMonotoneProperty(t *testing.T) {
+	l := NewLaplace(0, 1)
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 1000), math.Mod(b, 1000)
+		if a > b {
+			a, b = b, a
+		}
+		return l.CDF(a) <= l.CDF(b)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRand(7)
+	c1 := Split(parent)
+	c2 := Split(parent)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children coincide on %d/64 draws", same)
+	}
+}
+
+func TestLapNoiseZeroCentered(t *testing.T) {
+	rng := NewRand(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += LapNoise(rng, 5)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.1 {
+		t.Fatalf("LapNoise mean = %v, want ~0", mean)
+	}
+}

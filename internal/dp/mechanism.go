@@ -1,0 +1,134 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// LaplaceMechanism releases a numeric vector under ε-differential privacy by
+// adding i.i.d. Laplace noise calibrated to the query's L1 sensitivity
+// (Dwork et al., TCC'06). Scale = sensitivity/epsilon.
+type LaplaceMechanism struct {
+	Epsilon     float64
+	Sensitivity float64
+}
+
+// Scale returns the Laplace noise scale sensitivity/ε used by the mechanism.
+func (m LaplaceMechanism) Scale() float64 {
+	if !(m.Epsilon > 0) {
+		panic("dp: LaplaceMechanism requires epsilon > 0")
+	}
+	if !(m.Sensitivity > 0) {
+		panic("dp: LaplaceMechanism requires sensitivity > 0")
+	}
+	return m.Sensitivity / m.Epsilon
+}
+
+// Release returns value + Lap(sensitivity/ε).
+func (m LaplaceMechanism) Release(rng *rand.Rand, value float64) float64 {
+	return value + LapNoise(rng, m.Scale())
+}
+
+// ReleaseVector returns a noisy copy of values with independent noise per
+// coordinate. The caller is responsible for ensuring that Sensitivity bounds
+// the L1 change of the whole vector under one tuple insertion.
+func (m LaplaceMechanism) ReleaseVector(rng *rand.Rand, values []float64) []float64 {
+	scale := m.Scale()
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v + LapNoise(rng, scale)
+	}
+	return out
+}
+
+// ExponentialMechanism selects one of a finite set of candidates with
+// probability proportional to exp(ε·score/(2·sensitivity)) (McSherry &
+// Talwar, FOCS'07). It is used by the EM baseline for top-k string mining.
+type ExponentialMechanism struct {
+	Epsilon     float64
+	Sensitivity float64
+}
+
+// Select returns the index of the chosen candidate given per-candidate
+// scores. It panics on an empty score slice.
+func (m ExponentialMechanism) Select(rng *rand.Rand, scores []float64) int {
+	if len(scores) == 0 {
+		panic("dp: ExponentialMechanism.Select on empty candidate set")
+	}
+	if !(m.Epsilon > 0) || !(m.Sensitivity > 0) {
+		panic("dp: ExponentialMechanism requires positive epsilon and sensitivity")
+	}
+	// Stabilize by subtracting the max score before exponentiating.
+	maxScore := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	total := 0.0
+	k := m.Epsilon / (2 * m.Sensitivity)
+	for i, s := range scores {
+		w := math.Exp(k * (s - maxScore))
+		weights[i] = w
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// Budget is a sequential-composition privacy accountant (Lemma 2.1). An
+// algorithm composed of parts consuming ε₁,…,ε_k satisfies (Σεᵢ)-DP; Budget
+// enforces that the parts never spend more than the total.
+type Budget struct {
+	total float64
+	spent float64
+}
+
+// NewBudget returns an accountant for a total budget of epsilon.
+func NewBudget(epsilon float64) *Budget {
+	if !(epsilon > 0) {
+		panic("dp: budget must be positive")
+	}
+	return &Budget{total: epsilon}
+}
+
+// Total returns the configured total budget.
+func (b *Budget) Total() float64 { return b.total }
+
+// Spent returns the budget consumed so far.
+func (b *Budget) Spent() float64 { return b.spent }
+
+// Remaining returns the unspent budget.
+func (b *Budget) Remaining() float64 { return b.total - b.spent }
+
+// Spend consumes eps from the budget, returning an error if that would
+// exceed the total. A tiny tolerance absorbs float round-off from fractional
+// splits such as ε·(β−1)/β + ε/β.
+func (b *Budget) Spend(eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("dp: cannot spend non-positive budget %v", eps)
+	}
+	const tol = 1e-9
+	if b.spent+eps > b.total*(1+tol) {
+		return fmt.Errorf("dp: budget exhausted: spent %v + requested %v > total %v",
+			b.spent, eps, b.total)
+	}
+	b.spent += eps
+	return nil
+}
+
+// MustSpend is Spend that panics on error; for internal call sites where the
+// split is fixed by construction.
+func (b *Budget) MustSpend(eps float64) {
+	if err := b.Spend(eps); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,191 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceMechanismScale(t *testing.T) {
+	m := LaplaceMechanism{Epsilon: 0.5, Sensitivity: 2}
+	if got := m.Scale(); got != 4 {
+		t.Fatalf("scale = %v, want 4", got)
+	}
+}
+
+func TestLaplaceMechanismReleaseUnbiased(t *testing.T) {
+	rng := NewRand(10)
+	m := LaplaceMechanism{Epsilon: 1, Sensitivity: 1}
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += m.Release(rng, 100)
+	}
+	if mean := sum / n; math.Abs(mean-100) > 0.05 {
+		t.Fatalf("release mean = %v, want ~100", mean)
+	}
+}
+
+func TestLaplaceMechanismReleaseVector(t *testing.T) {
+	rng := NewRand(11)
+	m := LaplaceMechanism{Epsilon: 10, Sensitivity: 1}
+	in := []float64{1, 2, 3}
+	out := m.ReleaseVector(rng, in)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if in[i] == out[i] {
+			t.Errorf("coordinate %d unperturbed (possible but vanishingly unlikely)", i)
+		}
+		if math.Abs(in[i]-out[i]) > 5 {
+			t.Errorf("coordinate %d noise implausibly large at scale 0.1: %v", i, out[i]-in[i])
+		}
+	}
+}
+
+func TestLaplaceMechanismPanicsOnBadParams(t *testing.T) {
+	cases := []LaplaceMechanism{
+		{Epsilon: 0, Sensitivity: 1},
+		{Epsilon: -1, Sensitivity: 1},
+		{Epsilon: 1, Sensitivity: 0},
+		{Epsilon: 1, Sensitivity: -2},
+	}
+	for _, m := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scale() with %+v did not panic", m)
+				}
+			}()
+			m.Scale()
+		}()
+	}
+}
+
+func TestExponentialMechanismPrefersHighScores(t *testing.T) {
+	rng := NewRand(12)
+	m := ExponentialMechanism{Epsilon: 2, Sensitivity: 1}
+	scores := []float64{0, 0, 20, 0}
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if m.Select(rng, scores) == 2 {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.99 {
+		t.Fatalf("dominant candidate chosen %v of the time, want ≈1", frac)
+	}
+}
+
+func TestExponentialMechanismNearUniformOnTies(t *testing.T) {
+	rng := NewRand(13)
+	m := ExponentialMechanism{Epsilon: 1, Sensitivity: 1}
+	scores := []float64{5, 5, 5, 5}
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[m.Select(rng, scores)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("candidate %d frequency %v, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestExponentialMechanismRatioMatchesTheory(t *testing.T) {
+	// Pr[i]/Pr[j] should be exp(ε(s_i−s_j)/(2·sens)).
+	rng := NewRand(14)
+	m := ExponentialMechanism{Epsilon: 1, Sensitivity: 1}
+	scores := []float64{0, 2}
+	counts := make([]int, 2)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[m.Select(rng, scores)]++
+	}
+	got := float64(counts[1]) / float64(counts[0])
+	want := math.Exp(1) // e^{1·2/2}
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("odds ratio = %v, want ~%v", got, want)
+	}
+}
+
+func TestExponentialMechanismPanics(t *testing.T) {
+	m := ExponentialMechanism{Epsilon: 1, Sensitivity: 1}
+	rng := NewRand(15)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty candidate set did not panic")
+			}
+		}()
+		m.Select(rng, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero epsilon did not panic")
+			}
+		}()
+		ExponentialMechanism{Epsilon: 0, Sensitivity: 1}.Select(rng, []float64{1})
+	}()
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(1.0)
+	if err := b.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Remaining(); math.Abs(got) > 1e-9 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+	if err := b.Spend(0.1); err == nil {
+		t.Fatal("overspend did not error")
+	}
+}
+
+func TestBudgetRejectsNonPositiveSpend(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Spend(0); err == nil {
+		t.Error("Spend(0) did not error")
+	}
+	if err := b.Spend(-0.5); err == nil {
+		t.Error("Spend(-0.5) did not error")
+	}
+}
+
+func TestBudgetToleratesFloatRoundoff(t *testing.T) {
+	// β-proportional splits like ε/β + ε(β−1)/β must not trip the guard.
+	b := NewBudget(0.1)
+	beta := 18.0
+	if err := b.Spend(0.1 / beta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.1 * (beta - 1) / beta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetPanicsOnBadTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBudget(0) did not panic")
+		}
+	}()
+	NewBudget(0)
+}
+
+func TestMustSpendPanicsOnOverdraft(t *testing.T) {
+	b := NewBudget(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpend overdraft did not panic")
+		}
+	}()
+	b.MustSpend(1.0)
+}

@@ -1,0 +1,87 @@
+// Package em implements the exponential-mechanism baseline for top-k
+// frequent string mining (Section 6.2): starting from the |I| length-1
+// strings, it invokes the exponential mechanism k times at budget ε/k
+// each, selecting the most frequent remaining candidate and replacing it
+// with its |I| one-symbol extensions.
+package em
+
+import (
+	"math/rand/v2"
+
+	"privtree/internal/dp"
+	"privtree/internal/sequence"
+)
+
+// TopK runs the baseline. Quality of a candidate is its exact occurrence
+// count; one sequence of effective length ≤ l⊤ changes any string's count
+// by at most l⊤, so the selection sensitivity is l⊤.
+func TopK(data *sequence.Dataset, k, lTop int, eps float64, rng *rand.Rand) []sequence.StringCount {
+	if lTop < 1 {
+		lTop = data.MaxLen() + 1
+	}
+	type cand struct {
+		syms []sequence.Symbol
+	}
+	var pool []cand
+	for x := 0; x < data.Alphabet.Size; x++ {
+		pool = append(pool, cand{[]sequence.Symbol{sequence.Symbol(x)}})
+	}
+	mech := dp.ExponentialMechanism{Epsilon: eps / float64(k), Sensitivity: float64(lTop)}
+
+	// One pass precomputes every substring count up to precountLen; only
+	// the rare candidates that grow longer fall back to a direct scan.
+	const precountLen = 6
+	pre := sequence.CountOccurrences(data, precountLen)
+	counts := make(map[string]float64)
+	countOf := func(syms []sequence.Symbol) float64 {
+		key := sequence.Key(syms)
+		if len(syms) <= precountLen {
+			return float64(pre[key])
+		}
+		if c, ok := counts[key]; ok {
+			return c
+		}
+		c := float64(countString(data, syms))
+		counts[key] = c
+		return c
+	}
+
+	out := make([]sequence.StringCount, 0, k)
+	for round := 0; round < k && len(pool) > 0; round++ {
+		scores := make([]float64, len(pool))
+		for i, c := range pool {
+			scores[i] = countOf(c.syms)
+		}
+		pick := mech.Select(rng, scores)
+		chosen := pool[pick]
+		out = append(out, sequence.StringCount{Syms: chosen.syms, Count: countOf(chosen.syms)})
+		// Replace the chosen candidate with its extensions.
+		pool = append(pool[:pick], pool[pick+1:]...)
+		for x := 0; x < data.Alphabet.Size; x++ {
+			ext := append(append([]sequence.Symbol(nil), chosen.syms...), sequence.Symbol(x))
+			pool = append(pool, cand{ext})
+		}
+	}
+	return out
+}
+
+// countString counts occurrences of syms as a substring across the data.
+func countString(data *sequence.Dataset, syms []sequence.Symbol) int {
+	total := 0
+	for _, s := range data.Seqs {
+		n := len(s.Syms)
+		for i := 0; i+len(syms) <= n; i++ {
+			match := true
+			for j, x := range syms {
+				if s.Syms[i+j] != x {
+					match = false
+					break
+				}
+			}
+			if match {
+				total++
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,107 @@
+package em
+
+import (
+	"testing"
+
+	"privtree/internal/dp"
+	"privtree/internal/sequence"
+	"privtree/internal/synth"
+)
+
+func mk(xs ...int) sequence.Seq {
+	syms := make([]sequence.Symbol, len(xs))
+	for i, x := range xs {
+		syms[i] = sequence.Symbol(x)
+	}
+	return sequence.Seq{Syms: syms}
+}
+
+func TestTopKReturnsKStrings(t *testing.T) {
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(3), Seqs: []sequence.Seq{
+		mk(0, 1, 2), mk(0, 1), mk(0),
+	}}
+	out := TopK(d, 5, 4, 1.0, dp.NewRand(1))
+	if len(out) != 5 {
+		t.Fatalf("returned %d strings", len(out))
+	}
+	seen := map[string]bool{}
+	for _, sc := range out {
+		key := sequence.Key(sc.Syms)
+		if seen[key] {
+			t.Fatalf("duplicate selection %v", sc.Syms)
+		}
+		seen[key] = true
+	}
+}
+
+func TestTopKFindsDominantStringAtHighBudget(t *testing.T) {
+	// One symbol massively dominates; with a huge budget the first
+	// selection must be it.
+	seqs := make([]sequence.Seq, 2000)
+	for i := range seqs {
+		seqs[i] = mk(2, 2, 2, 2)
+	}
+	seqs[0] = mk(0, 1)
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(3), Seqs: seqs}
+	out := TopK(d, 1, 5, 1000, dp.NewRand(2))
+	if len(out) != 1 || len(out[0].Syms) != 1 || out[0].Syms[0] != 2 {
+		t.Fatalf("first selection = %+v, want symbol 2", out)
+	}
+}
+
+func TestTopKExtendsSelections(t *testing.T) {
+	// After selecting "2", its extensions (e.g. "22") become candidates
+	// and should be selected next on this data.
+	seqs := make([]sequence.Seq, 2000)
+	for i := range seqs {
+		seqs[i] = mk(2, 2, 2, 2)
+	}
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(3), Seqs: seqs}
+	out := TopK(d, 3, 5, 1000, dp.NewRand(3))
+	if len(out) != 3 {
+		t.Fatalf("returned %d", len(out))
+	}
+	// All three should be runs of 2s: "2", "22", "222".
+	for i, sc := range out {
+		if len(sc.Syms) != i+1 {
+			t.Fatalf("selection %d has length %d, want %d (%v)", i, len(sc.Syms), i+1, out)
+		}
+		for _, x := range sc.Syms {
+			if x != 2 {
+				t.Fatalf("selection %d contains %v", i, sc.Syms)
+			}
+		}
+	}
+}
+
+func TestTopKPrecisionDegradesWithK(t *testing.T) {
+	// The paper observes EM's accuracy drops as k grows (budget ε/k per
+	// round). Check the trend on structured data at moderate ε.
+	data := synth.MoocLike(10000, dp.NewRand(4))
+	trunc, _ := data.Truncate(50)
+	exact50 := sequence.TopK(data, 50, 4)
+	exact200 := sequence.TopK(data, 200, 4)
+	avg := func(k int, exact []sequence.StringCount) float64 {
+		total := 0.0
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			out := TopK(trunc, k, 50, 0.8, dp.NewRand(uint64(5+r)))
+			total += sequence.Precision(exact, out, k)
+		}
+		return total / reps
+	}
+	p50 := avg(50, exact50)
+	p200 := avg(200, exact200)
+	if p200 >= p50 {
+		t.Fatalf("precision did not degrade with k: p50=%v p200=%v", p50, p200)
+	}
+}
+
+func TestCountStringMatchesReference(t *testing.T) {
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: []sequence.Seq{
+		mk(0, 0, 0), mk(0, 0),
+	}}
+	if got := countString(d, []sequence.Symbol{0, 0}); got != 3 {
+		t.Fatalf("count(00) = %d, want 3 (overlapping occurrences)", got)
+	}
+}

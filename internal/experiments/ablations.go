@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"privtree/internal/baseline"
+	"privtree/internal/core"
+	"privtree/internal/geom"
+	"privtree/internal/synth"
+	"privtree/internal/workload"
+)
+
+// AblBias contrasts PrivTree against SimpleTree (Algorithm 1) at matched
+// total budget across a sweep of SimpleTree heights — the paper's central
+// claim is that no height works well, while PrivTree needs none.
+func AblBias(cfg Config, datasetName string) Result {
+	cfg = cfg.normalize()
+	env := cfg.spatialEnvByName(datasetName)
+	d := env.data.Dims()
+	split := geom.FullBisect{Dim: d}
+	res := Result{
+		Title:    fmt.Sprintf("abl-bias %s - medium queries: PrivTree vs SimpleTree(h)", datasetName),
+		Epsilons: cfg.Epsilons,
+	}
+	pt := Series{Label: "PrivTree", Values: map[float64]float64{}}
+	for _, eps := range cfg.Epsilons {
+		var errs []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			t, err := core.BuildNoisy(env.data, split, eps, split.Fanout(), cfg.rng(uint64(rep+1)*73^uint64(eps*1e6)))
+			if err != nil {
+				panic(err)
+			}
+			errs = append(errs, env.evals[workload.Medium].AvgRelativeError(t))
+		}
+		pt.Values[eps] = mean(errs)
+	}
+	res.Series = append(res.Series, pt)
+	for _, h := range []int{4, 8, 12, 16} {
+		s := Series{Label: fmt.Sprintf("SimpleTree h=%d", h), Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var errs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				st := baseline.NewSimpleTree(env.data, split, eps, 0, h, cfg.rng(uint64(h)^uint64(rep+1)*79^uint64(eps*1e6)))
+				errs = append(errs, env.evals[workload.Medium].AvgRelativeError(st))
+			}
+			s.Values[eps] = mean(errs)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}
+
+// AblSplit sweeps the tree/count budget split ratio around the paper's
+// ε/2–ε/2 choice.
+func AblSplit(cfg Config, datasetName string) Result {
+	cfg = cfg.normalize()
+	env := cfg.spatialEnvByName(datasetName)
+	d := env.data.Dims()
+	split := geom.FullBisect{Dim: d}
+	res := Result{
+		Title:    fmt.Sprintf("abl-split %s - medium queries: tree-budget fraction", datasetName),
+		Epsilons: cfg.Epsilons,
+	}
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		s := Series{Label: fmt.Sprintf("treeFrac=%.2f", frac), Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var errs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				t, err := core.BuildNoisySplit(env.data, split, eps, frac, split.Fanout(),
+					cfg.rng(uint64(frac*100)^uint64(rep+1)*83^uint64(eps*1e6)))
+				if err != nil {
+					panic(err)
+				}
+				errs = append(errs, env.evals[workload.Medium].AvgRelativeError(t))
+			}
+			s.Values[eps] = mean(errs)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}
+
+// AblTheta sweeps the split threshold θ around the paper's default 0.
+func AblTheta(cfg Config, datasetName string) Result {
+	cfg = cfg.normalize()
+	env := cfg.spatialEnvByName(datasetName)
+	d := env.data.Dims()
+	split := geom.FullBisect{Dim: d}
+	res := Result{
+		Title:    fmt.Sprintf("abl-theta %s - medium queries: split threshold", datasetName),
+		Epsilons: cfg.Epsilons,
+	}
+	// Negative θ is excluded: with θ < 0 every node's exact count exceeds
+	// the threshold (counts are non-negative), so the noise-free tree T*
+	// is unbounded and Lemma 3.2's E[|T|] ≤ 2·|T*| guarantees nothing —
+	// empirically the build exhausts memory. θ = 0 is the smallest safe
+	// choice, which is precisely the paper's recommendation.
+	for _, theta := range []float64{0, 50, 200, 1000, 5000} {
+		s := Series{Label: fmt.Sprintf("θ=%g", theta), Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var errs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := cfg.rng(uint64(int64(theta)+2000)*89 ^ uint64(rep+1)*97 ^ uint64(eps*1e6))
+				p := core.Params{Epsilon: eps / 2, Fanout: split.Fanout(), Theta: theta}
+				t, err := core.BuildNoisyParams(env.data, split, p, eps/2, rng)
+				if err != nil {
+					panic(err)
+				}
+				errs = append(errs, env.evals[workload.Medium].AvgRelativeError(t))
+			}
+			s.Values[eps] = mean(errs)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}
+
+// AblDepth reports how deep PrivTree actually recurses at the paper's
+// parameterizations, confirming the engineering MaxDepth cap never binds.
+func AblDepth(cfg Config) {
+	cfg = cfg.normalize()
+	fmt.Fprintf(cfg.Out, "\n== abl-depth: realized PrivTree heights (cap=%d) ==\n", core.DefaultMaxDepth)
+	fmt.Fprintf(cfg.Out, "%-10s %8s %8s\n", "dataset", "ε", "height")
+	for _, spec := range synth.SpatialSpecs() {
+		data := synth.SpatialByName(spec.Name, cfg.scaledN(spec.N), cfg.rng(hashName(spec.Name)))
+		d := data.Dims()
+		split := geom.FullBisect{Dim: d}
+		for _, eps := range cfg.Epsilons {
+			p := core.Params{Epsilon: eps / 2, Fanout: split.Fanout()}
+			t, err := core.Build(data, split, p, cfg.rng(uint64(eps*1e6)))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(cfg.Out, "%-10s %8.3g %8d\n", spec.Name, eps, t.Height())
+		}
+	}
+}
+
+// AblKD compares the private k-d tree (Xiao et al.) against UG, AG and
+// PrivTree — the related-work claim that k-d trees are inferior to the
+// grid methods ([41], quoted in Section 7).
+func AblKD(cfg Config, datasetName string) Result {
+	cfg = cfg.normalize()
+	env := cfg.spatialEnvByName(datasetName)
+	d := env.data.Dims()
+	split := geom.FullBisect{Dim: d}
+	res := Result{
+		Title:    fmt.Sprintf("abl-kd %s - medium queries: k-d tree vs grids vs PrivTree", datasetName),
+		Epsilons: cfg.Epsilons,
+	}
+	type m struct {
+		label string
+		build func(eps float64, salt uint64) workload.Method
+	}
+	methods := []m{
+		{"PrivTree", func(eps float64, salt uint64) workload.Method {
+			t, err := core.BuildNoisy(env.data, split, eps, split.Fanout(), cfg.rng(salt))
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+		{"UG", func(eps float64, salt uint64) workload.Method {
+			return baseline.NewUG(env.data, eps, cfg.rng(salt))
+		}},
+		{"KD-tree", func(eps float64, salt uint64) workload.Method {
+			return baseline.NewKDTree(env.data, eps, cfg.rng(salt))
+		}},
+	}
+	if d == 2 {
+		methods = append(methods, m{"AG", func(eps float64, salt uint64) workload.Method {
+			return baseline.NewAG(env.data, eps, cfg.rng(salt))
+		}})
+	}
+	for _, method := range methods {
+		s := Series{Label: method.label, Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var errs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				mm := method.build(eps, hashName(method.label)^uint64(rep+1)*101^uint64(eps*1e6))
+				errs = append(errs, env.evals[workload.Medium].AvgRelativeError(mm))
+			}
+			s.Values[eps] = mean(errs)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}
+
+// AblConsistency quantifies how much Hay et al.'s constrained inference
+// improves Hierarchy — one of the Section 3.1 heuristics — and whether it
+// closes the gap to PrivTree (the paper's answer: no).
+func AblConsistency(cfg Config, datasetName string) Result {
+	cfg = cfg.normalize()
+	env := cfg.spatialEnvByName(datasetName)
+	if env.data.Dims() != 2 {
+		panic("experiments: abl-consist needs a 2-D dataset")
+	}
+	split := geom.FullBisect{Dim: 2}
+	res := Result{
+		Title:    fmt.Sprintf("abl-consist %s - medium queries: Hierarchy ± constrained inference", datasetName),
+		Epsilons: cfg.Epsilons,
+	}
+	type m struct {
+		label string
+		build func(eps float64, salt uint64) workload.Method
+	}
+	for _, method := range []m{
+		{"Hierarchy", func(eps float64, salt uint64) workload.Method {
+			return baseline.NewHierarchyH(env.data, eps, 3, cfg.rng(salt))
+		}},
+		{"Hierarchy+consist", func(eps float64, salt uint64) workload.Method {
+			return baseline.NewHierarchyConsistent(env.data, eps, 3, cfg.rng(salt))
+		}},
+		{"PrivTree", func(eps float64, salt uint64) workload.Method {
+			t, err := core.BuildNoisy(env.data, split, eps, split.Fanout(), cfg.rng(salt))
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+	} {
+		s := Series{Label: method.label, Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var errs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				mm := method.build(eps, hashName(method.label)^uint64(rep+1)*103^uint64(eps*1e6))
+				errs = append(errs, env.evals[workload.Medium].AvgRelativeError(mm))
+			}
+			s.Values[eps] = mean(errs)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}
+
+// spatialEnvByName builds the evaluation environment for a named dataset.
+func (c Config) spatialEnvByName(name string) *spatialEnv {
+	for _, spec := range synth.SpatialSpecs() {
+		if spec.Name == name {
+			return c.newSpatialEnv(spec.Name, spec.N)
+		}
+	}
+	panic("experiments: unknown dataset " + name)
+}

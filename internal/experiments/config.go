@@ -1,0 +1,199 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section 6 and Appendix C), plus the ablations called
+// out in DESIGN.md. Each runner prints the same rows/series the paper
+// reports, using the synthetic stand-in datasets from internal/synth.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/synth"
+	"privtree/internal/workload"
+)
+
+// PaperEpsilons is the privacy-budget sweep used throughout Section 6.
+var PaperEpsilons = []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
+
+// Config controls the scale/fidelity trade-off of every runner.
+type Config struct {
+	// Out receives the printed tables; defaults to io.Discard when nil.
+	Out io.Writer
+	// Seed makes every run reproducible.
+	Seed uint64
+	// Scale multiplies the paper's dataset cardinalities (1.0 = full
+	// size). The default 0.1 keeps a full Figure 5 sweep within minutes.
+	Scale float64
+	// Reps is the number of repetitions averaged per configuration (the
+	// paper uses 100).
+	Reps int
+	// Queries is the per-class query-set size (the paper uses 10,000).
+	Queries int
+	// Epsilons overrides the ε sweep; nil means PaperEpsilons.
+	Epsilons []float64
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Seed == 0 {
+		c.Seed = 20160115 // the paper's arXiv date
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.1
+	}
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if c.Queries == 0 {
+		c.Queries = 400
+	}
+	if c.Epsilons == nil {
+		c.Epsilons = PaperEpsilons
+	}
+	return c
+}
+
+// scaledN applies the config scale to a paper cardinality with a floor so
+// tiny scales still exercise the algorithms.
+func (c Config) scaledN(paperN int) int {
+	n := int(float64(paperN) * c.Scale)
+	if n < 2000 {
+		n = 2000
+	}
+	return n
+}
+
+// rng derives a deterministic generator for a named sub-experiment.
+func (c Config) rng(salt uint64) *rand.Rand {
+	return dp.NewRand(c.Seed ^ salt*0x9e3779b97f4a7c15)
+}
+
+// spatialEnv bundles a generated dataset with its exact-count oracle and
+// the three query-set evaluators.
+type spatialEnv struct {
+	name  string
+	data  *dataset.Spatial
+	index *dataset.GridIndex
+	evals map[workload.SizeClass]*workload.Evaluator
+}
+
+// newSpatialEnv generates the named dataset at config scale and
+// precomputes evaluators for all three size classes.
+func (c Config) newSpatialEnv(name string, paperN int) *spatialEnv {
+	rng := c.rng(hashName(name))
+	data := synth.SpatialByName(name, c.scaledN(paperN), rng)
+	res := 256
+	if data.Dims() == 4 {
+		res = 20
+	}
+	idx := dataset.NewGridIndex(data, res)
+	env := &spatialEnv{name: name, data: data, index: idx,
+		evals: make(map[workload.SizeClass]*workload.Evaluator)}
+	for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+		qs := workload.Queries(data.Domain, class, c.Queries, rng)
+		env.evals[class] = workload.NewEvaluator(idx, qs)
+	}
+	return env
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Series is one printed curve: a metric per ε.
+type Series struct {
+	Label  string
+	Values map[float64]float64 // ε → metric
+}
+
+// Result is one printed figure/table panel.
+type Result struct {
+	Title    string
+	Epsilons []float64
+	Series   []Series
+}
+
+// Print renders the panel as a fixed-width text table.
+func (r Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", r.Title)
+	fmt.Fprintf(w, "%-22s", "method \\ ε")
+	for _, e := range r.Epsilons {
+		fmt.Fprintf(w, "%12.3g", e)
+	}
+	fmt.Fprintln(w)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%-22s", s.Label)
+		for _, e := range r.Epsilons {
+			if v, ok := s.Values[e]; ok {
+				fmt.Fprintf(w, "%12.4g", v)
+			} else {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BestPerEpsilon returns, for each ε, the label of the series with the
+// smallest metric (used by tests asserting "who wins").
+func (r Result) BestPerEpsilon() map[float64]string {
+	best := make(map[float64]string)
+	for _, e := range r.Epsilons {
+		bestV := 0.0
+		first := true
+		for _, s := range r.Series {
+			v, ok := s.Values[e]
+			if !ok {
+				continue
+			}
+			if first || v < bestV {
+				bestV, best[e], first = v, s.Label, false
+			}
+		}
+	}
+	return best
+}
+
+// SeriesByLabel returns the named series, or nil.
+func (r Result) SeriesByLabel(label string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Label == label {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// mean returns the arithmetic mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sortedKeys returns a map's float keys in increasing order.
+func sortedKeys(m map[float64]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"privtree/internal/em"
+	"privtree/internal/markov"
+	"privtree/internal/ngram"
+	"privtree/internal/sequence"
+	"privtree/internal/synth"
+)
+
+// topKMaxLen bounds the string length enumerated in the frequent-string
+// task; substring counts are monotone under extension, so the true top-k
+// for the evaluated k always consist of short strings.
+const topKMaxLen = 5
+
+// seqEnv bundles a generated sequence dataset with its truncation and the
+// exact answers.
+type seqEnv struct {
+	name  string
+	lTop  int
+	data  *sequence.Dataset // original
+	trunc *sequence.Dataset // truncated at lTop
+}
+
+func (c Config) newSeqEnv(spec synth.SequenceSpec) *seqEnv {
+	rng := c.rng(hashName(spec.Name))
+	data := synth.SequenceByName(spec.Name, c.scaledN(spec.N), rng)
+	trunc, _ := data.Truncate(spec.LTop)
+	return &seqEnv{name: spec.Name, lTop: spec.LTop, data: data, trunc: trunc}
+}
+
+// Table3 prints the sequence dataset characteristics at the configured
+// scale, including the truncation statistics of the paper's Table 3.
+func Table3(cfg Config) {
+	cfg = cfg.normalize()
+	fmt.Fprintf(cfg.Out, "\n== Table 3: sequence datasets (scale %.3g) ==\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-8s %5s %10s %10s %6s %12s\n", "name", "|I|", "n", "avg len", "l⊤", "# truncated")
+	for _, spec := range synth.SequenceSpecs() {
+		env := cfg.newSeqEnv(spec)
+		_, truncated := env.data.Truncate(spec.LTop)
+		fmt.Fprintf(cfg.Out, "%-8s %5d %10d %10.2f %6d %12d\n",
+			spec.Name, spec.AlphabetSize, env.data.N(), env.data.AvgLen(), spec.LTop, truncated)
+	}
+}
+
+// Fig6 reproduces Figure 6: top-k frequent-string precision for
+// k ∈ {50, 100, 200} on both sequence datasets, comparing Truncate (the
+// non-private upper reference), PrivTree, N-gram, and EM.
+func Fig6(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	ks := []int{50, 100, 200}
+	maxK := ks[len(ks)-1]
+	for _, spec := range synth.SequenceSpecs() {
+		env := cfg.newSeqEnv(spec)
+		// Ground truth is mined from the ORIGINAL data; Truncate answers
+		// from the truncated data without privacy. Models are built once
+		// per (ε, rep), mined at the largest k, and every smaller k is
+		// scored from the prefix of the same ranked answer list.
+		exactAll := sequence.TopK(env.data, maxK, topKMaxLen)
+		truncAll := sequence.TopK(env.trunc, maxK, topKMaxLen)
+
+		panels := make([]Result, len(ks))
+		series := make([][]Series, len(ks)) // [k][method]
+		for ki, k := range ks {
+			panels[ki] = Result{
+				Title:    fmt.Sprintf("Fig6 %s - top%d (precision)", spec.Name, k),
+				Epsilons: cfg.Epsilons,
+			}
+			series[ki] = []Series{
+				{Label: "Truncate", Values: map[float64]float64{}},
+				{Label: "PrivTree", Values: map[float64]float64{}},
+				{Label: "N-gram", Values: map[float64]float64{}},
+				{Label: "EM", Values: map[float64]float64{}},
+			}
+		}
+		precisionAt := func(k int, answer []sequence.StringCount) float64 {
+			if len(answer) > k {
+				answer = answer[:k]
+			}
+			return sequence.Precision(exactAll[:k], answer, k)
+		}
+		for _, eps := range cfg.Epsilons {
+			sums := make([][]float64, len(ks)) // [k][method 1..3]
+			for ki := range ks {
+				sums[ki] = make([]float64, 3)
+			}
+			for rep := 0; rep < cfg.Reps; rep++ {
+				salt := uint64(rep+1)*53 ^ uint64(eps*1e6)
+
+				model, err := markov.Build(env.trunc, markov.Config{
+					Epsilon: eps, LTop: spec.LTop,
+				}, cfg.rng(salt^1))
+				if err != nil {
+					panic(err)
+				}
+				privAns := model.TopK(maxK, topKMaxLen)
+
+				ngm := ngram.Build(env.trunc, ngram.Config{
+					Epsilon: eps, H: 5, LTop: spec.LTop,
+				}, cfg.rng(salt^2))
+				ngAns := ngm.TopK(maxK, topKMaxLen)
+
+				for ki, k := range ks {
+					sums[ki][0] += precisionAt(k, privAns)
+					sums[ki][1] += precisionAt(k, ngAns)
+					// EM is interactive — its per-selection budget is
+					// ε/k — so it must be re-run for every k.
+					emAns := em.TopK(env.trunc, k, spec.LTop, eps, cfg.rng(salt^uint64(4+ki)))
+					sums[ki][2] += precisionAt(k, emAns)
+				}
+			}
+			for ki, k := range ks {
+				series[ki][0].Values[eps] = precisionAt(k, truncAll)
+				series[ki][1].Values[eps] = sums[ki][0] / float64(cfg.Reps)
+				series[ki][2].Values[eps] = sums[ki][1] / float64(cfg.Reps)
+				series[ki][3].Values[eps] = sums[ki][2] / float64(cfg.Reps)
+			}
+		}
+		for ki := range ks {
+			panels[ki].Series = series[ki]
+			panels[ki].Print(cfg.Out)
+			results = append(results, panels[ki])
+		}
+	}
+	return results
+}
+
+// Fig7 reproduces Figure 7: total variation distance between the original
+// and synthetic sequence-length distributions, for Truncate, PrivTree and
+// N-gram.
+func Fig7(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	for _, spec := range synth.SequenceSpecs() {
+		env := cfg.newSeqEnv(spec)
+		maxLen := spec.LTop + 5
+		origDist := env.data.LengthDistribution(maxLen)
+		truncTV := sequence.TotalVariation(origDist, env.trunc.LengthDistribution(maxLen))
+		genN := env.data.N()
+
+		res := Result{
+			Title:    fmt.Sprintf("Fig7 %s - sequence length TV distance", spec.Name),
+			Epsilons: cfg.Epsilons,
+		}
+		trunc := Series{Label: "Truncate", Values: map[float64]float64{}}
+		priv := Series{Label: "PrivTree", Values: map[float64]float64{}}
+		ng := Series{Label: "N-gram", Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			trunc.Values[eps] = truncTV
+			var tvPriv, tvNg []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				salt := uint64(rep+1)*59 ^ uint64(eps*1e6)
+
+				model, err := markov.Build(env.trunc, markov.Config{
+					Epsilon: eps, LTop: spec.LTop,
+				}, cfg.rng(salt^4))
+				if err != nil {
+					panic(err)
+				}
+				synthetic := model.Generate(genN, spec.LTop, cfg.rng(salt^5))
+				tvPriv = append(tvPriv, sequence.TotalVariation(origDist, synthetic.LengthDistribution(maxLen)))
+
+				ngm := ngram.Build(env.trunc, ngram.Config{Epsilon: eps, H: 5, LTop: spec.LTop}, cfg.rng(salt^6))
+				ngSynth := ngm.Generate(genN, spec.LTop, cfg.rng(salt^7))
+				tvNg = append(tvNg, sequence.TotalVariation(origDist, ngSynth.LengthDistribution(maxLen)))
+			}
+			priv.Values[eps] = mean(tvPriv)
+			ng.Values[eps] = mean(tvNg)
+		}
+		res.Series = []Series{trunc, priv, ng}
+		res.Print(cfg.Out)
+		results = append(results, res)
+	}
+	return results
+}
+
+// Fig12 reproduces Figure 12: N-gram's top-k precision as its height h
+// varies over {3..7}.
+func Fig12(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	heights := []int{3, 4, 5, 6, 7}
+	for _, spec := range synth.SequenceSpecs() {
+		env := cfg.newSeqEnv(spec)
+		for _, k := range []int{50, 100, 200} {
+			exact := sequence.TopK(env.data, k, topKMaxLen)
+			res := Result{
+				Title:    fmt.Sprintf("Fig12 %s - top%d: N-gram height (precision)", spec.Name, k),
+				Epsilons: cfg.Epsilons,
+			}
+			for _, h := range heights {
+				s := Series{Label: fmt.Sprintf("h=%d", h), Values: map[float64]float64{}}
+				for _, eps := range cfg.Epsilons {
+					var ps []float64
+					for rep := 0; rep < cfg.Reps; rep++ {
+						salt := uint64(h*1000+k) ^ uint64(rep+1)*61 ^ uint64(eps*1e6)
+						ngm := ngram.Build(env.trunc, ngram.Config{Epsilon: eps, H: h, LTop: spec.LTop}, cfg.rng(salt))
+						ps = append(ps, sequence.Precision(exact, ngm.TopK(k, topKMaxLen), k))
+					}
+					s.Values[eps] = mean(ps)
+				}
+				res.Series = append(res.Series, s)
+			}
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// Table4Sequence reproduces the sequence rows of Table 4: PrivTree (PST
+// variant) build time per dataset × ε.
+func Table4Sequence(cfg Config) Result {
+	cfg = cfg.normalize()
+	res := Result{
+		Title:    fmt.Sprintf("Table 4 (sequence rows): PrivTree PST build time in seconds at scale %.3g", cfg.Scale),
+		Epsilons: cfg.Epsilons,
+	}
+	for _, spec := range synth.SequenceSpecs() {
+		env := cfg.newSeqEnv(spec)
+		s := Series{Label: spec.Name, Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var total time.Duration
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := cfg.rng(uint64(rep+1)*67 ^ uint64(eps*1e6))
+				start := time.Now()
+				if _, err := markov.Build(env.trunc, markov.Config{Epsilon: eps, LTop: spec.LTop}, rng); err != nil {
+					panic(err)
+				}
+				total += time.Since(start)
+			}
+			s.Values[eps] = total.Seconds() / float64(cfg.Reps)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"privtree/internal/baseline"
+	"privtree/internal/core"
+	"privtree/internal/dataset"
+	"privtree/internal/geom"
+	"privtree/internal/synth"
+	"privtree/internal/workload"
+)
+
+// spatialMethod names one range-count method and how to build it.
+type spatialMethod struct {
+	name  string
+	dims  []int // dimensionalities the method supports; nil = all
+	build func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method
+}
+
+func privTreeSplitter(d int) geom.Splitter { return geom.FullBisect{Dim: d} }
+
+// spatialMethods returns the Figure 5 lineup.
+func spatialMethods() []spatialMethod {
+	return []spatialMethod{
+		{name: "PrivTree", build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			d := data.Dims()
+			t, err := core.BuildNoisy(data, privTreeSplitter(d), eps, 1<<d, c.rng(salt))
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}},
+		{name: "UG", build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			return baseline.NewUG(data, eps, c.rng(salt))
+		}},
+		{name: "AG", dims: []int{2}, build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			return baseline.NewAG(data, eps, c.rng(salt))
+		}},
+		{name: "Hierarchy", dims: []int{2}, build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			return baseline.NewHierarchy(data, eps, c.rng(salt))
+		}},
+		{name: "Privelet*", build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			return baseline.NewPrivelet(data, eps, c.rng(salt))
+		}},
+		{name: "DAWA", build: func(c Config, data *dataset.Spatial, eps float64, salt uint64) workload.Method {
+			return baseline.NewDAWA(data, eps, c.rng(salt))
+		}},
+	}
+}
+
+func supportsDim(m spatialMethod, d int) bool {
+	if m.dims == nil {
+		return true
+	}
+	for _, x := range m.dims {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig5 reproduces Figure 5: average relative error of range-count queries
+// per dataset × size class × ε for all six methods. It returns one Result
+// per (dataset, class) panel, in the paper's panel order.
+func Fig5(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	classes := []workload.SizeClass{workload.Small, workload.Medium, workload.Large}
+	for _, spec := range synth.SpatialSpecs() {
+		env := cfg.newSpatialEnv(spec.Name, spec.N)
+		// One panel per size class; each synopsis is built once per
+		// (method, ε, rep) and evaluated on all three query sets.
+		panels := make([]Result, len(classes))
+		for ci, class := range classes {
+			panels[ci] = Result{
+				Title:    fmt.Sprintf("Fig5 %s - %s queries (avg relative error)", spec.Name, class),
+				Epsilons: cfg.Epsilons,
+			}
+		}
+		for _, m := range spatialMethods() {
+			if !supportsDim(m, env.data.Dims()) {
+				continue
+			}
+			series := make([]Series, len(classes))
+			for ci := range classes {
+				series[ci] = Series{Label: m.name, Values: map[float64]float64{}}
+			}
+			for _, eps := range cfg.Epsilons {
+				sums := make([]float64, len(classes))
+				for rep := 0; rep < cfg.Reps; rep++ {
+					salt := hashName(m.name) ^ uint64(rep+1)*7919 ^ uint64(eps*1e6)
+					method := m.build(cfg, env.data, eps, salt)
+					for ci, class := range classes {
+						sums[ci] += env.evals[class].AvgRelativeError(method)
+					}
+				}
+				for ci := range classes {
+					series[ci].Values[eps] = sums[ci] / float64(cfg.Reps)
+				}
+			}
+			for ci := range classes {
+				panels[ci].Series = append(panels[ci].Series, series[ci])
+			}
+		}
+		for _, res := range panels {
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// Table2 prints the spatial dataset characteristics at the configured
+// scale alongside the paper's full-size cardinalities.
+func Table2(cfg Config) {
+	cfg = cfg.normalize()
+	fmt.Fprintf(cfg.Out, "\n== Table 2: spatial datasets (scale %.3g) ==\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-10s %5s %12s %12s\n", "name", "d", "paper n", "generated n")
+	for _, spec := range synth.SpatialSpecs() {
+		data := synth.SpatialByName(spec.Name, cfg.scaledN(spec.N), cfg.rng(hashName(spec.Name)))
+		fmt.Fprintf(cfg.Out, "%-10s %5d %12d %12d\n", spec.Name, spec.Dim, spec.N, data.N())
+	}
+}
+
+// Fig8 reproduces Figure 8: PrivTree's error under fanouts 2^d, 2^{d/2}
+// and (for 4-D) 2^{d/4}, per dataset × size class.
+func Fig8(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	for _, spec := range synth.SpatialSpecs() {
+		env := cfg.newSpatialEnv(spec.Name, spec.N)
+		d := env.data.Dims()
+		type variant struct {
+			label string
+			split geom.Splitter
+		}
+		variants := []variant{{fmt.Sprintf("β=2^%d (full)", d), geom.FullBisect{Dim: d}}}
+		if d >= 2 {
+			variants = append(variants, variant{fmt.Sprintf("β=2^%d (rr)", d/2), geom.RoundRobinBisect{Dim: d, PerStep: d / 2}})
+		}
+		if d >= 4 {
+			variants = append(variants, variant{fmt.Sprintf("β=2^%d (rr)", d/4), geom.RoundRobinBisect{Dim: d, PerStep: d / 4}})
+		}
+		for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+			res := Result{
+				Title:    fmt.Sprintf("Fig8 %s - %s queries: impact of fanout", spec.Name, class),
+				Epsilons: cfg.Epsilons,
+			}
+			for _, v := range variants {
+				s := Series{Label: v.label, Values: map[float64]float64{}}
+				for _, eps := range cfg.Epsilons {
+					errs := make([]float64, 0, cfg.Reps)
+					for rep := 0; rep < cfg.Reps; rep++ {
+						rng := cfg.rng(hashName(v.label) ^ uint64(rep+1)*104729 ^ uint64(eps*1e6))
+						t, err := core.BuildNoisy(env.data, v.split, eps, v.split.Fanout(), rng)
+						if err != nil {
+							panic(err)
+						}
+						errs = append(errs, env.evals[class].AvgRelativeError(t))
+					}
+					s.Values[eps] = mean(errs)
+				}
+				res.Series = append(res.Series, s)
+			}
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// fig9n10Scales is the r sweep of Figures 9 and 10.
+var fig9n10Scales = []float64{1.0 / 9, 1.0 / 3, 1, 3, 9}
+
+// Fig9 reproduces Figure 9: UG's error when its cell count is scaled by r.
+func Fig9(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	for _, spec := range synth.SpatialSpecs() {
+		env := cfg.newSpatialEnv(spec.Name, spec.N)
+		for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+			res := Result{
+				Title:    fmt.Sprintf("Fig9 %s - %s queries: UG grid scale", spec.Name, class),
+				Epsilons: cfg.Epsilons,
+			}
+			for _, r := range fig9n10Scales {
+				s := Series{Label: fmt.Sprintf("r=%.3g", r), Values: map[float64]float64{}}
+				for _, eps := range cfg.Epsilons {
+					errs := make([]float64, 0, cfg.Reps)
+					for rep := 0; rep < cfg.Reps; rep++ {
+						rng := cfg.rng(uint64(r*1e4) ^ uint64(rep+1)*31 ^ uint64(eps*1e6))
+						ug := baseline.NewUGScaled(env.data, eps, r, rng)
+						errs = append(errs, env.evals[class].AvgRelativeError(ug))
+					}
+					s.Values[eps] = mean(errs)
+				}
+				res.Series = append(res.Series, s)
+			}
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// Fig10 reproduces Figure 10: AG's error under grid scaling (2-D datasets
+// only, as in the paper).
+func Fig10(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	for _, spec := range synth.SpatialSpecs() {
+		if spec.Dim != 2 {
+			continue
+		}
+		env := cfg.newSpatialEnv(spec.Name, spec.N)
+		for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+			res := Result{
+				Title:    fmt.Sprintf("Fig10 %s - %s queries: AG grid scale", spec.Name, class),
+				Epsilons: cfg.Epsilons,
+			}
+			for _, r := range fig9n10Scales {
+				s := Series{Label: fmt.Sprintf("r=%.3g", r), Values: map[float64]float64{}}
+				for _, eps := range cfg.Epsilons {
+					errs := make([]float64, 0, cfg.Reps)
+					for rep := 0; rep < cfg.Reps; rep++ {
+						rng := cfg.rng(uint64(r*1e4) ^ uint64(rep+1)*37 ^ uint64(eps*1e6))
+						ag := baseline.NewAGScaled(env.data, eps, r, rng)
+						errs = append(errs, env.evals[class].AvgRelativeError(ag))
+					}
+					s.Values[eps] = mean(errs)
+				}
+				res.Series = append(res.Series, s)
+			}
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// Fig11 reproduces Figure 11: Hierarchy's error for h ∈ {3..8} (2-D).
+func Fig11(cfg Config) []Result {
+	cfg = cfg.normalize()
+	var results []Result
+	heights := []int{3, 4, 5, 6, 7, 8}
+	for _, spec := range synth.SpatialSpecs() {
+		if spec.Dim != 2 {
+			continue
+		}
+		env := cfg.newSpatialEnv(spec.Name, spec.N)
+		for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+			res := Result{
+				Title:    fmt.Sprintf("Fig11 %s - %s queries: Hierarchy height", spec.Name, class),
+				Epsilons: cfg.Epsilons,
+			}
+			for _, h := range heights {
+				s := Series{Label: fmt.Sprintf("h=%d", h), Values: map[float64]float64{}}
+				for _, eps := range cfg.Epsilons {
+					errs := make([]float64, 0, cfg.Reps)
+					for rep := 0; rep < cfg.Reps; rep++ {
+						rng := cfg.rng(uint64(h) ^ uint64(rep+1)*41 ^ uint64(eps*1e6))
+						hier := baseline.NewHierarchyH(env.data, eps, h, rng)
+						errs = append(errs, env.evals[class].AvgRelativeError(hier))
+					}
+					s.Values[eps] = mean(errs)
+				}
+				res.Series = append(res.Series, s)
+			}
+			res.Print(cfg.Out)
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+// Table4Spatial reproduces the spatial rows of Table 4: PrivTree's running
+// time (seconds) per dataset × ε, averaged over reps.
+func Table4Spatial(cfg Config) Result {
+	cfg = cfg.normalize()
+	res := Result{
+		Title:    fmt.Sprintf("Table 4 (spatial rows): PrivTree build time in seconds at scale %.3g", cfg.Scale),
+		Epsilons: cfg.Epsilons,
+	}
+	for _, spec := range synth.SpatialSpecs() {
+		data := synth.SpatialByName(spec.Name, cfg.scaledN(spec.N), cfg.rng(hashName(spec.Name)))
+		d := data.Dims()
+		s := Series{Label: spec.Name, Values: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			var total time.Duration
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := cfg.rng(uint64(rep+1)*43 ^ uint64(eps*1e6))
+				start := time.Now()
+				if _, err := core.BuildNoisy(data, privTreeSplitter(d), eps, 1<<d, rng); err != nil {
+					panic(err)
+				}
+				total += time.Since(start)
+			}
+			s.Values[eps] = total.Seconds() / float64(cfg.Reps)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Print(cfg.Out)
+	return res
+}

@@ -1,0 +1,264 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true},  // closed at Lo
+		{Point{1, 1}, false}, // open at Hi
+		{Point{0.999, 0}, true},
+		{Point{-0.1, 0.5}, false},
+		{Point{0.5}, false}, // wrong dims
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectVolume(t *testing.T) {
+	r := NewRect(Point{0, 0, 0}, Point{2, 3, 4})
+	if got := r.Volume(); got != 24 {
+		t.Fatalf("volume = %v, want 24", got)
+	}
+	if got := UnitCube(5).Volume(); got != 1 {
+		t.Fatalf("unit cube volume = %v", got)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{1, 1}, Point{3, 3})
+	inter, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	if inter.Lo[0] != 1 || inter.Hi[0] != 2 || inter.Volume() != 1 {
+		t.Fatalf("bad intersection %v", inter)
+	}
+	c := NewRect(Point{5, 5}, Point{6, 6})
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint rects reported overlapping")
+	}
+	// Touching edges share no volume (half-open).
+	d := NewRect(Point{2, 0}, Point{3, 2})
+	if a.Overlaps(d) {
+		t.Fatal("edge-touching rects reported overlapping")
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := NewRect(Point{0, 0}, Point{4, 4})
+	inner := NewRect(Point{1, 1}, Point{2, 2})
+	if !outer.ContainsRect(inner) {
+		t.Fatal("containment missed")
+	}
+	if inner.ContainsRect(outer) {
+		t.Fatal("reverse containment claimed")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Fatal("self containment missed")
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{2, 2})
+	q := NewRect(Point{1, 0}, Point{3, 2})
+	if got := r.OverlapFraction(q); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	far := NewRect(Point{10, 10}, Point{11, 11})
+	if got := r.OverlapFraction(far); got != 0 {
+		t.Fatalf("disjoint fraction = %v", got)
+	}
+}
+
+func TestNewRectPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dimension mismatch did not panic")
+			}
+		}()
+		NewRect(Point{0}, Point{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("inverted interval did not panic")
+			}
+		}()
+		NewRect(Point{2, 0}, Point{1, 1})
+	}()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1, 1})
+	c := r.Clone()
+	c.Lo[0] = 0.5
+	if r.Lo[0] != 0 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestFullBisectTilesParent(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4} {
+		s := FullBisect{Dim: d}
+		r := UnitCube(d)
+		kids := s.Split(r, 0)
+		if len(kids) != s.Fanout() || s.Fanout() != 1<<d {
+			t.Fatalf("d=%d: %d children, fanout %d", d, len(kids), s.Fanout())
+		}
+		checkTiling(t, r, kids)
+	}
+}
+
+func TestRoundRobinBisect(t *testing.T) {
+	s := RoundRobinBisect{Dim: 4, PerStep: 2}
+	if s.Fanout() != 4 {
+		t.Fatalf("fanout = %d, want 4", s.Fanout())
+	}
+	r := UnitCube(4)
+	kids := s.Split(r, 0)
+	checkTiling(t, r, kids)
+	// Depth 0 bisects axes 0,1 — axes 2,3 untouched.
+	for _, k := range kids {
+		if k.Side(2) != 1 || k.Side(3) != 1 {
+			t.Fatalf("depth 0 split touched axes 2/3: %v", k)
+		}
+	}
+	// Depth 1 bisects axes 2,3.
+	kids1 := s.Split(r, 1)
+	for _, k := range kids1 {
+		if k.Side(0) != 1 || k.Side(1) != 1 {
+			t.Fatalf("depth 1 split touched axes 0/1: %v", k)
+		}
+	}
+}
+
+func TestRoundRobinRotationCoversAllAxes(t *testing.T) {
+	s := RoundRobinBisect{Dim: 4, PerStep: 1}
+	seen := map[int]bool{}
+	r := UnitCube(4)
+	for depth := 0; depth < 4; depth++ {
+		kids := s.Split(r, depth)
+		for axis := 0; axis < 4; axis++ {
+			if kids[0].Side(axis) == 0.5 {
+				seen[axis] = true
+			}
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("rotation covered %d/4 axes", len(seen))
+	}
+}
+
+func TestGridSplit(t *testing.T) {
+	s := GridSplit{Dim: 2, K: 8}
+	if s.Fanout() != 64 {
+		t.Fatalf("fanout = %d, want 64", s.Fanout())
+	}
+	r := UnitCube(2)
+	kids := s.Split(r, 0)
+	if len(kids) != 64 {
+		t.Fatalf("%d children", len(kids))
+	}
+	checkTiling(t, r, kids)
+}
+
+// checkTiling verifies the children partition the parent: volumes sum and
+// every sampled point lies in exactly one child.
+func checkTiling(t *testing.T, parent Rect, kids []Rect) {
+	t.Helper()
+	vol := 0.0
+	for _, k := range kids {
+		vol += k.Volume()
+		if !parent.ContainsRect(k) {
+			t.Fatalf("child %v escapes parent %v", k, parent)
+		}
+	}
+	if math.Abs(vol-parent.Volume()) > 1e-9 {
+		t.Fatalf("children volume %v != parent %v", vol, parent.Volume())
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		p := make(Point, parent.Dims())
+		for i := range p {
+			p[i] = parent.Lo[i] + rng.Float64()*(parent.Hi[i]-parent.Lo[i])
+		}
+		owners := 0
+		for _, k := range kids {
+			if k.Contains(p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %v owned by %d children", p, owners)
+		}
+	}
+}
+
+func TestSplitTilingProperty(t *testing.T) {
+	// Property: for random sub-rectangles and any splitter, children tile.
+	f := func(seed uint64, dimSel, splitSel uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		d := 1 + int(dimSel%4)
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for i := 0; i < d; i++ {
+			a, b := rng.Float64()*10-5, rng.Float64()*10-5
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b+0.001
+		}
+		r := NewRect(lo, hi)
+		var s Splitter
+		switch splitSel % 3 {
+		case 0:
+			s = FullBisect{Dim: d}
+		case 1:
+			s = RoundRobinBisect{Dim: d, PerStep: 1 + int(seed%uint64(d))}
+		default:
+			s = GridSplit{Dim: d, K: 2 + int(seed%3)}
+		}
+		kids := s.Split(r, int(seed%5))
+		vol := 0.0
+		for _, k := range kids {
+			vol += k.Volume()
+		}
+		return len(kids) == s.Fanout() && math.Abs(vol-r.Volume()) < 1e-6*(1+r.Volume())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitChildrenCoverBoundaryExactly(t *testing.T) {
+	// The last slab along each axis must end exactly at the parent's Hi,
+	// regardless of float round-off.
+	r := NewRect(Point{0.1}, Point{0.7})
+	kids := GridSplit{Dim: 1, K: 7}.Split(r, 0)
+	if got := kids[len(kids)-1].Hi[0]; got != 0.7 {
+		t.Fatalf("last child Hi = %v, want exactly 0.7", got)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := NewRect(Point{0, 2}, Point{4, 6})
+	c := r.Center()
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("center = %v", c)
+	}
+}

@@ -1,0 +1,153 @@
+// Package geom provides the d-dimensional geometry used by spatial
+// decompositions: points, axis-aligned rectangles, and the node-splitting
+// strategies that determine a decomposition tree's fanout.
+package geom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is a location in d-dimensional space.
+type Point []float64
+
+// Rect is a d-dimensional axis-aligned rectangle, closed at Lo and open at
+// Hi along every axis ([lo, hi)), so the children of a split tile their
+// parent exactly with no double counting on shared faces.
+type Rect struct {
+	Lo Point
+	Hi Point
+}
+
+// NewRect returns the rectangle spanning [lo[i], hi[i]) on each axis. It
+// panics if the slices disagree in length or any interval is inverted.
+func NewRect(lo, hi Point) Rect {
+	if len(lo) != len(hi) {
+		panic("geom: NewRect dimension mismatch")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("geom: NewRect inverted interval on axis %d: [%v, %v)", i, lo[i], hi[i]))
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// UnitCube returns [0,1)^d.
+func UnitCube(d int) Rect {
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Dims returns the dimensionality of the rectangle.
+func (r Rect) Dims() int { return len(r.Lo) }
+
+// Contains reports whether p lies inside r ([lo, hi) per axis).
+func (r Rect) Contains(p Point) bool {
+	if len(p) != len(r.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] >= r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the product of side lengths.
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Side returns the length of axis i.
+func (r Rect) Side(i int) float64 { return r.Hi[i] - r.Lo[i] }
+
+// Intersect returns the overlap of r and o and whether it is non-empty.
+func (r Rect) Intersect(o Rect) (Rect, bool) {
+	if r.Dims() != o.Dims() {
+		return Rect{}, false
+	}
+	lo := make(Point, r.Dims())
+	hi := make(Point, r.Dims())
+	for i := range lo {
+		lo[i] = max(r.Lo[i], o.Lo[i])
+		hi[i] = min(r.Hi[i], o.Hi[i])
+		if lo[i] >= hi[i] {
+			return Rect{}, false
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}, true
+}
+
+// Overlaps reports whether r and o share positive volume.
+func (r Rect) Overlaps(o Rect) bool {
+	_, ok := r.Intersect(o)
+	return ok
+}
+
+// ContainsRect reports whether o lies entirely within r.
+func (r Rect) ContainsRect(o Rect) bool {
+	if r.Dims() != o.Dims() {
+		return false
+	}
+	for i := range r.Lo {
+		if o.Lo[i] < r.Lo[i] || o.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapFraction returns |r ∩ o| / |r|, the fraction of r's volume covered
+// by o. A zero-volume r yields 0. This is the uniformity weight used when a
+// leaf partially intersects a query (Section 2.2 of the paper).
+func (r Rect) OverlapFraction(o Rect) float64 {
+	inter, ok := r.Intersect(o)
+	if !ok {
+		return 0
+	}
+	vol := r.Volume()
+	if vol == 0 {
+		return 0
+	}
+	return inter.Volume() / vol
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	c := make(Point, r.Dims())
+	for i := range c {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Hi))
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// String renders the rectangle as [lo,hi)×[lo,hi)×…
+func (r Rect) String() string {
+	var b strings.Builder
+	for i := range r.Lo {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%.4g,%.4g)", r.Lo[i], r.Hi[i])
+	}
+	return b.String()
+}

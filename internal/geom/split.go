@@ -1,0 +1,140 @@
+package geom
+
+import "fmt"
+
+// Splitter turns a rectangle into the child rectangles of a decomposition
+// tree node. Fanout must be constant over the tree for PrivTree's δ = λ·ln β
+// parameterization to apply, so implementations report it up front.
+//
+// depth is the node's depth (root = 0); splitters that rotate through axes
+// (round-robin) use it to decide which axes to bisect.
+type Splitter interface {
+	// Fanout returns β, the number of children produced by every split.
+	Fanout() int
+	// Split returns the child rectangles of r at the given depth. The
+	// children must tile r exactly.
+	Split(r Rect, depth int) []Rect
+}
+
+// FullBisect bisects every axis at once, producing 2^d children — the
+// classical quadtree (d=2, β=4) and its 4-D analogue (β=16) used as
+// PrivTree's default in the paper.
+type FullBisect struct {
+	Dim int
+}
+
+// Fanout returns 2^d.
+func (s FullBisect) Fanout() int { return 1 << s.Dim }
+
+// Split implements Splitter.
+func (s FullBisect) Split(r Rect, depth int) []Rect {
+	if r.Dims() != s.Dim {
+		panic(fmt.Sprintf("geom: FullBisect dim %d applied to rect of dim %d", s.Dim, r.Dims()))
+	}
+	return bisectAxes(r, allAxes(s.Dim))
+}
+
+// RoundRobinBisect bisects k of the d axes per split, rotating which axes
+// are bisected as depth grows, producing 2^k children. This realizes the
+// β = 2^(d/2) and β = 2^(d/4) configurations of the paper's Figure 8
+// ("PrivTree would split the dimensions of each node in a round robin
+// fashion, with i dimensions being bisected each time").
+type RoundRobinBisect struct {
+	Dim     int // dimensionality d
+	PerStep int // number of axes bisected per split (k)
+}
+
+// Fanout returns 2^k.
+func (s RoundRobinBisect) Fanout() int { return 1 << s.PerStep }
+
+// Split implements Splitter.
+func (s RoundRobinBisect) Split(r Rect, depth int) []Rect {
+	if r.Dims() != s.Dim {
+		panic(fmt.Sprintf("geom: RoundRobinBisect dim %d applied to rect of dim %d", s.Dim, r.Dims()))
+	}
+	if s.PerStep <= 0 || s.PerStep > s.Dim {
+		panic("geom: RoundRobinBisect PerStep must be in [1, Dim]")
+	}
+	axes := make([]int, s.PerStep)
+	start := (depth * s.PerStep) % s.Dim
+	for i := range axes {
+		axes[i] = (start + i) % s.Dim
+	}
+	return bisectAxes(r, axes)
+}
+
+// GridSplit splits every axis into k equal parts at once, producing k^d
+// children. Hierarchy (Qardaji et al.) uses k=8 on 2-D data for β=64.
+type GridSplit struct {
+	Dim int
+	K   int
+}
+
+// Fanout returns k^d.
+func (s GridSplit) Fanout() int {
+	f := 1
+	for i := 0; i < s.Dim; i++ {
+		f *= s.K
+	}
+	return f
+}
+
+// Split implements Splitter.
+func (s GridSplit) Split(r Rect, depth int) []Rect {
+	if r.Dims() != s.Dim {
+		panic(fmt.Sprintf("geom: GridSplit dim %d applied to rect of dim %d", s.Dim, r.Dims()))
+	}
+	if s.K < 2 {
+		panic("geom: GridSplit K must be >= 2")
+	}
+	cells := []Rect{r.Clone()}
+	for axis := 0; axis < s.Dim; axis++ {
+		next := make([]Rect, 0, len(cells)*s.K)
+		for _, c := range cells {
+			next = append(next, splitAxisK(c, axis, s.K)...)
+		}
+		cells = next
+	}
+	return cells
+}
+
+func allAxes(d int) []int {
+	axes := make([]int, d)
+	for i := range axes {
+		axes[i] = i
+	}
+	return axes
+}
+
+// bisectAxes halves r along each of the listed axes, producing 2^len(axes)
+// children that tile r.
+func bisectAxes(r Rect, axes []int) []Rect {
+	out := []Rect{r.Clone()}
+	for _, axis := range axes {
+		next := make([]Rect, 0, len(out)*2)
+		for _, c := range out {
+			next = append(next, splitAxisK(c, axis, 2)...)
+		}
+		out = next
+	}
+	return out
+}
+
+// splitAxisK cuts r into k equal slabs along axis. The last slab's upper
+// bound is set to r.Hi[axis] exactly so float round-off never leaves a gap.
+func splitAxisK(r Rect, axis, k int) []Rect {
+	out := make([]Rect, 0, k)
+	lo, hi := r.Lo[axis], r.Hi[axis]
+	step := (hi - lo) / float64(k)
+	for i := 0; i < k; i++ {
+		c := r.Clone()
+		c.Lo[axis] = lo + float64(i)*step
+		if i == k-1 {
+			c.Hi[axis] = hi
+		} else {
+			c.Hi[axis] = lo + float64(i+1)*step
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+// Package hybrid implements the first extension of Section 3.5: PrivTree
+// over mixed numeric/categorical domains. Numeric attributes split by
+// binary bisection; categorical attributes split along a user-supplied
+// taxonomy (e.g. city → state → country). A node splits ONE attribute per
+// level, rotating round-robin, so the fanout is bounded and the
+// δ = λ·ln β parameterization applies with β equal to the largest
+// per-attribute branching factor (a conservative choice: a smaller actual
+// fanout only shrinks the true privacy cost).
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/core"
+	"privtree/internal/dp"
+)
+
+// Attribute describes one column of a hybrid record.
+type Attribute interface {
+	// Name labels the attribute in released output.
+	Name() string
+	// Branching returns the maximum number of children a split of this
+	// attribute can produce (2 for numeric bisection, the taxonomy's max
+	// fanout for categorical).
+	Branching() int
+}
+
+// Numeric is a real-valued attribute over [Lo, Hi).
+type Numeric struct {
+	Label  string
+	Lo, Hi float64
+}
+
+// Name implements Attribute.
+func (n Numeric) Name() string { return n.Label }
+
+// Branching implements Attribute: numeric attributes bisect.
+func (n Numeric) Branching() int { return 2 }
+
+// Taxonomy is a categorical attribute's hierarchy. Leaves are category
+// values; internal nodes are coarser groupings. Children of the root
+// partition all values.
+type Taxonomy struct {
+	Label    string
+	Root     *TaxNode
+	maxFan   int
+	leafHome map[string]*TaxNode
+}
+
+// TaxNode is one taxonomy node: a named grouping with either children
+// (internal) or none (a concrete category value).
+type TaxNode struct {
+	Value    string
+	Children []*TaxNode
+}
+
+// NewTaxonomy validates and indexes a taxonomy: every leaf value must be
+// unique.
+func NewTaxonomy(label string, root *TaxNode) (*Taxonomy, error) {
+	t := &Taxonomy{Label: label, Root: root, leafHome: map[string]*TaxNode{}}
+	var walk func(n *TaxNode) error
+	walk = func(n *TaxNode) error {
+		if len(n.Children) == 0 {
+			if _, dup := t.leafHome[n.Value]; dup {
+				return fmt.Errorf("hybrid: duplicate category value %q", n.Value)
+			}
+			t.leafHome[n.Value] = n
+			return nil
+		}
+		if len(n.Children) > t.maxFan {
+			t.maxFan = len(n.Children)
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	if t.maxFan < 2 {
+		return nil, fmt.Errorf("hybrid: taxonomy %q has no splits", label)
+	}
+	return t, nil
+}
+
+// Name implements Attribute.
+func (t *Taxonomy) Name() string { return t.Label }
+
+// Branching implements Attribute.
+func (t *Taxonomy) Branching() int { return t.maxFan }
+
+// covers reports whether group is value itself or an ancestor grouping of
+// it.
+func (t *Taxonomy) covers(group *TaxNode, value string) bool {
+	if len(group.Children) == 0 {
+		return group.Value == value
+	}
+	for _, c := range group.Children {
+		if t.covers(c, value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Record is one tuple of a hybrid dataset: Nums[i] aligns with the i-th
+// Numeric attribute, Cats[j] with the j-th Taxonomy attribute, in schema
+// order.
+type Record struct {
+	Nums []float64
+	Cats []string
+}
+
+// Schema is an ordered attribute list.
+type Schema struct {
+	Numeric     []Numeric
+	Categorical []*Taxonomy
+}
+
+// Validate checks a record against the schema.
+func (s Schema) Validate(r Record) error {
+	if len(r.Nums) != len(s.Numeric) || len(r.Cats) != len(s.Categorical) {
+		return fmt.Errorf("hybrid: record arity mismatch")
+	}
+	for i, a := range s.Numeric {
+		if r.Nums[i] < a.Lo || r.Nums[i] >= a.Hi {
+			return fmt.Errorf("hybrid: %s value %v outside [%v, %v)", a.Label, r.Nums[i], a.Lo, a.Hi)
+		}
+	}
+	for j, tax := range s.Categorical {
+		if _, ok := tax.leafHome[r.Cats[j]]; !ok {
+			return fmt.Errorf("hybrid: unknown %s category %q", tax.Label, r.Cats[j])
+		}
+	}
+	return nil
+}
+
+// attrCount returns the total number of attributes.
+func (s Schema) attrCount() int { return len(s.Numeric) + len(s.Categorical) }
+
+// maxBranching returns β for the PrivTree parameterization: the largest
+// branching any single split can produce.
+func (s Schema) maxBranching() int {
+	beta := 2
+	for _, t := range s.Categorical {
+		if t.maxFan > beta {
+			beta = t.maxFan
+		}
+	}
+	return beta
+}
+
+// cell is one sub-domain: an interval per numeric attribute and a taxonomy
+// node per categorical attribute.
+type cell struct {
+	lo, hi []float64
+	groups []*TaxNode
+}
+
+func (s Schema) rootCell() cell {
+	c := cell{
+		lo:     make([]float64, len(s.Numeric)),
+		hi:     make([]float64, len(s.Numeric)),
+		groups: make([]*TaxNode, len(s.Categorical)),
+	}
+	for i, a := range s.Numeric {
+		c.lo[i], c.hi[i] = a.Lo, a.Hi
+	}
+	for j, t := range s.Categorical {
+		c.groups[j] = t.Root
+	}
+	return c
+}
+
+func (c cell) clone() cell {
+	out := cell{
+		lo:     append([]float64(nil), c.lo...),
+		hi:     append([]float64(nil), c.hi...),
+		groups: append([]*TaxNode(nil), c.groups...),
+	}
+	return out
+}
+
+// contains reports whether the record falls inside the cell.
+func (s Schema) contains(c cell, r Record) bool {
+	for i := range s.Numeric {
+		if r.Nums[i] < c.lo[i] || r.Nums[i] >= c.hi[i] {
+			return false
+		}
+	}
+	for j, t := range s.Categorical {
+		if !t.covers(c.groups[j], r.Cats[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitCell splits the cell along attribute index attr (numeric attributes
+// first, then categorical, in schema order). A categorical attribute whose
+// current group is already a leaf value cannot split; splitCell then
+// returns nil and the caller rotates to the next attribute.
+func (s Schema) splitCell(c cell, attr int) []cell {
+	if attr < len(s.Numeric) {
+		mid := (c.lo[attr] + c.hi[attr]) / 2
+		if mid <= c.lo[attr] || mid >= c.hi[attr] {
+			return nil // float-precision floor
+		}
+		left, right := c.clone(), c.clone()
+		left.hi[attr] = mid
+		right.lo[attr] = mid
+		return []cell{left, right}
+	}
+	j := attr - len(s.Numeric)
+	group := c.groups[j]
+	if len(group.Children) == 0 {
+		return nil
+	}
+	out := make([]cell, 0, len(group.Children))
+	for _, child := range group.Children {
+		cc := c.clone()
+		cc.groups[j] = child
+		out = append(out, cc)
+	}
+	return out
+}
+
+// Node is one released node of a hybrid decomposition.
+type Node struct {
+	// NumericRanges holds [lo, hi) per numeric attribute.
+	NumericRanges [][2]float64
+	// Categories holds the taxonomy group label per categorical attribute.
+	Categories []string
+	Depth      int
+	Count      float64 // noisy count (leaves carry noise; internal = sums)
+	Children   []*Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is the released hybrid decomposition.
+type Tree struct {
+	Schema Schema
+	Root   *Node
+}
+
+// Build runs PrivTree over the hybrid domain under total budget eps (ε/2
+// structure + ε/2 leaf counts, as in the spatial pipeline). Attributes
+// split round-robin by depth; attributes that can no longer split (leaf
+// categories, exhausted float precision) are skipped in rotation, and a
+// node with no splittable attribute becomes a leaf regardless of its
+// count.
+func Build(schema Schema, records []Record, eps float64, rng *rand.Rand) (*Tree, error) {
+	for i, r := range records {
+		if err := schema.Validate(r); err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	if schema.attrCount() == 0 {
+		return nil, fmt.Errorf("hybrid: empty schema")
+	}
+	beta := schema.maxBranching()
+	params := core.Params{Epsilon: eps / 2, Fanout: beta}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	dec := core.NewDecider(params, rng)
+	mech := dp.LaplaceMechanism{Epsilon: eps / 2, Sensitivity: 1}
+
+	var grow func(c cell, recs []Record, depth int) *Node
+	grow = func(c cell, recs []Record, depth int) *Node {
+		node := &Node{Depth: depth, Count: math.NaN()}
+		node.NumericRanges = make([][2]float64, len(schema.Numeric))
+		for i := range schema.Numeric {
+			node.NumericRanges[i] = [2]float64{c.lo[i], c.hi[i]}
+		}
+		node.Categories = make([]string, len(schema.Categorical))
+		for j := range schema.Categorical {
+			node.Categories[j] = c.groups[j].Value
+		}
+
+		if dec.ShouldSplit(float64(len(recs)), depth) {
+			// Rotate through attributes starting at depth mod #attrs and
+			// take the first that can still split.
+			total := schema.attrCount()
+			for off := 0; off < total; off++ {
+				attr := (depth + off) % total
+				kids := schema.splitCell(c, attr)
+				if kids == nil {
+					continue
+				}
+				node.Children = make([]*Node, len(kids))
+				buckets := make([][]Record, len(kids))
+				for _, r := range recs {
+					for ki, kc := range kids {
+						if schema.contains(kc, r) {
+							buckets[ki] = append(buckets[ki], r)
+							break
+						}
+					}
+				}
+				for ki, kc := range kids {
+					node.Children[ki] = grow(kc, buckets[ki], depth+1)
+				}
+				break
+			}
+		}
+		if node.IsLeaf() {
+			node.Count = mech.Release(rng, float64(len(recs)))
+		}
+		return node
+	}
+	root := grow(schema.rootCell(), records, 0)
+	sumCounts(root)
+	return &Tree{Schema: schema, Root: root}, nil
+}
+
+func sumCounts(n *Node) float64 {
+	if n.IsLeaf() {
+		return n.Count
+	}
+	total := 0.0
+	for _, c := range n.Children {
+		total += sumCounts(c)
+	}
+	n.Count = total
+	return total
+}
+
+// Query describes a hybrid count query: an interval per numeric attribute
+// (nil entry = unconstrained) and a set of acceptable category values per
+// categorical attribute (nil = unconstrained).
+type Query struct {
+	NumRanges []*[2]float64
+	CatValues []map[string]bool
+}
+
+// Count estimates the number of records matching q, with the uniformity
+// assumption on partially covered leaves (numeric attributes contribute
+// covered fraction; a categorical leaf group partially covered by the
+// value set contributes the fraction of its leaf values included).
+func (t *Tree) Count(q Query) float64 {
+	var visit func(n *Node) float64
+	visit = func(n *Node) float64 {
+		frac := t.coverage(n, q)
+		if frac == 0 {
+			return 0
+		}
+		if frac == 1 || n.IsLeaf() {
+			return n.Count * frac
+		}
+		total := 0.0
+		for _, c := range n.Children {
+			total += visit(c)
+		}
+		return total
+	}
+	return visit(t.Root)
+}
+
+// coverage returns the fraction of the node's domain volume that q covers
+// (1 = fully contained, 0 = disjoint), treating attributes independently.
+func (t *Tree) coverage(n *Node, q Query) float64 {
+	frac := 1.0
+	for i, r := range n.NumericRanges {
+		if i < len(q.NumRanges) && q.NumRanges[i] != nil {
+			qr := q.NumRanges[i]
+			lo := math.Max(r[0], qr[0])
+			hi := math.Min(r[1], qr[1])
+			if hi <= lo {
+				return 0
+			}
+			frac *= (hi - lo) / (r[1] - r[0])
+		}
+	}
+	for j, tax := range t.Schema.Categorical {
+		if j < len(q.CatValues) && q.CatValues[j] != nil {
+			group := findGroup(tax.Root, n.Categories[j])
+			if group == nil {
+				return 0
+			}
+			leaves := leafValues(group)
+			hit := 0
+			for _, v := range leaves {
+				if q.CatValues[j][v] {
+					hit++
+				}
+			}
+			if hit == 0 {
+				return 0
+			}
+			frac *= float64(hit) / float64(len(leaves))
+		}
+	}
+	return frac
+}
+
+func findGroup(n *TaxNode, value string) *TaxNode {
+	if n.Value == value {
+		return n
+	}
+	for _, c := range n.Children {
+		if g := findGroup(c, value); g != nil {
+			return g
+		}
+	}
+	return nil
+}
+
+func leafValues(n *TaxNode) []string {
+	if len(n.Children) == 0 {
+		return []string{n.Value}
+	}
+	var out []string
+	for _, c := range n.Children {
+		out = append(out, leafValues(c)...)
+	}
+	return out
+}

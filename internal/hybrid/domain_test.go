@@ -1,0 +1,266 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dp"
+)
+
+// testSchema: one numeric attribute (age ∈ [0, 100)) and one categorical
+// attribute (region taxonomy: world → {north {a,b}, south {c,d,e}}).
+func testSchema(t *testing.T) Schema {
+	t.Helper()
+	tax, err := NewTaxonomy("region", &TaxNode{
+		Value: "world",
+		Children: []*TaxNode{
+			{Value: "north", Children: []*TaxNode{{Value: "a"}, {Value: "b"}}},
+			{Value: "south", Children: []*TaxNode{{Value: "c"}, {Value: "d"}, {Value: "e"}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Schema{
+		Numeric:     []Numeric{{Label: "age", Lo: 0, Hi: 100}},
+		Categorical: []*Taxonomy{tax},
+	}
+}
+
+func makeRecords(n int) []Record {
+	out := make([]Record, n)
+	regions := []string{"a", "a", "a", "b", "c"} // region a dominates
+	for i := range out {
+		age := float64((i*7)%40) + 20 // ages 20..59
+		out[i] = Record{Nums: []float64{age}, Cats: []string{regions[i%len(regions)]}}
+	}
+	return out
+}
+
+func TestTaxonomyValidation(t *testing.T) {
+	if _, err := NewTaxonomy("x", &TaxNode{Value: "root", Children: []*TaxNode{
+		{Value: "dup"}, {Value: "dup"},
+	}}); err == nil {
+		t.Fatal("duplicate leaf values accepted")
+	}
+	if _, err := NewTaxonomy("x", &TaxNode{Value: "only"}); err == nil {
+		t.Fatal("split-free taxonomy accepted")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := testSchema(t)
+	good := Record{Nums: []float64{50}, Cats: []string{"a"}}
+	if err := s.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{Nums: []float64{150}, Cats: []string{"a"}}, // out of range
+		{Nums: []float64{50}, Cats: []string{"z"}},  // unknown category
+		{Nums: []float64{50}, Cats: []string{}},     // arity
+		{Nums: []float64{}, Cats: []string{"a"}},    // arity
+		{Nums: []float64{-1}, Cats: []string{"a"}},  // below lo
+	}
+	for i, r := range bad {
+		if err := s.Validate(r); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestSchemaMaxBranching(t *testing.T) {
+	s := testSchema(t)
+	// south has 3 children > numeric's 2.
+	if got := s.maxBranching(); got != 3 {
+		t.Fatalf("β = %d, want 3", got)
+	}
+}
+
+func TestSplitCellNumeric(t *testing.T) {
+	s := testSchema(t)
+	kids := s.splitCell(s.rootCell(), 0)
+	if len(kids) != 2 {
+		t.Fatalf("numeric split produced %d cells", len(kids))
+	}
+	if kids[0].hi[0] != 50 || kids[1].lo[0] != 50 {
+		t.Fatalf("bisection not at midpoint: %v / %v", kids[0].hi[0], kids[1].lo[0])
+	}
+}
+
+func TestSplitCellCategorical(t *testing.T) {
+	s := testSchema(t)
+	kids := s.splitCell(s.rootCell(), 1)
+	if len(kids) != 2 {
+		t.Fatalf("taxonomy root split produced %d cells", len(kids))
+	}
+	// Splitting north yields its two leaves; splitting a leaf yields nil.
+	north := kids[0]
+	grand := s.splitCell(north, 1)
+	if len(grand) != 2 {
+		t.Fatalf("north split produced %d", len(grand))
+	}
+	if s.splitCell(grand[0], 1) != nil {
+		t.Fatal("leaf category split should be nil")
+	}
+}
+
+func TestBuildProducesTree(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(50000)
+	tree, err := Build(s, recs, 1.0, dp.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.IsLeaf() {
+		t.Fatal("root did not split on 50k records")
+	}
+	if math.Abs(tree.Root.Count-50000) > 2000 {
+		t.Fatalf("root count %v far from 50000", tree.Root.Count)
+	}
+}
+
+func TestBuildRejectsBadRecords(t *testing.T) {
+	s := testSchema(t)
+	if _, err := Build(s, []Record{{Nums: []float64{500}, Cats: []string{"a"}}}, 1, dp.NewRand(2)); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if _, err := Build(Schema{}, nil, 1, dp.NewRand(3)); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}
+
+func TestCountCategoricalQuery(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(50000)
+	tree, err := Build(s, recs, 2.0, dp.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: region "a" holds 3/5 of the records.
+	q := Query{
+		NumRanges: []*[2]float64{nil},
+		CatValues: []map[string]bool{{"a": true}},
+	}
+	got := tree.Count(q)
+	want := 30000.0
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("category count %v far from %v", got, want)
+	}
+}
+
+func TestCountNumericRangeQuery(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(50000)
+	tree, err := Build(s, recs, 2.0, dp.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ages are uniform over {20..59}; [20,40) holds half.
+	q := Query{
+		NumRanges: []*[2]float64{{20, 40}},
+		CatValues: []map[string]bool{nil},
+	}
+	got := tree.Count(q)
+	want := 25000.0
+	if math.Abs(got-want)/want > 0.2 {
+		t.Fatalf("range count %v far from %v", got, want)
+	}
+}
+
+func TestCountCombinedQuery(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(50000)
+	tree, err := Build(s, recs, 2.0, dp.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region c (1/5 of records) AND age [20,40) (half): expect ~5000.
+	q := Query{
+		NumRanges: []*[2]float64{{20, 40}},
+		CatValues: []map[string]bool{{"c": true}},
+	}
+	got := tree.Count(q)
+	want := 5000.0
+	if math.Abs(got-want)/want > 0.35 {
+		t.Fatalf("combined count %v far from %v", got, want)
+	}
+}
+
+func TestCountUnconstrainedIsTotal(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(20000)
+	tree, err := Build(s, recs, 1.0, dp.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{NumRanges: []*[2]float64{nil}, CatValues: []map[string]bool{nil}}
+	if got := tree.Count(q); math.Abs(got-tree.Root.Count) > 1e-6 {
+		t.Fatalf("unconstrained query %v != root %v", got, tree.Root.Count)
+	}
+}
+
+func TestLeafCountsSumToInternal(t *testing.T) {
+	s := testSchema(t)
+	recs := makeRecords(20000)
+	tree, err := Build(s, recs, 1.0, dp.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if n.IsLeaf() {
+			return n.Count
+		}
+		sum := 0.0
+		for _, c := range n.Children {
+			sum += walk(c)
+		}
+		if math.Abs(sum-n.Count) > 1e-6 {
+			t.Fatalf("internal count %v != children sum %v", n.Count, sum)
+		}
+		return sum
+	}
+	walk(tree.Root)
+}
+
+func TestPureNumericSchemaWorks(t *testing.T) {
+	s := Schema{Numeric: []Numeric{{Label: "x", Lo: 0, Hi: 1}, {Label: "y", Lo: 0, Hi: 1}}}
+	recs := make([]Record, 10000)
+	for i := range recs {
+		recs[i] = Record{Nums: []float64{float64(i%100) / 100, float64(i%97) / 97}}
+	}
+	tree, err := Build(s, recs, 1.0, dp.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{NumRanges: []*[2]float64{{0, 0.5}, nil}}
+	got := tree.Count(q)
+	if math.Abs(got-5000)/5000 > 0.2 {
+		t.Fatalf("half-space count %v", got)
+	}
+}
+
+func TestPureCategoricalSchemaWorks(t *testing.T) {
+	tax, err := NewTaxonomy("color", &TaxNode{Value: "all", Children: []*TaxNode{
+		{Value: "warm", Children: []*TaxNode{{Value: "red"}, {Value: "orange"}}},
+		{Value: "cool", Children: []*TaxNode{{Value: "blue"}, {Value: "green"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Schema{Categorical: []*Taxonomy{tax}}
+	recs := make([]Record, 8000)
+	colors := []string{"red", "red", "blue", "green"}
+	for i := range recs {
+		recs[i] = Record{Cats: []string{colors[i%4]}}
+	}
+	tree, err := Build(s, recs, 1.0, dp.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{CatValues: []map[string]bool{{"red": true}}}
+	got := tree.Count(q)
+	if math.Abs(got-4000)/4000 > 0.2 {
+		t.Fatalf("red count %v, want ≈4000", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package markov implements the paper's Section 4: the PrivTree extension
+// that builds differentially private prediction suffix trees (PSTs) on
+// sequence data. The split decision uses the monotone score of Equation
+// (13), c(v) = ‖hist(v)‖₁ − max_x hist(v)[x], whose sensitivity under one
+// sequence insertion is l⊤ (Theorem 4.1); histograms are released in a
+// post-processing step (Theorem 4.2) with the β-proportional budget split
+// of Section 4.2.
+package markov
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"privtree/internal/core"
+	"privtree/internal/dp"
+	"privtree/internal/pst"
+	"privtree/internal/sequence"
+)
+
+// Config parameterizes the private PST build.
+type Config struct {
+	// Epsilon is the TOTAL privacy budget; it is split as ε/β for tree
+	// construction and ε·(β−1)/β for histogram release, the paper's
+	// recommendation (the score sums β−1 histogram counts, so it is about
+	// β−1 times more noise-resilient than a single count).
+	Epsilon float64
+	// LTop is l⊤, the bound on sequence length (counting & but not $).
+	// Sequences longer than l⊤ must have been truncated beforehand (use
+	// sequence.Dataset.Truncate); Build rejects datasets violating the
+	// bound, since the privacy guarantee would silently be void.
+	LTop int
+	// Theta is the split threshold; the paper uses 0.
+	Theta float64
+	// MaxDepth guards recursion (a PST cannot usefully be deeper than
+	// l⊤ anyway); 0 means l⊤+1.
+	MaxDepth int
+}
+
+// Model is a released private PST: the tree structure plus noisy
+// prediction histograms. It embeds pst.Tree, so frequency estimation and
+// synthetic generation come from the exact-model code paths operating on
+// the noisy histograms.
+type Model struct {
+	pst.Tree
+	// TreeEpsilon and HistEpsilon record the realized budget split.
+	TreeEpsilon float64
+	HistEpsilon float64
+}
+
+// Score is Equation (13): histogram magnitude minus its largest count. It
+// is monotone (Lemma 4.1) and small when the histogram is small (C2) or
+// dominated by one symbol, i.e. low entropy (C3).
+func Score(hist []float64) float64 {
+	sum, maxC := 0.0, 0.0
+	for _, c := range hist {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return sum - maxC
+}
+
+// Build constructs the private PST. The procedure is Algorithm 2 with the
+// three changes of Section 4.2: the tree is a PST of fanout β=|I|+1, the
+// score is Equation (13), and the released structure carries noisy
+// histograms produced by the post-processing step.
+func Build(data *sequence.Dataset, cfg Config, rng *rand.Rand) (*Model, error) {
+	if cfg.LTop < 1 {
+		return nil, fmt.Errorf("markov: LTop must be >= 1, got %d", cfg.LTop)
+	}
+	for i, s := range data.Seqs {
+		if s.EffectiveLen() > cfg.LTop {
+			return nil, fmt.Errorf("markov: sequence %d has effective length %d > LTop %d; truncate first", i, s.EffectiveLen(), cfg.LTop)
+		}
+	}
+	beta := data.Alphabet.Size + 1
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = cfg.LTop + 1
+	}
+	budget := dp.NewBudget(cfg.Epsilon)
+	epsTree := cfg.Epsilon / float64(beta)
+	epsHist := cfg.Epsilon - epsTree
+	budget.MustSpend(epsTree)
+	budget.MustSpend(epsHist)
+
+	// Tree construction: Theorem 4.1's noise scale comes out of the core
+	// parameterization with Sensitivity = l⊤.
+	params := core.Params{
+		Epsilon:     epsTree,
+		Fanout:      beta,
+		Theta:       cfg.Theta,
+		Sensitivity: float64(cfg.LTop),
+		MaxDepth:    cfg.MaxDepth,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	dec := core.NewDecider(params, rng)
+
+	builder := pst.NewBuilder(data)
+	root := builder.NewRoot()
+	var grow func(n *pst.Node)
+	grow = func(n *pst.Node) {
+		// C1: a $-anchored context cannot be extended; this depends only
+		// on dom(v), so applying it costs no privacy.
+		if n.Ctx.Anchored {
+			return
+		}
+		if !dec.ShouldSplit(Score(n.Hist), n.Depth) {
+			return
+		}
+		builder.Expand(n)
+		for _, c := range n.Children {
+			grow(c)
+		}
+	}
+	grow(root)
+
+	// Post-processing (Theorem 4.2): perturb each leaf histogram with
+	// Laplace scale l⊤/ε_hist, rebuild internal histograms as sums of
+	// their leaves, clamp negatives to zero.
+	scale := float64(cfg.LTop) / epsHist
+	// rebuild returns the UNCLAMPED noisy histogram for summation while
+	// storing a separately clamped copy on the node — the paper's order
+	// (sum leaf noise upward first, then reset negatives to zero). Letting
+	// the clamp feed the sums would bias every internal count upward by
+	// ≈ scale/2 per zero-ish leaf entry.
+	var rebuild func(n *pst.Node) []float64
+	rebuild = func(n *pst.Node) []float64 {
+		var raw []float64
+		if n.IsLeaf() {
+			raw = make([]float64, len(n.Hist))
+			for i, c := range n.Hist {
+				raw[i] = c + dp.LapNoise(rng, scale)
+			}
+		} else {
+			raw = make([]float64, len(n.Hist))
+			for _, c := range n.Children {
+				for i, v := range rebuild(c) {
+					raw[i] += v
+				}
+			}
+		}
+		stored := make([]float64, len(raw))
+		copy(stored, raw)
+		clampNonNegative(stored)
+		n.Hist = stored
+		return raw
+	}
+	rebuild(root)
+	pst.Release(root)
+
+	return &Model{
+		Tree:        pst.Tree{Alphabet: data.Alphabet, Root: root, EndIndex: data.Alphabet.Size},
+		TreeEpsilon: epsTree,
+		HistEpsilon: epsHist,
+	}, nil
+}
+
+func clampNonNegative(h []float64) {
+	for i, v := range h {
+		if v < 0 {
+			h[i] = 0
+		}
+	}
+}
+
+// TopK mines the k most frequent strings (length ≤ maxLen) from the model
+// by best-first enumeration: the model's frequency estimate is monotone
+// non-increasing under string extension (each step multiplies by a
+// conditional probability ≤ 1), so branches below the current k-th best
+// estimate are pruned safely.
+func (m *Model) TopK(k, maxLen int) []sequence.StringCount {
+	estimates := make(map[string]float64)
+	// top tracks the k largest estimates seen so far (ascending), so the
+	// pruning bound is top[0] once k candidates exist.
+	top := make([]float64, 0, k+1)
+	record := func(v float64) {
+		i := sort.SearchFloat64s(top, v)
+		top = append(top, 0)
+		copy(top[i+1:], top[i:])
+		top[i] = v
+		if len(top) > k {
+			top = top[1:]
+		}
+	}
+	var expand func(prefix []sequence.Symbol, est float64)
+	expand = func(prefix []sequence.Symbol, est float64) {
+		if len(prefix) > 0 {
+			estimates[sequence.Key(prefix)] = est
+			record(est)
+		}
+		if len(prefix) >= maxLen {
+			return
+		}
+		bound := -1.0
+		if len(top) == k {
+			bound = top[0]
+		}
+		// Extend the estimate one symbol at a time (Equation 12): for an
+		// empty prefix the estimate is the root histogram count, after
+		// that est(prefix+x) = est(prefix)·P(x | prefix).
+		var dist []float64
+		if len(prefix) > 0 {
+			dist = m.ConditionalDist(prefix)
+			if dist == nil {
+				return
+			}
+		}
+		for x := 0; x < m.Alphabet.Size; x++ {
+			var e float64
+			if len(prefix) == 0 {
+				e = m.Root.Hist[x]
+			} else {
+				e = est * dist[x]
+			}
+			if e <= 0 || (bound >= 0 && e < bound) {
+				continue
+			}
+			next := append(append([]sequence.Symbol(nil), prefix...), sequence.Symbol(x))
+			expand(next, e)
+		}
+	}
+	expand(nil, 0)
+	return sequence.TopKOfFloat(estimates, k)
+}

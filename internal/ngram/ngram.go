@@ -1,0 +1,259 @@
+// Package ngram implements the N-gram baseline (Chen, Acs & Castelluccia,
+// CCS'12 style): a variable-length n-gram exploration tree of maximum
+// height h (the paper uses nmax = 5), with per-level Laplace budgets and
+// noise-floor pruning. It is the state-of-the-art competitor in the
+// paper's sequence experiments (Figures 6, 7, 12).
+package ngram
+
+import (
+	"math/rand/v2"
+
+	"privtree/internal/dp"
+	"privtree/internal/sequence"
+)
+
+// Config parameterizes the model.
+type Config struct {
+	Epsilon float64
+	// H is the maximum gram length (the paper's nmax; default 5).
+	H int
+	// LTop bounds sequence length; the count of any gram changes by at
+	// most l⊤ when one sequence is inserted, which calibrates the noise.
+	LTop int
+	// ThresholdFactor prunes grams whose noisy count is below
+	// factor × noise scale; 0 means the default 2 (below twice the noise
+	// scale a count is statistically indistinguishable from empty).
+	ThresholdFactor float64
+}
+
+// Model is the released n-gram synopsis: noisy occurrence counts for every
+// retained gram, where grams may end with the terminal marker & (encoded
+// as symbol index |I|) so that synthetic generation can terminate.
+type Model struct {
+	Alphabet sequence.Alphabet
+	H        int
+	LTop     int
+	// Counts maps sequence.Key(gram) → noisy count. Terminal grams use
+	// the extended symbol |I| as their last element.
+	Counts map[string]float64
+	end    sequence.Symbol
+}
+
+// Build constructs the model under cfg.Epsilon total budget, ε/H per gram
+// level (sequential composition across levels; within a level the counts
+// of disjoint gram extensions change by at most l⊤ in total under one
+// sequence insertion).
+func Build(data *sequence.Dataset, cfg Config, rng *rand.Rand) *Model {
+	if cfg.H == 0 {
+		cfg.H = 5
+	}
+	if cfg.ThresholdFactor == 0 {
+		cfg.ThresholdFactor = 2
+	}
+	if cfg.LTop == 0 {
+		cfg.LTop = data.MaxLen() + 1
+	}
+	k := data.Alphabet.Size
+	end := sequence.Symbol(k)
+	m := &Model{
+		Alphabet: data.Alphabet,
+		H:        cfg.H,
+		LTop:     cfg.LTop,
+		Counts:   make(map[string]float64),
+		end:      end,
+	}
+	epsLevel := cfg.Epsilon / float64(cfg.H)
+	scale := float64(cfg.LTop) / epsLevel
+	threshold := cfg.ThresholdFactor * scale
+
+	// One pass over the data counts every gram up to length H (with the
+	// terminal marker materialized), so exploration is pure map lookups.
+	exactCounts := countAllGrams(data, cfg.H, end)
+
+	// Level-synchronous exploration: candidates at level l are the
+	// extensions of retained level-(l−1) grams (all unigrams at level 1).
+	type gram struct {
+		syms []sequence.Symbol
+	}
+	var frontier []gram
+	for x := 0; x <= k; x++ { // include the terminal unigram "&"
+		frontier = append(frontier, gram{[]sequence.Symbol{sequence.Symbol(x)}})
+	}
+	for level := 1; level <= cfg.H && len(frontier) > 0; level++ {
+		var next []gram
+		for _, g := range frontier {
+			exact := exactCounts[sequence.Key(g.syms)]
+			noisy := float64(exact) + dp.LapNoise(rng, scale)
+			if noisy < threshold {
+				continue
+			}
+			m.Counts[sequence.Key(g.syms)] = noisy
+			// Terminal grams cannot be extended.
+			if g.syms[len(g.syms)-1] == end || level == cfg.H {
+				continue
+			}
+			for x := 0; x <= k; x++ {
+				ext := append(append([]sequence.Symbol(nil), g.syms...), sequence.Symbol(x))
+				next = append(next, gram{ext})
+			}
+		}
+		frontier = next
+	}
+	return m
+}
+
+// countAllGrams counts every gram of length ≤ maxLen in one pass, treating
+// the terminal marker (symbol index |I|) as a virtual symbol appended to
+// every closed sequence.
+func countAllGrams(data *sequence.Dataset, maxLen int, end sequence.Symbol) map[string]int {
+	counts := make(map[string]int)
+	buf := make([]sequence.Symbol, 0, 64)
+	for _, s := range data.Seqs {
+		buf = append(buf[:0], s.Syms...)
+		if !s.Open {
+			buf = append(buf, end)
+		}
+		for i := 0; i < len(buf); i++ {
+			limit := maxLen
+			if len(buf)-i < limit {
+				limit = len(buf) - i
+			}
+			for l := 1; l <= limit; l++ {
+				counts[sequence.Key(buf[i:i+l])]++
+			}
+		}
+	}
+	return counts
+}
+
+// EstimateFrequency returns the model's count estimate for a string over I
+// (no terminal marker): the stored noisy count if the gram was retained,
+// otherwise a Markov-chain extension from its longest retained suffix
+// statistics, and 0 when nothing matches.
+func (m *Model) EstimateFrequency(sq []sequence.Symbol) float64 {
+	if c, ok := m.Counts[sequence.Key(sq)]; ok {
+		return c
+	}
+	if len(sq) <= 1 {
+		return 0
+	}
+	// Markov extension: estimate(s) ≈ estimate(s[:n-1]) · P(last | context)
+	// where the conditional comes from the longest retained context.
+	base := m.EstimateFrequency(sq[:len(sq)-1])
+	if base <= 0 {
+		return 0
+	}
+	p := m.conditional(sq[:len(sq)-1], sq[len(sq)-1])
+	return base * p
+}
+
+// conditional estimates P(next | history) from the longest retained
+// context gram.
+func (m *Model) conditional(history []sequence.Symbol, next sequence.Symbol) float64 {
+	k := m.Alphabet.Size
+	for start := 0; start < len(history); start++ {
+		ctx := history[start:]
+		if len(ctx) >= m.H {
+			continue
+		}
+		total := 0.0
+		var hit float64
+		found := false
+		for x := 0; x <= k; x++ {
+			ext := append(append([]sequence.Symbol(nil), ctx...), sequence.Symbol(x))
+			if c, ok := m.Counts[sequence.Key(ext)]; ok && c > 0 {
+				total += c
+				found = true
+				if sequence.Symbol(x) == next {
+					hit = c
+				}
+			}
+		}
+		if found && total > 0 {
+			return hit / total
+		}
+	}
+	// Fall back to unigram frequencies.
+	total := 0.0
+	var hit float64
+	for x := 0; x <= k; x++ {
+		if c, ok := m.Counts[sequence.Key([]sequence.Symbol{sequence.Symbol(x)})]; ok && c > 0 {
+			total += c
+			if sequence.Symbol(x) == next {
+				hit = c
+			}
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return hit / total
+}
+
+// TopK returns the k most frequent strings of length ≤ maxLen according to
+// the model (strings over I only; terminal grams are generation metadata).
+func (m *Model) TopK(k, maxLen int) []sequence.StringCount {
+	scored := make(map[string]float64)
+	var expand func(prefix []sequence.Symbol)
+	expand = func(prefix []sequence.Symbol) {
+		if len(prefix) > 0 {
+			if est := m.EstimateFrequency(prefix); est > 0 {
+				scored[sequence.Key(prefix)] = est
+			}
+		}
+		if len(prefix) >= maxLen {
+			return
+		}
+		for x := 0; x < m.Alphabet.Size; x++ {
+			next := append(append([]sequence.Symbol(nil), prefix...), sequence.Symbol(x))
+			if m.EstimateFrequency(next) > 0 {
+				expand(next)
+			}
+		}
+	}
+	expand(nil)
+	return sequence.TopKOfFloat(scored, k)
+}
+
+// Sample draws one synthetic sequence from the model's Markov chain.
+func (m *Model) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
+	k := m.Alphabet.Size
+	var syms []sequence.Symbol
+	for len(syms) < maxLen {
+		// Distribution over next symbol (including &) from the longest
+		// retained context.
+		probs := make([]float64, k+1)
+		total := 0.0
+		for x := 0; x <= k; x++ {
+			p := m.conditional(syms, sequence.Symbol(x))
+			probs[x] = p
+			total += p
+		}
+		if total <= 0 {
+			break
+		}
+		u := rng.Float64() * total
+		pick := k
+		for x, p := range probs {
+			u -= p
+			if u <= 0 {
+				pick = x
+				break
+			}
+		}
+		if pick == k {
+			return sequence.Seq{Syms: syms}
+		}
+		syms = append(syms, sequence.Symbol(pick))
+	}
+	return sequence.Seq{Syms: syms, Open: true}
+}
+
+// Generate samples n synthetic sequences with length cap maxLen.
+func (m *Model) Generate(n, maxLen int, rng *rand.Rand) *sequence.Dataset {
+	seqs := make([]sequence.Seq, n)
+	for i := range seqs {
+		seqs[i] = m.Sample(rng, maxLen)
+	}
+	return &sequence.Dataset{Alphabet: m.Alphabet, Seqs: seqs}
+}

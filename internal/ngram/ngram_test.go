@@ -1,0 +1,139 @@
+package ngram
+
+import (
+	"testing"
+
+	"privtree/internal/dp"
+	"privtree/internal/sequence"
+	"privtree/internal/synth"
+)
+
+func mk(xs ...int) sequence.Seq {
+	syms := make([]sequence.Symbol, len(xs))
+	for i, x := range xs {
+		syms[i] = sequence.Symbol(x)
+	}
+	return sequence.Seq{Syms: syms}
+}
+
+func TestCountAllGramsIncludesTerminal(t *testing.T) {
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: []sequence.Seq{
+		mk(0, 1), // with marker: 0 1 &
+	}}
+	end := sequence.Symbol(2)
+	counts := countAllGrams(d, 3, end)
+	if counts[sequence.Key([]sequence.Symbol{0, 1})] != 1 {
+		t.Fatal("bigram 01 missing")
+	}
+	if counts[sequence.Key([]sequence.Symbol{1, end})] != 1 {
+		t.Fatal("terminal bigram 1& missing")
+	}
+	if counts[sequence.Key([]sequence.Symbol{0, 1, end})] != 1 {
+		t.Fatal("trigram 01& missing")
+	}
+	if counts[sequence.Key([]sequence.Symbol{end})] != 1 {
+		t.Fatal("terminal unigram missing")
+	}
+}
+
+func TestCountAllGramsOpenSequencesHaveNoTerminal(t *testing.T) {
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: []sequence.Seq{
+		{Syms: []sequence.Symbol{0, 1}, Open: true},
+	}}
+	end := sequence.Symbol(2)
+	counts := countAllGrams(d, 2, end)
+	if counts[sequence.Key([]sequence.Symbol{1, end})] != 0 {
+		t.Fatal("open sequence produced a terminal gram")
+	}
+}
+
+func TestBuildRetainsFrequentGrams(t *testing.T) {
+	// 1000 copies of 0101: the model must retain gram 01 at modest ε.
+	seqs := make([]sequence.Seq, 1000)
+	for i := range seqs {
+		seqs[i] = mk(0, 1, 0, 1)
+	}
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: seqs}
+	m := Build(d, Config{Epsilon: 1, H: 3, LTop: 5}, dp.NewRand(1))
+	if _, ok := m.Counts[sequence.Key([]sequence.Symbol{0, 1})]; !ok {
+		t.Fatal("frequent bigram 01 not retained")
+	}
+	if est := m.EstimateFrequency([]sequence.Symbol{0, 1}); est < 1000 || est > 3000 {
+		t.Fatalf("estimate(01) = %v, want ≈2000", est)
+	}
+}
+
+func TestBuildPrunesRareGrams(t *testing.T) {
+	seqs := make([]sequence.Seq, 1000)
+	for i := range seqs {
+		seqs[i] = mk(0, 0)
+	}
+	seqs[0] = mk(1, 1) // rare
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: seqs}
+	m := Build(d, Config{Epsilon: 0.5, H: 3, LTop: 3}, dp.NewRand(2))
+	if _, ok := m.Counts[sequence.Key([]sequence.Symbol{1, 1})]; ok {
+		t.Fatal("rare gram 11 survived the noise threshold")
+	}
+}
+
+func TestTopKPrecisionOnStructuredData(t *testing.T) {
+	data := synth.MoocLike(20000, dp.NewRand(3))
+	trunc, _ := data.Truncate(50)
+	exact := sequence.TopK(data, 50, 4)
+	m := Build(trunc, Config{Epsilon: 8, H: 5, LTop: 50}, dp.NewRand(4))
+	p := sequence.Precision(exact, m.TopK(50, 4), 50)
+	if p < 0.6 {
+		t.Fatalf("N-gram precision %v < 0.6 at ε=8", p)
+	}
+}
+
+func TestGenerateRespectsCapAndCount(t *testing.T) {
+	data := synth.MSNBCLike(5000, dp.NewRand(5))
+	trunc, _ := data.Truncate(20)
+	m := Build(trunc, Config{Epsilon: 2, H: 4, LTop: 20}, dp.NewRand(6))
+	out := m.Generate(500, 20, dp.NewRand(7))
+	if out.N() != 500 {
+		t.Fatalf("generated %d", out.N())
+	}
+	for _, s := range out.Seqs {
+		if s.Len() > 20 {
+			t.Fatalf("sample length %d exceeds cap", s.Len())
+		}
+	}
+}
+
+func TestGenerateLengthDistributionRoughlyMatches(t *testing.T) {
+	data := synth.MSNBCLike(30000, dp.NewRand(8))
+	trunc, _ := data.Truncate(20)
+	m := Build(trunc, Config{Epsilon: 4, H: 5, LTop: 20}, dp.NewRand(9))
+	out := m.Generate(30000, 20, dp.NewRand(10))
+	tv := sequence.TotalVariation(trunc.LengthDistribution(25), out.LengthDistribution(25))
+	if tv > 0.25 {
+		t.Fatalf("TV %v too large at ε=4", tv)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: []sequence.Seq{mk(0)}}
+	m := Build(d, Config{Epsilon: 1}, dp.NewRand(11))
+	if m.H != 5 {
+		t.Fatalf("default H = %d, want 5", m.H)
+	}
+}
+
+func TestHigherHeightRetainsLongerGrams(t *testing.T) {
+	seqs := make([]sequence.Seq, 2000)
+	for i := range seqs {
+		seqs[i] = mk(0, 1, 0, 1, 0, 1)
+	}
+	d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(2), Seqs: seqs}
+	shallow := Build(d, Config{Epsilon: 4, H: 2, LTop: 7}, dp.NewRand(12))
+	deep := Build(d, Config{Epsilon: 4, H: 4, LTop: 7}, dp.NewRand(12))
+	long := sequence.Key([]sequence.Symbol{0, 1, 0, 1})
+	if _, ok := shallow.Counts[long]; ok {
+		t.Fatal("H=2 model retained a 4-gram")
+	}
+	if _, ok := deep.Counts[long]; !ok {
+		t.Fatal("H=4 model missed the dominant 4-gram")
+	}
+}

@@ -1,0 +1,322 @@
+// Package pst implements prediction suffix trees (Ron, Singer & Tishby's
+// variable-length Markov chains) — the sequence model PrivTree is extended
+// to in Section 4. A node's predictor string dom(v) grows by PREPENDING a
+// symbol from I ∪ {$}; its prediction histogram hist(v) counts, for every
+// x ∈ I ∪ {&}, how often dom(v) is immediately followed by x in the data.
+package pst
+
+import (
+	"math/rand/v2"
+
+	"privtree/internal/sequence"
+)
+
+// Context is a predictor string: the symbols of dom(v) plus whether it is
+// anchored at the sequence start ($-prefixed).
+type Context struct {
+	Syms     []sequence.Symbol
+	Anchored bool // dom(v) starts with $
+}
+
+// Node is one PST node. Hist has length |I|+1: indices [0,|I|) count the
+// alphabet symbols, index |I| counts the terminal &. Children, when
+// expanded, has length |I|+1: Children[x] prepends symbol x for x < |I|,
+// Children[|I|] prepends $.
+type Node struct {
+	Ctx      Context
+	Depth    int
+	Hist     []float64
+	Children []*Node
+	// points is construction-time state: the prediction positions this
+	// context matches (see occurrence). Cleared after building.
+	points []occurrence
+}
+
+// occurrence is a prediction point: the context matches seq Seqs[seq]
+// ending just before position pos; the predicted symbol is Syms[pos], or &
+// if pos == len(Syms) on a closed sequence.
+type occurrence struct {
+	seq int
+	pos int
+}
+
+// IsLeaf reports whether the node has not been expanded.
+func (n *Node) IsLeaf() bool { return n.Children == nil }
+
+// Tree is a prediction suffix tree over a dataset's alphabet.
+type Tree struct {
+	Alphabet sequence.Alphabet
+	Root     *Node
+	// EndIndex is the histogram slot of the terminal symbol &.
+	EndIndex int
+}
+
+// Fanout returns β = |I|+1, the number of children per expanded node.
+func (t *Tree) Fanout() int { return t.Alphabet.Size + 1 }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	var walk func(*Node) int
+	walk = func(n *Node) int {
+		total := 1
+		for _, c := range n.Children {
+			if c != nil {
+				total += walk(c)
+			}
+		}
+		return total
+	}
+	return walk(t.Root)
+}
+
+// Leaves returns all unexpanded nodes.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			if c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Builder constructs PSTs over one dataset, tracking per-node prediction
+// points so that histograms at any depth are computed incrementally.
+type Builder struct {
+	Data *sequence.Dataset
+	K    int // alphabet size |I|
+}
+
+// NewBuilder prepares construction over data.
+func NewBuilder(data *sequence.Dataset) *Builder {
+	return &Builder{Data: data, K: data.Alphabet.Size}
+}
+
+// NewRoot returns the root node (empty context) with its histogram and
+// prediction points populated: the empty context matches before every
+// position of every sequence, including the terminal slot of closed ones.
+func (b *Builder) NewRoot() *Node {
+	root := &Node{Ctx: Context{}, Depth: 0}
+	for si, s := range b.Data.Seqs {
+		limit := len(s.Syms)
+		if !s.Open {
+			limit++ // predicting & at position len
+		}
+		for pos := 0; pos < limit; pos++ {
+			root.points = append(root.points, occurrence{seq: si, pos: pos})
+		}
+	}
+	root.Hist = b.histOf(root.points)
+	return root
+}
+
+// histOf tallies the predicted symbols at the given points.
+func (b *Builder) histOf(points []occurrence) []float64 {
+	hist := make([]float64, b.K+1)
+	for _, o := range points {
+		s := b.Data.Seqs[o.seq]
+		if o.pos < len(s.Syms) {
+			hist[s.Syms[o.pos]]++
+		} else {
+			hist[b.K]++
+		}
+	}
+	return hist
+}
+
+// Expand materializes the |I|+1 children of n: child x (x < |I|) prepends
+// symbol x to the context; child |I| prepends $ (anchoring the context at
+// the sequence start). A node whose context is already anchored cannot be
+// expanded (condition C1 of Section 4.2); Expand panics in that case.
+func (b *Builder) Expand(n *Node) {
+	if n.Ctx.Anchored {
+		panic("pst: cannot expand a $-anchored context")
+	}
+	ctxLen := len(n.Ctx.Syms)
+	n.Children = make([]*Node, b.K+1)
+	buckets := make([][]occurrence, b.K+1)
+	for _, o := range n.points {
+		// The symbol immediately before the context occurrence sits at
+		// pos − ctxLen − 1; if the context starts at position 0, the
+		// "preceding symbol" is $.
+		prev := o.pos - ctxLen - 1
+		if prev < 0 {
+			buckets[b.K] = append(buckets[b.K], o)
+			continue
+		}
+		sym := b.Data.Seqs[o.seq].Syms[prev]
+		buckets[sym] = append(buckets[sym], o)
+	}
+	for x := 0; x <= b.K; x++ {
+		ctx := Context{Anchored: x == b.K}
+		if x < b.K {
+			ctx.Syms = append([]sequence.Symbol{sequence.Symbol(x)}, n.Ctx.Syms...)
+		} else {
+			ctx.Syms = append([]sequence.Symbol(nil), n.Ctx.Syms...)
+		}
+		child := &Node{Ctx: ctx, Depth: n.Depth + 1, points: buckets[x]}
+		child.Hist = b.histOf(child.points)
+		n.Children[x] = child
+	}
+}
+
+// Release drops construction-time state from the whole subtree.
+func Release(n *Node) {
+	n.points = nil
+	for _, c := range n.Children {
+		if c != nil {
+			Release(c)
+		}
+	}
+}
+
+// BuildExact grows the full PST non-privately: a node is expanded when its
+// histogram magnitude exceeds minMagnitude and its depth is below maxDepth
+// (the standard C1/C2 stopping rules; C3's entropy rule is subsumed by the
+// private score in the markov package).
+func BuildExact(data *sequence.Dataset, minMagnitude float64, maxDepth int) *Tree {
+	b := NewBuilder(data)
+	root := b.NewRoot()
+	var grow func(*Node)
+	grow = func(n *Node) {
+		if n.Ctx.Anchored || n.Depth >= maxDepth {
+			return
+		}
+		if mag(n.Hist) <= minMagnitude {
+			return
+		}
+		b.Expand(n)
+		for _, c := range n.Children {
+			grow(c)
+		}
+	}
+	grow(root)
+	Release(root)
+	return &Tree{Alphabet: data.Alphabet, Root: root, EndIndex: b.K}
+}
+
+func mag(h []float64) float64 {
+	s := 0.0
+	for _, v := range h {
+		s += v
+	}
+	return s
+}
+
+// lookup returns the deepest tree node whose predictor string is a suffix
+// of history (with anchored nodes matching only full histories starting at
+// $). history is the sequence generated/observed so far; anchored reports
+// whether history is complete back to the sequence start.
+func (t *Tree) lookup(history []sequence.Symbol, anchored bool) *Node {
+	n := t.Root
+	best := n
+	for !n.IsLeaf() {
+		ctxLen := len(n.Ctx.Syms)
+		prev := len(history) - ctxLen - 1
+		var next *Node
+		if prev >= 0 {
+			next = n.Children[history[prev]]
+		} else if anchored && prev == -1 {
+			next = n.Children[t.Alphabet.Size] // the $ child
+		}
+		if next == nil {
+			break
+		}
+		n = next
+		if mag(n.Hist) > 0 {
+			best = n
+		}
+		if n.Ctx.Anchored {
+			break
+		}
+	}
+	if mag(n.Hist) > 0 {
+		return n
+	}
+	// Fall back to the deepest ancestor with a usable histogram, so the
+	// probability estimate degrades gracefully instead of dividing by 0.
+	return best
+}
+
+// EstimateFrequency implements the query of Section 4.1/Equation (12):
+// the estimated number of occurrences of the string sq in the data.
+func (t *Tree) EstimateFrequency(sq []sequence.Symbol) float64 {
+	if len(sq) == 0 {
+		return 0
+	}
+	ans := t.Root.Hist[sq[0]]
+	for i := 1; i < len(sq); i++ {
+		prefix := sq[:i]
+		n := t.lookup(prefix, false)
+		m := mag(n.Hist)
+		if m <= 0 {
+			return 0
+		}
+		ans *= n.Hist[sq[i]] / m
+	}
+	return ans
+}
+
+// ConditionalDist returns the model's next-symbol distribution (over
+// I ∪ {&}, length |I|+1) after the given unanchored history, or nil when
+// no context has usable mass. It is the one-step factor of Equation (12),
+// exposed so that enumeration (e.g. top-k mining) can extend estimates in
+// O(1) per symbol instead of re-walking the whole string.
+func (t *Tree) ConditionalDist(history []sequence.Symbol) []float64 {
+	n := t.lookup(history, false)
+	m := mag(n.Hist)
+	if m <= 0 {
+		return nil
+	}
+	out := make([]float64, len(n.Hist))
+	for i, c := range n.Hist {
+		out[i] = c / m
+	}
+	return out
+}
+
+// Sample generates one synthetic sequence from the model (Section 4.1):
+// starting from $, repeatedly look up the deepest matching context and draw
+// the next symbol from its histogram until & is drawn or maxLen symbols
+// accumulate.
+func (t *Tree) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
+	var syms []sequence.Symbol
+	for len(syms) < maxLen {
+		n := t.lookup(syms, true)
+		m := mag(n.Hist)
+		if m <= 0 {
+			break
+		}
+		u := rng.Float64() * m
+		pick := len(n.Hist) - 1
+		for x, c := range n.Hist {
+			u -= c
+			if u <= 0 {
+				pick = x
+				break
+			}
+		}
+		if pick == t.EndIndex {
+			return sequence.Seq{Syms: syms}
+		}
+		syms = append(syms, sequence.Symbol(pick))
+	}
+	return sequence.Seq{Syms: syms, Open: true}
+}
+
+// Generate samples n synthetic sequences.
+func (t *Tree) Generate(n, maxLen int, rng *rand.Rand) *sequence.Dataset {
+	seqs := make([]sequence.Seq, n)
+	for i := range seqs {
+		seqs[i] = t.Sample(rng, maxLen)
+	}
+	return &sequence.Dataset{Alphabet: t.Alphabet, Seqs: seqs}
+}

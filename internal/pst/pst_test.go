@@ -1,0 +1,232 @@
+package pst
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dp"
+	"privtree/internal/sequence"
+)
+
+// paperDataset reproduces Figure 3 of the paper: I = {A, B} (A=0, B=1),
+// s1=$B&, s2=$AB&, s3=$AAB&, s4=$AAAB&.
+func paperDataset() *sequence.Dataset {
+	mk := func(xs ...int) sequence.Seq {
+		syms := make([]sequence.Symbol, len(xs))
+		for i, x := range xs {
+			syms[i] = sequence.Symbol(x)
+		}
+		return sequence.Seq{Syms: syms}
+	}
+	return &sequence.Dataset{
+		Alphabet: sequence.NewAlphabet(2),
+		Seqs: []sequence.Seq{
+			mk(1),          // $B&
+			mk(0, 1),       // $AB&
+			mk(0, 0, 1),    // $AAB&
+			mk(0, 0, 0, 1), // $AAAB&
+		},
+	}
+}
+
+func TestRootHistogramMatchesFigure3(t *testing.T) {
+	b := NewBuilder(paperDataset())
+	root := b.NewRoot()
+	// v1: A:6, B:4, &:4.
+	if root.Hist[0] != 6 || root.Hist[1] != 4 || root.Hist[2] != 4 {
+		t.Fatalf("root hist = %v, want [6 4 4]", root.Hist)
+	}
+}
+
+func TestExpandMatchesFigure3(t *testing.T) {
+	b := NewBuilder(paperDataset())
+	root := b.NewRoot()
+	b.Expand(root)
+	// Children of root: prepend A (v3), prepend B (v4), prepend $ (v2).
+	vA := root.Children[0]
+	vB := root.Children[1]
+	vDollar := root.Children[2]
+	// v3 (dom=A): A:3, B:3, &:0.
+	if vA.Hist[0] != 3 || vA.Hist[1] != 3 || vA.Hist[2] != 0 {
+		t.Fatalf("hist(A) = %v, want [3 3 0]", vA.Hist)
+	}
+	// v4 (dom=B): A:0, B:0, &:4.
+	if vB.Hist[0] != 0 || vB.Hist[1] != 0 || vB.Hist[2] != 4 {
+		t.Fatalf("hist(B) = %v, want [0 0 4]", vB.Hist)
+	}
+	// v2 (dom=$): A:3, B:1, &:0.
+	if vDollar.Hist[0] != 3 || vDollar.Hist[1] != 1 || vDollar.Hist[2] != 0 {
+		t.Fatalf("hist($) = %v, want [3 1 0]", vDollar.Hist)
+	}
+	if !vDollar.Ctx.Anchored {
+		t.Fatal("$ child not anchored")
+	}
+
+	// Level 2 under A: dom=AA (v6), dom=BA (v7), dom=$A (v5).
+	b.Expand(vA)
+	vAA := vA.Children[0]
+	vBA := vA.Children[1]
+	vDA := vA.Children[2]
+	// v6 (dom=AA): A:1, B:2, &:0.
+	if vAA.Hist[0] != 1 || vAA.Hist[1] != 2 || vAA.Hist[2] != 0 {
+		t.Fatalf("hist(AA) = %v, want [1 2 0]", vAA.Hist)
+	}
+	// v7 (dom=BA): all zero.
+	if vBA.Hist[0] != 0 || vBA.Hist[1] != 0 || vBA.Hist[2] != 0 {
+		t.Fatalf("hist(BA) = %v, want zeros", vBA.Hist)
+	}
+	// v5 (dom=$A): A:2, B:1, &:0.
+	if vDA.Hist[0] != 2 || vDA.Hist[1] != 1 || vDA.Hist[2] != 0 {
+		t.Fatalf("hist($A) = %v, want [2 1 0]", vDA.Hist)
+	}
+}
+
+func TestChildHistogramsSumToParent(t *testing.T) {
+	// Conservation: the prediction points of a node are partitioned among
+	// its children, so child histograms must sum to the parent's.
+	data := paperDataset()
+	b := NewBuilder(data)
+	root := b.NewRoot()
+	b.Expand(root)
+	for x := 0; x < 3; x++ {
+		sum := 0.0
+		for _, c := range root.Children {
+			sum += c.Hist[x]
+		}
+		if sum != root.Hist[x] {
+			t.Fatalf("symbol %d: children sum %v != parent %v", x, sum, root.Hist[x])
+		}
+	}
+}
+
+func TestExpandPanicsOnAnchored(t *testing.T) {
+	b := NewBuilder(paperDataset())
+	root := b.NewRoot()
+	b.Expand(root)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expanding a $-anchored node did not panic")
+		}
+	}()
+	b.Expand(root.Children[2])
+}
+
+func TestEstimateFrequencyPaperExample(t *testing.T) {
+	// The paper's worked example: query AB on the Figure 3 PST gives 3.
+	tr := BuildExact(paperDataset(), 0, 2)
+	got := tr.EstimateFrequency([]sequence.Symbol{0, 1})
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("estimate(AB) = %v, want 3 (the paper's example)", got)
+	}
+}
+
+func TestEstimateFrequencyExactForModeledStrings(t *testing.T) {
+	// On a deep-enough exact PST, length-2 estimates equal exact counts.
+	data := paperDataset()
+	tr := BuildExact(data, 0, 3)
+	counts := sequence.CountOccurrences(data, 2)
+	for _, s := range [][]sequence.Symbol{{0}, {1}, {0, 0}, {0, 1}} {
+		want := float64(counts[sequence.Key(s)])
+		got := tr.EstimateFrequency(s)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("estimate(%v) = %v, exact %v", s, got, want)
+		}
+	}
+}
+
+func TestEstimateFrequencyEmptyString(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 2)
+	if got := tr.EstimateFrequency(nil); got != 0 {
+		t.Fatalf("estimate of empty string = %v", got)
+	}
+}
+
+func TestBuildExactStopsAtMagnitude(t *testing.T) {
+	tr := BuildExact(paperDataset(), 3.5, 10)
+	// Root magnitude 14 > 3.5: expanded. Node B magnitude 4 > 3.5:
+	// expanded. Node AA magnitude 3 ≤ 3.5: leaf.
+	if tr.Root.IsLeaf() {
+		t.Fatal("root not expanded")
+	}
+	vA := tr.Root.Children[0]
+	if vA.IsLeaf() {
+		t.Fatal("high-magnitude node A not expanded")
+	}
+	vAA := vA.Children[0]
+	if !vAA.IsLeaf() {
+		t.Fatal("low-magnitude node AA expanded")
+	}
+}
+
+func TestSampleTerminatesAndRespectsCap(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 3)
+	rng := dp.NewRand(1)
+	for i := 0; i < 200; i++ {
+		s := tr.Sample(rng, 10)
+		if s.Len() > 10 {
+			t.Fatalf("sample exceeds cap: %d", s.Len())
+		}
+		if !s.Open && s.Len() == 0 {
+			continue // "$&" style empty sequence is fine
+		}
+	}
+}
+
+func TestSampleDistributionMatchesModel(t *testing.T) {
+	// First symbols of samples must follow hist($)/|hist($)| ≈ A:3/4, B:1/4
+	// (the $-anchored context governs the first draw).
+	tr := BuildExact(paperDataset(), 0, 2)
+	rng := dp.NewRand(2)
+	const n = 20000
+	countA := 0
+	for i := 0; i < n; i++ {
+		s := tr.Sample(rng, 10)
+		if s.Len() > 0 && s.Syms[0] == 0 {
+			countA++
+		}
+	}
+	frac := float64(countA) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("first-symbol P(A) = %v, want ≈0.75", frac)
+	}
+}
+
+func TestGenerateCount(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 2)
+	out := tr.Generate(57, 10, dp.NewRand(3))
+	if out.N() != 57 {
+		t.Fatalf("generated %d sequences", out.N())
+	}
+}
+
+func TestConditionalDistNormalized(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 3)
+	dist := tr.ConditionalDist([]sequence.Symbol{0})
+	if dist == nil {
+		t.Fatal("nil distribution for history A")
+	}
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("conditional distribution sums to %v", sum)
+	}
+}
+
+func TestTreeSizeAndLeaves(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 2)
+	if tr.Fanout() != 3 {
+		t.Fatalf("fanout = %d, want |I|+1 = 3", tr.Fanout())
+	}
+	leaves := tr.Leaves()
+	size := tr.Size()
+	if size < len(leaves) {
+		t.Fatalf("size %d < leaves %d", size, len(leaves))
+	}
+	// A PST with fanout 3: size = 3·internal + 1.
+	internal := size - len(leaves)
+	if size != 3*internal+1 {
+		t.Fatalf("size %d, internal %d: not a full ternary tree", size, internal)
+	}
+}

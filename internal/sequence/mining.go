@@ -1,0 +1,151 @@
+package sequence
+
+import (
+	"sort"
+	"strings"
+)
+
+// Key encodes a string (in the paper's sense: a contiguous run of symbols)
+// as a map key. Symbols are comma-joined so multi-digit alphabets cannot
+// collide.
+func Key(syms []Symbol) string {
+	var b strings.Builder
+	for i, x := range syms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Symbols are small ints; manual itoa avoids fmt in the hot loop.
+		writeInt(&b, int(x))
+	}
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+// ParseKey inverts Key.
+func ParseKey(k string) []Symbol {
+	if k == "" {
+		return nil
+	}
+	parts := strings.Split(k, ",")
+	out := make([]Symbol, len(parts))
+	for i, p := range parts {
+		v := 0
+		for _, c := range p {
+			v = v*10 + int(c-'0')
+		}
+		out[i] = Symbol(v)
+	}
+	return out
+}
+
+// CountOccurrences returns, for every string of length in [1, maxLen], the
+// number of times it appears as a substring across all sequences in d
+// (counting every occurrence, as in Section 6.2's frequent-string task).
+func CountOccurrences(d *Dataset, maxLen int) map[string]int {
+	counts := make(map[string]int)
+	for _, s := range d.Seqs {
+		n := len(s.Syms)
+		for i := 0; i < n; i++ {
+			limit := maxLen
+			if n-i < limit {
+				limit = n - i
+			}
+			for l := 1; l <= limit; l++ {
+				counts[Key(s.Syms[i:i+l])]++
+			}
+		}
+	}
+	return counts
+}
+
+// StringCount is a (string, occurrence-count) pair.
+type StringCount struct {
+	Syms  []Symbol
+	Count float64
+}
+
+// TopK returns the k most frequent strings of length ≤ maxLen in d, ties
+// broken lexicographically for determinism.
+func TopK(d *Dataset, k, maxLen int) []StringCount {
+	counts := CountOccurrences(d, maxLen)
+	return TopKOf(counts, k)
+}
+
+// TopKOf returns the k largest entries of a count map (exact or estimated),
+// ties broken lexicographically by key.
+func TopKOf(counts map[string]int, k int) []StringCount {
+	type kv struct {
+		key   string
+		count int
+	}
+	all := make([]kv, 0, len(counts))
+	for key, c := range counts {
+		all = append(all, kv{key, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]StringCount, k)
+	for i := 0; i < k; i++ {
+		out[i] = StringCount{Syms: ParseKey(all[i].key), Count: float64(all[i].count)}
+	}
+	return out
+}
+
+// TopKOfFloat is TopKOf for float-valued (noisy) count maps.
+func TopKOfFloat(counts map[string]float64, k int) []StringCount {
+	type kv struct {
+		key   string
+		count float64
+	}
+	all := make([]kv, 0, len(counts))
+	for key, c := range counts {
+		all = append(all, kv{key, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]StringCount, k)
+	for i := 0; i < k; i++ {
+		out[i] = StringCount{Syms: ParseKey(all[i].key), Count: all[i].count}
+	}
+	return out
+}
+
+// Precision returns |K ∩ A| / k where K is the exact top-k set and A the
+// algorithm's answer (Section 6.2). Both slices may be shorter than k; the
+// denominator is k regardless, matching the paper's metric.
+func Precision(exact, got []StringCount, k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	in := make(map[string]bool, len(exact))
+	for _, sc := range exact {
+		in[Key(sc.Syms)] = true
+	}
+	hit := 0
+	for _, sc := range got {
+		if in[Key(sc.Syms)] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}

@@ -1,0 +1,63 @@
+package sequence
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"privtree/internal/dp"
+)
+
+// PrivateLengthQuantile chooses l⊤ as a differentially private approximation
+// of the q-quantile (e.g. 0.95) of the sequence lengths in d, following the
+// paper's footnote 2 ("first identifying the 90% or 95% quantile of the
+// sequence lengths, and then computing a differentially private version of
+// the quantile" [Zeng et al.]).
+//
+// The mechanism is the exponential mechanism over candidate cutoffs
+// t ∈ [1, maxCandidate]: quality(t) = −| #(len ≤ t) − q·n |, sensitivity 1.
+// It consumes eps of budget.
+func PrivateLengthQuantile(d *Dataset, q, eps float64, maxCandidate int, rng *rand.Rand) int {
+	if maxCandidate < 1 {
+		maxCandidate = 1
+	}
+	lengths := make([]int, len(d.Seqs))
+	for i, s := range d.Seqs {
+		lengths[i] = s.EffectiveLen()
+	}
+	sort.Ints(lengths)
+	target := q * float64(len(lengths))
+
+	scores := make([]float64, maxCandidate)
+	for t := 1; t <= maxCandidate; t++ {
+		// #(len <= t) via binary search on the sorted lengths.
+		le := sort.SearchInts(lengths, t+1)
+		diff := float64(le) - target
+		if diff < 0 {
+			diff = -diff
+		}
+		scores[t-1] = -diff
+	}
+	em := dp.ExponentialMechanism{Epsilon: eps, Sensitivity: 1}
+	return em.Select(rng, scores) + 1
+}
+
+// ExactLengthQuantile returns the smallest t with #(effective len ≤ t) ≥ q·n.
+// Used for non-private comparisons and tests.
+func ExactLengthQuantile(d *Dataset, q float64) int {
+	if len(d.Seqs) == 0 {
+		return 1
+	}
+	lengths := make([]int, len(d.Seqs))
+	for i, s := range d.Seqs {
+		lengths[i] = s.EffectiveLen()
+	}
+	sort.Ints(lengths)
+	idx := int(q*float64(len(lengths))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lengths) {
+		idx = len(lengths) - 1
+	}
+	return lengths[idx]
+}

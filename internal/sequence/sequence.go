@@ -1,0 +1,187 @@
+// Package sequence provides the sequence-data substrate for PrivTree's
+// Markov-model extension (Section 4): sequences over a finite alphabet,
+// truncation at a maximum length l⊤, a differentially private quantile for
+// choosing l⊤, exact substring counting, top-k frequent-string mining, and
+// the length-distribution metrics used in Figure 7.
+package sequence
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Symbol is one element of a sequence alphabet, encoded as a small int in
+// [0, |I|). The special markers Start ($) and End (&) of the paper are NOT
+// symbols; they are represented structurally (position 0 / termination).
+type Symbol int
+
+// Alphabet describes the symbol set I. Names are optional labels used only
+// for display.
+type Alphabet struct {
+	Size  int
+	Names []string
+}
+
+// NewAlphabet returns an alphabet of the given size with generated names.
+func NewAlphabet(size int) Alphabet {
+	names := make([]string, size)
+	for i := range names {
+		if size <= 26 {
+			names[i] = string(rune('A' + i))
+		} else {
+			names[i] = fmt.Sprintf("s%d", i)
+		}
+	}
+	return Alphabet{Size: size, Names: names}
+}
+
+// Name returns the display name of symbol x.
+func (a Alphabet) Name(x Symbol) string {
+	if int(x) >= 0 && int(x) < len(a.Names) {
+		return a.Names[x]
+	}
+	return fmt.Sprintf("s%d", int(x))
+}
+
+// Seq is one sequence: an ordered list of symbols. Open reports whether the
+// sequence was truncated (the paper's "open-ended" sequences, which lost
+// their & marker); a closed sequence terminates with an implicit &.
+type Seq struct {
+	Syms []Symbol
+	Open bool
+}
+
+// Len returns the number of symbols (excluding $ and &).
+func (s Seq) Len() int { return len(s.Syms) }
+
+// String renders the sequence with its markers, e.g. "$ABA&" or "$ABA"
+// when open.
+func (s Seq) String() string {
+	var b strings.Builder
+	b.WriteByte('$')
+	for _, x := range s.Syms {
+		fmt.Fprintf(&b, "%d", int(x))
+		b.WriteByte(' ')
+	}
+	if !s.Open {
+		b.WriteByte('&')
+	}
+	return b.String()
+}
+
+// Dataset is a collection of sequences over one alphabet.
+type Dataset struct {
+	Alphabet Alphabet
+	Seqs     []Seq
+}
+
+// N returns the number of sequences.
+func (d *Dataset) N() int { return len(d.Seqs) }
+
+// AvgLen returns the mean sequence length.
+func (d *Dataset) AvgLen() float64 {
+	if len(d.Seqs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range d.Seqs {
+		total += s.Len()
+	}
+	return float64(total) / float64(len(d.Seqs))
+}
+
+// MaxLen returns the maximum sequence length.
+func (d *Dataset) MaxLen() int {
+	m := 0
+	for _, s := range d.Seqs {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// Truncate returns a copy of the dataset where every sequence longer than
+// lTop keeps its first lTop symbols and becomes open-ended (loses &), per
+// Section 4.2. The effective length of a closed sequence counts its & (so a
+// closed sequence of lTop symbols is length lTop+1 > lTop and is NOT
+// truncated — the paper truncates s = $x1…x_{l⊤}& to $x1…x_{l⊤}, i.e. only
+// the marker is dropped). Sequences already within the bound are shared,
+// not copied.
+func (d *Dataset) Truncate(lTop int) (*Dataset, int) {
+	out := &Dataset{Alphabet: d.Alphabet, Seqs: make([]Seq, len(d.Seqs))}
+	truncated := 0
+	for i, s := range d.Seqs {
+		eff := s.Len()
+		if !s.Open {
+			eff++ // the & marker counts toward l⊤
+		}
+		if eff <= lTop {
+			out.Seqs[i] = s
+			continue
+		}
+		truncated++
+		keep := lTop
+		if keep > s.Len() {
+			keep = s.Len()
+		}
+		out.Seqs[i] = Seq{Syms: s.Syms[:keep], Open: true}
+	}
+	return out, truncated
+}
+
+// EffectiveLen returns the sequence length counting & but not $, the
+// quantity bounded by l⊤ in Theorem 4.1.
+func (s Seq) EffectiveLen() int {
+	if s.Open {
+		return s.Len()
+	}
+	return s.Len() + 1
+}
+
+// LengthDistribution returns P[len = i] for i in [0, maxLen] as a dense
+// probability vector (lengths beyond maxLen are clamped into the last
+// bucket).
+func (d *Dataset) LengthDistribution(maxLen int) []float64 {
+	dist := make([]float64, maxLen+1)
+	if len(d.Seqs) == 0 {
+		return dist
+	}
+	for _, s := range d.Seqs {
+		l := s.Len()
+		if l > maxLen {
+			l = maxLen
+		}
+		dist[l]++
+	}
+	for i := range dist {
+		dist[i] /= float64(len(d.Seqs))
+	}
+	return dist
+}
+
+// TotalVariation returns the total variation distance between two discrete
+// distributions: half the L1 distance. Vectors of different lengths are
+// compared by zero-extending the shorter one.
+func TotalVariation(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		var a, b float64
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		if a > b {
+			sum += a - b
+		} else {
+			sum += b - a
+		}
+	}
+	return sum / 2
+}

@@ -1,0 +1,272 @@
+package sequence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"privtree/internal/dp"
+)
+
+func seqOf(xs ...int) Seq {
+	syms := make([]Symbol, len(xs))
+	for i, x := range xs {
+		syms[i] = Symbol(x)
+	}
+	return Seq{Syms: syms}
+}
+
+func TestAlphabetNames(t *testing.T) {
+	a := NewAlphabet(3)
+	if a.Name(0) != "A" || a.Name(2) != "C" {
+		t.Fatalf("names: %v %v", a.Name(0), a.Name(2))
+	}
+	big := NewAlphabet(30)
+	if big.Name(27) != "s27" {
+		t.Fatalf("big alphabet name: %v", big.Name(27))
+	}
+}
+
+func TestEffectiveLen(t *testing.T) {
+	closed := seqOf(1, 2, 3)
+	if closed.EffectiveLen() != 4 {
+		t.Fatalf("closed effective len = %d, want 4 (counts &)", closed.EffectiveLen())
+	}
+	open := Seq{Syms: closed.Syms, Open: true}
+	if open.EffectiveLen() != 3 {
+		t.Fatalf("open effective len = %d, want 3", open.EffectiveLen())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := &Dataset{Alphabet: NewAlphabet(2), Seqs: []Seq{
+		seqOf(0, 1),          // effective 3 ≤ 4: untouched
+		seqOf(0, 1, 0),       // effective 4 ≤ 4: untouched
+		seqOf(0, 1, 0, 1),    // effective 5 > 4: marker dropped → open, 4 syms
+		seqOf(0, 1, 0, 1, 0), // effective 6 > 4: cut to 4 syms, open
+	}}
+	out, truncated := d.Truncate(4)
+	if truncated != 2 {
+		t.Fatalf("truncated %d, want 2", truncated)
+	}
+	if out.Seqs[0].Open || out.Seqs[1].Open {
+		t.Fatal("short sequences must stay closed")
+	}
+	if !out.Seqs[2].Open || out.Seqs[2].Len() != 4 {
+		t.Fatalf("sequence 2 after truncation: %+v", out.Seqs[2])
+	}
+	if !out.Seqs[3].Open || out.Seqs[3].Len() != 4 {
+		t.Fatalf("sequence 3 after truncation: %+v", out.Seqs[3])
+	}
+	// Original untouched.
+	if d.Seqs[3].Len() != 5 || d.Seqs[3].Open {
+		t.Fatal("Truncate mutated the input")
+	}
+}
+
+func TestTruncateBoundsEffectiveLen(t *testing.T) {
+	f := func(lens []uint8, lTopRaw uint8) bool {
+		lTop := int(lTopRaw%30) + 1
+		d := &Dataset{Alphabet: NewAlphabet(2)}
+		for _, l := range lens {
+			syms := make([]Symbol, int(l%60))
+			d.Seqs = append(d.Seqs, Seq{Syms: syms})
+		}
+		out, _ := d.Truncate(lTop)
+		for _, s := range out.Seqs {
+			if s.EffectiveLen() > lTop {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgAndMaxLen(t *testing.T) {
+	d := &Dataset{Seqs: []Seq{seqOf(0), seqOf(0, 1, 0)}}
+	if d.AvgLen() != 2 {
+		t.Fatalf("avg len = %v", d.AvgLen())
+	}
+	if d.MaxLen() != 3 {
+		t.Fatalf("max len = %v", d.MaxLen())
+	}
+}
+
+func TestLengthDistribution(t *testing.T) {
+	d := &Dataset{Seqs: []Seq{seqOf(0), seqOf(0), seqOf(0, 1), seqOf(0, 1, 0, 1)}}
+	dist := d.LengthDistribution(3)
+	if dist[1] != 0.5 || dist[2] != 0.25 {
+		t.Fatalf("dist = %v", dist)
+	}
+	// Length 4 clamps into bucket 3.
+	if dist[3] != 0.25 {
+		t.Fatalf("clamped bucket = %v", dist[3])
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0}
+	if got := TotalVariation(p, q); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TV = %v, want 0.5", got)
+	}
+	if got := TotalVariation(p, p); got != 0 {
+		t.Fatalf("TV self = %v", got)
+	}
+	// Different lengths: zero-extension.
+	if got := TotalVariation([]float64{1}, []float64{0.5, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("TV extended = %v", got)
+	}
+}
+
+func TestTotalVariationProperties(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		norm := func(xs []uint8) []float64 {
+			out := make([]float64, len(xs))
+			total := 0.0
+			for i, x := range xs {
+				out[i] = float64(x)
+				total += out[i]
+			}
+			if total == 0 {
+				return out
+			}
+			for i := range out {
+				out[i] /= total
+			}
+			return out
+		}
+		p, q := norm(a), norm(b)
+		tv := TotalVariation(p, q)
+		sym := TotalVariation(q, p)
+		return tv >= 0 && tv <= 1.0001 && math.Abs(tv-sym) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := [][]Symbol{{}, {0}, {5}, {12, 0, 7}, {1, 11, 111}}
+	for _, syms := range cases {
+		got := ParseKey(Key(syms))
+		if len(got) != len(syms) {
+			t.Fatalf("round trip length: %v -> %v", syms, got)
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				t.Fatalf("round trip: %v -> %v", syms, got)
+			}
+		}
+	}
+}
+
+func TestKeyNoCollisions(t *testing.T) {
+	// Multi-digit symbols must not collide: [1,2] vs [12].
+	if Key([]Symbol{1, 2}) == Key([]Symbol{12}) {
+		t.Fatal("key collision between [1 2] and [12]")
+	}
+}
+
+func TestCountOccurrences(t *testing.T) {
+	d := &Dataset{Alphabet: NewAlphabet(2), Seqs: []Seq{
+		seqOf(0, 0, 1), // substrings: 0(×2), 1, 00, 01, 001
+		seqOf(0, 1),    // 0, 1, 01
+	}}
+	counts := CountOccurrences(d, 3)
+	check := func(key string, want int) {
+		t.Helper()
+		if counts[key] != want {
+			t.Errorf("count[%s] = %d, want %d", key, counts[key], want)
+		}
+	}
+	check(Key([]Symbol{0}), 3)
+	check(Key([]Symbol{1}), 2)
+	check(Key([]Symbol{0, 0}), 1)
+	check(Key([]Symbol{0, 1}), 2)
+	check(Key([]Symbol{0, 0, 1}), 1)
+}
+
+func TestCountOccurrencesRespectsMaxLen(t *testing.T) {
+	d := &Dataset{Alphabet: NewAlphabet(2), Seqs: []Seq{seqOf(0, 1, 0, 1)}}
+	counts := CountOccurrences(d, 2)
+	for key := range counts {
+		if len(ParseKey(key)) > 2 {
+			t.Fatalf("counted string longer than maxLen: %s", key)
+		}
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	d := &Dataset{Alphabet: NewAlphabet(3), Seqs: []Seq{
+		seqOf(0, 0, 0, 1, 1, 2),
+	}}
+	top := TopK(d, 3, 2)
+	if len(top) != 3 {
+		t.Fatalf("topk returned %d", len(top))
+	}
+	if top[0].Count < top[1].Count || top[1].Count < top[2].Count {
+		t.Fatalf("not sorted: %+v", top)
+	}
+	if int(top[0].Syms[0]) != 0 || top[0].Count != 3 {
+		t.Fatalf("most frequent should be '0'×3: %+v", top[0])
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	exact := []StringCount{{Syms: []Symbol{0}}, {Syms: []Symbol{1}}}
+	got := []StringCount{{Syms: []Symbol{0}}, {Syms: []Symbol{2}}}
+	if p := Precision(exact, got, 2); p != 0.5 {
+		t.Fatalf("precision = %v", p)
+	}
+	if p := Precision(exact, exact, 2); p != 1 {
+		t.Fatalf("self precision = %v", p)
+	}
+	if p := Precision(exact, nil, 2); p != 0 {
+		t.Fatalf("empty precision = %v", p)
+	}
+	if p := Precision(exact, exact, 0); p != 0 {
+		t.Fatalf("k=0 precision = %v", p)
+	}
+}
+
+func TestExactLengthQuantile(t *testing.T) {
+	d := &Dataset{Seqs: make([]Seq, 100)}
+	for i := range d.Seqs {
+		d.Seqs[i] = Seq{Syms: make([]Symbol, i+1)} // effective len i+2
+	}
+	q := ExactLengthQuantile(d, 0.95)
+	if q < 94 || q > 98 {
+		t.Fatalf("95%% quantile = %d, want ≈96", q)
+	}
+}
+
+func TestPrivateLengthQuantileNearExact(t *testing.T) {
+	d := &Dataset{Seqs: make([]Seq, 2000)}
+	for i := range d.Seqs {
+		d.Seqs[i] = Seq{Syms: make([]Symbol, 1+i%20)}
+	}
+	exact := ExactLengthQuantile(d, 0.95)
+	rng := dp.NewRand(7)
+	private := PrivateLengthQuantile(d, 0.95, 1.0, 40, rng)
+	if math.Abs(float64(private-exact)) > 3 {
+		t.Fatalf("private quantile %d too far from exact %d", private, exact)
+	}
+}
+
+func TestTopKOfFloatDeterministicTies(t *testing.T) {
+	counts := map[string]float64{"1": 5, "0": 5, "2": 5}
+	a := TopKOfFloat(counts, 2)
+	b := TopKOfFloat(counts, 2)
+	for i := range a {
+		if Key(a[i].Syms) != Key(b[i].Syms) {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	if Key(a[0].Syms) != "0" {
+		t.Fatalf("lexicographic tie-break violated: %v", a[0].Syms)
+	}
+}

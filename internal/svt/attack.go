@@ -1,0 +1,223 @@
+package svt
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/dp"
+)
+
+// This file quantifies the privacy of the SVT variants on the paper's
+// counterexamples. Probabilities of output events are computed by numeric
+// integration over the noisy threshold (Simpson's rule in log space), which
+// reproduces the integrals in the proofs of Lemma 5.1 and Appendix A
+// without Monte-Carlo error; a sampling-based estimator cross-checks them.
+
+// integrationHalfWidth bounds the θ̂ integration range in units of the
+// threshold's noise scale; 45 scales put the truncated tail below 1e-19.
+const integrationHalfWidth = 45.0
+
+// simpson integrates f over [lo, hi] with n panels (n even).
+func simpson(f func(float64) float64, lo, hi float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (hi - lo) / float64(n)
+	sum := f(lo) + f(hi)
+	for i := 1; i < n; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// BinaryEventProb returns Pr[E] for the binary SVT (Algorithm 3) on a
+// dataset where query i has exact answer vals[i], with desired outputs
+// outs[i] ∈ {0,1}: Pr = ∫ f_θ̂(x) Π Pr[outᵢ | x] dx.
+func BinaryEventProb(vals []float64, outs []int, theta, lambda float64) float64 {
+	noise := dp.NewLaplace(0, lambda)
+	thr := dp.NewLaplace(theta, lambda)
+	integrand := func(x float64) float64 {
+		logp := thr.LogPDF(x)
+		for i, v := range vals {
+			// Output 1 ⇔ v + Lap(λ) > x ⇔ Lap > x − v.
+			var p float64
+			if outs[i] == 1 {
+				p = noise.Tail(x - v)
+			} else {
+				p = noise.CDF(x - v)
+			}
+			if p <= 0 {
+				return 0
+			}
+			logp += math.Log(p)
+		}
+		return math.Exp(logp)
+	}
+	lo := theta - integrationHalfWidth*lambda
+	hi := theta + integrationHalfWidth*lambda
+	return simpson(integrand, lo, hi, 40000)
+}
+
+// BinaryCounterexample is the Lemma 5.1 instance: D1={a,b}, D3={b,b}
+// (connected through D2={a,b,b}); Q = k/2 copies of "count a" then k/2
+// copies of "count b"; θ=1; event E = (1,…,1,0,…,0).
+type BinaryCounterexample struct {
+	K      int
+	Lambda float64
+}
+
+// Loss returns the realized privacy loss ln(Pr[D1→E]/Pr[D3→E]) together
+// with the paper's lower bound k/(2λ). Since D1 and D3 are at dataset
+// distance 2, an ε-DP algorithm must keep the loss ≤ 2ε; the binary SVT at
+// the claimed λ=2/ε exceeds that for any k > 8.
+func (c BinaryCounterexample) Loss() (loss, bound float64) {
+	if c.K%2 != 0 {
+		panic("svt: BinaryCounterexample needs even k")
+	}
+	half := c.K / 2
+	vals1 := make([]float64, c.K) // on D1: qa=1 (k/2 times), qb=1
+	vals3 := make([]float64, c.K) // on D3: qa=0, qb=2
+	outs := make([]int, c.K)
+	for i := 0; i < c.K; i++ {
+		if i < half {
+			vals1[i] = 1 // count of a in {a,b}
+			vals3[i] = 0 // count of a in {b,b}
+			outs[i] = 1
+		} else {
+			vals1[i] = 1 // count of b in {a,b}
+			vals3[i] = 2 // count of b in {b,b}
+			outs[i] = 0
+		}
+	}
+	const theta = 1.0
+	p1 := BinaryEventProb(vals1, outs, theta, c.Lambda)
+	p3 := BinaryEventProb(vals3, outs, theta, c.Lambda)
+	return math.Log(p1 / p3), float64(c.K) / (2 * c.Lambda)
+}
+
+// VanillaEventProb returns Pr[E] for the vanilla SVT (Algorithm 4) with
+// t=1 on the event "⊥ for every query except the last, which releases the
+// exact value rel": Pr = ∫_{-∞}^{rel} f_θ̂(x)·Π CDF(x−vᵢ)·pdf(rel−v_last) dx.
+// The upper limit rel is the subtlety previous work overlooked: the
+// released value must exceed the noisy threshold.
+func VanillaEventProb(vals []float64, rel float64, theta, lambda float64) float64 {
+	noise := dp.NewLaplace(0, lambda) // t=1 ⇒ answers also use scale λ
+	thr := dp.NewLaplace(theta, lambda)
+	last := len(vals) - 1
+	logDensityAtRel := noise.LogPDF(rel - vals[last])
+	integrand := func(x float64) float64 {
+		logp := thr.LogPDF(x) + logDensityAtRel
+		for _, v := range vals[:last] {
+			p := noise.CDF(x - v)
+			if p <= 0 {
+				return 0
+			}
+			logp += math.Log(p)
+		}
+		return math.Exp(logp)
+	}
+	lo := theta - integrationHalfWidth*lambda
+	return simpson(integrand, lo, rel, 40000)
+}
+
+// VanillaCounterexample is Appendix A's refutation of Claim 2:
+// D1={a,b}, D3={a,a} (through D2={a,a,b}); Q = k−1 copies of "count a"
+// then one "count b"; θ=0, t=1; event E = (⊥,…,⊥, release 1).
+type VanillaCounterexample struct {
+	K      int
+	Lambda float64
+}
+
+// Loss returns ln(Pr[D1→E]/Pr[D3→E]) and the paper's value k/λ. An ε-DP
+// algorithm must keep it ≤ 2ε.
+func (c VanillaCounterexample) Loss() (loss, bound float64) {
+	vals1 := make([]float64, c.K)
+	vals3 := make([]float64, c.K)
+	for i := 0; i < c.K-1; i++ {
+		vals1[i] = 1 // count of a in {a,b}
+		vals3[i] = 2 // count of a in {a,a}
+	}
+	vals1[c.K-1] = 1 // count of b in {a,b}
+	vals3[c.K-1] = 0 // count of b in {a,a}
+	const theta, rel = 0.0, 1.0
+	p1 := VanillaEventProb(vals1, rel, theta, c.Lambda)
+	p3 := VanillaEventProb(vals3, rel, theta, c.Lambda)
+	return math.Log(p1 / p3), float64(c.K) / c.Lambda
+}
+
+// ImprovedEventProb returns Pr[E] for the improved SVT (Algorithm 6):
+// threshold noise scale λ, answer noise scale t·λ, binary outputs.
+func ImprovedEventProb(vals []float64, outs []int, theta, lambda float64, t int) float64 {
+	noise := dp.NewLaplace(0, float64(t)*lambda)
+	thr := dp.NewLaplace(theta, lambda)
+	integrand := func(x float64) float64 {
+		logp := thr.LogPDF(x)
+		for i, v := range vals {
+			var p float64
+			if outs[i] == 1 {
+				p = noise.Tail(x - v)
+			} else {
+				p = noise.CDF(x - v)
+			}
+			if p <= 0 {
+				return 0
+			}
+			logp += math.Log(p)
+		}
+		return math.Exp(logp)
+	}
+	lo := theta - integrationHalfWidth*lambda*float64(t)
+	hi := theta + integrationHalfWidth*lambda*float64(t)
+	return simpson(integrand, lo, hi, 40000)
+}
+
+// ImprovedCounterexampleLoss evaluates the improved SVT on the SAME
+// adversarial instance as BinaryCounterexample, with t = k/2+1 so the
+// event's k/2 positive outputs are all emitted before the cutoff. The
+// answer noise then carries scale t·λ, and Lemma A.1 guarantees the loss
+// stays ≤ 2·(2/λ) for the distance-2 pair regardless of k — the contrast
+// that motivates Algorithm 6 over the (broken) binary SVT.
+func ImprovedCounterexampleLoss(k int, lambda float64) float64 {
+	half := k / 2
+	vals1 := make([]float64, k)
+	vals3 := make([]float64, k)
+	outs := make([]int, k)
+	for i := 0; i < k; i++ {
+		if i < half {
+			vals1[i], vals3[i], outs[i] = 1, 0, 1
+		} else {
+			vals1[i], vals3[i], outs[i] = 1, 2, 0
+		}
+	}
+	const theta = 1.0
+	t := half + 1
+	p1 := ImprovedEventProb(vals1, outs, theta, lambda, t)
+	p3 := ImprovedEventProb(vals3, outs, theta, lambda, t)
+	return math.Log(p1 / p3)
+}
+
+// EstimateBinaryEventProb is the Monte-Carlo cross-check of
+// BinaryEventProb: it runs Algorithm 3 trials times and counts how often
+// the target output sequence occurs.
+func EstimateBinaryEventProb(db []string, queries []Query, outs []int, theta, lambda float64, trials int, rng *rand.Rand) float64 {
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		got := Binary(db, queries, theta, lambda, rng)
+		match := true
+		for i := range outs {
+			if got[i] != outs[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}

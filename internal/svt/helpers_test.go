@@ -1,0 +1,32 @@
+package svt
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/geom"
+)
+
+// Aliases keep the SVT test bodies compact.
+type geomPoint = geom.Point
+type geomFullBisect = geom.FullBisect
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return x
+}
+
+func mustSpatial(t *testing.T, pts []geom.Point) *dataset.Spatial {
+	t.Helper()
+	ds, err := dataset.NewSpatial(geom.UnitCube(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

@@ -1,0 +1,242 @@
+package svt
+
+import (
+	"math"
+	"testing"
+
+	"privtree/internal/dp"
+)
+
+func TestCountOf(t *testing.T) {
+	db := []string{"a", "b", "a", "a"}
+	if got := CountOf("a")(db); got != 3 {
+		t.Fatalf("count a = %v", got)
+	}
+	if got := CountOf("c")(db); got != 0 {
+		t.Fatalf("count c = %v", got)
+	}
+}
+
+func TestBinaryOutputsPerQuery(t *testing.T) {
+	rng := dp.NewRand(1)
+	db := []string{"a", "a", "a"}
+	queries := []Query{CountOf("a"), CountOf("b"), CountOf("a")}
+	out := Binary(db, queries, 1.5, 0.01, rng)
+	if len(out) != 3 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	// With negligible noise: count(a)=3 > 1.5 → 1; count(b)=0 → 0.
+	if out[0] != 1 || out[1] != 0 || out[2] != 1 {
+		t.Fatalf("outputs = %v", out)
+	}
+}
+
+func TestVanillaStopsAfterT(t *testing.T) {
+	rng := dp.NewRand(2)
+	db := []string{"a", "a", "a"}
+	queries := []Query{CountOf("a"), CountOf("a"), CountOf("a"), CountOf("a")}
+	out := Vanilla(db, queries, 0, 0.01, 2, rng)
+	released := 0
+	for _, r := range out {
+		if r.Released {
+			released++
+		}
+	}
+	if released != 2 {
+		t.Fatalf("released %d answers, want t=2", released)
+	}
+	if len(out) > 2 && out[len(out)-1].Released != true {
+		// The final slot must be the t-th release (the algorithm
+		// terminates immediately after it).
+		t.Fatalf("vanilla did not terminate at the t-th release: %v", out)
+	}
+}
+
+func TestVanillaReleasesNoisyValues(t *testing.T) {
+	rng := dp.NewRand(3)
+	db := make([]string, 100) // 100 copies of "a"
+	for i := range db {
+		db[i] = "a"
+	}
+	out := Vanilla(db, []Query{CountOf("a")}, 0, 1, 1, rng)
+	if len(out) != 1 || !out[0].Released {
+		t.Fatalf("expected one released answer, got %v", out)
+	}
+	if math.Abs(out[0].Value-100) > 15 {
+		t.Fatalf("released value %v implausibly far from 100", out[0].Value)
+	}
+}
+
+func TestReducedStopsAfterT(t *testing.T) {
+	rng := dp.NewRand(4)
+	db := []string{"a", "a", "a", "a", "a"}
+	queries := make([]Query, 10)
+	for i := range queries {
+		queries[i] = CountOf("a")
+	}
+	out := Reduced(db, queries, 0, 0.01, 3, rng)
+	ones := 0
+	for _, o := range out {
+		ones += o
+	}
+	if ones != 3 {
+		t.Fatalf("reduced SVT emitted %d positives, want 3", ones)
+	}
+}
+
+func TestImprovedStopsAfterT(t *testing.T) {
+	rng := dp.NewRand(5)
+	db := []string{"a", "a", "a", "a", "a"}
+	queries := make([]Query, 10)
+	for i := range queries {
+		queries[i] = CountOf("a")
+	}
+	out := Improved(db, queries, 0, 0.01, 4, rng)
+	ones := 0
+	for _, o := range out {
+		ones += o
+	}
+	if ones != 4 {
+		t.Fatalf("improved SVT emitted %d positives, want 4", ones)
+	}
+}
+
+func TestBinaryEventProbIsProbability(t *testing.T) {
+	vals := []float64{1, 1, 0}
+	outs := []int{1, 0, 1}
+	p := BinaryEventProb(vals, outs, 0.5, 2)
+	if !(p > 0 && p < 1) {
+		t.Fatalf("event probability %v outside (0,1)", p)
+	}
+}
+
+func TestBinaryEventProbsSumToOne(t *testing.T) {
+	// Over all 2^k output patterns, probabilities must sum to 1.
+	vals := []float64{2, 0}
+	total := 0.0
+	for pattern := 0; pattern < 4; pattern++ {
+		outs := []int{pattern & 1, (pattern >> 1) & 1}
+		total += BinaryEventProb(vals, outs, 1, 1.5)
+	}
+	if math.Abs(total-1) > 1e-3 {
+		t.Fatalf("pattern probabilities sum to %v", total)
+	}
+}
+
+func TestBinaryEventProbMatchesMonteCarlo(t *testing.T) {
+	db := []string{"a", "b"}
+	queries := []Query{CountOf("a"), CountOf("b")}
+	outs := []int{1, 0}
+	theta, lambda := 1.0, 2.0
+	vals := []float64{1, 1}
+	analytic := BinaryEventProb(vals, outs, theta, lambda)
+	rng := dp.NewRand(6)
+	mc := EstimateBinaryEventProb(db, queries, outs, theta, lambda, 200000, rng)
+	if math.Abs(analytic-mc) > 0.01 {
+		t.Fatalf("analytic %v vs Monte Carlo %v", analytic, mc)
+	}
+}
+
+func TestLemma51LossGrowsLinearly(t *testing.T) {
+	// The binary SVT's loss on the counterexample must grow ~linearly in
+	// k and exceed 2ε, invalidating Claim 1.
+	lambda := 4.0 // the claimed λ = 2/ε for ε = 0.5
+	eps := 0.5
+	var prev float64
+	for _, k := range []int{4, 8, 16, 32} {
+		loss, bound := BinaryCounterexample{K: k, Lambda: lambda}.Loss()
+		if loss <= prev {
+			t.Fatalf("loss not increasing at k=%d: %v <= %v", k, loss, prev)
+		}
+		if k >= 16 && loss <= 2*eps {
+			t.Fatalf("k=%d: loss %v does not exceed 2ε=%v", k, loss, 2*eps)
+		}
+		// The paper's bound says loss ≥ k/(2λ) asymptotically; allow 20%.
+		if k >= 16 && loss < 0.8*bound {
+			t.Fatalf("k=%d: loss %v below theory %v", k, loss, bound)
+		}
+		prev = loss
+	}
+}
+
+func TestClaim2VanillaLossGrowsLinearly(t *testing.T) {
+	lambda := 4.0
+	for _, k := range []int{4, 8, 16} {
+		loss, bound := VanillaCounterexample{K: k, Lambda: lambda}.Loss()
+		// Appendix A derives loss = k/λ exactly for this instance.
+		if math.Abs(loss-bound) > 0.05*bound {
+			t.Fatalf("k=%d: vanilla loss %v, theory %v", k, loss, bound)
+		}
+	}
+}
+
+func TestImprovedSVTStaysWithinBudget(t *testing.T) {
+	// Lemma A.1: the improved SVT at λ = 2/ε is ε-DP, so on the
+	// distance-2 counterexample its loss must stay ≤ 2ε for every k.
+	lambda := 4.0
+	eps := 0.5
+	for _, k := range []int{4, 8, 16, 32} {
+		loss := ImprovedCounterexampleLoss(k, lambda)
+		if loss > 2*eps+1e-6 {
+			t.Fatalf("k=%d: improved SVT loss %v exceeds 2ε=%v", k, loss, 2*eps)
+		}
+	}
+}
+
+func TestImprovedBeatsBinaryOnCounterexample(t *testing.T) {
+	lambda := 4.0
+	for _, k := range []int{16, 32} {
+		bLoss, _ := BinaryCounterexample{K: k, Lambda: lambda}.Loss()
+		iLoss := ImprovedCounterexampleLoss(k, lambda)
+		if iLoss >= bLoss {
+			t.Fatalf("k=%d: improved loss %v not below binary %v", k, iLoss, bLoss)
+		}
+	}
+}
+
+func TestBuildTreeWithBinarySVTGrows(t *testing.T) {
+	rng := dp.NewRand(20)
+	pts := make([]geomPoint, 20000)
+	for i := range pts {
+		if i%5 == 0 {
+			pts[i] = geomPoint{rng.Float64(), rng.Float64()}
+		} else {
+			x, y := 0.3+0.02*rng.NormFloat64(), 0.3+0.02*rng.NormFloat64()
+			pts[i] = geomPoint{clamp01(x), clamp01(y)}
+		}
+	}
+	data := mustSpatial(t, pts)
+	tree := BuildTreeWithBinarySVT(data, geomFullBisect{Dim: 2}, 100, 4, 20, dp.NewRand(21))
+	if tree.Size() < 5 {
+		t.Fatalf("SVT tree did not grow: %d nodes", tree.Size())
+	}
+	if tree.Height() >= 20 {
+		t.Fatalf("SVT tree hit the depth cap")
+	}
+}
+
+func TestBuildTreeWithBinarySVTAdaptsToDensity(t *testing.T) {
+	rng := dp.NewRand(22)
+	pts := make([]geomPoint, 30000)
+	for i := range pts {
+		x, y := 0.25+0.01*rng.NormFloat64(), 0.75+0.01*rng.NormFloat64()
+		pts[i] = geomPoint{clamp01(x), clamp01(y)}
+	}
+	data := mustSpatial(t, pts)
+	tree := BuildTreeWithBinarySVT(data, geomFullBisect{Dim: 2}, 50, 2, 24, dp.NewRand(23))
+	depthAt := func(x, y float64) int {
+		n := tree.Root
+		for !n.IsLeaf() {
+			for _, c := range n.Children {
+				if c.Region.Contains(geomPoint{x, y}) {
+					n = c
+					break
+				}
+			}
+		}
+		return n.Depth
+	}
+	if depthAt(0.25, 0.75) <= depthAt(0.9, 0.1) {
+		t.Fatal("SVT tree not deeper in the dense cluster")
+	}
+}

@@ -1,0 +1,56 @@
+package svt
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/core"
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// BuildTreeWithBinarySVT constructs a spatial decomposition by feeding the
+// node-count queries of a growing quadtree into the binary SVT, exactly
+// the hypothetical construction of Section 5: "we invoke the binary SVT to
+// inspect each query in Q one by one; if the binary SVT outputs 1 for a
+// query c(v), then we split the node v".
+//
+// If Claim 1 held, this would be ε-DP at λ = 2/ε — strictly better than
+// PrivTree's (2β−1)/(β−1)/ε. Lemma 5.1 proves it is NOT differentially
+// private at that scale, so this function exists for demonstration and
+// comparison only; it must never be used to release real data. The
+// returned tree carries no counts.
+func BuildTreeWithBinarySVT(data *dataset.Spatial, split geom.Splitter, theta, lambda float64, maxDepth int, rng *rand.Rand) *core.Tree {
+	if maxDepth <= 0 {
+		maxDepth = core.DefaultMaxDepth
+	}
+	thetaHat := theta + dp.LapNoise(rng, lambda)
+
+	root := &core.Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
+	type item struct {
+		node *core.Node
+		view *dataset.View
+	}
+	queue := []item{{root, data.NewView()}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node.Depth >= maxDepth-1 {
+			continue
+		}
+		noisy := float64(cur.view.Len()) + dp.LapNoise(rng, lambda)
+		if noisy <= thetaHat {
+			continue
+		}
+		regions := split.Split(cur.node.Region, cur.node.Depth)
+		views := cur.view.Partition(regions)
+		cur.node.Children = make([]*core.Node, len(regions))
+		for i, r := range regions {
+			child := &core.Node{Region: r, Depth: cur.node.Depth + 1, Count: math.NaN()}
+			cur.node.Children[i] = child
+			queue = append(queue, item{child, views[i]})
+		}
+	}
+	return &core.Tree{Root: root, Fanout: split.Fanout()}
+}

@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"math/rand/v2"
+
+	"privtree/internal/sequence"
+)
+
+// SequenceSpec names a sequence generator plus its scale.
+type SequenceSpec struct {
+	Name         string
+	AlphabetSize int
+	N            int
+	LTop         int // the l⊤ used in the paper (Table 3)
+}
+
+// Paper-scale cardinalities (Table 3).
+const (
+	MoocN  = 80362
+	MSNBCN = 989818
+)
+
+// MarkovChain is a ground-truth first-order chain used to synthesize
+// behaviour sequences: Init[x] is the start distribution over symbols,
+// Trans[x][y] the transition distribution, and Stop[x] the probability of
+// terminating after emitting x.
+type MarkovChain struct {
+	K     int
+	Init  []float64
+	Trans [][]float64
+	Stop  []float64
+}
+
+// Sample draws one sequence of length ≤ maxLen from the chain.
+func (m *MarkovChain) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
+	var syms []sequence.Symbol
+	cur := sampleDist(m.Init, rng)
+	for {
+		syms = append(syms, sequence.Symbol(cur))
+		if len(syms) >= maxLen || rng.Float64() < m.Stop[cur] {
+			return sequence.Seq{Syms: syms}
+		}
+		cur = sampleDist(m.Trans[cur], rng)
+	}
+}
+
+// Generate draws n sequences.
+func (m *MarkovChain) Generate(n, maxLen int, rng *rand.Rand) *sequence.Dataset {
+	seqs := make([]sequence.Seq, n)
+	for i := range seqs {
+		seqs[i] = m.Sample(rng, maxLen)
+	}
+	return &sequence.Dataset{Alphabet: sequence.NewAlphabet(m.K), Seqs: seqs}
+}
+
+func sampleDist(d []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, p := range d {
+		u -= p
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(d) - 1
+}
+
+// skewedChain builds a chain where each state strongly prefers a few
+// successors (so the data has learnable Markov structure, as user behaviour
+// does) and termination probability targets the requested mean length.
+func skewedChain(k int, meanLen float64, sticky float64, rng *rand.Rand) *MarkovChain {
+	m := &MarkovChain{
+		K:     k,
+		Init:  make([]float64, k),
+		Trans: make([][]float64, k),
+		Stop:  make([]float64, k),
+	}
+	// Zipf-ish start distribution: early symbols dominate.
+	total := 0.0
+	for i := range m.Init {
+		m.Init[i] = 1 / float64(i+1)
+		total += m.Init[i]
+	}
+	for i := range m.Init {
+		m.Init[i] /= total
+	}
+	for x := 0; x < k; x++ {
+		row := make([]float64, k)
+		// Preferred successors: the next symbol cyclically, itself, and one random.
+		row[(x+1)%k] += sticky
+		row[x] += sticky / 2
+		row[rng.IntN(k)] += sticky / 4
+		rest := 1 - (sticky + sticky/2 + sticky/4)
+		for y := 0; y < k; y++ {
+			row[y] += rest / float64(k)
+		}
+		m.Trans[x] = row
+		// Geometric-ish termination around the target mean.
+		m.Stop[x] = 1 / meanLen
+	}
+	return m
+}
+
+// MoocLike synthesizes a sequence dataset in the spirit of the mooc
+// dataset: |I| = 7 behaviour categories, mean length ≈ 13.5.
+func MoocLike(n int, rng *rand.Rand) *sequence.Dataset {
+	chain := skewedChain(7, 13.46, 0.45, rng)
+	return chain.Generate(n, 200, rng)
+}
+
+// MSNBCLike synthesizes a sequence dataset in the spirit of msnbc:
+// |I| = 17 URL categories, short sequences (mean ≈ 4.75), heavy head.
+func MSNBCLike(n int, rng *rand.Rand) *sequence.Dataset {
+	chain := skewedChain(17, 4.75, 0.5, rng)
+	return chain.Generate(n, 120, rng)
+}
+
+// SequenceByName returns the named generator's output at cardinality n:
+// "mooc" or "msnbc". It panics on an unknown name.
+func SequenceByName(name string, n int, rng *rand.Rand) *sequence.Dataset {
+	switch name {
+	case "mooc":
+		return MoocLike(n, rng)
+	case "msnbc":
+		return MSNBCLike(n, rng)
+	}
+	panic("synth: unknown sequence dataset " + name)
+}
+
+// SequenceSpecs lists the two paper sequence datasets (Table 3).
+func SequenceSpecs() []SequenceSpec {
+	return []SequenceSpec{
+		{Name: "mooc", AlphabetSize: 7, N: MoocN, LTop: 50},
+		{Name: "msnbc", AlphabetSize: 17, N: MSNBCN, LTop: 20},
+	}
+}

@@ -1,0 +1,254 @@
+// Package synth generates the synthetic stand-ins for the paper's real
+// datasets (Tables 2 and 3). Each generator is tuned to reproduce the
+// property the corresponding experiment stresses — skewness for the spatial
+// data, alphabet size / length distribution / Markov structure for the
+// sequence data — as documented in DESIGN.md §4.
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"privtree/internal/dataset"
+	"privtree/internal/geom"
+)
+
+// SpatialSpec names a generator plus the scale it is built at.
+type SpatialSpec struct {
+	Name string
+	Dim  int
+	N    int
+}
+
+// Paper-scale cardinalities (Table 2). Experiments default to a scaled-down
+// N for runtime; cmd/privtree-bench -full restores these.
+const (
+	RoadN    = 1634165
+	GowallaN = 107091
+	NYCN     = 98013
+	BeijingN = 30000
+)
+
+// clampToDomain nudges a coordinate into [0, 1).
+func clampToDomain(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return x
+}
+
+// RoadLike synthesizes a highly skewed 2-D dataset in the spirit of the
+// paper's road dataset (road junctions in two states): almost all mass lies
+// on sparse 1-D line structures ("roads") clustered into two separated
+// regions, with a faint uniform background. n points on [0,1)².
+func RoadLike(n int, rng *rand.Rand) *dataset.Spatial {
+	dom := geom.UnitCube(2)
+	pts := make([]geom.Point, 0, n)
+
+	// Two "states": disjoint rectangles hosting their own road networks.
+	states := []geom.Rect{
+		geom.NewRect(geom.Point{0.05, 0.55}, geom.Point{0.45, 0.95}),
+		geom.NewRect(geom.Point{0.55, 0.05}, geom.Point{0.95, 0.45}),
+	}
+	type segment struct {
+		a, b geom.Point
+	}
+	var segs []segment
+	for _, st := range states {
+		// A sparse network: a few long arterials plus many short streets.
+		for i := 0; i < 12; i++ {
+			a := randIn(st, rng)
+			b := randIn(st, rng)
+			segs = append(segs, segment{a, b})
+		}
+		for i := 0; i < 120; i++ {
+			a := randIn(st, rng)
+			ang := rng.Float64() * 2 * math.Pi
+			l := 0.01 + 0.04*rng.Float64()
+			b := geom.Point{
+				clampToDomain(a[0] + l*math.Cos(ang)),
+				clampToDomain(a[1] + l*math.Sin(ang)),
+			}
+			segs = append(segs, segment{a, b})
+		}
+	}
+	background := n / 100 // 1% diffuse noise
+	for i := 0; i < n-background; i++ {
+		s := segs[rng.IntN(len(segs))]
+		t := rng.Float64()
+		jitter := 0.001
+		p := geom.Point{
+			clampToDomain(s.a[0] + t*(s.b[0]-s.a[0]) + jitter*rng.NormFloat64()),
+			clampToDomain(s.a[1] + t*(s.b[1]-s.a[1]) + jitter*rng.NormFloat64()),
+		}
+		pts = append(pts, p)
+	}
+	for i := 0; i < background; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	ds, err := dataset.NewSpatial(dom, pts)
+	if err != nil {
+		panic(err) // generator bug: all coordinates are clamped into Ω
+	}
+	return ds
+}
+
+// GowallaLike synthesizes a moderately skewed 2-D dataset in the spirit of
+// Gowalla check-ins: ~40 Gaussian "city" blobs of varying weight over a
+// broad uniform background.
+func GowallaLike(n int, rng *rand.Rand) *dataset.Spatial {
+	dom := geom.UnitCube(2)
+	const cities = 40
+	centers := make([]geom.Point, cities)
+	sigmas := make([]float64, cities)
+	weights := make([]float64, cities)
+	totalW := 0.0
+	for i := range centers {
+		centers[i] = geom.Point{0.05 + 0.9*rng.Float64(), 0.05 + 0.9*rng.Float64()}
+		sigmas[i] = 0.005 + 0.03*rng.Float64()
+		// Zipf-ish city sizes: weight ∝ 1/(rank+1).
+		weights[i] = 1 / float64(i+1)
+		totalW += weights[i]
+	}
+	pts := make([]geom.Point, 0, n)
+	background := n / 5 // 20% diffuse, matching the broad scatter in Fig. 4(b)
+	for i := 0; i < n-background; i++ {
+		c := sampleWeighted(weights, totalW, rng)
+		pts = append(pts, geom.Point{
+			clampToDomain(centers[c][0] + sigmas[c]*rng.NormFloat64()),
+			clampToDomain(centers[c][1] + sigmas[c]*rng.NormFloat64()),
+		})
+	}
+	for i := 0; i < background; i++ {
+		pts = append(pts, geom.Point{rng.Float64(), rng.Float64()})
+	}
+	ds, err := dataset.NewSpatial(dom, pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// NYCLike synthesizes a highly skewed 4-D dataset in the spirit of NYC taxi
+// trips (pickup x,y + dropoff x,y): both endpoints concentrate in one small
+// dense "Manhattan" core, with a secondary airport-like cluster and thin
+// background.
+func NYCLike(n int, rng *rand.Rand) *dataset.Spatial {
+	dom := geom.UnitCube(4)
+	core := geom.Point{0.35, 0.6}
+	airport := geom.Point{0.8, 0.3}
+	sample2 := func() (float64, float64) {
+		u := rng.Float64()
+		switch {
+		case u < 0.75: // dense core, very tight
+			return clampToDomain(core[0] + 0.02*rng.NormFloat64()),
+				clampToDomain(core[1] + 0.03*rng.NormFloat64())
+		case u < 0.9: // airport cluster
+			return clampToDomain(airport[0] + 0.01*rng.NormFloat64()),
+				clampToDomain(airport[1] + 0.01*rng.NormFloat64())
+		default: // outer boroughs
+			return rng.Float64(), rng.Float64()
+		}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		px, py := sample2()
+		dx, dy := correlatedDropoff(px, py, sample2, 0.04, rng)
+		pts[i] = geom.Point{px, py, dx, dy}
+	}
+	ds, err := dataset.NewSpatial(dom, pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// correlatedDropoff models the locality of taxi trips: most dropoffs land
+// near the pickup (short rides dominate), concentrating the 4-D mass near
+// the pickup-equals-dropoff diagonal exactly as real trip data does; the
+// rest are independent destination draws.
+func correlatedDropoff(px, py float64, sample2 func() (float64, float64), sigma float64, rng *rand.Rand) (float64, float64) {
+	if rng.Float64() < 0.7 {
+		return clampToDomain(px + sigma*rng.NormFloat64()),
+			clampToDomain(py + sigma*rng.NormFloat64())
+	}
+	return sample2()
+}
+
+// BeijingLike synthesizes a less skewed 4-D dataset in the spirit of
+// Beijing taxi trips: several comparable clusters with wider spread, so the
+// mass is distributed more evenly than NYCLike.
+func BeijingLike(n int, rng *rand.Rand) *dataset.Spatial {
+	dom := geom.UnitCube(4)
+	centers := []geom.Point{
+		{0.3, 0.3}, {0.5, 0.6}, {0.7, 0.4}, {0.4, 0.75}, {0.65, 0.7},
+	}
+	sample2 := func() (float64, float64) {
+		if rng.Float64() < 0.15 {
+			return rng.Float64(), rng.Float64()
+		}
+		c := centers[rng.IntN(len(centers))]
+		return clampToDomain(c[0] + 0.05*rng.NormFloat64()),
+			clampToDomain(c[1] + 0.05*rng.NormFloat64())
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		px, py := sample2()
+		dx, dy := correlatedDropoff(px, py, sample2, 0.08, rng)
+		pts[i] = geom.Point{px, py, dx, dy}
+	}
+	ds, err := dataset.NewSpatial(dom, pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func randIn(r geom.Rect, rng *rand.Rand) geom.Point {
+	p := make(geom.Point, r.Dims())
+	for i := range p {
+		p[i] = r.Lo[i] + rng.Float64()*(r.Hi[i]-r.Lo[i])
+	}
+	return p
+}
+
+func sampleWeighted(w []float64, total float64, rng *rand.Rand) int {
+	u := rng.Float64() * total
+	for i, wi := range w {
+		u -= wi
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// SpatialByName returns the named generator's output at cardinality n:
+// "road", "gowalla", "nyc", or "beijing". It panics on an unknown name.
+func SpatialByName(name string, n int, rng *rand.Rand) *dataset.Spatial {
+	switch name {
+	case "road":
+		return RoadLike(n, rng)
+	case "gowalla":
+		return GowallaLike(n, rng)
+	case "nyc":
+		return NYCLike(n, rng)
+	case "beijing":
+		return BeijingLike(n, rng)
+	}
+	panic("synth: unknown spatial dataset " + name)
+}
+
+// SpatialSpecs lists the four paper datasets with their full-scale
+// cardinalities, in the order of Table 2.
+func SpatialSpecs() []SpatialSpec {
+	return []SpatialSpec{
+		{Name: "road", Dim: 2, N: RoadN},
+		{Name: "gowalla", Dim: 2, N: GowallaN},
+		{Name: "nyc", Dim: 4, N: NYCN},
+		{Name: "beijing", Dim: 4, N: BeijingN},
+	}
+}

@@ -1,0 +1,204 @@
+package synth
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+)
+
+func TestSpatialGeneratorsBasicContract(t *testing.T) {
+	rng := dp.NewRand(1)
+	cases := []struct {
+		name string
+		dim  int
+	}{
+		{"road", 2}, {"gowalla", 2}, {"nyc", 4}, {"beijing", 4},
+	}
+	for _, c := range cases {
+		ds := SpatialByName(c.name, 5000, rng)
+		if ds.N() != 5000 {
+			t.Errorf("%s: n = %d", c.name, ds.N())
+		}
+		if ds.Dims() != c.dim {
+			t.Errorf("%s: dims = %d, want %d", c.name, ds.Dims(), c.dim)
+		}
+		for _, p := range ds.Points {
+			if !ds.Domain.Contains(p) {
+				t.Fatalf("%s: point %v escapes the domain", c.name, p)
+			}
+		}
+	}
+}
+
+func TestSpatialByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name did not panic")
+		}
+	}()
+	SpatialByName("nope", 10, dp.NewRand(1))
+}
+
+// skewness measures the fraction of mass in the densest 5% of fine grid
+// cells — the property that separates road/NYC from Gowalla/Beijing in the
+// paper (line- and core-concentrated data leaves almost all cells empty).
+func skewness(ds *dataset.Spatial, res int) float64 {
+	counts := make(map[int]int)
+	for _, p := range ds.Points {
+		idx := 0
+		for axis := 0; axis < ds.Dims(); axis++ {
+			c := int(p[axis] * float64(res))
+			if c >= res {
+				c = res - 1
+			}
+			idx = idx*res + c
+		}
+		counts[idx]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	total := 1
+	for i := 0; i < ds.Dims(); i++ {
+		total *= res
+	}
+	take := total / 20
+	if take > len(all) {
+		take = len(all)
+	}
+	sum := 0
+	for i := 0; i < take; i++ {
+		sum += all[i]
+	}
+	return float64(sum) / float64(ds.N())
+}
+
+func TestRoadMoreSkewedThanGowalla(t *testing.T) {
+	rng := dp.NewRand(2)
+	road := RoadLike(40000, rng)
+	gowalla := GowallaLike(40000, rng)
+	sRoad := skewness(road, 128)
+	sGowalla := skewness(gowalla, 128)
+	if sRoad <= sGowalla {
+		t.Fatalf("road skew %v not above gowalla %v", sRoad, sGowalla)
+	}
+}
+
+func TestNYCMoreSkewedThanBeijing(t *testing.T) {
+	rng := dp.NewRand(3)
+	nyc := NYCLike(30000, rng)
+	beijing := BeijingLike(30000, rng)
+	sNYC := skewness(nyc, 12)
+	sBeijing := skewness(beijing, 12)
+	if sNYC <= sBeijing {
+		t.Fatalf("nyc skew %v not above beijing %v", sNYC, sBeijing)
+	}
+}
+
+func TestTaxiDropoffCorrelation(t *testing.T) {
+	// Most trips must be short: |dropoff − pickup| small for the majority.
+	rng := dp.NewRand(4)
+	nyc := NYCLike(20000, rng)
+	short := 0
+	for _, p := range nyc.Points {
+		d := math.Hypot(p[2]-p[0], p[3]-p[1])
+		if d < 0.2 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(nyc.N()); frac < 0.5 {
+		t.Fatalf("only %v of trips are short; dropoffs not correlated", frac)
+	}
+}
+
+func TestSpatialSpecsMatchTable2(t *testing.T) {
+	specs := SpatialSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	want := map[string]int{"road": 1634165, "gowalla": 107091, "nyc": 98013, "beijing": 30000}
+	for _, s := range specs {
+		if want[s.Name] != s.N {
+			t.Errorf("%s: N=%d, Table 2 says %d", s.Name, s.N, want[s.Name])
+		}
+	}
+}
+
+func TestSequenceGeneratorsBasicContract(t *testing.T) {
+	rng := dp.NewRand(5)
+	mooc := MoocLike(5000, rng)
+	if mooc.Alphabet.Size != 7 {
+		t.Fatalf("mooc |I| = %d", mooc.Alphabet.Size)
+	}
+	if mooc.N() != 5000 {
+		t.Fatalf("mooc n = %d", mooc.N())
+	}
+	msnbc := MSNBCLike(5000, rng)
+	if msnbc.Alphabet.Size != 17 {
+		t.Fatalf("msnbc |I| = %d", msnbc.Alphabet.Size)
+	}
+	for _, s := range mooc.Seqs {
+		if s.Len() == 0 {
+			t.Fatal("mooc generated an empty sequence")
+		}
+		for _, x := range s.Syms {
+			if int(x) < 0 || int(x) >= 7 {
+				t.Fatalf("mooc symbol %d out of range", x)
+			}
+		}
+	}
+}
+
+func TestSequenceMeanLengthsMatchTable3(t *testing.T) {
+	rng := dp.NewRand(6)
+	mooc := MoocLike(30000, rng)
+	if avg := mooc.AvgLen(); math.Abs(avg-13.46) > 2.5 {
+		t.Fatalf("mooc avg len %v, Table 3 says 13.46", avg)
+	}
+	msnbc := MSNBCLike(30000, rng)
+	if avg := msnbc.AvgLen(); math.Abs(avg-4.75) > 1.2 {
+		t.Fatalf("msnbc avg len %v, Table 3 says 4.75", avg)
+	}
+}
+
+func TestSequenceByName(t *testing.T) {
+	rng := dp.NewRand(7)
+	if d := SequenceByName("mooc", 100, rng); d.Alphabet.Size != 7 {
+		t.Fatal("mooc lookup broken")
+	}
+	if d := SequenceByName("msnbc", 100, rng); d.Alphabet.Size != 17 {
+		t.Fatal("msnbc lookup broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown sequence name did not panic")
+		}
+	}()
+	SequenceByName("nope", 10, rng)
+}
+
+func TestMarkovChainSampleRespectsMaxLen(t *testing.T) {
+	rng := dp.NewRand(8)
+	chain := skewedChain(5, 10, 0.4, rng)
+	for i := 0; i < 500; i++ {
+		s := chain.Sample(rng, 25)
+		if s.Len() > 25 || s.Len() == 0 {
+			t.Fatalf("sample length %d", s.Len())
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := RoadLike(1000, dp.NewRand(42))
+	b := RoadLike(1000, dp.NewRand(42))
+	for i := range a.Points {
+		if a.Points[i][0] != b.Points[i][0] || a.Points[i][1] != b.Points[i][1] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package privtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// makeClusteredPoints generates a skewed 2-D dataset for API tests and
+// micro-benchmarks.
+func makeClusteredPoints(n int) []Point {
+	rng := rand.New(rand.NewPCG(100, 200))
+	pts := make([]Point, n)
+	for i := range pts {
+		if i%4 == 0 {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		} else {
+			pts[i] = Point{clampTest(0.4 + 0.03*rng.NormFloat64()), clampTest(0.6 + 0.03*rng.NormFloat64())}
+		}
+	}
+	return pts
+}
+
+// makeClickstreams generates sticky-chain sequences over a 6-symbol
+// alphabet.
+func makeClickstreams(n int) []Sequence {
+	rng := rand.New(rand.NewPCG(300, 400))
+	out := make([]Sequence, n)
+	for i := range out {
+		cur := rng.IntN(6)
+		var s Sequence
+		for {
+			s = append(s, cur)
+			if rng.Float64() < 0.3 || len(s) >= 15 {
+				break
+			}
+			cur = (cur + 1) % 6
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func clampTest(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return x
+}
+
+func TestBuildSpatialEndToEnd(t *testing.T) {
+	pts := makeClusteredPoints(50000)
+	tree, err := BuildSpatial(UnitCube(2), pts, 1.0, SpatialOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tree.Total()-50000) > 2000 {
+		t.Fatalf("total %v far from 50000", tree.Total())
+	}
+	q := NewRect(Point{0, 0}, Point{0.5, 1})
+	exact := 0
+	for _, p := range pts {
+		if q.Contains(p) {
+			exact++
+		}
+	}
+	got := tree.RangeCount(q)
+	if math.Abs(got-float64(exact))/float64(exact) > 0.1 {
+		t.Fatalf("range count %v vs exact %d", got, exact)
+	}
+}
+
+func TestBuildSpatialRejectsBadInput(t *testing.T) {
+	if _, err := BuildSpatial(UnitCube(2), []Point{{2, 2}}, 1, SpatialOptions{}); err == nil {
+		t.Fatal("out-of-domain point accepted")
+	}
+	if _, err := BuildSpatial(UnitCube(2), makeClusteredPoints(10), 1, SpatialOptions{Fanout: 3}); err == nil {
+		t.Fatal("non-power-of-two fanout accepted")
+	}
+	if _, err := BuildSpatial(UnitCube(2), makeClusteredPoints(10), 1, SpatialOptions{Fanout: 8}); err == nil {
+		t.Fatal("fanout above 2^d accepted")
+	}
+	if _, err := BuildSpatial(UnitCube(2), makeClusteredPoints(10), -1, SpatialOptions{}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestBuildSpatialReducedFanout(t *testing.T) {
+	pts := makeClusteredPoints(20000)
+	tree, err := BuildSpatial(UnitCube(2), pts, 1.0, SpatialOptions{Fanout: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() < 3 {
+		t.Fatal("binary-split tree did not grow")
+	}
+}
+
+func TestBuildSpatialDeterministicForSeed(t *testing.T) {
+	pts := makeClusteredPoints(5000)
+	a, err := BuildSpatial(UnitCube(2), pts, 1, SpatialOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSpatial(UnitCube(2), pts, 1, SpatialOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes() != b.Nodes() || a.Total() != b.Total() {
+		t.Fatal("same seed produced different trees")
+	}
+	c, err := BuildSpatial(UnitCube(2), pts, 1, SpatialOptions{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() == c.Total() {
+		t.Fatal("different seeds produced identical noise (suspicious)")
+	}
+}
+
+func TestLeavesPartitionDomain(t *testing.T) {
+	pts := makeClusteredPoints(20000)
+	tree, err := BuildSpatial(UnitCube(2), pts, 1, SpatialOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := 0.0
+	for _, leaf := range tree.Leaves() {
+		vol += leaf.Region.Volume()
+	}
+	if math.Abs(vol-1) > 1e-9 {
+		t.Fatalf("leaf volumes sum to %v, want 1", vol)
+	}
+}
+
+func TestRequiredNoiseScaleCorollary1(t *testing.T) {
+	// β=4, ε=1: λ = 7/3.
+	if got := RequiredNoiseScale(4, 1); math.Abs(got-7.0/3) > 1e-12 {
+		t.Fatalf("λ = %v, want 7/3", got)
+	}
+}
+
+func TestAllBaselinesAnswerQueries(t *testing.T) {
+	pts := makeClusteredPoints(20000)
+	dom := UnitCube(2)
+	q := NewRect(Point{0.2, 0.4}, Point{0.6, 0.8})
+	exact := 0.0
+	for _, p := range pts {
+		if q.Contains(p) {
+			exact++
+		}
+	}
+	for _, b := range []Baseline{BaselineUG, BaselineAG, BaselineHierarchy, BaselinePrivelet, BaselineDAWA, BaselineSimpleTree} {
+		m, err := BuildBaseline(b, dom, pts, 1.0, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		got := m.RangeCount(q)
+		if math.Abs(got-exact)/exact > 1.5 {
+			t.Errorf("%s: estimate %v wildly off exact %v", b, got, exact)
+		}
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	pts4 := make([]Point, 100)
+	for i := range pts4 {
+		pts4[i] = Point{0.5, 0.5, 0.5, 0.5}
+	}
+	if _, err := BuildBaseline(BaselineAG, UnitCube(4), pts4, 1, 1); err == nil {
+		t.Fatal("AG on 4-D accepted")
+	}
+	if _, err := BuildBaseline(BaselineHierarchy, UnitCube(4), pts4, 1, 1); err == nil {
+		t.Fatal("Hierarchy on 4-D accepted")
+	}
+	if _, err := BuildBaseline("nope", UnitCube(2), makeClusteredPoints(10), 1, 1); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestPrivTreeBeatsSimpleTreeOnSkewedData(t *testing.T) {
+	// The paper's core claim, end to end through the public API.
+	pts := makeClusteredPoints(100000)
+	dom := UnitCube(2)
+	rng := rand.New(rand.NewPCG(5, 6))
+	queries := make([]Rect, 100)
+	for i := range queries {
+		side := 0.05 + 0.1*rng.Float64()
+		lo := Point{rng.Float64() * (1 - side), rng.Float64() * (1 - side)}
+		queries[i] = NewRect(lo, Point{lo[0] + side, lo[1] + side})
+	}
+	exact := make([]float64, len(queries))
+	for i, q := range queries {
+		for _, p := range pts {
+			if q.Contains(p) {
+				exact[i]++
+			}
+		}
+	}
+	avgErr := func(m RangeCounter) float64 {
+		total := 0.0
+		for i, q := range queries {
+			den := math.Max(exact[i], 100)
+			total += math.Abs(m.RangeCount(q)-exact[i]) / den
+		}
+		return total / float64(len(queries))
+	}
+	const eps = 0.2
+	pt, err := BuildSpatial(dom, pts, eps, SpatialOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := BuildBaseline(BaselineSimpleTree, dom, pts, eps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePT, eST := avgErr(pt), avgErr(st)
+	if ePT >= eST {
+		t.Fatalf("PrivTree error %v not below SimpleTree %v at ε=%v", ePT, eST, eps)
+	}
+}
+
+func TestBuildSequenceModelEndToEnd(t *testing.T) {
+	seqs := makeClickstreams(20000)
+	m, err := BuildSequenceModel(6, seqs, 2.0, SequenceOptions{MaxLength: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLength() != 20 {
+		t.Fatalf("l⊤ = %d", m.MaxLength())
+	}
+	top := m.TopK(10, 3)
+	if len(top) != 10 {
+		t.Fatalf("topk returned %d", len(top))
+	}
+	// Unigram estimates should be near exact.
+	exact := make([]float64, 6)
+	for _, s := range seqs {
+		for _, x := range s {
+			exact[x]++
+		}
+	}
+	for x := 0; x < 6; x++ {
+		got := m.EstimateFrequency(Sequence{x})
+		if math.Abs(got-exact[x])/exact[x] > 0.2 {
+			t.Errorf("unigram %d: %v vs exact %v", x, got, exact[x])
+		}
+	}
+	gen := m.Generate(1000, 9)
+	if len(gen) != 1000 {
+		t.Fatalf("generated %d", len(gen))
+	}
+	for _, s := range gen {
+		if len(s) > 20 {
+			t.Fatalf("generated sequence longer than l⊤: %d", len(s))
+		}
+	}
+}
+
+func TestBuildSequenceModelAutoLTop(t *testing.T) {
+	seqs := makeClickstreams(5000)
+	m, err := BuildSequenceModel(6, seqs, 2.0, SequenceOptions{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLength() < 5 || m.MaxLength() > 17 {
+		t.Fatalf("auto l⊤ = %d implausible for max length 15 data", m.MaxLength())
+	}
+}
+
+func TestBuildSequenceModelRejectsBadInput(t *testing.T) {
+	if _, err := BuildSequenceModel(0, nil, 1, SequenceOptions{}); err == nil {
+		t.Fatal("alphabet 0 accepted")
+	}
+	if _, err := BuildSequenceModel(2, []Sequence{{0, 5}}, 1, SequenceOptions{MaxLength: 5}); err == nil {
+		t.Fatal("out-of-alphabet symbol accepted")
+	}
+}
+
+func TestAffectedLeavesScalesNoise(t *testing.T) {
+	pts := makeClusteredPoints(30000)
+	// With x=5 the tree must be coarser (noisier decisions) and the count
+	// noise larger; the build must still succeed and roughly sum to n.
+	plain, err := BuildSpatial(UnitCube(2), pts, 1.0, SpatialOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := BuildSpatial(UnitCube(2), pts, 1.0, SpatialOptions{Seed: 4, AffectedLeaves: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Nodes() > plain.Nodes() {
+		t.Fatalf("x=5 tree (%d nodes) larger than x=1 tree (%d)", guarded.Nodes(), plain.Nodes())
+	}
+	if math.Abs(guarded.Total()-30000) > 10000 {
+		t.Fatalf("x=5 total %v implausible", guarded.Total())
+	}
+}

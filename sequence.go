@@ -1,0 +1,118 @@
+package privtree
+
+import (
+	"fmt"
+
+	"privtree/internal/dp"
+	"privtree/internal/markov"
+	"privtree/internal/sequence"
+)
+
+// Sequence is one behavioural sequence: symbol indices in [0, alphabet).
+type Sequence []int
+
+// SequenceOptions tunes BuildSequenceModel.
+type SequenceOptions struct {
+	// MaxLength is l⊤, the bound on sequence length (counting the
+	// terminal marker). Longer sequences are truncated, as in Section
+	// 4.2. 0 means the 95th length percentile is chosen privately with
+	// 5% of the budget (the paper's recipe, footnote 2).
+	MaxLength int
+	// Seed makes the build reproducible; 0 picks a fixed default.
+	Seed uint64
+}
+
+// SequenceModel is a released private prediction suffix tree.
+type SequenceModel struct {
+	model *markov.Model
+	lTop  int
+}
+
+// FrequentString is one mined string with its estimated occurrence count.
+type FrequentString struct {
+	Symbols []int
+	Count   float64
+}
+
+// BuildSequenceModel constructs a differentially private Markov model (a
+// prediction suffix tree) over the sequences under total budget eps,
+// following Section 4: the split decisions use the monotone score of
+// Equation (13) with ε/β of the budget, and the prediction histograms are
+// released with the remaining ε·(β−1)/β, where β = alphabet+1.
+func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts SequenceOptions) (*SequenceModel, error) {
+	if alphabet < 1 {
+		return nil, fmt.Errorf("privtree: alphabet size must be >= 1")
+	}
+	ds := &sequence.Dataset{Alphabet: sequence.NewAlphabet(alphabet), Seqs: make([]sequence.Seq, len(seqs))}
+	for i, s := range seqs {
+		syms := make([]sequence.Symbol, len(s))
+		for j, x := range s {
+			if x < 0 || x >= alphabet {
+				return nil, fmt.Errorf("privtree: sequence %d symbol %d out of range [0,%d)", i, x, alphabet)
+			}
+			syms[j] = sequence.Symbol(x)
+		}
+		ds.Seqs[i] = sequence.Seq{Syms: syms}
+	}
+	rng := dp.NewRand(seedOrDefault(opts.Seed))
+	lTop := opts.MaxLength
+	budget := eps
+	if lTop == 0 {
+		// Spend 5% of the budget choosing l⊤ privately.
+		quantEps := eps * 0.05
+		budget = eps - quantEps
+		lTop = sequence.PrivateLengthQuantile(ds, 0.95, quantEps, ds.MaxLen()+1, rng)
+	}
+	trunc, _ := ds.Truncate(lTop)
+	model, err := markov.Build(trunc, markov.Config{Epsilon: budget, LTop: lTop}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SequenceModel{model: model, lTop: lTop}, nil
+}
+
+// MaxLength returns the l⊤ the model was built with.
+func (m *SequenceModel) MaxLength() int { return m.lTop }
+
+// EstimateFrequency returns the model's estimate of how many times the
+// string occurs as a substring across the data (Equation 12).
+func (m *SequenceModel) EstimateFrequency(s Sequence) float64 {
+	syms := make([]sequence.Symbol, len(s))
+	for i, x := range s {
+		syms[i] = sequence.Symbol(x)
+	}
+	return m.model.EstimateFrequency(syms)
+}
+
+// TopK mines the k most frequent strings of length at most maxLen.
+func (m *SequenceModel) TopK(k, maxLen int) []FrequentString {
+	mined := m.model.TopK(k, maxLen)
+	out := make([]FrequentString, len(mined))
+	for i, sc := range mined {
+		syms := make([]int, len(sc.Syms))
+		for j, x := range sc.Syms {
+			syms[j] = int(x)
+		}
+		out[i] = FrequentString{Symbols: syms, Count: sc.Count}
+	}
+	return out
+}
+
+// Generate samples n synthetic sequences from the model, each capped at
+// the model's l⊤.
+func (m *SequenceModel) Generate(n int, seed uint64) []Sequence {
+	rng := dp.NewRand(seedOrDefault(seed))
+	synth := m.model.Generate(n, m.lTop, rng)
+	out := make([]Sequence, len(synth.Seqs))
+	for i, s := range synth.Seqs {
+		seq := make(Sequence, len(s.Syms))
+		for j, x := range s.Syms {
+			seq[j] = int(x)
+		}
+		out[i] = seq
+	}
+	return out
+}
+
+// Nodes returns the number of nodes in the released PST.
+func (m *SequenceModel) Nodes() int { return m.model.Size() }

@@ -1,0 +1,99 @@
+package privtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"privtree/internal/core"
+	"privtree/internal/geom"
+)
+
+// This file serializes released artifacts. A serialized tree contains
+// exactly what the mechanism released — regions and noisy counts — so the
+// bytes carry the same ε-differential-privacy guarantee as the in-memory
+// object and can be published or archived as-is.
+
+// treeJSON is the wire form of a SpatialTree.
+type treeJSON struct {
+	Version int      `json:"version"`
+	Fanout  int      `json:"fanout"`
+	Root    nodeJSON `json:"root"`
+}
+
+type nodeJSON struct {
+	Lo       []float64  `json:"lo"`
+	Hi       []float64  `json:"hi"`
+	Count    *float64   `json:"count,omitempty"` // leaves only; internal counts are reconstructed
+	Children []nodeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for SpatialTree.
+func (t *SpatialTree) MarshalJSON() ([]byte, error) {
+	var conv func(n *core.Node) nodeJSON
+	conv = func(n *core.Node) nodeJSON {
+		out := nodeJSON{Lo: n.Region.Lo, Hi: n.Region.Hi}
+		if n.IsLeaf() {
+			c := n.Count
+			out.Count = &c
+			return out
+		}
+		out.Children = make([]nodeJSON, len(n.Children))
+		for i, ch := range n.Children {
+			out.Children[i] = conv(ch)
+		}
+		return out
+	}
+	return json.Marshal(treeJSON{Version: 1, Fanout: t.tree.Fanout, Root: conv(t.tree.Root)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for SpatialTree: internal
+// counts are reconstructed as leaf sums, exactly as the release pipeline
+// defines them.
+func (t *SpatialTree) UnmarshalJSON(data []byte) error {
+	var wire treeJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	if wire.Version != 1 {
+		return fmt.Errorf("privtree: unsupported tree version %d", wire.Version)
+	}
+	var conv func(w nodeJSON, depth int) (*core.Node, float64, error)
+	conv = func(w nodeJSON, depth int) (*core.Node, float64, error) {
+		if len(w.Lo) != len(w.Hi) || len(w.Lo) == 0 {
+			return nil, 0, fmt.Errorf("privtree: malformed node bounds")
+		}
+		n := &core.Node{Region: geom.NewRect(w.Lo, w.Hi), Depth: depth, Count: math.NaN()}
+		if len(w.Children) == 0 {
+			if w.Count == nil {
+				return nil, 0, fmt.Errorf("privtree: leaf without count")
+			}
+			n.Count = *w.Count
+			return n, n.Count, nil
+		}
+		if wire.Fanout != 0 && len(w.Children) != wire.Fanout {
+			return nil, 0, fmt.Errorf("privtree: node has %d children, fanout is %d", len(w.Children), wire.Fanout)
+		}
+		n.Children = make([]*core.Node, len(w.Children))
+		total := 0.0
+		for i, cw := range w.Children {
+			child, sum, err := conv(cw, depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !n.Region.ContainsRect(child.Region) {
+				return nil, 0, fmt.Errorf("privtree: child region escapes parent")
+			}
+			n.Children[i] = child
+			total += sum
+		}
+		n.Count = total
+		return n, total, nil
+	}
+	root, _, err := conv(wire.Root, 0)
+	if err != nil {
+		return err
+	}
+	t.tree = &core.Tree{Root: root, Fanout: wire.Fanout, HasCounts: true}
+	return nil
+}

@@ -1,0 +1,108 @@
+package privtree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"privtree/internal/markov"
+	"privtree/internal/pst"
+	"privtree/internal/sequence"
+)
+
+// modelJSON is the wire form of a SequenceModel: predictor-tree structure
+// plus the released noisy histograms — the exact content of the ε-DP
+// release.
+type modelJSON struct {
+	Version  int         `json:"version"`
+	Alphabet int         `json:"alphabet"`
+	LTop     int         `json:"ltop"`
+	Root     pstNodeJSON `json:"root"`
+}
+
+type pstNodeJSON struct {
+	Hist     []float64     `json:"hist"`
+	Children []pstNodeJSON `json:"children,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for SequenceModel.
+func (m *SequenceModel) MarshalJSON() ([]byte, error) {
+	var conv func(n *pst.Node) pstNodeJSON
+	conv = func(n *pst.Node) pstNodeJSON {
+		out := pstNodeJSON{Hist: n.Hist}
+		if !n.IsLeaf() {
+			out.Children = make([]pstNodeJSON, len(n.Children))
+			for i, c := range n.Children {
+				out.Children[i] = conv(c)
+			}
+		}
+		return out
+	}
+	return json.Marshal(modelJSON{
+		Version:  1,
+		Alphabet: m.model.Alphabet.Size,
+		LTop:     m.lTop,
+		Root:     conv(m.model.Root),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for SequenceModel. Contexts
+// are reconstructed from tree position (child i of a node prepends symbol
+// i; the last child is the $-anchored one), so the wire format only
+// carries structure and histograms.
+func (m *SequenceModel) UnmarshalJSON(data []byte) error {
+	var wire modelJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	if wire.Version != 1 {
+		return fmt.Errorf("privtree: unsupported model version %d", wire.Version)
+	}
+	if wire.Alphabet < 1 {
+		return fmt.Errorf("privtree: model alphabet %d invalid", wire.Alphabet)
+	}
+	k := wire.Alphabet
+	var conv func(w pstNodeJSON, ctx pst.Context, depth int) (*pst.Node, error)
+	conv = func(w pstNodeJSON, ctx pst.Context, depth int) (*pst.Node, error) {
+		if len(w.Hist) != k+1 {
+			return nil, fmt.Errorf("privtree: histogram arity %d, want |I|+1 = %d", len(w.Hist), k+1)
+		}
+		n := &pst.Node{Ctx: ctx, Depth: depth, Hist: w.Hist}
+		if len(w.Children) == 0 {
+			return n, nil
+		}
+		if len(w.Children) != k+1 {
+			return nil, fmt.Errorf("privtree: node has %d children, want |I|+1 = %d", len(w.Children), k+1)
+		}
+		if ctx.Anchored {
+			return nil, fmt.Errorf("privtree: $-anchored context cannot have children")
+		}
+		n.Children = make([]*pst.Node, k+1)
+		for i, cw := range w.Children {
+			cctx := pst.Context{Anchored: i == k}
+			if i < k {
+				cctx.Syms = append([]sequence.Symbol{sequence.Symbol(i)}, ctx.Syms...)
+			} else {
+				cctx.Syms = append([]sequence.Symbol(nil), ctx.Syms...)
+			}
+			child, err := conv(cw, cctx, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.Children[i] = child
+		}
+		return n, nil
+	}
+	root, err := conv(wire.Root, pst.Context{}, 0)
+	if err != nil {
+		return err
+	}
+	m.model = &markov.Model{
+		Tree: pst.Tree{
+			Alphabet: sequence.NewAlphabet(k),
+			Root:     root,
+			EndIndex: k,
+		},
+	}
+	m.lTop = wire.LTop
+	return nil
+}

@@ -1,0 +1,200 @@
+package privtree
+
+import (
+	"fmt"
+
+	"privtree/internal/baseline"
+	"privtree/internal/core"
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// Point is a location in d-dimensional space.
+type Point = geom.Point
+
+// Rect is an axis-aligned box, closed at Lo and open at Hi per axis.
+type Rect = geom.Rect
+
+// NewRect builds a Rect spanning [lo[i], hi[i]) on each axis; it panics on
+// mismatched dimensions or inverted intervals.
+func NewRect(lo, hi Point) Rect { return geom.NewRect(lo, hi) }
+
+// UnitCube returns the domain [0,1)^d.
+func UnitCube(d int) Rect { return geom.UnitCube(d) }
+
+// SpatialOptions tunes BuildSpatial beyond the paper defaults.
+type SpatialOptions struct {
+	// Fanout is β; 0 means 2^d (the quadtree family the paper uses).
+	Fanout int
+	// Theta is the split threshold; the paper default is 0.
+	Theta float64
+	// TreeBudgetFraction is the share of ε spent on the decomposition
+	// structure (the rest buys leaf counts); 0 means the paper's 1/2.
+	TreeBudgetFraction float64
+	// MaxDepth caps recursion as an engineering guard; 0 means 64.
+	MaxDepth int
+	// AffectedLeaves is x in the paper's third Section 3.5 extension: if
+	// one individual can contribute points to up to x leaves (e.g. a
+	// person with x check-ins), the noise scale is enlarged x-fold to
+	// keep the release ε-DP at the individual level. 0 or 1 means the
+	// standard one-point-per-individual setting.
+	AffectedLeaves int
+	// Seed makes the build reproducible; 0 picks a fixed default.
+	Seed uint64
+}
+
+// SpatialTree is a released private decomposition with noisy counts.
+type SpatialTree struct {
+	tree *core.Tree
+}
+
+// BuildSpatial runs the full PrivTree pipeline of the paper's Section 3 on
+// points over domain under total privacy budget eps: ε/2 builds the tree
+// (Algorithm 2), ε/2 buys noisy leaf counts, and internal counts are leaf
+// sums. Every point must lie inside domain.
+func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions) (*SpatialTree, error) {
+	data, err := dataset.NewSpatial(domain, points)
+	if err != nil {
+		return nil, err
+	}
+	d := domain.Dims()
+	fanout := opts.Fanout
+	var split geom.Splitter
+	switch {
+	case fanout == 0 || fanout == 1<<d:
+		fanout = 1 << d
+		split = geom.FullBisect{Dim: d}
+	default:
+		// Accept 2^k fanouts below 2^d via round-robin splitting.
+		k := 0
+		for 1<<k < fanout {
+			k++
+		}
+		if 1<<k != fanout || k < 1 || k > d {
+			return nil, fmt.Errorf("privtree: fanout %d not realizable in %d dimensions (want a power of two ≤ 2^d)", fanout, d)
+		}
+		split = geom.RoundRobinBisect{Dim: d, PerStep: k}
+	}
+	frac := opts.TreeBudgetFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	sens := 1.0
+	if opts.AffectedLeaves > 1 {
+		sens = float64(opts.AffectedLeaves)
+	}
+	rng := dp.NewRand(seedOrDefault(opts.Seed))
+	p := core.Params{
+		Epsilon:     eps * frac,
+		Fanout:      fanout,
+		Theta:       opts.Theta,
+		MaxDepth:    opts.MaxDepth,
+		Sensitivity: sens,
+	}
+	// The count release scales identically: x leaves can each change by
+	// one, so the leaf-count vector has L1 sensitivity x.
+	t, err := core.BuildNoisyParams(data, split, p, eps*(1-frac)/sens, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialTree{tree: t}, nil
+}
+
+// RangeCount estimates the number of points inside q (the noisy traversal
+// of Section 2.2, with the uniformity assumption at leaves).
+func (t *SpatialTree) RangeCount(q Rect) float64 { return t.tree.RangeCount(q) }
+
+// Total returns the tree's noisy estimate of the dataset cardinality.
+func (t *SpatialTree) Total() float64 { return t.tree.Root.Count }
+
+// Nodes returns the number of nodes in the decomposition.
+func (t *SpatialTree) Nodes() int { return t.tree.Size() }
+
+// Height returns the tree height (root = 0) — unconstrained by design,
+// this is the paper's headline property.
+func (t *SpatialTree) Height() int { return t.tree.Height() }
+
+// Leaves returns the leaf regions with their released noisy counts.
+func (t *SpatialTree) Leaves() []LeafRegion {
+	leaves := t.tree.Leaves()
+	out := make([]LeafRegion, len(leaves))
+	for i, l := range leaves {
+		out[i] = LeafRegion{Region: l.Region, Count: l.Count, Depth: l.Depth}
+	}
+	return out
+}
+
+// LeafRegion is one released leaf: its region, noisy count, and depth.
+type LeafRegion struct {
+	Region Rect
+	Count  float64
+	Depth  int
+}
+
+// RequiredNoiseScale exposes Corollary 1: the minimum Laplace scale for a
+// fanout-β PrivTree at budget ε.
+func RequiredNoiseScale(beta int, eps float64) float64 {
+	return core.LambdaForEpsilon(beta, eps)
+}
+
+// seedOrDefault maps seed 0 to a fixed constant so the zero-value options
+// are still deterministic.
+func seedOrDefault(seed uint64) uint64 {
+	if seed == 0 {
+		return 0x70726976 // "priv"
+	}
+	return seed
+}
+
+// Baseline identifies one of the paper's comparison methods.
+type Baseline string
+
+// The Figure 5 lineup (SimpleTree is the paper's Algorithm 1 strawman).
+const (
+	BaselineUG         Baseline = "ug"
+	BaselineAG         Baseline = "ag"
+	BaselineHierarchy  Baseline = "hierarchy"
+	BaselinePrivelet   Baseline = "privelet"
+	BaselineDAWA       Baseline = "dawa"
+	BaselineSimpleTree Baseline = "simpletree"
+)
+
+// RangeCounter answers range-count queries; all baselines and SpatialTree
+// satisfy it.
+type RangeCounter interface {
+	RangeCount(q Rect) float64
+}
+
+// BuildBaseline constructs one of the comparison methods on the same data
+// under budget eps. AG and Hierarchy require 2-D data. SimpleTree uses the
+// paper's Algorithm 1 with height 8.
+func BuildBaseline(b Baseline, domain Rect, points []Point, eps float64, seed uint64) (RangeCounter, error) {
+	data, err := dataset.NewSpatial(domain, points)
+	if err != nil {
+		return nil, err
+	}
+	rng := dp.NewRand(seedOrDefault(seed))
+	switch b {
+	case BaselineUG:
+		return baseline.NewUG(data, eps, rng), nil
+	case BaselineAG:
+		if domain.Dims() != 2 {
+			return nil, fmt.Errorf("privtree: AG requires 2-D data")
+		}
+		return baseline.NewAG(data, eps, rng), nil
+	case BaselineHierarchy:
+		if domain.Dims() != 2 {
+			return nil, fmt.Errorf("privtree: Hierarchy requires 2-D data")
+		}
+		return baseline.NewHierarchy(data, eps, rng), nil
+	case BaselinePrivelet:
+		return baseline.NewPrivelet(data, eps, rng), nil
+	case BaselineDAWA:
+		return baseline.NewDAWA(data, eps, rng), nil
+	case BaselineSimpleTree:
+		d := domain.Dims()
+		return baseline.NewSimpleTree(data, geom.FullBisect{Dim: d}, eps, 0, 8, rng), nil
+	}
+	return nil, fmt.Errorf("privtree: unknown baseline %q", b)
+}
