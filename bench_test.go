@@ -136,6 +136,29 @@ func BenchmarkBuildSpatial100k(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildSpatial1M measures the build at production scale, serial
+// vs. parallel. Because noise comes from per-node splittable streams, both
+// variants release the identical tree; only wall-clock differs.
+func BenchmarkBuildSpatial1M(b *testing.B) {
+	pts := makeClusteredPoints(1_000_000)
+	dom := UnitCube(2)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildSpatial(dom, pts, 1.0, SpatialOptions{Seed: uint64(i + 1), Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkRangeCount(b *testing.B) {
 	pts := makeClusteredPoints(100_000)
 	dom := UnitCube(2)

@@ -5,6 +5,7 @@
 //	privtree-bench -exp fig5 [-scale 0.1] [-reps 5] [-queries 400] [-eps 0.05,0.1,...] [-seed N]
 //	privtree-bench -exp all        # every experiment at the configured scale
 //	privtree-bench -list           # list experiment ids
+//	privtree-bench -micro [-benchout BENCH.json]   # core micro-benchmarks as JSON
 //
 // Experiment ids follow DESIGN.md §3: fig2, tab2, fig5, tab3, fig6, fig7,
 // lem51, tab4, fig8, fig9, fig10, fig11, fig12, lem32, abl-bias, abl-split,
@@ -23,16 +24,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Float64("scale", 0.1, "fraction of the paper's dataset cardinalities (1.0 = full size)")
-		reps    = flag.Int("reps", 5, "repetitions per configuration (paper: 100)")
-		queries = flag.Int("queries", 400, "queries per query set (paper: 10000)")
-		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
-		epsList = flag.String("eps", "", "comma-separated ε sweep (default: paper's 0.05..1.6)")
-		ds      = flag.String("dataset", "road", "dataset for single-dataset experiments (lem32, ablations)")
+		exp      = flag.String("exp", "", "experiment id (see -list)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Float64("scale", 0.1, "fraction of the paper's dataset cardinalities (1.0 = full size)")
+		reps     = flag.Int("reps", 5, "repetitions per configuration (paper: 100)")
+		queries  = flag.Int("queries", 400, "queries per query set (paper: 10000)")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = default)")
+		epsList  = flag.String("eps", "", "comma-separated ε sweep (default: paper's 0.05..1.6)")
+		ds       = flag.String("dataset", "road", "dataset for single-dataset experiments (lem32, ablations)")
+		micro    = flag.Bool("micro", false, "run the core micro-benchmarks and write machine-readable results")
+		benchOut = flag.String("benchout", "BENCH.json", "output path for -micro results")
 	)
 	flag.Parse()
+
+	if *micro {
+		if err := runMicro(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "privtree-bench: micro benchmarks failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := []string{
 		"fig2", "tab2", "fig5", "tab3", "fig6", "fig7", "lem51", "tab4",

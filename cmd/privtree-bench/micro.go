@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"testing"
+
+	"privtree"
+)
+
+// This file implements the -micro mode: it measures the repository's three
+// core micro-benchmarks (spatial build, range-count query, sequence-model
+// build) with testing.Benchmark and writes the results as machine-readable
+// JSON, so successive PRs can diff ns/op, B/op and allocs/op without
+// parsing `go test -bench` text output.
+
+// microResult is one benchmark row of BENCH.json.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// microReport is the top-level BENCH.json document.
+type microReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []microResult `json:"benchmarks"`
+}
+
+// microPoints mirrors the clustered dataset of the package micro-benches:
+// 3/4 of the mass in a Gaussian blob, the rest uniform.
+func microPoints(n int) []privtree.Point {
+	rng := rand.New(rand.NewPCG(100, 200))
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x >= 1 {
+			return 0.999999
+		}
+		return x
+	}
+	pts := make([]privtree.Point, n)
+	for i := range pts {
+		if i%4 == 0 {
+			pts[i] = privtree.Point{rng.Float64(), rng.Float64()}
+		} else {
+			pts[i] = privtree.Point{clamp(0.4 + 0.03*rng.NormFloat64()), clamp(0.6 + 0.03*rng.NormFloat64())}
+		}
+	}
+	return pts
+}
+
+// microSequences mirrors the sticky-chain clickstreams of the package
+// micro-benches.
+func microSequences(n int) []privtree.Sequence {
+	rng := rand.New(rand.NewPCG(300, 400))
+	out := make([]privtree.Sequence, n)
+	for i := range out {
+		cur := rng.IntN(6)
+		var s privtree.Sequence
+		for {
+			s = append(s, cur)
+			if rng.Float64() < 0.3 || len(s) >= 15 {
+				break
+			}
+			cur = (cur + 1) % 6
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// runMicro measures the micro-benchmarks and writes BENCH.json to outPath.
+func runMicro(outPath string) error {
+	dom := privtree.UnitCube(2)
+	pts100k := microPoints(100_000)
+	seqs := microSequences(20_000)
+
+	queryTree, err := privtree.BuildSpatial(dom, pts100k, 1.0, privtree.SpatialOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	q := privtree.NewRect(privtree.Point{0.2, 0.2}, privtree.Point{0.6, 0.6})
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BuildSpatial100k", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := privtree.BuildSpatial(dom, pts100k, 1.0, privtree.SpatialOptions{Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"RangeCount", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				queryTree.RangeCount(q)
+			}
+		}},
+		{"BuildSequenceModel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := privtree.BuildSequenceModel(6, seqs, 1.0, privtree.SequenceOptions{MaxLength: 20, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := microReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		row := microResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, row)
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
+			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

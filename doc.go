@@ -28,5 +28,19 @@
 // comparison; the experiment runners that regenerate every figure and
 // table of the paper are exposed through cmd/privtree-bench.
 //
-// All randomness is seeded: the same seed reproduces the same tree.
+// # Performance
+//
+// The hot paths are engineered to be allocation-free in steady state:
+// decomposition trees are stored as flat node arenas (children as
+// contiguous index blocks, coordinates in chunked slabs), the per-node and
+// per-query geometry writes into caller-provided buffers, and RangeCount
+// performs zero heap allocations per query. Tree construction draws every
+// node's noise from a splittable stream keyed by the node's path from the
+// root, so subtrees can be built on a worker pool
+// (SpatialOptions.Workers) while remaining a pure function of the seed:
+// serial and parallel builds release identical trees. See README.md for
+// the measured numbers.
+//
+// All randomness is seeded: the same seed reproduces the same tree, at
+// every Workers setting.
 package privtree

@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"math"
 	"math/rand/v2"
 
 	"privtree/internal/core"
@@ -39,52 +38,52 @@ func NewSimpleTree(data *dataset.Spatial, split geom.Splitter, eps, theta float6
 		theta = lambda
 	}
 
-	root := &core.Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
-	var grow func(n *core.Node, view *dataset.View)
-	grow = func(n *core.Node, view *dataset.View) {
+	b := core.NewBuilder(split.Fanout(), 64)
+	b.AddRoot(data.Domain)
+	var grow func(idx int32, view dataset.View)
+	grow = func(idx int32, view dataset.View) {
+		n := b.Node(idx)
 		noisy := float64(view.Len()) + dp.LapNoise(rng, lambda)
-		if !(noisy > theta) || n.Depth >= h-1 {
+		if !(noisy > theta) || int(n.Depth) >= h-1 {
 			return
 		}
-		regions := split.Split(n.Region, n.Depth)
-		views := view.Partition(regions)
-		n.Children = make([]*core.Node, len(regions))
-		for i, r := range regions {
-			child := &core.Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
-			n.Children[i] = child
-			grow(child, views[i])
+		regions := split.Split(n.Region, int(n.Depth))
+		views := view.PartitionInto(regions, make([]dataset.View, len(regions)))
+		first := b.AddChildren(idx, regions)
+		for i := range regions {
+			grow(first+int32(i), views[i])
 		}
 	}
-	grow(root, data.NewView())
+	grow(0, *data.NewView())
 
-	t := &core.Tree{Root: root, Fanout: split.Fanout()}
+	t := b.Build(false)
 	attachLeafCounts(t, data, epsCount, rng)
 	return &SimpleTree{tree: t}
 }
 
 // attachLeafCounts mirrors PrivTree's post-processing: noisy leaf counts,
-// internal nodes as sums.
+// internal nodes as sums. Leaf views are recovered by re-partitioning the
+// dataset down the released structure.
 func attachLeafCounts(t *core.Tree, data *dataset.Spatial, eps float64, rng *rand.Rand) {
 	mech := dp.LaplaceMechanism{Epsilon: eps, Sensitivity: 1}
-	var walk func(n *core.Node, v *dataset.View) float64
-	walk = func(n *core.Node, v *dataset.View) float64 {
+	var walk func(n core.NodeRef, v dataset.View)
+	walk = func(n core.NodeRef, v dataset.View) {
 		if n.IsLeaf() {
-			n.Count = mech.Release(rng, float64(v.Len()))
-			return n.Count
+			n.Node().Count = mech.Release(rng, float64(v.Len()))
+			return
 		}
-		regions := make([]geom.Rect, len(n.Children))
-		for i, c := range n.Children {
-			regions[i] = c.Region
+		k := n.NumChildren()
+		regions := make([]geom.Rect, k)
+		for i := 0; i < k; i++ {
+			regions[i] = n.Child(i).Region()
 		}
-		views := v.Partition(regions)
-		sum := 0.0
-		for i, c := range n.Children {
-			sum += walk(c, views[i])
+		views := v.PartitionInto(regions, make([]dataset.View, k))
+		for i := 0; i < k; i++ {
+			walk(n.Child(i), views[i])
 		}
-		n.Count = sum
-		return sum
 	}
-	walk(t.Root, data.NewView())
+	walk(t.Root(), *data.NewView())
+	t.SumInternalCounts()
 	t.HasCounts = true
 }
 

@@ -284,30 +284,31 @@ func TestBuildProducesValidTree(t *testing.T) {
 		t.Fatalf("tree suspiciously small: %d nodes", tree.Size())
 	}
 	// Structural invariants: children tile parents, depths increment.
-	var walk func(n *Node)
-	walk = func(n *Node) {
+	var walk func(n NodeRef)
+	walk = func(n NodeRef) {
 		if n.IsLeaf() {
 			return
 		}
-		if len(n.Children) != 4 {
-			t.Fatalf("fanout violated: %d children", len(n.Children))
+		if n.NumChildren() != 4 {
+			t.Fatalf("fanout violated: %d children", n.NumChildren())
 		}
 		vol := 0.0
-		for _, c := range n.Children {
-			if c.Depth != n.Depth+1 {
+		for i := 0; i < n.NumChildren(); i++ {
+			c := n.Child(i)
+			if c.Depth() != n.Depth()+1 {
 				t.Fatalf("depth not incremented")
 			}
-			if !n.Region.ContainsRect(c.Region) {
+			if !n.Region().ContainsRect(c.Region()) {
 				t.Fatalf("child escapes parent")
 			}
-			vol += c.Region.Volume()
+			vol += c.Region().Volume()
 			walk(c)
 		}
-		if math.Abs(vol-n.Region.Volume()) > 1e-9 {
+		if math.Abs(vol-n.Region().Volume()) > 1e-9 {
 			t.Fatalf("children do not tile parent")
 		}
 	}
-	walk(tree.Root)
+	walk(tree.Root())
 }
 
 func TestBuildAdaptsToSkew(t *testing.T) {
@@ -319,16 +320,16 @@ func TestBuildAdaptsToSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	depthAt := func(x, y float64) int {
-		n := tree.Root
+		n := tree.Root()
 		for !n.IsLeaf() {
-			for _, c := range n.Children {
-				if c.Region.Contains(geom.Point{x, y}) {
+			for i := 0; i < n.NumChildren(); i++ {
+				if c := n.Child(i); c.Region().Contains(geom.Point{x, y}) {
 					n = c
 					break
 				}
 			}
 		}
-		return n.Depth
+		return n.Depth()
 	}
 	dense := depthAt(0.2, 0.2)
 	sparse := depthAt(0.9, 0.9)
@@ -347,16 +348,11 @@ func TestBuildRemovesCounts(t *testing.T) {
 	if tree.HasCounts {
 		t.Fatal("Build released counts")
 	}
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if !math.IsNaN(n.Count) {
-			t.Fatalf("node carries count %v; Algorithm 2 removes all counts", n.Count)
-		}
-		for _, c := range n.Children {
-			walk(c)
+	for i := range tree.Nodes {
+		if !math.IsNaN(tree.Nodes[i].Count) {
+			t.Fatalf("node carries count %v; Algorithm 2 removes all counts", tree.Nodes[i].Count)
 		}
 	}
-	walk(tree.Root)
 }
 
 func TestBuildRejectsFanoutMismatch(t *testing.T) {
@@ -376,21 +372,21 @@ func TestBuildNoisyInternalCountsAreLeafSums(t *testing.T) {
 	if !tree.HasCounts {
 		t.Fatal("BuildNoisy did not release counts")
 	}
-	var walk func(n *Node) float64
-	walk = func(n *Node) float64 {
+	var walk func(n NodeRef) float64
+	walk = func(n NodeRef) float64 {
 		if n.IsLeaf() {
-			return n.Count
+			return n.Count()
 		}
 		sum := 0.0
-		for _, c := range n.Children {
-			sum += walk(c)
+		for i := 0; i < n.NumChildren(); i++ {
+			sum += walk(n.Child(i))
 		}
-		if math.Abs(sum-n.Count) > 1e-6 {
-			t.Fatalf("internal count %v != leaf sum %v", n.Count, sum)
+		if math.Abs(sum-n.Count()) > 1e-6 {
+			t.Fatalf("internal count %v != leaf sum %v", n.Count(), sum)
 		}
 		return sum
 	}
-	walk(tree.Root)
+	walk(tree.Root())
 }
 
 func TestBuildNoisyRootNearN(t *testing.T) {
@@ -399,8 +395,8 @@ func TestBuildNoisyRootNearN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(tree.Root.Count-50000) > 2000 {
-		t.Fatalf("root noisy count %v too far from 50000", tree.Root.Count)
+	if math.Abs(tree.Root().Count()-50000) > 2000 {
+		t.Fatalf("root noisy count %v too far from 50000", tree.Root().Count())
 	}
 }
 
@@ -434,8 +430,8 @@ func TestRangeCountFullDomain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tree.RangeCount(ds.Domain); math.Abs(got-tree.Root.Count) > 1e-6 {
-		t.Fatalf("full-domain query %v != root count %v", got, tree.Root.Count)
+	if got := tree.RangeCount(ds.Domain); math.Abs(got-tree.Root().Count()) > 1e-6 {
+		t.Fatalf("full-domain query %v != root count %v", got, tree.Root().Count())
 	}
 }
 
@@ -465,27 +461,27 @@ func TestBuildExactSplitsAboveTheta(t *testing.T) {
 	tree := BuildExact(ds, geom.FullBisect{Dim: 2}, 100, 0)
 	// Every leaf must have ≤ θ points OR be at max depth; every internal
 	// node must have > θ points.
-	var walk func(n *Node, view *dataset.View)
-	walk = func(n *Node, view *dataset.View) {
+	var walk func(n NodeRef, view *dataset.View)
+	walk = func(n NodeRef, view *dataset.View) {
 		if n.IsLeaf() {
-			if float64(view.Len()) > 100 && n.Depth < DefaultMaxDepth-1 {
-				t.Fatalf("leaf with %d > θ points at depth %d", view.Len(), n.Depth)
+			if float64(view.Len()) > 100 && n.Depth() < DefaultMaxDepth-1 {
+				t.Fatalf("leaf with %d > θ points at depth %d", view.Len(), n.Depth())
 			}
 			return
 		}
 		if view.Len() <= 100 {
 			t.Fatalf("internal node with %d <= θ points", view.Len())
 		}
-		regions := make([]geom.Rect, len(n.Children))
-		for i, c := range n.Children {
-			regions[i] = c.Region
+		regions := make([]geom.Rect, n.NumChildren())
+		for i := range regions {
+			regions[i] = n.Child(i).Region()
 		}
 		views := view.Partition(regions)
-		for i, c := range n.Children {
-			walk(c, views[i])
+		for i := range regions {
+			walk(n.Child(i), views[i])
 		}
 	}
-	walk(tree.Root, ds.NewView())
+	walk(tree.Root(), ds.NewView())
 }
 
 func TestLemma32ExpectedTreeSize(t *testing.T) {

@@ -52,3 +52,17 @@ func (d *Decider) ShouldSplit(score float64, depth int) bool {
 	noisy := d.BiasedScore(score, depth) + dp.LapNoise(d.rng, d.Lambda)
 	return noisy > d.Theta
 }
+
+// ShouldSplitAt is the pure form of ShouldSplit used by the spatial tree
+// builder: the Laplace noise comes from the node's own splittable stream
+// instead of the shared sequential generator, so the decision for a node
+// depends only on (seed, path, score, depth) — never on the order nodes
+// are expanded. That independence is what lets the parallel build produce
+// trees identical to the serial one. It performs no allocation.
+func (d *Decider) ShouldSplitAt(score float64, depth int, s dp.Stream) bool {
+	if depth >= d.MaxDepth-1 {
+		return false
+	}
+	noisy := d.BiasedScore(score, depth) + s.Laplace(tagSplit, d.Lambda)
+	return noisy > d.Theta
+}

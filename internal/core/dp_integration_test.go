@@ -14,18 +14,18 @@ import (
 // entire output of Algorithm 2 (counts are removed).
 func shapeOf(t *Tree) string {
 	var b strings.Builder
-	var walk func(n *Node)
-	walk = func(n *Node) {
+	var walk func(n NodeRef)
+	walk = func(n NodeRef) {
 		if n.IsLeaf() {
 			b.WriteByte('0')
 			return
 		}
 		b.WriteByte('1')
-		for _, c := range n.Children {
-			walk(c)
+		for i := 0; i < n.NumChildren(); i++ {
+			walk(n.Child(i))
 		}
 	}
-	walk(t.Root)
+	walk(t.Root())
 	return b.String()
 }
 
@@ -144,11 +144,11 @@ func TestEndToEndDPCatchesBrokenMechanism(t *testing.T) {
 	// (0.9): a deterministic post-processing of the released structure,
 	// so any log-ratio it exhibits lower-bounds the mechanism's loss.
 	rightDepth := func(t *Tree) int {
-		n := t.Root
+		n := t.Root()
 		for !n.IsLeaf() {
 			moved := false
-			for _, c := range n.Children {
-				if c.Region.Contains(geom.Point{0.9}) {
+			for i := 0; i < n.NumChildren(); i++ {
+				if c := n.Child(i); c.Region().Contains(geom.Point{0.9}) {
 					n = c
 					moved = true
 					break
@@ -158,33 +158,33 @@ func TestEndToEndDPCatchesBrokenMechanism(t *testing.T) {
 				break
 			}
 		}
-		return n.Depth
+		return n.Depth()
 	}
 	sampleBroken := func(ds *dataset.Spatial, seed uint64) map[int]int {
 		rng := dp.NewRand(seed)
 		out := make(map[int]int)
 		for i := 0; i < trials; i++ {
-			root := &Node{Region: dom.Clone(), Depth: 0, Count: math.NaN()}
-			var grow func(n *Node, view *dataset.View)
-			grow = func(n *Node, view *dataset.View) {
-				if n.Depth >= maxDepth-1 {
+			b := NewBuilder(2, 16)
+			b.AddRoot(dom)
+			var grow func(idx int32, view dataset.View)
+			grow = func(idx int32, view dataset.View) {
+				n := b.Node(idx)
+				if int(n.Depth) >= maxDepth-1 {
 					return
 				}
 				// Raw count + Lap(λ) > θ=0.5 — no depth bias, no clamp.
 				if float64(view.Len())+dp.LapNoise(rng, lambda) <= 0.5 {
 					return
 				}
-				regions := split.Split(n.Region, n.Depth)
-				views := view.Partition(regions)
-				n.Children = make([]*Node, len(regions))
-				for ci, r := range regions {
-					child := &Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
-					n.Children[ci] = child
-					grow(child, views[ci])
+				regions := split.Split(n.Region, int(n.Depth))
+				views := view.PartitionInto(regions, make([]dataset.View, len(regions)))
+				first := b.AddChildren(idx, regions)
+				for ci := range regions {
+					grow(first+int32(ci), views[ci])
 				}
 			}
-			grow(root, ds.NewView())
-			out[rightDepth(&Tree{Root: root, Fanout: 2})]++
+			grow(0, *ds.NewView())
+			out[rightDepth(b.Build(false))]++
 		}
 		return out
 	}

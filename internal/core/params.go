@@ -40,6 +40,12 @@ type Params struct {
 	Sensitivity float64
 	// MaxDepth guards the recursion; 0 means DefaultMaxDepth.
 	MaxDepth int
+	// Workers bounds the goroutines used to build the tree: 0 means
+	// GOMAXPROCS, 1 forces a serial build. Because every node draws its
+	// noise from a path-keyed splittable stream, the released tree is
+	// identical for every Workers value — the knob trades wall-clock time
+	// only, never reproducibility.
+	Workers int
 }
 
 // Validate normalizes defaults and rejects unusable configurations.
@@ -67,6 +73,9 @@ func (p *Params) Validate() error {
 	}
 	if p.MaxDepth < 1 {
 		return fmt.Errorf("core: MaxDepth must be >= 1, got %d", p.MaxDepth)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", p.Workers)
 	}
 	return nil
 }

@@ -2,108 +2,167 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
+	"runtime"
+	"sync"
 
 	"privtree/internal/dataset"
 	"privtree/internal/dp"
 	"privtree/internal/geom"
 )
 
-// Node is one region of a spatial decomposition tree. Count is the released
-// noisy count: for leaves it is the directly perturbed value, for internal
-// nodes the sum of their leaves' noisy counts (the paper's post-processing,
-// Section 3.4). Count is NaN on trees built without count release.
-type Node struct {
-	Region   geom.Rect
-	Depth    int
-	Children []*Node
-	Count    float64
-}
+// Noise-stream tags: each tree node draws its split-decision noise and its
+// count-release noise from the same path-derived dp.Stream under distinct
+// tags, so the two draws are independent and neither depends on traversal
+// order.
+const (
+	tagSplit = 1
+	tagCount = 2
+)
 
-// IsLeaf reports whether the node has no children.
-func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
-
-// Tree is the output of PrivTree on spatial data: the decomposition plus,
-// optionally, noisy counts.
-type Tree struct {
-	Root   *Node
-	Fanout int
-	// HasCounts records whether noisy counts were released onto nodes.
-	HasCounts bool
-}
-
-// Size returns the total number of nodes.
-func (t *Tree) Size() int { return countNodes(t.Root) }
-
-func countNodes(n *Node) int {
-	total := 1
-	for _, c := range n.Children {
-		total += countNodes(c)
-	}
-	return total
-}
-
-// Height returns the maximum depth over all nodes (root = 0).
-func (t *Tree) Height() int { return maxDepth(t.Root) }
-
-func maxDepth(n *Node) int {
-	d := n.Depth
-	for _, c := range n.Children {
-		if cd := maxDepth(c); cd > d {
-			d = cd
-		}
-	}
-	return d
-}
-
-// Leaves returns all leaf nodes in depth-first order.
-func (t *Tree) Leaves() []*Node {
-	var out []*Node
-	var walk func(*Node)
-	walk = func(n *Node) {
-		if n.IsLeaf() {
-			out = append(out, n)
-			return
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(t.Root)
-	return out
-}
+// parallelCutoff is the minimum number of points in a node's view before
+// its child subtrees are worth fanning out to worker goroutines; below it
+// the partition/expand work is cheaper than the handoff.
+const parallelCutoff = 2048
 
 // Build runs Algorithm 2 on the dataset: it releases the decomposition
 // *structure* only (all point counts removed, as in line 11 of the
 // algorithm), consuming p.Epsilon. Use BuildNoisy for the full pipeline
 // with released counts.
+//
+// rng seeds a splittable per-node noise stream (one draw is taken from
+// rng), so the result is a pure function of (data, p, seed) regardless of
+// p.Workers: parallel and serial builds are identical.
 func Build(data *dataset.Spatial, split geom.Splitter, p Params, rng *rand.Rand) (*Tree, error) {
+	return build(data, split, p, 0, rng)
+}
+
+// build is the shared construction path; countScale > 0 additionally
+// releases leaf counts at that Laplace scale and sums them bottom-up.
+func build(data *dataset.Spatial, split geom.Splitter, p Params, countScale float64, rng *rand.Rand) (*Tree, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if split.Fanout() != p.Fanout {
 		return nil, fmt.Errorf("core: splitter fanout %d disagrees with Params.Fanout %d", split.Fanout(), p.Fanout)
 	}
-	dec := NewDecider(p, rng)
-	root := &Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
-	expand(root, data.NewView(), split, dec)
-	return &Tree{Root: root, Fanout: p.Fanout}, nil
+	workers := p.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	bc := &buildCtx{
+		split:      split,
+		dec:        NewDecider(p, nil),
+		fanout:     p.Fanout,
+		dims:       data.Dims(),
+		countScale: countScale,
+	}
+	if workers > 1 {
+		// Counting semaphore for extra subtree workers beyond this one.
+		bc.sem = make(chan struct{}, workers-1)
+	}
+	b := NewBuilder(p.Fanout, 64)
+	b.AddRoot(data.Domain)
+	var scratch []levelScratch
+	bc.expand(b, 0, *data.NewView(), dp.NewStream(rng.Uint64()), &scratch)
+	t := b.Build(countScale > 0)
+	if countScale > 0 {
+		t.SumInternalCounts()
+	}
+	return t, nil
 }
 
-// expand recursively applies the split decision. The view is partitioned
-// among children so that counting is linear per level.
-func expand(n *Node, view *dataset.View, split geom.Splitter, dec *Decider) {
-	if !dec.ShouldSplit(float64(view.Len()), n.Depth) {
+// levelScratch is the reusable per-recursion-level working set of expand:
+// one rectangle buffer for SplitInto and one view buffer for
+// PartitionInto. Allocated lazily, once per level, so a whole build costs
+// O(height) scratch allocations rather than O(nodes).
+type levelScratch struct {
+	rects []geom.Rect
+	views []dataset.View
+}
+
+// buildCtx carries the loop-invariant state of one tree construction.
+type buildCtx struct {
+	split      geom.Splitter
+	dec        *Decider
+	fanout     int
+	dims       int
+	countScale float64       // > 0: draw leaf counts inline
+	sem        chan struct{} // non-nil: parallel fan-out permitted
+}
+
+func (c *buildCtx) level(scratch *[]levelScratch, depth int) *levelScratch {
+	for len(*scratch) <= depth {
+		*scratch = append(*scratch, levelScratch{})
+	}
+	ls := &(*scratch)[depth]
+	if ls.rects == nil {
+		ls.rects = geom.MakeRects(c.fanout, c.dims)
+		ls.views = make([]dataset.View, c.fanout)
+	}
+	return ls
+}
+
+// expand grows the subtree rooted at node idx of b. The node's split
+// decision, and (when counts are released) its leaf count, are drawn from
+// stream; children recurse with stream.Child(i). When the semaphore has
+// free slots and the view is large enough, child subtrees are built
+// concurrently in per-subtree builders and spliced back in child order,
+// which reproduces the serial arena layout exactly.
+func (c *buildCtx) expand(b *Builder, idx int32, view dataset.View, stream dp.Stream, scratch *[]levelScratch) {
+	depth := int(b.Node(idx).Depth)
+	if !c.dec.ShouldSplitAt(float64(view.Len()), depth, stream) {
+		if c.countScale > 0 {
+			b.SetCount(idx, float64(view.Len())+stream.Laplace(tagCount, c.countScale))
+		}
 		return
 	}
-	regions := split.Split(n.Region, n.Depth)
-	views := view.Partition(regions)
-	n.Children = make([]*Node, len(regions))
-	for i, r := range regions {
-		child := &Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
-		n.Children[i] = child
-		expand(child, views[i], split, dec)
+	region := b.Node(idx).Region
+	ls := c.level(scratch, depth)
+	regions := c.split.SplitInto(region, depth, ls.rects)
+	ls.rects = regions
+	views := view.PartitionInto(regions, ls.views)
+	first := b.AddChildren(idx, regions)
+
+	// Fan out only when the pool looks like it has a free slot; the check
+	// is racy but purely a heuristic — both branches produce the identical
+	// arena layout, so it affects wall-clock only, never the result. When
+	// the pool is saturated, plain recursion below avoids the per-child
+	// builder and splice-copy overhead.
+	if c.sem != nil && view.Len() >= parallelCutoff && len(c.sem) < cap(c.sem) {
+		// Every child subtree gets its own builder (even those expanded
+		// inline on this goroutine), so splicing in child order recreates
+		// the exact serial layout.
+		subs := make([]*Builder, len(regions))
+		var wg sync.WaitGroup
+		for i := range regions {
+			sub := NewBuilder(c.fanout, 64)
+			sub.nodes = append(sub.nodes, b.nodes[first+int32(i)])
+			subs[i] = sub
+			childStream := stream.Child(i)
+			childView := views[i]
+			select {
+			case c.sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-c.sem }()
+					var sc []levelScratch
+					c.expand(sub, 0, childView, childStream, &sc)
+				}()
+			default:
+				c.expand(sub, 0, childView, childStream, scratch)
+			}
+		}
+		wg.Wait()
+		for i := range subs {
+			b.Splice(first+int32(i), subs[i])
+		}
+		return
+	}
+
+	for i := range regions {
+		c.expand(b, first+int32(i), views[i], stream.Child(i), scratch)
 	}
 }
 
@@ -131,12 +190,7 @@ func BuildNoisySplit(data *dataset.Spatial, split geom.Splitter, eps, treeFrac f
 	budget.MustSpend(epsCount)
 
 	p := Params{Epsilon: epsTree, Fanout: fanout}
-	t, err := Build(data, split, p, rng)
-	if err != nil {
-		return nil, err
-	}
-	attachNoisyCounts(t, data, epsCount, rng)
-	return t, nil
+	return build(data, split, p, 1/epsCount, rng)
 }
 
 // BuildNoisyParams is the fully parameterized pipeline: the tree is built
@@ -148,69 +202,42 @@ func BuildNoisyParams(data *dataset.Spatial, split geom.Splitter, p Params, epsC
 	if !(epsCount > 0) {
 		return nil, fmt.Errorf("core: epsCount must be positive, got %v", epsCount)
 	}
-	t, err := Build(data, split, p, rng)
-	if err != nil {
-		return nil, err
-	}
-	attachNoisyCounts(t, data, epsCount, rng)
-	return t, nil
-}
-
-// attachNoisyCounts performs the post-processing step: noisy leaf counts at
-// scale 1/epsCount, then bottom-up summation for internal nodes.
-func attachNoisyCounts(t *Tree, data *dataset.Spatial, epsCount float64, rng *rand.Rand) {
-	mech := dp.LaplaceMechanism{Epsilon: epsCount, Sensitivity: 1}
-	view := data.NewView()
-	var walk func(n *Node, v *dataset.View) float64
-	walk = func(n *Node, v *dataset.View) float64 {
-		if n.IsLeaf() {
-			n.Count = mech.Release(rng, float64(v.Len()))
-			return n.Count
-		}
-		regions := make([]geom.Rect, len(n.Children))
-		for i, c := range n.Children {
-			regions[i] = c.Region
-		}
-		views := v.Partition(regions)
-		sum := 0.0
-		for i, c := range n.Children {
-			sum += walk(c, views[i])
-		}
-		n.Count = sum
-		return sum
-	}
-	walk(t.Root, view)
-	t.HasCounts = true
+	return build(data, split, p, 1/epsCount, rng)
 }
 
 // RangeCount answers a range-count query with the top-down traversal of
 // Section 2.2: fully contained nodes contribute their noisy count, leaves
 // that partially intersect contribute count · |q∩dom|/|dom| (uniformity
-// assumption), disjoint nodes are skipped. It panics if the tree carries no
-// counts.
+// assumption), disjoint nodes are skipped. It performs no heap allocation.
+// It panics if the tree carries no counts.
 func (t *Tree) RangeCount(q geom.Rect) float64 {
 	if !t.HasCounts {
 		panic("core: RangeCount on a tree without released counts")
 	}
-	var visit func(n *Node) float64
-	visit = func(n *Node) float64 {
-		inter, ok := n.Region.Intersect(q)
-		if !ok {
+	return t.rangeCountAt(0, q)
+}
+
+func (t *Tree) rangeCountAt(i int32, q geom.Rect) float64 {
+	n := &t.Nodes[i]
+	iv := n.Region.IntersectionVolume(q)
+	if iv == 0 {
+		return 0
+	}
+	if q.ContainsRect(n.Region) {
+		return n.Count
+	}
+	if n.numChildren == 0 {
+		vol := n.Region.Volume()
+		if vol == 0 {
 			return 0
 		}
-		if q.ContainsRect(n.Region) {
-			return n.Count
-		}
-		if n.IsLeaf() {
-			return n.Count * n.Region.OverlapFraction(inter)
-		}
-		sum := 0.0
-		for _, c := range n.Children {
-			sum += visit(c)
-		}
-		return sum
+		return n.Count * (iv / vol)
 	}
-	return visit(t.Root)
+	sum := 0.0
+	for c := n.firstChild; c < n.firstChild+n.numChildren; c++ {
+		sum += t.rangeCountAt(c, q)
+	}
+	return sum
 }
 
 // BuildExact runs Algorithm 2 with no noise and no bias (b̂(v) = c(v)),
@@ -220,21 +247,26 @@ func BuildExact(data *dataset.Spatial, split geom.Splitter, theta float64, maxDe
 	if maxDepth <= 0 {
 		maxDepth = DefaultMaxDepth
 	}
-	root := &Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
-	var grow func(n *Node, view *dataset.View)
-	grow = func(n *Node, view *dataset.View) {
-		if float64(view.Len()) <= theta || n.Depth >= maxDepth-1 {
+	bc := &buildCtx{split: split, fanout: split.Fanout(), dims: data.Dims()}
+	b := NewBuilder(bc.fanout, 64)
+	b.AddRoot(data.Domain)
+	var scratch []levelScratch
+	var grow func(idx int32, view dataset.View)
+	grow = func(idx int32, view dataset.View) {
+		depth := int(b.Node(idx).Depth)
+		if float64(view.Len()) <= theta || depth >= maxDepth-1 {
 			return
 		}
-		regions := split.Split(n.Region, n.Depth)
-		views := view.Partition(regions)
-		n.Children = make([]*Node, len(regions))
-		for i, r := range regions {
-			child := &Node{Region: r, Depth: n.Depth + 1, Count: math.NaN()}
-			n.Children[i] = child
-			grow(child, views[i])
+		region := b.Node(idx).Region
+		ls := bc.level(&scratch, depth)
+		regions := split.SplitInto(region, depth, ls.rects)
+		ls.rects = regions
+		views := view.PartitionInto(regions, ls.views)
+		first := b.AddChildren(idx, regions)
+		for i := range regions {
+			grow(first+int32(i), views[i])
 		}
 	}
-	grow(root, data.NewView())
-	return &Tree{Root: root, Fanout: split.Fanout()}
+	grow(0, *data.NewView())
+	return b.Build(false)
 }

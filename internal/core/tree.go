@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math"
+
+	"privtree/internal/geom"
+)
+
+// Node is one region of a spatial decomposition tree, stored in the tree's
+// flat node arena. Count is the released noisy count: for leaves it is the
+// directly perturbed value, for internal nodes the sum of their leaves'
+// noisy counts (the paper's post-processing, Section 3.4). Count is NaN on
+// trees built without count release.
+//
+// Children are identified by an index range into the arena rather than by
+// pointers: a split appends all β children as one contiguous block, so the
+// whole tree costs O(1) allocations per arena growth instead of O(1) per
+// node, and traversals walk cache-friendly contiguous memory.
+type Node struct {
+	Region geom.Rect
+	Count  float64
+	Depth  int32
+	// firstChild indexes the node's first child in the arena; 0 marks a
+	// leaf (the root occupies index 0 and is never anyone's child).
+	firstChild  int32
+	numChildren int32
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.numChildren == 0 }
+
+// NumChildren returns the node's child count (0 for leaves, β otherwise).
+func (n *Node) NumChildren() int { return int(n.numChildren) }
+
+// Tree is the output of PrivTree on spatial data: the decomposition plus,
+// optionally, noisy counts. Nodes is the arena in depth-first order (each
+// node's descendants follow it, children as contiguous blocks); Nodes[0] is
+// the root. Treat the arena as read-only outside this package except
+// through Builder.
+type Tree struct {
+	Nodes  []Node
+	Fanout int
+	// HasCounts records whether noisy counts were released onto nodes.
+	HasCounts bool
+}
+
+// NodeRef is a handle to one node of a tree: a value type (tree pointer +
+// arena index) so traversals allocate nothing. The zero NodeRef is invalid.
+type NodeRef struct {
+	t *Tree
+	i int32
+}
+
+// Root returns a handle to the root node.
+func (t *Tree) Root() NodeRef { return NodeRef{t: t, i: 0} }
+
+// At returns a handle to the node at arena index i.
+func (t *Tree) At(i int) NodeRef { return NodeRef{t: t, i: int32(i)} }
+
+// Node returns the underlying arena node.
+func (r NodeRef) Node() *Node { return &r.t.Nodes[r.i] }
+
+// Index returns the node's arena index.
+func (r NodeRef) Index() int { return int(r.i) }
+
+// Region returns the node's region. The rectangle aliases the tree's
+// storage and must not be mutated.
+func (r NodeRef) Region() geom.Rect { return r.t.Nodes[r.i].Region }
+
+// Count returns the node's released noisy count (NaN without counts).
+func (r NodeRef) Count() float64 { return r.t.Nodes[r.i].Count }
+
+// Depth returns the node's depth (root = 0).
+func (r NodeRef) Depth() int { return int(r.t.Nodes[r.i].Depth) }
+
+// IsLeaf reports whether the node has no children.
+func (r NodeRef) IsLeaf() bool { return r.t.Nodes[r.i].numChildren == 0 }
+
+// NumChildren returns the node's child count.
+func (r NodeRef) NumChildren() int { return int(r.t.Nodes[r.i].numChildren) }
+
+// Child returns a handle to the j-th child.
+func (r NodeRef) Child(j int) NodeRef {
+	n := &r.t.Nodes[r.i]
+	if int32(j) < 0 || int32(j) >= n.numChildren {
+		panic("core: child index out of range")
+	}
+	return NodeRef{t: r.t, i: n.firstChild + int32(j)}
+}
+
+// Size returns the total number of nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Height returns the maximum depth over all nodes (root = 0).
+func (t *Tree) Height() int {
+	h := int32(0)
+	for i := range t.Nodes {
+		if t.Nodes[i].Depth > h {
+			h = t.Nodes[i].Depth
+		}
+	}
+	return int(h)
+}
+
+// Leaves returns handles to all leaf nodes in depth-first order.
+func (t *Tree) Leaves() []NodeRef {
+	nLeaves := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].numChildren == 0 {
+			nLeaves++
+		}
+	}
+	out := make([]NodeRef, 0, nLeaves)
+	t.appendLeaves(&out, 0)
+	return out
+}
+
+func (t *Tree) appendLeaves(out *[]NodeRef, i int32) {
+	n := &t.Nodes[i]
+	if n.numChildren == 0 {
+		*out = append(*out, NodeRef{t: t, i: i})
+		return
+	}
+	for c := n.firstChild; c < n.firstChild+n.numChildren; c++ {
+		t.appendLeaves(out, c)
+	}
+}
+
+// SumInternalCounts recomputes every internal node's count as the sum of
+// its leaves' counts (the release pipeline's definition). It relies on the
+// arena invariant that children always follow their parent, so a single
+// reverse scan suffices; it performs no allocation.
+func (t *Tree) SumInternalCounts() {
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		n := &t.Nodes[i]
+		if n.numChildren == 0 {
+			continue
+		}
+		sum := 0.0
+		for c := n.firstChild; c < n.firstChild+n.numChildren; c++ {
+			sum += t.Nodes[c].Count
+		}
+		n.Count = sum
+	}
+}
+
+// Equal reports whether two trees are identical releases: same fanout,
+// count flag, and node-for-node identical arenas (regions, depths, counts
+// — NaN counts compare equal — and child links). Serial and parallel
+// builds from the same seed must satisfy Equal exactly.
+func Equal(a, b *Tree) bool {
+	if a.Fanout != b.Fanout || a.HasCounts != b.HasCounts || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		na, nb := &a.Nodes[i], &b.Nodes[i]
+		if na.Depth != nb.Depth || na.firstChild != nb.firstChild || na.numChildren != nb.numChildren {
+			return false
+		}
+		if na.Count != nb.Count && !(math.IsNaN(na.Count) && math.IsNaN(nb.Count)) {
+			return false
+		}
+		if len(na.Region.Lo) != len(nb.Region.Lo) {
+			return false
+		}
+		for k := range na.Region.Lo {
+			if na.Region.Lo[k] != nb.Region.Lo[k] || na.Region.Hi[k] != nb.Region.Hi[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coordSlabFloats is the chunk size of the Builder's coordinate arena. At
+// the quadtree default (d=2, 4 coords per node) one slab holds 1024 nodes'
+// regions, so coordinate storage costs O(size/1024) allocations.
+const coordSlabFloats = 4096
+
+// Builder assembles a Tree into its arena form. All tree constructors in
+// the repository — PrivTree itself, the SimpleTree baseline, the SVT
+// demonstration tree, and JSON deserialization — go through a Builder, so
+// they share the same allocation discipline: nodes land in a growing
+// []Node, and region coordinates are copied into chunked float slabs (the
+// caller may therefore reuse its scratch rectangles between AddChildren
+// calls).
+type Builder struct {
+	nodes  []Node
+	fanout int
+	slab   []float64 // current coordinate slab, sliced down as it fills
+}
+
+// NewBuilder returns a builder for a tree of the given fanout. sizeHint, if
+// positive, pre-sizes the node arena.
+func NewBuilder(fanout, sizeHint int) *Builder {
+	if sizeHint < 1 {
+		sizeHint = 16
+	}
+	return &Builder{nodes: make([]Node, 0, sizeHint), fanout: fanout}
+}
+
+// copyRegion copies r into the coordinate arena and returns the copy.
+func (b *Builder) copyRegion(r geom.Rect) geom.Rect {
+	d := len(r.Lo)
+	if len(b.slab) < 2*d {
+		n := coordSlabFloats
+		if n < 2*d {
+			n = 2 * d
+		}
+		b.slab = make([]float64, n)
+	}
+	lo := b.slab[:d:d]
+	hi := b.slab[d : 2*d : 2*d]
+	b.slab = b.slab[2*d:]
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// AddRoot places the root node (index 0) with the given region. It must be
+// called exactly once, before any AddChildren.
+func (b *Builder) AddRoot(region geom.Rect) int32 {
+	if len(b.nodes) != 0 {
+		panic("core: Builder.AddRoot on a non-empty builder")
+	}
+	b.nodes = append(b.nodes, Node{Region: b.copyRegion(region), Depth: 0, Count: math.NaN()})
+	return 0
+}
+
+// AddChildren appends one child per region as a contiguous block, links
+// them to the parent, and returns the first child's index. Child depths are
+// parent depth + 1 and counts start at NaN. The regions are copied, so the
+// caller may reuse the slice.
+func (b *Builder) AddChildren(parent int32, regions []geom.Rect) int32 {
+	first := int32(len(b.nodes))
+	depth := b.nodes[parent].Depth + 1
+	for _, r := range regions {
+		b.nodes = append(b.nodes, Node{Region: b.copyRegion(r), Depth: depth, Count: math.NaN()})
+	}
+	b.nodes[parent].firstChild = first
+	b.nodes[parent].numChildren = int32(len(regions))
+	return first
+}
+
+// SetCount sets the count of node i (typically a leaf; internal counts are
+// usually recomputed by Tree.SumInternalCounts).
+func (b *Builder) SetCount(i int32, count float64) { b.nodes[i].Count = count }
+
+// Node exposes node i for in-place inspection during construction.
+func (b *Builder) Node(i int32) *Node { return &b.nodes[i] }
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.nodes) }
+
+// Splice grafts a subtree built in a separate Builder onto child node
+// childIdx: sub's node 0 must describe childIdx itself (the parallel build
+// seeds it with a copy of that node); its descendants are appended to b
+// with child links rebased. Appending sub-builders in child order
+// reproduces exactly the arena layout a fully serial build would have
+// produced, which is what makes parallel builds byte-identical to serial
+// ones.
+func (b *Builder) Splice(childIdx int32, sub *Builder) {
+	base := int32(len(b.nodes)) - 1 // sub index j ≥ 1 lands at base+j
+	root := sub.nodes[0]
+	dst := &b.nodes[childIdx]
+	dst.Count = root.Count
+	if root.numChildren > 0 {
+		dst.firstChild = root.firstChild + base
+		dst.numChildren = root.numChildren
+	}
+	for _, n := range sub.nodes[1:] {
+		if n.numChildren > 0 {
+			n.firstChild += base
+		}
+		b.nodes = append(b.nodes, n)
+	}
+}
+
+// Build finalizes the tree. The builder must not be used afterwards.
+func (b *Builder) Build(hasCounts bool) *Tree {
+	return &Tree{Nodes: b.nodes, Fanout: b.fanout, HasCounts: hasCounts}
+}

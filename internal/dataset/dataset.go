@@ -55,10 +55,10 @@ func (s *Spatial) NewView() *View {
 }
 
 // Len returns the number of points in the view.
-func (v *View) Len() int { return len(v.pts) }
+func (v View) Len() int { return len(v.pts) }
 
 // Points exposes the underlying points (read-only by convention).
-func (v *View) Points() []geom.Point { return v.pts }
+func (v View) Points() []geom.Point { return v.pts }
 
 // Partition splits the view into one sub-view per child rectangle,
 // reordering points in place so each sub-view is contiguous. Children must
@@ -67,10 +67,22 @@ func (v *View) Points() []geom.Point { return v.pts }
 // counts always sum to the parent count.
 func (v *View) Partition(children []geom.Rect) []*View {
 	out := make([]*View, len(children))
+	views := v.PartitionInto(children, make([]View, len(children)))
+	for i := range views {
+		out[i] = &views[i]
+	}
+	return out
+}
+
+// PartitionInto is the allocation-free form of Partition: it writes the
+// sub-views into out (which must have len(children) entries) and returns
+// out. View values are cheap window headers, so tree builders keep one
+// scratch []View per recursion level and reuse it across siblings.
+func (v View) PartitionInto(children []geom.Rect, out []View) []View {
 	rest := v.pts
 	for ci, child := range children {
 		if ci == len(children)-1 {
-			out[ci] = &View{pts: rest}
+			out[ci] = View{pts: rest}
 			break
 		}
 		// Stable-free two-pointer partition: move points inside child to the front.
@@ -81,14 +93,14 @@ func (v *View) Partition(children []geom.Rect) []*View {
 				k++
 			}
 		}
-		out[ci] = &View{pts: rest[:k]}
+		out[ci] = View{pts: rest[:k]}
 		rest = rest[k:]
 	}
 	return out
 }
 
 // CountIn returns the number of points in the view inside r by scanning.
-func (v *View) CountIn(r geom.Rect) int {
+func (v View) CountIn(r geom.Rect) int {
 	n := 0
 	for _, p := range v.pts {
 		if r.Contains(p) {

@@ -185,3 +185,37 @@ func TestGridIndexProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGridIndexRangeCountZeroAllocs(t *testing.T) {
+	ds := randomDataset(20000, 2, 31)
+	idx := NewGridIndex(ds, 64)
+	q := geom.NewRect(geom.Point{0.13, 0.22}, geom.Point{0.71, 0.68})
+	if allocs := testing.AllocsPerRun(50, func() {
+		idx.RangeCount(q)
+	}); allocs != 0 {
+		t.Fatalf("GridIndex.RangeCount allocated %v times per query, want 0", allocs)
+	}
+}
+
+func TestPartitionIntoMatchesPartition(t *testing.T) {
+	ds := randomDataset(5000, 2, 32)
+	children := geom.FullBisect{Dim: 2}.Split(ds.Domain, 0)
+
+	viaPtr := ds.NewView().Partition(children)
+	viaInto := ds.NewView().PartitionInto(children, make([]View, len(children)))
+	if len(viaPtr) != len(viaInto) {
+		t.Fatalf("sub-view counts differ: %d vs %d", len(viaPtr), len(viaInto))
+	}
+	for i := range viaPtr {
+		if viaPtr[i].Len() != viaInto[i].Len() {
+			t.Fatalf("child %d: %d points via Partition, %d via PartitionInto", i, viaPtr[i].Len(), viaInto[i].Len())
+		}
+	}
+	total := 0
+	for _, v := range viaInto {
+		total += v.Len()
+	}
+	if total != ds.N() {
+		t.Fatalf("PartitionInto lost points: %d of %d", total, ds.N())
+	}
+}

@@ -15,7 +15,17 @@ type GridIndex struct {
 	cells  [][]geom.Point // flattened [res^dims] buckets
 	counts []int          // per-cell counts (so interior cells need no scan)
 	n      int
+	// Per-axis cell boundaries, precomputed once so RangeCount never
+	// rebuilds cell rectangles: cell c on an axis spans
+	// [cellLo[axis][c], cellHi[axis][c]).
+	cellLo [][]float64
+	cellHi [][]float64
 }
+
+// gridMaxStackDims bounds the odometer state RangeCount keeps on the stack;
+// datasets in this repository are at most 4-D, so queries above this
+// dimensionality fall back to a heap-allocated odometer.
+const gridMaxStackDims = 8
 
 // NewGridIndex builds an index with res cells per axis. For d=2 a res of
 // 256 keeps boundary scans tiny even at millions of points; for d=4 use a
@@ -36,6 +46,24 @@ func NewGridIndex(s *Spatial, res int) *GridIndex {
 		cells:  make([][]geom.Point, total),
 		counts: make([]int, total),
 		n:      s.N(),
+		cellLo: make([][]float64, d),
+		cellHi: make([][]float64, d),
+	}
+	for axis := 0; axis < d; axis++ {
+		dlo, dhi := s.Domain.Lo[axis], s.Domain.Hi[axis]
+		step := (dhi - dlo) / float64(res)
+		lo := make([]float64, res)
+		hi := make([]float64, res)
+		for c := 0; c < res; c++ {
+			lo[c] = dlo + float64(c)*step
+			if c == res-1 {
+				hi[c] = dhi
+			} else {
+				hi[c] = dlo + float64(c+1)*step
+			}
+		}
+		idx.cellLo[axis] = lo
+		idx.cellHi[axis] = hi
 	}
 	for _, p := range s.Points {
 		c := idx.cellOf(p)
@@ -66,28 +94,30 @@ func (g *GridIndex) cellOf(p geom.Point) int {
 	return idx
 }
 
-// cellRect returns the rectangle of the cell with per-axis coordinates co.
-func (g *GridIndex) cellRect(co []int) geom.Rect {
-	lo := make(geom.Point, g.dims)
-	hi := make(geom.Point, g.dims)
-	for axis := 0; axis < g.dims; axis++ {
-		dlo, dhi := g.domain.Lo[axis], g.domain.Hi[axis]
-		step := (dhi - dlo) / float64(g.res)
-		lo[axis] = dlo + float64(co[axis])*step
-		if co[axis] == g.res-1 {
-			hi[axis] = dhi
-		} else {
-			hi[axis] = dlo + float64(co[axis]+1)*step
-		}
-	}
-	return geom.Rect{Lo: lo, Hi: hi}
-}
-
-// RangeCount returns the exact number of indexed points inside q.
+// RangeCount returns the exact number of indexed points inside q. The
+// odometer walk classifies each cell against q using the precomputed
+// per-axis cell boundaries: along an axis only the two extreme cells of the
+// range can stick out of q, so full containment is a pair of precomputed
+// booleans per axis rather than a fresh rectangle per cell. For queries of
+// ≤ 8 dimensions the walk performs no heap allocation.
 func (g *GridIndex) RangeCount(q geom.Rect) int {
-	// Per-axis range of cells overlapping q.
-	loC := make([]int, g.dims)
-	hiC := make([]int, g.dims)
+	var stack [4 * gridMaxStackDims]int
+	var loC, hiC, co, interior []int
+	if g.dims <= gridMaxStackDims {
+		loC = stack[0*g.dims : 1*g.dims]
+		hiC = stack[1*g.dims : 2*g.dims]
+		co = stack[2*g.dims : 3*g.dims]
+		interior = stack[3*g.dims : 4*g.dims]
+	} else {
+		buf := make([]int, 4*g.dims)
+		loC = buf[0*g.dims : 1*g.dims]
+		hiC = buf[1*g.dims : 2*g.dims]
+		co = buf[2*g.dims : 3*g.dims]
+		interior = buf[3*g.dims : 4*g.dims]
+	}
+	// Per-axis range of cells overlapping q, plus whether the extreme cells
+	// of the range lie fully inside q along that axis (bit 0: low end,
+	// bit 1: high end).
 	for axis := 0; axis < g.dims; axis++ {
 		dlo, dhi := g.domain.Lo[axis], g.domain.Hi[axis]
 		span := dhi - dlo
@@ -104,19 +134,33 @@ func (g *GridIndex) RangeCount(q geom.Rect) int {
 		}
 		loC[axis] = lo
 		hiC[axis] = hi
+		interior[axis] = 0
+		if g.cellLo[axis][lo] >= q.Lo[axis] {
+			interior[axis] |= 1
+		}
+		if g.cellHi[axis][hi] <= q.Hi[axis] {
+			interior[axis] |= 2
+		}
 	}
-	co := make([]int, g.dims)
 	copy(co, loC)
 	total := 0
 	for {
 		flat := 0
+		contained := true
 		for axis := 0; axis < g.dims; axis++ {
-			flat = flat*g.res + co[axis]
+			c := co[axis]
+			flat = flat*g.res + c
+			if (c == loC[axis] && interior[axis]&1 == 0) ||
+				(c == hiC[axis] && interior[axis]&2 == 0) {
+				contained = false
+			}
 		}
-		cr := g.cellRect(co)
-		if q.ContainsRect(cr) {
+		if contained {
 			total += g.counts[flat]
-		} else if cr.Overlaps(q) {
+		} else {
+			// Boundary cell: scan its points. Cells in the odometer range
+			// that only touch q on a shared face contribute nothing here,
+			// exactly as the old rectangle-overlap test skipped them.
 			for _, p := range g.cells[flat] {
 				if q.Contains(p) {
 					total++

@@ -1,0 +1,75 @@
+package dp
+
+import "math"
+
+// Stream is a splittable, deterministic random stream keyed by a node's
+// path through a tree. Unlike *rand.Rand, a Stream is a value (no heap
+// allocation, no mutation): every draw is a pure function of the stream
+// state and a caller-chosen tag, and child streams are derived from the
+// parent state and the child's index. Two consequences matter for PrivTree:
+//
+//   - The noise observed at a node depends only on (root seed, path to the
+//     node), never on the order nodes are visited — so a parallel tree
+//     build fans subtrees out to worker goroutines and still produces a
+//     tree identical to the serial build.
+//   - Drawing needs no synchronization and no per-node generator object,
+//     keeping the construction hot path allocation-free.
+//
+// The state mixing uses the SplitMix64 finalizer, whose avalanche behavior
+// makes sibling and parent/child streams statistically independent. This is
+// NOT a cryptographic generator; it matches the repository's existing PCG
+// usage in quality.
+type Stream uint64
+
+// splitmix64 is the finalizer of Steele, Lea & Flood's SplitMix64.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const streamGolden = 0x9e3779b97f4a7c15 // 2^64 / φ, the SplitMix64 increment
+
+// NewStream returns the root stream for a seed.
+func NewStream(seed uint64) Stream {
+	return Stream(splitmix64(seed ^ 0x5bf0f1ea35b1aa1d))
+}
+
+// Child derives the stream of the i-th child (i ≥ 0). The derivation chain
+// from the root reproduces a node's stream from its path alone.
+func (s Stream) Child(i int) Stream {
+	return Stream(splitmix64(uint64(s) + streamGolden*uint64(i+1)))
+}
+
+// Uint64 returns the raw 64-bit draw for a tag. Distinct tags on the same
+// stream give independent draws, so one node can consume several noise
+// values (e.g. a split decision and a count release) without interference.
+func (s Stream) Uint64(tag uint64) uint64 {
+	return splitmix64(uint64(s) ^ splitmix64(tag*streamGolden+0x94d049bb133111eb))
+}
+
+// Uniform returns a uniform draw in the open interval (0, 1) for a tag:
+// the 53-bit lattice is offset by half a step so neither endpoint is ever
+// hit, and log-based transforms can never produce ±Inf.
+func (s Stream) Uniform(tag uint64) float64 {
+	return (float64(s.Uint64(tag)>>11) + 0.5) * 0x1p-53
+}
+
+// Laplace returns a Laplace(0, scale) draw for a tag via inverse-CDF
+// sampling, the same transform as Laplace.Sample. It panics if scale is not
+// strictly positive.
+func (s Stream) Laplace(tag uint64, scale float64) float64 {
+	if !(scale > 0) {
+		panic("dp: Laplace scale must be positive")
+	}
+	// u is uniform on (-1/2, 1/2), open on both ends, so the result is
+	// always finite; fold the sign out of the exponential.
+	u := s.Uniform(tag) - 0.5
+	if u < 0 {
+		return scale * math.Log1p(2*u)
+	}
+	return -scale * math.Log1p(-2*u)
+}

@@ -1,0 +1,122 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	if a.Uint64(1) != b.Uint64(1) {
+		t.Fatal("same seed, same tag produced different draws")
+	}
+	if a.Child(3).Uint64(0) != b.Child(3).Uint64(0) {
+		t.Fatal("same child path produced different draws")
+	}
+	if NewStream(43).Uint64(1) == a.Uint64(1) {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestStreamTagsIndependent(t *testing.T) {
+	s := NewStream(7)
+	if s.Uint64(1) == s.Uint64(2) {
+		t.Fatal("distinct tags produced identical draws")
+	}
+}
+
+func TestStreamChildrenDistinct(t *testing.T) {
+	s := NewStream(99)
+	seen := make(map[uint64]int)
+	for i := 0; i < 1000; i++ {
+		c := uint64(s.Child(i))
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("children %d and %d share a stream state", prev, i)
+		}
+		seen[c] = i
+	}
+	// Child derivation must not collide with the parent either.
+	if _, dup := seen[uint64(s)]; dup {
+		t.Fatal("a child collided with its parent stream")
+	}
+}
+
+func TestStreamPathDependence(t *testing.T) {
+	// The same child index under different parents gives different streams:
+	// node noise depends on the full path, not the index alone.
+	root := NewStream(5)
+	if root.Child(0).Child(1) == root.Child(1).Child(1) {
+		t.Fatal("paths (0,1) and (1,1) collide")
+	}
+}
+
+func TestStreamUniformRange(t *testing.T) {
+	s := NewStream(11)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		u := s.Child(i).Uniform(0)
+		if !(u > 0 && u <= 1) {
+			t.Fatalf("Uniform out of (0,1]: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Uniform mean %v far from 0.5", mean)
+	}
+}
+
+func TestStreamLaplaceMoments(t *testing.T) {
+	// Mean 0, E|X| = scale for Laplace(0, scale).
+	const scale = 2.5
+	const n = 200000
+	s := NewStream(13)
+	sum, sumAbs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Child(i).Laplace(1, scale)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.03*scale {
+		t.Fatalf("Laplace mean %v not near 0", mean)
+	}
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-scale)/scale > 0.02 {
+		t.Fatalf("E|X| = %v, want %v", meanAbs, scale)
+	}
+}
+
+func TestStreamLaplaceMatchesInverseCDF(t *testing.T) {
+	// Stream.Laplace and Laplace.Sample share the inverse-CDF transform;
+	// cross-check a quantile: the median of draws must sit near 0 and
+	// roughly a quarter of draws must exceed scale·ln 2 (the 75% point).
+	const scale = 1.0
+	s := NewStream(17)
+	const n = 100000
+	neg, aboveQ3 := 0, 0
+	q3 := NewLaplace(0, scale).Quantile(0.75)
+	for i := 0; i < n; i++ {
+		x := s.Child(i).Laplace(2, scale)
+		if x < 0 {
+			neg++
+		}
+		if x > q3 {
+			aboveQ3++
+		}
+	}
+	if f := float64(neg) / n; math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("negative fraction %v, want 0.5", f)
+	}
+	if f := float64(aboveQ3) / n; math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("fraction above Q3 = %v, want 0.25", f)
+	}
+}
+
+func TestStreamLaplacePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive scale did not panic")
+		}
+	}()
+	NewStream(1).Laplace(0, 0)
+}

@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitIntoMatchesSplit pins the buffered splitters to the allocating
+// ones: same children, same order, for every splitter family.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Splitter
+		d    int
+	}{
+		{"FullBisect2", FullBisect{Dim: 2}, 2},
+		{"FullBisect4", FullBisect{Dim: 4}, 4},
+		{"RoundRobin4x2", RoundRobinBisect{Dim: 4, PerStep: 2}, 4},
+		{"RoundRobin3x1", RoundRobinBisect{Dim: 3, PerStep: 1}, 3},
+		{"Grid2x3", GridSplit{Dim: 2, K: 3}, 2},
+	}
+	for _, tc := range cases {
+		r := NewRect(make(Point, tc.d), func() Point {
+			hi := make(Point, tc.d)
+			for i := range hi {
+				hi[i] = float64(i + 1)
+			}
+			return hi
+		}())
+		buf := MakeRects(tc.s.Fanout(), tc.d)
+		for depth := 0; depth < 5; depth++ {
+			want := tc.s.Split(r, depth)
+			got := tc.s.SplitInto(r, depth, buf)
+			if len(got) != len(want) {
+				t.Fatalf("%s depth %d: %d children via SplitInto, %d via Split", tc.name, depth, len(got), len(want))
+			}
+			for i := range want {
+				for k := 0; k < tc.d; k++ {
+					if got[i].Lo[k] != want[i].Lo[k] || got[i].Hi[k] != want[i].Hi[k] {
+						t.Fatalf("%s depth %d child %d differs: %v vs %v", tc.name, depth, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitIntoZeroAllocs verifies the buffered split path never touches
+// the heap once the scratch buffer exists.
+func TestSplitIntoZeroAllocs(t *testing.T) {
+	r := UnitCube(2)
+	s := FullBisect{Dim: 2}
+	buf := MakeRects(s.Fanout(), 2)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.SplitInto(r, 0, buf)
+	}); allocs != 0 {
+		t.Fatalf("SplitInto allocated %v times with adequate buffer", allocs)
+	}
+}
+
+func TestSplitIntoGrowsInadequateBuffer(t *testing.T) {
+	r := UnitCube(3)
+	s := FullBisect{Dim: 3}
+	// nil buffer and an undersized one must both still produce 8 children.
+	for _, buf := range [][]Rect{nil, MakeRects(2, 3), MakeRects(8, 1)} {
+		kids := s.SplitInto(r, 0, buf)
+		if len(kids) != 8 {
+			t.Fatalf("%d children from inadequate buffer", len(kids))
+		}
+		checkTiling(t, r, kids)
+	}
+}
+
+func TestIntersectionVolumeMatchesIntersect(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	cases := []Rect{
+		NewRect(Point{1, 1}, Point{3, 3}),
+		NewRect(Point{5, 5}, Point{6, 6}),
+		NewRect(Point{2, 0}, Point{3, 2}), // edge touching: no volume
+		NewRect(Point{-1, -1}, Point{5, 5}),
+		a,
+	}
+	for _, o := range cases {
+		want := 0.0
+		if inter, ok := a.Intersect(o); ok {
+			want = inter.Volume()
+		}
+		if got := a.IntersectionVolume(o); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("IntersectionVolume(%v) = %v, Intersect says %v", o, got, want)
+		}
+	}
+}
+
+func TestIntersectInto(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{1, 1}, Point{3, 3})
+	var dst Rect
+	if !a.IntersectInto(b, &dst) {
+		t.Fatal("expected overlap")
+	}
+	if dst.Lo[0] != 1 || dst.Hi[0] != 2 || dst.Volume() != 1 {
+		t.Fatalf("bad intersection %v", dst)
+	}
+	// Reuse: the same dst backing must be reused without allocation.
+	if allocs := testing.AllocsPerRun(100, func() {
+		a.IntersectInto(b, &dst)
+	}); allocs != 0 {
+		t.Fatalf("IntersectInto allocated %v times with warm buffer", allocs)
+	}
+	// Disjoint leaves dst untouched and reports false.
+	far := NewRect(Point{10, 10}, Point{11, 11})
+	if a.IntersectInto(far, &dst) {
+		t.Fatal("disjoint rects reported overlapping")
+	}
+}
+
+func TestQueryPredicatesZeroAlloc(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{1, 1}, Point{3, 3})
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = a.Overlaps(b)
+		_ = a.OverlapFraction(b)
+		_ = a.IntersectionVolume(b)
+		_ = a.ContainsRect(b)
+	}); allocs != 0 {
+		t.Fatalf("query predicates allocated %v times", allocs)
+	}
+}
+
+func TestMakeRectsSharedBacking(t *testing.T) {
+	rs := MakeRects(4, 2)
+	if len(rs) != 4 {
+		t.Fatalf("MakeRects returned %d rects", len(rs))
+	}
+	for i := range rs {
+		if len(rs[i].Lo) != 2 || len(rs[i].Hi) != 2 {
+			t.Fatalf("rect %d has wrong dims", i)
+		}
+		rs[i].Lo[0] = float64(i)
+		rs[i].Hi[1] = float64(i)
+	}
+	for i := range rs {
+		if rs[i].Lo[0] != float64(i) || rs[i].Hi[1] != float64(i) {
+			t.Fatal("MakeRects entries alias each other")
+		}
+	}
+}

@@ -88,10 +88,66 @@ func (r Rect) Intersect(o Rect) (Rect, bool) {
 	return Rect{Lo: lo, Hi: hi}, true
 }
 
-// Overlaps reports whether r and o share positive volume.
+// IntersectInto writes the overlap of r and o into dst, reusing dst's
+// backing slices when they have sufficient capacity, and reports whether the
+// overlap is non-empty. dst is left unchanged on an empty overlap. It is the
+// allocation-free counterpart of Intersect for callers that need the
+// intersection rectangle itself; paths that only need its size should use
+// IntersectionVolume, which skips materialization entirely.
+func (r Rect) IntersectInto(o Rect, dst *Rect) bool {
+	d := r.Dims()
+	if d != o.Dims() {
+		return false
+	}
+	for i := 0; i < d; i++ {
+		if max(r.Lo[i], o.Lo[i]) >= min(r.Hi[i], o.Hi[i]) {
+			return false
+		}
+	}
+	if cap(dst.Lo) < d || cap(dst.Hi) < d {
+		dst.Lo = make(Point, d)
+		dst.Hi = make(Point, d)
+	}
+	dst.Lo = dst.Lo[:d]
+	dst.Hi = dst.Hi[:d]
+	for i := 0; i < d; i++ {
+		dst.Lo[i] = max(r.Lo[i], o.Lo[i])
+		dst.Hi[i] = min(r.Hi[i], o.Hi[i])
+	}
+	return true
+}
+
+// IntersectionVolume returns |r ∩ o| without materializing the intersection
+// rectangle; it is 0 when the rectangles are disjoint or dimensions
+// disagree. It performs no allocation.
+func (r Rect) IntersectionVolume(o Rect) float64 {
+	if r.Dims() != o.Dims() {
+		return 0
+	}
+	v := 1.0
+	for i := range r.Lo {
+		lo := max(r.Lo[i], o.Lo[i])
+		hi := min(r.Hi[i], o.Hi[i])
+		if lo >= hi {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Overlaps reports whether r and o share positive volume. It performs no
+// allocation.
 func (r Rect) Overlaps(o Rect) bool {
-	_, ok := r.Intersect(o)
-	return ok
+	if r.Dims() != o.Dims() {
+		return false
+	}
+	for i := range r.Lo {
+		if max(r.Lo[i], o.Lo[i]) >= min(r.Hi[i], o.Hi[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ContainsRect reports whether o lies entirely within r.
@@ -110,16 +166,31 @@ func (r Rect) ContainsRect(o Rect) bool {
 // OverlapFraction returns |r ∩ o| / |r|, the fraction of r's volume covered
 // by o. A zero-volume r yields 0. This is the uniformity weight used when a
 // leaf partially intersects a query (Section 2.2 of the paper).
+// It performs no allocation.
 func (r Rect) OverlapFraction(o Rect) float64 {
-	inter, ok := r.Intersect(o)
-	if !ok {
+	iv := r.IntersectionVolume(o)
+	if iv == 0 {
 		return 0
 	}
 	vol := r.Volume()
 	if vol == 0 {
 		return 0
 	}
-	return inter.Volume() / vol
+	return iv / vol
+}
+
+// MakeRects returns n d-dimensional rectangles whose Lo/Hi points all share
+// one backing array, so a whole scratch buffer of rectangles costs a single
+// allocation. The rectangles are zeroed; callers overwrite them via
+// Splitter.SplitInto or IntersectInto.
+func MakeRects(n, d int) []Rect {
+	backing := make(Point, 2*n*d)
+	out := make([]Rect, n)
+	for i := range out {
+		out[i].Lo = backing[2*i*d : (2*i+1)*d : (2*i+1)*d]
+		out[i].Hi = backing[(2*i+1)*d : (2*i+2)*d : (2*i+2)*d]
+	}
+	return out
 }
 
 // Center returns the midpoint of the rectangle.

@@ -14,6 +14,13 @@ type Splitter interface {
 	// Split returns the child rectangles of r at the given depth. The
 	// children must tile r exactly.
 	Split(r Rect, depth int) []Rect
+	// SplitInto writes the child rectangles of r into dst and returns
+	// dst[:Fanout()]. When dst (typically from MakeRects) has enough
+	// capacity — len(dst) ≥ Fanout() with d-dimensional points — no
+	// allocation is performed; otherwise a fresh buffer is allocated.
+	// The returned rectangles alias dst's backing storage and are only
+	// valid until the next SplitInto with the same buffer.
+	SplitInto(r Rect, depth int, dst []Rect) []Rect
 }
 
 // FullBisect bisects every axis at once, producing 2^d children — the
@@ -28,10 +35,15 @@ func (s FullBisect) Fanout() int { return 1 << s.Dim }
 
 // Split implements Splitter.
 func (s FullBisect) Split(r Rect, depth int) []Rect {
+	return s.SplitInto(r, depth, nil)
+}
+
+// SplitInto implements Splitter without allocating when dst is adequate.
+func (s FullBisect) SplitInto(r Rect, depth int, dst []Rect) []Rect {
 	if r.Dims() != s.Dim {
 		panic(fmt.Sprintf("geom: FullBisect dim %d applied to rect of dim %d", s.Dim, r.Dims()))
 	}
-	return bisectAxes(r, allAxes(s.Dim))
+	return bisectInto(r, 0, s.Dim, s.Dim, dst)
 }
 
 // RoundRobinBisect bisects k of the d axes per split, rotating which axes
@@ -49,18 +61,19 @@ func (s RoundRobinBisect) Fanout() int { return 1 << s.PerStep }
 
 // Split implements Splitter.
 func (s RoundRobinBisect) Split(r Rect, depth int) []Rect {
+	return s.SplitInto(r, depth, nil)
+}
+
+// SplitInto implements Splitter without allocating when dst is adequate.
+func (s RoundRobinBisect) SplitInto(r Rect, depth int, dst []Rect) []Rect {
 	if r.Dims() != s.Dim {
 		panic(fmt.Sprintf("geom: RoundRobinBisect dim %d applied to rect of dim %d", s.Dim, r.Dims()))
 	}
 	if s.PerStep <= 0 || s.PerStep > s.Dim {
 		panic("geom: RoundRobinBisect PerStep must be in [1, Dim]")
 	}
-	axes := make([]int, s.PerStep)
 	start := (depth * s.PerStep) % s.Dim
-	for i := range axes {
-		axes[i] = (start + i) % s.Dim
-	}
-	return bisectAxes(r, axes)
+	return bisectInto(r, start, s.PerStep, s.Dim, dst)
 }
 
 // GridSplit splits every axis into k equal parts at once, producing k^d
@@ -81,60 +94,79 @@ func (s GridSplit) Fanout() int {
 
 // Split implements Splitter.
 func (s GridSplit) Split(r Rect, depth int) []Rect {
+	return s.SplitInto(r, depth, nil)
+}
+
+// SplitInto implements Splitter without allocating when dst is adequate.
+// Children are ordered with axis 0 varying slowest (odometer order).
+func (s GridSplit) SplitInto(r Rect, depth int, dst []Rect) []Rect {
 	if r.Dims() != s.Dim {
 		panic(fmt.Sprintf("geom: GridSplit dim %d applied to rect of dim %d", s.Dim, r.Dims()))
 	}
 	if s.K < 2 {
 		panic("geom: GridSplit K must be >= 2")
 	}
-	cells := []Rect{r.Clone()}
-	for axis := 0; axis < s.Dim; axis++ {
-		next := make([]Rect, 0, len(cells)*s.K)
-		for _, c := range cells {
-			next = append(next, splitAxisK(c, axis, s.K)...)
+	n := s.Fanout()
+	dst = ensureRects(dst, n, s.Dim)
+	for j := 0; j < n; j++ {
+		c := dst[j]
+		// Decode j as base-K digits, axis 0 most significant.
+		rem := j
+		for axis := s.Dim - 1; axis >= 0; axis-- {
+			cell := rem % s.K
+			rem /= s.K
+			lo, hi := r.Lo[axis], r.Hi[axis]
+			step := (hi - lo) / float64(s.K)
+			c.Lo[axis] = lo + float64(cell)*step
+			if cell == s.K-1 {
+				// Exact upper bound so float round-off never leaves a gap.
+				c.Hi[axis] = hi
+			} else {
+				c.Hi[axis] = lo + float64(cell+1)*step
+			}
 		}
-		cells = next
 	}
-	return cells
+	return dst
 }
 
-func allAxes(d int) []int {
-	axes := make([]int, d)
-	for i := range axes {
-		axes[i] = i
+// bisectInto halves r along k axes starting at startAxis (mod d), writing
+// the 2^k children into dst. Child j's bit for the i-th bisected axis is bit
+// (k-1-i) of j — the first axis varies slowest, matching the historical
+// generation order.
+func bisectInto(r Rect, startAxis, k, d int, dst []Rect) []Rect {
+	n := 1 << k
+	dst = ensureRects(dst, n, d)
+	for j := 0; j < n; j++ {
+		c := dst[j]
+		copy(c.Lo, r.Lo)
+		copy(c.Hi, r.Hi)
+		for i := 0; i < k; i++ {
+			axis := (startAxis + i) % d
+			lo, hi := r.Lo[axis], r.Hi[axis]
+			mid := lo + (hi-lo)/2
+			if j>>(k-1-i)&1 == 0 {
+				c.Hi[axis] = mid
+			} else {
+				c.Lo[axis] = mid
+			}
+		}
 	}
-	return axes
+	return dst
 }
 
-// bisectAxes halves r along each of the listed axes, producing 2^len(axes)
-// children that tile r.
-func bisectAxes(r Rect, axes []int) []Rect {
-	out := []Rect{r.Clone()}
-	for _, axis := range axes {
-		next := make([]Rect, 0, len(out)*2)
-		for _, c := range out {
-			next = append(next, splitAxisK(c, axis, 2)...)
-		}
-		out = next
+// ensureRects returns dst[:n] when every entry can hold d-dimensional
+// bounds without reallocating, and a fresh MakeRects(n, d) buffer otherwise.
+func ensureRects(dst []Rect, n, d int) []Rect {
+	if cap(dst) < n {
+		return MakeRects(n, d)
 	}
-	return out
-}
-
-// splitAxisK cuts r into k equal slabs along axis. The last slab's upper
-// bound is set to r.Hi[axis] exactly so float round-off never leaves a gap.
-func splitAxisK(r Rect, axis, k int) []Rect {
-	out := make([]Rect, 0, k)
-	lo, hi := r.Lo[axis], r.Hi[axis]
-	step := (hi - lo) / float64(k)
-	for i := 0; i < k; i++ {
-		c := r.Clone()
-		c.Lo[axis] = lo + float64(i)*step
-		if i == k-1 {
-			c.Hi[axis] = hi
-		} else {
-			c.Hi[axis] = lo + float64(i+1)*step
+	dst = dst[:n]
+	for i := range dst {
+		if cap(dst[i].Lo) < d || cap(dst[i].Hi) < d {
+			return MakeRects(n, d)
 		}
-		out = append(out, c)
+		dst[i].Lo = dst[i].Lo[:d]
+		dst[i].Hi = dst[i].Hi[:d]
 	}
-	return out
+	return dst
 }

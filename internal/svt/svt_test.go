@@ -225,16 +225,16 @@ func TestBuildTreeWithBinarySVTAdaptsToDensity(t *testing.T) {
 	data := mustSpatial(t, pts)
 	tree := BuildTreeWithBinarySVT(data, geomFullBisect{Dim: 2}, 50, 2, 24, dp.NewRand(23))
 	depthAt := func(x, y float64) int {
-		n := tree.Root
+		n := tree.Root()
 		for !n.IsLeaf() {
-			for _, c := range n.Children {
-				if c.Region.Contains(geomPoint{x, y}) {
+			for i := 0; i < n.NumChildren(); i++ {
+				if c := n.Child(i); c.Region().Contains(geomPoint{x, y}) {
 					n = c
 					break
 				}
 			}
 		}
-		return n.Depth
+		return n.Depth()
 	}
 	if depthAt(0.25, 0.75) <= depthAt(0.9, 0.1) {
 		t.Fatal("SVT tree not deeper in the dense cluster")

@@ -1,7 +1,6 @@
 package svt
 
 import (
-	"math"
 	"math/rand/v2"
 
 	"privtree/internal/core"
@@ -27,30 +26,30 @@ func BuildTreeWithBinarySVT(data *dataset.Spatial, split geom.Splitter, theta, l
 	}
 	thetaHat := theta + dp.LapNoise(rng, lambda)
 
-	root := &core.Node{Region: data.Domain.Clone(), Depth: 0, Count: math.NaN()}
+	b := core.NewBuilder(split.Fanout(), 64)
+	b.AddRoot(data.Domain)
 	type item struct {
-		node *core.Node
-		view *dataset.View
+		idx  int32
+		view dataset.View
 	}
-	queue := []item{{root, data.NewView()}}
+	queue := []item{{0, *data.NewView()}}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if cur.node.Depth >= maxDepth-1 {
+		n := b.Node(cur.idx)
+		if int(n.Depth) >= maxDepth-1 {
 			continue
 		}
 		noisy := float64(cur.view.Len()) + dp.LapNoise(rng, lambda)
 		if noisy <= thetaHat {
 			continue
 		}
-		regions := split.Split(cur.node.Region, cur.node.Depth)
-		views := cur.view.Partition(regions)
-		cur.node.Children = make([]*core.Node, len(regions))
-		for i, r := range regions {
-			child := &core.Node{Region: r, Depth: cur.node.Depth + 1, Count: math.NaN()}
-			cur.node.Children[i] = child
-			queue = append(queue, item{child, views[i]})
+		regions := split.Split(n.Region, int(n.Depth))
+		views := cur.view.PartitionInto(regions, make([]dataset.View, len(regions)))
+		first := b.AddChildren(cur.idx, regions)
+		for i := range regions {
+			queue = append(queue, item{first + int32(i), views[i]})
 		}
 	}
-	return &core.Tree{Root: root, Fanout: split.Fanout()}
+	return b.Build(false)
 }

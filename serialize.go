@@ -3,7 +3,6 @@ package privtree
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 
 	"privtree/internal/core"
 	"privtree/internal/geom"
@@ -30,21 +29,22 @@ type nodeJSON struct {
 
 // MarshalJSON implements json.Marshaler for SpatialTree.
 func (t *SpatialTree) MarshalJSON() ([]byte, error) {
-	var conv func(n *core.Node) nodeJSON
-	conv = func(n *core.Node) nodeJSON {
-		out := nodeJSON{Lo: n.Region.Lo, Hi: n.Region.Hi}
+	var conv func(n core.NodeRef) nodeJSON
+	conv = func(n core.NodeRef) nodeJSON {
+		region := n.Region()
+		out := nodeJSON{Lo: region.Lo, Hi: region.Hi}
 		if n.IsLeaf() {
-			c := n.Count
+			c := n.Count()
 			out.Count = &c
 			return out
 		}
-		out.Children = make([]nodeJSON, len(n.Children))
-		for i, ch := range n.Children {
-			out.Children[i] = conv(ch)
+		out.Children = make([]nodeJSON, n.NumChildren())
+		for i := range out.Children {
+			out.Children[i] = conv(n.Child(i))
 		}
 		return out
 	}
-	return json.Marshal(treeJSON{Version: 1, Fanout: t.tree.Fanout, Root: conv(t.tree.Root)})
+	return json.Marshal(treeJSON{Version: 1, Fanout: t.tree.Fanout, Root: conv(t.tree.Root())})
 }
 
 // UnmarshalJSON implements json.Unmarshaler for SpatialTree: internal
@@ -58,42 +58,47 @@ func (t *SpatialTree) UnmarshalJSON(data []byte) error {
 	if wire.Version != 1 {
 		return fmt.Errorf("privtree: unsupported tree version %d", wire.Version)
 	}
-	var conv func(w nodeJSON, depth int) (*core.Node, float64, error)
-	conv = func(w nodeJSON, depth int) (*core.Node, float64, error) {
-		if len(w.Lo) != len(w.Hi) || len(w.Lo) == 0 {
-			return nil, 0, fmt.Errorf("privtree: malformed node bounds")
-		}
-		n := &core.Node{Region: geom.NewRect(w.Lo, w.Hi), Depth: depth, Count: math.NaN()}
+	b := core.NewBuilder(wire.Fanout, 64)
+	var conv func(w nodeJSON, idx int32) error
+	conv = func(w nodeJSON, idx int32) error {
 		if len(w.Children) == 0 {
 			if w.Count == nil {
-				return nil, 0, fmt.Errorf("privtree: leaf without count")
+				return fmt.Errorf("privtree: leaf without count")
 			}
-			n.Count = *w.Count
-			return n, n.Count, nil
+			b.SetCount(idx, *w.Count)
+			return nil
 		}
 		if wire.Fanout != 0 && len(w.Children) != wire.Fanout {
-			return nil, 0, fmt.Errorf("privtree: node has %d children, fanout is %d", len(w.Children), wire.Fanout)
+			return fmt.Errorf("privtree: node has %d children, fanout is %d", len(w.Children), wire.Fanout)
 		}
-		n.Children = make([]*core.Node, len(w.Children))
-		total := 0.0
+		parentRegion := b.Node(idx).Region
+		regions := make([]geom.Rect, len(w.Children))
 		for i, cw := range w.Children {
-			child, sum, err := conv(cw, depth+1)
-			if err != nil {
-				return nil, 0, err
+			if len(cw.Lo) != len(cw.Hi) || len(cw.Lo) == 0 {
+				return fmt.Errorf("privtree: malformed node bounds")
 			}
-			if !n.Region.ContainsRect(child.Region) {
-				return nil, 0, fmt.Errorf("privtree: child region escapes parent")
+			regions[i] = geom.NewRect(cw.Lo, cw.Hi)
+			if !parentRegion.ContainsRect(regions[i]) {
+				return fmt.Errorf("privtree: child region escapes parent")
 			}
-			n.Children[i] = child
-			total += sum
 		}
-		n.Count = total
-		return n, total, nil
+		first := b.AddChildren(idx, regions)
+		for i, cw := range w.Children {
+			if err := conv(cw, first+int32(i)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	root, _, err := conv(wire.Root, 0)
-	if err != nil {
+	if len(wire.Root.Lo) != len(wire.Root.Hi) || len(wire.Root.Lo) == 0 {
+		return fmt.Errorf("privtree: malformed node bounds")
+	}
+	b.AddRoot(geom.NewRect(wire.Root.Lo, wire.Root.Hi))
+	if err := conv(wire.Root, 0); err != nil {
 		return err
 	}
-	t.tree = &core.Tree{Root: root, Fanout: wire.Fanout, HasCounts: true}
+	tree := b.Build(true)
+	tree.SumInternalCounts()
+	t.tree = tree
 	return nil
 }

@@ -42,6 +42,11 @@ type SpatialOptions struct {
 	AffectedLeaves int
 	// Seed makes the build reproducible; 0 picks a fixed default.
 	Seed uint64
+	// Workers bounds the goroutines used for tree construction: 0 means
+	// GOMAXPROCS, 1 forces a serial build. Noise is drawn from per-node
+	// splittable streams, so the released tree is identical for every
+	// Workers setting — only the build time changes.
+	Workers int
 }
 
 // SpatialTree is a released private decomposition with noisy counts.
@@ -91,6 +96,7 @@ func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions)
 		Theta:       opts.Theta,
 		MaxDepth:    opts.MaxDepth,
 		Sensitivity: sens,
+		Workers:     opts.Workers,
 	}
 	// The count release scales identically: x leaves can each change by
 	// one, so the leaf-count vector has L1 sensitivity x.
@@ -106,7 +112,7 @@ func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions)
 func (t *SpatialTree) RangeCount(q Rect) float64 { return t.tree.RangeCount(q) }
 
 // Total returns the tree's noisy estimate of the dataset cardinality.
-func (t *SpatialTree) Total() float64 { return t.tree.Root.Count }
+func (t *SpatialTree) Total() float64 { return t.tree.Root().Count() }
 
 // Nodes returns the number of nodes in the decomposition.
 func (t *SpatialTree) Nodes() int { return t.tree.Size() }
@@ -120,7 +126,7 @@ func (t *SpatialTree) Leaves() []LeafRegion {
 	leaves := t.tree.Leaves()
 	out := make([]LeafRegion, len(leaves))
 	for i, l := range leaves {
-		out[i] = LeafRegion{Region: l.Region, Count: l.Count, Depth: l.Depth}
+		out[i] = LeafRegion{Region: l.Region(), Count: l.Count(), Depth: l.Depth()}
 	}
 	return out
 }
