@@ -1,0 +1,99 @@
+package privtree
+
+import (
+	"math"
+	"testing"
+)
+
+// The public build entry points must reject invalid parameters with errors,
+// never panics: privtreed feeds them straight from untrusted HTTP input.
+
+func TestBuildSpatialRejectsInvalidParams(t *testing.T) {
+	pts := makeClusteredPoints(100)
+	dom := UnitCube(2)
+	cases := []struct {
+		name   string
+		domain Rect
+		points []Point
+		eps    float64
+		opts   SpatialOptions
+	}{
+		{"zero epsilon", dom, pts, 0, SpatialOptions{}},
+		{"negative epsilon", dom, pts, -1, SpatialOptions{}},
+		{"NaN epsilon", dom, pts, math.NaN(), SpatialOptions{}},
+		{"infinite epsilon", dom, pts, math.Inf(1), SpatialOptions{}},
+		{"fanout 1", dom, pts, 1, SpatialOptions{Fanout: 1}},
+		{"negative fanout", dom, pts, 1, SpatialOptions{Fanout: -4}},
+		{"fanout not a power of two", dom, pts, 1, SpatialOptions{Fanout: 3}},
+		{"fanout above 2^d", dom, pts, 1, SpatialOptions{Fanout: 8}},
+		{"zero-dim domain", Rect{}, nil, 1, SpatialOptions{}},
+		{"inverted domain", Rect{Lo: Point{1, 1}, Hi: Point{0, 0}}, nil, 1, SpatialOptions{}},
+		{"empty-interval domain", Rect{Lo: Point{0, 0.5}, Hi: Point{1, 0.5}}, nil, 1, SpatialOptions{}},
+		{"NaN domain bound", Rect{Lo: Point{0, math.NaN()}, Hi: Point{1, 1}}, nil, 1, SpatialOptions{}},
+		{"infinite domain bound", Rect{Lo: Point{0, 0}, Hi: Point{1, math.Inf(1)}}, nil, 1, SpatialOptions{}},
+		{"mismatched domain bounds", Rect{Lo: Point{0, 0}, Hi: Point{1}}, nil, 1, SpatialOptions{}},
+		{"budget fraction 1", dom, pts, 1, SpatialOptions{TreeBudgetFraction: 1}},
+		{"budget fraction negative", dom, pts, 1, SpatialOptions{TreeBudgetFraction: -0.5}},
+		{"negative max depth", dom, pts, 1, SpatialOptions{MaxDepth: -1}},
+		{"negative affected leaves", dom, pts, 1, SpatialOptions{AffectedLeaves: -2}},
+		{"negative workers", dom, pts, 1, SpatialOptions{Workers: -1}},
+		{"point outside domain", dom, []Point{{2, 2}}, 1, SpatialOptions{}},
+		{"point dimension mismatch", dom, []Point{{0.5}}, 1, SpatialOptions{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("BuildSpatial panicked: %v", r)
+				}
+			}()
+			if _, err := BuildSpatial(c.domain, c.points, c.eps, c.opts); err == nil {
+				t.Fatalf("BuildSpatial accepted invalid parameters")
+			}
+		})
+	}
+}
+
+func TestBuildSequenceModelRejectsInvalidParams(t *testing.T) {
+	seqs := makeClickstreams(100)
+	cases := []struct {
+		name     string
+		alphabet int
+		seqs     []Sequence
+		eps      float64
+		opts     SequenceOptions
+	}{
+		{"zero alphabet", 0, seqs, 1, SequenceOptions{}},
+		{"negative alphabet", -3, seqs, 1, SequenceOptions{}},
+		{"zero epsilon", 6, seqs, 0, SequenceOptions{}},
+		{"negative epsilon", 6, seqs, -2, SequenceOptions{}},
+		{"NaN epsilon", 6, seqs, math.NaN(), SequenceOptions{}},
+		{"infinite epsilon", 6, seqs, math.Inf(1), SequenceOptions{}},
+		{"negative max length", 6, seqs, 1, SequenceOptions{MaxLength: -1}},
+		{"symbol out of range", 6, []Sequence{{0, 6}}, 1, SequenceOptions{MaxLength: 10}},
+		{"negative symbol", 6, []Sequence{{-1}}, 1, SequenceOptions{MaxLength: 10}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("BuildSequenceModel panicked: %v", r)
+				}
+			}()
+			if _, err := BuildSequenceModel(c.alphabet, c.seqs, c.eps, c.opts); err == nil {
+				t.Fatalf("BuildSequenceModel accepted invalid parameters")
+			}
+		})
+	}
+}
+
+// Valid edge parameters must still succeed after the hardening.
+func TestBuildSpatialAcceptsValidEdgeParams(t *testing.T) {
+	pts := makeClusteredPoints(500)
+	if _, err := BuildSpatial(UnitCube(2), pts, 0.1, SpatialOptions{Fanout: 2, TreeBudgetFraction: 0.9, MaxDepth: 5}); err != nil {
+		t.Fatalf("valid parameters rejected: %v", err)
+	}
+	if _, err := BuildSpatial(UnitCube(2), nil, 1.0, SpatialOptions{}); err != nil {
+		t.Fatalf("empty dataset rejected: %v", err)
+	}
+}

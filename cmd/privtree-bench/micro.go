@@ -1,21 +1,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
 	"privtree"
+	"privtree/internal/server"
 )
 
-// This file implements the -micro mode: it measures the repository's three
-// core micro-benchmarks (spatial build, range-count query, sequence-model
-// build) with testing.Benchmark and writes the results as machine-readable
-// JSON, so successive PRs can diff ns/op, B/op and allocs/op without
-// parsing `go test -bench` text output.
+// This file implements the -micro mode: it measures the repository's core
+// micro-benchmarks (spatial build, range-count query, sequence-model
+// build, and privtreed batched query throughput) with testing.Benchmark
+// and writes the results as machine-readable JSON, so successive PRs can
+// diff ns/op, B/op, allocs/op and queries/sec without parsing
+// `go test -bench` text output.
 
 // microResult is one benchmark row of BENCH.json.
 type microResult struct {
@@ -24,6 +30,9 @@ type microResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// QueriesPerSec is set for batched-query server rows: the end-to-end
+	// HTTP throughput of one batch divided by its wall-clock time.
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 }
 
 // microReport is the top-level BENCH.json document.
@@ -79,6 +88,62 @@ func microSequences(n int) []privtree.Sequence {
 	return out
 }
 
+// serverBatchSize is the number of range queries per privtreed batch
+// request in the server-throughput benchmark.
+const serverBatchSize = 10_000
+
+// serverThroughputCase prepares a live privtreed instance (httptest
+// transport, so the measurement includes HTTP, JSON and the goroutine
+// fan-out) holding one released tree over the 100k-point dataset, and
+// returns a benchmark case that answers a 10k-query batch per iteration.
+func serverThroughputCase(pts []privtree.Point) (c struct {
+	name string
+	fn   func(b *testing.B)
+}, batch int, closeFn func(), err error) {
+	srv := server.New(server.Options{})
+	d, err := srv.Registry().AddSpatial("bench", privtree.UnitCube(2), pts, 8.0)
+	if err != nil {
+		return c, 0, nil, err
+	}
+	rel, _, err := d.Release(server.ReleaseParams{Epsilon: 1.0, Seed: 1}, 0)
+	if err != nil {
+		return c, 0, nil, err
+	}
+	ts := httptest.NewServer(srv)
+
+	rng := rand.New(rand.NewPCG(500, 600))
+	queries := make([][]float64, serverBatchSize)
+	for i := range queries {
+		lox, loy := rng.Float64()*0.8, rng.Float64()*0.8
+		w, h := 0.02+rng.Float64()*0.18, 0.02+rng.Float64()*0.18
+		queries[i] = []float64{lox, loy, lox + w, loy + h}
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries})
+	if err != nil {
+		ts.Close()
+		return c, 0, nil, err
+	}
+	url := ts.URL + "/v1/datasets/bench/releases/" + rel.ID + "/query"
+	client := ts.Client()
+
+	c.name = "ServerBatch10kQueries"
+	c.fn = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("batch query returned %d", resp.StatusCode)
+			}
+		}
+	}
+	return c, serverBatchSize, ts.Close, nil
+}
+
 // runMicro measures the micro-benchmarks and writes BENCH.json to outPath.
 func runMicro(outPath string) error {
 	dom := privtree.UnitCube(2)
@@ -119,6 +184,13 @@ func runMicro(outPath string) error {
 		}},
 	}
 
+	serverCase, serverBatch, closeServer, err := serverThroughputCase(pts100k)
+	if err != nil {
+		return err
+	}
+	defer closeServer()
+	cases = append(cases, serverCase)
+
 	report := microReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -134,9 +206,16 @@ func runMicro(outPath string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if c.name == serverCase.name {
+			row.QueriesPerSec = float64(serverBatch) / (row.NsPerOp / 1e9)
+		}
 		report.Benchmarks = append(report.Benchmarks, row)
-		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op\n",
+		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op",
 			c.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+		if row.QueriesPerSec > 0 {
+			fmt.Printf(" %12.0f queries/s", row.QueriesPerSec)
+		}
+		fmt.Println()
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

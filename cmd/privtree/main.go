@@ -6,11 +6,17 @@
 //
 //	privtree -in points.csv -eps 1.0 -out tree.json
 //	privtree -in points.csv -eps 1.0 -query "0.1,0.1,0.4,0.5"
-//	privtree -demo -eps 0.5            # run on built-in synthetic data
+//	privtree -in points.csv -eps 1.0 -queries rects.txt   # batch, one rect per line
+//	cat rects.txt | privtree -demo -eps 0.5 -queries -    # batch from stdin
 //
 // The CSV has one point per line, d comma-separated coordinates, all in
-// [0,1) (use -domain to override). The released tree JSON contains leaf
-// regions and noisy counts only — it is safe to publish under the chosen ε.
+// [0,1) (use -domain to override). A -queries file has one query rectangle
+// per line as comma-separated lo...hi coordinates (blank lines and
+// #-comments skipped); the whole batch is answered against ONE released
+// tree — the privacy cost is the single build's ε no matter how many
+// queries follow, since queries are post-processing of the release. The
+// released tree JSON contains leaf regions and noisy counts only — it is
+// safe to publish under the chosen ε.
 package main
 
 import (
@@ -18,24 +24,27 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"privtree"
 	"privtree/internal/dp"
+	"privtree/internal/geom"
 	"privtree/internal/synth"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV of points (one point per line)")
-		demo   = flag.Bool("demo", false, "use built-in synthetic road-like data instead of -in")
-		eps    = flag.Float64("eps", 1.0, "total privacy budget ε")
-		out    = flag.String("out", "", "write the released tree as JSON to this file (default stdout)")
-		query  = flag.String("query", "", "answer one range query: comma-separated lo...hi coordinates")
-		domain = flag.String("domain", "", "domain as lo...hi coordinates (default unit cube)")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		in      = flag.String("in", "", "input CSV of points (one point per line)")
+		demo    = flag.Bool("demo", false, "use built-in synthetic road-like data instead of -in")
+		eps     = flag.Float64("eps", 1.0, "total privacy budget ε")
+		out     = flag.String("out", "", "write the released tree as JSON to this file (default stdout)")
+		query   = flag.String("query", "", "answer one range query: comma-separated lo...hi coordinates")
+		queries = flag.String("queries", "", "answer a batch of range queries from this file, one rect per line ('-' for stdin)")
+		domain  = flag.String("domain", "", "domain as lo...hi coordinates (default unit cube)")
+		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
@@ -56,15 +65,27 @@ func main() {
 	if len(points) == 0 {
 		fatal(fmt.Errorf("no points"))
 	}
+	if *query != "" && *queries != "" {
+		fatal(fmt.Errorf("-query and -queries are mutually exclusive"))
+	}
 	d := len(points[0])
 
 	dom := privtree.UnitCube(d)
 	if *domain != "" {
-		coords, err := parseFloats(*domain)
-		if err != nil || len(coords) != 2*d {
-			fatal(fmt.Errorf("-domain needs %d comma-separated values", 2*d))
+		r, err := parseRect(*domain, d)
+		if err != nil {
+			fatal(fmt.Errorf("-domain: %v", err))
 		}
-		dom = privtree.NewRect(coords[:d], coords[d:])
+		dom = r
+	}
+	// Parse the single query up front so a bad one fails before the build.
+	var singleQ privtree.Rect
+	if *query != "" {
+		q, err := parseRect(*query, d)
+		if err != nil {
+			fatal(fmt.Errorf("-query: %v", err))
+		}
+		singleQ = q
 	}
 
 	tree, err := privtree.BuildSpatial(dom, points, *eps, privtree.SpatialOptions{Seed: *seed})
@@ -75,12 +96,13 @@ func main() {
 		*eps, tree.Nodes(), tree.Height(), tree.Total())
 
 	if *query != "" {
-		coords, err := parseFloats(*query)
-		if err != nil || len(coords) != 2*d {
-			fatal(fmt.Errorf("-query needs %d comma-separated values (lo..., hi...)", 2*d))
+		fmt.Printf("%.2f\n", tree.RangeCount(singleQ))
+		return
+	}
+	if *queries != "" {
+		if err := answerBatch(tree, *queries, d); err != nil {
+			fatal(err)
 		}
-		q := privtree.NewRect(coords[:d], coords[d:])
-		fmt.Printf("%.2f\n", tree.RangeCount(q))
 		return
 	}
 
@@ -100,6 +122,43 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// answerBatch streams query rectangles from path ('-' = stdin) and prints
+// one answer per line, all against the single already-released tree.
+func answerBatch(tree *privtree.SpatialTree, path string, d int) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line, answered := 0, 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		q, err := parseRect(text, d)
+		if err != nil {
+			return fmt.Errorf("queries line %d: %v", line, err)
+		}
+		fmt.Fprintf(w, "%.2f\n", tree.RangeCount(q))
+		answered++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "answered %d queries against one ε-release\n", answered)
+	return nil
 }
 
 func readCSV(path string) ([]privtree.Point, error) {
@@ -124,6 +183,23 @@ func readCSV(path string) ([]privtree.Point, error) {
 		out = append(out, coords)
 	}
 	return out, sc.Err()
+}
+
+// parseRect parses comma-separated lo...hi coordinates into a validated
+// d-dimensional rectangle: it returns errors — never panics — on wrong
+// arity, non-finite coordinates, or inverted intervals.
+func parseRect(s string, d int) (privtree.Rect, error) {
+	coords, err := parseFloats(s)
+	if err != nil {
+		return privtree.Rect{}, err
+	}
+	if len(coords) != 2*d {
+		return privtree.Rect{}, fmt.Errorf("got %d comma-separated values, want %d (lo..., hi...)", len(coords), 2*d)
+	}
+	if err := geom.CheckBounds(coords[:d], coords[d:], false); err != nil {
+		return privtree.Rect{}, err
+	}
+	return privtree.Rect{Lo: coords[:d], Hi: coords[d:]}, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,88 @@
+// Command privtreed serves differentially private releases over HTTP: a
+// multi-tenant dataset registry with a per-dataset privacy-budget
+// accountant, a release cache, and batched range-count / frequency query
+// endpoints (see internal/server for the API).
+//
+// Usage:
+//
+//	privtreed -addr :8181
+//	privtreed -addr :8181 -workers 8 -max-batch 1048576
+//
+// Quick tour against a running server:
+//
+//	curl -s localhost:8181/v1/datasets -d '{"name":"demo","epsilon":1.0,"synthetic":{"generator":"road","n":200000,"seed":1}}'
+//	curl -s localhost:8181/v1/datasets/demo/releases -d '{"epsilon":0.5,"seed":7}'
+//	curl -s localhost:8181/v1/datasets/demo/releases/r1/query -d '{"queries":[[0.1,0.1,0.4,0.5]]}'
+//	curl -s localhost:8181/metrics
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get up to -drain to complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privtree/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8181", "listen address")
+		workers  = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
+		maxBody  = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	handler := server.New(server.Options{
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "privtreed: listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "privtreed: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "privtreed: drain incomplete: %v\n", err)
+		_ = srv.Close()
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "privtreed:", err)
+	os.Exit(1)
+}

@@ -43,4 +43,25 @@
 //
 // All randomness is seeded: the same seed reproduces the same tree, at
 // every Workers setting.
+//
+// # Serving releases
+//
+// cmd/privtreed (package internal/server) runs the library as a
+// multi-tenant release server: datasets are registered with a total
+// privacy budget ε, and a concurrent-safe ledger enforces sequential
+// composition — every BuildSpatial/BuildSequenceModel release debits the
+// dataset's ledger before the mechanism runs, releases with parameters
+// already purchased are served from cache without a new debit (publishing
+// the same released bytes twice is post-processing), and over-budget
+// requests are rejected with a structured budget_exhausted error carrying
+// the remaining ε. Batched range-count queries are answered from immutable
+// released trees on a goroutine pool via the allocation-free RangeCount
+// path; queries read only released artifacts and therefore consume no
+// budget. See README.md ("Serving releases") for the HTTP API.
+//
+// Build entry points validate their parameters and return errors — never
+// panics — on non-positive ε, unusable fanouts, or degenerate domains, so
+// they can sit directly behind untrusted inputs, and
+// SpatialTree.UnmarshalJSON rejects malformed or truncated documents
+// rather than constructing a corrupt tree.
 package privtree

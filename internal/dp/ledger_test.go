@@ -1,0 +1,132 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLedgerSequentialComposition(t *testing.T) {
+	l, err := NewLedger(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(0.4, "release-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(0.6, "release-2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Remaining(); got > 1e-12 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+	err = l.Spend(0.1, "release-3")
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget spend returned %v, want *BudgetError", err)
+	}
+	if be.Requested != 0.1 || be.Total != 1.0 {
+		t.Fatalf("BudgetError fields = %+v", be)
+	}
+	if be.Remaining > 1e-12 {
+		t.Fatalf("BudgetError.Remaining = %v, want ~0", be.Remaining)
+	}
+	// The rejected spend must not have mutated the ledger.
+	if got := l.Spent(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("spent after rejection = %v, want 1.0", got)
+	}
+	if h := l.History(); len(h) != 2 {
+		t.Fatalf("history has %d entries, want 2 (rejections are not debits)", len(h))
+	}
+}
+
+func TestLedgerFractionalSplitTolerance(t *testing.T) {
+	l, _ := NewLedger(1.0)
+	// ε·(β−1)/β + ε/β can overshoot ε by a few ulps; the tolerance must
+	// absorb it.
+	beta := 7.0
+	if err := l.Spend(1.0*(beta-1)/beta, "hists"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(1.0/beta, "tree"); err != nil {
+		t.Fatalf("float round-off rejected: %v", err)
+	}
+}
+
+func TestLedgerRejectsBadInputs(t *testing.T) {
+	if _, err := NewLedger(0); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	if _, err := NewLedger(-1); err == nil {
+		t.Fatal("negative total accepted")
+	}
+	if _, err := NewLedger(math.Inf(1)); err == nil {
+		t.Fatal("infinite total accepted")
+	}
+	l, _ := NewLedger(1)
+	if err := l.Spend(0, "x"); err == nil {
+		t.Fatal("zero spend accepted")
+	}
+	if err := l.Spend(-0.5, "x"); err == nil {
+		t.Fatal("negative spend accepted")
+	}
+	if err := l.Spend(math.NaN(), "x"); err == nil {
+		t.Fatal("NaN spend accepted")
+	}
+}
+
+func TestLedgerRefund(t *testing.T) {
+	l, _ := NewLedger(1.0)
+	if err := l.Spend(0.8, "failed-release"); err != nil {
+		t.Fatal(err)
+	}
+	l.Refund(0.8, "failed-release")
+	if got := l.Remaining(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("remaining after refund = %v, want 1.0", got)
+	}
+	if err := l.Spend(1.0, "real-release"); err != nil {
+		t.Fatalf("full budget unavailable after refund: %v", err)
+	}
+	h := l.History()
+	if len(h) != 3 || h[1].Epsilon != -0.8 {
+		t.Fatalf("refund not recorded: %+v", h)
+	}
+}
+
+// TestLedgerConcurrentSpends hammers one ledger from many goroutines and
+// checks the accounting invariant: exactly total/step spends succeed and
+// the spent sum never exceeds the total. Run under -race this also proves
+// the ledger is data-race free.
+func TestLedgerConcurrentSpends(t *testing.T) {
+	const (
+		step  = 0.01
+		total = 1.0
+		tries = 500
+	)
+	l, _ := NewLedger(total)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	succeeded := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tries/8; i++ {
+				if err := l.Spend(step, "conc"); err == nil {
+					mu.Lock()
+					succeeded++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := int(total / step)
+	if succeeded != want {
+		t.Fatalf("%d spends succeeded, want %d", succeeded, want)
+	}
+	if l.Spent() > total*(1+1e-9) {
+		t.Fatalf("spent %v exceeds total %v", l.Spent(), total)
+	}
+}

@@ -5,6 +5,7 @@ package geom
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -45,6 +46,39 @@ func UnitCube(d int) Rect {
 
 // Dims returns the dimensionality of the rectangle.
 func (r Rect) Dims() int { return len(r.Lo) }
+
+// CheckBounds is the shared validation for lo/hi coordinate pairs arriving
+// from untrusted input (deserialized trees, HTTP query batches, CLI query
+// strings): matching non-empty lengths, finite coordinates, and
+// non-inverted intervals. strict additionally demands positive extent per
+// axis (lo < hi), which domains need; query rectangles may be empty
+// (lo == hi). It never panics.
+func CheckBounds(lo, hi Point, strict bool) error {
+	if len(lo) != len(hi) {
+		return fmt.Errorf("geom: got %d lo and %d hi coordinates", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return fmt.Errorf("geom: need at least one dimension")
+	}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsInf(lo[i], 0) || math.IsNaN(hi[i]) || math.IsInf(hi[i], 0) {
+			return fmt.Errorf("geom: non-finite bound on axis %d: [%v, %v)", i, lo[i], hi[i])
+		}
+		if strict && !(lo[i] < hi[i]) {
+			return fmt.Errorf("geom: empty interval on axis %d: [%v, %v)", i, lo[i], hi[i])
+		}
+		if lo[i] > hi[i] {
+			return fmt.Errorf("geom: inverted interval on axis %d: [%v, %v)", i, lo[i], hi[i])
+		}
+	}
+	return nil
+}
+
+// Validate reports whether r can serve as a decomposition domain: at least
+// one dimension, matching Lo/Hi lengths, finite coordinates, and strictly
+// positive extent on every axis (a zero-width axis would make every split
+// degenerate and every volume zero).
+func (r Rect) Validate() error { return CheckBounds(r.Lo, r.Hi, true) }
 
 // Contains reports whether p lies inside r ([lo, hi) per axis).
 func (r Rect) Contains(p Point) bool {

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"privtree/internal/dp"
+)
+
+// Error codes returned in the structured error envelope.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
+	CodeTooLarge        = "too_large"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeInternal        = "internal"
+)
+
+// errInternal tags failures that are the server's fault, not the
+// client's; writeErrorFrom maps them to HTTP 500.
+var errInternal = errors.New("internal server error")
+
+// APIError is the structured error every non-2xx response carries, wrapped
+// in an {"error": ...} envelope. The budget-accounting fields are pointers
+// so a budget_exhausted error always serializes all three — including a
+// remaining ε of exactly 0, the most common rejection — while other codes
+// omit them entirely.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Budget-accounting fields, set only for CodeBudgetExhausted.
+	RequestedEpsilon *float64 `json:"requested_epsilon,omitempty"`
+	RemainingEpsilon *float64 `json:"remaining_epsilon,omitempty"`
+	TotalEpsilon     *float64 `json:"total_epsilon,omitempty"`
+}
+
+func (e *APIError) Error() string { return e.Message }
+
+type errorEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+// writeError emits the structured error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, apiErr *APIError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: apiErr})
+}
+
+// writeErrorFrom maps an arbitrary error to the envelope: ledger
+// rejections become CodeBudgetExhausted (403) with the accounting fields
+// filled in, server-side failures become CodeInternal (500), and
+// everything else is the client's CodeBadRequest (400).
+func writeErrorFrom(w http.ResponseWriter, err error) {
+	var be *dp.BudgetError
+	if errors.As(err, &be) {
+		writeError(w, http.StatusForbidden, &APIError{
+			Code:             CodeBudgetExhausted,
+			Message:          be.Error(),
+			RequestedEpsilon: &be.Requested,
+			RemainingEpsilon: &be.Remaining,
+			TotalEpsilon:     &be.Total,
+		})
+		return
+	}
+	if errors.Is(err, errInternal) {
+		writeError(w, http.StatusInternalServerError, &APIError{Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: err.Error()})
+}

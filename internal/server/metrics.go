@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates the server's operational counters. All fields are
+// updated with atomics so handlers never contend on a lock for accounting.
+type metrics struct {
+	start time.Time
+
+	requestsTotal atomic.Int64
+
+	mu      sync.Mutex
+	byRoute map[string]*atomic.Int64
+
+	queriesAnswered  atomic.Int64
+	queryNanos       atomic.Int64
+	releasesBuilt    atomic.Int64
+	releaseCacheHits atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), byRoute: make(map[string]*atomic.Int64)}
+}
+
+// routeCounter returns the request counter for a named route, creating it
+// on first use (registration time), so request-path increments are lock-free.
+func (m *metrics) routeCounter(name string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byRoute[name]
+	if !ok {
+		c = &atomic.Int64{}
+		m.byRoute[name] = c
+	}
+	return c
+}
+
+// snapshotRoutes copies the per-route counters.
+func (m *metrics) snapshotRoutes() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byRoute))
+	for name, c := range m.byRoute {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// recordQueries accounts for a batch of answered queries.
+func (m *metrics) recordQueries(n int, elapsed time.Duration) {
+	m.queriesAnswered.Add(int64(n))
+	m.queryNanos.Add(elapsed.Nanoseconds())
+}
+
+// uptime returns the time since the server started.
+func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+
+// queriesPerSecond returns the average query throughput over the server's
+// lifetime (0 before any query).
+func (m *metrics) queriesPerSecond() float64 {
+	up := m.uptime().Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return float64(m.queriesAnswered.Load()) / up
+}

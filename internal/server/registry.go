@@ -1,0 +1,384 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"privtree"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+)
+
+// Kind distinguishes the two release pipelines a dataset can feed.
+type Kind string
+
+const (
+	KindSpatial  Kind = "spatial"
+	KindSequence Kind = "sequence"
+)
+
+// Dataset is one registered private dataset: the raw data (never exposed),
+// its privacy-budget ledger, and the cache of releases already paid for.
+//
+// The zero-trust boundary runs through this struct: handlers may hand out
+// anything derived from `releases` (each entry was bought from the ledger)
+// but never the raw points or sequences.
+type Dataset struct {
+	Name      string
+	Kind      Kind
+	CreatedAt time.Time
+
+	// Spatial payload (Kind == KindSpatial).
+	domain geom.Rect
+	points []privtree.Point
+
+	// Sequence payload (Kind == KindSequence).
+	alphabet int
+	seqs     []privtree.Sequence
+
+	// Ledger is the dataset's ε accountant; every release debits it.
+	Ledger *dp.Ledger
+
+	// mu guards the release cache; builds run OUTSIDE it so queries and
+	// metadata reads never stall behind a slow mechanism. pending marks
+	// cache keys whose build is in flight (the channel closes when the
+	// build finishes), so two identical concurrent requests cannot
+	// double-spend: the second waits and takes the cache hit.
+	mu       sync.RWMutex
+	releases map[string]*Release
+	byKey    map[string]string
+	pending  map[string]chan struct{}
+	nextID   int
+}
+
+// N returns the dataset cardinality (points or sequences).
+func (d *Dataset) N() int {
+	if d.Kind == KindSpatial {
+		return len(d.points)
+	}
+	return len(d.seqs)
+}
+
+// Dims returns the spatial dimensionality (0 for sequence datasets).
+func (d *Dataset) Dims() int {
+	if d.Kind == KindSpatial {
+		return d.domain.Dims()
+	}
+	return 0
+}
+
+// ReleaseParams are the client-settable knobs of one release. Together with
+// the dataset they fully determine the released artifact (builds are pure
+// functions of data, params and seed), which is what makes the release
+// cache sound: a repeated request is the *same* release, not a new one.
+type ReleaseParams struct {
+	// Epsilon is the privacy budget this release debits. Required.
+	Epsilon float64 `json:"epsilon"`
+	// Seed fixes the mechanism's randomness; 0 picks the library default.
+	Seed uint64 `json:"seed"`
+
+	// Spatial knobs (mirror privtree.SpatialOptions).
+	Fanout             int     `json:"fanout,omitempty"`
+	Theta              float64 `json:"theta,omitempty"`
+	TreeBudgetFraction float64 `json:"tree_budget_fraction,omitempty"`
+	MaxDepth           int     `json:"max_depth,omitempty"`
+	AffectedLeaves     int     `json:"affected_leaves,omitempty"`
+
+	// Sequence knobs (mirror privtree.SequenceOptions).
+	MaxLength int `json:"max_length,omitempty"`
+}
+
+// key is the release-cache key: every parameter that influences the
+// artifact, in a fixed order.
+func (p ReleaseParams) key() string {
+	return fmt.Sprintf("eps=%g seed=%d fanout=%d theta=%g frac=%g depth=%d leaves=%d maxlen=%d",
+		p.Epsilon, p.Seed, p.Fanout, p.Theta, p.TreeBudgetFraction, p.MaxDepth, p.AffectedLeaves, p.MaxLength)
+}
+
+// Release is one purchased differentially private artifact. Tree/Model are
+// immutable after construction, so queries read them without locking.
+type Release struct {
+	ID        string        `json:"release_id"`
+	Kind      Kind          `json:"kind"`
+	Params    ReleaseParams `json:"params"`
+	CreatedAt time.Time     `json:"created_at"`
+	Nodes     int           `json:"nodes"`
+	Height    int           `json:"height,omitempty"`
+
+	tree     *privtree.SpatialTree
+	model    *privtree.SequenceModel
+	artifact json.RawMessage
+}
+
+// Artifact returns the release in the library's public wire format (the
+// same JSON shape serialize.go defines for SpatialTree / SequenceModel).
+// The bytes are marshaled once at build time — releases are immutable —
+// so repeated fetches cost a slice copy, not a tree walk.
+func (r *Release) Artifact() json.RawMessage { return r.artifact }
+
+// Release returns the cached release for p, or builds one: the ledger is
+// debited and the cache key claimed atomically, then the mechanism runs
+// outside the lock (concurrent queries and metadata reads proceed), and on
+// mechanism failure the debit is refunded (sound because nothing was
+// published). The boolean reports a cache hit, which never debits —
+// handing out the same artifact twice is post-processing of one release
+// and costs no extra privacy. A request arriving while an identical build
+// is in flight waits for it and takes the cache hit rather than
+// double-spending.
+//
+// workers bounds the build parallelism (0 = GOMAXPROCS).
+func (d *Dataset) Release(p ReleaseParams, workers int) (*Release, bool, error) {
+	key := p.key()
+	note := "release " + key
+	var done chan struct{}
+	for {
+		d.mu.Lock()
+		if id, ok := d.byKey[key]; ok {
+			rel := d.releases[id]
+			d.mu.Unlock()
+			return rel, true, nil
+		}
+		if ch, ok := d.pending[key]; ok {
+			// An identical build is in flight: wait for it and re-check.
+			// (If it fails, the loop claims the key and tries afresh.)
+			d.mu.Unlock()
+			<-ch
+			continue
+		}
+		// Claim the key: debit inside the lock so the exhaustion check and
+		// the claim are one atomic step.
+		if err := d.Ledger.Spend(p.Epsilon, note); err != nil {
+			d.mu.Unlock()
+			return nil, false, err
+		}
+		done = make(chan struct{})
+		d.pending[key] = done
+		d.mu.Unlock()
+		break
+	}
+
+	rel, err := d.build(p, workers)
+	if err != nil {
+		// Refund before waking waiters, so a retrying waiter sees the
+		// credited ledger.
+		d.Ledger.Refund(p.Epsilon, note)
+	}
+	d.mu.Lock()
+	delete(d.pending, key)
+	if err == nil {
+		d.nextID++
+		rel.ID = fmt.Sprintf("r%d", d.nextID)
+		rel.Params = p
+		rel.Kind = d.Kind
+		rel.CreatedAt = time.Now()
+		d.releases[rel.ID] = rel
+		d.byKey[key] = rel.ID
+	}
+	d.mu.Unlock()
+	close(done)
+	if err != nil {
+		return nil, false, err
+	}
+	return rel, false, nil
+}
+
+// build runs the mechanism for p against the raw data and marshals the
+// wire-format artifact once, so later fetches never re-walk the tree.
+func (d *Dataset) build(p ReleaseParams, workers int) (*Release, error) {
+	switch d.Kind {
+	case KindSpatial:
+		tree, err := privtree.BuildSpatial(d.domain, d.points, p.Epsilon, privtree.SpatialOptions{
+			Fanout:             p.Fanout,
+			Theta:              p.Theta,
+			TreeBudgetFraction: p.TreeBudgetFraction,
+			MaxDepth:           p.MaxDepth,
+			AffectedLeaves:     p.AffectedLeaves,
+			Seed:               p.Seed,
+			Workers:            workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		blob, err := json.Marshal(tree)
+		if err != nil {
+			return nil, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
+		}
+		return &Release{tree: tree, artifact: blob, Nodes: tree.Nodes(), Height: tree.Height()}, nil
+	case KindSequence:
+		model, err := privtree.BuildSequenceModel(d.alphabet, d.seqs, p.Epsilon, privtree.SequenceOptions{
+			MaxLength: p.MaxLength,
+			Seed:      p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		blob, err := json.Marshal(model)
+		if err != nil {
+			return nil, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
+		}
+		return &Release{model: model, artifact: blob, Nodes: model.Nodes()}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown dataset kind %q", errInternal, d.Kind)
+}
+
+// GetRelease returns a release by id.
+func (d *Dataset) GetRelease(id string) (*Release, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	r, ok := d.releases[id]
+	return r, ok
+}
+
+// NumReleases returns the release count without copying the cache (for
+// list/metrics views, which are polled).
+func (d *Dataset) NumReleases() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.releases)
+}
+
+// Releases returns the dataset's releases sorted by id creation order.
+func (d *Dataset) Releases() []*Release {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Release, 0, len(d.releases))
+	for _, r := range d.releases {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.Before(out[j].CreatedAt) })
+	return out
+}
+
+// nameRE constrains dataset names to something path- and log-safe.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// ValidateName reports whether name is acceptable as a dataset name. It is
+// cheap; callers ingesting large payloads should run it before touching
+// the data.
+func ValidateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("server: invalid dataset name %q (want %s)", name, nameRE)
+	}
+	return nil
+}
+
+// Registry is the concurrent-safe set of datasets a server owns.
+type Registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*Dataset)}
+}
+
+// newDataset initializes the bookkeeping shared by both kinds.
+func newDataset(name string, kind Kind, epsilon float64) (*Dataset, error) {
+	ledger, err := dp.NewLedger(epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:      name,
+		Kind:      kind,
+		CreatedAt: time.Now(),
+		Ledger:    ledger,
+		releases:  make(map[string]*Release),
+		byKey:     make(map[string]string),
+		pending:   make(map[string]chan struct{}),
+	}, nil
+}
+
+// AddSpatial registers a spatial dataset under a total privacy budget. The
+// data is validated eagerly (domain shape, points inside the domain) so
+// that a later release can only fail on release parameters.
+func (r *Registry) AddSpatial(name string, domain geom.Rect, points []privtree.Point, epsilon float64) (*Dataset, error) {
+	if err := domain.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid domain: %w", err)
+	}
+	for i, p := range points {
+		if len(p) != domain.Dims() {
+			return nil, fmt.Errorf("server: point %d has dim %d, domain has dim %d", i, len(p), domain.Dims())
+		}
+		if !domain.Contains(p) {
+			return nil, fmt.Errorf("server: point %d outside domain", i)
+		}
+	}
+	d, err := newDataset(name, KindSpatial, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	d.domain = domain
+	d.points = points
+	return d, r.insert(d)
+}
+
+// AddSequence registers a sequence dataset under a total privacy budget.
+func (r *Registry) AddSequence(name string, alphabet int, seqs []privtree.Sequence, epsilon float64) (*Dataset, error) {
+	if alphabet < 1 {
+		return nil, fmt.Errorf("server: alphabet size must be >= 1, got %d", alphabet)
+	}
+	for i, s := range seqs {
+		for _, x := range s {
+			if x < 0 || x >= alphabet {
+				return nil, fmt.Errorf("server: sequence %d has symbol %d outside [0,%d)", i, x, alphabet)
+			}
+		}
+	}
+	d, err := newDataset(name, KindSequence, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	d.alphabet = alphabet
+	d.seqs = seqs
+	return d, r.insert(d)
+}
+
+// ErrExists reports a dataset-name collision; handlers map it to HTTP 409.
+var ErrExists = errors.New("dataset already registered")
+
+func (r *Registry) insert(d *Dataset) error {
+	if err := ValidateName(d.Name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.datasets[d.Name]; exists {
+		return fmt.Errorf("server: dataset %q: %w", d.Name, ErrExists)
+	}
+	r.datasets[d.Name] = d
+	return nil
+}
+
+// Get returns a dataset by name.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.datasets[name]
+	return d, ok
+}
+
+// List returns all datasets sorted by name.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Dataset, 0, len(r.datasets))
+	for _, d := range r.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.datasets)
+}

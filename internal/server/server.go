@@ -1,0 +1,558 @@
+// Package server implements privtreed, the multi-tenant differentially
+// private release server: it owns a registry of datasets, a per-dataset
+// privacy-budget ledger (internal/dp.Ledger), a cache of purchased
+// releases, and batched range-count / frequency query endpoints served
+// from immutable released artifacts.
+//
+// Privacy model: the raw data enters the process once, at registration,
+// with a total budget ε. Every release debits that dataset's ledger before
+// the mechanism runs (sequential composition: the sum of debits bounds the
+// privacy loss of everything the server ever emits about the dataset), and
+// a release with parameters already purchased is served from cache without
+// a new debit — re-sending released bytes is post-processing. Queries hit
+// only released trees, never the raw data, so they are free.
+//
+// # HTTP API (all JSON)
+//
+//	POST   /v1/datasets                          register a dataset
+//	GET    /v1/datasets                          list datasets + budgets
+//	GET    /v1/datasets/{name}                   one dataset + its releases
+//	POST   /v1/datasets/{name}/releases          buy (or fetch cached) release
+//	GET    /v1/datasets/{name}/releases/{id}     released artifact (wire JSON)
+//	POST   /v1/datasets/{name}/releases/{id}/query  batched queries
+//	GET    /healthz                              liveness
+//	GET    /metrics                              operational counters
+//
+// Errors use a structured envelope {"error":{"code",...}}; budget
+// exhaustion is code "budget_exhausted" with the ledger arithmetic
+// attached.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"privtree"
+	"privtree/internal/dataset"
+	"privtree/internal/dp"
+	"privtree/internal/geom"
+	"privtree/internal/synth"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers bounds goroutines per build and per query batch;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes caps request bodies; 0 means 256 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of queries per batch request; 0 means 2^20.
+	MaxBatch int
+	// MaxSyntheticN caps synthetic dataset cardinality; 0 means 5,000,000.
+	MaxSyntheticN int
+}
+
+// Server is the privtreed HTTP handler.
+type Server struct {
+	registry *Registry
+	metrics  *metrics
+	mux      *http.ServeMux
+	opts     Options
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 256 << 20
+	}
+	if opts.MaxBatch == 0 {
+		opts.MaxBatch = 1 << 20
+	}
+	if opts.MaxSyntheticN == 0 {
+		opts.MaxSyntheticN = 5_000_000
+	}
+	s := &Server{
+		registry: NewRegistry(),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		opts:     opts,
+	}
+	s.mux.HandleFunc("POST /v1/datasets", s.route("register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/datasets", s.route("list_datasets", s.handleListDatasets))
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.route("get_dataset", s.handleGetDataset))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/releases", s.route("create_release", s.handleCreateRelease))
+	s.mux.HandleFunc("GET /v1/datasets/{name}/releases/{id}", s.route("get_release", s.handleGetRelease))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return s
+}
+
+// Registry exposes the dataset registry (programmatic registration, tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsTotal.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// route wraps a handler with its per-route request counter.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.metrics.routeCounter(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON parses a request body, translating the MaxBytesReader limit
+// into a structured too_large error. Unknown fields are rejected: a
+// misspelled release knob silently falling back to its default would
+// irreversibly spend ε on the wrong artifact. Returns false when a
+// response was already written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, &APIError{
+				Code: CodeTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// rectJSON is the wire form of an axis-aligned box.
+type rectJSON struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// syntheticSpec asks the server to generate one of the paper's synthetic
+// datasets instead of ingesting client data.
+type syntheticSpec struct {
+	Generator string `json:"generator"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+}
+
+// registerRequest is the POST /v1/datasets body. Exactly one data source —
+// csv, points, sequences, or synthetic — must be present; kind is inferred
+// from the source when omitted.
+type registerRequest struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+
+	Domain    *rectJSON      `json:"domain,omitempty"`
+	CSV       string         `json:"csv,omitempty"`
+	Points    [][]float64    `json:"points,omitempty"`
+	Synthetic *syntheticSpec `json:"synthetic,omitempty"`
+
+	Alphabet  int     `json:"alphabet,omitempty"`
+	Sequences [][]int `json:"sequences,omitempty"`
+}
+
+// datasetInfo is the public (privacy-safe) view of a dataset: budgets,
+// schema shape and release metadata only — never raw data, and never the
+// exact cardinality. The true N is returned once, in the registration
+// acknowledgment to the party that uploaded the data (who knows it
+// already); emitting it from list/get/metrics would disclose exact
+// membership information outside the ledger's accounting.
+type datasetInfo struct {
+	Name             string     `json:"name"`
+	Kind             Kind       `json:"kind"`
+	Dims             int        `json:"dims,omitempty"`
+	EpsilonTotal     float64    `json:"epsilon_total"`
+	EpsilonSpent     float64    `json:"epsilon_spent"`
+	EpsilonRemaining float64    `json:"epsilon_remaining"`
+	Releases         []*Release `json:"releases,omitempty"`
+	NumReleases      int        `json:"num_releases"`
+}
+
+func info(d *Dataset, withReleases bool) datasetInfo {
+	out := datasetInfo{
+		Name:             d.Name,
+		Kind:             d.Kind,
+		Dims:             d.Dims(),
+		EpsilonTotal:     d.Ledger.Total(),
+		EpsilonSpent:     d.Ledger.Spent(),
+		EpsilonRemaining: d.Ledger.Remaining(),
+		NumReleases:      d.NumReleases(),
+	}
+	if withReleases {
+		out.Releases = d.Releases()
+		out.NumReleases = len(out.Releases)
+	}
+	return out
+}
+
+// registerResponse acknowledges an ingest: it is the datasetInfo plus the
+// exact ingested cardinality, disclosed only to the registrant.
+type registerResponse struct {
+	datasetInfo
+	N int `json:"n"`
+}
+
+var spatialGenerators = map[string]bool{"road": true, "gowalla": true, "nyc": true, "beijing": true}
+var sequenceGenerators = map[string]bool{"mooc": true, "msnbc": true}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sources := 0
+	for _, present := range []bool{req.CSV != "", req.Points != nil, req.Synthetic != nil, req.Sequences != nil} {
+		if present {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: "exactly one of csv, points, sequences, synthetic must be provided"})
+		return
+	}
+
+	d, err := s.register(&req)
+	if err != nil {
+		if errors.Is(err, ErrExists) {
+			writeError(w, http.StatusConflict, &APIError{Code: CodeConflict, Message: err.Error()})
+			return
+		}
+		writeErrorFrom(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResponse{datasetInfo: info(d, false), N: d.N()})
+}
+
+// register builds the dataset described by req and inserts it. The cheap
+// checks — name shape, name collision, budget — run first: rejecting a
+// request after generating or validating millions of points would make
+// malformed requests an amplification vector. (The collision check here is
+// advisory; Registry.insert re-checks under the lock.)
+func (s *Server) register(req *registerRequest) (*Dataset, error) {
+	if err := ValidateName(req.Name); err != nil {
+		return nil, err
+	}
+	if _, taken := s.registry.Get(req.Name); taken {
+		return nil, fmt.Errorf("server: dataset %q: %w", req.Name, ErrExists)
+	}
+	if !(req.Epsilon > 0) || math.IsInf(req.Epsilon, 0) {
+		return nil, fmt.Errorf("server: total budget epsilon must be positive and finite, got %v", req.Epsilon)
+	}
+	kind := Kind(req.Kind)
+	if kind == "" {
+		switch {
+		case req.Sequences != nil:
+			kind = KindSequence
+		case req.Synthetic != nil && sequenceGenerators[req.Synthetic.Generator]:
+			kind = KindSequence
+		default:
+			kind = KindSpatial
+		}
+	}
+	if kind != KindSpatial && kind != KindSequence {
+		return nil, fmt.Errorf("server: unknown dataset kind %q", req.Kind)
+	}
+
+	if req.Synthetic != nil {
+		return s.registerSynthetic(req, kind)
+	}
+
+	switch kind {
+	case KindSequence:
+		if req.Sequences == nil {
+			return nil, fmt.Errorf("server: sequence dataset needs a sequences array")
+		}
+		seqs := make([]privtree.Sequence, len(req.Sequences))
+		for i, row := range req.Sequences {
+			seqs[i] = privtree.Sequence(row)
+		}
+		return s.registry.AddSequence(req.Name, req.Alphabet, seqs, req.Epsilon)
+	default:
+		var domain geom.Rect
+		if req.Domain != nil {
+			domain = geom.Rect{Lo: req.Domain.Lo, Hi: req.Domain.Hi}
+			if err := domain.Validate(); err != nil {
+				return nil, fmt.Errorf("server: invalid domain: %w", err)
+			}
+		}
+		var pts []privtree.Point
+		switch {
+		case req.CSV != "":
+			ds, err := dataset.ReadCSV(strings.NewReader(req.CSV), domain)
+			if err != nil {
+				return nil, err
+			}
+			domain, pts = ds.Domain, ds.Points
+		default:
+			pts = make([]privtree.Point, len(req.Points))
+			for i, row := range req.Points {
+				pts[i] = privtree.Point(row)
+			}
+			if domain.Dims() == 0 {
+				if len(pts) == 0 {
+					return nil, fmt.Errorf("server: empty point set needs an explicit domain")
+				}
+				domain = geom.UnitCube(len(pts[0]))
+			}
+		}
+		return s.registry.AddSpatial(req.Name, domain, pts, req.Epsilon)
+	}
+}
+
+// registerSynthetic generates one of the paper's synthetic datasets
+// server-side; useful for demos and load tests without shipping data.
+func (s *Server) registerSynthetic(req *registerRequest, kind Kind) (*Dataset, error) {
+	spec := req.Synthetic
+	if spec.N < 1 || spec.N > s.opts.MaxSyntheticN {
+		return nil, fmt.Errorf("server: synthetic n must be in [1,%d], got %d", s.opts.MaxSyntheticN, spec.N)
+	}
+	rng := dp.NewRand(spec.Seed)
+	switch {
+	case kind == KindSpatial && spatialGenerators[spec.Generator]:
+		ds := synth.SpatialByName(spec.Generator, spec.N, rng)
+		return s.registry.AddSpatial(req.Name, ds.Domain, ds.Points, req.Epsilon)
+	case kind == KindSequence && sequenceGenerators[spec.Generator]:
+		ds := synth.SequenceByName(spec.Generator, spec.N, rng)
+		seqs := make([]privtree.Sequence, len(ds.Seqs))
+		for i, sq := range ds.Seqs {
+			out := make(privtree.Sequence, len(sq.Syms))
+			for j, x := range sq.Syms {
+				out[j] = int(x)
+			}
+			seqs[i] = out
+		}
+		return s.registry.AddSequence(req.Name, ds.Alphabet.Size, seqs, req.Epsilon)
+	}
+	return nil, fmt.Errorf("server: unknown %s generator %q (spatial: road, gowalla, nyc, beijing; sequence: mooc, msnbc)",
+		kind, spec.Generator)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	ds := s.registry.List()
+	out := make([]datasetInfo, len(ds))
+	for i, d := range ds {
+		out[i] = info(d, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// lookup resolves the {name} path segment, writing a 404 on miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Dataset, bool) {
+	name := r.PathValue("name")
+	d, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("dataset %q not registered", name)})
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, info(d, true))
+}
+
+// releaseResponse is the POST .../releases reply: the release metadata plus
+// the ledger position it left behind.
+type releaseResponse struct {
+	*Release
+	Cached           bool    `json:"cached"`
+	EpsilonSpent     float64 `json:"epsilon_spent"`
+	EpsilonRemaining float64 `json:"epsilon_remaining"`
+}
+
+func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var params ReleaseParams
+	if !decodeJSON(w, r, &params) {
+		return
+	}
+	rel, cached, err := d.Release(params, s.opts.Workers)
+	if err != nil {
+		writeErrorFrom(w, err)
+		return
+	}
+	if cached {
+		s.metrics.releaseCacheHits.Add(1)
+	} else {
+		s.metrics.releasesBuilt.Add(1)
+	}
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, releaseResponse{
+		Release:          rel,
+		Cached:           cached,
+		EpsilonSpent:     d.Ledger.Spent(),
+		EpsilonRemaining: d.Ledger.Remaining(),
+	})
+}
+
+// lookupRelease resolves {name}/{id}, writing a 404 on miss.
+func (s *Server) lookupRelease(w http.ResponseWriter, r *http.Request) (*Dataset, *Release, bool) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return nil, nil, false
+	}
+	id := r.PathValue("id")
+	rel, ok := d.GetRelease(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("dataset %q has no release %q", d.Name, id)})
+		return nil, nil, false
+	}
+	return d, rel, true
+}
+
+func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	_, rel, ok := s.lookupRelease(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release_id": rel.ID,
+		"kind":       rel.Kind,
+		"params":     rel.Params,
+		"artifact":   rel.Artifact(),
+	})
+}
+
+// queryRequest is the batched-query body: rectangles (spatial, flat
+// lo...hi rows) or symbol strings (sequence).
+type queryRequest struct {
+	Queries [][]float64 `json:"queries,omitempty"`
+	Strings [][]int     `json:"strings,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	d, rel, ok := s.lookupRelease(w, r)
+	if !ok {
+		return
+	}
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	n := len(req.Queries) + len(req.Strings)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: "empty batch: provide queries (spatial) or strings (sequence)"})
+		return
+	}
+	if n > s.opts.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, &APIError{Code: CodeTooLarge,
+			Message: fmt.Sprintf("batch of %d exceeds limit %d", n, s.opts.MaxBatch)})
+		return
+	}
+
+	start := time.Now()
+	var counts []float64
+	switch rel.Kind {
+	case KindSpatial:
+		if req.Strings != nil {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+				Message: "spatial release answers rectangle queries, not strings"})
+			return
+		}
+		rects, err := parseRects(req.Queries, rel.tree.Domain().Dims())
+		if err != nil {
+			writeErrorFrom(w, err)
+			return
+		}
+		tree := rel.tree
+		counts = answerBatch(len(rects), s.opts.Workers, func(i int) float64 {
+			return tree.RangeCount(rects[i])
+		})
+	case KindSequence:
+		if req.Queries != nil {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+				Message: "sequence release answers string queries, not rectangles"})
+			return
+		}
+		strs, err := parseStrings(req.Strings, d.alphabet)
+		if err != nil {
+			writeErrorFrom(w, err)
+			return
+		}
+		model := rel.model
+		counts = answerBatch(len(strs), s.opts.Workers, func(i int) float64 {
+			return model.EstimateFrequency(strs[i])
+		})
+	}
+	elapsed := time.Since(start)
+	s.metrics.recordQueries(n, elapsed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release_id": rel.ID,
+		"counts":     counts,
+		"queries":    n,
+		"elapsed_ns": elapsed.Nanoseconds(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.metrics.uptime().Seconds(),
+		"datasets":       s.registry.Len(),
+	})
+}
+
+// metricsResponse is the GET /metrics document.
+type metricsResponse struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	RequestsTotal    int64            `json:"requests_total"`
+	RequestsByRoute  map[string]int64 `json:"requests_by_route"`
+	QueriesAnswered  int64            `json:"queries_answered"`
+	QueriesPerSecond float64          `json:"queries_per_second"`
+	QueryNanosTotal  int64            `json:"query_nanos_total"`
+	ReleasesBuilt    int64            `json:"releases_built"`
+	ReleaseCacheHits int64            `json:"release_cache_hits"`
+	Datasets         []datasetInfo    `json:"datasets"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ds := s.registry.List()
+	infos := make([]datasetInfo, len(ds))
+	for i, d := range ds {
+		infos[i] = info(d, false)
+	}
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds:    s.metrics.uptime().Seconds(),
+		RequestsTotal:    s.metrics.requestsTotal.Load(),
+		RequestsByRoute:  s.metrics.snapshotRoutes(),
+		QueriesAnswered:  s.metrics.queriesAnswered.Load(),
+		QueriesPerSecond: s.metrics.queriesPerSecond(),
+		QueryNanosTotal:  s.metrics.queryNanos.Load(),
+		ReleasesBuilt:    s.metrics.releasesBuilt.Load(),
+		ReleaseCacheHits: s.metrics.releaseCacheHits.Load(),
+		Datasets:         infos,
+	})
+}

@@ -1,0 +1,510 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privtree"
+)
+
+// doJSON posts (or gets) against the test server and decodes the reply.
+func doJSON(t *testing.T, client *http.Client, method, url string, body any, out any) (status int) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(blob)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding reply: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// testPoints generates a clustered 2-D dataset.
+func testPoints(n int) []privtree.Point {
+	rng := rand.New(rand.NewPCG(7, 9))
+	pts := make([]privtree.Point, n)
+	for i := range pts {
+		if i%3 == 0 {
+			pts[i] = privtree.Point{rng.Float64(), rng.Float64()}
+		} else {
+			x := 0.35 + 0.05*rng.NormFloat64()
+			y := 0.65 + 0.05*rng.NormFloat64()
+			pts[i] = privtree.Point{clamp01(x), clamp01(y)}
+		}
+	}
+	return pts
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999999
+	}
+	return x
+}
+
+// TestServerEndToEnd is the subsystem's acceptance test: register a
+// dataset, spend budget across releases until exhaustion, answer a
+// 10k-query batch against a released tree, and verify that the over-budget
+// release is rejected with the structured budget error.
+func TestServerEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	client := ts.Client()
+
+	// 1. Register: 20k points, total budget ε = 1.0.
+	pts := testPoints(20_000)
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+	var reg struct {
+		Name             string  `json:"name"`
+		Kind             Kind    `json:"kind"`
+		N                int     `json:"n"`
+		EpsilonRemaining float64 `json:"epsilon_remaining"`
+	}
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "taxi", "epsilon": 1.0, "points": rows}, &reg)
+	if status != http.StatusCreated {
+		t.Fatalf("register returned %d", status)
+	}
+	if reg.N != len(pts) || reg.Kind != KindSpatial || reg.EpsilonRemaining != 1.0 {
+		t.Fatalf("unexpected register reply: %+v", reg)
+	}
+
+	// Duplicate registration must 409.
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "taxi", "epsilon": 1.0, "points": rows}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate register returned %d, want 409", status)
+	}
+
+	// 2. Spend the budget across three releases: 0.4 + 0.4 + 0.2 = ε.
+	type relResp struct {
+		ID               string  `json:"release_id"`
+		Cached           bool    `json:"cached"`
+		Nodes            int     `json:"nodes"`
+		EpsilonRemaining float64 `json:"epsilon_remaining"`
+	}
+	var first relResp
+	for i, eps := range []float64{0.4, 0.4, 0.2} {
+		var rel relResp
+		status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/taxi/releases",
+			map[string]any{"epsilon": eps, "seed": i + 1}, &rel)
+		if status != http.StatusCreated {
+			t.Fatalf("release %d returned %d", i, status)
+		}
+		if rel.Cached || rel.Nodes == 0 {
+			t.Fatalf("release %d: %+v", i, rel)
+		}
+		if i == 0 {
+			first = rel
+		}
+	}
+
+	// 3. The ledger is now exhausted: the next release must be rejected
+	// with the structured budget error.
+	var rejected struct {
+		Error *APIError `json:"error"`
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/taxi/releases",
+		map[string]any{"epsilon": 0.05, "seed": 99}, &rejected)
+	if status != http.StatusForbidden {
+		t.Fatalf("over-budget release returned %d, want 403", status)
+	}
+	if rejected.Error == nil || rejected.Error.Code != CodeBudgetExhausted {
+		t.Fatalf("over-budget release error: %+v", rejected.Error)
+	}
+	if rejected.Error.RequestedEpsilon == nil || *rejected.Error.RequestedEpsilon != 0.05 ||
+		rejected.Error.TotalEpsilon == nil || *rejected.Error.TotalEpsilon != 1.0 {
+		t.Fatalf("budget arithmetic missing from error: %+v", rejected.Error)
+	}
+	// remaining_epsilon must be present even when it is exactly 0 — the
+	// most common rejection is a fully spent ledger.
+	if rejected.Error.RemainingEpsilon == nil || *rejected.Error.RemainingEpsilon > 1e-9 {
+		t.Fatalf("remaining_epsilon absent or wrong: %+v", rejected.Error.RemainingEpsilon)
+	}
+
+	// 4. Re-requesting an already-purchased release is a cache hit and
+	// does NOT debit the exhausted ledger.
+	var again relResp
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/taxi/releases",
+		map[string]any{"epsilon": 0.4, "seed": 1}, &again)
+	if status != http.StatusOK || !again.Cached || again.ID != first.ID {
+		t.Fatalf("cached release: status %d, %+v (want id %s)", status, again, first.ID)
+	}
+
+	// 5. Answer a 10k-query batch against the first release.
+	const nq = 10_000
+	qrng := rand.New(rand.NewPCG(3, 4))
+	queries := make([][]float64, nq)
+	for i := range queries {
+		lox, loy := qrng.Float64()*0.8, qrng.Float64()*0.8
+		queries[i] = []float64{lox, loy, lox + 0.2, loy + 0.2}
+	}
+	var qresp struct {
+		Counts  []float64 `json:"counts"`
+		Queries int       `json:"queries"`
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/taxi/releases/"+first.ID+"/query",
+		map[string]any{"queries": queries}, &qresp)
+	if status != http.StatusOK {
+		t.Fatalf("batch query returned %d", status)
+	}
+	if qresp.Queries != nq || len(qresp.Counts) != nq {
+		t.Fatalf("batch query answered %d/%d", qresp.Queries, len(qresp.Counts))
+	}
+
+	// The batch answers must agree with a direct in-process rebuild of the
+	// same release (same seed ⇒ identical tree).
+	tree, err := privtree.BuildSpatial(privtree.UnitCube(2), pts, 0.4, privtree.SpatialOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, nq / 2, nq - 1} {
+		q := queries[i]
+		want := tree.RangeCount(privtree.NewRect(privtree.Point{q[0], q[1]}, privtree.Point{q[2], q[3]}))
+		if qresp.Counts[i] != want {
+			t.Fatalf("query %d: server %v, local %v", i, qresp.Counts[i], want)
+		}
+	}
+
+	// 6. Fetching the artifact must yield the library wire format, parseable
+	// back into a SpatialTree that answers identically.
+	var artResp struct {
+		Artifact json.RawMessage `json:"artifact"`
+	}
+	status = doJSON(t, client, "GET", ts.URL+"/v1/datasets/taxi/releases/"+first.ID, nil, &artResp)
+	if status != http.StatusOK {
+		t.Fatalf("get release returned %d", status)
+	}
+	var restored privtree.SpatialTree
+	if err := json.Unmarshal(artResp.Artifact, &restored); err != nil {
+		t.Fatalf("artifact is not the library wire format: %v", err)
+	}
+	q0 := privtree.NewRect(privtree.Point{queries[0][0], queries[0][1]}, privtree.Point{queries[0][2], queries[0][3]})
+	if got, want := restored.RangeCount(q0), qresp.Counts[0]; got != want {
+		t.Fatalf("artifact answers differently: %v vs %v", got, want)
+	}
+
+	// 7a. The exact cardinality is disclosed only in the registration
+	// acknowledgment: the dataset objects served by list/get/metrics must
+	// not carry an "n" field.
+	for path, extract := range map[string]string{
+		"/v1/datasets":      "datasets",
+		"/v1/datasets/taxi": "",
+		"/metrics":          "datasets",
+	} {
+		var doc map[string]any
+		if status := doJSON(t, client, "GET", ts.URL+path, nil, &doc); status != http.StatusOK {
+			t.Fatalf("%s returned %d", path, status)
+		}
+		objs := []any{doc}
+		if extract != "" {
+			objs = doc[extract].([]any)
+		}
+		for _, o := range objs {
+			if _, leaked := o.(map[string]any)["n"]; leaked {
+				t.Fatalf("%s leaks the exact dataset cardinality", path)
+			}
+		}
+	}
+
+	// 7. Metrics reflect the traffic.
+	var m metricsResponse
+	if status = doJSON(t, client, "GET", ts.URL+"/metrics", nil, &m); status != http.StatusOK {
+		t.Fatalf("metrics returned %d", status)
+	}
+	if m.QueriesAnswered != nq {
+		t.Fatalf("metrics queries_answered = %d, want %d", m.QueriesAnswered, nq)
+	}
+	if m.ReleasesBuilt != 3 || m.ReleaseCacheHits != 1 {
+		t.Fatalf("metrics releases: built %d, cache hits %d", m.ReleasesBuilt, m.ReleaseCacheHits)
+	}
+	if len(m.Datasets) != 1 || m.Datasets[0].EpsilonRemaining > 1e-9 {
+		t.Fatalf("metrics datasets: %+v", m.Datasets)
+	}
+
+	// 8. Health endpoint.
+	var h struct {
+		Status string `json:"status"`
+	}
+	if status = doJSON(t, client, "GET", ts.URL+"/healthz", nil, &h); status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", status, h)
+	}
+}
+
+// TestServerSequenceDataset exercises the sequence pipeline end to end:
+// register sequences, release a model, answer frequency queries.
+func TestServerSequenceDataset(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	client := ts.Client()
+
+	rng := rand.New(rand.NewPCG(11, 12))
+	seqs := make([][]int, 5000)
+	for i := range seqs {
+		n := 1 + rng.IntN(8)
+		s := make([]int, n)
+		cur := rng.IntN(5)
+		for j := range s {
+			s[j] = cur
+			cur = (cur + 1) % 5
+		}
+		seqs[i] = s
+	}
+
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "clicks", "epsilon": 2.0, "alphabet": 5, "sequences": seqs}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("register returned %d", status)
+	}
+
+	var rel struct {
+		ID    string `json:"release_id"`
+		Kind  Kind   `json:"kind"`
+		Nodes int    `json:"nodes"`
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/clicks/releases",
+		map[string]any{"epsilon": 1.0, "seed": 3, "max_length": 10}, &rel)
+	if status != http.StatusCreated || rel.Kind != KindSequence || rel.Nodes == 0 {
+		t.Fatalf("release: %d %+v", status, rel)
+	}
+
+	var qresp struct {
+		Counts []float64 `json:"counts"`
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/clicks/releases/"+rel.ID+"/query",
+		map[string]any{"strings": [][]int{{0}, {0, 1}, {4, 0}}}, &qresp)
+	if status != http.StatusOK || len(qresp.Counts) != 3 {
+		t.Fatalf("frequency batch: %d %+v", status, qresp)
+	}
+
+	// Wrong query type for the release kind.
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets/clicks/releases/"+rel.ID+"/query",
+		map[string]any{"queries": [][]float64{{0, 0, 1, 1}}}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("rectangle query on sequence release returned %d", status)
+	}
+}
+
+// TestServerSyntheticAndCSV covers the two remaining ingestion paths.
+func TestServerSyntheticAndCSV(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	client := ts.Client()
+
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "demo", "epsilon": 1.0,
+			"synthetic": map[string]any{"generator": "road", "n": 5000, "seed": 42}}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("synthetic register returned %d", status)
+	}
+
+	var csv strings.Builder
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&csv, "%f,%f\n", rng.Float64(), rng.Float64())
+	}
+	var reg struct {
+		N    int `json:"n"`
+		Dims int `json:"dims"`
+	}
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "csvdata", "epsilon": 0.5, "csv": csv.String()}, &reg)
+	if status != http.StatusCreated || reg.N != 1000 || reg.Dims != 2 {
+		t.Fatalf("csv register: %d %+v", status, reg)
+	}
+
+	// Unknown generator is a 400, not a panic.
+	status = doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "nope", "epsilon": 1.0,
+			"synthetic": map[string]any{"generator": "mars", "n": 100}}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown generator returned %d", status)
+	}
+}
+
+// TestServerRejectsBadRequests covers the validation surface.
+func TestServerRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxBatch: 100}))
+	defer ts.Close()
+	client := ts.Client()
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no source", map[string]any{"name": "a", "epsilon": 1.0}, http.StatusBadRequest},
+		{"two sources", map[string]any{"name": "a", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}},
+			"csv": "0.5,0.5\n"}, http.StatusBadRequest},
+		{"bad name", map[string]any{"name": "../etc", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}}}, http.StatusBadRequest},
+		{"zero epsilon", map[string]any{"name": "a", "epsilon": 0, "points": [][]float64{{0.5, 0.5}}}, http.StatusBadRequest},
+		{"point outside domain", map[string]any{"name": "a", "epsilon": 1.0, "points": [][]float64{{1.5, 0.5}}}, http.StatusBadRequest},
+		{"bad kind", map[string]any{"name": "a", "epsilon": 1.0, "kind": "tabular", "points": [][]float64{{0.5, 0.5}}}, http.StatusBadRequest},
+		{"inverted domain", map[string]any{"name": "a", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}},
+			"domain": map[string]any{"lo": []float64{1, 1}, "hi": []float64{0, 0}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", c.body, nil); status != c.want {
+				t.Fatalf("got %d, want %d", status, c.want)
+			}
+		})
+	}
+
+	// Missing dataset / release → 404.
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/datasets/ghost", nil, nil); status != http.StatusNotFound {
+		t.Fatalf("missing dataset returned %d", status)
+	}
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": "real", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}}}, nil)
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases/r9/query",
+		map[string]any{"queries": [][]float64{{0, 0, 1, 1}}}, nil); status != http.StatusNotFound {
+		t.Fatalf("missing release returned %d", status)
+	}
+
+	// Invalid release params → 400, and the failed attempt must not leak
+	// budget (debit is refunded).
+	var rel struct {
+		ID string `json:"release_id"`
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases",
+		map[string]any{"epsilon": 0.5, "fanout": 3}, nil); status != http.StatusBadRequest {
+		t.Fatalf("bad fanout returned %d", status)
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases",
+		map[string]any{"epsilon": 1.0, "seed": 1}, &rel); status != http.StatusCreated {
+		t.Fatalf("full-budget release after refund returned %d (budget leaked by failed release?)", status)
+	}
+
+	// A misspelled release knob must be rejected, not silently dropped —
+	// otherwise the client spends irreversible ε on default parameters.
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases",
+		map[string]any{"epsilon": 0.5, "maxdepth": 3}, nil); status != http.StatusBadRequest {
+		t.Fatalf("unknown release field returned %d", status)
+	}
+
+	// Malformed queries → 400; oversized batch → 413. (Non-finite
+	// coordinates cannot cross the JSON layer; parseRects rejecting them is
+	// covered by TestParseRectsRejectsHostileRows.)
+	for _, q := range [][]float64{{0, 0, 1}, {1, 1, 0, 0}, {}} {
+		if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases/"+rel.ID+"/query",
+			map[string]any{"queries": [][]float64{q}}, nil); status != http.StatusBadRequest {
+			t.Fatalf("malformed query %v returned %d", q, status)
+		}
+	}
+	big := make([][]float64, 101)
+	for i := range big {
+		big[i] = []float64{0, 0, 1, 1}
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases/"+rel.ID+"/query",
+		map[string]any{"queries": big}, nil); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch returned %d", status)
+	}
+}
+
+// TestServerConcurrentReleaseSingleDebit races many identical release
+// requests: exactly one build may debit the ledger; everyone else must get
+// the cached artifact. Run with -race this also proves the registry and
+// ledger are data-race free under concurrent traffic.
+func TestServerConcurrentReleaseSingleDebit(t *testing.T) {
+	srv := New(Options{})
+	reg := srv.Registry()
+	d, err := reg.AddSpatial("conc", privtree.UnitCube(2), testPoints(5000), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			_, _, err := d.Release(ReleaseParams{Epsilon: 0.25, Seed: 7}, 1)
+			errs <- err
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	if spent := d.Ledger.Spent(); spent != 0.25 {
+		t.Fatalf("ledger spent %v after %d identical requests, want one debit of 0.25", spent, goroutines)
+	}
+	if rels := d.Releases(); len(rels) != 1 {
+		t.Fatalf("%d releases created, want 1", len(rels))
+	}
+}
+
+// TestParseRectsRejectsHostileRows covers coordinates the JSON layer could
+// not produce from well-formed clients but programmatic callers could.
+func TestParseRectsRejectsHostileRows(t *testing.T) {
+	bad := [][][]float64{
+		{{0, 0, 1}},               // arity
+		{{1, 1, 0, 0}},            // inverted
+		{{0, 0, 1, math.NaN()}},   // NaN
+		{{0, 0, math.Inf(1), 1}},  // +Inf
+		{{math.Inf(-1), 0, 1, 1}}, // -Inf
+	}
+	for i, rows := range bad {
+		if _, err := parseRects(rows, 2); err == nil {
+			t.Errorf("hostile rows %d accepted", i)
+		}
+	}
+	if _, err := parseRects([][]float64{{0, 0, 1, 1}, {0.2, 0.2, 0.4, 0.9}}, 2); err != nil {
+		t.Fatalf("valid rows rejected: %v", err)
+	}
+}
+
+// TestAnswerBatchMatchesSerial checks the fan-out path returns exactly the
+// serial answers in order.
+func TestAnswerBatchMatchesSerial(t *testing.T) {
+	tree, err := privtree.BuildSpatial(privtree.UnitCube(2), testPoints(20000), 1.0, privtree.SpatialOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(8, 9))
+	rects := make([]privtree.Rect, 4000)
+	for i := range rects {
+		lo := privtree.Point{rng.Float64() * 0.7, rng.Float64() * 0.7}
+		rects[i] = privtree.NewRect(lo, privtree.Point{lo[0] + 0.25, lo[1] + 0.25})
+	}
+	serial := answerBatch(len(rects), 1, func(i int) float64 { return tree.RangeCount(rects[i]) })
+	for _, workers := range []int{2, 4, 8, 0} {
+		parallel := answerBatch(len(rects), workers, func(i int) float64 { return tree.RangeCount(rects[i]) })
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: query %d diverged: %v vs %v", workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package privtree
 
 import (
 	"fmt"
+	"math"
 
 	"privtree/internal/dp"
 	"privtree/internal/markov"
@@ -42,6 +43,12 @@ type FrequentString struct {
 func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts SequenceOptions) (*SequenceModel, error) {
 	if alphabet < 1 {
 		return nil, fmt.Errorf("privtree: alphabet size must be >= 1")
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	if opts.MaxLength < 0 {
+		return nil, fmt.Errorf("privtree: MaxLength must be >= 0, got %d", opts.MaxLength)
 	}
 	ds := &sequence.Dataset{Alphabet: sequence.NewAlphabet(alphabet), Seqs: make([]sequence.Seq, len(seqs))}
 	for i, s := range seqs {

@@ -3,6 +3,7 @@ package privtree
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"privtree/internal/core"
 	"privtree/internal/geom"
@@ -47,9 +48,27 @@ func (t *SpatialTree) MarshalJSON() ([]byte, error) {
 	return json.Marshal(treeJSON{Version: 1, Fanout: t.tree.Fanout, Root: conv(t.tree.Root())})
 }
 
+// wireRect validates one serialized node's bounds and returns the region.
+// Unlike geom.NewRect it never panics: inverted intervals, non-finite
+// coordinates, mismatched or empty bound slices are all reported as errors,
+// so no untrusted byte stream can crash the deserializer.
+func wireRect(lo, hi []float64) (geom.Rect, error) {
+	if err := geom.CheckBounds(lo, hi, false); err != nil {
+		return geom.Rect{}, fmt.Errorf("privtree: malformed node bounds: %w", err)
+	}
+	return geom.Rect{Lo: lo, Hi: hi}, nil
+}
+
+// maxWireFanout bounds the fanout accepted from the wire; 2^20 is far
+// beyond any realizable splitter and merely prevents absurd allocations.
+const maxWireFanout = 1 << 20
+
 // UnmarshalJSON implements json.Unmarshaler for SpatialTree: internal
 // counts are reconstructed as leaf sums, exactly as the release pipeline
-// defines them.
+// defines them. Malformed input — truncated documents, inverted or
+// non-finite bounds, children escaping their parent, wrong child arity,
+// missing or non-finite leaf counts — is rejected with an error before any
+// tree is exposed; t is left unmodified on failure.
 func (t *SpatialTree) UnmarshalJSON(data []byte) error {
 	var wire treeJSON
 	if err := json.Unmarshal(data, &wire); err != nil {
@@ -58,6 +77,9 @@ func (t *SpatialTree) UnmarshalJSON(data []byte) error {
 	if wire.Version != 1 {
 		return fmt.Errorf("privtree: unsupported tree version %d", wire.Version)
 	}
+	if wire.Fanout < 2 || wire.Fanout > maxWireFanout {
+		return fmt.Errorf("privtree: unusable fanout %d", wire.Fanout)
+	}
 	b := core.NewBuilder(wire.Fanout, 64)
 	var conv func(w nodeJSON, idx int32) error
 	conv = func(w nodeJSON, idx int32) error {
@@ -65,19 +87,23 @@ func (t *SpatialTree) UnmarshalJSON(data []byte) error {
 			if w.Count == nil {
 				return fmt.Errorf("privtree: leaf without count")
 			}
+			if math.IsNaN(*w.Count) || math.IsInf(*w.Count, 0) {
+				return fmt.Errorf("privtree: non-finite leaf count")
+			}
 			b.SetCount(idx, *w.Count)
 			return nil
 		}
-		if wire.Fanout != 0 && len(w.Children) != wire.Fanout {
+		if len(w.Children) != wire.Fanout {
 			return fmt.Errorf("privtree: node has %d children, fanout is %d", len(w.Children), wire.Fanout)
 		}
 		parentRegion := b.Node(idx).Region
 		regions := make([]geom.Rect, len(w.Children))
 		for i, cw := range w.Children {
-			if len(cw.Lo) != len(cw.Hi) || len(cw.Lo) == 0 {
-				return fmt.Errorf("privtree: malformed node bounds")
+			r, err := wireRect(cw.Lo, cw.Hi)
+			if err != nil {
+				return err
 			}
-			regions[i] = geom.NewRect(cw.Lo, cw.Hi)
+			regions[i] = r
 			if !parentRegion.ContainsRect(regions[i]) {
 				return fmt.Errorf("privtree: child region escapes parent")
 			}
@@ -90,10 +116,11 @@ func (t *SpatialTree) UnmarshalJSON(data []byte) error {
 		}
 		return nil
 	}
-	if len(wire.Root.Lo) != len(wire.Root.Hi) || len(wire.Root.Lo) == 0 {
-		return fmt.Errorf("privtree: malformed node bounds")
+	rootRegion, err := wireRect(wire.Root.Lo, wire.Root.Hi)
+	if err != nil {
+		return err
 	}
-	b.AddRoot(geom.NewRect(wire.Root.Lo, wire.Root.Hi))
+	b.AddRoot(rootRegion)
 	if err := conv(wire.Root, 0); err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package privtree
 
 import (
 	"fmt"
+	"math"
 
 	"privtree/internal/baseline"
 	"privtree/internal/core"
@@ -58,7 +59,32 @@ type SpatialTree struct {
 // points over domain under total privacy budget eps: ε/2 builds the tree
 // (Algorithm 2), ε/2 buys noisy leaf counts, and internal counts are leaf
 // sums. Every point must lie inside domain.
+//
+// Invalid parameters — a non-positive or non-finite ε, a fanout below 2, a
+// degenerate domain, a TreeBudgetFraction outside (0,1) — are rejected with
+// an error, never a panic.
 func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions) (*SpatialTree, error) {
+	if err := domain.Validate(); err != nil {
+		return nil, fmt.Errorf("privtree: invalid domain: %w", err)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	if opts.Fanout != 0 && opts.Fanout < 2 {
+		return nil, fmt.Errorf("privtree: fanout must be >= 2, got %d", opts.Fanout)
+	}
+	if opts.TreeBudgetFraction != 0 && !(opts.TreeBudgetFraction > 0 && opts.TreeBudgetFraction < 1) {
+		return nil, fmt.Errorf("privtree: TreeBudgetFraction must be in (0,1), got %v", opts.TreeBudgetFraction)
+	}
+	if opts.MaxDepth < 0 {
+		return nil, fmt.Errorf("privtree: MaxDepth must be >= 0, got %d", opts.MaxDepth)
+	}
+	if opts.AffectedLeaves < 0 {
+		return nil, fmt.Errorf("privtree: AffectedLeaves must be >= 0, got %d", opts.AffectedLeaves)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("privtree: Workers must be >= 0, got %d", opts.Workers)
+	}
 	data, err := dataset.NewSpatial(domain, points)
 	if err != nil {
 		return nil, err
@@ -113,6 +139,10 @@ func (t *SpatialTree) RangeCount(q Rect) float64 { return t.tree.RangeCount(q) }
 
 // Total returns the tree's noisy estimate of the dataset cardinality.
 func (t *SpatialTree) Total() float64 { return t.tree.Root().Count() }
+
+// Domain returns the root region the tree decomposes. The rectangle aliases
+// the tree's storage and must not be mutated.
+func (t *SpatialTree) Domain() Rect { return t.tree.Root().Region() }
 
 // Nodes returns the number of nodes in the decomposition.
 func (t *SpatialTree) Nodes() int { return t.tree.Size() }
