@@ -1,0 +1,122 @@
+package privtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// This file locks in the sequence pipeline's allocation discipline and the
+// determinism guarantee of the parallel PST build. The spatial pipeline's
+// equivalents live in internal/core and internal/geom.
+
+// TestEstimateFrequencyAllocationFree guards the public query hot path:
+// the serving layer answers batched frequency queries through it, so a
+// single allocation per call would show up at production scale.
+func TestEstimateFrequencyAllocationFree(t *testing.T) {
+	model, err := BuildSequenceModel(6, makeClickstreams(5000), 2.0, SequenceOptions{MaxLength: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Sequence{{0}, {2, 3}, {5, 0, 1}, {1, 2, 3, 4}}
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, q := range queries {
+			model.EstimateFrequency(q)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateFrequency allocates %v per batch of %d, want 0", allocs, len(queries))
+	}
+}
+
+// TestBuildSequenceModelAllocationBudget guards the arena build: the whole
+// pipeline — columnar ingest, in-place truncation, PST arena construction,
+// path-keyed noise, release post-processing — must stay within a fixed
+// allocation budget regardless of dataset cardinality (the seed
+// implementation cost ~21,600 allocations on this workload). Workers is
+// pinned to 1 because parallel fan-out deliberately trades a few dozen
+// per-subtree builder allocations for wall-clock time.
+func TestBuildSequenceModelAllocationBudget(t *testing.T) {
+	seqs := makeClickstreams(20000)
+	var err error
+	allocs := testing.AllocsPerRun(3, func() {
+		_, err = BuildSequenceModel(6, seqs, 1.0, SequenceOptions{MaxLength: 20, Seed: 1, Workers: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 300 {
+		t.Fatalf("BuildSequenceModel allocates %v per build, budget is 300", allocs)
+	}
+}
+
+// TestTopKAllocationProportionalToResults guards the miner: traversal must
+// not allocate per visited node, only per retained candidate — so doubling
+// the enumeration space (longer maxLen) must not explode allocations.
+func TestTopKAllocationProportionalToResults(t *testing.T) {
+	model, err := BuildSequenceModel(6, makeClickstreams(20000), 4.0, SequenceOptions{MaxLength: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		model.TopK(20, 5)
+	})
+	// 20 retained candidates + bound slice + result headers, with slack for
+	// pruned-late candidates; the old implementation (map of every visited
+	// string + key strings + parse-backs) sat in the thousands.
+	if allocs > 400 {
+		t.Fatalf("TopK(20, 5) allocates %v per call, budget is 400", allocs)
+	}
+}
+
+// TestSequenceBuildSerializesIdenticallyAcrossWorkers is the acceptance
+// determinism test: serial and parallel builds must not merely agree
+// structurally — their released wire bytes must be byte-identical, because
+// the release cache and clients key on exact artifacts.
+func TestSequenceBuildSerializesIdenticallyAcrossWorkers(t *testing.T) {
+	seqs := makeClickstreams(20000)
+	serial, err := BuildSequenceModel(6, seqs, 2.0, SequenceOptions{MaxLength: 20, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBlob, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := BuildSequenceModel(6, seqs, 2.0, SequenceOptions{MaxLength: 20, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serialBlob, blob) {
+			t.Fatalf("workers=%d: serialized release differs from serial build", workers)
+		}
+	}
+}
+
+// TestGenerateSharesBackingSlabs verifies the zero-copy generation path
+// still produces independent-looking sequences with correct caps.
+func TestGenerateSharesBackingSlabs(t *testing.T) {
+	model, err := BuildSequenceModel(6, makeClickstreams(5000), 2.0, SequenceOptions{MaxLength: 12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := model.Generate(500, 7)
+	if len(out) != 500 {
+		t.Fatalf("generated %d sequences", len(out))
+	}
+	for i, s := range out {
+		if len(s) > model.MaxLength() {
+			t.Fatalf("sequence %d exceeds l⊤: %d", i, len(s))
+		}
+		for _, x := range s {
+			if x < 0 || x >= 6 {
+				t.Fatalf("sequence %d has out-of-alphabet symbol %d", i, x)
+			}
+		}
+	}
+}

@@ -182,3 +182,50 @@ func BenchmarkBuildSequenceModel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBuildSequenceModelParallel measures the PST build serial vs.
+// parallel. Because noise comes from context-path-keyed streams, both
+// variants release the identical model; only wall-clock differs.
+func BenchmarkBuildSequenceModelParallel(b *testing.B) {
+	seqs := makeClickstreams(100_000)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildSequenceModel(6, seqs, 1.0, SequenceOptions{MaxLength: 20, Seed: uint64(i + 1), Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEstimateFrequency(b *testing.B) {
+	model, err := BuildSequenceModel(6, makeClickstreams(20_000), 1.0, SequenceOptions{MaxLength: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := []Sequence{{0}, {2, 3}, {5, 0, 1}, {1, 2, 3, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.EstimateFrequency(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkSequenceTopK(b *testing.B) {
+	model, err := BuildSequenceModel(6, makeClickstreams(20_000), 1.0, SequenceOptions{MaxLength: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.TopK(20, 5)
+	}
+}

@@ -6,6 +6,7 @@
 //	privtree-bench -exp all        # every experiment at the configured scale
 //	privtree-bench -list           # list experiment ids
 //	privtree-bench -micro [-benchout BENCH.json]   # core micro-benchmarks as JSON
+//	privtree-bench -micro -compare BENCH.json      # gate a fresh run against the committed baseline
 //
 // Experiment ids follow DESIGN.md §3: fig2, tab2, fig5, tab3, fig6, fig7,
 // lem51, tab4, fig8, fig9, fig10, fig11, fig12, lem32, abl-bias, abl-split,
@@ -34,11 +35,13 @@ func main() {
 		ds       = flag.String("dataset", "road", "dataset for single-dataset experiments (lem32, ablations)")
 		micro    = flag.Bool("micro", false, "run the core micro-benchmarks and write machine-readable results")
 		benchOut = flag.String("benchout", "BENCH.json", "output path for -micro results")
+		compare  = flag.String("compare", "", "baseline BENCH.json to gate -micro against: fail on ns/op regression beyond -ns-headroom or any allocs/op regression on guarded benchmarks")
+		headroom = flag.Float64("ns-headroom", 1.25, "ns/op regression factor tolerated by -compare (raise when the baseline was measured on different hardware)")
 	)
 	flag.Parse()
 
 	if *micro {
-		if err := runMicro(*benchOut); err != nil {
+		if err := runMicro(*benchOut, *compare, *headroom); err != nil {
 			fmt.Fprintf(os.Stderr, "privtree-bench: micro benchmarks failed: %v\n", err)
 			os.Exit(1)
 		}

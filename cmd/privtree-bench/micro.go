@@ -145,7 +145,10 @@ func serverThroughputCase(pts []privtree.Point) (c struct {
 }
 
 // runMicro measures the micro-benchmarks and writes BENCH.json to outPath.
-func runMicro(outPath string) error {
+// When comparePath is non-empty, the fresh run is additionally gated
+// against that baseline (see compareReports) and an error is returned on
+// regression.
+func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 	dom := privtree.UnitCube(2)
 	pts100k := microPoints(100_000)
 	seqs := microSequences(20_000)
@@ -155,6 +158,10 @@ func runMicro(outPath string) error {
 		return err
 	}
 	q := privtree.NewRect(privtree.Point{0.2, 0.2}, privtree.Point{0.6, 0.6})
+	queryModel, err := privtree.BuildSequenceModel(6, seqs, 1.0, privtree.SequenceOptions{MaxLength: 20, Seed: 1})
+	if err != nil {
+		return err
+	}
 
 	cases := []struct {
 		name string
@@ -174,12 +181,30 @@ func runMicro(outPath string) error {
 				queryTree.RangeCount(q)
 			}
 		}},
+		// Workers is pinned to 1 and the seed is fixed so allocs/op is
+		// byte-deterministic regardless of machine or iteration count (a
+		// per-iteration seed builds different-sized trees, shifting the
+		// mean with b.N) — the zero-headroom CI allocs gate needs an exact
+		// number.
 		{"BuildSequenceModel", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := privtree.BuildSequenceModel(6, seqs, 1.0, privtree.SequenceOptions{MaxLength: 20, Seed: uint64(i + 1)}); err != nil {
+				if _, err := privtree.BuildSequenceModel(6, seqs, 1.0, privtree.SequenceOptions{MaxLength: 20, Seed: 1, Workers: 1}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"EstimateFrequency", func(b *testing.B) {
+			b.ReportAllocs()
+			queries := []privtree.Sequence{{0}, {2, 3}, {5, 0, 1}, {1, 2, 3, 4}}
+			for i := 0; i < b.N; i++ {
+				queryModel.EstimateFrequency(queries[i%len(queries)])
+			}
+		}},
+		{"TopK20x5", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				queryModel.TopK(20, 5)
 			}
 		}},
 	}
@@ -227,5 +252,69 @@ func runMicro(outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	if comparePath != "" {
+		return compareReports(report, comparePath, nsHeadroom)
+	}
+	return nil
+}
+
+// guardedBenchmarks are the rows the regression gate enforces. They all
+// run serially on fixed inputs, so allocs/op is exact and machine
+// independent; ns/op is gated with 25% headroom. The build benchmarks with
+// machine-dependent parallel fan-out (BuildSpatial100k, the server
+// throughput row) are tracked in BENCH.json but not gated.
+var guardedBenchmarks = map[string]bool{
+	"RangeCount":         true,
+	"BuildSequenceModel": true,
+	"EstimateFrequency":  true,
+	"TopK20x5":           true,
+}
+
+// compareReports gates a fresh micro run against a committed baseline:
+// any allocs/op increase, or a ns/op regression beyond the headroom
+// factor (default 1.25), on a guarded benchmark fails the run. The
+// allocs/op gate is exact and machine-independent; the ns/op gate
+// compares absolute times, so when the baseline was recorded on different
+// hardware, widen -ns-headroom (or regenerate BENCH.json on the gating
+// machine) rather than chasing phantom regressions.
+func compareReports(fresh microReport, baselinePath string, nsHeadroom float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline microReport
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	base := make(map[string]microResult, len(baseline.Benchmarks))
+	for _, row := range baseline.Benchmarks {
+		base[row.Name] = row
+	}
+	var violations []string
+	for _, row := range fresh.Benchmarks {
+		if !guardedBenchmarks[row.Name] {
+			continue
+		}
+		b, ok := base[row.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		if row.AllocsPerOp > b.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d", row.Name, row.AllocsPerOp, b.AllocsPerOp))
+		}
+		if row.NsPerOp > b.NsPerOp*nsHeadroom {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ns/op %.0f > baseline %.0f ×%.2f (same hardware? see -ns-headroom)",
+				row.Name, row.NsPerOp, b.NsPerOp, nsHeadroom))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "bench regression: %s\n", v)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(violations), baselinePath)
+	}
+	fmt.Printf("no regressions against %s\n", baselinePath)
 	return nil
 }

@@ -7,6 +7,7 @@
 //
 //	privtreed -addr :8181
 //	privtreed -addr :8181 -workers 8 -max-batch 1048576
+//	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
 //
 // Quick tour against a running server:
 //
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,13 +37,32 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8181", "listen address")
-		workers  = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
-		maxBody  = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr      = flag.String("addr", ":8181", "listen address")
+		workers   = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
+		maxBody   = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiles ride a separate listener so the query plane's address
+		// never exposes them, and the endpoint stays opt-in for production
+		// profiling of the serving hot path.
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "privtreed: pprof listening on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				fmt.Fprintf(os.Stderr, "privtreed: pprof listener failed: %v\n", err)
+			}
+		}()
+	}
 
 	handler := server.New(server.Options{
 		Workers:      *workers,

@@ -38,11 +38,20 @@
 // node's noise from a splittable stream keyed by the node's path from the
 // root, so subtrees can be built on a worker pool
 // (SpatialOptions.Workers) while remaining a pure function of the seed:
-// serial and parallel builds release identical trees. See README.md for
-// the measured numbers.
+// serial and parallel builds release identical trees.
 //
-// All randomness is seeded: the same seed reproduces the same tree, at
-// every Workers setting.
+// The sequence pipeline follows the same architecture: sequences are
+// ingested into one columnar symbol slab with (offset, length) headers,
+// truncation at l⊤ is an in-place header update, and the prediction
+// suffix tree is a flat arena whose histograms live in one shared float
+// slab. Split and histogram noise is keyed by the context path, so
+// SequenceOptions.Workers parallelizes the build with byte-identical
+// serialized output, and EstimateFrequency answers queries with zero heap
+// allocations. See README.md ("Performance architecture") for the
+// measured numbers.
+//
+// All randomness is seeded: the same seed reproduces the same tree or
+// sequence model, at every Workers setting.
 //
 // # Serving releases
 //
@@ -61,7 +70,8 @@
 //
 // Build entry points validate their parameters and return errors — never
 // panics — on non-positive ε, unusable fanouts, or degenerate domains, so
-// they can sit directly behind untrusted inputs, and
-// SpatialTree.UnmarshalJSON rejects malformed or truncated documents
-// rather than constructing a corrupt tree.
+// they can sit directly behind untrusted inputs, and the
+// SpatialTree/SequenceModel UnmarshalJSON implementations reject
+// malformed, non-finite, or truncated documents rather than constructing
+// a corrupt artifact.
 package privtree

@@ -5,18 +5,37 @@
 // sequence insertion is l⊤ (Theorem 4.1); histograms are released in a
 // post-processing step (Theorem 4.2) with the β-proportional budget split
 // of Section 4.2.
+//
+// Every node's noise — the split decision and, for leaves, the released
+// histogram — is drawn from a splittable dp.Stream keyed by the node's
+// context path, so the released model is a pure function of (data, config,
+// seed) and subtrees can be built concurrently on a bounded worker pool
+// (Config.Workers) with byte-identical serial/parallel output, exactly like
+// the spatial pipeline in internal/core.
 package markov
 
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"runtime"
+	"sync"
 
 	"privtree/internal/core"
 	"privtree/internal/dp"
 	"privtree/internal/pst"
 	"privtree/internal/sequence"
 )
+
+// Noise-stream tags: the split decision uses the decider's own tag; leaf
+// histogram slot x draws under tag tagHistBase+x, so every draw at a node
+// is independent and depends only on (seed, context path, tag).
+const tagHistBase = 2
+
+// parallelCutoff is the minimum number of prediction points in a node's
+// window before its child subtrees are worth fanning out to worker
+// goroutines; below it the partition/tally work is cheaper than the
+// handoff.
+const parallelCutoff = 2048
 
 // Config parameterizes the private PST build.
 type Config struct {
@@ -27,7 +46,7 @@ type Config struct {
 	Epsilon float64
 	// LTop is l⊤, the bound on sequence length (counting & but not $).
 	// Sequences longer than l⊤ must have been truncated beforehand (use
-	// sequence.Dataset.Truncate); Build rejects datasets violating the
+	// sequence.Corpus.Truncate); Build rejects datasets violating the
 	// bound, since the privacy guarantee would silently be void.
 	LTop int
 	// Theta is the split threshold; the paper uses 0.
@@ -35,6 +54,10 @@ type Config struct {
 	// MaxDepth guards recursion (a PST cannot usefully be deeper than
 	// l⊤ anyway); 0 means l⊤+1.
 	MaxDepth int
+	// Workers bounds the goroutines used to build the PST: 0 means
+	// GOMAXPROCS, 1 forces a serial build. Path-keyed noise makes the
+	// released model identical at every setting.
+	Workers int
 }
 
 // Model is a released private PST: the tree structure plus noisy
@@ -62,17 +85,27 @@ func Score(hist []float64) float64 {
 	return sum - maxC
 }
 
-// Build constructs the private PST. The procedure is Algorithm 2 with the
-// three changes of Section 4.2: the tree is a PST of fanout β=|I|+1, the
-// score is Equation (13), and the released structure carries noisy
-// histograms produced by the post-processing step.
+// Build constructs the private PST from per-slice data; it is a
+// convenience wrapper that converts to columnar form and calls BuildCorpus.
 func Build(data *sequence.Dataset, cfg Config, rng *rand.Rand) (*Model, error) {
+	return BuildCorpus(sequence.CorpusOfDataset(data), cfg, rng)
+}
+
+// BuildCorpus constructs the private PST over columnar data. The procedure
+// is Algorithm 2 with the three changes of Section 4.2: the tree is a PST
+// of fanout β=|I|+1, the score is Equation (13), and the released structure
+// carries noisy histograms produced by the post-processing step.
+//
+// rng seeds the splittable per-node noise stream (one draw is taken from
+// rng), so the result is a pure function of (data, cfg, seed) regardless of
+// cfg.Workers.
+func BuildCorpus(data *sequence.Corpus, cfg Config, rng *rand.Rand) (*Model, error) {
 	if cfg.LTop < 1 {
 		return nil, fmt.Errorf("markov: LTop must be >= 1, got %d", cfg.LTop)
 	}
-	for i, s := range data.Seqs {
-		if s.EffectiveLen() > cfg.LTop {
-			return nil, fmt.Errorf("markov: sequence %d has effective length %d > LTop %d; truncate first", i, s.EffectiveLen(), cfg.LTop)
+	for i := 0; i < data.N(); i++ {
+		if el := data.EffectiveLen(i); el > cfg.LTop {
+			return nil, fmt.Errorf("markov: sequence %d has effective length %d > LTop %d; truncate first", i, el, cfg.LTop)
 		}
 	}
 	beta := data.Alphabet.Size + 1
@@ -93,136 +126,132 @@ func Build(data *sequence.Dataset, cfg Config, rng *rand.Rand) (*Model, error) {
 		Theta:       cfg.Theta,
 		Sensitivity: float64(cfg.LTop),
 		MaxDepth:    cfg.MaxDepth,
+		Workers:     cfg.Workers,
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	dec := core.NewDecider(params, rng)
-
-	builder := pst.NewBuilder(data)
-	root := builder.NewRoot()
-	var grow func(n *pst.Node)
-	grow = func(n *pst.Node) {
-		// C1: a $-anchored context cannot be extended; this depends only
-		// on dom(v), so applying it costs no privacy.
-		if n.Ctx.Anchored {
-			return
-		}
-		if !dec.ShouldSplit(Score(n.Hist), n.Depth) {
-			return
-		}
-		builder.Expand(n)
-		for _, c := range n.Children {
-			grow(c)
-		}
+	workers := params.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	grow(root)
-
-	// Post-processing (Theorem 4.2): perturb each leaf histogram with
-	// Laplace scale l⊤/ε_hist, rebuild internal histograms as sums of
-	// their leaves, clamp negatives to zero.
-	scale := float64(cfg.LTop) / epsHist
-	// rebuild returns the UNCLAMPED noisy histogram for summation while
-	// storing a separately clamped copy on the node — the paper's order
-	// (sum leaf noise upward first, then reset negatives to zero). Letting
-	// the clamp feed the sums would bias every internal count upward by
-	// ≈ scale/2 per zero-ish leaf entry.
-	var rebuild func(n *pst.Node) []float64
-	rebuild = func(n *pst.Node) []float64 {
-		var raw []float64
-		if n.IsLeaf() {
-			raw = make([]float64, len(n.Hist))
-			for i, c := range n.Hist {
-				raw[i] = c + dp.LapNoise(rng, scale)
-			}
-		} else {
-			raw = make([]float64, len(n.Hist))
-			for _, c := range n.Children {
-				for i, v := range rebuild(c) {
-					raw[i] += v
-				}
-			}
-		}
-		stored := make([]float64, len(raw))
-		copy(stored, raw)
-		clampNonNegative(stored)
-		n.Hist = stored
-		return raw
+	bc := &buildCtx{
+		dec: core.NewDecider(params, nil),
+		k:   data.Alphabet.Size,
+		// Leaf release (Theorem 4.2): Laplace scale l⊤/ε_hist per slot.
+		histScale: float64(cfg.LTop) / epsHist,
 	}
-	rebuild(root)
-	pst.Release(root)
+	if workers > 1 {
+		// Counting semaphore for extra subtree workers beyond this one.
+		bc.sem = make(chan struct{}, workers-1)
+	}
+
+	b := pst.NewBuilder(data, 256)
+	root, w := b.NewRoot()
+	var sc pst.Scratch
+	bc.expand(b, root, w, 0, 0, false, dp.NewStream(rng.Uint64()), &sc)
+
+	// Post-processing (Theorem 4.2): leaf histograms were perturbed inline
+	// from their path streams; internal histograms are rebuilt as sums of
+	// their leaves' RAW noisy values by one reverse arena scan, and only
+	// then are negatives clamped to zero — the paper's order (letting the
+	// clamp feed the sums would bias every internal count upward by
+	// ≈ scale/2 per zero-ish leaf entry).
+	t := b.Build()
+	t.SumInternalHists()
+	t.ClampHists()
+	t.Finalize()
 
 	return &Model{
-		Tree:        pst.Tree{Alphabet: data.Alphabet, Root: root, EndIndex: data.Alphabet.Size},
+		Tree:        *t,
 		TreeEpsilon: epsTree,
 		HistEpsilon: epsHist,
 	}, nil
 }
 
-func clampNonNegative(h []float64) {
-	for i, v := range h {
-		if v < 0 {
-			h[i] = 0
+// buildCtx carries the loop-invariant state of one PST construction.
+type buildCtx struct {
+	dec       *core.Decider
+	k         int
+	histScale float64
+	sem       chan struct{} // non-nil: parallel fan-out permitted
+}
+
+// expand grows the subtree rooted at node idx of b. The node's split
+// decision and (for leaves) its histogram noise are drawn from stream;
+// child x recurses with stream.Child(x). When the semaphore has free slots
+// and the window is large enough, child subtrees are built concurrently in
+// per-subtree builders and spliced back in child order, which reproduces
+// the serial arena layout exactly.
+func (c *buildCtx) expand(b *pst.Builder, idx int32, w pst.Window, ctxLen, depth int, anchored bool, stream dp.Stream, sc *pst.Scratch) {
+	hist := b.Hist(idx)
+	// C1: a $-anchored context cannot be extended; this depends only on
+	// dom(v), so applying it costs no privacy.
+	if anchored || !c.dec.ShouldSplitAt(Score(hist), depth, stream) {
+		// Leaf: release the histogram by adding path-keyed Laplace noise
+		// per slot. The exact counts are overwritten in place.
+		for x := range hist {
+			hist[x] += stream.Laplace(tagHistBase+uint64(x), c.histScale)
 		}
+		return
+	}
+	first, wins := b.Expand(idx, w, ctxLen, sc)
+
+	// Fan out only when the pool looks like it has a free slot; the check
+	// is racy but purely a heuristic — both branches produce the identical
+	// arena layout, so it affects wall-clock only, never the result.
+	if c.sem != nil && w.Len() >= parallelCutoff && len(c.sem) < cap(c.sem) {
+		subs := make([]*pst.Builder, c.k+1)
+		var wg sync.WaitGroup
+		for x := 0; x <= c.k; x++ {
+			sub := b.NewSub(first + int32(x))
+			subs[x] = sub
+			childStream := stream.Child(x)
+			childW := wins[x]
+			childCtx, childAnchored := ctxLen+1, false
+			if x == c.k {
+				childCtx, childAnchored = ctxLen, true
+			}
+			select {
+			case c.sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-c.sem }()
+					var subSc pst.Scratch
+					c.expand(sub, 0, childW, childCtx, depth+1, childAnchored, childStream, &subSc)
+				}()
+			default:
+				c.expand(sub, 0, childW, childCtx, depth+1, childAnchored, childStream, sc)
+			}
+		}
+		wg.Wait()
+		for x := range subs {
+			b.Splice(first+int32(x), subs[x])
+		}
+		return
+	}
+
+	for x := 0; x <= c.k; x++ {
+		childCtx, childAnchored := ctxLen+1, false
+		if x == c.k {
+			childCtx, childAnchored = ctxLen, true
+		}
+		c.expand(b, first+int32(x), wins[x], childCtx, depth+1, childAnchored, stream.Child(x), sc)
 	}
 }
 
-// TopK mines the k most frequent strings (length ≤ maxLen) from the model
-// by best-first enumeration: the model's frequency estimate is monotone
-// non-increasing under string extension (each step multiplies by a
-// conditional probability ≤ 1), so branches below the current k-th best
-// estimate are pruned safely.
+// TopK mines the k most frequent strings (length ≤ maxLen) from the model;
+// see pst.MineTopK for the enumeration and pruning strategy.
 func (m *Model) TopK(k, maxLen int) []sequence.StringCount {
-	estimates := make(map[string]float64)
-	// top tracks the k largest estimates seen so far (ascending), so the
-	// pruning bound is top[0] once k candidates exist.
-	top := make([]float64, 0, k+1)
-	record := func(v float64) {
-		i := sort.SearchFloat64s(top, v)
-		top = append(top, 0)
-		copy(top[i+1:], top[i:])
-		top[i] = v
-		if len(top) > k {
-			top = top[1:]
+	mined := pst.MineTopK(&m.Tree, k, maxLen)
+	out := make([]sequence.StringCount, len(mined))
+	for i, mn := range mined {
+		syms := make([]sequence.Symbol, len(mn.Syms))
+		for j, x := range mn.Syms {
+			syms[j] = sequence.Symbol(x)
 		}
+		out[i] = sequence.StringCount{Syms: syms, Count: mn.Count}
 	}
-	var expand func(prefix []sequence.Symbol, est float64)
-	expand = func(prefix []sequence.Symbol, est float64) {
-		if len(prefix) > 0 {
-			estimates[sequence.Key(prefix)] = est
-			record(est)
-		}
-		if len(prefix) >= maxLen {
-			return
-		}
-		bound := -1.0
-		if len(top) == k {
-			bound = top[0]
-		}
-		// Extend the estimate one symbol at a time (Equation 12): for an
-		// empty prefix the estimate is the root histogram count, after
-		// that est(prefix+x) = est(prefix)·P(x | prefix).
-		var dist []float64
-		if len(prefix) > 0 {
-			dist = m.ConditionalDist(prefix)
-			if dist == nil {
-				return
-			}
-		}
-		for x := 0; x < m.Alphabet.Size; x++ {
-			var e float64
-			if len(prefix) == 0 {
-				e = m.Root.Hist[x]
-			} else {
-				e = est * dist[x]
-			}
-			if e <= 0 || (bound >= 0 && e < bound) {
-				continue
-			}
-			next := append(append([]sequence.Symbol(nil), prefix...), sequence.Symbol(x))
-			expand(next, e)
-		}
-	}
-	expand(nil, 0)
-	return sequence.TopKOfFloat(estimates, k)
+	return out
 }

@@ -10,11 +10,6 @@ import (
 	"privtree/internal/synth"
 )
 
-// Local aliases keep the test bodies readable.
-type pstNode = pst.Node
-
-func pstBuilder(d *sequence.Dataset) *pst.Builder { return pst.NewBuilder(d) }
-
 func chainData(n int, seed uint64) *sequence.Dataset {
 	return synth.MoocLike(n, dp.NewRand(seed))
 }
@@ -34,47 +29,25 @@ func TestScoreEquation13(t *testing.T) {
 
 func TestScoreMonotoneUnderExpansion(t *testing.T) {
 	// Lemma 4.1: c(child) ≤ c(parent) for every PST expansion. We verify
-	// empirically over a real PST.
+	// empirically on the exact PST of a real dataset: every expanded node's
+	// children must score no higher than the node itself.
 	data := chainData(2000, 1)
 	trunc, _ := data.Truncate(30)
-	model, err := Build(trunc, Config{Epsilon: 5, LTop: 30}, dp.NewRand(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The released hists are noisy; instead check the invariant on exact
-	// histograms via a fresh builder walk of the same data.
-	_ = model
-	b := newExactWalker(trunc)
-	b.check(t, 3)
-}
-
-// newExactWalker builds exact PST levels and asserts score monotonicity.
-type exactWalker struct {
-	data *sequence.Dataset
-}
-
-func newExactWalker(d *sequence.Dataset) *exactWalker { return &exactWalker{data: d} }
-
-func (w *exactWalker) check(t *testing.T, depth int) {
-	t.Helper()
-	b := pstBuilder(w.data)
-	root := b.NewRoot()
-	var walk func(n *pstNode, d int)
-	walk = func(n *pstNode, d int) {
-		if d == 0 || n.Ctx.Anchored {
-			return
+	tr := pst.BuildExact(trunc, 0, 4)
+	beta := tr.Fanout()
+	for i, n := range tr.Nodes {
+		if n.IsLeaf() {
+			continue
 		}
-		b.Expand(n)
-		parent := Score(n.Hist)
-		for _, c := range n.Children {
-			if Score(c.Hist) > parent+1e-9 {
-				t.Fatalf("monotonicity violated: child %v score %v > parent %v",
-					c.Ctx, Score(c.Hist), parent)
+		parent := Score(tr.HistAt(int32(i)))
+		for x := 0; x < beta; x++ {
+			child := Score(tr.HistAt(n.FirstChild + int32(x)))
+			if child > parent+1e-9 {
+				t.Fatalf("monotonicity violated: node %d child %d score %v > parent %v",
+					i, x, child, parent)
 			}
-			walk(c, d-1)
 		}
 	}
-	walk(root, depth)
 }
 
 func TestBuildRejectsOverlongSequences(t *testing.T) {
@@ -115,20 +88,42 @@ func TestBuildHistogramsNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var walk func(n *pstNode)
-	walk = func(n *pstNode) {
-		for _, v := range n.Hist {
-			if v < 0 {
-				t.Fatalf("negative released count %v at %v", v, n.Ctx)
-			}
-		}
-		for _, c := range n.Children {
-			if c != nil {
-				walk(c)
-			}
+	for i, v := range model.Hists {
+		if v < 0 {
+			t.Fatalf("negative released count %v at slab index %d", v, i)
 		}
 	}
-	walk(model.Root)
+}
+
+func TestBuildInternalHistsAreChildSums(t *testing.T) {
+	// The release post-processing defines internal histograms as sums of
+	// their children's raw noisy values, clamped afterwards — so after
+	// clamping, an internal entry equals the clamp of its children's sum
+	// only when no negative child leaked through... the invariant that IS
+	// preserved exactly: magnitudes are finite and the structure matches
+	// SumInternalHists run again on a copy (idempotence on already-summed
+	// trees does not hold because clamping intervened), so instead verify
+	// every internal magnitude is within the sum of child magnitudes.
+	data := chainData(3000, 33)
+	trunc, _ := data.Truncate(30)
+	model, err := Build(trunc, Config{Epsilon: 2, LTop: 30}, dp.NewRand(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &model.Tree
+	beta := tr.Fanout()
+	for i, n := range tr.Nodes {
+		if n.IsLeaf() {
+			continue
+		}
+		childMags := 0.0
+		for x := 0; x < beta; x++ {
+			childMags += tr.Mags[n.FirstChild+int32(x)]
+		}
+		if tr.Mags[i] > childMags+1e-6 {
+			t.Fatalf("internal node %d magnitude %v exceeds child clamped total %v", i, tr.Mags[i], childMags)
+		}
+	}
 }
 
 func TestModelEstimatesTrackExactCounts(t *testing.T) {
@@ -211,12 +206,34 @@ func TestModelDeterministicForSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m1.Size() != m2.Size() {
-		t.Fatalf("same seed, different trees: %d vs %d nodes", m1.Size(), m2.Size())
+	if !pst.Equal(&m1.Tree, &m2.Tree) {
+		t.Fatal("same seed, different trees")
 	}
 	s := []sequence.Symbol{0, 1}
 	if m1.EstimateFrequency(s) != m2.EstimateFrequency(s) {
 		t.Fatal("same seed, different estimates")
+	}
+}
+
+// TestParallelBuildMatchesSerial is the tentpole determinism guarantee:
+// because every node's split and histogram noise comes from a stream keyed
+// by its context path, worker-pool builds must produce node-for-node
+// identical arenas for every worker count.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	data := chainData(20000, 23)
+	trunc, _ := data.Truncate(40)
+	serial, err := Build(trunc, Config{Epsilon: 4, LTop: 40, Workers: 1}, dp.NewRand(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Build(trunc, Config{Epsilon: 4, LTop: 40, Workers: workers}, dp.NewRand(24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pst.Equal(&serial.Tree, &par.Tree) {
+			t.Fatalf("workers=%d: parallel build differs from serial", workers)
+		}
 	}
 }
 

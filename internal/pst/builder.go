@@ -1,0 +1,280 @@
+package pst
+
+import "privtree/internal/sequence"
+
+// Window is one node's set of prediction points: a view into the in-place
+// partitioned occurrence array. Each point is the SLAB INDEX of the
+// predicted symbol in the corpus (a boundary sentinel, value |I|, marks the
+// terminal & of a closed sequence — which is exactly histogram slot |I|, so
+// tallying needs no branch). Sibling windows are disjoint subranges of
+// their parent's window, so subtree builds may run concurrently.
+type Window struct {
+	pts []int32
+}
+
+// Len returns the number of prediction points in the window.
+func (w Window) Len() int { return len(w.pts) }
+
+// levelScratch is the reusable per-recursion-level working set of Expand:
+// a staging buffer for the counting sort, bucket boundary/cursor arrays,
+// and the child-window headers. Allocated lazily, once per level, so a
+// whole build costs O(height) scratch allocations rather than O(nodes).
+type levelScratch struct {
+	buf    []int32
+	bounds []int32
+	cursor []int32
+	wins   []Window
+}
+
+// Scratch holds the per-level working sets of one goroutine's build
+// recursion. The zero value is ready to use.
+type Scratch struct {
+	levels []levelScratch
+}
+
+func (sc *Scratch) level(depth, beta int) *levelScratch {
+	for len(sc.levels) <= depth {
+		sc.levels = append(sc.levels, levelScratch{})
+	}
+	ls := &sc.levels[depth]
+	if ls.bounds == nil {
+		ls.bounds = make([]int32, beta+1)
+		ls.cursor = make([]int32, beta)
+		ls.wins = make([]Window, beta)
+	}
+	return ls
+}
+
+// Builder assembles a Tree in arena form over one columnar corpus. All PST
+// constructors — the private markov build, the exact build, and tests — go
+// through a Builder, so they share the same allocation discipline: nodes
+// land in a growing []Node, histograms in one growing []float64 slab, and
+// prediction points are partitioned in place within one shared array.
+type Builder struct {
+	data *sequence.Corpus
+	k    int // |I|
+	beta int // |I|+1
+
+	nodes []Node
+	hists []float64
+}
+
+// NewBuilder prepares construction over the corpus. sizeHint, if positive,
+// pre-sizes the node arena.
+func NewBuilder(c *sequence.Corpus, sizeHint int) *Builder {
+	if sizeHint < 1 {
+		sizeHint = 16
+	}
+	k := c.Alphabet.Size
+	return &Builder{
+		data:  c,
+		k:     k,
+		beta:  k + 1,
+		nodes: make([]Node, 0, sizeHint),
+		hists: make([]float64, 0, sizeHint*(k+1)),
+	}
+}
+
+// Hist returns node i's histogram row for in-place inspection or update
+// during construction.
+func (b *Builder) Hist(i int32) []float64 {
+	return b.hists[int(i)*b.beta : (int(i)+1)*b.beta : (int(i)+1)*b.beta]
+}
+
+// FirstChild returns node i's child-block start (0 for leaves).
+func (b *Builder) FirstChild(i int32) int32 { return b.nodes[i].FirstChild }
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.nodes) }
+
+// appendNode adds one node with a zeroed histogram row.
+func (b *Builder) appendNode() int32 {
+	idx := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{})
+	for x := 0; x < b.beta; x++ {
+		b.hists = append(b.hists, 0)
+	}
+	return idx
+}
+
+// NewRoot places the root node (index 0) with its histogram and prediction
+// points populated: the empty context matches before every position of
+// every sequence, including the terminal slot of closed ones. The returned
+// window owns the ONE occurrence array the whole build partitions in place.
+func (b *Builder) NewRoot() (int32, Window) {
+	if len(b.nodes) != 0 {
+		panic("pst: Builder.NewRoot on a non-empty builder")
+	}
+	root := b.appendNode()
+	pts := make([]int32, 0, b.data.PredictionPoints())
+	for i := 0; i < b.data.N(); i++ {
+		off, n, open := b.data.Head(i)
+		limit := n
+		if !open {
+			limit++ // predicting & at the sentinel slot
+		}
+		for j := int32(0); j < limit; j++ {
+			pts = append(pts, off+j)
+		}
+	}
+	b.tally(b.Hist(root), pts)
+	return root, Window{pts: pts}
+}
+
+// tally adds the predicted symbol of every point to hist. A point's
+// predicted symbol is the slab entry it addresses; closed-sequence terminal
+// points address the boundary sentinel, whose value |I| is the & slot.
+func (b *Builder) tally(hist []float64, pts []int32) {
+	slab := b.data.Slab()
+	for _, p := range pts {
+		hist[slab[p]]++
+	}
+}
+
+// Expand materializes the β children of node idx, whose context has ctxLen
+// symbols: the parent's prediction points are partitioned by the symbol
+// preceding each context occurrence (a stable counting sort, in place via
+// the level's staging buffer), child histograms are tallied over their
+// buckets, and the children are appended as one contiguous block. It
+// returns the first child's index and the β child windows (aliases into
+// the level scratch, valid until the same level is expanded again).
+//
+// A node whose context is $-anchored cannot be expanded (condition C1 of
+// Section 4.2); anchored nodes are the |I|-th child of their parent and the
+// caller must not pass them back in.
+func (b *Builder) Expand(idx int32, w Window, ctxLen int, sc *Scratch) (int32, []Window) {
+	ls := sc.level(ctxLen, b.beta)
+	slab := b.data.Slab()
+	k := b.k
+	shift := int32(ctxLen + 1)
+
+	// Bucket = the symbol immediately before the context occurrence; a
+	// boundary sentinel (value |I|) means the context starts at position 0,
+	// i.e. the $ bucket — which IS bucket |I|, so no branch is needed.
+	counts := ls.bounds
+	for x := range counts {
+		counts[x] = 0
+	}
+	for _, p := range w.pts {
+		counts[slab[p-shift]]++
+	}
+	// Prefix-sum counts into bucket start offsets (bounds[x]..bounds[x+1]).
+	total := int32(0)
+	for x := 0; x <= k; x++ {
+		c := counts[x]
+		counts[x] = total
+		ls.cursor[x] = total
+		total += c
+	}
+	counts[k+1] = total
+
+	if cap(ls.buf) < len(w.pts) {
+		ls.buf = make([]int32, len(w.pts))
+	}
+	buf := ls.buf[:len(w.pts)]
+	for _, p := range w.pts {
+		s := slab[p-shift]
+		buf[ls.cursor[s]] = p
+		ls.cursor[s]++
+	}
+	copy(w.pts, buf)
+
+	first := int32(len(b.nodes))
+	for x := 0; x <= k; x++ {
+		b.appendNode()
+	}
+	b.nodes[idx].FirstChild = first
+	for x := 0; x <= k; x++ {
+		ls.wins[x] = Window{pts: w.pts[counts[x]:counts[x+1]:counts[x+1]]}
+		b.tally(b.Hist(first+int32(x)), ls.wins[x].pts)
+	}
+	return first, ls.wins
+}
+
+// NewSub returns a fresh builder over the same corpus seeded with a copy of
+// node idx (structure and histogram), for building idx's subtree on another
+// goroutine. Splicing sub-builders back in child order reproduces exactly
+// the arena layout a serial build would have produced.
+func (b *Builder) NewSub(idx int32) *Builder {
+	sub := &Builder{
+		data:  b.data,
+		k:     b.k,
+		beta:  b.beta,
+		nodes: make([]Node, 0, 64),
+		hists: make([]float64, 0, 64*b.beta),
+	}
+	sub.nodes = append(sub.nodes, b.nodes[idx])
+	sub.hists = append(sub.hists, b.Hist(idx)...)
+	return sub
+}
+
+// Splice grafts a subtree built in a separate Builder onto child node
+// childIdx: sub's node 0 must describe childIdx itself (NewSub seeds it
+// with a copy); its descendants are appended with child links rebased and
+// its histogram rows appended to the shared slab.
+func (b *Builder) Splice(childIdx int32, sub *Builder) {
+	base := int32(len(b.nodes)) - 1 // sub index j ≥ 1 lands at base+j
+	if fc := sub.nodes[0].FirstChild; fc != 0 {
+		b.nodes[childIdx].FirstChild = fc + base
+	}
+	copy(b.Hist(childIdx), sub.hists[:b.beta])
+	for _, n := range sub.nodes[1:] {
+		if n.FirstChild != 0 {
+			n.FirstChild += base
+		}
+		b.nodes = append(b.nodes, n)
+	}
+	b.hists = append(b.hists, sub.hists[b.beta:]...)
+}
+
+// Build finalizes the arena into a Tree. The builder must not be used
+// afterwards. The caller runs any release post-processing
+// (SumInternalHists/ClampHists) and then Finalize before querying.
+func (b *Builder) Build() *Tree {
+	return &Tree{
+		Alphabet: b.data.Alphabet,
+		Nodes:    b.nodes,
+		Hists:    b.hists,
+		EndIndex: b.k,
+	}
+}
+
+// BuildExact grows the full PST non-privately: a node is expanded when its
+// histogram magnitude exceeds minMagnitude and its depth is below maxDepth
+// (the standard C1/C2 stopping rules; C3's entropy rule is subsumed by the
+// private score in the markov package).
+func BuildExact(data *sequence.Dataset, minMagnitude float64, maxDepth int) *Tree {
+	c := sequence.CorpusOfDataset(data)
+	b := NewBuilder(c, 64)
+	root, w := b.NewRoot()
+	var sc Scratch
+	var grow func(idx int32, w Window, ctxLen, depth int, anchored bool)
+	grow = func(idx int32, w Window, ctxLen, depth int, anchored bool) {
+		if anchored || depth >= maxDepth {
+			return
+		}
+		if mag(b.Hist(idx)) <= minMagnitude {
+			return
+		}
+		first, wins := b.Expand(idx, w, ctxLen, &sc)
+		for x := 0; x <= b.k; x++ {
+			childCtx, childAnchored := ctxLen+1, false
+			if x == b.k {
+				childCtx, childAnchored = ctxLen, true
+			}
+			grow(first+int32(x), wins[x], childCtx, depth+1, childAnchored)
+		}
+	}
+	grow(root, w, 0, 0, false)
+	t := b.Build()
+	t.Finalize()
+	return t
+}
+
+func mag(h []float64) float64 {
+	s := 0.0
+	for _, v := range h {
+		s += v
+	}
+	return s
+}

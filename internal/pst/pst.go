@@ -3,51 +3,54 @@
 // to in Section 4. A node's predictor string dom(v) grows by PREPENDING a
 // symbol from I ∪ {$}; its prediction histogram hist(v) counts, for every
 // x ∈ I ∪ {&}, how often dom(v) is immediately followed by x in the data.
+//
+// The tree is stored as a flat arena, mirroring internal/core's spatial
+// arena: nodes live in one []Node in depth-first order with each expanded
+// node's β = |I|+1 children as a contiguous index block, and every node's
+// prediction histogram is a β-wide window into ONE shared []float64 slab.
+// Contexts are not stored at all — they are implied by tree position (child
+// x prepends symbol x, child |I| prepends $) — so a node costs 4 bytes of
+// structure plus its histogram row. Construction partitions a single
+// prediction-point array in place (a counting sort per expansion), so the
+// whole build performs O(height) scratch allocations instead of O(nodes),
+// and query traversals (Estimate, MineTopK, AppendSample) allocate nothing
+// beyond their results.
 package pst
 
 import (
 	"math/rand/v2"
+	"sort"
 
 	"privtree/internal/sequence"
 )
 
-// Context is a predictor string: the symbols of dom(v) plus whether it is
-// anchored at the sequence start ($-prefixed).
-type Context struct {
-	Syms     []sequence.Symbol
-	Anchored bool // dom(v) starts with $
-}
-
-// Node is one PST node. Hist has length |I|+1: indices [0,|I|) count the
-// alphabet symbols, index |I| counts the terminal &. Children, when
-// expanded, has length |I|+1: Children[x] prepends symbol x for x < |I|,
-// Children[|I|] prepends $.
+// Node is one PST node in the arena. FirstChild indexes the node's child
+// block [FirstChild, FirstChild+β); 0 marks a leaf (the root occupies index
+// 0 and is never anyone's child). Child x < |I| prepends symbol x to the
+// context; child |I| prepends $, anchoring the context at the sequence
+// start. Anchored nodes are never expanded (condition C1 of Section 4.2),
+// so they are always leaves.
 type Node struct {
-	Ctx      Context
-	Depth    int
-	Hist     []float64
-	Children []*Node
-	// points is construction-time state: the prediction positions this
-	// context matches (see occurrence). Cleared after building.
-	points []occurrence
-}
-
-// occurrence is a prediction point: the context matches seq Seqs[seq]
-// ending just before position pos; the predicted symbol is Syms[pos], or &
-// if pos == len(Syms) on a closed sequence.
-type occurrence struct {
-	seq int
-	pos int
+	FirstChild int32
 }
 
 // IsLeaf reports whether the node has not been expanded.
-func (n *Node) IsLeaf() bool { return n.Children == nil }
+func (n Node) IsLeaf() bool { return n.FirstChild == 0 }
 
-// Tree is a prediction suffix tree over a dataset's alphabet.
+// Tree is an immutable prediction suffix tree in arena form. Treat the
+// exported slices as read-only outside this package except through Builder
+// (they are exported so deserialization can reconstitute a tree).
 type Tree struct {
 	Alphabet sequence.Alphabet
-	Root     *Node
-	// EndIndex is the histogram slot of the terminal symbol &.
+	// Nodes is the arena; Nodes[0] is the root (empty context).
+	Nodes []Node
+	// Hists is the shared histogram slab: node i's histogram is
+	// Hists[i*β : (i+1)*β], with slot |I| counting the terminal &.
+	Hists []float64
+	// Mags caches each node's histogram magnitude (L1 norm); Finalize
+	// computes it so lookups never re-sum histograms.
+	Mags []float64
+	// EndIndex is the histogram slot of the terminal symbol & (= |I|).
 	EndIndex int
 }
 
@@ -55,249 +58,196 @@ type Tree struct {
 func (t *Tree) Fanout() int { return t.Alphabet.Size + 1 }
 
 // Size returns the number of nodes in the tree.
-func (t *Tree) Size() int {
-	var walk func(*Node) int
-	walk = func(n *Node) int {
-		total := 1
-		for _, c := range n.Children {
-			if c != nil {
-				total += walk(c)
-			}
-		}
-		return total
-	}
-	return walk(t.Root)
-}
+func (t *Tree) Size() int { return len(t.Nodes) }
 
-// Leaves returns all unexpanded nodes.
-func (t *Tree) Leaves() []*Node {
-	var out []*Node
-	var walk func(*Node)
-	walk = func(n *Node) {
-		if n.IsLeaf() {
-			out = append(out, n)
-			return
-		}
-		for _, c := range n.Children {
-			if c != nil {
-				walk(c)
-			}
+// NumLeaves returns the number of unexpanded nodes.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for _, nd := range t.Nodes {
+		if nd.IsLeaf() {
+			n++
 		}
 	}
-	walk(t.Root)
-	return out
+	return n
 }
 
-// Builder constructs PSTs over one dataset, tracking per-node prediction
-// points so that histograms at any depth are computed incrementally.
-type Builder struct {
-	Data *sequence.Dataset
-	K    int // alphabet size |I|
+// HistAt returns node i's histogram row (a window into the shared slab).
+func (t *Tree) HistAt(i int32) []float64 {
+	beta := t.Fanout()
+	return t.Hists[int(i)*beta : (int(i)+1)*beta : (int(i)+1)*beta]
 }
 
-// NewBuilder prepares construction over data.
-func NewBuilder(data *sequence.Dataset) *Builder {
-	return &Builder{Data: data, K: data.Alphabet.Size}
-}
-
-// NewRoot returns the root node (empty context) with its histogram and
-// prediction points populated: the empty context matches before every
-// position of every sequence, including the terminal slot of closed ones.
-func (b *Builder) NewRoot() *Node {
-	root := &Node{Ctx: Context{}, Depth: 0}
-	for si, s := range b.Data.Seqs {
-		limit := len(s.Syms)
-		if !s.Open {
-			limit++ // predicting & at position len
-		}
-		for pos := 0; pos < limit; pos++ {
-			root.points = append(root.points, occurrence{seq: si, pos: pos})
-		}
-	}
-	root.Hist = b.histOf(root.points)
-	return root
-}
-
-// histOf tallies the predicted symbols at the given points.
-func (b *Builder) histOf(points []occurrence) []float64 {
-	hist := make([]float64, b.K+1)
-	for _, o := range points {
-		s := b.Data.Seqs[o.seq]
-		if o.pos < len(s.Syms) {
-			hist[s.Syms[o.pos]]++
-		} else {
-			hist[b.K]++
-		}
-	}
-	return hist
-}
-
-// Expand materializes the |I|+1 children of n: child x (x < |I|) prepends
-// symbol x to the context; child |I| prepends $ (anchoring the context at
-// the sequence start). A node whose context is already anchored cannot be
-// expanded (condition C1 of Section 4.2); Expand panics in that case.
-func (b *Builder) Expand(n *Node) {
-	if n.Ctx.Anchored {
-		panic("pst: cannot expand a $-anchored context")
-	}
-	ctxLen := len(n.Ctx.Syms)
-	n.Children = make([]*Node, b.K+1)
-	buckets := make([][]occurrence, b.K+1)
-	for _, o := range n.points {
-		// The symbol immediately before the context occurrence sits at
-		// pos − ctxLen − 1; if the context starts at position 0, the
-		// "preceding symbol" is $.
-		prev := o.pos - ctxLen - 1
-		if prev < 0 {
-			buckets[b.K] = append(buckets[b.K], o)
+// SumInternalHists recomputes every internal node's histogram as the sum of
+// its children's (the release pipeline's post-processing). Children always
+// follow their parent in the arena, so one reverse scan suffices; no
+// allocation is performed.
+func (t *Tree) SumInternalHists() {
+	beta := t.Fanout()
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		fc := int(t.Nodes[i].FirstChild)
+		if fc == 0 {
 			continue
 		}
-		sym := b.Data.Seqs[o.seq].Syms[prev]
-		buckets[sym] = append(buckets[sym], o)
-	}
-	for x := 0; x <= b.K; x++ {
-		ctx := Context{Anchored: x == b.K}
-		if x < b.K {
-			ctx.Syms = append([]sequence.Symbol{sequence.Symbol(x)}, n.Ctx.Syms...)
-		} else {
-			ctx.Syms = append([]sequence.Symbol(nil), n.Ctx.Syms...)
+		h := t.Hists[i*beta : (i+1)*beta]
+		for x := range h {
+			h[x] = 0
 		}
-		child := &Node{Ctx: ctx, Depth: n.Depth + 1, points: buckets[x]}
-		child.Hist = b.histOf(child.points)
-		n.Children[x] = child
-	}
-}
-
-// Release drops construction-time state from the whole subtree.
-func Release(n *Node) {
-	n.points = nil
-	for _, c := range n.Children {
-		if c != nil {
-			Release(c)
+		for c := fc; c < fc+beta; c++ {
+			ch := t.Hists[c*beta : (c+1)*beta]
+			for x, v := range ch {
+				h[x] += v
+			}
 		}
 	}
 }
 
-// BuildExact grows the full PST non-privately: a node is expanded when its
-// histogram magnitude exceeds minMagnitude and its depth is below maxDepth
-// (the standard C1/C2 stopping rules; C3's entropy rule is subsumed by the
-// private score in the markov package).
-func BuildExact(data *sequence.Dataset, minMagnitude float64, maxDepth int) *Tree {
-	b := NewBuilder(data)
-	root := b.NewRoot()
-	var grow func(*Node)
-	grow = func(n *Node) {
-		if n.Ctx.Anchored || n.Depth >= maxDepth {
-			return
-		}
-		if mag(n.Hist) <= minMagnitude {
-			return
-		}
-		b.Expand(n)
-		for _, c := range n.Children {
-			grow(c)
+// ClampHists resets negative histogram entries to zero (applied AFTER
+// internal sums, per the paper's post-processing order — clamping before
+// summation would bias every internal count upward).
+func (t *Tree) ClampHists() {
+	for i, v := range t.Hists {
+		if v < 0 {
+			t.Hists[i] = 0
 		}
 	}
-	grow(root)
-	Release(root)
-	return &Tree{Alphabet: data.Alphabet, Root: root, EndIndex: b.K}
 }
 
-func mag(h []float64) float64 {
-	s := 0.0
-	for _, v := range h {
-		s += v
+// Finalize computes the magnitude cache. It must be called after the
+// histograms reach their released values and before any query.
+func (t *Tree) Finalize() {
+	beta := t.Fanout()
+	if len(t.Mags) != len(t.Nodes) {
+		t.Mags = make([]float64, len(t.Nodes))
 	}
-	return s
+	for i := range t.Nodes {
+		s := 0.0
+		for _, v := range t.Hists[i*beta : (i+1)*beta] {
+			s += v
+		}
+		t.Mags[i] = s
+	}
 }
 
-// lookup returns the deepest tree node whose predictor string is a suffix
-// of history (with anchored nodes matching only full histories starting at
-// $). history is the sequence generated/observed so far; anchored reports
-// whether history is complete back to the sequence start.
-func (t *Tree) lookup(history []sequence.Symbol, anchored bool) *Node {
-	n := t.Root
-	best := n
-	for !n.IsLeaf() {
-		ctxLen := len(n.Ctx.Syms)
-		prev := len(history) - ctxLen - 1
-		var next *Node
-		if prev >= 0 {
-			next = n.Children[history[prev]]
-		} else if anchored && prev == -1 {
-			next = n.Children[t.Alphabet.Size] // the $ child
+// Equal reports whether two trees are identical releases: same alphabet
+// size and node-for-node identical structure and histograms. Serial and
+// parallel builds from the same seed must satisfy Equal exactly.
+func Equal(a, b *Tree) bool {
+	if a.Alphabet.Size != b.Alphabet.Size || len(a.Nodes) != len(b.Nodes) || len(a.Hists) != len(b.Hists) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
 		}
-		if next == nil {
+	}
+	for i := range a.Hists {
+		if a.Hists[i] != b.Hists[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the arena index of the deepest node whose predictor string
+// is a suffix of history (with anchored nodes matching only full histories
+// starting at $), falling back to the deepest ancestor with usable mass so
+// estimates degrade gracefully instead of dividing by zero. Symbols outside
+// the alphabet simply fail to match (hostile queries cannot index out of
+// the arena). It performs no allocation.
+func lookup[T ~int](t *Tree, history []T, anchored bool) int32 {
+	k := t.Alphabet.Size
+	n, best := int32(0), int32(0)
+	ctxLen := 0
+	for {
+		fc := t.Nodes[n].FirstChild
+		if fc == 0 {
 			break
+		}
+		prev := len(history) - ctxLen - 1
+		var next int32
+		switch {
+		case prev >= 0:
+			x := int(history[prev])
+			if x < 0 || x >= k {
+				// Out-of-alphabet symbol: no deeper context can match.
+				if t.Mags[n] > 0 {
+					return n
+				}
+				return best
+			}
+			next = fc + int32(x)
+			ctxLen++
+		case anchored && prev == -1:
+			next = fc + int32(k) // the $ child; context length unchanged
+		default:
+			// History exhausted without anchoring.
+			if t.Mags[n] > 0 {
+				return n
+			}
+			return best
 		}
 		n = next
-		if mag(n.Hist) > 0 {
+		if t.Mags[n] > 0 {
 			best = n
 		}
-		if n.Ctx.Anchored {
-			break
-		}
 	}
-	if mag(n.Hist) > 0 {
+	if t.Mags[n] > 0 {
 		return n
 	}
-	// Fall back to the deepest ancestor with a usable histogram, so the
-	// probability estimate degrades gracefully instead of dividing by 0.
 	return best
 }
 
-// EstimateFrequency implements the query of Section 4.1/Equation (12):
-// the estimated number of occurrences of the string sq in the data.
-func (t *Tree) EstimateFrequency(sq []sequence.Symbol) float64 {
+// Estimate implements the query of Section 4.1/Equation (12): the estimated
+// number of occurrences of the string sq in the data. It is generic over
+// any int-like symbol representation so public []int queries avoid a
+// conversion copy, and it performs no heap allocation.
+func Estimate[T ~int](t *Tree, sq []T) float64 {
 	if len(sq) == 0 {
 		return 0
 	}
-	ans := t.Root.Hist[sq[0]]
+	k := t.Alphabet.Size
+	beta := k + 1
+	x0 := int(sq[0])
+	if x0 < 0 || x0 >= k {
+		return 0
+	}
+	ans := t.Hists[x0]
 	for i := 1; i < len(sq); i++ {
-		prefix := sq[:i]
-		n := t.lookup(prefix, false)
-		m := mag(n.Hist)
+		xi := int(sq[i])
+		if xi < 0 || xi >= k {
+			return 0
+		}
+		n := lookup(t, sq[:i], false)
+		m := t.Mags[n]
 		if m <= 0 {
 			return 0
 		}
-		ans *= n.Hist[sq[i]] / m
+		ans *= t.Hists[int(n)*beta+xi] / m
 	}
 	return ans
 }
 
-// ConditionalDist returns the model's next-symbol distribution (over
-// I ∪ {&}, length |I|+1) after the given unanchored history, or nil when
-// no context has usable mass. It is the one-step factor of Equation (12),
-// exposed so that enumeration (e.g. top-k mining) can extend estimates in
-// O(1) per symbol instead of re-walking the whole string.
-func (t *Tree) ConditionalDist(history []sequence.Symbol) []float64 {
-	n := t.lookup(history, false)
-	m := mag(n.Hist)
-	if m <= 0 {
-		return nil
-	}
-	out := make([]float64, len(n.Hist))
-	for i, c := range n.Hist {
-		out[i] = c / m
-	}
-	return out
-}
+// EstimateFrequency is Estimate for []Symbol queries.
+func (t *Tree) EstimateFrequency(sq []sequence.Symbol) float64 { return Estimate(t, sq) }
 
-// Sample generates one synthetic sequence from the model (Section 4.1):
-// starting from $, repeatedly look up the deepest matching context and draw
-// the next symbol from its histogram until & is drawn or maxLen symbols
-// accumulate.
-func (t *Tree) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
-	var syms []sequence.Symbol
-	for len(syms) < maxLen {
-		n := t.lookup(syms, true)
-		m := mag(n.Hist)
+// AppendSample generates one synthetic sequence from the model (Section
+// 4.1), appending its symbols to buf: starting from $, repeatedly look up
+// the deepest matching context and draw the next symbol from its histogram
+// until & is drawn or maxLen symbols accumulate. It returns the extended
+// buffer and whether the sequence is open-ended (length cap hit or no
+// usable context — & was never drawn). Beyond buf growth it allocates
+// nothing.
+func AppendSample[T ~int](t *Tree, rng *rand.Rand, maxLen int, buf []T) ([]T, bool) {
+	for len(buf) < maxLen {
+		n := lookup(t, buf, true)
+		m := t.Mags[n]
 		if m <= 0 {
-			break
+			return buf, true
 		}
+		hist := t.HistAt(n)
 		u := rng.Float64() * m
-		pick := len(n.Hist) - 1
-		for x, c := range n.Hist {
+		pick := len(hist) - 1
+		for x, c := range hist {
 			u -= c
 			if u <= 0 {
 				pick = x
@@ -305,11 +255,17 @@ func (t *Tree) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
 			}
 		}
 		if pick == t.EndIndex {
-			return sequence.Seq{Syms: syms}
+			return buf, false
 		}
-		syms = append(syms, sequence.Symbol(pick))
+		buf = append(buf, T(pick))
 	}
-	return sequence.Seq{Syms: syms, Open: true}
+	return buf, true
+}
+
+// Sample generates one synthetic sequence into a fresh buffer.
+func (t *Tree) Sample(rng *rand.Rand, maxLen int) sequence.Seq {
+	syms, open := AppendSample[sequence.Symbol](t, rng, maxLen, nil)
+	return sequence.Seq{Syms: syms, Open: open}
 }
 
 // Generate samples n synthetic sequences.
@@ -319,4 +275,120 @@ func (t *Tree) Generate(n, maxLen int, rng *rand.Rand) *sequence.Dataset {
 		seqs[i] = t.Sample(rng, maxLen)
 	}
 	return &sequence.Dataset{Alphabet: t.Alphabet, Seqs: seqs}
+}
+
+// Mined is one mined string with its model frequency estimate. Symbols use
+// plain ints so public API layers can share the slice without re-copying.
+type Mined struct {
+	Syms  []int
+	Count float64
+}
+
+// MineTopK mines the k most frequent strings (length ≤ maxLen) by
+// depth-first enumeration with pruning: the model's frequency estimate is
+// monotone non-increasing under string extension (each step multiplies by a
+// conditional probability ≤ 1), so branches below the current k-th best
+// estimate are cut safely. The traversal reuses one prefix buffer and one
+// bound slice; allocation is proportional to the candidates retained, never
+// to the nodes visited. Ties are broken by ascending lexicographic order of
+// the symbols, deterministically.
+func MineTopK(t *Tree, k, maxLen int) []Mined {
+	if k <= 0 || maxLen <= 0 {
+		return nil
+	}
+	alpha := t.Alphabet.Size
+	beta := alpha + 1
+	// top tracks the k largest estimates seen so far (ascending), so the
+	// pruning bound is top[0] once k candidates exist.
+	top := make([]float64, 0, k+1)
+	record := func(v float64) {
+		lo, hi := 0, len(top)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if top[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		top = append(top, 0)
+		copy(top[lo+1:], top[lo:])
+		top[lo] = v
+		if len(top) > k {
+			top = top[1:]
+		}
+	}
+	var cands []Mined
+	prefix := make([]int, 0, maxLen)
+	var expand func(est float64)
+	expand = func(est float64) {
+		if len(prefix) > 0 {
+			record(est)
+			cands = append(cands, Mined{Syms: append([]int(nil), prefix...), Count: est})
+		}
+		if len(prefix) >= maxLen {
+			return
+		}
+		bound := -1.0
+		if len(top) == k {
+			bound = top[0]
+		}
+		// Extend the estimate one symbol at a time (Equation 12): for an
+		// empty prefix the estimate is the root histogram count, after that
+		// est(prefix+x) = est(prefix)·P(x | prefix) from one shared lookup.
+		var base int
+		var m float64
+		if len(prefix) > 0 {
+			n := lookup(t, prefix, false)
+			m = t.Mags[n]
+			if m <= 0 {
+				return
+			}
+			base = int(n) * beta
+		}
+		for x := 0; x < alpha; x++ {
+			var e float64
+			if len(prefix) == 0 {
+				e = t.Hists[x]
+			} else {
+				e = est * t.Hists[base+x] / m
+			}
+			if e <= 0 || (bound >= 0 && e < bound) {
+				continue
+			}
+			prefix = append(prefix, x)
+			expand(e)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	expand(0)
+	sortMined(cands)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// sortMined orders candidates by descending count, ties by ascending
+// lexicographic symbol order.
+func sortMined(ms []Mined) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Count != ms[j].Count {
+			return ms[i].Count > ms[j].Count
+		}
+		return lexLess(ms[i].Syms, ms[j].Syms)
+	})
+}
+
+func lexLess(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }

@@ -29,86 +29,82 @@ func paperDataset() *sequence.Dataset {
 	}
 }
 
+func paperCorpus() *sequence.Corpus { return sequence.CorpusOfDataset(paperDataset()) }
+
+func histEq(h []float64, want ...float64) bool {
+	if len(h) != len(want) {
+		return false
+	}
+	for i := range h {
+		if h[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRootHistogramMatchesFigure3(t *testing.T) {
-	b := NewBuilder(paperDataset())
-	root := b.NewRoot()
+	b := NewBuilder(paperCorpus(), 0)
+	root, _ := b.NewRoot()
 	// v1: A:6, B:4, &:4.
-	if root.Hist[0] != 6 || root.Hist[1] != 4 || root.Hist[2] != 4 {
-		t.Fatalf("root hist = %v, want [6 4 4]", root.Hist)
+	if !histEq(b.Hist(root), 6, 4, 4) {
+		t.Fatalf("root hist = %v, want [6 4 4]", b.Hist(root))
 	}
 }
 
 func TestExpandMatchesFigure3(t *testing.T) {
-	b := NewBuilder(paperDataset())
-	root := b.NewRoot()
-	b.Expand(root)
+	b := NewBuilder(paperCorpus(), 0)
+	root, w := b.NewRoot()
+	var sc Scratch
+	first, wins := b.Expand(root, w, 0, &sc)
 	// Children of root: prepend A (v3), prepend B (v4), prepend $ (v2).
-	vA := root.Children[0]
-	vB := root.Children[1]
-	vDollar := root.Children[2]
+	vA, vB, vDollar := first, first+1, first+2
 	// v3 (dom=A): A:3, B:3, &:0.
-	if vA.Hist[0] != 3 || vA.Hist[1] != 3 || vA.Hist[2] != 0 {
-		t.Fatalf("hist(A) = %v, want [3 3 0]", vA.Hist)
+	if !histEq(b.Hist(vA), 3, 3, 0) {
+		t.Fatalf("hist(A) = %v, want [3 3 0]", b.Hist(vA))
 	}
 	// v4 (dom=B): A:0, B:0, &:4.
-	if vB.Hist[0] != 0 || vB.Hist[1] != 0 || vB.Hist[2] != 4 {
-		t.Fatalf("hist(B) = %v, want [0 0 4]", vB.Hist)
+	if !histEq(b.Hist(vB), 0, 0, 4) {
+		t.Fatalf("hist(B) = %v, want [0 0 4]", b.Hist(vB))
 	}
 	// v2 (dom=$): A:3, B:1, &:0.
-	if vDollar.Hist[0] != 3 || vDollar.Hist[1] != 1 || vDollar.Hist[2] != 0 {
-		t.Fatalf("hist($) = %v, want [3 1 0]", vDollar.Hist)
-	}
-	if !vDollar.Ctx.Anchored {
-		t.Fatal("$ child not anchored")
+	if !histEq(b.Hist(vDollar), 3, 1, 0) {
+		t.Fatalf("hist($) = %v, want [3 1 0]", b.Hist(vDollar))
 	}
 
 	// Level 2 under A: dom=AA (v6), dom=BA (v7), dom=$A (v5).
-	b.Expand(vA)
-	vAA := vA.Children[0]
-	vBA := vA.Children[1]
-	vDA := vA.Children[2]
+	firstA, _ := b.Expand(vA, wins[0], 1, &sc)
+	vAA, vBA, vDA := firstA, firstA+1, firstA+2
 	// v6 (dom=AA): A:1, B:2, &:0.
-	if vAA.Hist[0] != 1 || vAA.Hist[1] != 2 || vAA.Hist[2] != 0 {
-		t.Fatalf("hist(AA) = %v, want [1 2 0]", vAA.Hist)
+	if !histEq(b.Hist(vAA), 1, 2, 0) {
+		t.Fatalf("hist(AA) = %v, want [1 2 0]", b.Hist(vAA))
 	}
 	// v7 (dom=BA): all zero.
-	if vBA.Hist[0] != 0 || vBA.Hist[1] != 0 || vBA.Hist[2] != 0 {
-		t.Fatalf("hist(BA) = %v, want zeros", vBA.Hist)
+	if !histEq(b.Hist(vBA), 0, 0, 0) {
+		t.Fatalf("hist(BA) = %v, want zeros", b.Hist(vBA))
 	}
 	// v5 (dom=$A): A:2, B:1, &:0.
-	if vDA.Hist[0] != 2 || vDA.Hist[1] != 1 || vDA.Hist[2] != 0 {
-		t.Fatalf("hist($A) = %v, want [2 1 0]", vDA.Hist)
+	if !histEq(b.Hist(vDA), 2, 1, 0) {
+		t.Fatalf("hist($A) = %v, want [2 1 0]", b.Hist(vDA))
 	}
 }
 
 func TestChildHistogramsSumToParent(t *testing.T) {
 	// Conservation: the prediction points of a node are partitioned among
 	// its children, so child histograms must sum to the parent's.
-	data := paperDataset()
-	b := NewBuilder(data)
-	root := b.NewRoot()
-	b.Expand(root)
+	b := NewBuilder(paperCorpus(), 0)
+	root, w := b.NewRoot()
+	var sc Scratch
+	first, _ := b.Expand(root, w, 0, &sc)
 	for x := 0; x < 3; x++ {
 		sum := 0.0
-		for _, c := range root.Children {
-			sum += c.Hist[x]
+		for c := int32(0); c < 3; c++ {
+			sum += b.Hist(first + c)[x]
 		}
-		if sum != root.Hist[x] {
-			t.Fatalf("symbol %d: children sum %v != parent %v", x, sum, root.Hist[x])
+		if sum != b.Hist(root)[x] {
+			t.Fatalf("symbol %d: children sum %v != parent %v", x, sum, b.Hist(root)[x])
 		}
 	}
-}
-
-func TestExpandPanicsOnAnchored(t *testing.T) {
-	b := NewBuilder(paperDataset())
-	root := b.NewRoot()
-	b.Expand(root)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expanding a $-anchored node did not panic")
-		}
-	}()
-	b.Expand(root.Children[2])
 }
 
 func TestEstimateFrequencyPaperExample(t *testing.T) {
@@ -141,20 +137,46 @@ func TestEstimateFrequencyEmptyString(t *testing.T) {
 	}
 }
 
+func TestEstimateFrequencyHostileSymbols(t *testing.T) {
+	// Out-of-alphabet symbols must yield estimate 0, never an arena read
+	// out of range.
+	tr := BuildExact(paperDataset(), 0, 3)
+	for _, s := range [][]sequence.Symbol{{5}, {-1}, {0, 9}, {0, 1, -3}, {97, 0, 1}} {
+		if got := tr.EstimateFrequency(s); got != 0 {
+			t.Fatalf("estimate(%v) = %v, want 0", s, got)
+		}
+	}
+}
+
 func TestBuildExactStopsAtMagnitude(t *testing.T) {
 	tr := BuildExact(paperDataset(), 3.5, 10)
-	// Root magnitude 14 > 3.5: expanded. Node B magnitude 4 > 3.5:
+	// Root magnitude 14 > 3.5: expanded. Node A magnitude 6 > 3.5:
 	// expanded. Node AA magnitude 3 ≤ 3.5: leaf.
-	if tr.Root.IsLeaf() {
+	if tr.Nodes[0].IsLeaf() {
 		t.Fatal("root not expanded")
 	}
-	vA := tr.Root.Children[0]
-	if vA.IsLeaf() {
+	vA := tr.Nodes[0].FirstChild
+	if tr.Nodes[vA].IsLeaf() {
 		t.Fatal("high-magnitude node A not expanded")
 	}
-	vAA := vA.Children[0]
-	if !vAA.IsLeaf() {
+	vAA := tr.Nodes[vA].FirstChild
+	if !tr.Nodes[vAA].IsLeaf() {
 		t.Fatal("low-magnitude node AA expanded")
+	}
+}
+
+func TestAnchoredChildrenAreLeaves(t *testing.T) {
+	// Condition C1: a $-anchored context is never expanded, at any depth.
+	tr := BuildExact(paperDataset(), 0, 6)
+	beta := tr.Fanout()
+	for i, n := range tr.Nodes {
+		if n.IsLeaf() {
+			continue
+		}
+		anchored := n.FirstChild + int32(beta) - 1
+		if !tr.Nodes[anchored].IsLeaf() {
+			t.Fatalf("node %d's $ child %d was expanded", i, anchored)
+		}
 	}
 }
 
@@ -165,9 +187,6 @@ func TestSampleTerminatesAndRespectsCap(t *testing.T) {
 		s := tr.Sample(rng, 10)
 		if s.Len() > 10 {
 			t.Fatalf("sample exceeds cap: %d", s.Len())
-		}
-		if !s.Open && s.Len() == 0 {
-			continue // "$&" style empty sequence is fine
 		}
 	}
 }
@@ -199,34 +218,120 @@ func TestGenerateCount(t *testing.T) {
 	}
 }
 
-func TestConditionalDistNormalized(t *testing.T) {
-	tr := BuildExact(paperDataset(), 0, 3)
-	dist := tr.ConditionalDist([]sequence.Symbol{0})
-	if dist == nil {
-		t.Fatal("nil distribution for history A")
-	}
-	sum := 0.0
-	for _, p := range dist {
-		sum += p
-	}
-	if math.Abs(sum-1) > 1e-9 {
-		t.Fatalf("conditional distribution sums to %v", sum)
-	}
-}
-
 func TestTreeSizeAndLeaves(t *testing.T) {
 	tr := BuildExact(paperDataset(), 0, 2)
 	if tr.Fanout() != 3 {
 		t.Fatalf("fanout = %d, want |I|+1 = 3", tr.Fanout())
 	}
-	leaves := tr.Leaves()
+	leaves := tr.NumLeaves()
 	size := tr.Size()
-	if size < len(leaves) {
-		t.Fatalf("size %d < leaves %d", size, len(leaves))
+	if size < leaves {
+		t.Fatalf("size %d < leaves %d", size, leaves)
 	}
 	// A PST with fanout 3: size = 3·internal + 1.
-	internal := size - len(leaves)
+	internal := size - leaves
 	if size != 3*internal+1 {
 		t.Fatalf("size %d, internal %d: not a full ternary tree", size, internal)
 	}
+}
+
+func TestEstimateAllocationFree(t *testing.T) {
+	tr := BuildExact(paperDataset(), 0, 3)
+	q := []sequence.Symbol{0, 0, 1}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.EstimateFrequency(q)
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateFrequency allocates %v per query, want 0", allocs)
+	}
+}
+
+// TestColumnarGroupingMatchesReference is the arena-invariant property
+// test: the in-place window partition + slab tally must produce, at every
+// node, exactly the histogram a naive per-slice reference implementation
+// computes for the node's context, on random datasets.
+func TestColumnarGroupingMatchesReference(t *testing.T) {
+	rng := dp.NewRand(42)
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + int(rng.Uint64()%4) // alphabet 2..5
+		n := 1 + int(rng.Uint64()%60)
+		d := &sequence.Dataset{Alphabet: sequence.NewAlphabet(k)}
+		for i := 0; i < n; i++ {
+			l := int(rng.Uint64() % 9)
+			syms := make([]sequence.Symbol, l)
+			for j := range syms {
+				syms[j] = sequence.Symbol(rng.Uint64() % uint64(k))
+			}
+			d.Seqs = append(d.Seqs, sequence.Seq{Syms: syms, Open: rng.Uint64()%5 == 0})
+		}
+		tr := BuildExact(d, 0, 4)
+		checkNodeHistsAgainstReference(t, tr, d)
+	}
+}
+
+// checkNodeHistsAgainstReference recomputes every node's histogram by
+// brute force over the per-slice dataset and compares.
+func checkNodeHistsAgainstReference(t *testing.T, tr *Tree, d *sequence.Dataset) {
+	t.Helper()
+	k := tr.Alphabet.Size
+	var walk func(idx int32, ctx []sequence.Symbol, anchored bool)
+	walk = func(idx int32, ctx []sequence.Symbol, anchored bool) {
+		want := referenceHist(d, k, ctx, anchored)
+		got := tr.HistAt(idx)
+		for x := range want {
+			if got[x] != want[x] {
+				t.Fatalf("ctx %v anchored=%v: hist %v, reference %v", ctx, anchored, got, want)
+			}
+		}
+		fc := tr.Nodes[idx].FirstChild
+		if fc == 0 {
+			return
+		}
+		for x := 0; x <= k; x++ {
+			if x < k {
+				walk(fc+int32(x), append([]sequence.Symbol{sequence.Symbol(x)}, ctx...), false)
+			} else {
+				walk(fc+int32(x), ctx, true)
+			}
+		}
+	}
+	walk(0, nil, false)
+}
+
+// referenceHist is the old per-slice semantics: for every position of every
+// sequence where ctx matches (ending just before the position, anchored
+// contexts only at the sequence start), tally the predicted symbol (the
+// one at the position, or & for the terminal slot of closed sequences).
+func referenceHist(d *sequence.Dataset, k int, ctx []sequence.Symbol, anchored bool) []float64 {
+	hist := make([]float64, k+1)
+	for _, s := range d.Seqs {
+		limit := len(s.Syms)
+		if !s.Open {
+			limit++
+		}
+		for pos := 0; pos < limit; pos++ {
+			if pos < len(ctx) {
+				continue // context cannot fit before pos
+			}
+			if anchored && pos != len(ctx) {
+				continue // anchored contexts start at $
+			}
+			match := true
+			for j, c := range ctx {
+				if s.Syms[pos-len(ctx)+j] != c {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			if pos < len(s.Syms) {
+				hist[s.Syms[pos]]++
+			} else {
+				hist[k]++
+			}
+		}
+	}
+	return hist
 }

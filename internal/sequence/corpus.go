@@ -1,0 +1,181 @@
+package sequence
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corpus is the columnar form of a sequence dataset: every symbol of every
+// sequence lives in ONE shared slab, and each sequence is described by an
+// (offset, length) header into it. Compared to Dataset's []Symbol-per-Seq
+// layout this makes ingestion O(1) allocations instead of O(n), makes
+// truncation a pure header update (no symbol is ever copied or moved), and
+// lets the PST builder address prediction points as single slab indices.
+//
+// Slab layout: the slab carries one boundary sentinel (value |I|) before the
+// first sequence and after every sequence's ORIGINAL extent. The sentinel
+// doubles as the terminal marker &: a closed sequence's terminal prediction
+// point is the sentinel slot itself, and a backward scan that runs off the
+// front of a sequence lands on a sentinel, which is how the PST builder
+// detects the $ boundary without per-sequence bounds checks. Truncation
+// never moves sentinels — it only shrinks header lengths and marks the
+// sequence open, so stale symbols between the new end and the sentinel are
+// simply never addressed again.
+type Corpus struct {
+	Alphabet Alphabet
+	syms     []Symbol
+	heads    []seqHead
+}
+
+type seqHead struct {
+	off  int32
+	n    int32
+	open bool
+}
+
+// NewCorpus ingests sequences over any int-like symbol type into columnar
+// form, validating every symbol against the alphabet. It performs O(1)
+// allocations regardless of the number of sequences.
+func NewCorpus[S ~[]E, E ~int](a Alphabet, seqs []S) (*Corpus, error) {
+	total := 1 // leading boundary sentinel
+	for _, s := range seqs {
+		total += len(s) + 1 // symbols + trailing sentinel
+	}
+	// Headers address the slab with int32 offsets (8 bytes per sequence
+	// instead of 24); reject corpora beyond that address space instead of
+	// silently wrapping offsets.
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("corpus of %d symbols exceeds the 2^31-1 slab limit", total)
+	}
+	c := &Corpus{
+		Alphabet: a,
+		syms:     make([]Symbol, 0, total),
+		heads:    make([]seqHead, len(seqs)),
+	}
+	end := Symbol(a.Size)
+	c.syms = append(c.syms, end)
+	for i, s := range seqs {
+		c.heads[i] = seqHead{off: int32(len(c.syms)), n: int32(len(s))}
+		for _, x := range s {
+			if int(x) < 0 || int(x) >= a.Size {
+				return nil, fmt.Errorf("sequence %d symbol %d out of range [0,%d)", i, int(x), a.Size)
+			}
+			c.syms = append(c.syms, Symbol(x))
+		}
+		c.syms = append(c.syms, end)
+	}
+	return c, nil
+}
+
+// CorpusOfDataset converts a per-slice Dataset into columnar form,
+// preserving open/closed flags. Symbols are assumed already validated.
+func CorpusOfDataset(d *Dataset) *Corpus {
+	total := 1
+	for _, s := range d.Seqs {
+		total += len(s.Syms) + 1
+	}
+	if total > math.MaxInt32 {
+		// Internal conversion path (callers hold an in-memory Dataset that
+		// is already validated); wrapping offsets would corrupt histograms
+		// silently, so fail loudly instead.
+		panic("sequence: corpus exceeds the 2^31-1 slab limit")
+	}
+	c := &Corpus{
+		Alphabet: d.Alphabet,
+		syms:     make([]Symbol, 0, total),
+		heads:    make([]seqHead, len(d.Seqs)),
+	}
+	end := Symbol(d.Alphabet.Size)
+	c.syms = append(c.syms, end)
+	for i, s := range d.Seqs {
+		c.heads[i] = seqHead{off: int32(len(c.syms)), n: int32(len(s.Syms)), open: s.Open}
+		c.syms = append(c.syms, s.Syms...)
+		c.syms = append(c.syms, end)
+	}
+	return c
+}
+
+// N returns the number of sequences.
+func (c *Corpus) N() int { return len(c.heads) }
+
+// Slab exposes the shared symbol slab. Treat it as read-only; positions are
+// addressed via Head offsets.
+func (c *Corpus) Slab() []Symbol { return c.syms }
+
+// Head returns sequence i's slab offset, current length, and open flag.
+func (c *Corpus) Head(i int) (off, n int32, open bool) {
+	h := c.heads[i]
+	return h.off, h.n, h.open
+}
+
+// Syms returns sequence i's symbols as a zero-copy window into the slab.
+func (c *Corpus) Syms(i int) []Symbol {
+	h := c.heads[i]
+	return c.syms[h.off : h.off+h.n : h.off+h.n]
+}
+
+// Open reports whether sequence i is open-ended (truncated, no & marker).
+func (c *Corpus) Open(i int) bool { return c.heads[i].open }
+
+// Len returns sequence i's symbol count.
+func (c *Corpus) Len(i int) int { return int(c.heads[i].n) }
+
+// EffectiveLen returns sequence i's length counting & but not $ — the
+// quantity bounded by l⊤ in Theorem 4.1.
+func (c *Corpus) EffectiveLen(i int) int {
+	h := c.heads[i]
+	if h.open {
+		return int(h.n)
+	}
+	return int(h.n) + 1
+}
+
+// MaxLen returns the maximum symbol count over all sequences.
+func (c *Corpus) MaxLen() int {
+	m := int32(0)
+	for _, h := range c.heads {
+		if h.n > m {
+			m = h.n
+		}
+	}
+	return int(m)
+}
+
+// PredictionPoints returns the total number of prediction points (one per
+// symbol, plus the terminal slot of every closed sequence) — the size of
+// the PST root's occurrence set.
+func (c *Corpus) PredictionPoints() int {
+	total := 0
+	for _, h := range c.heads {
+		total += int(h.n)
+		if !h.open {
+			total++
+		}
+	}
+	return total
+}
+
+// Truncate bounds every sequence's effective length by lTop IN PLACE, per
+// Section 4.2: a closed sequence of effective length > lTop keeps its first
+// min(len, lTop) symbols and becomes open-ended (loses &). No symbol is
+// copied — only headers change. It returns the number of sequences
+// affected. It matches Dataset.Truncate exactly (see the property test).
+func (c *Corpus) Truncate(lTop int) int {
+	truncated := 0
+	for i := range c.heads {
+		h := &c.heads[i]
+		eff := int(h.n)
+		if !h.open {
+			eff++
+		}
+		if eff <= lTop {
+			continue
+		}
+		truncated++
+		if int(h.n) > lTop {
+			h.n = int32(lTop)
+		}
+		h.open = true
+	}
+	return truncated
+}

@@ -1,0 +1,129 @@
+package sequence
+
+import (
+	"testing"
+
+	"privtree/internal/dp"
+)
+
+func randomDataset(seed uint64, maxSeqs, maxLen, alphabet int) *Dataset {
+	rng := dp.NewRand(seed)
+	d := &Dataset{Alphabet: NewAlphabet(alphabet)}
+	n := int(rng.Uint64() % uint64(maxSeqs+1))
+	for i := 0; i < n; i++ {
+		l := int(rng.Uint64() % uint64(maxLen+1))
+		syms := make([]Symbol, l)
+		for j := range syms {
+			syms[j] = Symbol(rng.Uint64() % uint64(alphabet))
+		}
+		d.Seqs = append(d.Seqs, Seq{Syms: syms, Open: rng.Uint64()%4 == 0})
+	}
+	return d
+}
+
+// TestCorpusTruncateMatchesDataset is the columnar-invariant property test:
+// in-place header truncation over the slab must agree with the old
+// per-slice Truncate on random datasets — same truncation count, and per
+// sequence the same surviving symbols and open flag.
+func TestCorpusTruncateMatchesDataset(t *testing.T) {
+	for trial := uint64(0); trial < 50; trial++ {
+		d := randomDataset(1000+trial, 40, 12, 2+int(trial%5))
+		lTop := 1 + int(trial%10)
+
+		want, wantTruncated := d.Truncate(lTop)
+		c := CorpusOfDataset(d)
+		gotTruncated := c.Truncate(lTop)
+
+		if gotTruncated != wantTruncated {
+			t.Fatalf("trial %d: corpus truncated %d, dataset truncated %d", trial, gotTruncated, wantTruncated)
+		}
+		if c.N() != want.N() {
+			t.Fatalf("trial %d: corpus N %d != dataset N %d", trial, c.N(), want.N())
+		}
+		for i, s := range want.Seqs {
+			if c.Open(i) != s.Open {
+				t.Fatalf("trial %d seq %d: open %v, want %v", trial, i, c.Open(i), s.Open)
+			}
+			got := c.Syms(i)
+			if len(got) != len(s.Syms) {
+				t.Fatalf("trial %d seq %d: len %d, want %d", trial, i, len(got), len(s.Syms))
+			}
+			for j := range got {
+				if got[j] != s.Syms[j] {
+					t.Fatalf("trial %d seq %d symbol %d: %d, want %d", trial, i, j, got[j], s.Syms[j])
+				}
+			}
+			if c.EffectiveLen(i) != s.EffectiveLen() {
+				t.Fatalf("trial %d seq %d: effective len %d, want %d", trial, i, c.EffectiveLen(i), s.EffectiveLen())
+			}
+			if c.EffectiveLen(i) > lTop {
+				t.Fatalf("trial %d seq %d: effective len %d exceeds lTop %d", trial, i, c.EffectiveLen(i), lTop)
+			}
+		}
+	}
+}
+
+func TestNewCorpusValidatesSymbols(t *testing.T) {
+	a := NewAlphabet(3)
+	if _, err := NewCorpus(a, [][]int{{0, 1, 2}, {2, 3}}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+	if _, err := NewCorpus(a, [][]int{{-1}}); err == nil {
+		t.Fatal("negative symbol accepted")
+	}
+	c, err := NewCorpus(a, [][]int{{0, 1}, {}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 || c.Len(0) != 2 || c.Len(1) != 0 || c.Len(2) != 1 {
+		t.Fatalf("corpus shape wrong: N=%d", c.N())
+	}
+	// Freshly ingested sequences are closed.
+	if c.Open(0) || c.EffectiveLen(0) != 3 {
+		t.Fatalf("seq 0: open=%v effective=%d", c.Open(0), c.EffectiveLen(0))
+	}
+}
+
+func TestCorpusPredictionPoints(t *testing.T) {
+	d := &Dataset{Alphabet: NewAlphabet(2), Seqs: []Seq{
+		{Syms: []Symbol{0, 1}},          // closed: 3 points
+		{Syms: []Symbol{1}, Open: true}, // open: 1 point
+		{Syms: nil},                     // closed empty: 1 point (the &)
+	}}
+	c := CorpusOfDataset(d)
+	if got := c.PredictionPoints(); got != 5 {
+		t.Fatalf("prediction points = %d, want 5", got)
+	}
+	if c.MaxLen() != 2 {
+		t.Fatalf("max len = %d", c.MaxLen())
+	}
+}
+
+// TestCorpusSlabBoundaries verifies the sentinel layout the PST builder
+// relies on: a sentinel (value |I|) sits before the first sequence and at
+// every sequence's original end, and Syms windows never include it.
+func TestCorpusSlabBoundaries(t *testing.T) {
+	c, err := NewCorpus(NewAlphabet(2), [][]int{{0, 1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := c.Slab()
+	end := Symbol(2)
+	if slab[0] != end {
+		t.Fatal("missing leading sentinel")
+	}
+	for i := 0; i < c.N(); i++ {
+		off, n, _ := c.Head(i)
+		if slab[off-1] != end {
+			t.Fatalf("seq %d: no sentinel before offset %d", i, off)
+		}
+		if slab[off+n] != end {
+			t.Fatalf("seq %d: no sentinel after end", i)
+		}
+		for _, s := range c.Syms(i) {
+			if s >= end {
+				t.Fatalf("seq %d window includes a sentinel", i)
+			}
+		}
+	}
+}

@@ -17,12 +17,27 @@ import (
 // t ∈ [1, maxCandidate]: quality(t) = −| #(len ≤ t) − q·n |, sensitivity 1.
 // It consumes eps of budget.
 func PrivateLengthQuantile(d *Dataset, q, eps float64, maxCandidate int, rng *rand.Rand) int {
-	if maxCandidate < 1 {
-		maxCandidate = 1
-	}
 	lengths := make([]int, len(d.Seqs))
 	for i, s := range d.Seqs {
 		lengths[i] = s.EffectiveLen()
+	}
+	return privateQuantileOfLengths(lengths, q, eps, maxCandidate, rng)
+}
+
+// PrivateLengthQuantileCorpus is PrivateLengthQuantile over columnar data.
+func PrivateLengthQuantileCorpus(c *Corpus, q, eps float64, maxCandidate int, rng *rand.Rand) int {
+	lengths := make([]int, c.N())
+	for i := range lengths {
+		lengths[i] = c.EffectiveLen(i)
+	}
+	return privateQuantileOfLengths(lengths, q, eps, maxCandidate, rng)
+}
+
+// privateQuantileOfLengths is the shared mechanism core; it sorts lengths
+// in place.
+func privateQuantileOfLengths(lengths []int, q, eps float64, maxCandidate int, rng *rand.Rand) int {
+	if maxCandidate < 1 {
+		maxCandidate = 1
 	}
 	sort.Ints(lengths)
 	target := q * float64(len(lengths))

@@ -1,13 +1,9 @@
 package server
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"privtree"
-	"privtree/internal/geom"
 )
 
 // queryChunk is how many queries one goroutine claims at a time from a
@@ -20,12 +16,14 @@ const queryChunk = 256
 // the win and the batch is answered inline.
 const minParallelBatch = 512
 
-// answerBatch fans fn(i) over the batch [0, n) using up to `workers`
-// goroutines (0 = GOMAXPROCS) and collects results in order. fn must be
-// safe for concurrent use — both release artifact types are immutable after
+// answerBatchInto fans fn(i) over the batch [0, len(out)) using up to
+// `workers` goroutines (0 = GOMAXPROCS), collecting results in order into
+// the caller-provided (typically pooled) slice, so the serving hot path
+// allocates nothing per batch beyond goroutine startup. fn must be safe
+// for concurrent use — both release artifact types are immutable after
 // construction, so RangeCount / EstimateFrequency qualify.
-func answerBatch(n, workers int, fn func(i int) float64) []float64 {
-	out := make([]float64, n)
+func answerBatchInto(out []float64, workers int, fn func(i int) float64) {
+	n := len(out)
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -33,7 +31,7 @@ func answerBatch(n, workers int, fn func(i int) float64) []float64 {
 		for i := 0; i < n; i++ {
 			out[i] = fn(i)
 		}
-		return out
+		return
 	}
 	if maxW := (n + queryChunk - 1) / queryChunk; workers > maxW {
 		workers = maxW
@@ -60,37 +58,4 @@ func answerBatch(n, workers int, fn func(i int) float64) []float64 {
 		}()
 	}
 	wg.Wait()
-	return out
-}
-
-// parseRects converts flat lo...hi coordinate rows into validated query
-// rectangles over a d-dimensional domain. It never panics on hostile
-// input: dimension mismatches, non-finite coordinates and inverted
-// intervals are reported with the offending row index.
-func parseRects(rows [][]float64, d int) ([]geom.Rect, error) {
-	out := make([]geom.Rect, len(rows))
-	for i, row := range rows {
-		if len(row) != 2*d {
-			return nil, fmt.Errorf("query %d has %d coordinates, want %d (lo..., hi...)", i, len(row), 2*d)
-		}
-		if err := geom.CheckBounds(row[:d], row[d:], false); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
-		}
-		out[i] = geom.Rect{Lo: row[:d], Hi: row[d:]}
-	}
-	return out, nil
-}
-
-// parseStrings validates sequence-frequency queries against an alphabet.
-func parseStrings(rows [][]int, alphabet int) ([]privtree.Sequence, error) {
-	out := make([]privtree.Sequence, len(rows))
-	for i, row := range rows {
-		for _, x := range row {
-			if x < 0 || x >= alphabet {
-				return nil, fmt.Errorf("string %d has symbol %d outside [0,%d)", i, x, alphabet)
-			}
-		}
-		out[i] = privtree.Sequence(row)
-	}
-	return out, nil
 }

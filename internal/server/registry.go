@@ -213,6 +213,7 @@ func (d *Dataset) build(p ReleaseParams, workers int) (*Release, error) {
 		model, err := privtree.BuildSequenceModel(d.alphabet, d.seqs, p.Epsilon, privtree.SequenceOptions{
 			MaxLength: p.MaxLength,
 			Seed:      p.Seed,
+			Workers:   workers,
 		})
 		if err != nil {
 			return nil, err

@@ -35,6 +35,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"privtree"
@@ -63,6 +64,10 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	opts     Options
+	// scratch pools the per-request buffers of the batched query plane, so
+	// a steady query load performs O(1) allocations per batch (see
+	// batchcodec.go) instead of O(1) per query.
+	scratch sync.Pool
 }
 
 // New returns a ready-to-serve Server.
@@ -82,6 +87,7 @@ func New(opts Options) *Server {
 		mux:      http.NewServeMux(),
 		opts:     opts,
 	}
+	s.scratch.New = func() any { return new(queryScratch) }
 	s.mux.HandleFunc("POST /v1/datasets", s.route("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/datasets", s.route("list_datasets", s.handleListDatasets))
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.route("get_dataset", s.handleGetDataset))
@@ -445,23 +451,54 @@ func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// queryRequest is the batched-query body: rectangles (spatial, flat
-// lo...hi rows) or symbol strings (sequence).
-type queryRequest struct {
-	Queries [][]float64 `json:"queries,omitempty"`
-	Strings [][]int     `json:"strings,omitempty"`
-}
-
+// handleQuery answers a batched-query body: rectangles (spatial, flat
+// lo...hi rows) or symbol strings (sequence). The request is decoded and
+// the reply encoded through the pooled columnar codec in batchcodec.go, so
+// a batch costs O(1) heap allocations end to end.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	d, rel, ok := s.lookupRelease(w, r)
 	if !ok {
 		return
 	}
-	var req queryRequest
-	if !decodeJSON(w, r, &req) {
+	sc := s.scratch.Get().(*queryScratch)
+	defer func() {
+		// Oversized scratches are dropped rather than pooled, so one giant
+		// batch cannot pin its buffers behind ordinary traffic.
+		if sc.retainedBytes() <= maxPooledScratchBytes {
+			s.scratch.Put(sc)
+		}
+	}()
+
+	body, err := readBody(r, sc.body)
+	sc.body = body
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, &APIError{
+				Code: CodeTooLarge, Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "reading body: " + err.Error()})
 		return
 	}
-	n := len(req.Queries) + len(req.Strings)
+	batch, err := parseQueryBody(string(body), sc, s.opts.MaxBatch)
+	if err != nil {
+		if errors.Is(err, errBatchTooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, &APIError{Code: CodeTooLarge,
+				Message: fmt.Sprintf("batch exceeds limit %d", s.opts.MaxBatch)})
+			return
+		}
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "invalid JSON: " + err.Error()})
+		return
+	}
+	nQueries, nStrings := 0, 0
+	if batch.hasQueries {
+		nQueries = len(sc.offs) - 1
+	}
+	if batch.hasStrings {
+		nStrings = len(sc.soffs) - 1
+	}
+	n := nQueries + nStrings
 	if n == 0 {
 		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
 			Message: "empty batch: provide queries (spatial) or strings (sequence)"})
@@ -472,49 +509,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("batch of %d exceeds limit %d", n, s.opts.MaxBatch)})
 		return
 	}
+	if cap(sc.counts) < n {
+		sc.counts = make([]float64, n)
+	}
+	counts := sc.counts[:n]
 
 	start := time.Now()
-	var counts []float64
 	switch rel.Kind {
 	case KindSpatial:
-		if req.Strings != nil {
+		if batch.hasStrings {
 			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
 				Message: "spatial release answers rectangle queries, not strings"})
 			return
 		}
-		rects, err := parseRects(req.Queries, rel.tree.Domain().Dims())
-		if err != nil {
+		if err := buildRects(sc, rel.tree.Domain().Dims()); err != nil {
 			writeErrorFrom(w, err)
 			return
 		}
-		tree := rel.tree
-		counts = answerBatch(len(rects), s.opts.Workers, func(i int) float64 {
+		tree, rects := rel.tree, sc.rects
+		answerBatchInto(counts, s.opts.Workers, func(i int) float64 {
 			return tree.RangeCount(rects[i])
 		})
 	case KindSequence:
-		if req.Queries != nil {
+		if batch.hasQueries {
 			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
 				Message: "sequence release answers string queries, not rectangles"})
 			return
 		}
-		strs, err := parseStrings(req.Strings, d.alphabet)
-		if err != nil {
+		if err := checkSyms(sc, d.alphabet); err != nil {
 			writeErrorFrom(w, err)
 			return
 		}
-		model := rel.model
-		counts = answerBatch(len(strs), s.opts.Workers, func(i int) float64 {
-			return model.EstimateFrequency(strs[i])
+		model, syms, soffs := rel.model, sc.syms, sc.soffs
+		answerBatchInto(counts, s.opts.Workers, func(i int) float64 {
+			return model.EstimateFrequency(privtree.Sequence(syms[soffs[i]:soffs[i+1]]))
 		})
 	}
 	elapsed := time.Since(start)
 	s.metrics.recordQueries(n, elapsed)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"release_id": rel.ID,
-		"counts":     counts,
-		"queries":    n,
-		"elapsed_ns": elapsed.Nanoseconds(),
-	})
+
+	sc.out = appendQueryResponse(sc.out[:0], rel.ID, counts, elapsed.Nanoseconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -415,8 +415,8 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	}
 
 	// Malformed queries → 400; oversized batch → 413. (Non-finite
-	// coordinates cannot cross the JSON layer; parseRects rejecting them is
-	// covered by TestParseRectsRejectsHostileRows.)
+	// coordinates cannot cross the JSON layer; buildRects rejecting them is
+	// covered by TestBuildRectsRejectsHostileRows.)
 	for _, q := range [][]float64{{0, 0, 1}, {1, 1, 0, 0}, {}} {
 		if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/real/releases/"+rel.ID+"/query",
 			map[string]any{"queries": [][]float64{q}}, nil); status != http.StatusBadRequest {
@@ -465,9 +465,18 @@ func TestServerConcurrentReleaseSingleDebit(t *testing.T) {
 	}
 }
 
-// TestParseRectsRejectsHostileRows covers coordinates the JSON layer could
-// not produce from well-formed clients but programmatic callers could.
-func TestParseRectsRejectsHostileRows(t *testing.T) {
+// TestBuildRectsRejectsHostileRows covers coordinates a hostile client can
+// put on the wire: the serving path's rectangle validation must reject
+// them with the offending row index, never panic.
+func TestBuildRectsRejectsHostileRows(t *testing.T) {
+	load := func(sc *queryScratch, rows [][]float64) {
+		sc.flat = sc.flat[:0]
+		sc.offs = append(sc.offs[:0], 0)
+		for _, row := range rows {
+			sc.flat = append(sc.flat, row...)
+			sc.offs = append(sc.offs, int32(len(sc.flat)))
+		}
+	}
 	bad := [][][]float64{
 		{{0, 0, 1}},               // arity
 		{{1, 1, 0, 0}},            // inverted
@@ -475,13 +484,19 @@ func TestParseRectsRejectsHostileRows(t *testing.T) {
 		{{0, 0, math.Inf(1), 1}},  // +Inf
 		{{math.Inf(-1), 0, 1, 1}}, // -Inf
 	}
+	var sc queryScratch
 	for i, rows := range bad {
-		if _, err := parseRects(rows, 2); err == nil {
+		load(&sc, rows)
+		if err := buildRects(&sc, 2); err == nil {
 			t.Errorf("hostile rows %d accepted", i)
 		}
 	}
-	if _, err := parseRects([][]float64{{0, 0, 1, 1}, {0.2, 0.2, 0.4, 0.9}}, 2); err != nil {
+	load(&sc, [][]float64{{0, 0, 1, 1}, {0.2, 0.2, 0.4, 0.9}})
+	if err := buildRects(&sc, 2); err != nil {
 		t.Fatalf("valid rows rejected: %v", err)
+	}
+	if len(sc.rects) != 2 || sc.rects[1].Lo[0] != 0.2 {
+		t.Fatalf("rects not materialized: %+v", sc.rects)
 	}
 }
 
@@ -498,9 +513,11 @@ func TestAnswerBatchMatchesSerial(t *testing.T) {
 		lo := privtree.Point{rng.Float64() * 0.7, rng.Float64() * 0.7}
 		rects[i] = privtree.NewRect(lo, privtree.Point{lo[0] + 0.25, lo[1] + 0.25})
 	}
-	serial := answerBatch(len(rects), 1, func(i int) float64 { return tree.RangeCount(rects[i]) })
+	serial := make([]float64, len(rects))
+	answerBatchInto(serial, 1, func(i int) float64 { return tree.RangeCount(rects[i]) })
+	parallel := make([]float64, len(rects))
 	for _, workers := range []int{2, 4, 8, 0} {
-		parallel := answerBatch(len(rects), workers, func(i int) float64 { return tree.RangeCount(rects[i]) })
+		answerBatchInto(parallel, workers, func(i int) float64 { return tree.RangeCount(rects[i]) })
 		for i := range serial {
 			if serial[i] != parallel[i] {
 				t.Fatalf("workers=%d: query %d diverged: %v vs %v", workers, i, serial[i], parallel[i])

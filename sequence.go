@@ -6,6 +6,7 @@ import (
 
 	"privtree/internal/dp"
 	"privtree/internal/markov"
+	"privtree/internal/pst"
 	"privtree/internal/sequence"
 )
 
@@ -21,6 +22,11 @@ type SequenceOptions struct {
 	MaxLength int
 	// Seed makes the build reproducible; 0 picks a fixed default.
 	Seed uint64
+	// Workers bounds the goroutines used for PST construction: 0 means
+	// GOMAXPROCS, 1 forces a serial build. Noise is drawn from per-node
+	// splittable streams keyed by the context path, so the released model
+	// is identical for every Workers setting — only build time changes.
+	Workers int
 }
 
 // SequenceModel is a released private prediction suffix tree.
@@ -40,6 +46,11 @@ type FrequentString struct {
 // following Section 4: the split decisions use the monotone score of
 // Equation (13) with ε/β of the budget, and the prediction histograms are
 // released with the remaining ε·(β−1)/β, where β = alphabet+1.
+//
+// The sequences are ingested into one columnar symbol slab (O(1)
+// allocations regardless of count), truncation is an in-place header
+// update, and the PST is built as a flat arena — see README.md for the
+// measured costs.
 func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts SequenceOptions) (*SequenceModel, error) {
 	if alphabet < 1 {
 		return nil, fmt.Errorf("privtree: alphabet size must be >= 1")
@@ -50,16 +61,12 @@ func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts Sequenc
 	if opts.MaxLength < 0 {
 		return nil, fmt.Errorf("privtree: MaxLength must be >= 0, got %d", opts.MaxLength)
 	}
-	ds := &sequence.Dataset{Alphabet: sequence.NewAlphabet(alphabet), Seqs: make([]sequence.Seq, len(seqs))}
-	for i, s := range seqs {
-		syms := make([]sequence.Symbol, len(s))
-		for j, x := range s {
-			if x < 0 || x >= alphabet {
-				return nil, fmt.Errorf("privtree: sequence %d symbol %d out of range [0,%d)", i, x, alphabet)
-			}
-			syms[j] = sequence.Symbol(x)
-		}
-		ds.Seqs[i] = sequence.Seq{Syms: syms}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("privtree: Workers must be >= 0, got %d", opts.Workers)
+	}
+	corpus, err := sequence.NewCorpus(sequence.NewAlphabet(alphabet), seqs)
+	if err != nil {
+		return nil, fmt.Errorf("privtree: %w", err)
 	}
 	rng := dp.NewRand(seedOrDefault(opts.Seed))
 	lTop := opts.MaxLength
@@ -68,10 +75,14 @@ func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts Sequenc
 		// Spend 5% of the budget choosing l⊤ privately.
 		quantEps := eps * 0.05
 		budget = eps - quantEps
-		lTop = sequence.PrivateLengthQuantile(ds, 0.95, quantEps, ds.MaxLen()+1, rng)
+		lTop = sequence.PrivateLengthQuantileCorpus(corpus, 0.95, quantEps, corpus.MaxLen()+1, rng)
 	}
-	trunc, _ := ds.Truncate(lTop)
-	model, err := markov.Build(trunc, markov.Config{Epsilon: budget, LTop: lTop}, rng)
+	corpus.Truncate(lTop)
+	model, err := markov.BuildCorpus(corpus, markov.Config{
+		Epsilon: budget,
+		LTop:    lTop,
+		Workers: opts.Workers,
+	}, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -82,41 +93,39 @@ func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts Sequenc
 func (m *SequenceModel) MaxLength() int { return m.lTop }
 
 // EstimateFrequency returns the model's estimate of how many times the
-// string occurs as a substring across the data (Equation 12).
+// string occurs as a substring across the data (Equation 12). It performs
+// no heap allocation: the query walks the model's arena directly, and
+// symbols outside [0, alphabet) yield estimate 0 rather than a panic.
 func (m *SequenceModel) EstimateFrequency(s Sequence) float64 {
-	syms := make([]sequence.Symbol, len(s))
-	for i, x := range s {
-		syms[i] = sequence.Symbol(x)
-	}
-	return m.model.EstimateFrequency(syms)
+	return pst.Estimate(&m.model.Tree, []int(s))
 }
 
-// TopK mines the k most frequent strings of length at most maxLen.
+// TopK mines the k most frequent strings of length at most maxLen. The
+// returned Symbols slices are handed over from the miner without an extra
+// per-string copy.
 func (m *SequenceModel) TopK(k, maxLen int) []FrequentString {
-	mined := m.model.TopK(k, maxLen)
+	mined := pst.MineTopK(&m.model.Tree, k, maxLen)
 	out := make([]FrequentString, len(mined))
-	for i, sc := range mined {
-		syms := make([]int, len(sc.Syms))
-		for j, x := range sc.Syms {
-			syms[j] = int(x)
-		}
-		out[i] = FrequentString{Symbols: syms, Count: sc.Count}
+	for i, mn := range mined {
+		out[i] = FrequentString{Symbols: mn.Syms, Count: mn.Count}
 	}
 	return out
 }
 
 // Generate samples n synthetic sequences from the model, each capped at
-// the model's l⊤.
+// the model's l⊤. All sampled symbols land in shared slabs (the returned
+// Sequences are windows into them), so generation costs O(log n)
+// allocations instead of two per sequence.
 func (m *SequenceModel) Generate(n int, seed uint64) []Sequence {
 	rng := dp.NewRand(seedOrDefault(seed))
-	synth := m.model.Generate(n, m.lTop, rng)
-	out := make([]Sequence, len(synth.Seqs))
-	for i, s := range synth.Seqs {
-		seq := make(Sequence, len(s.Syms))
-		for j, x := range s.Syms {
-			seq[j] = int(x)
-		}
-		out[i] = seq
+	out := make([]Sequence, n)
+	buf := make([]int, 0, m.lTop)
+	slab := make([]int, 0, 16*n)
+	for i := range out {
+		buf, _ = pst.AppendSample(&m.model.Tree, rng, m.lTop, buf[:0])
+		start := len(slab)
+		slab = append(slab, buf...)
+		out[i] = Sequence(slab[start:len(slab):len(slab)])
 	}
 	return out
 }

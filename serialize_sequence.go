@@ -3,10 +3,18 @@ package privtree
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"privtree/internal/markov"
 	"privtree/internal/pst"
 	"privtree/internal/sequence"
+)
+
+// Wire-format sanity bounds: far beyond any real model, tight enough that
+// a hostile document cannot drive huge allocations before validation.
+const (
+	maxWireAlphabet = 1 << 20
+	maxWireLTop     = 1 << 20
 )
 
 // modelJSON is the wire form of a SequenceModel: predictor-tree structure
@@ -24,24 +32,28 @@ type pstNodeJSON struct {
 	Children []pstNodeJSON `json:"children,omitempty"`
 }
 
-// MarshalJSON implements json.Marshaler for SequenceModel.
+// MarshalJSON implements json.Marshaler for SequenceModel. The nested wire
+// shape is produced by one walk of the flat arena; histogram slices alias
+// the model's shared slab (the encoder only reads them).
 func (m *SequenceModel) MarshalJSON() ([]byte, error) {
-	var conv func(n *pst.Node) pstNodeJSON
-	conv = func(n *pst.Node) pstNodeJSON {
-		out := pstNodeJSON{Hist: n.Hist}
-		if !n.IsLeaf() {
-			out.Children = make([]pstNodeJSON, len(n.Children))
-			for i, c := range n.Children {
-				out.Children[i] = conv(c)
+	t := &m.model.Tree
+	beta := t.Fanout()
+	var conv func(i int32) pstNodeJSON
+	conv = func(i int32) pstNodeJSON {
+		out := pstNodeJSON{Hist: t.HistAt(i)}
+		if fc := t.Nodes[i].FirstChild; fc != 0 {
+			out.Children = make([]pstNodeJSON, beta)
+			for x := 0; x < beta; x++ {
+				out.Children[x] = conv(fc + int32(x))
 			}
 		}
 		return out
 	}
 	return json.Marshal(modelJSON{
 		Version:  1,
-		Alphabet: m.model.Alphabet.Size,
+		Alphabet: t.Alphabet.Size,
 		LTop:     m.lTop,
-		Root:     conv(m.model.Root),
+		Root:     conv(0),
 	})
 }
 
@@ -49,6 +61,13 @@ func (m *SequenceModel) MarshalJSON() ([]byte, error) {
 // are reconstructed from tree position (child i of a node prepends symbol
 // i; the last child is the $-anchored one), so the wire format only
 // carries structure and histograms.
+//
+// The document is fully validated before a model is handed back: version
+// and alphabet shape, histogram arity at every node, finite non-negative
+// counts (a released histogram is clamped ≥ 0; NaN/±Inf would poison every
+// downstream estimate), children arity, no children under a $-anchored
+// context, and depth within l⊤. Truncated or otherwise malformed documents
+// leave the receiver untouched.
 func (m *SequenceModel) UnmarshalJSON(data []byte) error {
 	var wire modelJSON
 	if err := json.Unmarshal(data, &wire); err != nil {
@@ -57,52 +76,83 @@ func (m *SequenceModel) UnmarshalJSON(data []byte) error {
 	if wire.Version != 1 {
 		return fmt.Errorf("privtree: unsupported model version %d", wire.Version)
 	}
-	if wire.Alphabet < 1 {
+	if wire.Alphabet < 1 || wire.Alphabet > maxWireAlphabet {
 		return fmt.Errorf("privtree: model alphabet %d invalid", wire.Alphabet)
 	}
-	k := wire.Alphabet
-	var conv func(w pstNodeJSON, ctx pst.Context, depth int) (*pst.Node, error)
-	conv = func(w pstNodeJSON, ctx pst.Context, depth int) (*pst.Node, error) {
-		if len(w.Hist) != k+1 {
-			return nil, fmt.Errorf("privtree: histogram arity %d, want |I|+1 = %d", len(w.Hist), k+1)
-		}
-		n := &pst.Node{Ctx: ctx, Depth: depth, Hist: w.Hist}
-		if len(w.Children) == 0 {
-			return n, nil
-		}
-		if len(w.Children) != k+1 {
-			return nil, fmt.Errorf("privtree: node has %d children, want |I|+1 = %d", len(w.Children), k+1)
-		}
-		if ctx.Anchored {
-			return nil, fmt.Errorf("privtree: $-anchored context cannot have children")
-		}
-		n.Children = make([]*pst.Node, k+1)
-		for i, cw := range w.Children {
-			cctx := pst.Context{Anchored: i == k}
-			if i < k {
-				cctx.Syms = append([]sequence.Symbol{sequence.Symbol(i)}, ctx.Syms...)
-			} else {
-				cctx.Syms = append([]sequence.Symbol(nil), ctx.Syms...)
-			}
-			child, err := conv(cw, cctx, depth+1)
-			if err != nil {
-				return nil, err
-			}
-			n.Children[i] = child
-		}
-		return n, nil
+	if wire.LTop < 1 || wire.LTop > maxWireLTop {
+		return fmt.Errorf("privtree: model max length %d invalid", wire.LTop)
 	}
-	root, err := conv(wire.Root, pst.Context{}, 0)
-	if err != nil {
+	k := wire.Alphabet
+	beta := k + 1
+	// Root arity first: it bounds every allocation that follows (a document
+	// claiming a huge alphabet must actually carry β floats per node).
+	if len(wire.Root.Hist) != beta {
+		return fmt.Errorf("privtree: histogram arity %d, want |I|+1 = %d", len(wire.Root.Hist), beta)
+	}
+
+	nodes := make([]pst.Node, 1, 16)
+	hists := make([]float64, beta) // grows with validated content only
+	var fill func(idx int32, w *pstNodeJSON, depth int, anchored bool) error
+	fill = func(idx int32, w *pstNodeJSON, depth int, anchored bool) error {
+		if len(w.Hist) != beta {
+			return fmt.Errorf("privtree: histogram arity %d, want |I|+1 = %d", len(w.Hist), beta)
+		}
+		for _, v := range w.Hist {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("privtree: non-finite histogram count %v", v)
+			}
+			if v < 0 {
+				return fmt.Errorf("privtree: negative histogram count %v (releases are clamped >= 0)", v)
+			}
+		}
+		copy(hists[int(idx)*beta:(int(idx)+1)*beta], w.Hist)
+		if len(w.Children) == 0 {
+			return nil
+		}
+		if len(w.Children) != beta {
+			return fmt.Errorf("privtree: node has %d children, want |I|+1 = %d", len(w.Children), beta)
+		}
+		if anchored {
+			return fmt.Errorf("privtree: $-anchored context cannot have children")
+		}
+		if depth >= wire.LTop {
+			return fmt.Errorf("privtree: node at depth %d expanded beyond max length %d", depth, wire.LTop)
+		}
+		// Check every child's arity BEFORE the β²-sized arena append, so the
+		// allocation below is always bounded by floats the document actually
+		// carries — a hostile document claiming a huge alphabet cannot drive
+		// an O(alphabet²) allocation off a few empty child objects.
+		for x := range w.Children {
+			if len(w.Children[x].Hist) != beta {
+				return fmt.Errorf("privtree: histogram arity %d, want |I|+1 = %d", len(w.Children[x].Hist), beta)
+			}
+		}
+		first := int32(len(nodes))
+		for x := 0; x < beta; x++ {
+			nodes = append(nodes, pst.Node{})
+			for j := 0; j < beta; j++ {
+				hists = append(hists, 0)
+			}
+		}
+		nodes[idx].FirstChild = first
+		for x := 0; x < beta; x++ {
+			if err := fill(first+int32(x), &w.Children[x], depth+1, x == k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fill(0, &wire.Root, 0, false); err != nil {
 		return err
 	}
-	m.model = &markov.Model{
-		Tree: pst.Tree{
-			Alphabet: sequence.NewAlphabet(k),
-			Root:     root,
-			EndIndex: k,
-		},
+	t := pst.Tree{
+		Alphabet: sequence.NewAlphabet(k),
+		Nodes:    nodes,
+		Hists:    hists,
+		EndIndex: k,
 	}
+	t.Finalize()
+	m.model = &markov.Model{Tree: t}
 	m.lTop = wire.LTop
 	return nil
 }

@@ -1,0 +1,122 @@
+package privtree
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// smallModelBlob builds a small released sequence model and returns its
+// wire bytes; deliberately tiny so the fuzz engine can mutate and
+// re-execute it at full speed.
+func smallModelBlob(t testing.TB) []byte {
+	t.Helper()
+	model, err := BuildSequenceModel(6, makeClickstreams(300), 2.0, SequenceOptions{MaxLength: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestSequenceModelUnmarshalTruncated feeds every kind of cut-off document
+// to the deserializer: it must return an error for all of them — and in
+// particular must never panic or hand back a half-built arena.
+func TestSequenceModelUnmarshalTruncated(t *testing.T) {
+	blob := smallModelBlob(t)
+	for cut := 0; cut < len(blob); cut += 7 {
+		var m SequenceModel
+		if err := json.Unmarshal(blob[:cut], &m); err == nil {
+			t.Fatalf("truncated blob (%d of %d bytes) accepted", cut, len(blob))
+		}
+		if m.model != nil {
+			t.Fatalf("truncated blob (%d bytes) left a partial model behind", cut)
+		}
+	}
+}
+
+// TestSequenceModelUnmarshalHostile covers documents that are valid JSON
+// but describe impossible or dangerous models.
+func TestSequenceModelUnmarshalHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+	}{
+		{"NaN count", `{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[1,NaN,1]}}`},
+		{"Inf count via exponent", `{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[1,1e999,1]}}`},
+		{"negative count", `{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[1,-3,1]}}`},
+		{"zero ltop", `{"version":1,"alphabet":2,"ltop":0,"root":{"hist":[1,1,1]}}`},
+		{"negative ltop", `{"version":1,"alphabet":2,"ltop":-4,"root":{"hist":[1,1,1]}}`},
+		{"absurd ltop", `{"version":1,"alphabet":2,"ltop":1099511627776,"root":{"hist":[1,1,1]}}`},
+		{"absurd alphabet", `{"version":1,"alphabet":1099511627776,"ltop":5,"root":{"hist":[1,1,1]}}`},
+		{"alphabet disagrees with arity", `{"version":1,"alphabet":5,"ltop":5,"root":{"hist":[1,1,1]}}`},
+		{"expanded anchored child", `{"version":1,"alphabet":1,"ltop":5,"root":{"hist":[2,2],"children":[
+			{"hist":[1,1]},
+			{"hist":[1,1],"children":[{"hist":[1,0]},{"hist":[0,1]}]}]}}`},
+		{"depth beyond ltop", `{"version":1,"alphabet":1,"ltop":1,"root":{"hist":[2,2],"children":[
+			{"hist":[1,1],"children":[{"hist":[1,0]},{"hist":[0,1]}]},
+			{"hist":[1,1]}]}}`},
+		{"child arity", `{"version":1,"alphabet":1,"ltop":5,"root":{"hist":[2,2],"children":[{"hist":[1,1]}]}}`},
+		{"empty child objects", `{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[1,1,1],"children":[{},{},{}]}}`},
+		{"grandchild bad hist", `{"version":1,"alphabet":1,"ltop":5,"root":{"hist":[2,2],"children":[
+			{"hist":[1,1],"children":[{"hist":[1]},{"hist":[0,1]}]},
+			{"hist":[1,1]}]}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalJSON panicked: %v", r)
+				}
+			}()
+			var m SequenceModel
+			if err := json.Unmarshal([]byte(c.blob), &m); err == nil {
+				t.Fatal("hostile blob accepted")
+			}
+		})
+	}
+}
+
+// FuzzSequenceModelUnmarshal drives arbitrary bytes through UnmarshalJSON,
+// mirroring FuzzSpatialTreeUnmarshal. The contract: never panic, and any
+// accepted document must denote a coherent model — re-serializing it and
+// parsing the result back must preserve frequency estimates exactly, and
+// hostile query symbols must never read outside the arena.
+func FuzzSequenceModelUnmarshal(f *testing.F) {
+	f.Add(smallModelBlob(f))
+	f.Add([]byte(`{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[3,2,1]}}`))
+	f.Add([]byte(`{"version":1,"alphabet":1,"ltop":3,"root":{"hist":[2,2],"children":[
+		{"hist":[1,1]},{"hist":[1,1]}]}}`))
+	f.Add([]byte(`{"version":1,"alphabet":2,"ltop":5,"root":{"hist":[1,-1,1]}}`))
+	f.Add([]byte(`{"version":1,"alphabet":0,"ltop":5,"root":{"hist":[1]}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m SequenceModel
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		// Accepted: the model must round-trip losslessly.
+		blob, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("accepted model failed to marshal: %v", err)
+		}
+		var again SequenceModel
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("round-tripped bytes rejected: %v", err)
+		}
+		if again.Nodes() != m.Nodes() || again.MaxLength() != m.MaxLength() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, ltop %d/%d",
+				again.Nodes(), m.Nodes(), again.MaxLength(), m.MaxLength())
+		}
+		queries := []Sequence{{0}, {0, 1}, {1, 0, 0}, {2, 2}, {-1}, {99}, {0, -7, 1}}
+		for _, q := range queries {
+			a, b := m.EstimateFrequency(q), again.EstimateFrequency(q)
+			if a != b {
+				t.Fatalf("round trip changed estimate(%v): %v vs %v", q, a, b)
+			}
+		}
+	})
+}
