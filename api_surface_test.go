@@ -1,0 +1,155 @@
+package privtree
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// API-compatibility gate: testdata/api_surface.txt is a checked-in
+// snapshot of every exported declaration of package privtree (the full
+// public surface: types with their fields, funcs, methods, consts, vars).
+// The test regenerates the snapshot from the source AST and diffs it, so a
+// PR cannot silently break the Mechanism/Release/Session surface — any
+// intentional change must update the snapshot in the same diff, where
+// reviewers see it.
+//
+// Regenerate with:
+//
+//	PRIVTREE_UPDATE_API=1 go test -run TestPublicAPISurface .
+
+// renderNode prints an AST node with single-space formatting.
+func renderNode(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 1}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	// Collapse to one line so the snapshot diffs line-by-line per decl.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// publicAPISurface parses the package source in dir and returns one line
+// per exported declaration, sorted.
+func publicAPISurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["privtree"]
+	if !ok {
+		t.Fatalf("package privtree not found in %s", dir)
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					// Methods on unexported receivers are not public API.
+					recv := renderNode(fset, d.Recv.List[0].Type)
+					base := strings.TrimLeft(recv, "*")
+					if base != "" && !ast.IsExported(base) {
+						continue
+					}
+					fn := *d
+					fn.Body = nil
+					fn.Doc = nil
+					lines = append(lines, renderNode(fset, &fn))
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				lines = append(lines, renderNode(fset, &fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						ts := *s
+						ts.Doc, ts.Comment = nil, nil
+						kw := "type"
+						lines = append(lines, kw+" "+renderNode(fset, &ts))
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range s.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						vs := *s
+						vs.Doc, vs.Comment = nil, nil
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						lines = append(lines, kw+" "+renderNode(fset, &vs))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	lines := publicAPISurface(t, ".")
+	got := strings.Join(lines, "\n") + "\n"
+	path := filepath.Join("testdata", "api_surface.txt")
+	if os.Getenv("PRIVTREE_UPDATE_API") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API snapshot (run with PRIVTREE_UPDATE_API=1): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	// Produce a readable diff: lines added to / removed from the surface.
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimRight(string(want), "\n"), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range lines {
+		gotSet[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range lines {
+		if !wantSet[l] {
+			fmt.Fprintf(&sb, "+ %s\n", l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			fmt.Fprintf(&sb, "- %s\n", l)
+		}
+	}
+	t.Fatalf("public API surface changed; if intentional, regenerate testdata/api_surface.txt with PRIVTREE_UPDATE_API=1\n%s", sb.String())
+}

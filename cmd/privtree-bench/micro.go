@@ -163,6 +163,30 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 		return err
 	}
 
+	// A released artifact for the wire-envelope rows: Workers pinned to 1
+	// and a fixed seed, so encode/decode allocs/op are machine-independent.
+	envData, err := privtree.NewSpatialData(dom, pts100k)
+	if err != nil {
+		return err
+	}
+	envMech, err := privtree.NewSpatialMechanism(privtree.SpatialOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		return err
+	}
+	envRelease, err := envMech.Run(envData, 1.0)
+	if err != nil {
+		return err
+	}
+	envBlob, err := json.Marshal(envRelease)
+	if err != nil {
+		return err
+	}
+	// Warm encoding/json's type caches so their one-time allocations don't
+	// leak ±1 into the exact allocs/op gate at low iteration counts.
+	if _, err := privtree.Decode(envBlob); err != nil {
+		return err
+	}
+
 	cases := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -205,6 +229,22 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				queryModel.TopK(20, 5)
+			}
+		}},
+		{"EnvelopeEncode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(envRelease); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"EnvelopeDecode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := privtree.Decode(envBlob); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}
@@ -268,6 +308,17 @@ var guardedBenchmarks = map[string]bool{
 	"BuildSequenceModel": true,
 	"EstimateFrequency":  true,
 	"TopK20x5":           true,
+	"EnvelopeEncode":     true,
+	"EnvelopeDecode":     true,
+}
+
+// allocsSlack loosens the exact allocs/op gate for benchmarks whose op
+// rides encoding/json: its pooled scanner states make the count
+// nondeterministic by a hair (GC timing decides pool hits), while a real
+// regression on these ~10k-alloc ops would move the number by far more.
+var allocsSlack = map[string]int64{
+	"EnvelopeEncode": 2,
+	"EnvelopeDecode": 2,
 }
 
 // compareReports gates a fresh micro run against a committed baseline:
@@ -299,9 +350,9 @@ func compareReports(fresh microReport, baselinePath string, nsHeadroom float64) 
 		if !ok {
 			continue // new benchmark: nothing to regress against
 		}
-		if row.AllocsPerOp > b.AllocsPerOp {
+		if row.AllocsPerOp > b.AllocsPerOp+allocsSlack[row.Name] {
 			violations = append(violations, fmt.Sprintf(
-				"%s: allocs/op %d > baseline %d", row.Name, row.AllocsPerOp, b.AllocsPerOp))
+				"%s: allocs/op %d > baseline %d (+%d slack)", row.Name, row.AllocsPerOp, b.AllocsPerOp, allocsSlack[row.Name]))
 		}
 		if row.NsPerOp > b.NsPerOp*nsHeadroom {
 			violations = append(violations, fmt.Sprintf(

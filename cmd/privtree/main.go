@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	privtree -in points.csv -eps 1.0 -out tree.json
+//	privtree -in points.csv -eps 1.0 -out release.json
 //	privtree -in points.csv -eps 1.0 -query "0.1,0.1,0.4,0.5"
 //	privtree -in points.csv -eps 1.0 -queries rects.txt   # batch, one rect per line
 //	cat rects.txt | privtree -demo -eps 0.5 -queries -    # batch from stdin
@@ -14,9 +14,13 @@
 // per line as comma-separated lo...hi coordinates (blank lines and
 // #-comments skipped); the whole batch is answered against ONE released
 // tree — the privacy cost is the single build's ε no matter how many
-// queries follow, since queries are post-processing of the release. The
-// released tree JSON contains leaf regions and noisy counts only — it is
-// safe to publish under the chosen ε.
+// queries follow, since queries are post-processing of the release.
+//
+// -out writes the release in the library's versioned wire envelope
+// ({"privtree_release":1,...}), loadable with privtree.Decode; the default
+// stdout dump is a human-readable summary of the released leaves. Both
+// contain leaf regions and noisy counts only — safe to publish under the
+// chosen ε.
 package main
 
 import (
@@ -31,7 +35,6 @@ import (
 
 	"privtree"
 	"privtree/internal/dp"
-	"privtree/internal/geom"
 	"privtree/internal/synth"
 )
 
@@ -88,10 +91,21 @@ func main() {
 		singleQ = q
 	}
 
-	tree, err := privtree.BuildSpatial(dom, points, *eps, privtree.SpatialOptions{Seed: *seed})
+	// The build goes through the registry mechanism so the CLI exercises
+	// the same Mechanism → Release path as the server and library callers.
+	data, err := privtree.NewSpatialData(dom, points)
 	if err != nil {
 		fatal(err)
 	}
+	mech, err := privtree.NewSpatialMechanism(privtree.SpatialOptions{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	rel, err := mech.Run(data, *eps)
+	if err != nil {
+		fatal(err)
+	}
+	tree, _ := rel.Spatial()
 	fmt.Fprintf(os.Stderr, "built ε=%g private tree: %d nodes, height %d, n≈%.0f\n",
 		*eps, tree.Nodes(), tree.Height(), tree.Total())
 
@@ -106,22 +120,28 @@ func main() {
 		return
 	}
 
-	release := struct {
+	if *out != "" {
+		// The archival format is the versioned envelope: self-describing,
+		// records mechanism/ε/params, and loads through privtree.Decode.
+		enc, err := json.Marshal(rel)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	summary := struct {
 		Epsilon float64               `json:"epsilon"`
 		Total   float64               `json:"total"`
 		Leaves  []privtree.LeafRegion `json:"leaves"`
 	}{Epsilon: *eps, Total: tree.Total(), Leaves: tree.Leaves()}
-	enc, err := json.MarshalIndent(release, "", "  ")
+	enc, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	if *out == "" {
-		fmt.Println(string(enc))
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
-	}
+	fmt.Println(string(enc))
 }
 
 // answerBatch streams query rectangles from path ('-' = stdin) and prints
@@ -196,10 +216,7 @@ func parseRect(s string, d int) (privtree.Rect, error) {
 	if len(coords) != 2*d {
 		return privtree.Rect{}, fmt.Errorf("got %d comma-separated values, want %d (lo..., hi...)", len(coords), 2*d)
 	}
-	if err := geom.CheckBounds(coords[:d], coords[d:], false); err != nil {
-		return privtree.Rect{}, err
-	}
-	return privtree.Rect{Lo: coords[:d], Hi: coords[d:]}, nil
+	return privtree.MakeRect(coords[:d], coords[d:])
 }
 
 func parseFloats(s string) ([]float64, error) {

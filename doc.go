@@ -15,16 +15,46 @@
 // The noise scale is λ = (2β−1)/(β−1)·1/ε for fanout β, independent of how
 // deep the tree grows.
 //
-// # Entry points
+// # Entry points: Mechanism, Release, Session
 //
-//   - BuildSpatial: private spatial decomposition with noisy counts,
-//     answering range-count queries (Section 3 of the paper).
-//   - BuildSequenceModel: private prediction suffix tree over sequence
-//     data, for frequent-string mining and synthetic sequence generation
-//     (Section 4).
+// The paper frames every output — the spatial decomposition (Section 3),
+// the prediction suffix tree (Section 4), the hybrid-domain tree (Section
+// 3.5), and each Figure-5 baseline — as the same object: an ε-DP release
+// produced by a mechanism, composed sequentially and post-processed
+// freely. The API says exactly that, with three types:
 //
-// Baseline constructors (UG, AG, Hierarchy, Privelet*, DAWA, SimpleTree)
-// and the SVT analysis of Section 5 live in the same API for side-by-side
+//   - Mechanism: a named, parameter-validated DP build. Every mechanism
+//     registers into the Mechanisms() registry — "spatial", "sequence",
+//     "hybrid", and "baseline/ug" … "baseline/simpletree" — and is
+//     instantiated either by name from a wire-stable Params union
+//     (NewMechanism) or from typed options (NewSpatialMechanism,
+//     NewSequenceMechanism, NewHybridMechanism, NewBaselineMechanism).
+//   - Release: the uniform artifact a mechanism produces — kind, the ε it
+//     consumed, seed, a params fingerprint, and the payload. Spatial and
+//     baseline releases satisfy RangeCounter, sequence releases satisfy
+//     FrequencyEstimator; typed accessors (Spatial, Sequence, Hybrid)
+//     recover the concrete payloads.
+//   - Session: a ledger-backed release workflow. NewSession(budget) holds
+//     a dataset's total privacy budget; Session.Release(mech, data, eps)
+//     debits the ledger before the mechanism runs (sequential
+//     composition, Lemma 2.1), serves repeated identical requests from
+//     cache without a new debit (post-processing), refunds the debit when
+//     a build fails, and exposes the full audit trail via History.
+//
+// Private data enters through NewSpatialData, NewSequenceData, and
+// NewHybridData, which validate eagerly and never expose the raw
+// contents.
+//
+// The legacy one-call builders — BuildSpatial, BuildSequenceModel,
+// BuildHybrid, BuildBaseline — remain as thin wrappers over the registry
+// mechanisms for callers that do not need budget accounting.
+//
+// On the wire, every serializable release travels in one versioned,
+// self-describing envelope ({"privtree_release": 1, "kind": ..., ...});
+// Decode is the single entry point, and it still loads the legacy
+// per-type v0 documents through compat shims.
+//
+// The SVT analysis of Section 5 lives in the same module for side-by-side
 // comparison; the experiment runners that regenerate every figure and
 // table of the paper are exposed through cmd/privtree-bench.
 //
@@ -56,13 +86,13 @@
 // # Serving releases
 //
 // cmd/privtreed (package internal/server) runs the library as a
-// multi-tenant release server: datasets are registered with a total
-// privacy budget ε, and a concurrent-safe ledger enforces sequential
-// composition — every BuildSpatial/BuildSequenceModel release debits the
-// dataset's ledger before the mechanism runs, releases with parameters
-// already purchased are served from cache without a new debit (publishing
-// the same released bytes twice is post-processing), and over-budget
-// requests are rejected with a structured budget_exhausted error carrying
+// multi-tenant release server: a thin tenancy layer over the public API,
+// with one Session per registered dataset. Datasets are registered with a
+// total privacy budget ε; every release runs a registry mechanism through
+// the session, which debits the ledger before the mechanism runs, serves
+// already-purchased parameters from cache without a new debit (publishing
+// the same released bytes twice is post-processing), and rejects
+// over-budget requests with a structured budget_exhausted error carrying
 // the remaining ε. Batched range-count queries are answered from immutable
 // released trees on a goroutine pool via the allocation-free RangeCount
 // path; queries read only released artifacts and therefore consume no

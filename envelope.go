@@ -1,0 +1,193 @@
+package privtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// This file defines the versioned, self-describing wire envelope every
+// serializable release travels in:
+//
+//	{
+//	  "privtree_release": 1,
+//	  "kind": "spatial" | "sequence" | "hybrid",
+//	  "mechanism": "spatial",          // registry name, optional
+//	  "epsilon": 0.5,                  // budget the release consumed, optional
+//	  "params": { "seed": 7, ... },    // the Params the mechanism ran with
+//	  "payload": { ... }               // the kind-specific artifact document
+//	}
+//
+// Decode is the single entry point: it dispatches on "kind", and keeps
+// loading the legacy per-type v0 documents (a bare SpatialTree,
+// SequenceModel, or HybridTree JSON document with no envelope) through
+// compat shims, so artifacts archived before the envelope existed remain
+// readable. The payload documents themselves are unchanged — an envelope
+// wraps exactly the bytes the per-type (Un)MarshalJSON implementations
+// produce, so the ε-DP guarantee of the payload carries over verbatim.
+
+// EnvelopeVersion is the wire-envelope version this library writes.
+const EnvelopeVersion = 1
+
+// envelopeJSON is the wire form of a Release.
+type envelopeJSON struct {
+	Version   int             `json:"privtree_release"`
+	Kind      ReleaseKind     `json:"kind"`
+	Mechanism string          `json:"mechanism,omitempty"`
+	Epsilon   float64         `json:"epsilon,omitempty"`
+	Params    *Params         `json:"params,omitempty"`
+	Payload   json.RawMessage `json:"payload"`
+}
+
+// MarshalJSON implements json.Marshaler for Release: the versioned
+// envelope around the kind-specific payload document. Baseline releases
+// are in-memory query structures with no wire format and return an error.
+func (r *Release) MarshalJSON() ([]byte, error) {
+	var payload any
+	switch {
+	case r.spatial != nil:
+		payload = r.spatial
+	case r.model != nil:
+		payload = r.model
+	case r.hybrid != nil:
+		payload = r.hybrid
+	default:
+		return nil, fmt.Errorf("privtree: %s release has no wire format", r.kind)
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := r.params
+	return json.Marshal(envelopeJSON{
+		Version:   EnvelopeVersion,
+		Kind:      r.kind,
+		Mechanism: r.mechanism,
+		Epsilon:   r.epsilon,
+		Params:    &p,
+		Payload:   blob,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Release via Decode, so
+// envelopes (and legacy v0 documents) load with plain json.Unmarshal too.
+// The receiver is left untouched on failure.
+func (r *Release) UnmarshalJSON(data []byte) error {
+	dec, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	*r = *dec
+	return nil
+}
+
+// Decode loads a serialized release: either a versioned envelope (see
+// EnvelopeVersion) or one of the legacy v0 per-type documents, which are
+// recognized by their distinguishing keys — "alphabet"+"root" (sequence),
+// "fanout"+"root" (spatial), "numeric"/"taxonomies" (hybrid). The payload
+// is fully validated by the kind-specific decoder before a Release is
+// handed back.
+//
+// Releases decoded from v0 documents carry no mechanism name and ε = 0:
+// the legacy formats never recorded them.
+func Decode(data []byte) (*Release, error) {
+	// One parse serves both dispatch and the envelope fields; only the
+	// kind-specific payload document is parsed a second time, by its own
+	// hardened decoder.
+	var probe struct {
+		Envelope  *int            `json:"privtree_release"`
+		Kind      ReleaseKind     `json:"kind"`
+		Mechanism string          `json:"mechanism"`
+		Epsilon   float64         `json:"epsilon"`
+		Params    *Params         `json:"params"`
+		Payload   json.RawMessage `json:"payload"`
+
+		// Legacy v0 discriminator keys.
+		Alphabet   *int            `json:"alphabet"`
+		Fanout     *int            `json:"fanout"`
+		Numeric    json.RawMessage `json:"numeric"`
+		Taxonomies json.RawMessage `json:"taxonomies"`
+		Root       json.RawMessage `json:"root"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	if probe.Envelope != nil {
+		if *probe.Envelope != EnvelopeVersion {
+			return nil, fmt.Errorf("privtree: unsupported release envelope version %d", *probe.Envelope)
+		}
+		if len(probe.Payload) == 0 {
+			return nil, fmt.Errorf("privtree: release envelope has no payload")
+		}
+		// The provenance fields are validated like everything else on the
+		// wire: ε must be a plausible privacy cost (0 = not recorded), and
+		// a named mechanism must exist, produce this kind, and accept these
+		// params — a forged envelope must not smuggle provenance no
+		// mechanism could have produced.
+		if math.IsNaN(probe.Epsilon) || math.IsInf(probe.Epsilon, 0) || probe.Epsilon < 0 {
+			return nil, fmt.Errorf("privtree: release envelope has unusable epsilon %v", probe.Epsilon)
+		}
+		rel := &Release{kind: probe.Kind, mechanism: probe.Mechanism, epsilon: probe.Epsilon}
+		if probe.Params != nil {
+			rel.params = *probe.Params
+		}
+		if probe.Mechanism != "" {
+			spec, ok := mechanismRegistry[probe.Mechanism]
+			if !ok {
+				return nil, fmt.Errorf("privtree: release envelope names unknown mechanism %q", probe.Mechanism)
+			}
+			if spec.kind != probe.Kind {
+				return nil, fmt.Errorf("privtree: mechanism %q produces %s releases, envelope claims %s",
+					probe.Mechanism, spec.kind, probe.Kind)
+			}
+			if err := spec.validate(rel.params); err != nil {
+				return nil, fmt.Errorf("privtree: release envelope params: %w", err)
+			}
+		}
+		switch probe.Kind {
+		case KindSpatial:
+			var t SpatialTree
+			if err := json.Unmarshal(probe.Payload, &t); err != nil {
+				return nil, err
+			}
+			rel.spatial = &t
+		case KindSequence:
+			var m SequenceModel
+			if err := json.Unmarshal(probe.Payload, &m); err != nil {
+				return nil, err
+			}
+			rel.model = &m
+		case KindHybrid:
+			var t HybridTree
+			if err := json.Unmarshal(probe.Payload, &t); err != nil {
+				return nil, err
+			}
+			rel.hybrid = &t
+		default:
+			return nil, fmt.Errorf("privtree: release envelope carries unknown kind %q", probe.Kind)
+		}
+		return rel, nil
+	}
+	// Legacy v0 compat shims: a bare per-type document.
+	switch {
+	case probe.Alphabet != nil && probe.Root != nil:
+		var m SequenceModel
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, err
+		}
+		return &Release{kind: KindSequence, model: &m}, nil
+	case probe.Fanout != nil && probe.Root != nil:
+		var t SpatialTree
+		if err := json.Unmarshal(data, &t); err != nil {
+			return nil, err
+		}
+		return &Release{kind: KindSpatial, spatial: &t}, nil
+	case probe.Numeric != nil || probe.Taxonomies != nil:
+		var t HybridTree
+		if err := json.Unmarshal(data, &t); err != nil {
+			return nil, err
+		}
+		return &Release{kind: KindHybrid, hybrid: &t}, nil
+	}
+	return nil, fmt.Errorf("privtree: not a release document (no envelope and no recognizable v0 shape)")
+}

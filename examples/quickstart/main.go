@@ -23,13 +23,24 @@ func main() {
 		points = append(points, privtree.Point{rng.Float64(), rng.Float64()})
 	}
 
-	// One call: ε-differentially private tree with noisy counts (ε = 1).
-	tree, err := privtree.BuildSpatial(privtree.UnitCube(2), points, 1.0, privtree.SpatialOptions{Seed: 42})
+	// The mechanism → release pipeline: wrap the private data, bind the
+	// spatial mechanism's parameters, run it under ε = 1. (The one-call
+	// shorthand privtree.BuildSpatial does exactly this.)
+	data, err := privtree.NewSpatialData(privtree.UnitCube(2), points)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("private tree: %d nodes, height %d, total≈%.0f\n",
-		tree.Nodes(), tree.Height(), tree.Total())
+	mech, err := privtree.NewSpatialMechanism(privtree.SpatialOptions{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	release, err := mech.Run(data, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	tree, _ := release.Spatial()
+	fmt.Printf("private tree (mechanism %q, ε=%g): %d nodes, height %d, total≈%.0f\n",
+		release.Mechanism(), release.Epsilon(), tree.Nodes(), tree.Height(), tree.Total())
 
 	// Range-count queries: the dense area vs an empty corner.
 	queries := map[string]privtree.Rect{

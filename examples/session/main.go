@@ -1,0 +1,90 @@
+// Session: the budget-composition workflow in-process. A Session holds a
+// dataset's total privacy budget ε and every release debits it before the
+// mechanism runs (sequential composition, Lemma 2.1 of the paper): here
+// three releases — a PrivTree decomposition, a coarser re-parameterized
+// one, and a UG baseline for comparison — exhaust a ledger of ε = 1.0,
+// the fourth request is rejected with the structured budget error, a
+// repeated request is served from cache without a new debit, and the
+// audit trail shows where every unit of ε went.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"privtree"
+)
+
+func main() {
+	// One private dataset, wrapped once; the raw points never leave it.
+	rng := rand.New(rand.NewPCG(5, 6))
+	points := make([]privtree.Point, 50_000)
+	for i := range points {
+		points[i] = privtree.Point{rng.Float64(), rng.Float64() * rng.Float64()}
+	}
+	data, err := privtree.NewSpatialData(privtree.UnitCube(2), points)
+	if err != nil {
+		panic(err)
+	}
+
+	// Total privacy budget for everything ever derived from this data.
+	session, err := privtree.NewSession(1.0)
+	if err != nil {
+		panic(err)
+	}
+
+	// Three releases spend 0.5 + 0.3 + 0.2 = ε.
+	type request struct {
+		name string
+		mech *privtree.Mechanism
+		eps  float64
+	}
+	spatial, err := privtree.NewSpatialMechanism(privtree.SpatialOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	coarse, err := privtree.NewMechanism("spatial", privtree.Params{Seed: 7, Theta: 50})
+	if err != nil {
+		panic(err)
+	}
+	ug, err := privtree.NewBaselineMechanism(privtree.BaselineUG, 7)
+	if err != nil {
+		panic(err)
+	}
+	q := privtree.NewRect(privtree.Point{0.1, 0.0}, privtree.Point{0.6, 0.3})
+	for _, req := range []request{
+		{"privtree θ=0 ", spatial, 0.5},
+		{"privtree θ=50", coarse, 0.3},
+		{"baseline ug  ", ug, 0.2},
+	} {
+		rel, cached, err := session.Release(req.mech, data, req.eps)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s  ε=%.1f  cached=%-5v  count(q)≈%8.0f  remaining ε=%.2f\n",
+			req.name, req.eps, cached, rel.RangeCount(q), session.Remaining())
+	}
+
+	// The ledger is exhausted: the next release never runs.
+	if _, _, err := session.Release(spatial, data, 0.1); err != nil {
+		var be *privtree.BudgetError
+		if errors.As(err, &be) {
+			fmt.Printf("\n4th release rejected: requested ε=%g, remaining ε=%g of %g\n",
+				be.Requested, be.Remaining, be.Total)
+		}
+	}
+
+	// Re-requesting an already purchased release is post-processing: the
+	// cache serves it with no debit, even on an exhausted ledger.
+	rel, cached, err := session.Release(spatial, data, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("repeat request: cached=%v, fingerprint %q\n", cached, rel.Fingerprint())
+
+	fmt.Println("\naudit trail:")
+	for _, d := range session.History() {
+		fmt.Printf("  ε=%+.2f  %s\n", d.Epsilon, d.Note)
+	}
+}

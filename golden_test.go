@@ -1,0 +1,196 @@
+package privtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file compatibility gate: the files under testdata/ are serialized
+// artifacts checked in at the moment the versioned envelope was
+// introduced. Future changes to the decoders must keep loading them — a
+// released artifact archived by a user must never become unreadable.
+//
+// Regenerate (only when intentionally revving the wire format) with:
+//
+//	PRIVTREE_UPDATE_GOLDEN=1 go test -run TestGolden .
+
+// goldenReleases builds the deterministic releases the golden files were
+// generated from.
+func goldenReleases(t testing.TB) map[string]*Release {
+	t.Helper()
+	out := make(map[string]*Release)
+
+	data, err := NewSpatialData(UnitCube(2), makeClusteredPoints(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["spatial"], err = m.Run(data, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	seqData, err := NewSequenceData(6, makeClickstreams(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSequenceMechanism(SequenceOptions{MaxLength: 8, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["sequence"], err = sm.Run(seqData, 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	hData, err := NewHybridData(testHybridSchema(t), testHybridRecords(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := NewHybridMechanism(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["hybrid"], err = hm.Run(hData, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// payloadBytes marshals just the kind-specific payload document (the
+// legacy v0 wire format).
+func payloadBytes(t testing.TB, rel *Release) []byte {
+	t.Helper()
+	var payload any
+	switch rel.Kind() {
+	case KindSpatial:
+		payload, _ = rel.Spatial()
+	case KindSequence:
+		payload, _ = rel.Sequence()
+	case KindHybrid:
+		payload, _ = rel.Hybrid()
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestGoldenArtifactsUpToDate(t *testing.T) {
+	update := os.Getenv("PRIVTREE_UPDATE_GOLDEN") == "1"
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, rel := range goldenReleases(t) {
+		v0 := payloadBytes(t, rel)
+		envelope, err := json.Marshal(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for suffix, blob := range map[string][]byte{"_v0.json": v0, "_envelope.json": envelope} {
+			path := filepath.Join("testdata", name+suffix)
+			if update {
+				if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with PRIVTREE_UPDATE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(bytes.TrimSuffix(want, []byte("\n")), blob) {
+				t.Errorf("%s: serialization drifted from the checked-in golden bytes", path)
+			}
+		}
+	}
+}
+
+// TestGoldenV0DecodesViaEnvelopeEntryPoint is the compat contract of the
+// API redesign: privtree.Decode must load the checked-in v0 documents
+// bit-for-bit equal to the legacy per-type decoders.
+func TestGoldenV0DecodesViaEnvelopeEntryPoint(t *testing.T) {
+	cases := []struct {
+		file string
+		kind ReleaseKind
+	}{
+		{"spatial_v0.json", KindSpatial},
+		{"sequence_v0.json", KindSequence},
+		{"hybrid_v0.json", KindHybrid},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			blob, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("Decode rejected golden v0 artifact: %v", err)
+			}
+			if rel.Kind() != c.kind {
+				t.Fatalf("decoded kind %s, want %s", rel.Kind(), c.kind)
+			}
+			// Legacy decoder path.
+			var legacy []byte
+			switch c.kind {
+			case KindSpatial:
+				var tr SpatialTree
+				if err := json.Unmarshal(blob, &tr); err != nil {
+					t.Fatal(err)
+				}
+				legacy, err = json.Marshal(&tr)
+			case KindSequence:
+				var m SequenceModel
+				if err := json.Unmarshal(blob, &m); err != nil {
+					t.Fatal(err)
+				}
+				legacy, err = json.Marshal(&m)
+			case KindHybrid:
+				var h HybridTree
+				if err := json.Unmarshal(blob, &h); err != nil {
+					t.Fatal(err)
+				}
+				legacy, err = json.Marshal(&h)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bit-for-bit: the artifact Decode reconstructed serializes to
+			// exactly the bytes the legacy decoder's reconstruction does.
+			if got := payloadBytes(t, rel); !bytes.Equal(got, legacy) {
+				t.Fatal("Decode and the legacy decoder reconstruct different artifacts")
+			}
+		})
+	}
+}
+
+// TestGoldenEnvelopesDecode pins the envelope metadata of the checked-in
+// envelope files.
+func TestGoldenEnvelopesDecode(t *testing.T) {
+	for name, want := range map[string]ReleaseKind{
+		"spatial_envelope.json":  KindSpatial,
+		"sequence_envelope.json": KindSequence,
+		"hybrid_envelope.json":   KindHybrid,
+	} {
+		blob, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel.Kind() != want || rel.Seed() != 11 || rel.Epsilon() == 0 || rel.Mechanism() == "" {
+			t.Fatalf("%s: metadata wrong: kind=%s mech=%q eps=%v seed=%d",
+				name, rel.Kind(), rel.Mechanism(), rel.Epsilon(), rel.Seed())
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package privtree
 
 import (
+	"fmt"
+	"math"
+
 	"privtree/internal/dp"
 	"privtree/internal/hybrid"
 )
@@ -67,7 +70,26 @@ type HybridTree struct {
 // total budget eps (ε/2 structure, ε/2 leaf counts). Categorical values in
 // records refer to the corresponding taxonomy's leaf values; queries may
 // constrain any grouping level through value sets.
+//
+// BuildHybrid is a thin wrapper over the "hybrid" registry mechanism: it
+// is equivalent to NewHybridData + NewHybridMechanism + Run, without
+// budget accounting. Use Session.Release to run the mechanism against a
+// privacy-budget ledger.
 func BuildHybrid(schema *HybridSchema, records []HybridRecord, eps float64, seed uint64) (*HybridTree, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("privtree: nil hybrid schema")
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	// Record validation is left to hybrid.Build, which checks every record
+	// against the schema anyway — NewHybridData here would validate twice.
+	return buildHybridTree(schema, records, eps, seed)
+}
+
+// buildHybridTree is the hybrid mechanism implementation shared by the
+// registry and the BuildHybrid wrapper.
+func buildHybridTree(schema *HybridSchema, records []HybridRecord, eps float64, seed uint64) (*HybridTree, error) {
 	t, err := hybrid.Build(schema.inner, records, eps, dp.NewRand(seedOrDefault(seed)))
 	if err != nil {
 		return nil, err

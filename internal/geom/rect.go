@@ -34,6 +34,19 @@ func NewRect(lo, hi Point) Rect {
 	return Rect{Lo: lo, Hi: hi}
 }
 
+// MakeRect is the non-panicking counterpart of NewRect for rectangles
+// arriving from untrusted input (deserialized documents, HTTP bodies, CLI
+// strings): mismatched or empty bound slices, non-finite coordinates, and
+// inverted intervals are reported as errors. Empty intervals (lo == hi) are
+// accepted — query rectangles may be empty; domains additionally need
+// Validate.
+func MakeRect(lo, hi Point) (Rect, error) {
+	if err := CheckBounds(lo, hi, false); err != nil {
+		return Rect{}, err
+	}
+	return Rect{Lo: lo, Hi: hi}, nil
+}
+
 // UnitCube returns [0,1)^d.
 func UnitCube(d int) Rect {
 	lo := make(Point, d)

@@ -56,16 +56,19 @@ type TaxNode struct {
 	Children []*TaxNode
 }
 
-// NewTaxonomy validates and indexes a taxonomy: every leaf value must be
-// unique.
+// NewTaxonomy validates and indexes a taxonomy: every node value —
+// leaf or grouping — must be unique, because values are the identity
+// groups are referenced by (in queries, released nodes, and on the wire).
 func NewTaxonomy(label string, root *TaxNode) (*Taxonomy, error) {
 	t := &Taxonomy{Label: label, Root: root, leafHome: map[string]*TaxNode{}}
+	seen := map[string]bool{}
 	var walk func(n *TaxNode) error
 	walk = func(n *TaxNode) error {
+		if seen[n.Value] {
+			return fmt.Errorf("hybrid: duplicate category value %q", n.Value)
+		}
+		seen[n.Value] = true
 		if len(n.Children) == 0 {
-			if _, dup := t.leafHome[n.Value]; dup {
-				return fmt.Errorf("hybrid: duplicate category value %q", n.Value)
-			}
 			t.leafHome[n.Value] = n
 			return nil
 		}

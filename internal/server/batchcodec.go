@@ -402,10 +402,11 @@ func buildRects(sc *queryScratch, d int) error {
 		}
 		lo := sc.flat[a : a+d : a+d]
 		hi := sc.flat[a+d : b : b]
-		if err := geom.CheckBounds(lo, hi, false); err != nil {
+		r, err := geom.MakeRect(lo, hi)
+		if err != nil {
 			return fmt.Errorf("query %d: %w", i, err)
 		}
-		sc.rects[i] = geom.Rect{Lo: lo, Hi: hi}
+		sc.rects[i] = r
 	}
 	return nil
 }

@@ -10,72 +10,64 @@ import (
 	"time"
 
 	"privtree"
-	"privtree/internal/dp"
 	"privtree/internal/geom"
 )
 
-// Kind distinguishes the two release pipelines a dataset can feed.
-type Kind string
+// Kind distinguishes the release pipelines a dataset can feed. It is the
+// library's ReleaseKind: the server is a thin tenancy layer over the
+// public Mechanism/Release/Session API.
+type Kind = privtree.ReleaseKind
 
 const (
-	KindSpatial  Kind = "spatial"
-	KindSequence Kind = "sequence"
+	KindSpatial  = privtree.KindSpatial
+	KindSequence = privtree.KindSequence
 )
 
-// Dataset is one registered private dataset: the raw data (never exposed),
-// its privacy-budget ledger, and the cache of releases already paid for.
+// Dataset is one registered private dataset: the raw data (wrapped in a
+// privtree.Data, never exposed) and its privtree.Session, which owns the
+// privacy-budget ledger and the cache of releases already paid for.
 //
 // The zero-trust boundary runs through this struct: handlers may hand out
-// anything derived from `releases` (each entry was bought from the ledger)
-// but never the raw points or sequences.
+// anything derived from `releases` (each entry was bought from the
+// session's ledger) but never the raw points or sequences.
 type Dataset struct {
 	Name      string
 	Kind      Kind
 	CreatedAt time.Time
 
-	// Spatial payload (Kind == KindSpatial).
-	domain geom.Rect
-	points []privtree.Point
+	// data wraps the raw payload; session owns the ε ledger and dedup
+	// cache (debit-before-build, refund-on-failure, cache hits free).
+	data    *privtree.Data
+	session *privtree.Session
 
-	// Sequence payload (Kind == KindSequence).
-	alphabet int
-	seqs     []privtree.Sequence
+	// Ledger is the session's ε accountant, exposed for budget reporting.
+	Ledger *privtree.Ledger
 
-	// Ledger is the dataset's ε accountant; every release debits it.
-	Ledger *dp.Ledger
-
-	// mu guards the release cache; builds run OUTSIDE it so queries and
-	// metadata reads never stall behind a slow mechanism. pending marks
-	// cache keys whose build is in flight (the channel closes when the
-	// build finishes), so two identical concurrent requests cannot
-	// double-spend: the second waits and takes the cache hit.
+	// mu guards the release-ID bookkeeping. Builds and ledger traffic run
+	// in the session, outside this lock, so queries and metadata reads
+	// never stall behind a slow mechanism.
 	mu       sync.RWMutex
 	releases map[string]*Release
 	byKey    map[string]string
-	pending  map[string]chan struct{}
 	nextID   int
 }
 
 // N returns the dataset cardinality (points or sequences).
-func (d *Dataset) N() int {
-	if d.Kind == KindSpatial {
-		return len(d.points)
-	}
-	return len(d.seqs)
-}
+func (d *Dataset) N() int { return d.data.N() }
 
 // Dims returns the spatial dimensionality (0 for sequence datasets).
-func (d *Dataset) Dims() int {
-	if d.Kind == KindSpatial {
-		return d.domain.Dims()
-	}
-	return 0
-}
+func (d *Dataset) Dims() int { return d.data.Dims() }
 
-// ReleaseParams are the client-settable knobs of one release. Together with
-// the dataset they fully determine the released artifact (builds are pure
-// functions of data, params and seed), which is what makes the release
-// cache sound: a repeated request is the *same* release, not a new one.
+// alphabet returns the sequence alphabet size (0 for spatial datasets).
+func (d *Dataset) alphabet() int { return d.data.Alphabet() }
+
+// ReleaseParams are the client-settable knobs of one release: ε plus the
+// library's Params union. Together with the dataset they fully determine
+// the released artifact (builds are pure functions of data, params and
+// seed), which is what makes the release cache sound: a repeated request
+// is the *same* release, not a new one. Knobs that do not apply to the
+// dataset's mechanism are rejected — a silently ignored knob would spend
+// irreversible ε on the wrong artifact.
 type ReleaseParams struct {
 	// Epsilon is the privacy budget this release debits. Required.
 	Epsilon float64 `json:"epsilon"`
@@ -93,15 +85,24 @@ type ReleaseParams struct {
 	MaxLength int `json:"max_length,omitempty"`
 }
 
-// key is the release-cache key: every parameter that influences the
-// artifact, in a fixed order.
-func (p ReleaseParams) key() string {
-	return fmt.Sprintf("eps=%g seed=%d fanout=%d theta=%g frac=%g depth=%d leaves=%d maxlen=%d",
-		p.Epsilon, p.Seed, p.Fanout, p.Theta, p.TreeBudgetFraction, p.MaxDepth, p.AffectedLeaves, p.MaxLength)
+// mechanism instantiates the registry mechanism this dataset's releases
+// run: the full Params union is handed to the library, which validates the
+// applicable knobs and rejects non-zero inapplicable ones.
+func (p ReleaseParams) mechanism(kind Kind, workers int) (*privtree.Mechanism, error) {
+	return privtree.NewMechanism(string(kind), privtree.Params{
+		Seed:               p.Seed,
+		Fanout:             p.Fanout,
+		Theta:              p.Theta,
+		TreeBudgetFraction: p.TreeBudgetFraction,
+		MaxDepth:           p.MaxDepth,
+		AffectedLeaves:     p.AffectedLeaves,
+		MaxLength:          p.MaxLength,
+		Workers:            workers,
+	})
 }
 
-// Release is one purchased differentially private artifact. Tree/Model are
-// immutable after construction, so queries read them without locking.
+// Release is one purchased differentially private artifact. The payloads
+// are immutable after construction, so queries read them without locking.
 type Release struct {
 	ID        string        `json:"release_id"`
 	Kind      Kind          `json:"kind"`
@@ -115,116 +116,76 @@ type Release struct {
 	artifact json.RawMessage
 }
 
-// Artifact returns the release in the library's public wire format (the
-// same JSON shape serialize.go defines for SpatialTree / SequenceModel).
-// The bytes are marshaled once at build time — releases are immutable —
-// so repeated fetches cost a slice copy, not a tree walk.
+// Artifact returns the release in the library's versioned wire envelope
+// (the JSON shape privtree.Decode loads). The bytes are marshaled once at
+// build time — releases are immutable — so repeated fetches cost a slice
+// copy, not a tree walk.
 func (r *Release) Artifact() json.RawMessage { return r.artifact }
 
-// Release returns the cached release for p, or builds one: the ledger is
-// debited and the cache key claimed atomically, then the mechanism runs
-// outside the lock (concurrent queries and metadata reads proceed), and on
-// mechanism failure the debit is refunded (sound because nothing was
-// published). The boolean reports a cache hit, which never debits —
-// handing out the same artifact twice is post-processing of one release
-// and costs no extra privacy. A request arriving while an identical build
-// is in flight waits for it and takes the cache hit rather than
-// double-spending.
+// Release returns the cached release for p, or builds one through the
+// dataset's session: the session debits its ledger before the mechanism
+// runs, serves requests with parameters already purchased from cache
+// without a new debit (re-publishing released bytes is post-processing),
+// refunds the debit when the mechanism fails, and guarantees concurrent
+// identical requests debit exactly once. The boolean reports a cache hit.
 //
 // workers bounds the build parallelism (0 = GOMAXPROCS).
 func (d *Dataset) Release(p ReleaseParams, workers int) (*Release, bool, error) {
-	key := p.key()
-	note := "release " + key
-	var done chan struct{}
-	for {
-		d.mu.Lock()
-		if id, ok := d.byKey[key]; ok {
-			rel := d.releases[id]
-			d.mu.Unlock()
-			return rel, true, nil
-		}
-		if ch, ok := d.pending[key]; ok {
-			// An identical build is in flight: wait for it and re-check.
-			// (If it fails, the loop claims the key and tries afresh.)
-			d.mu.Unlock()
-			<-ch
-			continue
-		}
-		// Claim the key: debit inside the lock so the exhaustion check and
-		// the claim are one atomic step.
-		if err := d.Ledger.Spend(p.Epsilon, note); err != nil {
-			d.mu.Unlock()
-			return nil, false, err
-		}
-		done = make(chan struct{})
-		d.pending[key] = done
-		d.mu.Unlock()
-		break
-	}
-
-	rel, err := d.build(p, workers)
-	if err != nil {
-		// Refund before waking waiters, so a retrying waiter sees the
-		// credited ledger.
-		d.Ledger.Refund(p.Epsilon, note)
-	}
-	d.mu.Lock()
-	delete(d.pending, key)
-	if err == nil {
-		d.nextID++
-		rel.ID = fmt.Sprintf("r%d", d.nextID)
-		rel.Params = p
-		rel.Kind = d.Kind
-		rel.CreatedAt = time.Now()
-		d.releases[rel.ID] = rel
-		d.byKey[key] = rel.ID
-	}
-	d.mu.Unlock()
-	close(done)
+	m, err := p.mechanism(d.Kind, workers)
 	if err != nil {
 		return nil, false, err
 	}
-	return rel, false, nil
-}
-
-// build runs the mechanism for p against the raw data and marshals the
-// wire-format artifact once, so later fetches never re-walk the tree.
-func (d *Dataset) build(p ReleaseParams, workers int) (*Release, error) {
-	switch d.Kind {
-	case KindSpatial:
-		tree, err := privtree.BuildSpatial(d.domain, d.points, p.Epsilon, privtree.SpatialOptions{
-			Fanout:             p.Fanout,
-			Theta:              p.Theta,
-			TreeBudgetFraction: p.TreeBudgetFraction,
-			MaxDepth:           p.MaxDepth,
-			AffectedLeaves:     p.AffectedLeaves,
-			Seed:               p.Seed,
-			Workers:            workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		blob, err := json.Marshal(tree)
-		if err != nil {
-			return nil, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
-		}
-		return &Release{tree: tree, artifact: blob, Nodes: tree.Nodes(), Height: tree.Height()}, nil
-	case KindSequence:
-		model, err := privtree.BuildSequenceModel(d.alphabet, d.seqs, p.Epsilon, privtree.SequenceOptions{
-			MaxLength: p.MaxLength,
-			Seed:      p.Seed,
-			Workers:   workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		blob, err := json.Marshal(model)
-		if err != nil {
-			return nil, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
-		}
-		return &Release{model: model, artifact: blob, Nodes: model.Nodes()}, nil
+	rel, cached, err := d.session.Release(m, d.data, p.Epsilon)
+	if err != nil {
+		return nil, false, err
 	}
-	return nil, fmt.Errorf("%w: unknown dataset kind %q", errInternal, d.Kind)
+	key := rel.Fingerprint()
+
+	// The session's verdict is authoritative for the cached flag: under a
+	// concurrent identical request, the waiter that took the session cache
+	// hit may register the ID first, but the builder still debited.
+	d.mu.RLock()
+	if id, known := d.byKey[key]; known {
+		out := d.releases[id]
+		d.mu.RUnlock()
+		return out, cached, nil
+	}
+	d.mu.RUnlock()
+
+	// First sighting of this fingerprint: marshal the envelope outside the
+	// lock (it is a pure function of the immutable release), then register.
+	blob, err := json.Marshal(rel)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
+	}
+	out := &Release{
+		Kind:      d.Kind,
+		Params:    p,
+		CreatedAt: time.Now(),
+		artifact:  blob,
+	}
+	if t, ok := rel.Spatial(); ok {
+		out.tree = t
+		out.Nodes, out.Height = t.Nodes(), t.Height()
+	}
+	if mdl, ok := rel.Sequence(); ok {
+		out.model = mdl
+		out.Nodes = mdl.Nodes()
+	}
+
+	d.mu.Lock()
+	if id, raced := d.byKey[key]; raced {
+		// A concurrent identical request registered it first.
+		prev := d.releases[id]
+		d.mu.Unlock()
+		return prev, cached, nil
+	}
+	d.nextID++
+	out.ID = fmt.Sprintf("r%d", d.nextID)
+	d.releases[out.ID] = out
+	d.byKey[key] = out.ID
+	d.mu.Unlock()
+	return out, cached, nil
 }
 
 // GetRelease returns a release by id.
@@ -279,9 +240,10 @@ func NewRegistry() *Registry {
 	return &Registry{datasets: make(map[string]*Dataset)}
 }
 
-// newDataset initializes the bookkeeping shared by both kinds.
-func newDataset(name string, kind Kind, epsilon float64) (*Dataset, error) {
-	ledger, err := dp.NewLedger(epsilon)
+// newDataset initializes the bookkeeping shared by both kinds: a session
+// holding the total budget, wrapped around the validated data.
+func newDataset(name string, kind Kind, data *privtree.Data, epsilon float64) (*Dataset, error) {
+	session, err := privtree.NewSession(epsilon)
 	if err != nil {
 		return nil, err
 	}
@@ -289,10 +251,11 @@ func newDataset(name string, kind Kind, epsilon float64) (*Dataset, error) {
 		Name:      name,
 		Kind:      kind,
 		CreatedAt: time.Now(),
-		Ledger:    ledger,
+		data:      data,
+		session:   session,
+		Ledger:    session.Ledger(),
 		releases:  make(map[string]*Release),
 		byKey:     make(map[string]string),
-		pending:   make(map[string]chan struct{}),
 	}, nil
 }
 
@@ -300,44 +263,27 @@ func newDataset(name string, kind Kind, epsilon float64) (*Dataset, error) {
 // data is validated eagerly (domain shape, points inside the domain) so
 // that a later release can only fail on release parameters.
 func (r *Registry) AddSpatial(name string, domain geom.Rect, points []privtree.Point, epsilon float64) (*Dataset, error) {
-	if err := domain.Validate(); err != nil {
-		return nil, fmt.Errorf("server: invalid domain: %w", err)
+	data, err := privtree.NewSpatialData(domain, points)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	for i, p := range points {
-		if len(p) != domain.Dims() {
-			return nil, fmt.Errorf("server: point %d has dim %d, domain has dim %d", i, len(p), domain.Dims())
-		}
-		if !domain.Contains(p) {
-			return nil, fmt.Errorf("server: point %d outside domain", i)
-		}
-	}
-	d, err := newDataset(name, KindSpatial, epsilon)
+	d, err := newDataset(name, KindSpatial, data, epsilon)
 	if err != nil {
 		return nil, err
 	}
-	d.domain = domain
-	d.points = points
 	return d, r.insert(d)
 }
 
 // AddSequence registers a sequence dataset under a total privacy budget.
 func (r *Registry) AddSequence(name string, alphabet int, seqs []privtree.Sequence, epsilon float64) (*Dataset, error) {
-	if alphabet < 1 {
-		return nil, fmt.Errorf("server: alphabet size must be >= 1, got %d", alphabet)
+	data, err := privtree.NewSequenceData(alphabet, seqs)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	for i, s := range seqs {
-		for _, x := range s {
-			if x < 0 || x >= alphabet {
-				return nil, fmt.Errorf("server: sequence %d has symbol %d outside [0,%d)", i, x, alphabet)
-			}
-		}
-	}
-	d, err := newDataset(name, KindSequence, epsilon)
+	d, err := newDataset(name, KindSequence, data, epsilon)
 	if err != nil {
 		return nil, err
 	}
-	d.alphabet = alphabet
-	d.seqs = seqs
 	return d, r.insert(d)
 }
 

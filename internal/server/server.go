@@ -296,10 +296,17 @@ func (s *Server) register(req *registerRequest) (*Dataset, error) {
 	default:
 		var domain geom.Rect
 		if req.Domain != nil {
-			domain = geom.Rect{Lo: req.Domain.Lo, Hi: req.Domain.Hi}
-			if err := domain.Validate(); err != nil {
+			// MakeRect screens the untrusted bounds (arity, finiteness,
+			// inversion); Validate adds the domain-specific strictness
+			// (positive extent per axis).
+			r, err := geom.MakeRect(req.Domain.Lo, req.Domain.Hi)
+			if err != nil {
 				return nil, fmt.Errorf("server: invalid domain: %w", err)
 			}
+			if err := r.Validate(); err != nil {
+				return nil, fmt.Errorf("server: invalid domain: %w", err)
+			}
+			domain = r
 		}
 		var pts []privtree.Point
 		switch {
@@ -536,7 +543,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Message: "sequence release answers string queries, not rectangles"})
 			return
 		}
-		if err := checkSyms(sc, d.alphabet); err != nil {
+		if err := checkSyms(sc, d.alphabet()); err != nil {
 			writeErrorFrom(w, err)
 			return
 		}

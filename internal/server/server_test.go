@@ -197,8 +197,9 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	// 6. Fetching the artifact must yield the library wire format, parseable
-	// back into a SpatialTree that answers identically.
+	// 6. Fetching the artifact must yield the library's versioned wire
+	// envelope, loadable through privtree.Decode into a release that
+	// answers identically and records its provenance.
 	var artResp struct {
 		Artifact json.RawMessage `json:"artifact"`
 	}
@@ -206,9 +207,14 @@ func TestServerEndToEnd(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("get release returned %d", status)
 	}
-	var restored privtree.SpatialTree
-	if err := json.Unmarshal(artResp.Artifact, &restored); err != nil {
-		t.Fatalf("artifact is not the library wire format: %v", err)
+	restored, err := privtree.Decode(artResp.Artifact)
+	if err != nil {
+		t.Fatalf("artifact is not the library wire envelope: %v", err)
+	}
+	if restored.Kind() != privtree.KindSpatial || restored.Mechanism() != "spatial" ||
+		restored.Epsilon() != 0.4 || restored.Seed() != 1 {
+		t.Fatalf("envelope lost release provenance: kind=%s mech=%s eps=%v seed=%d",
+			restored.Kind(), restored.Mechanism(), restored.Epsilon(), restored.Seed())
 	}
 	q0 := privtree.NewRect(privtree.Point{queries[0][0], queries[0][1]}, privtree.Point{queries[0][2], queries[0][3]})
 	if got, want := restored.RangeCount(q0), qresp.Counts[0]; got != want {

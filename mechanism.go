@@ -1,0 +1,416 @@
+package privtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"privtree/internal/dataset"
+)
+
+// Params carries every client-settable knob of every registered mechanism
+// in one wire-stable struct: the union of the typed option sets
+// (SpatialOptions, SequenceOptions, the hybrid and baseline seeds). Each
+// mechanism validates the fields that apply to it at construction time and
+// rejects non-zero values for fields that do not — a knob silently ignored
+// would let a caller spend irreversible ε on the wrong artifact.
+//
+// Params (minus Workers) is the release fingerprint input: two requests
+// with equal Params, mechanism, and ε denote the same release.
+type Params struct {
+	// Seed fixes the mechanism's randomness; 0 picks the library default.
+	// Applies to every mechanism.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Spatial knobs (see SpatialOptions).
+	Fanout             int     `json:"fanout,omitempty"`
+	Theta              float64 `json:"theta,omitempty"`
+	TreeBudgetFraction float64 `json:"tree_budget_fraction,omitempty"`
+	MaxDepth           int     `json:"max_depth,omitempty"`
+	AffectedLeaves     int     `json:"affected_leaves,omitempty"`
+
+	// Sequence knobs (see SequenceOptions).
+	MaxLength int `json:"max_length,omitempty"`
+
+	// Workers bounds build parallelism (0 = GOMAXPROCS, 1 = serial). It is
+	// an execution detail, not a release parameter: the released artifact
+	// is identical at every setting, so Workers is excluded from the
+	// fingerprint and from the wire envelope.
+	Workers int `json:"-"`
+}
+
+// fingerprint renders every artifact-determining field in a fixed order.
+func (p Params) fingerprint() string {
+	return fmt.Sprintf("seed=%d fanout=%d theta=%g frac=%g depth=%d leaves=%d maxlen=%d",
+		p.Seed, p.Fanout, p.Theta, p.TreeBudgetFraction, p.MaxDepth, p.AffectedLeaves, p.MaxLength)
+}
+
+// dataID hands every Data a process-unique identity for session cache keys.
+var dataID atomic.Uint64
+
+// Data is a private dataset a mechanism consumes, created by one of
+// NewSpatialData, NewSequenceData, or NewHybridData. The constructors
+// validate eagerly (domain shape, points inside the domain, symbols inside
+// the alphabet, records against the schema) so that a later release can
+// only fail on release parameters. The raw contents are never exposed:
+// only Releases built from the data are.
+//
+// The constructors retain the caller's slices by reference; the caller
+// must not mutate them afterwards — the eager-validation contract and the
+// Session cache (which keys on the Data's identity, not its contents)
+// both assume the data is frozen at construction.
+type Data struct {
+	kind ReleaseKind
+	id   uint64
+
+	spatial *dataset.Spatial // KindSpatial
+
+	alphabet int        // KindSequence
+	seqs     []Sequence // KindSequence
+
+	schema  *HybridSchema  // KindHybrid
+	records []HybridRecord // KindHybrid
+}
+
+// NewSpatialData wraps a point set over domain for the spatial and
+// baseline mechanisms. Every point must lie inside domain.
+func NewSpatialData(domain Rect, points []Point) (*Data, error) {
+	if err := domain.Validate(); err != nil {
+		return nil, fmt.Errorf("privtree: invalid domain: %w", err)
+	}
+	ds, err := dataset.NewSpatial(domain, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Data{kind: KindSpatial, id: dataID.Add(1), spatial: ds}, nil
+}
+
+// validateSequenceSymbols is NewSequenceData's eager data validation.
+// (BuildSequenceModel skips it on purpose: corpus ingestion checks every
+// symbol while copying, so a pre-pass there would scan the data twice.)
+func validateSequenceSymbols(alphabet int, seqs []Sequence) error {
+	if alphabet < 1 {
+		return fmt.Errorf("privtree: alphabet size must be >= 1, got %d", alphabet)
+	}
+	for i, s := range seqs {
+		for _, x := range s {
+			if x < 0 || x >= alphabet {
+				return fmt.Errorf("privtree: sequence %d has symbol %d outside [0,%d)", i, x, alphabet)
+			}
+		}
+	}
+	return nil
+}
+
+// NewSequenceData wraps behavioural sequences over a symbol alphabet
+// [0, alphabet) for the sequence mechanism.
+func NewSequenceData(alphabet int, seqs []Sequence) (*Data, error) {
+	if err := validateSequenceSymbols(alphabet, seqs); err != nil {
+		return nil, err
+	}
+	return &Data{kind: KindSequence, id: dataID.Add(1), alphabet: alphabet, seqs: seqs}, nil
+}
+
+// NewHybridData wraps mixed numeric/categorical records against a schema
+// for the hybrid mechanism.
+func NewHybridData(schema *HybridSchema, records []HybridRecord) (*Data, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("privtree: nil hybrid schema")
+	}
+	for i, r := range records {
+		if err := schema.inner.Validate(r); err != nil {
+			return nil, fmt.Errorf("privtree: record %d: %w", i, err)
+		}
+	}
+	return &Data{kind: KindHybrid, id: dataID.Add(1), schema: schema, records: records}, nil
+}
+
+// Kind returns the data family: KindSpatial data feeds the spatial and all
+// baseline mechanisms, KindSequence the sequence mechanism, KindHybrid the
+// hybrid mechanism.
+func (d *Data) Kind() ReleaseKind { return d.kind }
+
+// N returns the dataset cardinality (points, sequences, or records).
+func (d *Data) N() int {
+	switch d.kind {
+	case KindSpatial:
+		return d.spatial.N()
+	case KindSequence:
+		return len(d.seqs)
+	default:
+		return len(d.records)
+	}
+}
+
+// Dims returns the spatial dimensionality (0 for non-spatial data).
+func (d *Data) Dims() int {
+	if d.kind == KindSpatial {
+		return d.spatial.Dims()
+	}
+	return 0
+}
+
+// Alphabet returns the symbol alphabet size (0 for non-sequence data).
+func (d *Data) Alphabet() int { return d.alphabet }
+
+// mechanismSpec is one registry entry: the named family, the data kind it
+// consumes, its data-independent parameter validation, and its build.
+type mechanismSpec struct {
+	name     string
+	kind     ReleaseKind
+	dataKind ReleaseKind
+	validate func(p Params) error
+	build    func(data *Data, eps float64, p Params) (*Release, error)
+}
+
+// mechanismRegistry maps name → spec. It is assembled once at package
+// initialization and read-only afterwards, so lookups need no lock.
+var mechanismRegistry = buildMechanismRegistry()
+
+// Mechanisms returns the names of every registered mechanism, sorted:
+// the PrivTree builds ("spatial", "sequence", "hybrid") and the paper's
+// Figure-5 baseline lineup ("baseline/ug", "baseline/ag", ...).
+func Mechanisms() []string {
+	out := make([]string, 0, len(mechanismRegistry))
+	for name := range mechanismRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mechanism is a named ε-DP build with its parameters bound and validated:
+// running it on Data produces a Release. Obtain one from the typed
+// constructors (NewSpatialMechanism, NewSequenceMechanism,
+// NewHybridMechanism, NewBaselineMechanism) or by registry name via
+// NewMechanism. A Mechanism is immutable and safe for concurrent use.
+type Mechanism struct {
+	spec   *mechanismSpec
+	params Params
+}
+
+// NewMechanism instantiates a registered mechanism by name from wire
+// parameters. The parameters are validated for the named mechanism:
+// invalid values and non-zero values for knobs the mechanism does not have
+// are both rejected.
+func NewMechanism(name string, p Params) (*Mechanism, error) {
+	spec, ok := mechanismRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("privtree: unknown mechanism %q (have %v)", name, Mechanisms())
+	}
+	if err := spec.validate(p); err != nil {
+		return nil, fmt.Errorf("privtree: mechanism %s: %w", name, err)
+	}
+	return &Mechanism{spec: spec, params: p}, nil
+}
+
+// NewSpatialMechanism instantiates the Section 3 spatial PrivTree build
+// from its typed options.
+func NewSpatialMechanism(opts SpatialOptions) (*Mechanism, error) {
+	return NewMechanism("spatial", Params{
+		Seed:               opts.Seed,
+		Fanout:             opts.Fanout,
+		Theta:              opts.Theta,
+		TreeBudgetFraction: opts.TreeBudgetFraction,
+		MaxDepth:           opts.MaxDepth,
+		AffectedLeaves:     opts.AffectedLeaves,
+		Workers:            opts.Workers,
+	})
+}
+
+// NewSequenceMechanism instantiates the Section 4 prediction-suffix-tree
+// build from its typed options.
+func NewSequenceMechanism(opts SequenceOptions) (*Mechanism, error) {
+	return NewMechanism("sequence", Params{
+		Seed:      opts.Seed,
+		MaxLength: opts.MaxLength,
+		Workers:   opts.Workers,
+	})
+}
+
+// NewHybridMechanism instantiates the Section 3.5 mixed-domain build.
+func NewHybridMechanism(seed uint64) (*Mechanism, error) {
+	return NewMechanism("hybrid", Params{Seed: seed})
+}
+
+// NewBaselineMechanism instantiates one of the paper's comparison methods.
+func NewBaselineMechanism(b Baseline, seed uint64) (*Mechanism, error) {
+	return NewMechanism("baseline/"+string(b), Params{Seed: seed})
+}
+
+// Name returns the registry name.
+func (m *Mechanism) Name() string { return m.spec.name }
+
+// Kind returns the release kind the mechanism produces.
+func (m *Mechanism) Kind() ReleaseKind { return m.spec.kind }
+
+// Params returns the bound parameters.
+func (m *Mechanism) Params() Params { return m.params }
+
+// precheck validates the data/budget pairing without running the build.
+func (m *Mechanism) precheck(data *Data, eps float64) error {
+	if data == nil {
+		return fmt.Errorf("privtree: mechanism %s: nil data", m.spec.name)
+	}
+	if data.kind != m.spec.dataKind {
+		return fmt.Errorf("privtree: mechanism %s consumes %s data, got %s", m.spec.name, m.spec.dataKind, data.kind)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	return nil
+}
+
+// Run builds the release on data under total budget eps. Run does no
+// budget accounting — it is the raw mechanism; use Session.Release to run
+// mechanisms against a ledger.
+func (m *Mechanism) Run(data *Data, eps float64) (*Release, error) {
+	if err := m.precheck(data, eps); err != nil {
+		return nil, err
+	}
+	rel, err := m.spec.build(data, eps, m.params)
+	if err != nil {
+		return nil, err
+	}
+	rel.kind = m.spec.kind
+	rel.mechanism = m.spec.name
+	rel.epsilon = eps
+	rel.params = m.params
+	rel.params.Workers = 0 // execution detail, not part of the release identity
+	return rel, nil
+}
+
+// requireZero rejects a non-zero knob that the mechanism does not have.
+func requireZero(mech, knob string, nonZero bool) error {
+	if nonZero {
+		return fmt.Errorf("%s mechanism has no %s parameter (must be zero)", mech, knob)
+	}
+	return nil
+}
+
+// validateSpatialParams is the data-independent half of the spatial
+// parameter validation; fanout realizability (≤ 2^d) is checked at build
+// time, where the dimensionality is known.
+func validateSpatialParams(p Params) error {
+	if p.Fanout != 0 && p.Fanout < 2 {
+		return fmt.Errorf("fanout must be >= 2, got %d", p.Fanout)
+	}
+	if math.IsNaN(p.Theta) || math.IsInf(p.Theta, 0) {
+		return fmt.Errorf("theta must be finite, got %v", p.Theta)
+	}
+	if p.TreeBudgetFraction != 0 && !(p.TreeBudgetFraction > 0 && p.TreeBudgetFraction < 1) {
+		return fmt.Errorf("TreeBudgetFraction must be in (0,1), got %v", p.TreeBudgetFraction)
+	}
+	if p.MaxDepth < 0 {
+		return fmt.Errorf("MaxDepth must be >= 0, got %d", p.MaxDepth)
+	}
+	if p.AffectedLeaves < 0 {
+		return fmt.Errorf("AffectedLeaves must be >= 0, got %d", p.AffectedLeaves)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("Workers must be >= 0, got %d", p.Workers)
+	}
+	return requireZero("spatial", "max_length", p.MaxLength != 0)
+}
+
+// requireZeroSpatialKnobs rejects non-zero spatial-only knobs for
+// mechanisms that do not have them.
+func requireZeroSpatialKnobs(mech string, p Params) error {
+	if err := requireZero(mech, "fanout", p.Fanout != 0); err != nil {
+		return err
+	}
+	if err := requireZero(mech, "theta", p.Theta != 0); err != nil {
+		return err
+	}
+	if err := requireZero(mech, "tree_budget_fraction", p.TreeBudgetFraction != 0); err != nil {
+		return err
+	}
+	if err := requireZero(mech, "max_depth", p.MaxDepth != 0); err != nil {
+		return err
+	}
+	return requireZero(mech, "affected_leaves", p.AffectedLeaves != 0)
+}
+
+func validateSequenceParams(p Params) error {
+	if p.MaxLength < 0 {
+		return fmt.Errorf("MaxLength must be >= 0, got %d", p.MaxLength)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("Workers must be >= 0, got %d", p.Workers)
+	}
+	return requireZeroSpatialKnobs("sequence", p)
+}
+
+// validateSeedOnlyParams covers the hybrid and baseline mechanisms, whose
+// only release parameter is the seed.
+func validateSeedOnlyParams(mech string) func(Params) error {
+	return func(p Params) error {
+		if p.Workers < 0 {
+			return fmt.Errorf("Workers must be >= 0, got %d", p.Workers)
+		}
+		if err := requireZeroSpatialKnobs(mech, p); err != nil {
+			return err
+		}
+		return requireZero(mech, "max_length", p.MaxLength != 0)
+	}
+}
+
+// buildMechanismRegistry assembles the full mechanism lineup: the paper's
+// three PrivTree pipelines plus every Figure-5 baseline.
+func buildMechanismRegistry() map[string]*mechanismSpec {
+	specs := []*mechanismSpec{
+		{
+			name: "spatial", kind: KindSpatial, dataKind: KindSpatial,
+			validate: validateSpatialParams,
+			build: func(data *Data, eps float64, p Params) (*Release, error) {
+				t, err := buildSpatialTree(data.spatial, eps, p)
+				if err != nil {
+					return nil, err
+				}
+				return &Release{spatial: t}, nil
+			},
+		},
+		{
+			name: "sequence", kind: KindSequence, dataKind: KindSequence,
+			validate: validateSequenceParams,
+			build: func(data *Data, eps float64, p Params) (*Release, error) {
+				m, err := buildSequenceModel(data.alphabet, data.seqs, eps, p)
+				if err != nil {
+					return nil, err
+				}
+				return &Release{model: m}, nil
+			},
+		},
+		{
+			name: "hybrid", kind: KindHybrid, dataKind: KindHybrid,
+			validate: validateSeedOnlyParams("hybrid"),
+			build: func(data *Data, eps float64, p Params) (*Release, error) {
+				t, err := buildHybridTree(data.schema, data.records, eps, p.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Release{hybrid: t}, nil
+			},
+		},
+	}
+	for _, b := range []Baseline{BaselineUG, BaselineAG, BaselineHierarchy, BaselinePrivelet, BaselineDAWA, BaselineSimpleTree} {
+		b := b
+		specs = append(specs, &mechanismSpec{
+			name: "baseline/" + string(b), kind: KindBaseline, dataKind: KindSpatial,
+			validate: validateSeedOnlyParams("baseline/" + string(b)),
+			build: func(data *Data, eps float64, p Params) (*Release, error) {
+				c, err := buildBaseline(b, data.spatial, eps, p.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Release{counter: c}, nil
+			},
+		})
+	}
+	out := make(map[string]*mechanismSpec, len(specs))
+	for _, s := range specs {
+		out[s.name] = s
+	}
+	return out
+}

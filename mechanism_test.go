@@ -1,0 +1,379 @@
+package privtree
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The tentpole contract: every mechanism — spatial, sequence, hybrid, and
+// all six Figure-5 baselines — is constructible by registry name and
+// runnable through the ledger-backed Session path.
+
+func testHybridSchema(t testing.TB) *HybridSchema {
+	t.Helper()
+	schema, err := NewHybridSchema(
+		[]NumericAttr{{Label: "age", Lo: 0, Hi: 100}},
+		map[string]*CategoryNode{
+			"job": {Value: "any", Children: []*CategoryNode{
+				{Value: "tech", Children: []*CategoryNode{{Value: "eng"}, {Value: "sci"}}},
+				{Value: "care", Children: []*CategoryNode{{Value: "nurse"}, {Value: "doctor"}}},
+			}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func testHybridRecords(n int) []HybridRecord {
+	jobs := []string{"eng", "sci", "nurse", "doctor"}
+	out := make([]HybridRecord, n)
+	for i := range out {
+		out[i] = HybridRecord{Nums: []float64{float64(i % 100)}, Cats: []string{jobs[i%len(jobs)]}}
+	}
+	return out
+}
+
+func TestMechanismRegistryComplete(t *testing.T) {
+	want := []string{
+		"baseline/ag", "baseline/dawa", "baseline/hierarchy", "baseline/privelet",
+		"baseline/simpletree", "baseline/ug", "hybrid", "sequence", "spatial",
+	}
+	if got := Mechanisms(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Mechanisms() = %v, want %v", got, want)
+	}
+}
+
+func TestEveryMechanismViaRegistryAndSession(t *testing.T) {
+	spatialData, err := NewSpatialData(UnitCube(2), makeClusteredPoints(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqData, err := NewSequenceData(6, makeClickstreams(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybridData, err := NewHybridData(testHybridSchema(t), testHybridRecords(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFor := map[ReleaseKind]*Data{
+		KindSpatial:  spatialData,
+		KindSequence: seqData,
+		KindHybrid:   hybridData,
+	}
+
+	names := Mechanisms()
+	session, err := NewSession(float64(len(names)) * 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewRect(Point{0.1, 0.1}, Point{0.6, 0.9})
+	for _, name := range names {
+		p := Params{Seed: 11}
+		if name == "sequence" {
+			p.MaxLength = 10
+		}
+		m, err := NewMechanism(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data := dataFor[KindSpatial]
+		if name == "sequence" || name == "hybrid" {
+			data = dataFor[m.Kind()]
+		}
+		rel, cached, err := session.Release(m, data, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cached {
+			t.Fatalf("%s: fresh release reported as cached", name)
+		}
+		if rel.Mechanism() != name || rel.Epsilon() != 0.5 || rel.Seed() != 11 {
+			t.Fatalf("%s: release metadata wrong: mech=%s eps=%v seed=%d", name, rel.Mechanism(), rel.Epsilon(), rel.Seed())
+		}
+		switch m.Kind() {
+		case KindSpatial, KindBaseline:
+			c, ok := rel.RangeCounter()
+			if !ok {
+				t.Fatalf("%s: release is not a RangeCounter", name)
+			}
+			if v := c.RangeCount(q); math.IsNaN(v) {
+				t.Fatalf("%s: RangeCount answered NaN", name)
+			}
+			if v := rel.RangeCount(q); math.IsNaN(v) {
+				t.Fatalf("%s: Release.RangeCount answered NaN", name)
+			}
+			if !math.IsNaN(rel.EstimateFrequency(Sequence{0})) {
+				t.Fatalf("%s: EstimateFrequency should be NaN for non-sequence releases", name)
+			}
+		case KindSequence:
+			mdl, ok := rel.Sequence()
+			if !ok || mdl.Nodes() == 0 {
+				t.Fatalf("%s: sequence payload missing", name)
+			}
+			if math.IsNaN(rel.EstimateFrequency(Sequence{0})) {
+				t.Fatalf("%s: EstimateFrequency answered NaN", name)
+			}
+			if !math.IsNaN(rel.RangeCount(q)) {
+				t.Fatalf("%s: RangeCount should be NaN for sequence releases", name)
+			}
+		case KindHybrid:
+			h, ok := rel.Hybrid()
+			if !ok || h.Total() == 0 {
+				t.Fatalf("%s: hybrid payload missing", name)
+			}
+		}
+	}
+	if spent := session.Spent(); math.Abs(spent-float64(len(names))*0.5) > 1e-9 {
+		t.Fatalf("session spent %v after %d releases of 0.5", spent, len(names))
+	}
+	if len(session.Releases()) != len(names) {
+		t.Fatalf("session holds %d releases, want %d", len(session.Releases()), len(names))
+	}
+}
+
+func TestSessionDedupRefundAndExhaustion(t *testing.T) {
+	data, err := NewSpatialData(UnitCube(2), makeClusteredPoints(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, cached, err := session.Release(m, data, 0.4)
+	if err != nil || cached {
+		t.Fatalf("first release: cached=%v err=%v", cached, err)
+	}
+	// Identical request: cache hit, same object, no new debit.
+	again, cached, err := session.Release(m, data, 0.4)
+	if err != nil || !cached || again != first {
+		t.Fatalf("identical request not deduped: cached=%v same=%v err=%v", cached, again == first, err)
+	}
+	if spent := session.Spent(); spent != 0.4 {
+		t.Fatalf("spent %v after dedup, want 0.4", spent)
+	}
+	// Different seed: a new release, a new debit.
+	m2, err := NewSpatialMechanism(SpatialOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, err = session.Release(m2, data, 0.4); err != nil || cached {
+		t.Fatalf("different-seed release: cached=%v err=%v", cached, err)
+	}
+	if spent := session.Spent(); spent != 0.8 {
+		t.Fatalf("spent %v, want 0.8", spent)
+	}
+
+	// A failing build refunds its debit: fanout 3 passes static validation
+	// (it is dimension-dependent) and fails inside the mechanism.
+	bad, err := NewMechanism("spatial", Params{Seed: 1, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := session.Release(bad, data, 0.2); err == nil {
+		t.Fatal("unrealizable fanout accepted")
+	}
+	if spent := session.Spent(); spent != 0.8 {
+		t.Fatalf("failed build leaked budget: spent %v, want 0.8", spent)
+	}
+
+	// Exhaustion: the remaining 0.2 cannot cover 0.5, and the rejection is
+	// the structured *BudgetError.
+	m3, err := NewSpatialMechanism(SpatialOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = session.Release(m3, data, 0.5)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget release: got %v, want *BudgetError", err)
+	}
+	if be.Requested != 0.5 || be.Total != 1.0 || math.Abs(be.Remaining-0.2) > 1e-9 {
+		t.Fatalf("budget arithmetic wrong: %+v", be)
+	}
+
+	// The audit trail records every debit, including the refund as a
+	// negative entry.
+	hist := session.History()
+	if len(hist) != 4 {
+		t.Fatalf("audit trail has %d entries, want 4 (3 spends + 1 refund): %+v", len(hist), hist)
+	}
+	if hist[3].Epsilon != -0.2 {
+		t.Fatalf("refund not recorded as negative debit: %+v", hist[3])
+	}
+}
+
+func TestSessionConcurrentIdenticalRequestsDebitOnce(t *testing.T) {
+	data, err := NewSpatialData(UnitCube(2), makeClusteredPoints(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := session.Release(m, data, 0.25)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if spent := session.Spent(); spent != 0.25 {
+		t.Fatalf("spent %v after %d identical requests, want one debit of 0.25", spent, goroutines)
+	}
+	if n := len(session.Releases()); n != 1 {
+		t.Fatalf("%d releases cached, want 1", n)
+	}
+}
+
+func TestSessionRejectsStaticErrorsWithoutDebit(t *testing.T) {
+	seqData, err := NewSequenceData(4, []Sequence{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong data kind and bad ε are rejected before any ledger traffic.
+	if _, _, err := session.Release(m, seqData, 0.5); err == nil {
+		t.Fatal("spatial mechanism accepted sequence data")
+	}
+	spatialData, err := NewSpatialData(UnitCube(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, _, err := session.Release(m, spatialData, eps); err == nil {
+			t.Fatalf("epsilon %v accepted", eps)
+		}
+	}
+	if _, _, err := session.Release(nil, spatialData, 0.5); err == nil {
+		t.Fatal("nil mechanism accepted")
+	}
+	if len(session.History()) != 0 {
+		t.Fatalf("static failures reached the ledger: %+v", session.History())
+	}
+}
+
+func TestMechanismRejectsInapplicableParams(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"spatial", Params{MaxLength: 5}},
+		{"sequence", Params{Fanout: 4}},
+		{"sequence", Params{Theta: 1}},
+		{"sequence", Params{AffectedLeaves: 2}},
+		{"hybrid", Params{MaxDepth: 3}},
+		{"hybrid", Params{MaxLength: 3}},
+		{"baseline/ug", Params{TreeBudgetFraction: 0.5}},
+		{"baseline/simpletree", Params{Fanout: 4}},
+	}
+	for _, c := range cases {
+		if _, err := NewMechanism(c.name, c.p); err == nil {
+			t.Errorf("%s accepted inapplicable params %+v", c.name, c.p)
+		}
+	}
+	if _, err := NewMechanism("nope", Params{}); err == nil {
+		t.Error("unknown mechanism name accepted")
+	}
+	// Invalid applicable values are rejected at construction too.
+	if _, err := NewMechanism("spatial", Params{Fanout: 1}); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := NewMechanism("spatial", Params{Theta: math.NaN()}); err == nil {
+		t.Error("NaN theta accepted")
+	}
+	if _, err := NewMechanism("sequence", Params{MaxLength: -1}); err == nil {
+		t.Error("negative max length accepted")
+	}
+	if _, err := NewMechanism("spatial", Params{Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+// TestBuildWrappersDelegateToRegistry pins the back-compat contract: the
+// legacy Build* entry points and the registry + Run path release identical
+// artifacts for the same seed.
+func TestBuildWrappersDelegateToRegistry(t *testing.T) {
+	pts := makeClusteredPoints(5000)
+	legacy, err := BuildSpatial(UnitCube(2), pts, 1.0, SpatialOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewSpatialData(UnitCube(2), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := m.Run(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRegistry, _ := rel.Spatial()
+	if legacy.Nodes() != viaRegistry.Nodes() || legacy.Total() != viaRegistry.Total() {
+		t.Fatalf("wrapper and registry diverged: %d/%d nodes, %v/%v total",
+			legacy.Nodes(), viaRegistry.Nodes(), legacy.Total(), viaRegistry.Total())
+	}
+
+	seqs := makeClickstreams(5000)
+	legacyM, err := BuildSequenceModel(6, seqs, 1.0, SequenceOptions{MaxLength: 12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqData, err := NewSequenceData(6, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSequenceMechanism(SequenceOptions{MaxLength: 12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRel, err := sm.Run(seqData, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaReg, _ := seqRel.Sequence()
+	if legacyM.Nodes() != viaReg.Nodes() {
+		t.Fatalf("sequence wrapper and registry diverged: %d vs %d nodes", legacyM.Nodes(), viaReg.Nodes())
+	}
+	for _, s := range []Sequence{{0}, {1, 2}, {3, 4, 5}} {
+		if a, b := legacyM.EstimateFrequency(s), viaReg.EstimateFrequency(s); a != b {
+			t.Fatalf("estimate(%v): %v vs %v", s, a, b)
+		}
+	}
+}

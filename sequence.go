@@ -51,25 +51,39 @@ type FrequentString struct {
 // allocations regardless of count), truncation is an in-place header
 // update, and the PST is built as a flat arena — see README.md for the
 // measured costs.
+//
+// BuildSequenceModel is a thin wrapper over the "sequence" registry
+// mechanism: it runs the same validation and build implementation as
+// NewSequenceData + NewSequenceMechanism + Run, skipping only the
+// Data/Release boxing so the build stays allocation-lean. Use
+// Session.Release to run the mechanism against a privacy-budget ledger.
 func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts SequenceOptions) (*SequenceModel, error) {
 	if alphabet < 1 {
-		return nil, fmt.Errorf("privtree: alphabet size must be >= 1")
+		return nil, fmt.Errorf("privtree: alphabet size must be >= 1, got %d", alphabet)
 	}
+	// Symbol-range validation is left to the corpus ingestion inside
+	// buildSequenceModel — it checks every symbol while copying anyway, so
+	// a pre-pass here would scan the corpus twice.
+	p := Params{Seed: opts.Seed, MaxLength: opts.MaxLength, Workers: opts.Workers}
+	if err := validateSequenceParams(p); err != nil {
+		return nil, fmt.Errorf("privtree: mechanism sequence: %w", err)
+	}
+	return buildSequenceModel(alphabet, seqs, eps, p)
+}
+
+// buildSequenceModel is the sequence mechanism implementation shared by
+// the registry and the BuildSequenceModel wrapper. alphabet and seqs have
+// been validated by NewSequenceData; p by validateSequenceParams.
+func buildSequenceModel(alphabet int, seqs []Sequence, eps float64, p Params) (*SequenceModel, error) {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
-	}
-	if opts.MaxLength < 0 {
-		return nil, fmt.Errorf("privtree: MaxLength must be >= 0, got %d", opts.MaxLength)
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("privtree: Workers must be >= 0, got %d", opts.Workers)
 	}
 	corpus, err := sequence.NewCorpus(sequence.NewAlphabet(alphabet), seqs)
 	if err != nil {
 		return nil, fmt.Errorf("privtree: %w", err)
 	}
-	rng := dp.NewRand(seedOrDefault(opts.Seed))
-	lTop := opts.MaxLength
+	rng := dp.NewRand(seedOrDefault(p.Seed))
+	lTop := p.MaxLength
 	budget := eps
 	if lTop == 0 {
 		// Spend 5% of the budget choosing l⊤ privately.
@@ -81,7 +95,7 @@ func BuildSequenceModel(alphabet int, seqs []Sequence, eps float64, opts Sequenc
 	model, err := markov.BuildCorpus(corpus, markov.Config{
 		Epsilon: budget,
 		LTop:    lTop,
-		Workers: opts.Workers,
+		Workers: p.Workers,
 	}, rng)
 	if err != nil {
 		return nil, err

@@ -49,14 +49,16 @@ func (t *SpatialTree) MarshalJSON() ([]byte, error) {
 }
 
 // wireRect validates one serialized node's bounds and returns the region.
-// Unlike geom.NewRect it never panics: inverted intervals, non-finite
-// coordinates, mismatched or empty bound slices are all reported as errors,
-// so no untrusted byte stream can crash the deserializer.
+// It goes through geom.MakeRect, never geom.NewRect: inverted intervals,
+// non-finite coordinates, mismatched or empty bound slices are all
+// reported as errors, so no untrusted byte stream can crash the
+// deserializer.
 func wireRect(lo, hi []float64) (geom.Rect, error) {
-	if err := geom.CheckBounds(lo, hi, false); err != nil {
+	r, err := geom.MakeRect(lo, hi)
+	if err != nil {
 		return geom.Rect{}, fmt.Errorf("privtree: malformed node bounds: %w", err)
 	}
-	return geom.Rect{Lo: lo, Hi: hi}, nil
+	return r, nil
 }
 
 // maxWireFanout bounds the fanout accepted from the wire; 2^20 is far

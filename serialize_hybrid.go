@@ -1,0 +1,269 @@
+package privtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"privtree/internal/hybrid"
+)
+
+// This file serializes hybrid-domain releases. Like the spatial and
+// sequence wire formats, the document contains exactly what the mechanism
+// released — the schema shape, leaf regions, and noisy leaf counts — so
+// the bytes carry the same ε-DP guarantee as the in-memory tree. Internal
+// counts are reconstructed as leaf sums, exactly as the release pipeline
+// defines them.
+
+// maxWireAttrs bounds the attribute count accepted from the wire; far
+// beyond any real schema, tight enough that a hostile document cannot
+// drive absurd per-node allocations.
+const maxWireAttrs = 1 << 12
+
+// hybridJSON is the wire form of a HybridTree.
+type hybridJSON struct {
+	Version    int              `json:"version"`
+	Numeric    []hybridAttrJSON `json:"numeric,omitempty"`
+	Taxonomies []hybridTaxJSON  `json:"taxonomies,omitempty"`
+	Root       hybridNodeJSON   `json:"root"`
+}
+
+type hybridAttrJSON struct {
+	Name string  `json:"name"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+}
+
+type hybridTaxJSON struct {
+	Name string       `json:"name"`
+	Root *taxNodeJSON `json:"root"`
+}
+
+type taxNodeJSON struct {
+	Value    string         `json:"value"`
+	Children []*taxNodeJSON `json:"children,omitempty"`
+}
+
+type hybridNodeJSON struct {
+	// Ranges holds [lo, hi) per numeric attribute, in schema order.
+	Ranges [][2]float64 `json:"ranges,omitempty"`
+	// Cats holds the taxonomy group label per categorical attribute.
+	Cats     []string         `json:"cats,omitempty"`
+	Count    *float64         `json:"count,omitempty"` // leaves only
+	Children []hybridNodeJSON `json:"children,omitempty"`
+}
+
+func taxNodeToWire(n *hybrid.TaxNode) *taxNodeJSON {
+	out := &taxNodeJSON{Value: n.Value}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, taxNodeToWire(c))
+	}
+	return out
+}
+
+func taxNodeFromWire(n *taxNodeJSON) (*hybrid.TaxNode, error) {
+	if n == nil {
+		return nil, fmt.Errorf("privtree: taxonomy node missing")
+	}
+	out := &hybrid.TaxNode{Value: n.Value}
+	for _, c := range n.Children {
+		child, err := taxNodeFromWire(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, child)
+	}
+	return out, nil
+}
+
+// MarshalJSON implements json.Marshaler for HybridTree. Only leaves carry
+// counts; internal counts are leaf sums and are reconstructed on decode.
+func (t *HybridTree) MarshalJSON() ([]byte, error) {
+	schema := t.tree.Schema
+	wire := hybridJSON{Version: 1}
+	for _, a := range schema.Numeric {
+		wire.Numeric = append(wire.Numeric, hybridAttrJSON{Name: a.Label, Lo: a.Lo, Hi: a.Hi})
+	}
+	for _, tax := range schema.Categorical {
+		wire.Taxonomies = append(wire.Taxonomies, hybridTaxJSON{Name: tax.Label, Root: taxNodeToWire(tax.Root)})
+	}
+	var conv func(n *hybrid.Node) hybridNodeJSON
+	conv = func(n *hybrid.Node) hybridNodeJSON {
+		out := hybridNodeJSON{Ranges: n.NumericRanges, Cats: n.Categories}
+		if n.IsLeaf() {
+			c := n.Count
+			out.Count = &c
+			return out
+		}
+		out.Children = make([]hybridNodeJSON, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = conv(c)
+		}
+		return out
+	}
+	wire.Root = conv(t.tree.Root)
+	return json.Marshal(wire)
+}
+
+// taxLookup indexes one taxonomy for the decoder: values are unique per
+// taxonomy (NewTaxonomy enforces it), so a value resolves a group in O(1),
+// and the DFS interval [in, out) per node makes "g lies in p's subtree" a
+// pair of integer comparisons — a hostile document cannot force the
+// quadratic subtree scans a per-node search would cost.
+type taxLookup struct {
+	node    map[string]*hybrid.TaxNode
+	in, out map[string]int
+}
+
+func indexTaxonomy(root *hybrid.TaxNode) taxLookup {
+	lk := taxLookup{
+		node: map[string]*hybrid.TaxNode{},
+		in:   map[string]int{},
+		out:  map[string]int{},
+	}
+	clock := 0
+	var dfs func(n *hybrid.TaxNode)
+	dfs = func(n *hybrid.TaxNode) {
+		lk.node[n.Value] = n
+		lk.in[n.Value] = clock
+		clock++
+		for _, c := range n.Children {
+			dfs(c)
+		}
+		lk.out[n.Value] = clock
+		clock++
+	}
+	dfs(root)
+	return lk
+}
+
+// contains reports whether the group labeled child lies in the subtree of
+// the group labeled parent (inclusive).
+func (lk taxLookup) contains(parent, child string) bool {
+	return lk.in[parent] <= lk.in[child] && lk.out[child] <= lk.out[parent]
+}
+
+// UnmarshalJSON implements json.Unmarshaler for HybridTree with the same
+// zero-trust posture as the spatial and sequence decoders: version and
+// schema shape are checked first, every node's range/category arity must
+// match the schema, ranges must be finite, non-inverted, and contained in
+// the parent's, category groups must exist inside the parent's group
+// subtree, and leaf counts must be finite. Truncated or otherwise
+// malformed documents leave the receiver untouched.
+func (t *HybridTree) UnmarshalJSON(data []byte) error {
+	var wire hybridJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	if wire.Version != 1 {
+		return fmt.Errorf("privtree: unsupported hybrid tree version %d", wire.Version)
+	}
+	nAttrs := len(wire.Numeric) + len(wire.Taxonomies)
+	if nAttrs < 1 {
+		return fmt.Errorf("privtree: hybrid tree needs at least one attribute")
+	}
+	if nAttrs > maxWireAttrs {
+		return fmt.Errorf("privtree: %d attributes exceeds limit %d", nAttrs, maxWireAttrs)
+	}
+	schema := hybrid.Schema{}
+	for i, a := range wire.Numeric {
+		if math.IsNaN(a.Lo) || math.IsInf(a.Lo, 0) || math.IsNaN(a.Hi) || math.IsInf(a.Hi, 0) || !(a.Lo < a.Hi) {
+			return fmt.Errorf("privtree: numeric attribute %d has unusable bounds [%v, %v)", i, a.Lo, a.Hi)
+		}
+		schema.Numeric = append(schema.Numeric, hybrid.Numeric{Label: a.Name, Lo: a.Lo, Hi: a.Hi})
+	}
+	lookups := make([]taxLookup, 0, len(wire.Taxonomies))
+	for i, tw := range wire.Taxonomies {
+		root, err := taxNodeFromWire(tw.Root)
+		if err != nil {
+			return fmt.Errorf("privtree: taxonomy %d: %w", i, err)
+		}
+		tax, err := hybrid.NewTaxonomy(tw.Name, root)
+		if err != nil {
+			return fmt.Errorf("privtree: %w", err)
+		}
+		schema.Categorical = append(schema.Categorical, tax)
+		lookups = append(lookups, indexTaxonomy(root))
+	}
+
+	type parentCtx struct {
+		ranges [][2]float64
+		groups []*hybrid.TaxNode
+	}
+	var conv func(w *hybridNodeJSON, parent *parentCtx, depth int) (*hybrid.Node, float64, error)
+	conv = func(w *hybridNodeJSON, parent *parentCtx, depth int) (*hybrid.Node, float64, error) {
+		if len(w.Ranges) != len(schema.Numeric) {
+			return nil, 0, fmt.Errorf("privtree: node has %d ranges, schema has %d numeric attributes", len(w.Ranges), len(schema.Numeric))
+		}
+		if len(w.Cats) != len(schema.Categorical) {
+			return nil, 0, fmt.Errorf("privtree: node has %d categories, schema has %d taxonomies", len(w.Cats), len(schema.Categorical))
+		}
+		for i, r := range w.Ranges {
+			if math.IsNaN(r[0]) || math.IsInf(r[0], 0) || math.IsNaN(r[1]) || math.IsInf(r[1], 0) || !(r[0] < r[1]) {
+				return nil, 0, fmt.Errorf("privtree: node range %d unusable: [%v, %v)", i, r[0], r[1])
+			}
+			if parent == nil {
+				// Root ranges must be exactly the declared attribute domain.
+				if r[0] != schema.Numeric[i].Lo || r[1] != schema.Numeric[i].Hi {
+					return nil, 0, fmt.Errorf("privtree: root range %d is [%v, %v), attribute declares [%v, %v)",
+						i, r[0], r[1], schema.Numeric[i].Lo, schema.Numeric[i].Hi)
+				}
+			} else if r[0] < parent.ranges[i][0] || r[1] > parent.ranges[i][1] {
+				return nil, 0, fmt.Errorf("privtree: child range %d escapes parent", i)
+			}
+		}
+		groups := make([]*hybrid.TaxNode, len(w.Cats))
+		for j, val := range w.Cats {
+			if parent == nil {
+				home := schema.Categorical[j].Root
+				if home.Value != val {
+					return nil, 0, fmt.Errorf("privtree: root category %d is %q, taxonomy root is %q", j, val, home.Value)
+				}
+				groups[j] = home
+				continue
+			}
+			g, ok := lookups[j].node[val]
+			if !ok || !lookups[j].contains(parent.groups[j].Value, val) {
+				return nil, 0, fmt.Errorf("privtree: category %q not under parent group %q", val, parent.groups[j].Value)
+			}
+			groups[j] = g
+		}
+		node := &hybrid.Node{
+			NumericRanges: w.Ranges,
+			Categories:    w.Cats,
+			Depth:         depth,
+		}
+		if len(w.Children) == 0 {
+			if w.Count == nil {
+				return nil, 0, fmt.Errorf("privtree: hybrid leaf without count")
+			}
+			if math.IsNaN(*w.Count) || math.IsInf(*w.Count, 0) {
+				return nil, 0, fmt.Errorf("privtree: non-finite leaf count %v", *w.Count)
+			}
+			node.Count = *w.Count
+			return node, node.Count, nil
+		}
+		if len(w.Children) > maxWireFanout {
+			return nil, 0, fmt.Errorf("privtree: node has %d children, limit %d", len(w.Children), maxWireFanout)
+		}
+		ctx := &parentCtx{ranges: w.Ranges, groups: groups}
+		node.Children = make([]*hybrid.Node, len(w.Children))
+		total := 0.0
+		for i := range w.Children {
+			child, sum, err := conv(&w.Children[i], ctx, depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			node.Children[i] = child
+			total += sum
+		}
+		node.Count = total
+		return node, total, nil
+	}
+	root, _, err := conv(&wire.Root, nil, 0)
+	if err != nil {
+		return err
+	}
+	t.tree = &hybrid.Tree{Schema: schema, Root: root}
+	return nil
+}

@@ -1,0 +1,186 @@
+package privtree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// smallHybridBlob builds a small released hybrid tree and returns its wire
+// bytes; deliberately tiny so the fuzz engine mutates it at full speed.
+func smallHybridBlob(t testing.TB) []byte {
+	t.Helper()
+	tree, err := BuildHybrid(testHybridSchema(t), testHybridRecords(300), 1.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestHybridTreeJSONRoundTrip(t *testing.T) {
+	orig, err := BuildHybrid(testHybridSchema(t), testHybridRecords(5000), 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored HybridTree
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(restored.Total()-orig.Total()) > 1e-9 {
+		t.Fatalf("total changed: %v vs %v", restored.Total(), orig.Total())
+	}
+	queries := []HybridQuery{
+		{},
+		{NumRanges: []*[2]float64{{10, 40}}},
+		{CatValues: []map[string]bool{{"eng": true}}},
+		{NumRanges: []*[2]float64{{25, 80}}, CatValues: []map[string]bool{{"nurse": true, "doctor": true}}},
+	}
+	for i, q := range queries {
+		a, b := orig.Count(q), restored.Count(q)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d changed after round trip: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestHybridTreeJSONOnlyLeavesCarryCounts(t *testing.T) {
+	blob := smallHybridBlob(t)
+	var raw map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var check func(node map[string]any)
+	check = func(node map[string]any) {
+		kids, hasKids := node["children"].([]any)
+		_, hasCount := node["count"]
+		if hasKids && hasCount {
+			t.Fatal("internal node serialized a count; the release defines internal counts as leaf sums")
+		}
+		if !hasKids && !hasCount {
+			t.Fatal("leaf without count")
+		}
+		for _, k := range kids {
+			check(k.(map[string]any))
+		}
+	}
+	check(raw["root"].(map[string]any))
+}
+
+// TestHybridTreeUnmarshalRejectsMalformed covers documents that are valid
+// JSON but describe impossible schemas or trees.
+func TestHybridTreeUnmarshalRejectsMalformed(t *testing.T) {
+	const schemaPrefix = `{"version":1,"numeric":[{"name":"x","lo":0,"hi":1}],`
+	cases := []struct {
+		name string
+		blob string
+	}{
+		{"bad version", `{"version":2,"numeric":[{"name":"x","lo":0,"hi":1}],"root":{"ranges":[[0,1]],"count":1}}`},
+		{"no attributes", `{"version":1,"root":{"count":1}}`},
+		{"inverted attribute bounds", `{"version":1,"numeric":[{"name":"x","lo":1,"hi":0}],"root":{"ranges":[[1,0]],"count":1}}`},
+		{"NaN-free but infinite attribute", `{"version":1,"numeric":[{"name":"x","lo":0,"hi":1e999}],"root":{"ranges":[[0,1]],"count":1}}`},
+		{"range arity mismatch", schemaPrefix + `"root":{"ranges":[[0,1],[0,1]],"count":1}}`},
+		{"root range not the domain", schemaPrefix + `"root":{"ranges":[[0,0.5]],"count":1}}`},
+		{"leaf without count", schemaPrefix + `"root":{"ranges":[[0,1]]}}`},
+		{"non-finite count", schemaPrefix + `"root":{"ranges":[[0,1]],"count":1e999}}`},
+		{"inverted child range", schemaPrefix + `"root":{"ranges":[[0,1]],"children":[
+			{"ranges":[[0.5,0]],"count":1},{"ranges":[[0.5,1]],"count":1}]}}`},
+		{"child escapes parent", schemaPrefix + `"root":{"ranges":[[0,1]],"children":[
+			{"ranges":[[0,0.5]],"count":1},{"ranges":[[0.5,2]],"count":1}]}}`},
+		{"duplicate taxonomy leaves", `{"version":1,"taxonomies":[{"name":"t","root":{"value":"any","children":[
+			{"value":"a"},{"value":"a"}]}}],"root":{"cats":["any"],"count":1}}`},
+		{"duplicate internal group labels", `{"version":1,"taxonomies":[{"name":"t","root":{"value":"any","children":[
+			{"value":"g","children":[{"value":"a"},{"value":"b"}]},
+			{"value":"g","children":[{"value":"c"},{"value":"d"}]}]}}],"root":{"cats":["any"],"count":1}}`},
+		{"taxonomy without splits", `{"version":1,"taxonomies":[{"name":"t","root":{"value":"only"}}],"root":{"cats":["only"],"count":1}}`},
+		{"root category not taxonomy root", `{"version":1,"taxonomies":[{"name":"t","root":{"value":"any","children":[
+			{"value":"a"},{"value":"b"}]}}],"root":{"cats":["a"],"count":1}}`},
+		{"child category outside parent group", `{"version":1,"taxonomies":[{"name":"t","root":{"value":"any","children":[
+			{"value":"g1","children":[{"value":"a"},{"value":"b"}]},
+			{"value":"g2","children":[{"value":"c"},{"value":"d"}]}]}}],
+			"root":{"cats":["any"],"children":[
+			{"cats":["g1"],"children":[{"cats":["c"],"count":1}]},
+			{"cats":["g2"],"count":1}]}}`},
+		{"cat arity mismatch", schemaPrefix + `"root":{"ranges":[[0,1]],"cats":["x"],"count":1}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalJSON panicked: %v", r)
+				}
+			}()
+			var tree HybridTree
+			if err := json.Unmarshal([]byte(c.blob), &tree); err == nil {
+				t.Fatal("malformed hybrid doc accepted")
+			}
+			if tree.tree != nil {
+				t.Fatal("failed unmarshal left a partial tree behind")
+			}
+		})
+	}
+}
+
+// TestHybridTreeUnmarshalTruncated feeds every cut-off prefix of a real
+// document to the decoder: all must error, none may panic or leave a
+// partial tree.
+func TestHybridTreeUnmarshalTruncated(t *testing.T) {
+	blob := smallHybridBlob(t)
+	for cut := 0; cut < len(blob); cut += 7 {
+		var tree HybridTree
+		if err := json.Unmarshal(blob[:cut], &tree); err == nil {
+			t.Fatalf("truncated blob (%d of %d bytes) accepted", cut, len(blob))
+		}
+		if tree.tree != nil {
+			t.Fatalf("truncated blob (%d bytes) left a partial tree behind", cut)
+		}
+	}
+}
+
+// FuzzHybridUnmarshal drives arbitrary bytes through the hybrid decoder:
+// never panic, and any accepted document must round-trip with identical
+// query answers.
+func FuzzHybridUnmarshal(f *testing.F) {
+	f.Add(smallHybridBlob(f))
+	f.Add([]byte(`{"version":1,"numeric":[{"name":"x","lo":0,"hi":1}],"root":{"ranges":[[0,1]],"count":2.5}}`))
+	f.Add([]byte(`{"version":1,"taxonomies":[{"name":"t","root":{"value":"any","children":[{"value":"a"},{"value":"b"}]}}],"root":{"cats":["any"],"children":[{"cats":["a"],"count":1},{"cats":["b"],"count":2}]}}`))
+	f.Add([]byte(`{"version":1,"numeric":[{"name":"x","lo":1,"hi":0}],"root":{"ranges":[[1,0]],"count":1}}`))
+	f.Add([]byte(`{"version":1,"root":{"count":1}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tree HybridTree
+		if err := json.Unmarshal(data, &tree); err != nil {
+			return
+		}
+		blob, err := json.Marshal(&tree)
+		if err != nil {
+			t.Fatalf("accepted tree failed to marshal: %v", err)
+		}
+		var again HybridTree
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("round-tripped bytes rejected: %v", err)
+		}
+		queries := []HybridQuery{{}}
+		if n := len(tree.tree.Schema.Numeric); n > 0 {
+			a := tree.tree.Schema.Numeric[0]
+			mid := a.Lo + (a.Hi-a.Lo)/2
+			ranges := make([]*[2]float64, n)
+			ranges[0] = &[2]float64{a.Lo, mid}
+			queries = append(queries, HybridQuery{NumRanges: ranges})
+		}
+		for i, q := range queries {
+			a, b := tree.Count(q), again.Count(q)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("round trip changed Count (query %d): %v vs %v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package privtree
+
+import (
+	"fmt"
+	"sync"
+
+	"privtree/internal/dp"
+)
+
+// Ledger is a concurrent-safe privacy-budget accountant enforcing
+// sequential composition; see Session for the release workflow built on
+// it. NewLedger constructs one directly for callers that only need the
+// accounting.
+type Ledger = dp.Ledger
+
+// BudgetError is the structured rejection a Ledger returns when a spend
+// would exceed its total budget.
+type BudgetError = dp.BudgetError
+
+// BudgetDebit is one recorded spend (or refund, with negative Epsilon) in
+// a ledger's audit trail.
+type BudgetDebit = dp.Debit
+
+// NewLedger returns a budget ledger with the given positive, finite total.
+func NewLedger(total float64) (*Ledger, error) { return dp.NewLedger(total) }
+
+// Session is a ledger-backed release workflow over private data: the
+// paper's sequential-composition argument (Lemma 2.1) as an object. Every
+// Session.Release debits the ledger before the mechanism runs, so the sum
+// of debits bounds the privacy loss of everything the session ever
+// produced; a request whose (mechanism, params, ε, data) matches an
+// earlier release is served from cache without a new debit (re-publishing
+// released bytes is post-processing); and a mechanism failure refunds its
+// debit, which is sound because nothing was released.
+//
+// A Session is safe for concurrent use: identical concurrent requests
+// cannot double-spend — one build runs, the rest wait and take the cache
+// hit.
+type Session struct {
+	ledger *dp.Ledger
+
+	// mu guards the cache maps; builds run OUTSIDE it so concurrent
+	// releases with different parameters proceed in parallel. pending marks
+	// fingerprints whose build is in flight (the channel closes when the
+	// build finishes).
+	mu      sync.Mutex
+	cache   map[string]*Release
+	pending map[string]chan struct{}
+}
+
+// NewSession returns a session whose ledger holds the given total privacy
+// budget. The budget must be positive and finite.
+func NewSession(budget float64) (*Session, error) {
+	ledger, err := dp.NewLedger(budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		ledger:  ledger,
+		cache:   make(map[string]*Release),
+		pending: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Ledger exposes the session's budget accountant (totals, remaining
+// budget, and the audit trail).
+func (s *Session) Ledger() *Ledger { return s.ledger }
+
+// Total returns the session's configured total budget.
+func (s *Session) Total() float64 { return s.ledger.Total() }
+
+// Spent returns the budget consumed so far.
+func (s *Session) Spent() float64 { return s.ledger.Spent() }
+
+// Remaining returns the unspent budget (never negative).
+func (s *Session) Remaining() float64 { return s.ledger.Remaining() }
+
+// History returns the session's audit trail: one entry per debit, in spend
+// order, with refunds recorded as negative debits.
+func (s *Session) History() []BudgetDebit { return s.ledger.History() }
+
+// Release runs mechanism m on data under budget eps against the session
+// ledger. The ledger is debited before the build; over-budget requests are
+// rejected with a *BudgetError and the mechanism never runs. The boolean
+// reports a cache hit: a request identical to an earlier release (same
+// mechanism, parameters, ε, and data) returns the cached Release with no
+// new debit. On build failure the debit is refunded.
+func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool, error) {
+	if m == nil {
+		return nil, false, fmt.Errorf("privtree: nil mechanism")
+	}
+	// Static failures (wrong data kind, bad ε) are rejected before any
+	// ledger traffic, so the audit trail records only genuine spends.
+	if err := m.precheck(data, eps); err != nil {
+		return nil, false, err
+	}
+	key := fmt.Sprintf("data=%d %s", data.id, releaseFingerprint(m.spec.name, eps, m.params))
+	note := "release " + key
+	var done chan struct{}
+	for {
+		s.mu.Lock()
+		if rel, ok := s.cache[key]; ok {
+			s.mu.Unlock()
+			return rel, true, nil
+		}
+		if ch, ok := s.pending[key]; ok {
+			// An identical build is in flight: wait for it and re-check.
+			// (If it fails, the loop claims the key and tries afresh.)
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		// Claim the key: debit inside the lock so the exhaustion check and
+		// the claim are one atomic step.
+		if err := s.ledger.Spend(eps, note); err != nil {
+			s.mu.Unlock()
+			return nil, false, err
+		}
+		done = make(chan struct{})
+		s.pending[key] = done
+		s.mu.Unlock()
+		break
+	}
+
+	rel, err := m.Run(data, eps)
+	if err != nil {
+		// Refund before waking waiters, so a retrying waiter sees the
+		// credited ledger. Sound: the failed mechanism released nothing.
+		s.ledger.Refund(eps, note)
+	}
+	s.mu.Lock()
+	delete(s.pending, key)
+	if err == nil {
+		s.cache[key] = rel
+	}
+	s.mu.Unlock()
+	close(done)
+	if err != nil {
+		return nil, false, err
+	}
+	return rel, false, nil
+}
+
+// Releases returns every release the session has purchased so far, in
+// unspecified order.
+func (s *Session) Releases() []*Release {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Release, 0, len(s.cache))
+	for _, r := range s.cache {
+		out = append(out, r)
+	}
+	return out
+}

@@ -18,13 +18,21 @@ type Point = geom.Point
 type Rect = geom.Rect
 
 // NewRect builds a Rect spanning [lo[i], hi[i]) on each axis; it panics on
-// mismatched dimensions or inverted intervals.
+// mismatched dimensions or inverted intervals. Use it for literals; code
+// handling untrusted input should use MakeRect.
 func NewRect(lo, hi Point) Rect { return geom.NewRect(lo, hi) }
+
+// MakeRect is the non-panicking counterpart of NewRect: mismatched or
+// empty bound slices, non-finite coordinates, and inverted intervals are
+// reported as errors, so untrusted input (HTTP bodies, CLI strings,
+// serialized documents) can be turned into rectangles safely. Empty
+// intervals (lo == hi) are accepted — query rectangles may be empty.
+func MakeRect(lo, hi Point) (Rect, error) { return geom.MakeRect(lo, hi) }
 
 // UnitCube returns the domain [0,1)^d.
 func UnitCube(d int) Rect { return geom.UnitCube(d) }
 
-// SpatialOptions tunes BuildSpatial beyond the paper defaults.
+// SpatialOptions tunes the spatial mechanism beyond the paper defaults.
 type SpatialOptions struct {
 	// Fanout is β; 0 means 2^d (the quadtree family the paper uses).
 	Fanout int
@@ -63,34 +71,45 @@ type SpatialTree struct {
 // Invalid parameters — a non-positive or non-finite ε, a fanout below 2, a
 // degenerate domain, a TreeBudgetFraction outside (0,1) — are rejected with
 // an error, never a panic.
+//
+// BuildSpatial is a thin wrapper over the "spatial" registry mechanism:
+// it runs the same validation and build implementation as NewSpatialData
+// + NewSpatialMechanism + Run, skipping only the Data/Release boxing so
+// the build stays allocation-lean. Use Session.Release to run the
+// mechanism against a privacy-budget ledger.
 func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions) (*SpatialTree, error) {
 	if err := domain.Validate(); err != nil {
 		return nil, fmt.Errorf("privtree: invalid domain: %w", err)
-	}
-	if !(eps > 0) || math.IsInf(eps, 0) {
-		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
-	}
-	if opts.Fanout != 0 && opts.Fanout < 2 {
-		return nil, fmt.Errorf("privtree: fanout must be >= 2, got %d", opts.Fanout)
-	}
-	if opts.TreeBudgetFraction != 0 && !(opts.TreeBudgetFraction > 0 && opts.TreeBudgetFraction < 1) {
-		return nil, fmt.Errorf("privtree: TreeBudgetFraction must be in (0,1), got %v", opts.TreeBudgetFraction)
-	}
-	if opts.MaxDepth < 0 {
-		return nil, fmt.Errorf("privtree: MaxDepth must be >= 0, got %d", opts.MaxDepth)
-	}
-	if opts.AffectedLeaves < 0 {
-		return nil, fmt.Errorf("privtree: AffectedLeaves must be >= 0, got %d", opts.AffectedLeaves)
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("privtree: Workers must be >= 0, got %d", opts.Workers)
 	}
 	data, err := dataset.NewSpatial(domain, points)
 	if err != nil {
 		return nil, err
 	}
+	p := Params{
+		Seed:               opts.Seed,
+		Fanout:             opts.Fanout,
+		Theta:              opts.Theta,
+		TreeBudgetFraction: opts.TreeBudgetFraction,
+		MaxDepth:           opts.MaxDepth,
+		AffectedLeaves:     opts.AffectedLeaves,
+		Workers:            opts.Workers,
+	}
+	if err := validateSpatialParams(p); err != nil {
+		return nil, fmt.Errorf("privtree: mechanism spatial: %w", err)
+	}
+	return buildSpatialTree(data, eps, p)
+}
+
+// buildSpatialTree is the spatial mechanism implementation shared by the
+// registry and the BuildSpatial wrapper. data has been validated by
+// NewSpatialData; p by validateSpatialParams.
+func buildSpatialTree(data *dataset.Spatial, eps float64, p Params) (*SpatialTree, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	domain := data.Domain
 	d := domain.Dims()
-	fanout := opts.Fanout
+	fanout := p.Fanout
 	var split geom.Splitter
 	switch {
 	case fanout == 0 || fanout == 1<<d:
@@ -107,26 +126,26 @@ func BuildSpatial(domain Rect, points []Point, eps float64, opts SpatialOptions)
 		}
 		split = geom.RoundRobinBisect{Dim: d, PerStep: k}
 	}
-	frac := opts.TreeBudgetFraction
+	frac := p.TreeBudgetFraction
 	if frac == 0 {
 		frac = 0.5
 	}
 	sens := 1.0
-	if opts.AffectedLeaves > 1 {
-		sens = float64(opts.AffectedLeaves)
+	if p.AffectedLeaves > 1 {
+		sens = float64(p.AffectedLeaves)
 	}
-	rng := dp.NewRand(seedOrDefault(opts.Seed))
-	p := core.Params{
+	rng := dp.NewRand(seedOrDefault(p.Seed))
+	cp := core.Params{
 		Epsilon:     eps * frac,
 		Fanout:      fanout,
-		Theta:       opts.Theta,
-		MaxDepth:    opts.MaxDepth,
+		Theta:       p.Theta,
+		MaxDepth:    p.MaxDepth,
 		Sensitivity: sens,
-		Workers:     opts.Workers,
+		Workers:     p.Workers,
 	}
 	// The count release scales identically: x leaves can each change by
 	// one, so the leaf-count vector has L1 sensitivity x.
-	t, err := core.BuildNoisyParams(data, split, p, eps*(1-frac)/sens, rng)
+	t, err := core.BuildNoisyParams(data, split, cp, eps*(1-frac)/sens, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -196,8 +215,8 @@ const (
 	BaselineSimpleTree Baseline = "simpletree"
 )
 
-// RangeCounter answers range-count queries; all baselines and SpatialTree
-// satisfy it.
+// RangeCounter answers range-count queries; all baselines, SpatialTree,
+// and spatial/baseline Releases satisfy it.
 type RangeCounter interface {
 	RangeCount(q Rect) float64
 }
@@ -205,11 +224,31 @@ type RangeCounter interface {
 // BuildBaseline constructs one of the comparison methods on the same data
 // under budget eps. AG and Hierarchy require 2-D data. SimpleTree uses the
 // paper's Algorithm 1 with height 8.
+//
+// BuildBaseline is a thin wrapper over the "baseline/*" registry
+// mechanisms (it shares their validation and build implementation); use
+// NewBaselineMechanism with a Session for budget-accounted builds.
 func BuildBaseline(b Baseline, domain Rect, points []Point, eps float64, seed uint64) (RangeCounter, error) {
+	if _, ok := mechanismRegistry["baseline/"+string(b)]; !ok {
+		return nil, fmt.Errorf("privtree: unknown baseline %q", b)
+	}
+	if err := domain.Validate(); err != nil {
+		return nil, fmt.Errorf("privtree: invalid domain: %w", err)
+	}
 	data, err := dataset.NewSpatial(domain, points)
 	if err != nil {
 		return nil, err
 	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privtree: epsilon must be positive and finite, got %v", eps)
+	}
+	return buildBaseline(b, data, eps, seed)
+}
+
+// buildBaseline is the baseline mechanism implementation shared by the
+// registry and the BuildBaseline wrapper.
+func buildBaseline(b Baseline, data *dataset.Spatial, eps float64, seed uint64) (RangeCounter, error) {
+	domain := data.Domain
 	rng := dp.NewRand(seedOrDefault(seed))
 	switch b {
 	case BaselineUG:
