@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"privtree"
 	"privtree/internal/server"
+	"privtree/internal/store"
 )
 
 // This file implements the -micro mode: it measures the repository's core
@@ -100,7 +102,10 @@ func serverThroughputCase(pts []privtree.Point) (c struct {
 	name string
 	fn   func(b *testing.B)
 }, batch int, closeFn func(), err error) {
-	srv := server.New(server.Options{})
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		return c, 0, nil, err
+	}
 	d, err := srv.Registry().AddSpatial("bench", privtree.UnitCube(2), pts, 8.0)
 	if err != nil {
 		return c, 0, nil, err
@@ -249,6 +254,64 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 		}},
 	}
 
+	// Store rows: the durable-debit hot path (WAL append + fsync — the
+	// latency every release pays before its mechanism may run) and a
+	// 10k-record sequential recovery (the restart cost per dataset).
+	storeDir, err := os.MkdirTemp("", "privtree-bench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	debitStore, err := store.Open(filepath.Join(storeDir, "debit"))
+	if err != nil {
+		return err
+	}
+	defer debitStore.Close()
+	recoverDir := filepath.Join(storeDir, "recover")
+	seedStore, err := store.Open(recoverDir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := seedStore.AppendDebit(1e-9, "bench-debit"); err != nil {
+			return err
+		}
+	}
+	if err := seedStore.Close(); err != nil {
+		return err
+	}
+	cases = append(cases,
+		struct {
+			name string
+			fn   func(b *testing.B)
+		}{"StoreDebit", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := debitStore.AppendDebit(1e-9, "bench-debit"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		struct {
+			name string
+			fn   func(b *testing.B)
+		}{"StoreRecover10k", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := store.Open(recoverDir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := len(st.Events()); n != 10_000 {
+					b.Fatalf("recovered %d events, want 10000", n)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
+
 	serverCase, serverBatch, closeServer, err := serverThroughputCase(pts100k)
 	if err != nil {
 		return err
@@ -310,6 +373,8 @@ var guardedBenchmarks = map[string]bool{
 	"TopK20x5":           true,
 	"EnvelopeEncode":     true,
 	"EnvelopeDecode":     true,
+	"StoreDebit":         true,
+	"StoreRecover10k":    true,
 }
 
 // allocsSlack loosens the exact allocs/op gate for benchmarks whose op
@@ -319,6 +384,20 @@ var guardedBenchmarks = map[string]bool{
 var allocsSlack = map[string]int64{
 	"EnvelopeEncode": 2,
 	"EnvelopeDecode": 2,
+	// The store rows touch the filesystem: the WAL append itself is
+	// allocation-free in steady state, but file-handle plumbing (and, for
+	// recovery, map growth over 10k events) can wobble by a handful of
+	// allocations between runs.
+	"StoreDebit":      2,
+	"StoreRecover10k": 64,
+}
+
+// nsExempt marks guarded rows whose ns/op is dominated by fsync latency
+// — a property of the disk under the runner, not of the code — so the
+// gate enforces only their (deterministic) allocs/op. StoreRecover10k
+// stays ns-gated: recovery is parse-bound and reads the page cache.
+var nsExempt = map[string]bool{
+	"StoreDebit": true,
 }
 
 // compareReports gates a fresh micro run against a committed baseline:
@@ -354,7 +433,7 @@ func compareReports(fresh microReport, baselinePath string, nsHeadroom float64) 
 			violations = append(violations, fmt.Sprintf(
 				"%s: allocs/op %d > baseline %d (+%d slack)", row.Name, row.AllocsPerOp, b.AllocsPerOp, allocsSlack[row.Name]))
 		}
-		if row.NsPerOp > b.NsPerOp*nsHeadroom {
+		if !nsExempt[row.Name] && row.NsPerOp > b.NsPerOp*nsHeadroom {
 			violations = append(violations, fmt.Sprintf(
 				"%s: ns/op %.0f > baseline %.0f ×%.2f (same hardware? see -ns-headroom)",
 				row.Name, row.NsPerOp, b.NsPerOp, nsHeadroom))

@@ -1,6 +1,7 @@
 // Command privtree builds a differentially private spatial decomposition
 // from a CSV of points and either dumps the released tree or answers
-// range-count queries.
+// range-count queries; its inspect subcommand reads release provenance
+// without decoding payloads.
 //
 // Usage:
 //
@@ -8,6 +9,13 @@
 //	privtree -in points.csv -eps 1.0 -query "0.1,0.1,0.4,0.5"
 //	privtree -in points.csv -eps 1.0 -queries rects.txt   # batch, one rect per line
 //	cat rects.txt | privtree -demo -eps 0.5 -queries -    # batch from stdin
+//	privtree inspect release.json                         # provenance, no payload decode
+//	privtree inspect data/datasets/demo/store/artifacts/*.json
+//
+// inspect prints each file's kind, mechanism, ε, seed, and params
+// fingerprint from the envelope metadata alone — it works on -out files
+// and on privtreed store artifacts alike, and succeeds even when the
+// payload would be expensive (or too damaged) to decode.
 //
 // The CSV has one point per line, d comma-separated coordinates, all in
 // [0,1) (use -domain to override). A -queries file has one query rectangle
@@ -39,6 +47,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		if err := runInspect(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		in      = flag.String("in", "", "input CSV of points (one point per line)")
 		demo    = flag.Bool("demo", false, "use built-in synthetic road-like data instead of -in")
@@ -142,6 +156,53 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(string(enc))
+}
+
+// runInspect implements the inspect subcommand: print each file's
+// envelope provenance without decoding (or validating) the payload.
+func runInspect(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: privtree inspect <release.json> [more files...]")
+	}
+	failed := 0
+	for _, path := range paths {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privtree: %v\n", err)
+			failed++
+			continue
+		}
+		info, err := privtree.InspectEnvelope(blob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privtree: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if len(paths) > 1 {
+			fmt.Printf("%s:\n", path)
+		}
+		fmt.Printf("  version:       %d\n", info.Version)
+		fmt.Printf("  kind:          %s\n", info.Kind)
+		if info.Mechanism != "" {
+			fmt.Printf("  mechanism:     %s\n", info.Mechanism)
+		} else {
+			fmt.Printf("  mechanism:     (not recorded)\n")
+		}
+		if info.Epsilon > 0 {
+			fmt.Printf("  epsilon:       %g\n", info.Epsilon)
+		} else {
+			fmt.Printf("  epsilon:       (not recorded)\n")
+		}
+		fmt.Printf("  seed:          %d\n", info.Seed)
+		if info.Version > 0 {
+			fmt.Printf("  fingerprint:   %s\n", info.Fingerprint)
+		}
+		fmt.Printf("  payload_bytes: %d\n", info.PayloadBytes)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed to inspect", failed, len(paths))
+	}
+	return nil
 }
 
 // answerBatch streams query rectangles from path ('-' = stdin) and prints

@@ -6,8 +6,16 @@
 // Usage:
 //
 //	privtreed -addr :8181
+//	privtreed -addr :8181 -data-dir /var/lib/privtreed  # crash-safe budgets + releases
 //	privtreed -addr :8181 -workers 8 -max-batch 1048576
 //	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
+//
+// With -data-dir, every dataset's privacy ledger is write-ahead logged
+// (fsync before the mechanism runs) and every release envelope is stored
+// content-addressed, so a restart with the same -data-dir resumes with
+// identical budget state and bit-identical cached artifacts. Without it,
+// a restart forgets all spent ε — unacceptable when untrusted parties
+// can make the process restart.
 //
 // Quick tour against a running server:
 //
@@ -42,6 +50,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
 		maxBody   = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		dataDir   = flag.String("data-dir", "", "directory for crash-safe persistence: privacy ledgers are write-ahead logged (fsync-on-debit) and release envelopes stored content-addressed; on restart every dataset resumes with its spent ε, audit trail, and cached releases intact (empty = in-memory only, budgets reset on restart)")
 		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
 	)
 	flag.Parse()
@@ -64,11 +73,19 @@ func main() {
 		}()
 	}
 
-	handler := server.New(server.Options{
+	handler, err := server.New(server.Options{
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
 		MaxBodyBytes: *maxBody,
+		DataDir:      *dataDir,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "privtreed: recovered %d dataset(s) from %s\n",
+			handler.Registry().Len(), *dataDir)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -96,10 +113,20 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "privtreed: drain incomplete: %v\n", err)
 		_ = srv.Close()
+		_ = handler.Close()
 		os.Exit(1)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	// Graceful restart: every acknowledged debit and artifact is already
+	// durable; closing the stores is hygiene so a supervisor can relaunch
+	// with the same -data-dir immediately.
+	if err := handler.Close(); err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "privtreed: state persisted under %s; restart with the same -data-dir to resume\n", *dataDir)
 	}
 }
 

@@ -98,6 +98,34 @@
 // path; queries read only released artifacts and therefore consume no
 // budget. See README.md ("Serving releases") for the HTTP API.
 //
+// # Durability and crash safety
+//
+// Sequential composition bounds the privacy loss of everything ever
+// released about a dataset by the SUM of the ledger's debits — so a
+// ledger that forgets a debit (a restart of an in-memory accountant) is
+// not a bookkeeping bug, it is an ε violation: whoever can bounce the
+// process gets the budget again, without limit. OpenSession(dir, budget)
+// — or Session.WithStore — attaches a crash-safe store (internal/store)
+// that makes the ledger's guarantee survive the process:
+//
+//   - a debit is appended to a CRC-framed write-ahead log and fsynced
+//     BEFORE the mechanism runs, so no released noise can out-live its
+//     debit;
+//   - a refund for a failed build is durable BEFORE the error returns
+//     (and if it cannot be made durable, the budget stays spent — the
+//     failure direction is over-counting, never under-counting);
+//   - a successful release's envelope is persisted content-addressed and
+//     committed, so after a restart the same request is served from the
+//     exact stored bytes with no new debit.
+//
+// Recovery replays the log sequentially (torn tails truncated, duplicate
+// frames skipped, hostile bytes rejected without panics) and rebuilds
+// spent ε, the audit trail — refunds appear as explicit entries — and
+// the release cache. cmd/privtreed exposes all of this as -data-dir;
+// InspectEnvelope (and the privtree inspect subcommand) reads any
+// artifact's provenance without decoding its payload. See README.md
+// ("Durability & crash safety") for the full argument.
+//
 // Build entry points validate their parameters and return errors — never
 // panics — on non-positive ε, unusable fanouts, or degenerate domains, so
 // they can sit directly behind untrusted inputs, and the

@@ -40,9 +40,16 @@ type envelopeJSON struct {
 }
 
 // MarshalJSON implements json.Marshaler for Release: the versioned
-// envelope around the kind-specific payload document. Baseline releases
-// are in-memory query structures with no wire format and return an error.
+// envelope around the kind-specific payload document, served from the
+// Envelope cache so repeated marshals are bit-identical. Baseline
+// releases are in-memory query structures with no wire format and return
+// an error.
 func (r *Release) MarshalJSON() ([]byte, error) {
+	return r.Envelope()
+}
+
+// encodeEnvelope builds the envelope bytes; Envelope caches its result.
+func (r *Release) encodeEnvelope() ([]byte, error) {
 	var payload any
 	switch {
 	case r.spatial != nil:
@@ -71,14 +78,128 @@ func (r *Release) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON implements json.Unmarshaler for Release via Decode, so
 // envelopes (and legacy v0 documents) load with plain json.Unmarshal too.
-// The receiver is left untouched on failure.
+// The receiver is left untouched on failure. (Fields are copied one by
+// one: the receiver's envelope cache is an atomic and must not be copied
+// as a value.)
 func (r *Release) UnmarshalJSON(data []byte) error {
 	dec, err := Decode(data)
 	if err != nil {
 		return err
 	}
-	*r = *dec
+	r.kind = dec.kind
+	r.mechanism = dec.mechanism
+	r.epsilon = dec.epsilon
+	r.params = dec.params
+	r.spatial, r.model, r.hybrid, r.counter = dec.spatial, dec.model, dec.hybrid, dec.counter
+	// Take dec's cache even when it is nil: a reused receiver must not
+	// keep serving a PREVIOUS document's envelope bytes.
+	r.wire.Store(dec.wire.Load())
 	return nil
+}
+
+// EnvelopeInfo is the provenance metadata of a serialized release,
+// readable without decoding (or validating) the payload — see
+// InspectEnvelope.
+type EnvelopeInfo struct {
+	// Version is the envelope version (0 for legacy bare documents).
+	Version int
+	// Kind is the artifact family the document carries.
+	Kind ReleaseKind
+	// Mechanism is the producing mechanism's registry name ("" when not
+	// recorded).
+	Mechanism string
+	// Epsilon is the privacy budget the release consumed (0 when not
+	// recorded).
+	Epsilon float64
+	// Seed is the mechanism seed.
+	Seed uint64
+	// Params are the recorded release parameters.
+	Params Params
+	// Fingerprint is the release-request identity string (mechanism, ε,
+	// params) — the key the Session cache and the artifact store dedup on.
+	Fingerprint string
+	// PayloadBytes is the size of the (uninspected) payload document.
+	PayloadBytes int
+}
+
+// InspectEnvelope reads a serialized release's provenance — kind,
+// mechanism, ε, seed, params fingerprint — WITHOUT decoding the payload:
+// inspecting a multi-megabyte artifact costs one metadata parse, and a
+// payload too corrupt for Decode can still be identified. It accepts
+// both versioned envelopes and legacy v0 documents (which carry no
+// provenance and report Version 0). The provenance fields get the same
+// plausibility screening as Decode; the payload gets none.
+func InspectEnvelope(data []byte) (*EnvelopeInfo, error) {
+	var probe struct {
+		Envelope  *int            `json:"privtree_release"`
+		Kind      ReleaseKind     `json:"kind"`
+		Mechanism string          `json:"mechanism"`
+		Epsilon   float64         `json:"epsilon"`
+		Params    *Params         `json:"params"`
+		Payload   json.RawMessage `json:"payload"`
+
+		// Legacy v0 discriminator keys.
+		Alphabet   *int            `json:"alphabet"`
+		Fanout     *int            `json:"fanout"`
+		Numeric    json.RawMessage `json:"numeric"`
+		Taxonomies json.RawMessage `json:"taxonomies"`
+		Root       json.RawMessage `json:"root"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	if probe.Envelope == nil {
+		// Legacy v0: identify the kind from the document shape.
+		info := &EnvelopeInfo{Version: 0, PayloadBytes: len(data)}
+		switch {
+		case probe.Alphabet != nil && probe.Root != nil:
+			info.Kind = KindSequence
+		case probe.Fanout != nil && probe.Root != nil:
+			info.Kind = KindSpatial
+		case probe.Numeric != nil || probe.Taxonomies != nil:
+			info.Kind = KindHybrid
+		default:
+			return nil, fmt.Errorf("privtree: not a release document (no envelope and no recognizable v0 shape)")
+		}
+		return info, nil
+	}
+	if *probe.Envelope != EnvelopeVersion {
+		return nil, fmt.Errorf("privtree: unsupported release envelope version %d", *probe.Envelope)
+	}
+	if len(probe.Payload) == 0 {
+		return nil, fmt.Errorf("privtree: release envelope has no payload")
+	}
+	if math.IsNaN(probe.Epsilon) || math.IsInf(probe.Epsilon, 0) || probe.Epsilon < 0 {
+		return nil, fmt.Errorf("privtree: release envelope has unusable epsilon %v", probe.Epsilon)
+	}
+	switch probe.Kind {
+	case KindSpatial, KindSequence, KindHybrid:
+	default:
+		return nil, fmt.Errorf("privtree: release envelope carries unknown kind %q", probe.Kind)
+	}
+	info := &EnvelopeInfo{
+		Version:      *probe.Envelope,
+		Kind:         probe.Kind,
+		Mechanism:    probe.Mechanism,
+		Epsilon:      probe.Epsilon,
+		PayloadBytes: len(probe.Payload),
+	}
+	if probe.Params != nil {
+		info.Params = *probe.Params
+	}
+	info.Seed = info.Params.Seed
+	if probe.Mechanism != "" {
+		spec, ok := mechanismRegistry[probe.Mechanism]
+		if !ok {
+			return nil, fmt.Errorf("privtree: release envelope names unknown mechanism %q", probe.Mechanism)
+		}
+		if spec.kind != probe.Kind {
+			return nil, fmt.Errorf("privtree: mechanism %q produces %s releases, envelope claims %s",
+				probe.Mechanism, spec.kind, probe.Kind)
+		}
+	}
+	info.Fingerprint = releaseFingerprint(info.Mechanism, info.Epsilon, info.Params)
+	return info, nil
 }
 
 // Decode loads a serialized release: either a versioned envelope (see

@@ -24,9 +24,20 @@ func (e *BudgetError) Error() string {
 		e.Requested, e.Remaining, e.Total)
 }
 
-// Debit is one recorded spend against a Ledger.
+// Audit-trail entry kinds: every Debit is explicitly a spend or a
+// refund, so a reader of History never has to infer the event from the
+// sign of Epsilon (refunds additionally keep their negative sign, which
+// preserves the "history sums to spent" arithmetic).
+const (
+	DebitKindSpend  = "debit"
+	DebitKindRefund = "refund"
+)
+
+// Debit is one recorded spend (or refund) against a Ledger.
 type Debit struct {
-	// Epsilon is the budget consumed.
+	// Kind is DebitKindSpend or DebitKindRefund.
+	Kind string
+	// Epsilon is the budget consumed (negative for refunds).
 	Epsilon float64
 	// Note identifies the release the spend paid for (e.g. a release id).
 	Note string
@@ -102,7 +113,7 @@ func (l *Ledger) Spend(eps float64, note string) error {
 		return &BudgetError{Requested: eps, Remaining: l.remainingLocked(), Total: l.total}
 	}
 	l.spent += eps
-	l.debits = append(l.debits, Debit{Epsilon: eps, Note: note, At: time.Now()})
+	l.debits = append(l.debits, Debit{Kind: DebitKindSpend, Epsilon: eps, Note: note, At: time.Now()})
 	return nil
 }
 
@@ -121,7 +132,30 @@ func (l *Ledger) Refund(eps float64, note string) {
 	if l.spent < 0 {
 		l.spent = 0
 	}
-	l.debits = append(l.debits, Debit{Epsilon: -eps, Note: note, At: time.Now()})
+	l.debits = append(l.debits, Debit{Kind: DebitKindRefund, Epsilon: -eps, Note: note, At: time.Now()})
+}
+
+// Restore replaces the ledger's state with a recovered audit trail,
+// replaying each entry's arithmetic (including the clamp-at-zero refund
+// rule) to rebuild spent ε. It exists for crash recovery: a session
+// reopening its write-ahead log hands the replayed trail here, entries
+// keeping their originally recorded timestamps. The recovered spend may
+// legitimately exceed what a live ledger would have accepted (orphan
+// debits whose releases were never acknowledged) — that direction only
+// wastes budget, never leaks it — so Restore does not re-check the
+// total.
+func (l *Ledger) Restore(history []Debit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	spent := 0.0
+	for _, d := range history {
+		spent += d.Epsilon
+		if spent < 0 {
+			spent = 0
+		}
+	}
+	l.spent = spent
+	l.debits = append(l.debits[:0:0], history...)
 }
 
 // History returns a copy of the ledger's audit trail in spend order.

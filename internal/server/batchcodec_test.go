@@ -163,7 +163,7 @@ func TestParseQueryBodyRowLimit(t *testing.T) {
 // under one allocation per query in steady state (the pooled codec's whole
 // point; the seed spent ~3 allocs/query here).
 func TestServerBatchQueryAllocationBudget(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv := mustNew(t, Options{Workers: 1})
 	d, err := srv.Registry().AddSpatial("alloc", privtree.UnitCube(2), testPoints(20000), 4.0)
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +203,7 @@ func TestServerBatchQueryAllocationBudget(t *testing.T) {
 // semantics: answers must equal direct RangeCount calls on the same
 // release, including for exponent-form and boundary coordinates.
 func TestServerQueryAnswersUnchangedByCodec(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}))
+	ts := httptest.NewServer(mustNew(t, Options{}))
 	defer ts.Close()
 	client := ts.Client()
 

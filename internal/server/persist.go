@@ -1,0 +1,140 @@
+// Dataset persistence for privtreed's -data-dir mode. Layout:
+//
+//	<DataDir>/datasets/<name>/dataset.json   registration request + created_at
+//	<DataDir>/datasets/<name>/store/         the session's WAL + artifacts
+//
+// dataset.json replays the original registration on startup (synthetic
+// sources regenerate deterministically from their seed; inline sources
+// are stored verbatim — the raw data already lives inside the server's
+// trust boundary, that is the privacy model of registration). The store
+// directory is owned by internal/store via the session: it recovers
+// spent ε, the audit trail, and every committed release envelope.
+//
+// Ordering: dataset.json is written (tmp → fsync → rename → dir fsync)
+// and the store attached BEFORE the dataset becomes visible in the
+// registry, so no client can spend ε against a dataset whose ledger
+// would not survive a crash.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const datasetFileVersion = 1
+
+// persistedDataset is the dataset.json document.
+type persistedDataset struct {
+	Version   int             `json:"privtreed_dataset"`
+	CreatedAt time.Time       `json:"created_at"`
+	Request   registerRequest `json:"request"`
+}
+
+// datasetDir returns the persistence directory for a dataset name (names
+// are pre-validated by ValidateName, so they are path-safe by
+// construction).
+func (s *Server) datasetDir(name string) string {
+	return filepath.Join(s.opts.DataDir, "datasets", name)
+}
+
+// writeDatasetFile durably records the registration request: tmp write,
+// fsync, rename, directory fsync. After a crash either the complete file
+// exists or none does.
+func writeDatasetFile(dsDir string, req *registerRequest, createdAt time.Time) error {
+	if err := os.MkdirAll(dsDir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(persistedDataset{
+		Version:   datasetFileVersion,
+		CreatedAt: createdAt,
+		Request:   *req,
+	})
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(dsDir, "dataset.json")
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dsDir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// loadDataDir recovers every persisted dataset at startup: replay the
+// registration, attach the store (which restores the ledger and the
+// committed releases), and insert. Recovery is strict — a dataset that
+// cannot be restored fails startup rather than silently serving with a
+// forgotten budget.
+func (s *Server) loadDataDir() error {
+	if s.opts.DataDir == "" {
+		return nil
+	}
+	root := filepath.Join(s.opts.DataDir, "datasets")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil // fresh data dir
+	}
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		blob, err := os.ReadFile(filepath.Join(root, name, "dataset.json"))
+		if err != nil {
+			return fmt.Errorf("server: recovering dataset %q: %w", name, err)
+		}
+		var pd persistedDataset
+		if err := json.Unmarshal(blob, &pd); err != nil {
+			return fmt.Errorf("server: recovering dataset %q: corrupt dataset.json: %w", name, err)
+		}
+		if pd.Version != datasetFileVersion {
+			return fmt.Errorf("server: recovering dataset %q: unsupported dataset file version %d", name, pd.Version)
+		}
+		if pd.Request.Name != name {
+			return fmt.Errorf("server: recovering dataset %q: dataset.json names %q", name, pd.Request.Name)
+		}
+		d, err := s.buildDataset(&pd.Request)
+		if err != nil {
+			return fmt.Errorf("server: recovering dataset %q: %w", name, err)
+		}
+		d.CreatedAt = pd.CreatedAt
+		if err := d.AttachStore(filepath.Join(root, name, "store")); err != nil {
+			return fmt.Errorf("server: recovering dataset %q: %w", name, err)
+		}
+		if err := s.registry.Insert(d); err != nil {
+			d.Close()
+			return err
+		}
+	}
+	return nil
+}

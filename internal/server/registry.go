@@ -40,6 +40,10 @@ type Dataset struct {
 	data    *privtree.Data
 	session *privtree.Session
 
+	// store is the session's crash-safe persistence root (nil when the
+	// server runs without a data dir), kept for the store-bytes gauge.
+	store *privtree.Store
+
 	// Ledger is the session's ε accountant, exposed for budget reporting.
 	Ledger *privtree.Ledger
 
@@ -60,6 +64,88 @@ func (d *Dataset) Dims() int { return d.data.Dims() }
 
 // alphabet returns the sequence alphabet size (0 for spatial datasets).
 func (d *Dataset) alphabet() int { return d.data.Alphabet() }
+
+// AttachStore opens (creating if needed) the crash-safe store at dir,
+// attaches it to the dataset's session — recovering spent ε, the audit
+// trail, and every committed release — and registers the recovered
+// releases under fresh sequential IDs in their original commit order, so
+// a restarted server serves them under the same r1, r2, … names. Must be
+// called before the dataset receives traffic.
+func (d *Dataset) AttachStore(dir string) error {
+	st, err := privtree.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.session.WithStore(st); err != nil {
+		st.Close()
+		return err
+	}
+	d.store = st
+	for _, rr := range d.session.Restored() {
+		if err := d.restoreRelease(rr.Release, rr.At); err != nil {
+			return fmt.Errorf("server: dataset %q: restoring release: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// restoreRelease registers one recovered release: the persisted envelope
+// bytes are served verbatim (bit-identical across the restart), metadata
+// is rebuilt from the release's own provenance, and the ID continues the
+// r<N> sequence in commit order.
+func (d *Dataset) restoreRelease(rel *privtree.Release, at time.Time) error {
+	blob, err := rel.Envelope()
+	if err != nil {
+		return err
+	}
+	p := rel.Params()
+	out := &Release{
+		Kind: rel.Kind(),
+		Params: ReleaseParams{
+			Epsilon:            rel.Epsilon(),
+			Seed:               p.Seed,
+			Fanout:             p.Fanout,
+			Theta:              p.Theta,
+			TreeBudgetFraction: p.TreeBudgetFraction,
+			MaxDepth:           p.MaxDepth,
+			AffectedLeaves:     p.AffectedLeaves,
+			MaxLength:          p.MaxLength,
+		},
+		CreatedAt: at,
+		artifact:  blob,
+	}
+	if t, ok := rel.Spatial(); ok {
+		out.tree = t
+		out.Nodes, out.Height = t.Nodes(), t.Height()
+	}
+	if m, ok := rel.Sequence(); ok {
+		out.model = m
+		out.Nodes = m.Nodes()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.byKey[rel.Fingerprint()]; dup {
+		return fmt.Errorf("duplicate fingerprint %q in store", rel.Fingerprint())
+	}
+	d.nextID++
+	out.ID = fmt.Sprintf("r%d", d.nextID)
+	d.releases[out.ID] = out
+	d.byKey[rel.Fingerprint()] = out.ID
+	return nil
+}
+
+// StoreBytes returns the dataset's on-disk store footprint (0 without
+// persistence); /metrics exports it per dataset.
+func (d *Dataset) StoreBytes() int64 {
+	if d.store == nil {
+		return 0
+	}
+	return d.store.SizeBytes()
+}
+
+// Close releases the dataset's store (if any). Idempotent; all
+// acknowledged state is already durable.
+func (d *Dataset) Close() error { return d.session.Close() }
 
 // ReleaseParams are the client-settable knobs of one release: ε plus the
 // library's Params union. Together with the dataset they fully determine
@@ -152,9 +238,11 @@ func (d *Dataset) Release(p ReleaseParams, workers int) (*Release, bool, error) 
 	}
 	d.mu.RUnlock()
 
-	// First sighting of this fingerprint: marshal the envelope outside the
-	// lock (it is a pure function of the immutable release), then register.
-	blob, err := json.Marshal(rel)
+	// First sighting of this fingerprint: take the release's cached
+	// envelope — the SAME bytes the session persisted (if a store is
+	// attached), so the artifact endpoint, the store, and a post-restart
+	// recovery all serve bit-identical JSON.
+	blob, err := rel.Envelope()
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
 	}
@@ -259,36 +347,65 @@ func newDataset(name string, kind Kind, data *privtree.Data, epsilon float64) (*
 	}, nil
 }
 
-// AddSpatial registers a spatial dataset under a total privacy budget. The
-// data is validated eagerly (domain shape, points inside the domain) so
-// that a later release can only fail on release parameters.
-func (r *Registry) AddSpatial(name string, domain geom.Rect, points []privtree.Point, epsilon float64) (*Dataset, error) {
+// NewSpatialDataset builds (without registering) a spatial dataset under
+// a total privacy budget. The data is validated eagerly (domain shape,
+// points inside the domain) so that a later release can only fail on
+// release parameters. Attach persistence with AttachStore, then register
+// with Insert.
+func (r *Registry) NewSpatialDataset(name string, domain geom.Rect, points []privtree.Point, epsilon float64) (*Dataset, error) {
 	data, err := privtree.NewSpatialData(domain, points)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	d, err := newDataset(name, KindSpatial, data, epsilon)
-	if err != nil {
-		return nil, err
-	}
-	return d, r.insert(d)
+	return newDataset(name, KindSpatial, data, epsilon)
 }
 
-// AddSequence registers a sequence dataset under a total privacy budget.
-func (r *Registry) AddSequence(name string, alphabet int, seqs []privtree.Sequence, epsilon float64) (*Dataset, error) {
+// NewSequenceDataset builds (without registering) a sequence dataset
+// under a total privacy budget.
+func (r *Registry) NewSequenceDataset(name string, alphabet int, seqs []privtree.Sequence, epsilon float64) (*Dataset, error) {
 	data, err := privtree.NewSequenceData(alphabet, seqs)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	d, err := newDataset(name, KindSequence, data, epsilon)
+	return newDataset(name, KindSequence, data, epsilon)
+}
+
+// AddSpatial builds and registers a spatial dataset (in-memory only; the
+// server's registration path splits build from Insert so it can attach
+// persistence in between).
+func (r *Registry) AddSpatial(name string, domain geom.Rect, points []privtree.Point, epsilon float64) (*Dataset, error) {
+	d, err := r.NewSpatialDataset(name, domain, points, epsilon)
 	if err != nil {
 		return nil, err
 	}
-	return d, r.insert(d)
+	return d, r.Insert(d)
+}
+
+// AddSequence builds and registers a sequence dataset (in-memory only).
+func (r *Registry) AddSequence(name string, alphabet int, seqs []privtree.Sequence, epsilon float64) (*Dataset, error) {
+	d, err := r.NewSequenceDataset(name, alphabet, seqs, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return d, r.Insert(d)
 }
 
 // ErrExists reports a dataset-name collision; handlers map it to HTTP 409.
 var ErrExists = errors.New("dataset already registered")
+
+// Insert registers a built dataset under its name.
+func (r *Registry) Insert(d *Dataset) error { return r.insert(d) }
+
+// Close closes every dataset's store, returning the first error.
+func (r *Registry) Close() error {
+	var first error
+	for _, d := range r.List() {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 func (r *Registry) insert(d *Dataset) error {
 	if err := ValidateName(d.Name); err != nil {

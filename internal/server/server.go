@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +58,13 @@ type Options struct {
 	MaxBatch int
 	// MaxSyntheticN caps synthetic dataset cardinality; 0 means 5,000,000.
 	MaxSyntheticN int
+	// DataDir, when non-empty, makes the server durable: every dataset's
+	// registration request, privacy ledger (write-ahead logged,
+	// fsync-on-debit), and release envelopes persist under this directory,
+	// and New recovers them all on startup — spent ε, audit trails, and
+	// bit-identical cached artifacts survive a restart. Empty means the
+	// pre-existing in-memory behavior.
+	DataDir string
 }
 
 // Server is the privtreed HTTP handler.
@@ -64,14 +73,24 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	opts     Options
+	// regMu serializes registrations: with persistence, a registration is
+	// a multi-step transaction (dataset file, store attach, insert) and
+	// the name check must be authoritative, not advisory. Registration is
+	// cold-path; queries and releases never touch this lock.
+	regMu sync.Mutex
 	// scratch pools the per-request buffers of the batched query plane, so
 	// a steady query load performs O(1) allocations per batch (see
 	// batchcodec.go) instead of O(1) per query.
 	scratch sync.Pool
 }
 
-// New returns a ready-to-serve Server.
-func New(opts Options) *Server {
+// New returns a ready-to-serve Server. With Options.DataDir set it first
+// recovers every persisted dataset: the registration request is replayed
+// (synthetic data regenerates deterministically from its seed), the
+// ledger's spent ε and audit trail are rebuilt from the write-ahead log,
+// and committed releases are served again — same IDs, bit-identical
+// envelopes — without any new ε spend.
+func New(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = 256 << 20
 	}
@@ -96,11 +115,18 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
-	return s
+	if err := s.loadDataDir(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Registry exposes the dataset registry (programmatic registration, tests).
 func (s *Server) Registry() *Registry { return s.registry }
+
+// Close releases every dataset's store. All acknowledged ledger traffic
+// and artifacts are already durable — Close is hygiene, not a flush.
+func (s *Server) Close() error { return s.registry.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -189,6 +215,7 @@ type datasetInfo struct {
 	EpsilonTotal     float64    `json:"epsilon_total"`
 	EpsilonSpent     float64    `json:"epsilon_spent"`
 	EpsilonRemaining float64    `json:"epsilon_remaining"`
+	StoreBytes       int64      `json:"store_bytes,omitempty"`
 	Releases         []*Release `json:"releases,omitempty"`
 	NumReleases      int        `json:"num_releases"`
 }
@@ -201,6 +228,7 @@ func info(d *Dataset, withReleases bool) datasetInfo {
 		EpsilonTotal:     d.Ledger.Total(),
 		EpsilonSpent:     d.Ledger.Spent(),
 		EpsilonRemaining: d.Ledger.Remaining(),
+		StoreBytes:       d.StoreBytes(),
 		NumReleases:      d.NumReleases(),
 	}
 	if withReleases {
@@ -249,17 +277,61 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, registerResponse{datasetInfo: info(d, false), N: d.N()})
 }
 
-// register builds the dataset described by req and inserts it. The cheap
-// checks — name shape, name collision, budget — run first: rejecting a
-// request after generating or validating millions of points would make
-// malformed requests an amplification vector. (The collision check here is
-// advisory; Registry.insert re-checks under the lock.)
+// register runs the registration transaction for req: build the dataset,
+// persist its registration request and attach its store (when the server
+// has a data dir), then insert it into the registry. Registrations are
+// serialized by regMu so the name check is authoritative — with
+// persistence, two racing registrations of one name must not both write
+// dataset files.
 func (s *Server) register(req *registerRequest) (*Dataset, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	if err := ValidateName(req.Name); err != nil {
 		return nil, err
 	}
 	if _, taken := s.registry.Get(req.Name); taken {
 		return nil, fmt.Errorf("server: dataset %q: %w", req.Name, ErrExists)
+	}
+	d, err := s.buildDataset(req)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.DataDir != "" {
+		// Durability before visibility: the registration file and the
+		// (empty) store must exist before any client can spend ε against
+		// the dataset, so no debit can ever land in memory only.
+		dsDir := s.datasetDir(d.Name)
+		if err := writeDatasetFile(dsDir, req, d.CreatedAt); err != nil {
+			return nil, fmt.Errorf("server: persisting dataset %q: %w", d.Name, err)
+		}
+		if err := d.AttachStore(filepath.Join(dsDir, "store")); err != nil {
+			// The client is told the registration failed, so nothing of it
+			// may survive to resurrect on the next restart. Removal is safe:
+			// regMu serializes registrations, no other writer owns dsDir.
+			os.RemoveAll(dsDir)
+			return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+		}
+		if err := s.registry.Insert(d); err != nil {
+			d.Close()
+			os.RemoveAll(dsDir)
+			return nil, err
+		}
+		return d, nil
+	}
+	if err := s.registry.Insert(d); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// buildDataset constructs (without registering) the dataset described by
+// req. The cheap checks — name shape, budget — run first: rejecting a
+// request after generating or validating millions of points would make
+// malformed requests an amplification vector.
+func (s *Server) buildDataset(req *registerRequest) (*Dataset, error) {
+	if err := ValidateName(req.Name); err != nil {
+		return nil, err
 	}
 	if !(req.Epsilon > 0) || math.IsInf(req.Epsilon, 0) {
 		return nil, fmt.Errorf("server: total budget epsilon must be positive and finite, got %v", req.Epsilon)
@@ -292,7 +364,7 @@ func (s *Server) register(req *registerRequest) (*Dataset, error) {
 		for i, row := range req.Sequences {
 			seqs[i] = privtree.Sequence(row)
 		}
-		return s.registry.AddSequence(req.Name, req.Alphabet, seqs, req.Epsilon)
+		return s.registry.NewSequenceDataset(req.Name, req.Alphabet, seqs, req.Epsilon)
 	default:
 		var domain geom.Rect
 		if req.Domain != nil {
@@ -328,12 +400,14 @@ func (s *Server) register(req *registerRequest) (*Dataset, error) {
 				domain = geom.UnitCube(len(pts[0]))
 			}
 		}
-		return s.registry.AddSpatial(req.Name, domain, pts, req.Epsilon)
+		return s.registry.NewSpatialDataset(req.Name, domain, pts, req.Epsilon)
 	}
 }
 
 // registerSynthetic generates one of the paper's synthetic datasets
 // server-side; useful for demos and load tests without shipping data.
+// Regeneration is a pure function of (generator, n, seed), which is what
+// lets a persisted synthetic dataset replay identically on restart.
 func (s *Server) registerSynthetic(req *registerRequest, kind Kind) (*Dataset, error) {
 	spec := req.Synthetic
 	if spec.N < 1 || spec.N > s.opts.MaxSyntheticN {
@@ -343,7 +417,7 @@ func (s *Server) registerSynthetic(req *registerRequest, kind Kind) (*Dataset, e
 	switch {
 	case kind == KindSpatial && spatialGenerators[spec.Generator]:
 		ds := synth.SpatialByName(spec.Generator, spec.N, rng)
-		return s.registry.AddSpatial(req.Name, ds.Domain, ds.Points, req.Epsilon)
+		return s.registry.NewSpatialDataset(req.Name, ds.Domain, ds.Points, req.Epsilon)
 	case kind == KindSequence && sequenceGenerators[spec.Generator]:
 		ds := synth.SequenceByName(spec.Generator, spec.N, rng)
 		seqs := make([]privtree.Sequence, len(ds.Seqs))
@@ -354,7 +428,7 @@ func (s *Server) registerSynthetic(req *registerRequest, kind Kind) (*Dataset, e
 			}
 			seqs[i] = out
 		}
-		return s.registry.AddSequence(req.Name, ds.Alphabet.Size, seqs, req.Epsilon)
+		return s.registry.NewSequenceDataset(req.Name, ds.Alphabet.Size, seqs, req.Epsilon)
 	}
 	return nil, fmt.Errorf("server: unknown %s generator %q (spatial: road, gowalla, nyc, beijing; sequence: mooc, msnbc)",
 		kind, spec.Generator)
@@ -579,14 +653,20 @@ type metricsResponse struct {
 	QueryNanosTotal  int64            `json:"query_nanos_total"`
 	ReleasesBuilt    int64            `json:"releases_built"`
 	ReleaseCacheHits int64            `json:"release_cache_hits"`
-	Datasets         []datasetInfo    `json:"datasets"`
+	// StoreBytesTotal sums every dataset's on-disk ledger+artifact
+	// footprint (0 without -data-dir); the per-dataset gauges — including
+	// remaining ε — ride each entry of Datasets.
+	StoreBytesTotal int64         `json:"store_bytes_total"`
+	Datasets        []datasetInfo `json:"datasets"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ds := s.registry.List()
 	infos := make([]datasetInfo, len(ds))
+	var storeBytes int64
 	for i, d := range ds {
 		infos[i] = info(d, false)
+		storeBytes += infos[i].StoreBytes
 	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		UptimeSeconds:    s.metrics.uptime().Seconds(),
@@ -597,6 +677,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		QueryNanosTotal:  s.metrics.queryNanos.Load(),
 		ReleasesBuilt:    s.metrics.releasesBuilt.Load(),
 		ReleaseCacheHits: s.metrics.releaseCacheHits.Load(),
+		StoreBytesTotal:  storeBytes,
 		Datasets:         infos,
 	})
 }

@@ -44,6 +44,16 @@ func doJSON(t *testing.T, client *http.Client, method, url string, body any, out
 	return resp.StatusCode
 }
 
+// mustNew builds a server for tests, failing on (startup-recovery) error.
+func mustNew(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // testPoints generates a clustered 2-D dataset.
 func testPoints(n int) []privtree.Point {
 	rng := rand.New(rand.NewPCG(7, 9))
@@ -75,7 +85,7 @@ func clamp01(x float64) float64 {
 // 10k-query batch against a released tree, and verify that the over-budget
 // release is rejected with the structured budget error.
 func TestServerEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}))
+	ts := httptest.NewServer(mustNew(t, Options{}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -271,7 +281,7 @@ func TestServerEndToEnd(t *testing.T) {
 // TestServerSequenceDataset exercises the sequence pipeline end to end:
 // register sequences, release a model, answer frequency queries.
 func TestServerSequenceDataset(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}))
+	ts := httptest.NewServer(mustNew(t, Options{}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -324,7 +334,7 @@ func TestServerSequenceDataset(t *testing.T) {
 
 // TestServerSyntheticAndCSV covers the two remaining ingestion paths.
 func TestServerSyntheticAndCSV(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}))
+	ts := httptest.NewServer(mustNew(t, Options{}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -361,7 +371,7 @@ func TestServerSyntheticAndCSV(t *testing.T) {
 
 // TestServerRejectsBadRequests covers the validation surface.
 func TestServerRejectsBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New(Options{MaxBatch: 100}))
+	ts := httptest.NewServer(mustNew(t, Options{MaxBatch: 100}))
 	defer ts.Close()
 	client := ts.Client()
 
@@ -444,7 +454,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 // the cached artifact. Run with -race this also proves the registry and
 // ledger are data-race free under concurrent traffic.
 func TestServerConcurrentReleaseSingleDebit(t *testing.T) {
-	srv := New(Options{})
+	srv := mustNew(t, Options{})
 	reg := srv.Registry()
 	d, err := reg.AddSpatial("conc", privtree.UnitCube(2), testPoints(5000), 1.0)
 	if err != nil {

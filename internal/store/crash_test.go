@@ -1,0 +1,290 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+)
+
+// Crash-injection harness. The parent test re-executes this test binary
+// as a child that runs a fixed ledger workload with a crash hook armed at
+// one fault point; the hook SIGKILLs the child mid-operation — no
+// deferred cleanup, no atexit, exactly a process crash. The child prints
+// an ACK line only AFTER each store call returns (i.e. after the fsync
+// that makes it durable). The parent then recovers the directory and
+// checks the crash-safety contract at every fault point:
+//
+//   - every acknowledged debit is recovered (spent ε never under-counts);
+//   - every acknowledged refund and commit is recovered (durable before
+//     the caller was told about them);
+//   - every acknowledged commit's artifact loads and matches its SHA;
+//   - nothing recovered lies outside the child's op universe.
+//
+// Unacknowledged operations MAY be recovered (the crash landed between
+// fsync and ACK) — that direction only over-counts spent ε, which is the
+// safe failure mode for a privacy ledger.
+
+const (
+	crashChildEnv  = "PRIVTREE_STORE_CRASH_CHILD"
+	crashDirEnv    = "PRIVTREE_STORE_CRASH_DIR"
+	crashPointEnv  = "PRIVTREE_STORE_CRASH_POINT"
+	crashHitEnv    = "PRIVTREE_STORE_CRASH_HIT"
+	crashWorkloadN = 12
+)
+
+// childEps returns the (exactly representable) debit amount of op i, so
+// float comparisons between parent and recovery are equality, not
+// tolerance.
+func childEps(i int) float64 { return float64(i+1) / 64 }
+
+func childKey(i int) string { return fmt.Sprintf("rel-%d", i) }
+
+func childEnvelope(i int) []byte {
+	return []byte(fmt.Sprintf(`{"privtree_release":1,"kind":"spatial","payload":{"i":%d}}`, i))
+}
+
+// TestCrashInjectionHelper is the child body; it skips unless re-executed
+// by TestCrashInjectionRecovery.
+func TestCrashInjectionHelper(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "1" {
+		t.Skip("crash-harness child process only")
+	}
+	dir := os.Getenv(crashDirEnv)
+	point := os.Getenv(crashPointEnv)
+	hit, _ := strconv.Atoi(os.Getenv(crashHitEnv))
+	var seen atomic.Int64
+	SetCrashHook(func(p string) {
+		if p != point {
+			return
+		}
+		if int(seen.Add(1)) == hit {
+			// A real crash: no flushes, no cleanup, straight to SIGKILL.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+	})
+	defer SetCrashHook(nil)
+
+	st, err := Open(dir)
+	if err != nil {
+		fmt.Printf("CHILD-ERROR open: %v\n", err)
+		os.Exit(1)
+	}
+	ack := func(format string, args ...any) {
+		// os.Stdout is unbuffered: the line is in the parent's pipe before
+		// the next store call can crash us.
+		fmt.Fprintf(os.Stdout, format+"\n", args...)
+	}
+	for i := 0; i < crashWorkloadN; i++ {
+		key, eps := childKey(i), childEps(i)
+		if err := st.AppendDebit(eps, key); err != nil {
+			fmt.Printf("CHILD-ERROR debit %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		ack("ACK debit %s %.17g", key, eps)
+		if i%3 == 0 {
+			env := childEnvelope(i)
+			if err := st.CommitRelease(key, env); err != nil {
+				fmt.Printf("CHILD-ERROR commit %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			sha := sha256.Sum256(env)
+			ack("ACK commit %s %s", key, hex.EncodeToString(sha[:]))
+		}
+		if i == 7 {
+			// A failed build's refund: durable before the error returns.
+			if err := st.AppendRefund(eps, key); err != nil {
+				fmt.Printf("CHILD-ERROR refund %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			ack("ACK refund %s %.17g", key, eps)
+		}
+		if i == 9 {
+			if err := st.Compact(); err != nil {
+				fmt.Printf("CHILD-ERROR compact: %v\n", err)
+				os.Exit(1)
+			}
+			ack("ACK compact")
+		}
+	}
+	fmt.Println("DONE")
+}
+
+// ackedOp is one operation the child acknowledged before dying.
+type ackedOp struct {
+	kind string // "debit", "refund", "commit"
+	key  string
+	eps  float64
+	sha  string
+}
+
+func parseAcks(t *testing.T, out []byte) (acks []ackedOp, done bool) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "CHILD-ERROR"):
+			t.Fatalf("child reported an unexpected store error: %s", line)
+		case line == "DONE":
+			done = true
+		case line == "ACK compact":
+		case strings.HasPrefix(line, "ACK "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed ACK line %q", line)
+			}
+			op := ackedOp{kind: fields[1], key: fields[2]}
+			if op.kind == "commit" {
+				op.sha = fields[3]
+			} else {
+				eps, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					t.Fatalf("bad eps in ACK line %q: %v", line, err)
+				}
+				op.eps = eps
+			}
+			acks = append(acks, op)
+		}
+	}
+	return acks, done
+}
+
+func TestCrashInjectionRecovery(t *testing.T) {
+	if runtimeGOOS := os.Getenv("GOOS"); runtimeGOOS != "" && runtimeGOOS != "linux" {
+		t.Skip("SIGKILL harness is POSIX-only")
+	}
+	for _, point := range CrashPoints {
+		for _, hit := range []int{1, 4} {
+			point, hit := point, hit
+			t.Run(fmt.Sprintf("%s/hit%d", point, hit), func(t *testing.T) {
+				dir := t.TempDir()
+				cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashInjectionHelper$", "-test.v")
+				cmd.Env = append(os.Environ(),
+					crashChildEnv+"=1",
+					crashDirEnv+"="+dir,
+					crashPointEnv+"="+point,
+					crashHitEnv+"="+strconv.Itoa(hit),
+				)
+				var stdout, stderr bytes.Buffer
+				cmd.Stdout, cmd.Stderr = &stdout, &stderr
+				err := cmd.Run()
+				acks, done := parseAcks(t, stdout.Bytes())
+				if err == nil && !done {
+					t.Fatalf("child exited cleanly without finishing its workload\nstdout:\n%s\nstderr:\n%s",
+						stdout.String(), stderr.String())
+				}
+				if err != nil {
+					// The child must have died by our SIGKILL, not a panic
+					// or test failure.
+					ee, ok := err.(*exec.ExitError)
+					if !ok || !ee.ProcessState.Exited() && ee.ProcessState.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+						t.Fatalf("child died abnormally: %v\nstdout:\n%s\nstderr:\n%s",
+							err, stdout.String(), stderr.String())
+					}
+				}
+				verifyRecovery(t, dir, acks)
+			})
+		}
+	}
+}
+
+// verifyRecovery opens the crashed directory and checks the contract
+// against the acknowledged operations.
+func verifyRecovery(t *testing.T, dir string, acks []ackedOp) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer st.Close()
+
+	events, commits := st.Events(), st.Commits()
+	type ledgerKey struct {
+		kind EventKind
+		key  string
+	}
+	recovered := make(map[ledgerKey]Event)
+	for _, e := range events {
+		recovered[ledgerKey{e.Kind, e.Key}] = e
+	}
+	commitByKey := make(map[string]Event)
+	for _, c := range commits {
+		commitByKey[c.Key] = c
+	}
+
+	ackedDebits, ackedRefunds := 0.0, 0.0
+	for _, op := range acks {
+		switch op.kind {
+		case "debit":
+			e, ok := recovered[ledgerKey{EventDebit, op.key}]
+			if !ok {
+				t.Fatalf("acknowledged debit %s FORGOTTEN by recovery (ε under-count)", op.key)
+			}
+			if e.Epsilon != op.eps {
+				t.Fatalf("debit %s recovered with ε=%v, acknowledged ε=%v", op.key, e.Epsilon, op.eps)
+			}
+			ackedDebits += op.eps
+		case "refund":
+			e, ok := recovered[ledgerKey{EventRefund, op.key}]
+			if !ok {
+				t.Fatalf("acknowledged refund %s forgotten by recovery", op.key)
+			}
+			if e.Epsilon != op.eps {
+				t.Fatalf("refund %s recovered with ε=%v, acknowledged ε=%v", op.key, e.Epsilon, op.eps)
+			}
+			ackedRefunds += op.eps
+		case "commit":
+			c, ok := commitByKey[op.key]
+			if !ok {
+				t.Fatalf("acknowledged commit %s forgotten by recovery", op.key)
+			}
+			if hex.EncodeToString(c.SHA[:]) != op.sha {
+				t.Fatalf("commit %s recovered with sha %x, acknowledged %s", op.key, c.SHA, op.sha)
+			}
+			blob, err := st.LoadArtifact(c.SHA)
+			if err != nil {
+				t.Fatalf("acknowledged artifact %s unreadable after crash: %v", op.key, err)
+			}
+			if sha256.Sum256(blob) != c.SHA {
+				t.Fatalf("artifact %s bytes do not match content address", op.key)
+			}
+		}
+	}
+
+	// Spent never under-counts what was acknowledged. (Refunds the child
+	// issued but had not yet acknowledged can legitimately lower spent —
+	// they were durable before any error would have been returned — so the
+	// bound subtracts every refund the workload can issue.)
+	maxRefund := childEps(7)
+	if spent := st.SpentEpsilon(); spent < ackedDebits-math.Max(ackedRefunds, maxRefund)-1e-12 {
+		t.Fatalf("recovered spent ε=%v under-counts acknowledged debits %v (refunds ≤ %v)",
+			spent, ackedDebits, maxRefund)
+	}
+
+	// Recovery must not invent operations outside the child's universe.
+	validKeys := make(map[string]bool, crashWorkloadN)
+	for i := 0; i < crashWorkloadN; i++ {
+		validKeys[childKey(i)] = true
+	}
+	for _, e := range events {
+		if !validKeys[e.Key] {
+			t.Fatalf("recovered event with unknown key %q", e.Key)
+		}
+	}
+	for _, c := range commits {
+		if !validKeys[c.Key] {
+			t.Fatalf("recovered commit with unknown key %q", c.Key)
+		}
+	}
+}

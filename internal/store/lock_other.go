@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no inter-process store lock; single-process use
+// remains correct, and the unix builds (the deployment targets) enforce
+// exclusivity.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) error { return nil }

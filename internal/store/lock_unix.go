@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking flock on dir/LOCK. Two
+// processes running the same store would each recover the same spent ε
+// and then independently spend the remaining budget — up to 2× the
+// configured total — and interleave appends over each other's frames;
+// the lock turns that misconfiguration into a startup error. The lock is
+// advisory (flock), which every cooperating store honors; it dies with
+// the process, so a SIGKILL never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	// Closing the descriptor releases the flock.
+	return f.Close()
+}

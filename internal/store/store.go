@@ -1,0 +1,526 @@
+// Package store gives privtree sessions crash-safe persistence: an
+// append-only, fsync-on-debit write-ahead log of privacy-ledger events
+// plus a content-addressed artifact store for release wire envelopes.
+//
+// Privacy argument. A privacy ledger that forgets a debit is an ε
+// violation: sequential composition bounds the privacy loss of everything
+// ever released about a dataset by the SUM of its debits, so an
+// accountant that restarts empty lets an adversary who can bounce the
+// process spend the budget again — unbounded ε. The store enforces the
+// only safe ordering:
+//
+//   - a debit is durable (appended and fsynced) BEFORE the mechanism it
+//     pays for runs, so no release can exist whose debit a crash forgets;
+//   - a refund is durable BEFORE the build failure is returned, so budget
+//     credited back in memory cannot silently out-live its justification;
+//   - a release's envelope is durable (content-addressed file, then a
+//     commit record) before the release is served as cached across
+//     restarts, so a recovered cache hit re-publishes exactly the bytes
+//     already paid for — post-processing, never a new spend.
+//
+// Crashes therefore only ever lose refunds and commits, never debits:
+// recovered spent-ε is ≥ the ε of every acknowledged debit. The failure
+// direction is over-counting (wasted budget), never under-counting
+// (privacy violation).
+//
+// On disk a store directory holds:
+//
+//	ledger.wal      CRC-framed event log (see wal.go)
+//	snapshot.json   compaction snapshot: events+commits up to a seq cursor
+//	artifacts/      <sha256(envelope)>.json, written via tmp+fsync+rename
+//
+// Recovery is a single sequential pass: load the snapshot (if any), then
+// replay WAL records with seq beyond the snapshot cursor; a torn tail is
+// truncated. Compact folds the current state into a fresh snapshot and
+// rotates the WAL.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CrashFunc is a fault-injection hook: tests install one with
+// SetCrashHook and kill the process at a named fault point to prove the
+// recovery invariants. The points sit at every durability boundary —
+// before/after the WAL write, after its fsync, after the artifact temp
+// write, after its rename, and between artifact durability and the
+// commit record.
+type CrashFunc func(point string)
+
+var crashHook atomic.Pointer[CrashFunc]
+
+// SetCrashHook installs f (nil to clear) as the process-wide fault-point
+// hook. Production code never sets it; the hot path pays one atomic load.
+func SetCrashHook(f CrashFunc) {
+	if f == nil {
+		crashHook.Store(nil)
+		return
+	}
+	crashHook.Store(&f)
+}
+
+// CrashPoints enumerates every fault point, in the order they occur on
+// the append/commit paths; the crash-injection tests iterate it.
+var CrashPoints = []string{
+	"wal.before_write",
+	"wal.after_write",
+	"wal.after_sync",
+	"artifact.after_write",
+	"artifact.after_rename",
+	"commit.before_record",
+	"snapshot.after_rename",
+}
+
+func crash(point string) {
+	if f := crashHook.Load(); f != nil {
+		(*f)(point)
+	}
+}
+
+// Store is a crash-safe persistence root for one privacy ledger and its
+// release artifacts. It is safe for concurrent use; every mutating call
+// returns only after the mutation is durable.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *wal
+	lock *os.File // exclusive flock on dir/LOCK (nil on non-unix)
+
+	closed      bool
+	snapshotSeq uint64
+
+	events  []Event // debits and refunds, replay order
+	commits []Event // release commits, replay order
+	byKey   map[string]int
+
+	snapshotBytes int64
+	artifactBytes int64
+}
+
+const snapshotVersion = 1
+
+// snapshot.json wire form. SHA is hex so the file stays greppable.
+type snapshotFile struct {
+	Version int         `json:"privtree_store_snapshot"`
+	Seq     uint64      `json:"seq"`
+	Events  []snapEvent `json:"events"`
+	Commits []snapEvent `json:"commits"`
+}
+
+type snapEvent struct {
+	Seq     uint64  `json:"seq"`
+	Kind    string  `json:"kind"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Key     string  `json:"key"`
+	At      int64   `json:"at_unix_nano"`
+	SHA     string  `json:"sha256,omitempty"`
+}
+
+// Open opens (creating if needed) the store rooted at dir and recovers
+// its state: snapshot first, then the WAL's valid record prefix. The
+// recovered events and commits are available from Events and Commits.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
+		return nil, err
+	}
+	// One process per store: concurrent writers would double-spend the
+	// recovered budget and interleave frames over each other.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, lock: lock, byKey: make(map[string]int)}
+	if err := s.loadSnapshot(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	w, tail, err := openWAL(filepath.Join(dir, "ledger.wal"))
+	if err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	s.wal = w
+	if w.nextSeq <= s.snapshotSeq {
+		w.nextSeq = s.snapshotSeq + 1
+	}
+	for i := range tail {
+		e := tail[i]
+		if e.Seq <= s.snapshotSeq {
+			continue // already folded into the snapshot before a rotate crash
+		}
+		s.apply(e)
+	}
+	if err := s.scanArtifacts(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	// Make the directory entries themselves durable (first creation).
+	if err := syncDir(dir); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// apply folds one recovered or appended event into the in-memory state.
+func (s *Store) apply(e Event) {
+	switch e.Kind {
+	case EventCommit:
+		if _, dup := s.byKey[e.Key]; dup {
+			return // duplicated commit for a key: first one wins
+		}
+		s.commits = append(s.commits, e)
+		s.byKey[e.Key] = len(s.commits) - 1
+	default:
+		s.events = append(s.events, e)
+	}
+}
+
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.dir, "snapshot.json")
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	restore := func(kind EventKind, rows []snapEvent) error {
+		for _, r := range rows {
+			e := Event{Seq: r.Seq, Epsilon: r.Epsilon, Key: r.Key, At: time.Unix(0, r.At)}
+			switch {
+			case kind == EventCommit && r.Kind == "commit":
+				sha, err := hex.DecodeString(r.SHA)
+				if err != nil || len(sha) != 32 {
+					return fmt.Errorf("store: snapshot commit %q has bad sha %q", r.Key, r.SHA)
+				}
+				copy(e.SHA[:], sha)
+				e.Kind = EventCommit
+			case kind != EventCommit && r.Kind == "debit":
+				e.Kind = EventDebit
+			case kind != EventCommit && r.Kind == "refund":
+				e.Kind = EventRefund
+			default:
+				return fmt.Errorf("store: snapshot row has unexpected kind %q", r.Kind)
+			}
+			if e.Kind != EventCommit && (!(e.Epsilon > 0) || math.IsInf(e.Epsilon, 0)) {
+				return fmt.Errorf("store: snapshot %s row has unusable epsilon %v", r.Kind, r.Epsilon)
+			}
+			s.apply(e)
+		}
+		return nil
+	}
+	if err := restore(EventDebit, snap.Events); err != nil {
+		return err
+	}
+	if err := restore(EventCommit, snap.Commits); err != nil {
+		return err
+	}
+	s.snapshotSeq = snap.Seq
+	s.snapshotBytes = int64(len(blob))
+	return nil
+}
+
+// scanArtifacts totals the artifact bytes on disk (for the store-bytes
+// gauge) without reading file contents.
+func (s *Store) scanArtifacts() error {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "artifacts"))
+	if err != nil {
+		return err
+	}
+	s.artifactBytes = 0
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		s.artifactBytes += fi.Size()
+	}
+	return nil
+}
+
+// Events returns the recovered-plus-appended ledger events (debits and
+// refunds) in order.
+func (s *Store) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Commits returns the committed releases in commit order.
+func (s *Store) Commits() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.commits))
+	copy(out, s.commits)
+	return out
+}
+
+// SpentEpsilon folds the event log into net spent ε, mirroring the
+// ledger's clamp-at-zero refund arithmetic.
+func (s *Store) SpentEpsilon() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spent := 0.0
+	for _, e := range s.events {
+		switch e.Kind {
+		case EventDebit:
+			spent += e.Epsilon
+		case EventRefund:
+			spent -= e.Epsilon
+			if spent < 0 {
+				spent = 0
+			}
+		}
+	}
+	return spent
+}
+
+func (s *Store) appendLocked(e *Event) error {
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if e.Key == "" || len(e.Key) > maxKeyLen {
+		return fmt.Errorf("store: record key must be 1..%d bytes, got %d", maxKeyLen, len(e.Key))
+	}
+	// The sequence number is burned even when the append FAILS: a record
+	// whose fsync errored may still be durable, and if a retry reused its
+	// seq the recovery's duplicate-skip would silently drop the retried —
+	// acknowledged — record. A gap in the sequence is harmless (recovery
+	// only requires strictly increasing); a collision under-counts ε.
+	e.Seq = s.wal.nextSeq
+	s.wal.nextSeq++
+	if err := s.wal.append(e); err != nil {
+		return err
+	}
+	s.apply(*e)
+	return nil
+}
+
+// AppendDebit makes an ε debit durable: the call returns only after the
+// record is written and fsynced. Callers must invoke it BEFORE running
+// the mechanism the debit pays for.
+func (s *Store) AppendDebit(eps float64, key string) error {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("store: debit epsilon must be positive and finite, got %v", eps)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&Event{Kind: EventDebit, At: time.Now(), Epsilon: eps, Key: key})
+}
+
+// AppendRefund makes an ε refund durable. Callers must invoke it BEFORE
+// returning the build failure that justifies the refund.
+func (s *Store) AppendRefund(eps float64, key string) error {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return fmt.Errorf("store: refund epsilon must be positive and finite, got %v", eps)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(&Event{Kind: EventRefund, At: time.Now(), Epsilon: eps, Key: key})
+}
+
+// CommitRelease persists envelope in the content-addressed artifact
+// store and then appends the commit record binding key (the release
+// fingerprint) to the envelope's SHA-256. The artifact is durable before
+// the record: a crash in between leaves an orphan file (harmless, and
+// reclaimed by the next commit of the same content), never a record
+// pointing at missing bytes.
+func (s *Store) CommitRelease(key string, envelope []byte) error {
+	if len(envelope) == 0 {
+		return fmt.Errorf("store: refusing to commit empty envelope for %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if i, ok := s.byKey[key]; ok {
+		if s.commits[i].SHA != sha256.Sum256(envelope) {
+			return fmt.Errorf("store: key %q already committed with different content", key)
+		}
+		return nil // idempotent re-commit
+	}
+	sha, size, err := s.writeArtifact(envelope)
+	if err != nil {
+		return err
+	}
+	crash("commit.before_record")
+	if err := s.appendLocked(&Event{Kind: EventCommit, At: time.Now(), Key: key, SHA: sha}); err != nil {
+		return err
+	}
+	s.artifactBytes += size
+	return nil
+}
+
+// writeArtifact stores blob as artifacts/<sha256>.json via the
+// tmp → fsync → rename → dir-fsync dance, so a crash never leaves a
+// partially written file under the final name. Returns the content
+// address and the bytes newly added on disk (0 when deduplicated).
+func (s *Store) writeArtifact(blob []byte) ([32]byte, int64, error) {
+	sha := sha256.Sum256(blob)
+	dir := filepath.Join(s.dir, "artifacts")
+	final := filepath.Join(dir, hex.EncodeToString(sha[:])+".json")
+	if _, err := os.Stat(final); err == nil {
+		return sha, 0, nil // content-addressed: same name is same bytes
+	}
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return sha, 0, err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return sha, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return sha, 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return sha, 0, err
+	}
+	crash("artifact.after_write")
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return sha, 0, err
+	}
+	crash("artifact.after_rename")
+	if err := syncDir(dir); err != nil {
+		return sha, 0, err
+	}
+	return sha, int64(len(blob)), nil
+}
+
+// LoadArtifact reads a committed envelope back by content address and
+// verifies the bytes against it, so silent on-disk corruption surfaces
+// as an error instead of a forged release.
+func (s *Store) LoadArtifact(sha [32]byte) ([]byte, error) {
+	path := filepath.Join(s.dir, "artifacts", hex.EncodeToString(sha[:])+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if sha256.Sum256(blob) != sha {
+		return nil, fmt.Errorf("store: artifact %s fails its content hash", path)
+	}
+	return blob, nil
+}
+
+// Compact folds the current state into a fresh snapshot and rotates the
+// WAL. Recovery after a crash at any point is consistent: the snapshot
+// becomes visible atomically (rename), and stale WAL records left by a
+// crash before the rotate are skipped via the snapshot's seq cursor.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	snap := snapshotFile{Version: snapshotVersion, Seq: s.wal.nextSeq - 1}
+	for _, e := range s.events {
+		snap.Events = append(snap.Events, snapEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), Epsilon: e.Epsilon, Key: e.Key, At: e.At.UnixNano()})
+	}
+	for _, e := range s.commits {
+		snap.Commits = append(snap.Commits, snapEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
+			SHA: hex.EncodeToString(e.SHA[:])})
+	}
+	blob, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, "snapshot.json")
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	crash("snapshot.after_rename")
+	s.snapshotSeq = snap.Seq
+	s.snapshotBytes = int64(len(blob))
+	return s.wal.rotate()
+}
+
+// SizeBytes returns the store's on-disk footprint: WAL + snapshot +
+// artifacts. It is the /metrics store-bytes gauge.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.size + s.snapshotBytes + s.artifactBytes
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the WAL file handle. Close is idempotent; every
+// acknowledged mutation is already durable, so Close never loses data.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.close()
+	if uerr := unlockDir(s.lock); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creations in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"crypto/sha256"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env1 := []byte(`{"privtree_release":1,"kind":"spatial","payload":{}}`)
+	env2 := []byte(`{"privtree_release":1,"kind":"sequence","payload":{}}`)
+	if err := s.AppendDebit(0.5, "rel-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRelease("rel-a", env1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDebit(0.25, "rel-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRefund(0.25, "rel-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDebit(0.125, "rel-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRelease("rel-c", env2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SpentEpsilon(); got != 0.5+0.125 {
+		t.Fatalf("spent = %v, want %v", got, 0.5+0.125)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.SpentEpsilon(); got != 0.5+0.125 {
+		t.Fatalf("recovered spent = %v, want %v", got, 0.5+0.125)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("recovered %d ledger events, want 4: %+v", len(events), events)
+	}
+	wantKinds := []EventKind{EventDebit, EventDebit, EventRefund, EventDebit}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d kind = %s, want %s", i, e.Kind, wantKinds[i])
+		}
+	}
+	commits := r.Commits()
+	if len(commits) != 2 || commits[0].Key != "rel-a" || commits[1].Key != "rel-c" {
+		t.Fatalf("recovered commits wrong: %+v", commits)
+	}
+	for i, want := range [][]byte{env1, env2} {
+		blob, err := r.LoadArtifact(commits[i].SHA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(want) {
+			t.Fatalf("artifact %d bytes differ:\n got %s\nwant %s", i, blob, want)
+		}
+	}
+	if r.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive after traffic")
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := []byte(`{"privtree_release":1,"kind":"spatial","payload":{"x":1}}`)
+	for i := 0; i < 50; i++ {
+		if err := s.AppendDebit(0.01, "spin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CommitRelease("spin", env); err != nil {
+		t.Fatal(err)
+	}
+	preWAL := fileSize(t, filepath.Join(dir, "ledger.wal"))
+	spent := s.SpentEpsilon()
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	postWAL := fileSize(t, filepath.Join(dir, "ledger.wal"))
+	if postWAL >= preWAL {
+		t.Fatalf("compaction did not shrink the WAL: %d -> %d bytes", preWAL, postWAL)
+	}
+	if got := s.SpentEpsilon(); got != spent {
+		t.Fatalf("compaction changed spent: %v -> %v", spent, got)
+	}
+	// Post-compaction appends land in the rotated WAL.
+	if err := s.AppendDebit(0.5, "after"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.SpentEpsilon(); math.Abs(got-(spent+0.5)) > 1e-12 {
+		t.Fatalf("recovered spent after compaction = %v, want %v", got, spent+0.5)
+	}
+	if n := len(r.Events()); n != 51 {
+		t.Fatalf("recovered %d events, want 51", n)
+	}
+	commits := r.Commits()
+	if len(commits) != 1 || commits[0].Key != "spin" {
+		t.Fatalf("commit lost in compaction: %+v", commits)
+	}
+	if _, err := r.LoadArtifact(commits[0].SHA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreStaleWALAfterSnapshot models a crash between the snapshot
+// rename and the WAL rotate: the stale records must be skipped by the
+// snapshot's seq cursor, not replayed on top of it.
+func TestStoreStaleWALAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.AppendDebit(0.1, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Preserve the pre-rotate WAL, compact, then put the stale WAL back —
+	// exactly the on-disk state of a crash after snapshot.after_rename.
+	walPath := filepath.Join(dir, "ledger.wal")
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.SpentEpsilon(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("stale WAL records double-counted: spent = %v, want 1.0", got)
+	}
+	if n := len(r.Events()); n != 10 {
+		t.Fatalf("recovered %d events, want 10", n)
+	}
+	// The next append must not collide with the snapshot's seq space.
+	if err := r.AppendDebit(0.2, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SpentEpsilon(); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("append after stale recovery: spent = %v, want 1.2", got)
+	}
+}
+
+func TestStoreCommitIdempotentAndConflicting(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	env := []byte(`{"privtree_release":1}`)
+	if err := s.CommitRelease("k", env); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRelease("k", env); err != nil {
+		t.Fatalf("idempotent re-commit rejected: %v", err)
+	}
+	if err := s.CommitRelease("k", []byte(`{"different":true}`)); err == nil {
+		t.Fatal("conflicting commit for the same key accepted")
+	}
+	if n := len(s.Commits()); n != 1 {
+		t.Fatalf("%d commits recorded, want 1", n)
+	}
+}
+
+func TestStoreRejectsBadInputs(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := s.AppendDebit(eps, "k"); err == nil {
+			t.Fatalf("debit epsilon %v accepted", eps)
+		}
+		if err := s.AppendRefund(eps, "k"); err == nil {
+			t.Fatalf("refund epsilon %v accepted", eps)
+		}
+	}
+	if err := s.AppendDebit(0.5, ""); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.CommitRelease("k", nil); err == nil {
+		t.Fatal("empty envelope accepted")
+	}
+}
+
+func TestStoreDetectsArtifactTampering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	env := []byte(`{"privtree_release":1,"kind":"spatial"}`)
+	if err := s.CommitRelease("k", env); err != nil {
+		t.Fatal(err)
+	}
+	sha := sha256.Sum256(env)
+	path := filepath.Join(dir, "artifacts")
+	entries, err := os.ReadDir(path)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("artifact dir: %v, %d entries", err, len(entries))
+	}
+	if err := os.WriteFile(filepath.Join(path, entries[0].Name()), []byte(`{"forged":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadArtifact(sha); err == nil {
+		t.Fatal("tampered artifact loaded without error")
+	}
+}
+
+// TestStoreExclusiveLock: two live stores over one directory would each
+// recover the same spent ε and double-spend the budget, so the second
+// Open must fail while the first holds the flock, and succeed after
+// Close releases it.
+func TestStoreExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a live store succeeded")
+	}
+	if err := s1.AppendDebit(0.1, "k"); err != nil {
+		t.Fatalf("lock contention broke the first store: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.SpentEpsilon(); got != 0.1 {
+		t.Fatalf("recovered spent = %v, want 0.1", got)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"time"
+)
+
+// This file implements the write-ahead log underneath Store: an
+// append-only file of CRC-framed ledger events (debit, refund,
+// release-commit). The framing is designed for sequential recovery over a
+// possibly torn tail: every record is independently checksummed, carries a
+// strictly increasing sequence number, and the first frame that fails any
+// check marks the end of the valid prefix — recovery truncates the file
+// there and appends continue from the last good offset. A record is only
+// acknowledged to the caller after fsync, which is what lets Session
+// promise "debit durable before the mechanism runs".
+//
+// On-disk layout:
+//
+//	file   := magic record*
+//	magic  := "PTWAL\x00\x01\n"                      (8 bytes)
+//	record := len(u32) crc(u32) payload              (little-endian)
+//	payload:= seq(u64) kind(u8) at(i64, unix nanos)
+//	          eps(f64) keyLen(u16) key [sha(32)]     (sha on commits only)
+//
+// The CRC is crc32.Castagnoli over the payload. Zero-length frames,
+// frames longer than maxRecordPayload, bad CRCs, malformed payloads
+// (unknown kind, non-finite ε, empty key) and non-increasing sequence
+// numbers all terminate the valid prefix; duplicated frames (a record
+// re-appended after a retried write) are skipped by the seq check without
+// ending recovery.
+
+// walMagic identifies a ledger WAL file and its format version.
+const walMagic = "PTWAL\x00\x01\n"
+
+// EventKind discriminates the WAL record types.
+type EventKind uint8
+
+const (
+	// EventDebit records an ε spend, made durable before the mechanism
+	// it pays for is allowed to run.
+	EventDebit EventKind = 1
+	// EventRefund records an ε refund for a build that failed after its
+	// debit, made durable before the failure is returned to the caller.
+	EventRefund EventKind = 2
+	// EventCommit records that a release's wire envelope is durable in the
+	// artifact store under SHA, keyed by the release fingerprint in Key.
+	EventCommit EventKind = 3
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDebit:
+		return "debit"
+	case EventRefund:
+		return "refund"
+	case EventCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recovered or appended WAL record.
+type Event struct {
+	// Seq is the record's strictly increasing sequence number.
+	Seq uint64
+	// Kind is the record type.
+	Kind EventKind
+	// At is the wall-clock append time.
+	At time.Time
+	// Epsilon is the budget moved by a debit or refund (always positive;
+	// zero for commits).
+	Epsilon float64
+	// Key identifies the release the event belongs to (the release
+	// fingerprint for Session traffic).
+	Key string
+	// SHA is the content address of the committed envelope (commits only).
+	SHA [32]byte
+}
+
+const (
+	recHeaderLen     = 8 // len(u32) + crc(u32)
+	recFixedLen      = 8 + 1 + 8 + 8 + 2
+	maxKeyLen        = 4096
+	maxRecordPayload = recFixedLen + maxKeyLen + 32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendEventPayload encodes e into buf (reused across appends, so steady
+// WAL traffic performs no per-record allocations beyond growth).
+func appendEventPayload(buf []byte, e *Event) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = append(buf, byte(e.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.At.UnixNano()))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Epsilon))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Key)))
+	buf = append(buf, e.Key...)
+	if e.Kind == EventCommit {
+		buf = append(buf, e.SHA[:]...)
+	}
+	return buf
+}
+
+// decodeEventPayload parses one record payload. It returns an error for
+// any malformed payload; it never panics on hostile input.
+func decodeEventPayload(p []byte) (Event, error) {
+	var e Event
+	if len(p) < recFixedLen {
+		return e, fmt.Errorf("store: record payload too short (%d bytes)", len(p))
+	}
+	e.Seq = binary.LittleEndian.Uint64(p[0:8])
+	e.Kind = EventKind(p[8])
+	e.At = time.Unix(0, int64(binary.LittleEndian.Uint64(p[9:17])))
+	e.Epsilon = math.Float64frombits(binary.LittleEndian.Uint64(p[17:25]))
+	keyLen := int(binary.LittleEndian.Uint16(p[25:27]))
+	rest := p[recFixedLen:]
+	if keyLen == 0 || keyLen > maxKeyLen || keyLen > len(rest) {
+		return e, fmt.Errorf("store: record key length %d out of range", keyLen)
+	}
+	e.Key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	switch e.Kind {
+	case EventDebit, EventRefund:
+		if len(rest) != 0 {
+			return e, fmt.Errorf("store: %s record has %d trailing bytes", e.Kind, len(rest))
+		}
+		if !(e.Epsilon > 0) || math.IsInf(e.Epsilon, 0) {
+			return e, fmt.Errorf("store: %s record has unusable epsilon %v", e.Kind, e.Epsilon)
+		}
+	case EventCommit:
+		if len(rest) != 32 {
+			return e, fmt.Errorf("store: commit record has %d sha bytes, want 32", len(rest))
+		}
+		copy(e.SHA[:], rest)
+		if e.Epsilon != 0 {
+			return e, fmt.Errorf("store: commit record carries epsilon %v", e.Epsilon)
+		}
+	default:
+		return e, fmt.Errorf("store: unknown record kind %d", uint8(e.Kind))
+	}
+	return e, nil
+}
+
+// DecodeWAL parses a WAL image (magic + frames) and returns the longest
+// valid prefix of records plus the byte offset where that prefix ends.
+// It is the pure recovery core shared by openWAL and the fuzzer: hostile
+// bytes — torn writes, bad CRCs, zero-length or oversized frames,
+// malformed payloads, non-increasing sequence numbers — end the prefix
+// (or, for exact duplicates, are skipped) without error or panic.
+func DecodeWAL(data []byte) (events []Event, validLen int64) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0
+	}
+	off := int64(len(walMagic))
+	lastSeq := uint64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return events, off
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		if plen == 0 || plen > maxRecordPayload {
+			return events, off
+		}
+		if len(rest) < recHeaderLen+int(plen) {
+			return events, off // torn tail
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return events, off
+		}
+		e, err := decodeEventPayload(payload)
+		if err != nil {
+			return events, off
+		}
+		if e.Seq <= lastSeq {
+			// A duplicated frame (same or older seq) is tolerated — replaying
+			// it would double-count a debit — but it does not end the prefix:
+			// the frames after it are still CRC-valid appends.
+			off += int64(recHeaderLen) + int64(plen)
+			continue
+		}
+		lastSeq = e.Seq
+		events = append(events, e)
+		off += int64(recHeaderLen) + int64(plen)
+	}
+}
+
+// wal is the open write-ahead log file.
+type wal struct {
+	f       *os.File
+	path    string
+	size    int64
+	nextSeq uint64
+	buf     []byte // scratch frame buffer, reused across appends
+}
+
+// openWAL opens (creating if absent) the WAL at path and recovers its
+// valid record prefix. A torn or corrupt tail is truncated away so that
+// subsequent appends extend the valid prefix. New files are created with
+// the magic header and synced before use.
+func openWAL(path string) (*wal, []Event, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &wal{f: f, path: path, nextSeq: 1}
+	if len(data) == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.size = int64(len(walMagic))
+		return w, nil, nil
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %s is not a privtree ledger WAL", path)
+	}
+	events, validLen := DecodeWAL(data)
+	if validLen < int64(len(data)) {
+		// Torn or corrupt tail (e.g. a crash mid-append): drop it so the
+		// next append continues the valid prefix.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.size = validLen
+	for _, e := range events {
+		if e.Seq >= w.nextSeq {
+			w.nextSeq = e.Seq + 1
+		}
+	}
+	return w, events, nil
+}
+
+// append frames, writes, and fsyncs one record. The record is durable
+// when append returns nil. On a write error the torn bytes are truncated
+// away so the file's valid prefix is preserved for later appends.
+func (w *wal) append(e *Event) error {
+	w.buf = w.buf[:0]
+	// Reserve the header, encode the payload behind it, then fill in the
+	// frame header over the reserved bytes.
+	w.buf = append(w.buf, make([]byte, recHeaderLen)...)
+	w.buf = appendEventPayload(w.buf, e)
+	payload := w.buf[recHeaderLen:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+
+	start := w.size
+	crash("wal.before_write")
+	n, err := w.f.Write(w.buf)
+	if n > 0 {
+		// The bytes are in the file whether or not the write (or the sync
+		// below) reports success, so the in-memory size must advance NOW: a
+		// later append must land after them, never over them.
+		w.size += int64(n)
+	}
+	if err != nil {
+		// Best effort: drop the torn bytes so the valid prefix survives.
+		if w.f.Truncate(start) == nil {
+			if _, serr := w.f.Seek(start, 0); serr == nil {
+				w.size = start
+			}
+		}
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	crash("wal.after_write")
+	if err := w.f.Sync(); err != nil {
+		// The record's durability is unknown; the caller must treat the
+		// operation as failed. Recovery tolerates the possibly-durable
+		// record: an orphan debit only over-counts spent ε (safe direction).
+		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	crash("wal.after_sync")
+	return nil
+}
+
+// rotate truncates the WAL back to its header after a snapshot has made
+// every current record redundant. If the process dies between the
+// snapshot rename and this truncate, the stale records survive but are
+// skipped on recovery by the snapshot's sequence cursor.
+func (w *wal) rotate() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), 0); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// walImage builds a valid WAL image from events (assigning sequence
+// numbers 1..n) for the framing tests.
+func walImage(events []Event) []byte {
+	data := []byte(walMagic)
+	for i := range events {
+		e := events[i]
+		if e.Seq == 0 {
+			e.Seq = uint64(i + 1)
+		}
+		data = appendFrame(data, &e)
+	}
+	return data
+}
+
+func appendFrame(data []byte, e *Event) []byte {
+	payload := appendEventPayload(nil, e)
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(payload)))
+	data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(payload, castagnoli))
+	return append(data, payload...)
+}
+
+func sampleEvents() []Event {
+	sha := sha256.Sum256([]byte("envelope"))
+	return []Event{
+		{Kind: EventDebit, Epsilon: 0.5, Key: "mech=spatial eps=0.5", At: time.Unix(1, 2)},
+		{Kind: EventRefund, Epsilon: 0.5, Key: "mech=spatial eps=0.5", At: time.Unix(3, 4)},
+		{Kind: EventDebit, Epsilon: 0.25, Key: "mech=sequence eps=0.25", At: time.Unix(5, 6)},
+		{Kind: EventCommit, Key: "mech=sequence eps=0.25", SHA: sha, At: time.Unix(7, 8)},
+	}
+}
+
+func TestDecodeWALRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	data := walImage(events)
+	got, validLen := DecodeWAL(data)
+	if validLen != int64(len(data)) {
+		t.Fatalf("valid prefix %d, want whole image %d", validLen, len(data))
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i, e := range got {
+		want := events[i]
+		if e.Kind != want.Kind || e.Epsilon != want.Epsilon || e.Key != want.Key ||
+			e.SHA != want.SHA || !e.At.Equal(want.At) || e.Seq != uint64(i+1) {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+// TestDecodeWALTruncationSweep is the byte-exact torn-write test: every
+// possible truncation point of a valid WAL must recover cleanly to a
+// prefix of the original records, never panic, and never invent a record.
+func TestDecodeWALTruncationSweep(t *testing.T) {
+	events := sampleEvents()
+	data := walImage(events)
+	// Record the byte offset at which each record becomes complete.
+	completeAt := make([]int, 0, len(events))
+	off := len(walMagic)
+	for i := range events {
+		e := events[i]
+		e.Seq = uint64(i + 1)
+		payload := appendEventPayload(nil, &e)
+		off += recHeaderLen + len(payload)
+		completeAt = append(completeAt, off)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		got, validLen := DecodeWAL(data[:cut])
+		wantN := 0
+		for _, c := range completeAt {
+			if cut >= c {
+				wantN++
+			}
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(got), wantN)
+		}
+		if validLen > int64(cut) {
+			t.Fatalf("cut=%d: validLen %d beyond the image", cut, validLen)
+		}
+		if wantN > 0 && validLen != int64(completeAt[wantN-1]) {
+			t.Fatalf("cut=%d: validLen %d, want %d", cut, validLen, completeAt[wantN-1])
+		}
+	}
+}
+
+func TestDecodeWALHostileFrames(t *testing.T) {
+	base := walImage(sampleEvents())
+	baseEvents, _ := DecodeWAL(base)
+
+	t.Run("bad crc ends prefix", func(t *testing.T) {
+		data := append([]byte(nil), base...)
+		data[len(data)-1] ^= 0xff // corrupt last record's payload
+		got, _ := DecodeWAL(data)
+		if len(got) != len(baseEvents)-1 {
+			t.Fatalf("recovered %d records, want %d", len(got), len(baseEvents)-1)
+		}
+	})
+	t.Run("zero-length frame ends prefix", func(t *testing.T) {
+		data := append([]byte(nil), base...)
+		data = binary.LittleEndian.AppendUint32(data, 0)
+		data = binary.LittleEndian.AppendUint32(data, 0)
+		got, validLen := DecodeWAL(data)
+		if len(got) != len(baseEvents) || validLen != int64(len(base)) {
+			t.Fatalf("zero-length frame not rejected: %d records, validLen %d", len(got), validLen)
+		}
+	})
+	t.Run("oversized frame ends prefix", func(t *testing.T) {
+		data := append([]byte(nil), base...)
+		data = binary.LittleEndian.AppendUint32(data, maxRecordPayload+1)
+		data = binary.LittleEndian.AppendUint32(data, 0)
+		data = append(data, make([]byte, 64)...)
+		got, _ := DecodeWAL(data)
+		if len(got) != len(baseEvents) {
+			t.Fatalf("oversized frame not rejected: %d records", len(got))
+		}
+	})
+	t.Run("duplicated record skipped", func(t *testing.T) {
+		// Re-append record #3 (seq 3) then a fresh seq-5 record: the dup
+		// must be skipped without ending the prefix, the tail still loads.
+		events := sampleEvents()
+		data := walImage(events)
+		dup := events[2]
+		dup.Seq = 3
+		data = appendFrame(data, &dup)
+		tail := Event{Seq: 5, Kind: EventDebit, Epsilon: 0.125, Key: "k", At: time.Unix(9, 9)}
+		data = appendFrame(data, &tail)
+		got, validLen := DecodeWAL(data)
+		if len(got) != len(events)+1 || validLen != int64(len(data)) {
+			t.Fatalf("dup handling wrong: %d records (want %d), validLen %d of %d",
+				len(got), len(events)+1, validLen, len(data))
+		}
+		if got[len(got)-1].Seq != 5 {
+			t.Fatalf("tail after dup lost: %+v", got[len(got)-1])
+		}
+		spent := 0.0
+		for _, e := range got {
+			if e.Kind == EventDebit {
+				spent += e.Epsilon
+			}
+		}
+		if spent != 0.5+0.25+0.125 {
+			t.Fatalf("duplicated debit double-counted: spent=%v", spent)
+		}
+	})
+	t.Run("malformed payloads end prefix", func(t *testing.T) {
+		bad := []Event{
+			{Seq: 9, Kind: EventKind(42), Epsilon: 1, Key: "k"},        // unknown kind
+			{Seq: 9, Kind: EventDebit, Epsilon: math.NaN(), Key: "k"},  // NaN ε
+			{Seq: 9, Kind: EventDebit, Epsilon: math.Inf(1), Key: "k"}, // inf ε
+			{Seq: 9, Kind: EventDebit, Epsilon: -1, Key: "k"},          // negative ε
+			{Seq: 9, Kind: EventDebit, Epsilon: 1, Key: ""},            // empty key
+			{Seq: 9, Kind: EventCommit, Epsilon: 1, Key: "k"},          // commit with ε
+		}
+		for i, e := range bad {
+			data := appendFrame(append([]byte(nil), base...), &e)
+			got, validLen := DecodeWAL(data)
+			if len(got) != len(baseEvents) || validLen != int64(len(base)) {
+				t.Fatalf("bad record %d accepted: %d records, validLen %d", i, len(got), validLen)
+			}
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		got, validLen := DecodeWAL([]byte("NOTAWAL\nxxxxxxxxxxxx"))
+		if got != nil || validLen != 0 {
+			t.Fatalf("bad magic accepted: %d records", len(got))
+		}
+	})
+}
+
+// TestOpenWALRepairsTornTail checks the file-level recovery contract: a
+// torn append is truncated away on open and the log accepts new appends
+// that extend the repaired prefix.
+func TestOpenWALRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	w, events, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("fresh WAL has %d events", len(events))
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.append(&Event{Seq: w.nextSeq, Kind: EventDebit, Epsilon: 0.1, Key: "k", At: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		w.nextSeq++
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record in half.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, events2, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events2) != 2 {
+		t.Fatalf("recovered %d events after torn tail, want 2", len(events2))
+	}
+	// The torn bytes must be gone so this append chains onto record 2.
+	if err := w2.append(&Event{Seq: w2.nextSeq, Kind: EventDebit, Epsilon: 0.2, Key: "k2", At: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	w2.nextSeq++
+	if err := w2.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, events3, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events3) != 3 || events3[2].Key != "k2" || events3[2].Seq != 3 {
+		t.Fatalf("post-repair append lost: %+v", events3)
+	}
+}

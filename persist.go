@@ -1,0 +1,51 @@
+package privtree
+
+import (
+	"privtree/internal/store"
+)
+
+// Store is a crash-safe persistence root for one session: an append-only,
+// fsync-on-debit write-ahead log of privacy-ledger events (debits,
+// refunds, release commits) plus a content-addressed file store holding
+// each release's wire envelope. Attach one to a fresh Session with
+// WithStore — or use OpenSession — and the session's guarantee becomes
+// durable: a debit reaches disk before its mechanism runs, a refund
+// before its error returns, and a crash at ANY point recovers to a spent
+// ε that covers every acknowledged debit. See the package documentation's
+// "Durability and crash safety" section for the privacy argument.
+//
+// A Store is safe for concurrent use. Its directory layout (a WAL, a
+// compaction snapshot, and an artifacts directory) is an implementation
+// detail of internal/store.
+type Store struct {
+	inner *store.Store
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir and
+// recovers its state by one sequential pass: the compaction snapshot, the
+// write-ahead log's valid record prefix (a torn tail from a crashed
+// append is truncated away), and the artifact inventory.
+func OpenStore(dir string) (*Store, error) {
+	inner, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.inner.Dir() }
+
+// SizeBytes returns the store's on-disk footprint (WAL + snapshot +
+// artifacts); servers export it as a store-bytes gauge.
+func (st *Store) SizeBytes() int64 { return st.inner.SizeBytes() }
+
+// Compact folds the ledger history into a fresh snapshot and rotates the
+// write-ahead log. State is preserved exactly; a crash during compaction
+// recovers consistently (the snapshot becomes visible atomically, and
+// stale WAL records are skipped by its sequence cursor).
+func (st *Store) Compact() error { return st.inner.Compact() }
+
+// Close releases the store's file handles. Every acknowledged operation
+// is already durable, so Close is never a flush barrier. Idempotent.
+func (st *Store) Close() error { return st.inner.Close() }

@@ -3,6 +3,7 @@ package privtree
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // ReleaseKind identifies the artifact family a release carries on the wire
@@ -38,6 +39,34 @@ type Release struct {
 	model   *SequenceModel
 	hybrid  *HybridTree
 	counter RangeCounter // baseline payloads
+
+	// wire caches the marshaled envelope so every consumer — MarshalJSON,
+	// the store's commit, the server's artifact — serves the SAME bytes.
+	// For releases recovered from a store it is pre-loaded with the exact
+	// persisted bytes, which is what makes "bit-identical across a
+	// restart" a guarantee instead of a marshaling coincidence.
+	wire atomic.Pointer[wireEnvelope]
+}
+
+// wireEnvelope is the cached result of encoding a Release's envelope.
+type wireEnvelope struct {
+	blob []byte
+	err  error
+}
+
+// Envelope returns the release's versioned wire envelope (the JSON that
+// privtree.Decode loads), marshaled once and cached: repeated calls —
+// and MarshalJSON — return the same byte slice. Callers must not mutate
+// it. Baseline releases have no wire format and return an error.
+func (r *Release) Envelope() ([]byte, error) {
+	if e := r.wire.Load(); e != nil {
+		return e.blob, e.err
+	}
+	blob, err := r.encodeEnvelope()
+	// First writer wins, so concurrent callers settle on one byte slice.
+	r.wire.CompareAndSwap(nil, &wireEnvelope{blob: blob, err: err})
+	e := r.wire.Load()
+	return e.blob, e.err
 }
 
 // Kind returns the artifact family.

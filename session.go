@@ -3,8 +3,10 @@ package privtree
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"privtree/internal/dp"
+	"privtree/internal/store"
 )
 
 // Ledger is a concurrent-safe privacy-budget accountant enforcing
@@ -17,8 +19,8 @@ type Ledger = dp.Ledger
 // would exceed its total budget.
 type BudgetError = dp.BudgetError
 
-// BudgetDebit is one recorded spend (or refund, with negative Epsilon) in
-// a ledger's audit trail.
+// BudgetDebit is one recorded spend (or refund, with negative Epsilon and
+// Kind "refund") in a ledger's audit trail.
 type BudgetDebit = dp.Debit
 
 // NewLedger returns a budget ledger with the given positive, finite total.
@@ -36,8 +38,21 @@ func NewLedger(total float64) (*Ledger, error) { return dp.NewLedger(total) }
 // A Session is safe for concurrent use: identical concurrent requests
 // cannot double-spend — one build runs, the rest wait and take the cache
 // hit.
+//
+// # Durability
+//
+// An in-memory ledger forgets every debit when the process dies, so a
+// restart would let the whole budget be spent again — an ε violation.
+// OpenSession (or WithStore) attaches a crash-safe store that write-ahead
+// logs every ledger event and persists every release envelope, with the
+// invariant that a debit is durable (fsynced) BEFORE the mechanism runs
+// and a refund is durable BEFORE the build error returns. On reopen the
+// session recovers its spent ε, full audit trail, and previously
+// committed releases; a request matching a recovered release is served
+// from the persisted envelope, bit-identical, with no new debit.
 type Session struct {
 	ledger *dp.Ledger
+	store  *store.Store // nil for purely in-memory sessions
 
 	// mu guards the cache maps; builds run OUTSIDE it so concurrent
 	// releases with different parameters proceed in parallel. pending marks
@@ -46,10 +61,25 @@ type Session struct {
 	mu      sync.Mutex
 	cache   map[string]*Release
 	pending map[string]chan struct{}
+
+	// restored maps release fingerprints recovered from the store to their
+	// decoded releases; entries move into cache as they are requested.
+	// restoredList is the immutable recovery inventory, for Restored.
+	restored     map[string]*Release
+	restoredList []RestoredRelease
+}
+
+// RestoredRelease is one release recovered from a session's store: the
+// decoded artifact plus its original commit time. Release.Envelope
+// returns the exact persisted bytes.
+type RestoredRelease struct {
+	Release *Release
+	At      time.Time
 }
 
 // NewSession returns a session whose ledger holds the given total privacy
-// budget. The budget must be positive and finite.
+// budget. The budget must be positive and finite. The session is
+// in-memory; attach persistence with WithStore, or use OpenSession.
 func NewSession(budget float64) (*Session, error) {
 	ledger, err := dp.NewLedger(budget)
 	if err != nil {
@@ -60,6 +90,111 @@ func NewSession(budget float64) (*Session, error) {
 		cache:   make(map[string]*Release),
 		pending: make(map[string]chan struct{}),
 	}, nil
+}
+
+// OpenSession opens (creating if needed) the store directory and returns
+// a session with that persistence attached and any prior state — spent ε,
+// audit trail, committed releases — recovered. The directory belongs to
+// ONE logical dataset and budget: reusing it for different data would
+// serve another dataset's releases from cache. Close the session to
+// release the store.
+func OpenSession(dir string, budget float64) (*Session, error) {
+	st, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(budget)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	if err := s.WithStore(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// WithStore attaches a crash-safe store to a fresh session and recovers
+// the store's state: the ledger's spent ε and audit trail are rebuilt
+// from the event log, and every committed release is decoded from its
+// persisted envelope (available via Restored, and served as cache hits).
+// The session must be pristine — no spends, no releases — and can hold
+// only one store.
+func (s *Session) WithStore(st *Store) error {
+	if st == nil || st.inner == nil {
+		return fmt.Errorf("privtree: nil store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		return fmt.Errorf("privtree: session already has a store")
+	}
+	if len(s.cache) > 0 || len(s.pending) > 0 || len(s.ledger.History()) > 0 {
+		return fmt.Errorf("privtree: WithStore requires a fresh session (no spends or releases yet)")
+	}
+
+	// Decode every committed release first, so a corrupt artifact fails
+	// the attach before any session state changes.
+	commits := st.inner.Commits()
+	restored := make(map[string]*Release, len(commits))
+	list := make([]RestoredRelease, 0, len(commits))
+	for _, c := range commits {
+		blob, err := st.inner.LoadArtifact(c.SHA)
+		if err != nil {
+			return fmt.Errorf("privtree: recovering release %q: %w", c.Key, err)
+		}
+		rel, err := Decode(blob)
+		if err != nil {
+			return fmt.Errorf("privtree: recovering release %q: %w", c.Key, err)
+		}
+		// Serve the exact persisted bytes, not a re-marshal.
+		rel.wire.Store(&wireEnvelope{blob: blob})
+		restored[c.Key] = rel
+		list = append(list, RestoredRelease{Release: rel, At: c.At})
+	}
+
+	events := st.inner.Events()
+	hist := make([]dp.Debit, len(events))
+	for i, e := range events {
+		d := dp.Debit{Note: "release " + e.Key, At: e.At}
+		switch e.Kind {
+		case store.EventRefund:
+			d.Kind, d.Epsilon = dp.DebitKindRefund, -e.Epsilon
+		default:
+			d.Kind, d.Epsilon = dp.DebitKindSpend, e.Epsilon
+		}
+		hist[i] = d
+	}
+	s.ledger.Restore(hist)
+	s.store = st.inner
+	s.restored = restored
+	s.restoredList = list
+	return nil
+}
+
+// Restored returns the releases recovered from the session's store at
+// attach time, in their original commit order. Empty for in-memory
+// sessions.
+func (s *Session) Restored() []RestoredRelease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RestoredRelease, len(s.restoredList))
+	copy(out, s.restoredList)
+	return out
+}
+
+// Close releases the session's store (if any). Every acknowledged debit,
+// refund, and release is already durable, so Close never loses state;
+// a session without a store has nothing to close.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Close()
 }
 
 // Ledger exposes the session's budget accountant (totals, remaining
@@ -76,7 +211,9 @@ func (s *Session) Spent() float64 { return s.ledger.Spent() }
 func (s *Session) Remaining() float64 { return s.ledger.Remaining() }
 
 // History returns the session's audit trail: one entry per debit, in spend
-// order, with refunds recorded as negative debits.
+// order, with refunds recorded as explicit "refund" entries carrying
+// negative ε. For sessions recovered from a store the trail includes
+// every event of prior processes.
 func (s *Session) History() []BudgetDebit { return s.ledger.History() }
 
 // Release runs mechanism m on data under budget eps against the session
@@ -84,7 +221,13 @@ func (s *Session) History() []BudgetDebit { return s.ledger.History() }
 // rejected with a *BudgetError and the mechanism never runs. The boolean
 // reports a cache hit: a request identical to an earlier release (same
 // mechanism, parameters, ε, and data) returns the cached Release with no
-// new debit. On build failure the debit is refunded.
+// new debit — including releases recovered from the session's store,
+// which are served from their persisted envelopes. On build failure the
+// debit is refunded.
+//
+// With a store attached, the debit is durable before the mechanism runs
+// and the refund is durable before the error returns; see Session's
+// Durability section for why that ordering is the privacy guarantee.
 func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool, error) {
 	if m == nil {
 		return nil, false, fmt.Errorf("privtree: nil mechanism")
@@ -94,12 +237,22 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 	if err := m.precheck(data, eps); err != nil {
 		return nil, false, err
 	}
-	key := fmt.Sprintf("data=%d %s", data.id, releaseFingerprint(m.spec.name, eps, m.params))
-	note := "release " + key
+	fp := releaseFingerprint(m.spec.name, eps, m.params)
+	key := fmt.Sprintf("data=%d %s", data.id, fp)
+	note := "release " + fp
 	var done chan struct{}
 	for {
 		s.mu.Lock()
 		if rel, ok := s.cache[key]; ok {
+			s.mu.Unlock()
+			return rel, true, nil
+		}
+		if rel, ok := s.restored[fp]; ok {
+			// A prior process already paid for this release: its debit was
+			// recovered with the ledger and its envelope persisted, so
+			// serving it is post-processing, not a new spend.
+			delete(s.restored, fp)
+			s.cache[key] = rel
 			s.mu.Unlock()
 			return rel, true, nil
 		}
@@ -122,11 +275,56 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 		break
 	}
 
+	if s.store != nil {
+		// THE durability invariant: the debit reaches stable storage before
+		// the mechanism is allowed to run, so no noise can ever be released
+		// whose debit a crash forgets. The fsync runs OUTSIDE s.mu — like
+		// the build itself — so concurrent cache hits and unrelated
+		// releases never stall behind a disk sync; the pending claim above
+		// already guarantees only one debit per fingerprint.
+		if err := s.store.AppendDebit(eps, fp); err != nil {
+			// Nothing ran and the record did not land (or its durability is
+			// unknown, in which case recovery can only over-count): the
+			// in-memory refund is sound and the request fails.
+			s.ledger.Refund(eps, note)
+			s.mu.Lock()
+			delete(s.pending, key)
+			s.mu.Unlock()
+			close(done)
+			return nil, false, fmt.Errorf("privtree: persisting debit: %w", err)
+		}
+	}
+
 	rel, err := m.Run(data, eps)
+	var persistErr error
 	if err != nil {
 		// Refund before waking waiters, so a retrying waiter sees the
 		// credited ledger. Sound: the failed mechanism released nothing.
-		s.ledger.Refund(eps, note)
+		// With a store, the refund must be durable BEFORE the error
+		// returns; if it cannot be, the budget stays spent in memory too —
+		// over-counting is the safe direction.
+		refund := true
+		if s.store != nil {
+			if rerr := s.store.AppendRefund(eps, fp); rerr != nil {
+				refund = false
+				err = fmt.Errorf("%w (and the refund could not be persisted, budget remains spent: %v)", err, rerr)
+			}
+		}
+		if refund {
+			s.ledger.Refund(eps, note)
+		}
+	} else if s.store != nil {
+		if blob, eerr := rel.Envelope(); eerr == nil {
+			if cerr := s.store.CommitRelease(fp, blob); cerr != nil {
+				// The debit is durable and the release was built; failing to
+				// persist the envelope only means a future restart rebuilds
+				// (and re-debits) it. Surface the degraded durability but
+				// hand the caller the release it paid for.
+				persistErr = fmt.Errorf("privtree: release built and budget spent, but envelope not persisted (a restart would re-debit): %w", cerr)
+			}
+		}
+		// Baseline releases have no wire format: their debit is durable,
+		// the artifact itself is memory-only by design.
 	}
 	s.mu.Lock()
 	delete(s.pending, key)
@@ -138,11 +336,15 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 	if err != nil {
 		return nil, false, err
 	}
+	if persistErr != nil {
+		return rel, false, persistErr
+	}
 	return rel, false, nil
 }
 
 // Releases returns every release the session has purchased so far, in
-// unspecified order.
+// unspecified order. Recovered releases appear once requested (or via
+// Restored).
 func (s *Session) Releases() []*Release {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,236 @@
+package privtree
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"privtree/internal/store"
+)
+
+// Session-level crash injection: the parent re-executes this binary as a
+// child that runs real releases through OpenSession with a SIGKILL armed
+// at one store fault point, then recovers the directory and checks the
+// end-to-end contract of the acceptance criteria:
+//
+//   - recovered spent ε ≥ the ε of every acknowledged debit;
+//   - every acknowledged release's envelope is recovered and decodes
+//     bit-identically through privtree.Decode;
+//   - recovered releases are served as cache hits without re-debiting.
+//
+// The child acknowledges a debit by printing a line only after
+// Session.Release returns, i.e. after the mechanism ran on a
+// durably-debited ledger.
+
+const (
+	sessionCrashChildEnv = "PRIVTREE_SESSION_CRASH_CHILD"
+	sessionCrashDirEnv   = "PRIVTREE_SESSION_CRASH_DIR"
+	sessionCrashPointEnv = "PRIVTREE_SESSION_CRASH_POINT"
+	sessionCrashHitEnv   = "PRIVTREE_SESSION_CRASH_HIT"
+)
+
+const sessionCrashBudget = 4.0
+
+func TestSessionCrashHelper(t *testing.T) {
+	if os.Getenv(sessionCrashChildEnv) != "1" {
+		t.Skip("crash-harness child process only")
+	}
+	dir := os.Getenv(sessionCrashDirEnv)
+	point := os.Getenv(sessionCrashPointEnv)
+	hit, _ := strconv.Atoi(os.Getenv(sessionCrashHitEnv))
+	var seen atomic.Int64
+	store.SetCrashHook(func(p string) {
+		if p != point {
+			return
+		}
+		if int(seen.Add(1)) == hit {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+	})
+	defer store.SetCrashHook(nil)
+
+	data, err := NewSpatialData(UnitCube(2), sessionStorePoints(800))
+	if err != nil {
+		fmt.Printf("CHILD-ERROR data: %v\n", err)
+		os.Exit(1)
+	}
+	s, err := OpenSession(dir, sessionCrashBudget)
+	if err != nil {
+		fmt.Printf("CHILD-ERROR open: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; i < 6; i++ {
+		seed := uint64(i + 1)
+		eps := float64(i+1) / 16
+		m, err := NewSpatialMechanism(SpatialOptions{Seed: seed, Workers: 1})
+		if err != nil {
+			fmt.Printf("CHILD-ERROR mech %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		rel, cached, err := s.Release(m, data, eps)
+		if err != nil {
+			fmt.Printf("CHILD-ERROR release %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if cached {
+			fmt.Printf("CHILD-ERROR release %d unexpectedly cached\n", i)
+			os.Exit(1)
+		}
+		env, err := rel.Envelope()
+		if err != nil {
+			fmt.Printf("CHILD-ERROR envelope %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		sha := sha256.Sum256(env)
+		// Acknowledged: the debit was durable before the mechanism ran,
+		// the envelope was committed before Release returned.
+		fmt.Fprintf(os.Stdout, "ACK release seed=%d %.17g %s\n", seed, eps, hex.EncodeToString(sha[:]))
+
+		if i == 2 {
+			// One failed build after its debit: refund durable before the
+			// error returned.
+			bad, err := NewSpatialMechanism(SpatialOptions{Seed: 99, Fanout: 8})
+			if err != nil {
+				fmt.Printf("CHILD-ERROR bad mech: %v\n", err)
+				os.Exit(1)
+			}
+			if _, _, err := s.Release(bad, data, 0.125); err == nil {
+				fmt.Println("CHILD-ERROR unrealizable fanout built")
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stdout, "ACK refund %.17g\n", 0.125)
+		}
+	}
+	fmt.Println("DONE")
+}
+
+type ackedRelease struct {
+	seed uint64
+	eps  float64
+	sha  string
+}
+
+func TestSessionCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one child process per fault point")
+	}
+	for _, point := range store.CrashPoints {
+		if point == "snapshot.after_rename" {
+			continue // the session workload never compacts; point unreachable
+		}
+		for _, hit := range []int{1, 3} {
+			point, hit := point, hit
+			t.Run(fmt.Sprintf("%s/hit%d", point, hit), func(t *testing.T) {
+				dir := t.TempDir()
+				cmd := exec.Command(os.Args[0], "-test.run", "^TestSessionCrashHelper$", "-test.v")
+				cmd.Env = append(os.Environ(),
+					sessionCrashChildEnv+"=1",
+					sessionCrashDirEnv+"="+dir,
+					sessionCrashPointEnv+"="+point,
+					sessionCrashHitEnv+"="+strconv.Itoa(hit),
+				)
+				var stdout, stderr bytes.Buffer
+				cmd.Stdout, cmd.Stderr = &stdout, &stderr
+				runErr := cmd.Run()
+
+				var acks []ackedRelease
+				ackedEps, done := 0.0, false
+				sc := bufio.NewScanner(bytes.NewReader(stdout.Bytes()))
+				for sc.Scan() {
+					line := sc.Text()
+					switch {
+					case strings.HasPrefix(line, "CHILD-ERROR"):
+						t.Fatalf("child hit an unexpected error: %s\nstderr:\n%s", line, stderr.String())
+					case line == "DONE":
+						done = true
+					case strings.HasPrefix(line, "ACK release "):
+						f := strings.Fields(line)
+						seed, _ := strconv.ParseUint(strings.TrimPrefix(f[2], "seed="), 10, 64)
+						eps, _ := strconv.ParseFloat(f[3], 64)
+						acks = append(acks, ackedRelease{seed: seed, eps: eps, sha: f[4]})
+						ackedEps += eps
+					case strings.HasPrefix(line, "ACK refund "):
+						// The refund's debit+refund cancel; nothing to track.
+					}
+				}
+				if runErr == nil && !done {
+					t.Fatalf("child exited cleanly mid-workload\nstdout:\n%s", stdout.String())
+				}
+
+				// Recover in-process, as a restarted server would.
+				s, err := OpenSession(dir, sessionCrashBudget)
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				defer s.Close()
+
+				// Invariant 1: spent never under-counts acknowledged debits.
+				// (The in-flight release and the refund probe can add at most
+				// their own debits ON TOP — never subtract.)
+				if spent := s.Spent(); spent < ackedEps-1e-12 {
+					t.Fatalf("recovered spent ε=%v under-counts acknowledged %v", spent, ackedEps)
+				}
+
+				// Invariant 2: every acknowledged release is recovered with
+				// bit-identical envelope bytes, decodable via Decode.
+				bySHA := make(map[string]*Release)
+				for _, rr := range s.Restored() {
+					env, err := rr.Release.Envelope()
+					if err != nil {
+						t.Fatalf("restored release has no envelope: %v", err)
+					}
+					sum := sha256.Sum256(env)
+					bySHA[hex.EncodeToString(sum[:])] = rr.Release
+				}
+				data, err := NewSpatialData(UnitCube(2), sessionStorePoints(800))
+				if err != nil {
+					t.Fatal(err)
+				}
+				spentBefore := s.Spent()
+				for _, ack := range acks {
+					rel, ok := bySHA[ack.sha]
+					if !ok {
+						t.Fatalf("acknowledged release seed=%d LOST by recovery", ack.seed)
+					}
+					if rel.Epsilon() != ack.eps || rel.Seed() != ack.seed {
+						t.Fatalf("recovered release provenance wrong: eps=%v seed=%d, want eps=%v seed=%d",
+							rel.Epsilon(), rel.Seed(), ack.eps, ack.seed)
+					}
+					// Invariant 3: a repeat request is served from the store
+					// without a new debit.
+					m, err := NewSpatialMechanism(SpatialOptions{Seed: ack.seed, Workers: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, cached, err := s.Release(m, data, ack.eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !cached {
+						t.Fatalf("recovered release seed=%d was rebuilt (re-debited)", ack.seed)
+					}
+					gotEnv, err := got.Envelope()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sum := sha256.Sum256(gotEnv); hex.EncodeToString(sum[:]) != ack.sha {
+						t.Fatalf("served envelope for seed=%d is not bit-identical", ack.seed)
+					}
+				}
+				if got := s.Spent(); got != spentBefore {
+					t.Fatalf("serving recovered releases re-debited: %v -> %v", spentBefore, got)
+				}
+			})
+		}
+	}
+}
