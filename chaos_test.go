@@ -1,0 +1,247 @@
+package privtree_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"privtree/client"
+	"privtree/internal/faultnet"
+	"privtree/internal/server"
+)
+
+// TestChaosRetriesAreEpsilonSafe is the PR's acceptance test: a retrying
+// client hammers register→release→query loops through a seeded
+// fault-injection proxy (latency, mid-stream resets, truncated responses,
+// blackholes) against a durable server with tight admission limits, and
+// afterwards the ledger must balance to the bit:
+//
+//   - spent ε == ε_release × (committed releases): every debit has a
+//     committed release behind it (mid-flight deaths were refunded) and
+//     no release was paid for twice (retries dedup by fingerprint) —
+//     no matter how aggressively the client retried.
+//   - every acknowledged release is durable and refetches bit-identically,
+//     including across a full server restart from the data dir.
+//   - the admission gates leak no slots (in-flight gauges at rest == 0).
+//
+// The fault schedule is a pure function of the proxy seed, so a failure
+// reproduces by re-running the same subtest.
+func TestChaosRetriesAreEpsilonSafe(t *testing.T) {
+	seeds := []uint64{7, 19, 83}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { chaosRun(t, seed) })
+	}
+}
+
+const (
+	chaosBudget     = 1.0
+	chaosReleaseEps = 0.1
+	chaosSeeds      = 8 // distinct release seeds the workload purchases
+)
+
+func chaosRun(t *testing.T, seed uint64) {
+	dir := t.TempDir()
+	srv, err := server.New(server.Options{
+		Workers:              2,
+		MaxConcurrentBuilds:  2,
+		MaxConcurrentBatches: 2,
+		AdmissionQueue:       2,
+		BuildTimeout:         2 * time.Second,
+		QueryTimeout:         2 * time.Second,
+		DataDir:              dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := httptest.NewServer(srv)
+	defer backend.Close()
+
+	proxy, err := faultnet.New(backend.Listener.Addr().String(), faultnet.Options{
+		Seed:          seed,
+		LatencyProb:   0.10,
+		ResetProb:     0.10,
+		TruncateProb:  0.10,
+		BlackholeProb: 0.05,
+		Latency:       5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Keep-alives off: every request dials the proxy fresh and rolls an
+	// independent fault. The 400ms timeout is what unhooks blackholes.
+	faulty := client.New("http://"+proxy.Addr(),
+		client.WithHTTPClient(&http.Client{
+			Transport: &http.Transport{DisableKeepAlives: true},
+			Timeout:   400 * time.Millisecond,
+		}),
+		client.WithRetryPolicy(client.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			BudgetRatio: -1, // unbounded retries: the point is to prove they're safe
+		}))
+	ctx := context.Background()
+
+	// Register through the faulty path. Registration has no idempotency
+	// key, so the client surfaces transport failures; the documented
+	// recovery is exactly this loop — on a lost ack, a retry that hits
+	// 409 conflict proves the registration landed.
+	pts := chaosPoints(400)
+	registered := false
+	for attempt := 0; attempt < 50 && !registered; attempt++ {
+		_, err := faulty.Register(ctx, client.RegisterRequest{Name: "chaos", Epsilon: chaosBudget, Points: pts})
+		var apiErr *client.APIError
+		switch {
+		case err == nil:
+			registered = true
+		case errors.As(err, &apiErr) && apiErr.Code == client.CodeConflict:
+			registered = true // earlier attempt landed, ack was lost
+		case errors.As(err, &apiErr):
+			t.Fatalf("register: unexpected API error %v", apiErr)
+		default:
+			// transport failure: fall through and try again
+		}
+	}
+	if !registered {
+		t.Fatal("registration never landed through the faulty network")
+	}
+
+	// The workload: concurrent workers loop over 8 distinct releases
+	// (ε=0.1 each against a budget of 1.0) and query whatever they
+	// acquire. Individual calls may exhaust their retries — that's fine;
+	// the invariants below must hold regardless of which calls succeeded.
+	var (
+		mu    sync.Mutex
+		acked = map[uint64]string{} // release seed -> acknowledged ID
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				relSeed := uint64(1 + (worker*6+round)%chaosSeeds)
+				rel, err := faulty.CreateRelease(ctx, "chaos", client.ReleaseParams{
+					Epsilon: chaosReleaseEps, Seed: relSeed})
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				if prev, ok := acked[relSeed]; ok && prev != rel.ID {
+					t.Errorf("seed %d acknowledged under two IDs: %s and %s", relSeed, prev, rel.ID)
+				}
+				acked[relSeed] = rel.ID
+				mu.Unlock()
+				q, err := faulty.Query(ctx, "chaos", rel.ID, client.QueryRequest{
+					Queries: [][]float64{{0, 0, 1, 1}, {0.2, 0.2, 0.7, 0.7}, {0.5, 0.5, 0.6, 0.6}}})
+				if err != nil {
+					continue
+				}
+				if len(q.Counts) != 3 {
+					t.Errorf("query returned %d counts, want 3", len(q.Counts))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	faults := proxy.Counts()
+	proxy.Close()
+	t.Logf("faults injected: %+v; acked %d/%d distinct releases", faults, len(acked), chaosSeeds)
+
+	// Verification happens over the clean path.
+	clean := client.New(backend.URL, client.WithHTTPClient(backend.Client()))
+	verify := func(phase string, c *client.Client) {
+		ds, err := c.Dataset(ctx, "chaos")
+		if err != nil {
+			t.Fatalf("%s: fetching dataset: %v", phase, err)
+		}
+		// The heart of the ε-safety claim: spent equals exactly one debit
+		// per committed release. A lost refund would push spent above it;
+		// a double-paid retry would add a debit with no release.
+		want := chaosReleaseEps * float64(ds.NumReleases)
+		if math.Abs(ds.EpsilonSpent-want) > 1e-9 {
+			t.Fatalf("%s: spent ε = %v with %d releases, want exactly %v",
+				phase, ds.EpsilonSpent, ds.NumReleases, want)
+		}
+		if ds.EpsilonSpent > chaosBudget+1e-9 {
+			t.Fatalf("%s: spent ε %v exceeds budget %v", phase, ds.EpsilonSpent, chaosBudget)
+		}
+		if ds.NumReleases > chaosSeeds {
+			t.Fatalf("%s: %d releases for %d distinct parameter sets — retries double-purchased",
+				phase, ds.NumReleases, chaosSeeds)
+		}
+		if len(acked) > ds.NumReleases {
+			t.Fatalf("%s: client holds %d acks but server has %d releases",
+				phase, len(acked), ds.NumReleases)
+		}
+	}
+	verify("under-load", clean)
+
+	// Every acknowledged release is durable and refetches bit-identically.
+	payloads := map[uint64]string{}
+	for relSeed, id := range acked {
+		a, err := clean.Release(ctx, "chaos", id)
+		if err != nil {
+			t.Fatalf("acked release %s lost: %v", id, err)
+		}
+		payloads[relSeed] = string(a.Payload)
+	}
+
+	// The gates leaked nothing.
+	m, err := clean.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["builds_in_flight"].(float64) != 0 || m["batches_in_flight"].(float64) != 0 {
+		t.Fatalf("slot leak: builds_in_flight=%v batches_in_flight=%v",
+			m["builds_in_flight"], m["batches_in_flight"])
+	}
+
+	// Restart from the data dir: the ledger balance and every acked
+	// artifact must come back bit-identical.
+	backend.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("draining shutdown: %v", err)
+	}
+	srv2, err := server.New(server.Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	backend2 := httptest.NewServer(srv2)
+	defer backend2.Close()
+	defer srv2.Close()
+	clean2 := client.New(backend2.URL, client.WithHTTPClient(backend2.Client()))
+	verify("post-restart", clean2)
+	for relSeed, id := range acked {
+		a, err := clean2.Release(ctx, "chaos", id)
+		if err != nil {
+			t.Fatalf("post-restart: acked release %s lost: %v", id, err)
+		}
+		if string(a.Payload) != payloads[relSeed] {
+			t.Fatalf("post-restart: release %s payload differs from pre-restart fetch", id)
+		}
+	}
+}
+
+// chaosPoints is a small deterministic 2-D dataset (no RNG dependency so
+// the registered data is identical across runs and restarts).
+func chaosPoints(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		x := float64(i%20)/20 + 0.025
+		y := float64(i/20)/float64((n+19)/20) + 0.01
+		out[i] = []float64{math.Mod(x, 1), math.Mod(y, 1)}
+	}
+	return out
+}

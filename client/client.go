@@ -1,0 +1,350 @@
+// Package client is the Go client for the privtreed HTTP API: typed
+// requests and responses for registration, release purchase, artifact
+// fetch, and batched queries, with context deadlines and retries that are
+// safe with respect to the server's privacy accounting.
+//
+// # Why retries never double-spend ε
+//
+// Retrying a failed request against a server that charges a privacy
+// budget looks dangerous: if the first attempt debited the ledger and the
+// ack was lost, wouldn't a retry pay again? No — every outcome of a
+// release request leaves the server in a state where the retry pays at
+// most one debit:
+//
+//   - Shed (429 overloaded) or refused during shutdown (503
+//     shutting_down): the request was rejected at admission, before any
+//     ledger traffic. Nothing happened; retrying is trivially safe.
+//   - Died mid-build (503 deadline_exceeded, or the connection dropped):
+//     the server refunds the debit durably *before* the error is
+//     written, so by the time the client can possibly retry, spent ε is
+//     back where it started.
+//   - Completed but the acknowledgment was lost (reset, truncated
+//     response): the release was committed under its parameter
+//     fingerprint. The retry carries the same (params, seed), the server
+//     dedups it against the committed release, and serves the cached
+//     artifact with no new debit — re-sending released bytes is
+//     post-processing.
+//
+// Queries are free by construction (they touch only released artifacts)
+// and GETs are read-only, so both retry without restriction. The one
+// call without a server-side idempotency key is Register: a lost ack
+// there means a retry can hit 409 conflict, so the client only retries
+// registration when the server said it did nothing (shed or draining) —
+// transport-level failures surface to the caller, who can GET the
+// dataset to find out whether the registration landed.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to one privtreed server. It is safe for concurrent use.
+type Client struct {
+	base  string
+	httpc *http.Client
+	retry RetryPolicy
+	bkt   *retryBudget
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, keep-alive policy). The default is a dedicated client with
+// a 30s overall timeout.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetryPolicy substitutes the retry policy. The zero RetryPolicy
+// means the documented defaults; use RetryPolicy{MaxAttempts: 1} to
+// disable retries entirely.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/")}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c.retry = c.retry.withDefaults()
+	c.bkt = newRetryBudget(c.retry.BudgetRatio)
+	return c
+}
+
+// Rect is the wire form of an axis-aligned domain box.
+type Rect struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// Synthetic asks the server to generate one of the paper's synthetic
+// datasets server-side.
+type Synthetic struct {
+	Generator string `json:"generator"`
+	N         int    `json:"n"`
+	Seed      uint64 `json:"seed"`
+}
+
+// RegisterRequest is the POST /v1/datasets body. Exactly one data source
+// — CSV, Points, Sequences, or Synthetic — must be set.
+type RegisterRequest struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+
+	Domain    *Rect       `json:"domain,omitempty"`
+	CSV       string      `json:"csv,omitempty"`
+	Points    [][]float64 `json:"points,omitempty"`
+	Synthetic *Synthetic  `json:"synthetic,omitempty"`
+
+	Alphabet  int     `json:"alphabet,omitempty"`
+	Sequences [][]int `json:"sequences,omitempty"`
+}
+
+// ReleaseParams selects the mechanism knobs and the ε one release debits.
+// (Params, Seed) is the release's idempotency key: the server dedups an
+// identical request against the committed release without a second debit.
+type ReleaseParams struct {
+	Epsilon float64 `json:"epsilon"`
+	Seed    uint64  `json:"seed"`
+
+	Fanout             int     `json:"fanout,omitempty"`
+	Theta              float64 `json:"theta,omitempty"`
+	TreeBudgetFraction float64 `json:"tree_budget_fraction,omitempty"`
+	MaxDepth           int     `json:"max_depth,omitempty"`
+	AffectedLeaves     int     `json:"affected_leaves,omitempty"`
+
+	MaxLength int `json:"max_length,omitempty"`
+}
+
+// ReleaseInfo is one purchased release's metadata.
+type ReleaseInfo struct {
+	ID        string        `json:"release_id"`
+	Kind      string        `json:"kind"`
+	Params    ReleaseParams `json:"params"`
+	CreatedAt time.Time     `json:"created_at"`
+	Nodes     int           `json:"nodes"`
+	Height    int           `json:"height,omitempty"`
+}
+
+// DatasetInfo is the privacy-safe view of a dataset: budget arithmetic
+// and release metadata, never raw data.
+type DatasetInfo struct {
+	Name             string        `json:"name"`
+	Kind             string        `json:"kind"`
+	Dims             int           `json:"dims,omitempty"`
+	EpsilonTotal     float64       `json:"epsilon_total"`
+	EpsilonSpent     float64       `json:"epsilon_spent"`
+	EpsilonRemaining float64       `json:"epsilon_remaining"`
+	StoreBytes       int64         `json:"store_bytes,omitempty"`
+	Releases         []ReleaseInfo `json:"releases,omitempty"`
+	NumReleases      int           `json:"num_releases"`
+}
+
+// RegisterResult acknowledges a registration; N is the exact ingested
+// cardinality, disclosed only to the registrant.
+type RegisterResult struct {
+	DatasetInfo
+	N int `json:"n"`
+}
+
+// ReleaseResult is the create-release reply: the release plus the ledger
+// position it left behind. Cached reports an idempotent replay — the
+// parameters matched an earlier purchase and no new ε was spent.
+type ReleaseResult struct {
+	ReleaseInfo
+	Cached           bool    `json:"cached"`
+	EpsilonSpent     float64 `json:"epsilon_spent"`
+	EpsilonRemaining float64 `json:"epsilon_remaining"`
+}
+
+// Artifact is a released artifact in the library's versioned wire
+// envelope; Payload round-trips through privtree.Decode.
+type Artifact struct {
+	ReleaseID string          `json:"release_id"`
+	Kind      string          `json:"kind"`
+	Params    ReleaseParams   `json:"params"`
+	Payload   json.RawMessage `json:"artifact"`
+}
+
+// QueryRequest is a batched query: rectangles (flat lo...hi rows) against
+// a spatial release, or symbol strings against a sequence release.
+type QueryRequest struct {
+	Queries [][]float64 `json:"queries,omitempty"`
+	Strings [][]int     `json:"strings,omitempty"`
+}
+
+// QueryResult carries one answered batch.
+type QueryResult struct {
+	ReleaseID string    `json:"release_id"`
+	Counts    []float64 `json:"counts"`
+	Queries   int       `json:"queries"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+}
+
+// Register registers a dataset. It retries only when the server
+// provably did nothing (shed / draining rejections): registration has no
+// server-side idempotency key, so a transport failure is surfaced — call
+// Dataset to discover whether the registration landed before retrying.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (*RegisterResult, error) {
+	var out RegisterResult
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets", req, &out, retryIfUnadmitted); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists every registered dataset.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// Dataset fetches one dataset with its releases.
+func (c *Client) Dataset(ctx context.Context, name string) (*DatasetInfo, error) {
+	var out DatasetInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateRelease purchases (or idempotently refetches) a release. Safe to
+// retry without restriction: see the package comment — a shed request
+// never reached the ledger, a request that died mid-build had its debit
+// refunded durably first, and a committed release with a lost ack dedups
+// by (params, seed) fingerprint with no second debit.
+func (c *Client) CreateRelease(ctx context.Context, dataset string, p ReleaseParams) (*ReleaseResult, error) {
+	var out ReleaseResult
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases"
+	if err := c.do(ctx, http.MethodPost, path, p, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Release fetches a released artifact. Releases are immutable: fetching
+// one twice returns bit-identical payloads.
+func (c *Client) Release(ctx context.Context, dataset, id string) (*Artifact, error) {
+	var out Artifact
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases/" + url.PathEscape(id)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query answers a batch against a released artifact. Queries touch only
+// released data (they are free post-processing), so retrying is always
+// safe.
+func (c *Client) Query(ctx context.Context, dataset, id string, q QueryRequest) (*QueryResult, error) {
+	var out QueryResult
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases/" + url.PathEscape(id) + "/query"
+	if err := c.do(ctx, http.MethodPost, path, q, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, retryAlways)
+}
+
+// Metrics fetches the operational counters document.
+func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// do runs one logical call: marshal once, attempt with retries per the
+// policy and the call's idempotency class, decode into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, class retryClass) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+	}
+	c.bkt.deposit()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		if attempt >= c.retry.MaxAttempts || !retryable(err, class) {
+			return lastErr
+		}
+		if !c.bkt.withdraw() {
+			return fmt.Errorf("client: retry budget exhausted: %w", lastErr)
+		}
+		delay := c.retry.delay(attempt)
+		if ra := retryAfterOf(err); ra > delay {
+			delay = ra
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		}
+	}
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: building %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return &TransportError{Method: method, Path: path, Err: err}
+	}
+	defer func() {
+		// Drain so keep-alive connections are reusable.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// A truncated 2xx body: the call may have succeeded server-side.
+			// Surface as transport-shaped so idempotent calls retry.
+			return &TransportError{Method: method, Path: path, Err: fmt.Errorf("decoding response: %w", err)}
+		}
+		return nil
+	}
+	return decodeAPIError(resp, method, path)
+}

@@ -1,0 +1,288 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privtree/internal/server"
+)
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func testServer(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithHTTPClient(ts.Client()), WithRetryPolicy(fastRetry(3))), ts
+}
+
+func clusterPoints(n int) [][]float64 {
+	rng := rand.New(rand.NewPCG(3, 5))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return out
+}
+
+// TestClientEndToEnd drives the full API against a real server: register,
+// purchase, idempotent replay, artifact fetch (bit-identical), query.
+func TestClientEndToEnd(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+
+	reg, err := c.Register(ctx, RegisterRequest{Name: "e2e", Epsilon: 2.0, Points: clusterPoints(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.N != 500 || reg.EpsilonTotal != 2.0 {
+		t.Fatalf("register ack: n=%d total=%v", reg.N, reg.EpsilonTotal)
+	}
+
+	params := ReleaseParams{Epsilon: 0.5, Seed: 42}
+	rel, err := c.CreateRelease(ctx, "e2e", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cached || rel.EpsilonSpent != 0.5 {
+		t.Fatalf("first purchase: cached=%v spent=%v", rel.Cached, rel.EpsilonSpent)
+	}
+	again, err := c.CreateRelease(ctx, "e2e", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.EpsilonSpent != 0.5 || again.ID != rel.ID {
+		t.Fatalf("replay: cached=%v spent=%v id=%q want cached, 0.5, %q",
+			again.Cached, again.EpsilonSpent, again.ID, rel.ID)
+	}
+
+	a1, err := c.Release(ctx, "e2e", rel.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Release(ctx, "e2e", rel.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a1.Payload) != string(a2.Payload) || len(a1.Payload) == 0 {
+		t.Fatal("artifact refetch not bit-identical")
+	}
+
+	q, err := c.Query(ctx, "e2e", rel.ID, QueryRequest{Queries: [][]float64{{0, 0, 1, 1}, {0, 0, 0.5, 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Counts) != 2 || q.Queries != 2 {
+		t.Fatalf("query reply: %+v", q)
+	}
+
+	ds, err := c.Dataset(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.EpsilonSpent != 0.5 || ds.NumReleases != 1 {
+		t.Fatalf("dataset view: spent=%v releases=%d", ds.EpsilonSpent, ds.NumReleases)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientBudgetExhaustedTyped verifies the ledger rejection surfaces
+// as a typed APIError with the accounting fields, and is not retried.
+func TestClientBudgetExhaustedTyped(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	if _, err := c.Register(ctx, RegisterRequest{Name: "b", Epsilon: 0.3, Points: clusterPoints(100)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.CreateRelease(ctx, "b", ReleaseParams{Epsilon: 0.5, Seed: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeBudgetExhausted {
+		t.Fatalf("over-budget purchase: %v, want budget_exhausted APIError", err)
+	}
+	if apiErr.RemainingEpsilon == nil || *apiErr.RemainingEpsilon != 0.3 {
+		t.Fatalf("budget error accounting: %+v", apiErr)
+	}
+}
+
+// overloadedThenOK rejects the first n requests with the server's 429
+// shape, then proxies success.
+func overloadedThenOK(n int64, ok http.HandlerFunc) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]any{"code": "overloaded", "message": "saturated"}})
+			return
+		}
+		ok(w, r)
+	}, &calls
+}
+
+// TestClientRetriesOverload verifies 429 overloaded is retried — for
+// CreateRelease and even Register (shed = no server-side work) — and that
+// the loop gives up with the typed error once attempts run out.
+func TestClientRetriesOverload(t *testing.T) {
+	okJSON := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"release_id":"r1","kind":"spatial","cached":false}`))
+	}
+	h, calls := overloadedThenOK(2, okJSON)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastRetry(4)))
+	rel, err := c.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.ID != "r1" || calls.Load() != 3 {
+		t.Fatalf("id=%q calls=%d, want r1 after 3 attempts", rel.ID, calls.Load())
+	}
+
+	h2, calls2 := overloadedThenOK(1, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"name":"d","epsilon_total":1,"n":0}`))
+	})
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	c2 := New(ts2.URL, WithRetryPolicy(fastRetry(4)))
+	if _, err := c2.Register(context.Background(), RegisterRequest{Name: "d", Epsilon: 1}); err != nil {
+		t.Fatalf("register through one shed: %v", err)
+	}
+	if calls2.Load() != 2 {
+		t.Fatalf("register calls = %d, want 2", calls2.Load())
+	}
+
+	h3, _ := overloadedThenOK(1<<40, okJSON)
+	ts3 := httptest.NewServer(h3)
+	defer ts3.Close()
+	c3 := New(ts3.URL, WithRetryPolicy(fastRetry(3)))
+	_, err = c3.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeOverloaded {
+		t.Fatalf("exhausted retries: %v, want overloaded APIError", err)
+	}
+}
+
+// TestClientTransportRetryClassification verifies the idempotency split:
+// a connection that dies mid-response is retried for CreateRelease but
+// surfaced for Register.
+func TestClientTransportRetryClassification(t *testing.T) {
+	var calls atomic.Int64
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			panic(http.ErrAbortHandler) // reset the connection mid-flight
+		}
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"release_id":"r1","kind":"spatial"}`))
+	}
+	ts := httptest.NewServer(http.HandlerFunc(h))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastRetry(3)))
+	if _, err := c.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.1}); err != nil {
+		t.Fatalf("create through reset: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (one reset, one success)", calls.Load())
+	}
+
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts2.Close()
+	c2 := New(ts2.URL, WithRetryPolicy(fastRetry(3)))
+	_, err := c2.Register(context.Background(), RegisterRequest{Name: "d", Epsilon: 1})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("register through reset: %v, want TransportError (no retry)", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("register attempts = %d, want exactly 1: registration has no idempotency key", calls.Load())
+	}
+}
+
+// TestClientBadRequestNotRetried verifies 4xx responses fail fast.
+func TestClientBadRequestNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":{"code":"bad_request","message":"nope"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastRetry(5)))
+	_, err := c.Query(context.Background(), "d", "r", QueryRequest{Queries: [][]float64{{0, 0, 1, 1}}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_request" {
+		t.Fatalf("got %v, want bad_request APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries on 4xx)", calls.Load())
+	}
+}
+
+// TestRetryBudgetBoundsAmplification verifies the token bucket fails fast
+// once a string of failures drains it, instead of retrying every call to
+// MaxAttempts forever.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":{"code":"overloaded","message":"saturated"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, BudgetRatio: 0.1}))
+	const requests = 30
+	for i := 0; i < requests; i++ {
+		_, _ = c.Query(context.Background(), "d", "r", QueryRequest{Queries: [][]float64{{0, 0, 1, 1}}})
+	}
+	// Unbudgeted amplification would be requests*MaxAttempts = 120 calls.
+	// The initial burst allows ~10 retries, deposits add ~3 more: the
+	// total must sit well under 2x the request count.
+	if got := calls.Load(); got >= 2*requests {
+		t.Fatalf("budget failed to bound amplification: %d calls for %d requests", got, requests)
+	}
+	if got := calls.Load(); got < requests {
+		t.Fatalf("every request should reach the wire at least once: %d < %d", got, requests)
+	}
+}
+
+// TestRetryDelayShape pins the backoff window: full jitter within
+// [0, base*2^n] capped at MaxDelay.
+func TestRetryDelayShape(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}.withDefaults()
+	for attempt := 1; attempt <= 6; attempt++ {
+		max := p.BaseDelay << (attempt - 1)
+		if max > p.MaxDelay {
+			max = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			if d := p.delay(attempt); d < 0 || d > max {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, max)
+			}
+		}
+	}
+}

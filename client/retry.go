@@ -1,0 +1,218 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Error codes the server uses that the retry layer keys on; they mirror
+// internal/server's structured envelope.
+const (
+	CodeOverloaded       = "overloaded"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeShuttingDown     = "shutting_down"
+	CodeBudgetExhausted  = "budget_exhausted"
+	CodeConflict         = "conflict"
+	CodeInternal         = "internal"
+)
+
+// RetryPolicy tunes the client's retry loop: capped exponential backoff
+// with full jitter, plus a budget that bounds the retry amplification a
+// degraded server sees from this client.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included);
+	// 0 means 4, 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff; 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep; 0 means 2s.
+	MaxDelay time.Duration
+	// BudgetRatio is the retry budget: every logical call deposits this
+	// many retry tokens (so a healthy client earns ~BudgetRatio retries
+	// per request) and every retry withdraws one. When the bucket is
+	// empty, calls fail fast instead of amplifying an outage. 0 means
+	// 0.5; negative disables the budget.
+	BudgetRatio float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.BudgetRatio == 0 {
+		p.BudgetRatio = 0.5
+	}
+	return p
+}
+
+// delay returns the sleep before retry #attempt (1-based): full jitter
+// over an exponentially growing, capped window. Full jitter (uniform in
+// [0, cap)) desynchronizes a fleet of clients hammering a recovering
+// server — deterministic backoff would re-align them into waves.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	window := p.BaseDelay << (attempt - 1)
+	if window > p.MaxDelay || window <= 0 {
+		window = p.MaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(window) + 1))
+}
+
+// retryBudget is a token bucket shared by all of a Client's calls:
+// deposits of `ratio` per logical request, withdrawals of 1 per retry,
+// capped so an idle client cannot bank an unbounded burst.
+type retryBudget struct {
+	mu      sync.Mutex
+	ratio   float64
+	balance float64
+	cap     float64
+}
+
+func newRetryBudget(ratio float64) *retryBudget {
+	// Start with a full bucket so a fresh client can retry its first
+	// requests; the steady-state rate is still bounded by ratio.
+	const burst = 10
+	return &retryBudget{ratio: ratio, balance: burst, cap: burst}
+}
+
+func (b *retryBudget) deposit() {
+	if b.ratio < 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.balance += b.ratio; b.balance > b.cap {
+		b.balance = b.cap
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) withdraw() bool {
+	if b.ratio < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.balance < 1 {
+		return false
+	}
+	b.balance--
+	return true
+}
+
+// retryClass is a call's idempotency classification.
+type retryClass int
+
+const (
+	// retryAlways marks calls that are safe to retry after any failure:
+	// reads, queries (post-processing), and release creation (the
+	// (params, seed) fingerprint is a server-side idempotency key, and a
+	// failed build's debit is refunded durably before the error is sent).
+	retryAlways retryClass = iota
+	// retryIfUnadmitted marks calls with no idempotency key (Register):
+	// retried only on structured rejections that prove the server did no
+	// work — shed (429 overloaded) or draining (503 shutting_down).
+	retryIfUnadmitted
+)
+
+// TransportError wraps a failure below the API layer: dial, reset,
+// timeout, or an undecodable/truncated response. The request may or may
+// not have reached the server.
+type TransportError struct {
+	Method string
+	Path   string
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("client: %s %s: %v", e.Method, e.Path, e.Err)
+}
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// APIError is a structured non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	// RetryAfter is the server's backoff hint (0 when absent).
+	RetryAfter time.Duration
+
+	// Budget accounting, set for CodeBudgetExhausted.
+	RequestedEpsilon *float64 `json:"requested_epsilon,omitempty"`
+	RemainingEpsilon *float64 `json:"remaining_epsilon,omitempty"`
+	TotalEpsilon     *float64 `json:"total_epsilon,omitempty"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// decodeAPIError parses a non-2xx response into an *APIError; an
+// undecodable error body becomes a TransportError so idempotent calls
+// treat it like any other mangled response.
+func decodeAPIError(resp *http.Response, method, path string) error {
+	var env struct {
+		Error *APIError `json:"error"`
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err == nil && json.Unmarshal(blob, &env) == nil && env.Error != nil {
+		apiErr := env.Error
+		apiErr.StatusCode = resp.StatusCode
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
+	}
+	return &TransportError{Method: method, Path: path,
+		Err: fmt.Errorf("status %d with undecodable error body", resp.StatusCode)}
+}
+
+// retryable decides whether err justifies another attempt for a call of
+// the given class.
+func retryable(err error, class retryClass) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case CodeOverloaded, CodeShuttingDown:
+			// The server rejected at admission, before any work: safe for
+			// every call class, including Register.
+			return true
+		case CodeDeadlineExceeded, CodeInternal:
+			// Work started and died; safe only for calls with an
+			// idempotency story (refund-on-failure + fingerprint dedup).
+			return class == retryAlways
+		default:
+			// Client errors (bad_request, conflict, not_found, too_large)
+			// and budget_exhausted: retrying cannot help.
+			return false
+		}
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		// The attempt may have reached the server and even succeeded.
+		return class == retryAlways
+	}
+	return false
+}
+
+// retryAfterOf extracts the server's Retry-After hint, 0 if none.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}

@@ -8,6 +8,7 @@
 //	privtreed -addr :8181
 //	privtreed -addr :8181 -data-dir /var/lib/privtreed  # crash-safe budgets + releases
 //	privtreed -addr :8181 -workers 8 -max-batch 1048576
+//	privtreed -addr :8181 -max-builds 4 -build-timeout 10s  # overload knobs
 //	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
 //
 // With -data-dir, every dataset's privacy ledger is write-ahead logged
@@ -45,11 +46,16 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8181", "listen address")
-		workers   = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
-		maxBatch  = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
-		maxBody   = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr         = flag.String("addr", ":8181", "listen address")
+		workers      = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
+		maxBody      = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		buildTimeout = flag.Duration("build-timeout", 30*time.Second, "per-request deadline for release builds; past it the build is abandoned, its debit refunded durably, and the client gets 503 deadline_exceeded (0 = none)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request deadline for batched queries (0 = none)")
+		maxBuilds    = flag.Int("max-builds", 0, "release builds admitted concurrently; excess queues briefly, then sheds as 429 overloaded (0 = GOMAXPROCS)")
+		maxBatches   = flag.Int("max-batches", 0, "query batches admitted concurrently, same shed behavior (0 = GOMAXPROCS)")
+		admitQueue   = flag.Int("admission-queue", 0, "bounded wait queue per admission plane (0 = 2x the plane's limit)")
 		dataDir   = flag.String("data-dir", "", "directory for crash-safe persistence: privacy ledgers are write-ahead logged (fsync-on-debit) and release envelopes stored content-addressed; on restart every dataset resumes with its spent ε, audit trail, and cached releases intact (empty = in-memory only, budgets reset on restart)")
 		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
 	)
@@ -74,10 +80,16 @@ func main() {
 	}
 
 	handler, err := server.New(server.Options{
-		Workers:      *workers,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
-		DataDir:      *dataDir,
+		Workers:              *workers,
+		MaxBatch:             *maxBatch,
+		MaxBodyBytes:         *maxBody,
+		DataDir:              *dataDir,
+		BuildTimeout:         *buildTimeout,
+		QueryTimeout:         *queryTimeout,
+		MaxConcurrentBuilds:  *maxBuilds,
+		MaxConcurrentBatches: *maxBatches,
+		AdmissionQueue:       *admitQueue,
+		DrainTimeout:         *drain,
 	})
 	if err != nil {
 		fatal(err)
@@ -87,9 +99,14 @@ func main() {
 			handler.Registry().Len(), *dataDir)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+		Addr:    *addr,
+		Handler: handler,
+		// ReadHeaderTimeout bounds slowloris-style header dribbling;
+		// IdleTimeout reclaims keep-alive connections a dead client left
+		// behind, so a fleet of crashed clients can't pin the listener's
+		// file descriptors.
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -107,11 +124,17 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Shutdown ordering matters: drain the HTTP listener FIRST — stop
+	// accepting, let in-flight requests finish — and only then close the
+	// registry and its stores. Closing the stores under live handlers
+	// would fail acknowledged-looking requests mid-commit.
 	fmt.Fprintln(os.Stderr, "privtreed: shutting down, draining in-flight requests")
+	drainStart := time.Now()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "privtreed: drain incomplete: %v\n", err)
+		fmt.Fprintf(os.Stderr, "privtreed: drain incomplete after %v: %v\n",
+			time.Since(drainStart).Round(time.Millisecond), err)
 		_ = srv.Close()
 		_ = handler.Close()
 		os.Exit(1)
@@ -119,9 +142,11 @@ func main() {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "privtreed: drained in %v\n", time.Since(drainStart).Round(time.Millisecond))
 	// Graceful restart: every acknowledged debit and artifact is already
 	// durable; closing the stores is hygiene so a supervisor can relaunch
-	// with the same -data-dir immediately.
+	// with the same -data-dir immediately. handler.Close also drains the
+	// admission gates, but Shutdown already emptied them.
 	if err := handler.Close(); err != nil {
 		fatal(err)
 	}

@@ -126,6 +126,23 @@
 // artifact's provenance without decoding its payload. See README.md
 // ("Durability & crash safety") for the full argument.
 //
+// # Operating under load and failure
+//
+// Session.ReleaseContext extends the same invariants to cancellation: a
+// build abandoned because its context was cancelled (a client timeout, a
+// server-side deadline) has its debit refunded — durably, before the
+// error returns — so a retry of the identical request pays at most one
+// debit, either as a fresh build or as a cache hit against a release
+// whose acknowledgment was lost. The serving layer builds on this with
+// per-route deadlines and bounded admission gates that shed saturating
+// load as typed 429/503 errors instead of queueing unboundedly, and the
+// client package implements the matching retry discipline (capped
+// jittered backoff, a retry budget, idempotency-aware classification).
+// A seeded fault-injection harness (internal/faultnet plus the chaos
+// test) drives the full loop through latency, resets, truncation, and
+// blackholes and asserts the ledger balances exactly. See README.md
+// ("Operating under load & failure").
+//
 // Build entry points validate their parameters and return errors — never
 // panics — on non-positive ε, unusable fanouts, or degenerate domains, so
 // they can sit directly behind untrusted inputs, and the

@@ -1,0 +1,273 @@
+// Package faultnet is a seeded fault-injection TCP proxy for chaos
+// testing: it sits between a client and a server and, per connection,
+// rolls one fault from a deterministic PRNG — added latency, a mid-stream
+// connection reset, a truncated response (clean FIN after a few bytes),
+// or a blackhole (accept, read, never reply). Everything else is proxied
+// byte-for-byte.
+//
+// Faults are rolled per *connection*, so a chaos client that disables
+// HTTP keep-alives gets an independent roll for every request. The seed
+// makes a failing chaos run reproducible: re-run with the logged seed and
+// the same connection-order faults fire.
+package faultnet
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injected failure mode.
+type Fault int
+
+const (
+	// FaultNone proxies the connection untouched.
+	FaultNone Fault = iota
+	// FaultLatency delays the connection before proxying it.
+	FaultLatency
+	// FaultReset forwards a few response bytes, then resets the client
+	// connection (RST via SO_LINGER=0) — the client sees a mid-body
+	// connection reset, the canonical lost-acknowledgment failure.
+	FaultReset
+	// FaultTruncate forwards a few response bytes, then closes cleanly —
+	// the client sees a well-formed TCP stream carrying a mangled reply.
+	FaultTruncate
+	// FaultBlackhole accepts and reads the request but never replies;
+	// the client hangs until its own deadline fires.
+	FaultBlackhole
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultLatency:
+		return "latency"
+	case FaultReset:
+		return "reset"
+	case FaultTruncate:
+		return "truncate"
+	case FaultBlackhole:
+		return "blackhole"
+	}
+	return "unknown"
+}
+
+// Options tunes a Proxy. The probabilities are cumulative-independent:
+// each connection rolls one uniform number and picks the first fault
+// whose cumulative band it lands in; they must sum to at most 1, with
+// the remainder proxied cleanly.
+type Options struct {
+	// Seed fixes the fault schedule; the same seed over the same
+	// connection order injects the same faults.
+	Seed uint64
+
+	LatencyProb   float64
+	ResetProb     float64
+	TruncateProb  float64
+	BlackholeProb float64
+
+	// Latency is the injected delay for FaultLatency; 0 means 20ms.
+	Latency time.Duration
+	// CutAfter is how many response bytes FaultReset / FaultTruncate
+	// forward before cutting; 0 means 12 — enough for the status line to
+	// start, not enough to be useful.
+	CutAfter int64
+}
+
+// Counts is a snapshot of injected faults by kind.
+type Counts struct {
+	Conns, None, Latency, Reset, Truncate, Blackhole int64
+}
+
+// Proxy is a running fault-injection proxy. Close it to release the
+// listener and every open connection.
+type Proxy struct {
+	opts   Options
+	target string
+	ln     net.Listener
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	nConns, nNone, nLatency, nReset, nTruncate, nBlackhole atomic.Int64
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target
+// (host:port).
+func New(target string, opts Options) (*Proxy, error) {
+	if opts.Latency == 0 {
+		opts.Latency = 20 * time.Millisecond
+	}
+	if opts.CutAfter == 0 {
+		opts.CutAfter = 12
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		opts:   opts,
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (dial this instead of the
+// target).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Counts reports how many connections got each fault so far.
+func (p *Proxy) Counts() Counts {
+	return Counts{
+		Conns:     p.nConns.Load(),
+		None:      p.nNone.Load(),
+		Latency:   p.nLatency.Load(),
+		Reset:     p.nReset.Load(),
+		Truncate:  p.nTruncate.Load(),
+		Blackhole: p.nBlackhole.Load(),
+	}
+}
+
+// Close stops accepting, severs every open connection (including
+// blackholed ones), and waits for the proxy goroutines to exit.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for Close-time severing; it reports false
+// (and closes the conn) when the proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed.Load() {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+	c.Close()
+}
+
+// roll draws the next connection's fault from the seeded schedule.
+func (p *Proxy) roll() Fault {
+	p.mu.Lock()
+	u := p.rng.Float64()
+	p.mu.Unlock()
+	cum := p.opts.LatencyProb
+	if u < cum {
+		return FaultLatency
+	}
+	if cum += p.opts.ResetProb; u < cum {
+		return FaultReset
+	}
+	if cum += p.opts.TruncateProb; u < cum {
+		return FaultTruncate
+	}
+	if cum += p.opts.BlackholeProb; u < cum {
+		return FaultBlackhole
+	}
+	return FaultNone
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(c) {
+			return
+		}
+		p.nConns.Add(1)
+		fault := p.roll()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(c)
+			p.serve(c, fault)
+		}()
+	}
+}
+
+// serve proxies one client connection under its rolled fault.
+func (p *Proxy) serve(client net.Conn, fault Fault) {
+	if fault == FaultBlackhole {
+		p.nBlackhole.Add(1)
+		// Swallow the request and never answer; the client's deadline is
+		// its only way out. Close severs this on proxy shutdown.
+		_, _ = io.Copy(io.Discard, client)
+		return
+	}
+	if fault == FaultLatency {
+		p.nLatency.Add(1)
+		time.Sleep(p.opts.Latency)
+	}
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(server) {
+		return
+	}
+	defer p.untrack(server)
+
+	// Upstream: client -> server, full fidelity; half-close so the server
+	// sees EOF exactly when the client stops sending.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_, _ = io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+
+	// Downstream: server -> client, where response faults are injected.
+	switch fault {
+	case FaultReset:
+		p.nReset.Add(1)
+		_, _ = io.CopyN(client, server, p.opts.CutAfter)
+		if tc, ok := client.(*net.TCPConn); ok {
+			// SO_LINGER=0: closing now sends RST, not FIN — the client
+			// observes "connection reset by peer" mid-response.
+			_ = tc.SetLinger(0)
+		}
+	case FaultTruncate:
+		p.nTruncate.Add(1)
+		_, _ = io.CopyN(client, server, p.opts.CutAfter)
+	default:
+		if fault == FaultNone {
+			p.nNone.Add(1)
+		}
+		_, _ = io.Copy(client, server)
+	}
+}

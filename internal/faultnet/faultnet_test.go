@@ -1,0 +1,182 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns a plain HTTP server echoing a fixed body, plus a client
+// with keep-alives off so every request dials the proxy fresh (one fault
+// roll per request).
+func backend(t *testing.T) (*httptest.Server, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		_, _ = w.Write([]byte(strings.Repeat("payload!", 64)))
+	}))
+	t.Cleanup(ts.Close)
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   2 * time.Second,
+	}
+	return ts, client
+}
+
+func mustProxy(t *testing.T, target string, opts Options) *Proxy {
+	t.Helper()
+	p, err := New(target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	ts, client := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 1})
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://" + p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || len(body) != 512 {
+			t.Fatalf("clean proxy: err=%v len=%d", err, len(body))
+		}
+	}
+	if c := p.Counts(); c.None != 5 || c.Conns != 5 {
+		t.Fatalf("counts = %+v, want 5 clean conns", c)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	ts, client := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 2, ResetProb: 1})
+	resp, err := client.Get("http://" + p.Addr())
+	if err == nil {
+		// The cut lands mid-body: reading must fail even if headers parsed.
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("reset fault: request succeeded, want mid-stream failure")
+	}
+	if c := p.Counts(); c.Reset != 1 {
+		t.Fatalf("counts = %+v, want one reset", c)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	ts, client := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 3, TruncateProb: 1, CutAfter: 9})
+	resp, err := client.Get("http://" + p.Addr())
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("truncate fault: request succeeded, want short read failure")
+	}
+	if c := p.Counts(); c.Truncate != 1 {
+		t.Fatalf("counts = %+v, want one truncate", c)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	ts, _ := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 4, BlackholeProb: 1})
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get("http://" + p.Addr())
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v, want it to hang to the client deadline", elapsed)
+	}
+	if c := p.Counts(); c.Blackhole != 1 {
+		t.Fatalf("counts = %+v, want one blackhole", c)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	ts, client := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 5, LatencyProb: 1, Latency: 80 * time.Millisecond})
+	start := time.Now()
+	resp, err := client.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("latency fault: request completed in %v, want >= 80ms", elapsed)
+	}
+}
+
+// TestProxySeededScheduleIsDeterministic verifies two proxies with one
+// seed roll identical fault sequences — the property that makes a chaos
+// failure replayable.
+func TestProxySeededScheduleIsDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, LatencyProb: 0.2, ResetProb: 0.2, TruncateProb: 0.2, BlackholeProb: 0.2}
+	ts, _ := backend(t)
+	a := mustProxy(t, ts.Listener.Addr().String(), opts)
+	b := mustProxy(t, ts.Listener.Addr().String(), opts)
+	var sa, sb []Fault
+	for i := 0; i < 64; i++ {
+		sa = append(sa, a.roll())
+		sb = append(sb, b.roll())
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("roll %d: %v vs %v — schedule not deterministic", i, sa[i], sb[i])
+		}
+	}
+}
+
+// TestProxyCloseSeversBlackhole verifies Close unblocks a client wedged
+// in a blackholed connection instead of leaking it.
+func TestProxyCloseSeversBlackhole(t *testing.T) {
+	ts, _ := backend(t)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 6, BlackholeProb: 1})
+	errc := make(chan error, 1)
+	go func() {
+		client := &http.Client{Timeout: 10 * time.Second}
+		_, err := client.Get("http://" + p.Addr())
+		errc <- err
+	}()
+	// Wait for the connection to reach the proxy, then shut it down.
+	waitCond(t, func() bool { return p.Counts().Blackhole == 1 })
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blackholed request succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not sever the blackholed connection")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return")
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control for the two expensive planes — release builds and
+// batched queries. Each plane gets a gate: a bounded semaphore of
+// concurrency slots plus a small bounded wait queue. A request that finds
+// all slots busy parks in the queue (bounded, so memory is bounded);
+// a request that finds the queue full too is shed immediately with a
+// structured 429 `overloaded` and a Retry-After hint — the server
+// degrades by refusing crisply instead of wedging behind unbounded
+// goroutine pileups. Queued waiters respect the request context, so a
+// client that times out (or a per-route deadline that fires) leaves the
+// queue without consuming a slot.
+
+// errShed reports that a gate shed the request: all slots busy AND the
+// wait queue full. Handlers map it to HTTP 429 `overloaded`.
+var errShed = errors.New("server: overloaded, retry later")
+
+// errDraining reports that the server is shutting down and admits no new
+// work. Handlers map it to HTTP 503 `shutting_down`.
+var errDraining = errors.New("server: shutting down, not admitting new requests")
+
+// gate is one plane's admission controller.
+type gate struct {
+	slots    chan struct{} // buffered semaphore: len == busy slots
+	maxQueue int64
+
+	queued   atomic.Int64 // waiters parked beyond the slots
+	inflight atomic.Int64 // admitted, not yet released (the /metrics gauge)
+	draining atomic.Bool
+}
+
+// newGate returns a gate with `limit` concurrency slots and a wait queue
+// of `queue` requests beyond them.
+func newGate(limit, queue int) *gate {
+	return &gate{slots: make(chan struct{}, limit), maxQueue: int64(queue)}
+}
+
+// acquire admits the request or rejects it: errShed when the plane is
+// saturated (slots and queue both full), errDraining during shutdown, or
+// ctx.Err() when the caller's deadline fires while queued. On nil return
+// the caller owns one slot and must call release exactly once.
+func (g *gate) acquire(ctx context.Context) error {
+	if g.draining.Load() {
+		return errDraining
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return errShed
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		if g.draining.Load() {
+			// Drain began while this request was queued: bounce it rather
+			// than extend the drain window.
+			<-g.slots
+			return errDraining
+		}
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an acquired slot.
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}
+
+// Inflight returns the number of admitted, unreleased requests.
+func (g *gate) Inflight() int64 { return g.inflight.Load() }
+
+// drain stops admitting new requests and waits (bounded by deadline) for
+// the in-flight ones to release their slots. Reports whether the plane
+// drained completely.
+func (g *gate) drain(deadline time.Time) bool {
+	g.draining.Store(true)
+	for {
+		if g.inflight.Load() == 0 && g.queued.Load() == 0 {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

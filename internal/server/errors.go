@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"privtree/internal/dp"
@@ -16,6 +18,18 @@ const (
 	CodeTooLarge        = "too_large"
 	CodeBudgetExhausted = "budget_exhausted"
 	CodeInternal        = "internal"
+
+	// Overload-plane codes (see the admission gates in admission.go).
+	// CodeOverloaded (429, with Retry-After) means the request was shed
+	// before any work — and before any ledger traffic — so retrying it is
+	// always safe. CodeDeadlineExceeded (503) means the per-route deadline
+	// or the client's own cancellation fired; a release request that dies
+	// mid-build has its debit refunded durably before this error is
+	// written, so a retry pays at most one debit. CodeShuttingDown (503)
+	// means the server is draining for shutdown.
+	CodeOverloaded       = "overloaded"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeShuttingDown     = "shutting_down"
 )
 
 // errInternal tags failures that are the server's fault, not the
@@ -51,8 +65,9 @@ func writeError(w http.ResponseWriter, status int, apiErr *APIError) {
 
 // writeErrorFrom maps an arbitrary error to the envelope: ledger
 // rejections become CodeBudgetExhausted (403) with the accounting fields
-// filled in, server-side failures become CodeInternal (500), and
-// everything else is the client's CodeBadRequest (400).
+// filled in, context expiry becomes CodeDeadlineExceeded (503, retryable),
+// server-side failures become CodeInternal (500), and everything else is
+// the client's CodeBadRequest (400).
 func writeErrorFrom(w http.ResponseWriter, err error) {
 	var be *dp.BudgetError
 	if errors.As(err, &be) {
@@ -65,9 +80,41 @@ func writeErrorFrom(w http.ResponseWriter, err error) {
 		})
 		return
 	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// Deadline hit or client gone. 503 + deadline_exceeded is the
+		// retryable shape either way: when the client cancelled, nobody
+		// reads the response; when the per-route deadline fired, the
+		// client should back off and retry (any mid-build debit was
+		// refunded durably before this line ran).
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDeadlineExceeded, Message: err.Error()})
+		return
+	}
 	if errors.Is(err, errInternal) {
 		writeError(w, http.StatusInternalServerError, &APIError{Code: CodeInternal, Message: err.Error()})
 		return
 	}
 	writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: err.Error()})
+}
+
+// writeAdmissionError renders a gate rejection: shed load is 429
+// `overloaded` with a Retry-After hint, shutdown is 503 `shutting_down`,
+// and a deadline that fired while queued is 503 `deadline_exceeded`.
+func writeAdmissionError(w http.ResponseWriter, err error, plane string) {
+	switch {
+	case errors.Is(err, errShed):
+		// The hint is deliberately coarse: admission decisions are
+		// instantaneous, so "soon" is one second — clients add jitter.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, &APIError{
+			Code:    CodeOverloaded,
+			Message: fmt.Sprintf("server: %s plane saturated (all slots and queue spots busy); retry with backoff", plane),
+		})
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, &APIError{
+			Code:    CodeShuttingDown,
+			Message: "server: shutting down, not admitting new requests",
+		})
+	default:
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDeadlineExceeded, Message: err.Error()})
+	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,38 @@ type metrics struct {
 	queryNanos       atomic.Int64
 	releasesBuilt    atomic.Int64
 	releaseCacheHits atomic.Int64
+
+	// Overload observability: shedTotal counts requests bounced by a
+	// saturated admission gate (HTTP 429), deadlineTotal counts requests
+	// that died to a per-route deadline or client cancellation (503
+	// deadline_exceeded), drainRejects counts requests refused during
+	// shutdown (503 shutting_down). retryableTotal is their sum — every
+	// response that told a well-behaved client "back off and retry" —
+	// so a dashboard can see retry pressure at a glance.
+	shedTotal      atomic.Int64
+	deadlineTotal  atomic.Int64
+	drainRejects   atomic.Int64
+	retryableTotal atomic.Int64
+}
+
+// recordAdmissionReject accounts for a gate rejection by kind.
+func (m *metrics) recordAdmissionReject(err error) {
+	switch {
+	case errors.Is(err, errShed):
+		m.shedTotal.Add(1)
+	case errors.Is(err, errDraining):
+		m.drainRejects.Add(1)
+	default:
+		m.deadlineTotal.Add(1)
+	}
+	m.retryableTotal.Add(1)
+}
+
+// recordDeadlineHit accounts for a request that was admitted but died to
+// its context (deadline or client disconnect) mid-work.
+func (m *metrics) recordDeadlineHit() {
+	m.deadlineTotal.Add(1)
+	m.retryableTotal.Add(1)
 }
 
 func newMetrics() *metrics {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,7 +10,9 @@ import (
 // queryChunk is how many queries one goroutine claims at a time from a
 // batch. Work-stealing at chunk granularity keeps workers balanced when
 // query costs vary (deep trees answer small rectangles faster than large
-// ones) while amortizing the atomic increment.
+// ones) while amortizing the atomic increment — and bounds how much work
+// a worker does between context checks, so a disconnected client's batch
+// is abandoned within one chunk.
 const queryChunk = 256
 
 // minParallelBatch is the batch size below which fan-out overhead exceeds
@@ -23,15 +26,38 @@ const minParallelBatch = 512
 // for concurrent use — both release artifact types are immutable after
 // construction, so RangeCount / EstimateFrequency qualify.
 func answerBatchInto(out []float64, workers int, fn func(i int) float64) {
+	_ = answerBatchCtx(context.Background(), out, workers, fn)
+}
+
+// answerBatchCtx is answerBatchInto under a request context: every worker
+// re-checks ctx between chunks and abandons its remaining chunks when the
+// deadline fires or the client disconnects, so a dead batch stops burning
+// CPU within one chunk per worker. Returns ctx.Err() when the batch was
+// abandoned (out then holds partial garbage and must not be served) and
+// nil when every entry was answered. Uncancellable contexts skip the
+// checks entirely — the hot path is unchanged.
+func answerBatchCtx(ctx context.Context, out []float64, workers int, fn func(i int) float64) error {
 	n := len(out)
+	cancellable := ctx.Done() != nil
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || n < minParallelBatch {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+		for start := 0; start < n; start += queryChunk {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			end := start + queryChunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				out[i] = fn(i)
+			}
 		}
-		return
+		return nil
 	}
 	if maxW := (n + queryChunk - 1) / queryChunk; workers > maxW {
 		workers = maxW
@@ -43,6 +69,9 @@ func answerBatchInto(out []float64, workers int, fn func(i int) float64) {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancellable && ctx.Err() != nil {
+					return
+				}
 				end := int(next.Add(queryChunk))
 				start := end - queryChunk
 				if start >= n {
@@ -58,4 +87,8 @@ func answerBatchInto(out []float64, workers int, fn func(i int) float64) {
 		}()
 	}
 	wg.Wait()
+	if cancellable {
+		return ctx.Err()
+	}
+	return nil
 }

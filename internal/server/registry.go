@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -217,11 +218,22 @@ func (r *Release) Artifact() json.RawMessage { return r.artifact }
 //
 // workers bounds the build parallelism (0 = GOMAXPROCS).
 func (d *Dataset) Release(p ReleaseParams, workers int) (*Release, bool, error) {
+	return d.ReleaseContext(context.Background(), p, workers)
+}
+
+// ReleaseContext is Release under a request context: when ctx is
+// cancelled or its deadline passes mid-build, the build is abandoned and
+// its debit refunded — durably, when the dataset has a store — before the
+// error returns (see privtree.Session.ReleaseContext). A client that
+// times out and retries the identical request pays at most one debit:
+// either the cancelled attempt was refunded, or it completed server-side
+// and the retry is a cache hit.
+func (d *Dataset) ReleaseContext(ctx context.Context, p ReleaseParams, workers int) (*Release, bool, error) {
 	m, err := p.mechanism(d.Kind, workers)
 	if err != nil {
 		return nil, false, err
 	}
-	rel, cached, err := d.session.Release(m, d.data, p.Epsilon)
+	rel, cached, err := d.session.ReleaseContext(ctx, m, d.data, p.Epsilon)
 	if err != nil {
 		return nil, false, err
 	}

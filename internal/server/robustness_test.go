@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privtree"
+	"privtree/internal/testhooks"
+)
+
+// These tests cover the overload plane: admission gates shed saturating
+// load as structured 429s with Retry-After, per-route deadlines surface as
+// 503 deadline_exceeded with the mid-build debit refunded, and Close
+// drains in-flight work before closing the stores under it.
+
+// holdServerBuilds blocks every release build at its start until the
+// returned release func runs, signalling entry on entered. It drives the
+// gates deterministically: a held build occupies exactly one build slot.
+func holdServerBuilds(t *testing.T, entered chan<- string) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	h := func(fp string) {
+		select {
+		case entered <- fp:
+		default:
+		}
+		<-block
+	}
+	testhooks.BuildStart.Store(&h)
+	t.Cleanup(func() { testhooks.BuildStart.Store(nil) })
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(block)
+		}
+	}
+}
+
+// post sends a JSON body and returns the full response with its decoded
+// error envelope (nil for 2xx), closing the body.
+func post(t *testing.T, client *http.Client, url string, body any) (*http.Response, *APIError) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("POST %s: status %d with undecodable error envelope: %v", url, resp.StatusCode, err)
+	}
+	return resp, env.Error
+}
+
+// rows converts test points to the wire shape of registerRequest.Points.
+func rows(pts []privtree.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = []float64(p)
+	}
+	return out
+}
+
+func TestGateAdmitQueueShed(t *testing.T) {
+	g := newGate(2, 1)
+	ctx := t.Context()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Slots full: a third acquire parks in the queue.
+	queued := make(chan error, 1)
+	go func() { queued <- g.acquire(ctx) }()
+	waitFor(t, func() bool { return g.queued.Load() == 1 })
+	// Queue full too: a fourth is shed immediately.
+	if err := g.acquire(ctx); err != errShed {
+		t.Fatalf("saturated gate: got %v, want errShed", err)
+	}
+	if got := g.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	// Freeing a slot admits the queued waiter.
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if got := g.Inflight(); got != 2 {
+		t.Fatalf("inflight after handoff = %d, want 2", got)
+	}
+	g.release()
+	g.release()
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0 (leak)", got)
+	}
+	if !g.drain(time.Now().Add(time.Second)) {
+		t.Fatal("idle gate failed to drain")
+	}
+	if err := g.acquire(ctx); err != errDraining {
+		t.Fatalf("drained gate admit: got %v, want errDraining", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerShedsUnderSaturation pins the build plane to one slot and a
+// one-deep queue, holds a build open, and verifies the third concurrent
+// build is refused crisply: HTTP 429, code "overloaded", Retry-After set —
+// and that once the slot frees, held and queued builds both land.
+func TestServerShedsUnderSaturation(t *testing.T) {
+	s := mustNew(t, Options{MaxConcurrentBuilds: 1, AdmissionQueue: 1, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "shed", "epsilon": 10.0, "points": rows(testPoints(300)),
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	relURL := ts.URL + "/v1/datasets/shed/releases"
+
+	entered := make(chan string, 1)
+	release := holdServerBuilds(t, entered)
+	defer release()
+
+	type result struct {
+		status int
+		code   string
+	}
+	results := make(chan result, 2)
+	do := func(seed uint64) {
+		resp, apiErr := post(t, client, relURL, ReleaseParams{Epsilon: 0.1, Seed: seed})
+		code := ""
+		if apiErr != nil {
+			code = apiErr.Code
+		}
+		results <- result{resp.StatusCode, code}
+	}
+	go do(1)
+	<-entered // build 1 holds the only slot
+	go do(2)
+	waitFor(t, func() bool { return s.buildGate.queued.Load() == 1 }) // build 2 parked
+
+	// Build 3 finds slot and queue both busy: shed, never admitted.
+	resp, apiErr := post(t, client, relURL, ReleaseParams{Epsilon: 0.1, Seed: 3})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated create: status %d, want 429", resp.StatusCode)
+	}
+	if apiErr == nil || apiErr.Code != CodeOverloaded {
+		t.Fatalf("saturated create: error %+v, want code %q", apiErr, CodeOverloaded)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		if r := <-results; r.status != http.StatusCreated {
+			t.Fatalf("admitted build %d: status %d code %q, want 201", i, r.status, r.code)
+		}
+	}
+	waitFor(t, func() bool { return s.buildGate.Inflight() == 0 })
+	if got := s.metrics.shedTotal.Load(); got != 1 {
+		t.Fatalf("shed_total = %d, want 1", got)
+	}
+}
+
+// TestServerBuildDeadline holds a build past Options.BuildTimeout and
+// verifies the retry contract: 503 deadline_exceeded on the wire, and the
+// dataset's spent ε back at zero because the mid-build debit was refunded.
+func TestServerBuildDeadline(t *testing.T) {
+	s := mustNew(t, Options{BuildTimeout: 30 * time.Millisecond, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "slow", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+
+	entered := make(chan string, 1)
+	release := holdServerBuilds(t, entered)
+	defer release()
+
+	resp, apiErr := post(t, client, ts.URL+"/v1/datasets/slow/releases", ReleaseParams{Epsilon: 0.5, Seed: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out build: status %d, want 503", resp.StatusCode)
+	}
+	if apiErr == nil || apiErr.Code != CodeDeadlineExceeded {
+		t.Fatalf("timed-out build: error %+v, want code %q", apiErr, CodeDeadlineExceeded)
+	}
+	var info struct {
+		EpsilonSpent float64 `json:"epsilon_spent"`
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/datasets/slow", nil, &info)
+	if info.EpsilonSpent != 0 {
+		t.Fatalf("spent ε after refunded deadline = %v, want 0", info.EpsilonSpent)
+	}
+	if got := s.metrics.deadlineTotal.Load(); got == 0 {
+		t.Fatal("deadline_exceeded_total not incremented")
+	}
+	release()
+	// The retry now succeeds and pays the only debit.
+	waitFor(t, func() bool { return s.buildGate.Inflight() == 0 })
+	resp, apiErr = post(t, client, ts.URL+"/v1/datasets/slow/releases", ReleaseParams{Epsilon: 0.5, Seed: 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retry after deadline: status %d (%+v), want 201", resp.StatusCode, apiErr)
+	}
+	doJSON(t, client, "GET", ts.URL+"/v1/datasets/slow", nil, &info)
+	if info.EpsilonSpent != 0.5 {
+		t.Fatalf("spent ε after retry = %v, want 0.5 (exactly one debit)", info.EpsilonSpent)
+	}
+}
+
+// TestServerQueryDeadline gives the batch plane a deadline that has
+// already passed and verifies the fan-out is abandoned with a structured
+// 503 instead of serving a partially-answered batch.
+func TestServerQueryDeadline(t *testing.T) {
+	s := mustNew(t, Options{QueryTimeout: time.Nanosecond, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "q", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil)
+	var rel struct {
+		ReleaseID string `json:"release_id"`
+	}
+	status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/q/releases", ReleaseParams{Epsilon: 0.5}, &rel)
+	if status != http.StatusCreated {
+		t.Fatalf("release: status %d", status)
+	}
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = []float64{0, 0, 1, 1}
+	}
+	resp, apiErr := post(t, client, fmt.Sprintf("%s/v1/datasets/q/releases/%s/query", ts.URL, rel.ReleaseID),
+		map[string]any{"queries": queries})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired batch: status %d, want 503", resp.StatusCode)
+	}
+	if apiErr == nil || apiErr.Code != CodeDeadlineExceeded {
+		t.Fatalf("expired batch: error %+v, want code %q", apiErr, CodeDeadlineExceeded)
+	}
+}
+
+// TestServerCloseDrainsUnderLoad is the shutdown-under-load contract:
+// Close stops admitting immediately (503 shutting_down), waits for the
+// in-flight build, and only then closes the stores — so the held build
+// still commits and acknowledges normally.
+func TestServerCloseDrainsUnderLoad(t *testing.T) {
+	s := mustNew(t, Options{MaxConcurrentBuilds: 2, DrainTimeout: 5 * time.Second, Workers: 1, DataDir: t.TempDir()})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "drain", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil)
+
+	entered := make(chan string, 1)
+	release := holdServerBuilds(t, entered)
+	defer release()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _ := post(t, client, ts.URL+"/v1/datasets/drain/releases", ReleaseParams{Epsilon: 0.25, Seed: 9})
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	waitFor(t, func() bool { return s.buildGate.draining.Load() })
+
+	// New work during the drain is refused with the shutdown code.
+	resp, apiErr := post(t, client, ts.URL+"/v1/datasets/drain/releases", ReleaseParams{Epsilon: 0.25, Seed: 10})
+	if resp.StatusCode != http.StatusServiceUnavailable || apiErr == nil || apiErr.Code != CodeShuttingDown {
+		t.Fatalf("create during drain: status %d error %+v, want 503 %q", resp.StatusCode, apiErr, CodeShuttingDown)
+	}
+
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned before in-flight build finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	if status := <-inflight; status != http.StatusCreated {
+		t.Fatalf("in-flight build during drain: status %d, want 201", status)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close after clean drain: %v", err)
+	}
+	if got := s.metrics.drainRejects.Load(); got != 1 {
+		t.Fatalf("draining_rejects_total = %d, want 1", got)
+	}
+}
+
+// TestServerCloseDrainTimeout verifies Close gives up after DrainTimeout
+// when a build refuses to finish, reporting the straggler instead of
+// hanging shutdown forever.
+func TestServerCloseDrainTimeout(t *testing.T) {
+	s := mustNew(t, Options{DrainTimeout: 40 * time.Millisecond, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "stuck", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil)
+
+	entered := make(chan string, 1)
+	release := holdServerBuilds(t, entered)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, _ := post(t, client, ts.URL+"/v1/datasets/stuck/releases", ReleaseParams{Epsilon: 0.25, Seed: 1})
+		resp.Body.Close()
+	}()
+	<-entered
+	if err := s.Close(); err == nil {
+		t.Fatal("Close with a wedged build returned nil, want drain-timeout error")
+	}
+	release()
+	<-done
+}
+
+// TestMetricsOverloadFields asserts the /metrics document carries the
+// overload-plane gauges and counters, and that they reflect traffic.
+func TestMetricsOverloadFields(t *testing.T) {
+	s := mustNew(t, Options{QueryTimeout: time.Nanosecond, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "m", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil)
+	var rel struct {
+		ReleaseID string `json:"release_id"`
+	}
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets/m/releases", ReleaseParams{Epsilon: 0.5}, &rel)
+	post(t, client, fmt.Sprintf("%s/v1/datasets/m/releases/%s/query", ts.URL, rel.ReleaseID),
+		map[string]any{"queries": [][]float64{{0, 0, 1, 1}}})
+
+	var doc map[string]any
+	if status := doJSON(t, client, "GET", ts.URL+"/metrics", nil, &doc); status != http.StatusOK {
+		t.Fatalf("/metrics: status %d", status)
+	}
+	for _, key := range []string{
+		"builds_in_flight", "batches_in_flight", "shed_total",
+		"deadline_exceeded_total", "draining_rejects_total", "retryable_errors_total",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("/metrics missing %q", key)
+		}
+	}
+	if doc["deadline_exceeded_total"].(float64) < 1 {
+		t.Fatalf("deadline_exceeded_total = %v, want >= 1 after expired batch", doc["deadline_exceeded_total"])
+	}
+	if doc["builds_in_flight"].(float64) != 0 || doc["batches_in_flight"].(float64) != 0 {
+		t.Fatalf("in-flight gauges nonzero at rest: %v / %v", doc["builds_in_flight"], doc["batches_in_flight"])
+	}
+}

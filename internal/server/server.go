@@ -29,6 +29,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +67,28 @@ type Options struct {
 	// bit-identical cached artifacts survive a restart. Empty means the
 	// pre-existing in-memory behavior.
 	DataDir string
+
+	// BuildTimeout bounds one release build (POST .../releases), measured
+	// from admission. A build that outlives it is abandoned and its debit
+	// refunded durably before the 503 deadline_exceeded goes out. 0 means
+	// no server-side deadline (the client's context still applies).
+	BuildTimeout time.Duration
+	// QueryTimeout bounds one batched-query request the same way; an
+	// expired batch is abandoned mid-fan-out. 0 means no deadline.
+	QueryTimeout time.Duration
+	// MaxConcurrentBuilds caps release builds running at once; 0 means
+	// GOMAXPROCS. Beyond the cap, up to AdmissionQueue requests wait;
+	// the rest are shed with 429 overloaded + Retry-After.
+	MaxConcurrentBuilds int
+	// MaxConcurrentBatches caps query batches running at once; 0 means
+	// GOMAXPROCS. Same queue/shed behavior as builds.
+	MaxConcurrentBatches int
+	// AdmissionQueue is the bounded wait queue per plane (builds and
+	// batches each get their own); 0 means 2× the plane's concurrency cap.
+	AdmissionQueue int
+	// DrainTimeout bounds how long Close waits for in-flight builds and
+	// batches before closing the registry under them; 0 means 5s.
+	DrainTimeout time.Duration
 }
 
 // Server is the privtreed HTTP handler.
@@ -82,6 +106,11 @@ type Server struct {
 	// a steady query load performs O(1) allocations per batch (see
 	// batchcodec.go) instead of O(1) per query.
 	scratch sync.Pool
+	// buildGate / batchGate are the admission controllers for the two
+	// expensive planes (see admission.go): bounded concurrency, a bounded
+	// wait queue, crisp 429s beyond it, and a drain switch for Close.
+	buildGate *gate
+	batchGate *gate
 }
 
 // New returns a ready-to-serve Server. With Options.DataDir set it first
@@ -100,11 +129,29 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxSyntheticN == 0 {
 		opts.MaxSyntheticN = 5_000_000
 	}
+	if opts.MaxConcurrentBuilds == 0 {
+		opts.MaxConcurrentBuilds = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxConcurrentBatches == 0 {
+		opts.MaxConcurrentBatches = runtime.GOMAXPROCS(0)
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+	buildQueue, batchQueue := opts.AdmissionQueue, opts.AdmissionQueue
+	if buildQueue == 0 {
+		buildQueue = 2 * opts.MaxConcurrentBuilds
+	}
+	if batchQueue == 0 {
+		batchQueue = 2 * opts.MaxConcurrentBatches
+	}
 	s := &Server{
-		registry: NewRegistry(),
-		metrics:  newMetrics(),
-		mux:      http.NewServeMux(),
-		opts:     opts,
+		registry:  NewRegistry(),
+		metrics:   newMetrics(),
+		mux:       http.NewServeMux(),
+		opts:      opts,
+		buildGate: newGate(opts.MaxConcurrentBuilds, buildQueue),
+		batchGate: newGate(opts.MaxConcurrentBatches, batchQueue),
 	}
 	s.scratch.New = func() any { return new(queryScratch) }
 	s.mux.HandleFunc("POST /v1/datasets", s.route("register", s.handleRegister))
@@ -124,9 +171,25 @@ func New(opts Options) (*Server, error) {
 // Registry exposes the dataset registry (programmatic registration, tests).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Close releases every dataset's store. All acknowledged ledger traffic
-// and artifacts are already durable — Close is hygiene, not a flush.
-func (s *Server) Close() error { return s.registry.Close() }
+// Close drains and shuts the server down: both admission gates stop
+// admitting immediately (new builds and batches get 503 shutting_down),
+// in-flight work is waited for up to Options.DrainTimeout, and then every
+// dataset's store is released. All acknowledged ledger traffic and
+// artifacts are already durable — the drain protects in-flight requests
+// from having the registry closed under them, not durability. Returns an
+// error when the drain deadline passed with work still in flight (the
+// registry is closed regardless; stragglers fail with store errors).
+func (s *Server) Close() error {
+	deadline := time.Now().Add(s.opts.DrainTimeout)
+	buildsDone := s.buildGate.drain(deadline)
+	batchesDone := s.batchGate.drain(deadline)
+	closeErr := s.registry.Close()
+	if !buildsDone || !batchesDone {
+		return fmt.Errorf("server: drain timeout after %v with %d builds and %d batches still in flight",
+			s.opts.DrainTimeout, s.buildGate.Inflight(), s.batchGate.Inflight())
+	}
+	return closeErr
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -481,8 +544,28 @@ func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &params) {
 		return
 	}
-	rel, cached, err := d.Release(params, s.opts.Workers)
+	// Admission + deadline. The body is decoded first (cheap) so malformed
+	// requests never occupy a build slot; the gate then bounds concurrent
+	// builds and the deadline bounds this one. Both the deadline and a
+	// client disconnect flow into ReleaseContext, which refunds a mid-build
+	// debit durably before surfacing the error.
+	ctx := r.Context()
+	if s.opts.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.BuildTimeout)
+		defer cancel()
+	}
+	if err := s.buildGate.acquire(ctx); err != nil {
+		s.metrics.recordAdmissionReject(err)
+		writeAdmissionError(w, err, "build")
+		return
+	}
+	defer s.buildGate.release()
+	rel, cached, err := d.ReleaseContext(ctx, params, s.opts.Workers)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.recordDeadlineHit()
+		}
 		writeErrorFrom(w, err)
 		return
 	}
@@ -541,6 +624,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Admission + deadline for the batch plane. The gate is taken before
+	// the body is even read: decoding and answering a million-query batch
+	// are both CPU-heavy, so everything past this point counts against the
+	// plane's concurrency cap.
+	ctx := r.Context()
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+	if err := s.batchGate.acquire(ctx); err != nil {
+		s.metrics.recordAdmissionReject(err)
+		writeAdmissionError(w, err, "batch")
+		return
+	}
+	defer s.batchGate.release()
 	sc := s.scratch.Get().(*queryScratch)
 	defer func() {
 		// Oversized scratches are dropped rather than pooled, so one giant
@@ -608,9 +707,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		tree, rects := rel.tree, sc.rects
-		answerBatchInto(counts, s.opts.Workers, func(i int) float64 {
+		if err := answerBatchCtx(ctx, counts, s.opts.Workers, func(i int) float64 {
 			return tree.RangeCount(rects[i])
-		})
+		}); err != nil {
+			s.metrics.recordDeadlineHit()
+			writeErrorFrom(w, err)
+			return
+		}
 	case KindSequence:
 		if batch.hasQueries {
 			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
@@ -622,9 +725,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		model, syms, soffs := rel.model, sc.syms, sc.soffs
-		answerBatchInto(counts, s.opts.Workers, func(i int) float64 {
+		if err := answerBatchCtx(ctx, counts, s.opts.Workers, func(i int) float64 {
 			return model.EstimateFrequency(privtree.Sequence(syms[soffs[i]:soffs[i+1]]))
-		})
+		}); err != nil {
+			s.metrics.recordDeadlineHit()
+			writeErrorFrom(w, err)
+			return
+		}
 	}
 	elapsed := time.Since(start)
 	s.metrics.recordQueries(n, elapsed)
@@ -658,6 +765,15 @@ type metricsResponse struct {
 	// remaining ε — ride each entry of Datasets.
 	StoreBytesTotal int64         `json:"store_bytes_total"`
 	Datasets        []datasetInfo `json:"datasets"`
+
+	// Overload plane: point-in-time gauges of admitted work plus the
+	// cumulative counters behind every "back off and retry" response.
+	BuildsInFlight        int64 `json:"builds_in_flight"`
+	BatchesInFlight       int64 `json:"batches_in_flight"`
+	ShedTotal             int64 `json:"shed_total"`
+	DeadlineExceededTotal int64 `json:"deadline_exceeded_total"`
+	DrainingRejectsTotal  int64 `json:"draining_rejects_total"`
+	RetryableErrorsTotal  int64 `json:"retryable_errors_total"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -679,5 +795,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ReleaseCacheHits: s.metrics.releaseCacheHits.Load(),
 		StoreBytesTotal:  storeBytes,
 		Datasets:         infos,
+
+		BuildsInFlight:        s.buildGate.Inflight(),
+		BatchesInFlight:       s.batchGate.Inflight(),
+		ShedTotal:             s.metrics.shedTotal.Load(),
+		DeadlineExceededTotal: s.metrics.deadlineTotal.Load(),
+		DrainingRejectsTotal:  s.metrics.drainRejects.Load(),
+		RetryableErrorsTotal:  s.metrics.retryableTotal.Load(),
 	})
 }

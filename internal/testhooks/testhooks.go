@@ -1,0 +1,15 @@
+// Package testhooks carries cross-package fault-injection points used by
+// the test suites to hold privacy-critical operations open at precise
+// moments (e.g. freezing a release build so its context can be cancelled
+// mid-flight, or so a server admission gate can be saturated
+// deterministically). Every hook is nil in production; only tests install
+// one, and they must clear it before returning.
+package testhooks
+
+import "sync/atomic"
+
+// BuildStart, when non-nil, is invoked (with the release fingerprint)
+// after a release's budget debit is durable and before the mechanism
+// runs. The hook runs inside the build goroutine, so a blocking hook
+// holds the build open without blocking cancellation.
+var BuildStart atomic.Pointer[func(fp string)]

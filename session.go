@@ -1,12 +1,14 @@
 package privtree
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"privtree/internal/dp"
 	"privtree/internal/store"
+	"privtree/internal/testhooks"
 )
 
 // Ledger is a concurrent-safe privacy-budget accountant enforcing
@@ -229,6 +231,28 @@ func (s *Session) History() []BudgetDebit { return s.ledger.History() }
 // and the refund is durable before the error returns; see Session's
 // Durability section for why that ordering is the privacy guarantee.
 func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool, error) {
+	return s.ReleaseContext(context.Background(), m, data, eps)
+}
+
+// ReleaseContext is Release with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the request is abandoned and the
+// returned error wraps ctx.Err(). Cancellation preserves every budget
+// invariant:
+//
+//   - before the debit, cancellation is free — the ledger never saw the
+//     request;
+//   - after the debit, the build is abandoned and the debit refunded;
+//     with a store attached the refund is durable BEFORE the error
+//     returns (the same ordering as a failed build), so a crash right
+//     after a cancelled request can only over-count spent ε, never
+//     under-count it. Nothing the cancelled build computed is released,
+//     cached, or persisted, which is what makes the refund sound.
+//
+// A caller that times out and retries the identical request therefore
+// cannot be double-charged: either the first request was cancelled and
+// refunded (the retry pays the only debit), or it completed server-side
+// and the retry is a cache hit with no new debit.
+func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, eps float64) (*Release, bool, error) {
 	if m == nil {
 		return nil, false, fmt.Errorf("privtree: nil mechanism")
 	}
@@ -242,6 +266,11 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 	note := "release " + fp
 	var done chan struct{}
 	for {
+		// A request that is already dead must not debit the ledger: the
+		// caller has gone away, so nothing would ever be released.
+		if err := ctx.Err(); err != nil {
+			return nil, false, fmt.Errorf("privtree: release %s abandoned before debit: %w", fp, err)
+		}
 		s.mu.Lock()
 		if rel, ok := s.cache[key]; ok {
 			s.mu.Unlock()
@@ -260,8 +289,13 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 			// An identical build is in flight: wait for it and re-check.
 			// (If it fails, the loop claims the key and tries afresh.)
 			s.mu.Unlock()
-			<-ch
-			continue
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				// Waiting debited nothing; walking away is free.
+				return nil, false, fmt.Errorf("privtree: release %s abandoned while waiting for an identical build: %w", fp, ctx.Err())
+			}
 		}
 		// Claim the key: debit inside the lock so the exhaustion check and
 		// the claim are one atomic step.
@@ -295,7 +329,29 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 		}
 	}
 
-	rel, err := m.Run(data, eps)
+	rel, err, cancelled := s.runBuild(ctx, m, data, eps, fp)
+	if cancelled {
+		// Cancelled mid-build: the debit has landed (durably, with a
+		// store), so it must be refunded — durably BEFORE the error
+		// returns, exactly like a failed build. The abandoned build's
+		// result, if it ever materializes, is discarded unseen: nothing
+		// is released, so the refund is sound.
+		refunded := true
+		if s.store != nil {
+			if rerr := s.store.AppendRefund(eps, fp); rerr != nil {
+				refunded = false
+				err = fmt.Errorf("%w (and the refund could not be persisted, budget remains spent: %v)", err, rerr)
+			}
+		}
+		if refunded {
+			s.ledger.Refund(eps, note)
+		}
+		s.mu.Lock()
+		delete(s.pending, key)
+		s.mu.Unlock()
+		close(done)
+		return nil, false, err
+	}
 	var persistErr error
 	if err != nil {
 		// Refund before waking waiters, so a retrying waiter sees the
@@ -340,6 +396,44 @@ func (s *Session) Release(m *Mechanism, data *Data, eps float64) (*Release, bool
 		return rel, false, persistErr
 	}
 	return rel, false, nil
+}
+
+// buildResult carries a completed (or abandoned) build's outcome.
+type buildResult struct {
+	rel *Release
+	err error
+}
+
+// runBuild runs the mechanism, abandoning it when ctx is cancelled first.
+// The boolean reports abandonment: when true, the build may still be
+// running in a goroutine, but its eventual result is delivered into a
+// buffered channel nobody reads and is garbage — never cached, committed,
+// or returned — so the caller's refund cannot race a release.
+//
+// Uncancellable contexts (Background) run the build inline: the common
+// path pays no goroutine or channel overhead.
+func (s *Session) runBuild(ctx context.Context, m *Mechanism, data *Data, eps float64, fp string) (*Release, error, bool) {
+	run := func() (*Release, error) {
+		if h := testhooks.BuildStart.Load(); h != nil {
+			(*h)(fp)
+		}
+		return m.Run(data, eps)
+	}
+	if ctx.Done() == nil {
+		rel, err := run()
+		return rel, err, false
+	}
+	ch := make(chan buildResult, 1)
+	go func() {
+		rel, err := run()
+		ch <- buildResult{rel, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rel, res.err, false
+	case <-ctx.Done():
+		return nil, fmt.Errorf("privtree: release %s cancelled mid-build (debit refunded): %w", fp, ctx.Err()), true
+	}
 }
 
 // Releases returns every release the session has purchased so far, in

@@ -1,0 +1,320 @@
+package privtree
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"privtree/internal/dp"
+	"privtree/internal/store"
+	"privtree/internal/testhooks"
+)
+
+// These tests cover the cancelled-build refund path of ReleaseContext:
+// once the debit has landed (durably, with a store), cancelling the
+// context must refund it — and the refund must be durable BEFORE the
+// error returns, the same ordering as a failed build. The crash variant
+// SIGKILLs a child process inside the refund's WAL append and asserts the
+// recovered spent ε in both directions: refund lost → the debit stands
+// (over-count, safe); refund synced → spent returns to zero.
+
+// holdBuilds installs a build-start hook that blocks every build until the
+// returned release function is called, signalling entry on entered.
+func holdBuilds(t *testing.T, entered chan<- string) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	h := func(fp string) {
+		select {
+		case entered <- fp:
+		default:
+		}
+		<-block
+	}
+	testhooks.BuildStart.Store(&h)
+	t.Cleanup(func() { testhooks.BuildStart.Store(nil) })
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(block)
+		}
+	}
+}
+
+func TestReleaseContextCancelRefundsDurably(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSession(dir, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewSpatialData(UnitCube(2), sessionStorePoints(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan string, 1)
+	release := holdBuilds(t, entered)
+	defer release()
+
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.ReleaseContext(ctx, m, data, 0.5)
+		errCh <- err
+	}()
+	<-entered // the debit is durable and the build is in flight
+	cancel()
+	err = <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled release returned %v, want a context.Canceled wrap", err)
+	}
+
+	// The refund is already visible when the error returns — a retrying
+	// caller must see the credited ledger.
+	if got := s.Spent(); got != 0 {
+		t.Fatalf("spent ε=%v after cancelled build, want 0 (refund lost?)", got)
+	}
+	hist := s.History()
+	if len(hist) != 2 || hist[0].Kind != dp.DebitKindSpend || hist[1].Kind != dp.DebitKindRefund {
+		t.Fatalf("audit trail after cancellation: %+v, want [debit, refund]", hist)
+	}
+
+	// And it is durable: a recovery of the directory sees debit + refund,
+	// netting to zero, with no committed artifact.
+	release()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	events := st.Events()
+	if len(events) != 2 || events[0].Kind != store.EventDebit || events[1].Kind != store.EventRefund {
+		t.Fatalf("recovered events: %+v, want [debit, refund]", events)
+	}
+	if got := st.SpentEpsilon(); got != 0 {
+		t.Fatalf("recovered spent ε=%v, want 0", got)
+	}
+	if n := len(st.Commits()); n != 0 {
+		t.Fatalf("%d artifacts committed by a cancelled build, want 0", n)
+	}
+}
+
+func TestReleaseContextCancelledBeforeDebitIsFree(t *testing.T) {
+	s, err := NewSession(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewSpatialData(UnitCube(2), sessionStorePoints(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.ReleaseContext(ctx, m, data, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if len(s.History()) != 0 {
+		t.Fatalf("a pre-cancelled request touched the ledger: %+v", s.History())
+	}
+}
+
+// TestReleaseContextCancelWaiter cancels a request that is waiting behind
+// an identical in-flight build: walking away must cost nothing, and the
+// surviving build must debit exactly once.
+func TestReleaseContextCancelWaiter(t *testing.T) {
+	s, err := NewSession(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := NewSpatialData(UnitCube(2), sessionStorePoints(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan string, 1)
+	release := holdBuilds(t, entered)
+	defer release()
+
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Release(m, data, 0.25)
+		builderErr <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.ReleaseContext(ctx, m, data, 0.25); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter got %v, want context.DeadlineExceeded", err)
+	}
+
+	release()
+	if err := <-builderErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spent(); got != 0.25 {
+		t.Fatalf("spent ε=%v, want exactly one debit of 0.25", got)
+	}
+}
+
+// Crash variant: a child process cancels a build and is SIGKILLed inside
+// the refund's WAL append. The parent recovers the directory and checks
+// the exact spent ε for both outcomes of the torn refund.
+
+const (
+	cancelCrashChildEnv = "PRIVTREE_CANCEL_CRASH_CHILD"
+	cancelCrashDirEnv   = "PRIVTREE_CANCEL_CRASH_DIR"
+	cancelCrashPointEnv = "PRIVTREE_CANCEL_CRASH_POINT"
+)
+
+const cancelCrashEps = 0.375
+
+func TestSessionCancelCrashHelper(t *testing.T) {
+	if os.Getenv(cancelCrashChildEnv) != "1" {
+		t.Skip("crash-harness child process only")
+	}
+	dir := os.Getenv(cancelCrashDirEnv)
+	point := os.Getenv(cancelCrashPointEnv)
+	// Hit 1 of every WAL point is the debit; hit 2 is the refund — the
+	// record this harness tears.
+	var seen atomic.Int64
+	store.SetCrashHook(func(p string) {
+		if p != point {
+			return
+		}
+		if seen.Add(1) == 2 {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+	})
+	defer store.SetCrashHook(nil)
+
+	data, err := NewSpatialData(UnitCube(2), sessionStorePoints(500))
+	if err != nil {
+		fmt.Printf("CHILD-ERROR data: %v\n", err)
+		os.Exit(1)
+	}
+	s, err := OpenSession(dir, 1.0)
+	if err != nil {
+		fmt.Printf("CHILD-ERROR open: %v\n", err)
+		os.Exit(1)
+	}
+	entered := make(chan string, 1)
+	block := make(chan struct{})
+	h := func(fp string) { entered <- fp; <-block }
+	testhooks.BuildStart.Store(&h)
+	defer testhooks.BuildStart.Store(nil)
+
+	m, err := NewSpatialMechanism(SpatialOptions{Seed: 1, Workers: 1})
+	if err != nil {
+		fmt.Printf("CHILD-ERROR mech: %v\n", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.ReleaseContext(ctx, m, data, cancelCrashEps)
+		errCh <- err
+	}()
+	<-entered
+	// The debit is durable (the build hook runs after AppendDebit).
+	fmt.Fprintf(os.Stdout, "ACK debit %.17g\n", cancelCrashEps)
+	cancel() // drives AppendRefund into the armed crash point
+	if err := <-errCh; err != nil {
+		// Only reachable when the armed point never fired (e.g. the
+		// refund completed); acknowledge it so the parent can assert.
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stdout, "ACK refund %.17g\n", cancelCrashEps)
+		} else {
+			fmt.Printf("CHILD-ERROR release: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	close(block)
+	fmt.Println("DONE")
+}
+
+func TestSessionCancelCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one child process per fault point")
+	}
+	cases := []struct {
+		point string
+		// wantSpent is the exact recovered spent ε: a refund torn before
+		// its WAL write leaves the debit standing (over-count — the safe
+		// direction); a refund killed after its fsync is durable and the
+		// spend nets to zero.
+		wantSpent float64
+	}{
+		{"wal.before_write", cancelCrashEps},
+		{"wal.after_sync", 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestSessionCancelCrashHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				cancelCrashChildEnv+"=1",
+				cancelCrashDirEnv+"="+dir,
+				cancelCrashPointEnv+"="+tc.point,
+			)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			runErr := cmd.Run()
+			if runErr == nil {
+				t.Fatalf("child survived the armed crash point\nstdout:\n%s", stdout.String())
+			}
+			debitAcked := false
+			sc := bufio.NewScanner(bytes.NewReader(stdout.Bytes()))
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, "CHILD-ERROR") {
+					t.Fatalf("child hit an unexpected error: %s\nstderr:\n%s", line, stderr.String())
+				}
+				if strings.HasPrefix(line, "ACK debit ") {
+					debitAcked = true
+				}
+			}
+			if !debitAcked {
+				t.Fatalf("child died before acknowledging the debit\nstdout:\n%s\nstderr:\n%s",
+					stdout.String(), stderr.String())
+			}
+
+			s, err := OpenSession(dir, 1.0)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer s.Close()
+			if got := s.Spent(); math.Abs(got-tc.wantSpent) > 1e-12 {
+				t.Fatalf("recovered spent ε=%v, want exactly %v", got, tc.wantSpent)
+			}
+			if n := len(s.Restored()); n != 0 {
+				t.Fatalf("%d releases recovered from a cancelled build, want 0", n)
+			}
+		})
+	}
+}
