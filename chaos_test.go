@@ -13,6 +13,7 @@ import (
 
 	"privtree/client"
 	"privtree/internal/faultnet"
+	"privtree/internal/obs"
 	"privtree/internal/server"
 )
 
@@ -186,7 +187,57 @@ func chaosRun(t *testing.T, seed uint64) {
 				phase, len(acked), ds.NumReleases)
 		}
 	}
+
+	// verifyAudit cross-checks the accounting plane against itself: the
+	// audit endpoint's net debits (refunds arrive negated) must equal
+	// both the trail's own reported spent ε and the
+	// privtree_dataset_epsilon_spent gauge scraped — and strictly
+	// parsed — from the Prometheus exposition. After a chaos run this is
+	// the strongest statement the server can make: every unit of spent ε
+	// is explained by a WAL-sequenced, trace-tagged entry, and the
+	// metrics plane agrees to the bit.
+	verifyAudit := func(phase, baseURL string, c *client.Client) {
+		trail, err := c.Audit(ctx, "chaos")
+		if err != nil {
+			t.Fatalf("%s: fetching audit trail: %v", phase, err)
+		}
+		var net float64
+		for _, e := range trail.Entries {
+			switch e.Kind {
+			case "debit", "refund":
+				net += e.Epsilon
+				if e.Seq == 0 || e.TraceID == "" {
+					t.Fatalf("%s: %s entry missing WAL seq or trace ID: %+v", phase, e.Kind, e)
+				}
+			}
+		}
+		if math.Abs(net-trail.EpsilonSpent) > 1e-9 {
+			t.Fatalf("%s: audit net ε %v != reported spent %v", phase, net, trail.EpsilonSpent)
+		}
+		resp, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			t.Fatalf("%s: scraping /metrics: %v", phase, err)
+		}
+		defer resp.Body.Close()
+		samples, err := obs.ParseText(resp.Body)
+		if err != nil {
+			t.Fatalf("%s: /metrics not strictly valid exposition: %v", phase, err)
+		}
+		found := false
+		for _, s := range samples {
+			if s.Name == "privtree_dataset_epsilon_spent" && s.Labels["dataset"] == "chaos" {
+				found = true
+				if math.Abs(net-s.Value) > 1e-9 {
+					t.Fatalf("%s: audit net ε %v != spent-ε gauge %v", phase, net, s.Value)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: exposition missing spent-ε gauge for dataset", phase)
+		}
+	}
 	verify("under-load", clean)
+	verifyAudit("under-load", backend.URL, clean)
 
 	// Every acknowledged release is durable and refetches bit-identically.
 	payloads := map[uint64]string{}
@@ -223,6 +274,7 @@ func chaosRun(t *testing.T, seed uint64) {
 	defer srv2.Close()
 	clean2 := client.New(backend2.URL, client.WithHTTPClient(backend2.Client()))
 	verify("post-restart", clean2)
+	verifyAudit("post-restart", backend2.URL, clean2)
 	for relSeed, id := range acked {
 		a, err := clean2.Release(ctx, "chaos", id)
 		if err != nil {

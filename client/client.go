@@ -44,6 +44,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"privtree/internal/obs"
 )
 
 // Client talks to one privtreed server. It is safe for concurrent use.
@@ -52,6 +54,44 @@ type Client struct {
 	httpc *http.Client
 	retry RetryPolicy
 	bkt   *retryBudget
+
+	// Self-instrumentation: lock-free obs atomics fed by the retry loop,
+	// snapshotted by Stats. A fleet operator reads these to see how much
+	// retry amplification and backoff sleep this client contributed.
+	requests     obs.Counter
+	attempts     obs.Counter
+	retries      obs.Counter
+	budgetDenied obs.Counter
+	backoffNanos obs.Counter
+}
+
+// Stats is a point-in-time snapshot of the client's own retry
+// instrumentation.
+type Stats struct {
+	// Requests counts logical API calls (Register, CreateRelease, …).
+	Requests uint64
+	// Attempts counts HTTP attempts; Attempts - Requests is completed
+	// retry volume.
+	Attempts uint64
+	// Retries counts attempts beyond a call's first.
+	Retries uint64
+	// BudgetDenied counts retries refused by the retry budget (the call
+	// failed fast instead of amplifying an outage).
+	BudgetDenied uint64
+	// Backoff is the total time spent sleeping between attempts.
+	Backoff time.Duration
+}
+
+// Stats snapshots the client's retry instrumentation. Safe to call
+// concurrently with in-flight requests.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:     c.requests.Value(),
+		Attempts:     c.attempts.Value(),
+		Retries:      c.retries.Value(),
+		BudgetDenied: c.budgetDenied.Value(),
+		Backoff:      time.Duration(c.backoffNanos.Value()),
+	}
 }
 
 // Option customizes a Client.
@@ -267,13 +307,51 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, retryAlways)
 }
 
-// Metrics fetches the operational counters document.
+// Metrics fetches the operational counters document (the JSON view at
+// /metricsz; the server's /metrics now serves Prometheus text for
+// scrapers).
 func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metricsz", nil, &out, retryAlways); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// AuditEntry is one row of a dataset's audit trail: a ledger event
+// (debit/refund) or a release commit, in WAL order where the server is
+// persistent, carrying the trace ID of the request that caused it.
+type AuditEntry struct {
+	Seq     uint64    `json:"seq,omitempty"`
+	Kind    string    `json:"kind"`
+	Epsilon float64   `json:"epsilon,omitempty"` // refunds arrive negated
+	Key     string    `json:"key"`
+	TraceID string    `json:"trace_id,omitempty"`
+	SHA256  string    `json:"sha256,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// AuditTrail is the GET /v1/datasets/{name}/audit reply: the budget
+// arithmetic plus the event history that explains it — the net of the
+// entries' debits and refunds equals EpsilonSpent exactly.
+type AuditTrail struct {
+	Dataset          string       `json:"dataset"`
+	EpsilonTotal     float64      `json:"epsilon_total"`
+	EpsilonSpent     float64      `json:"epsilon_spent"`
+	EpsilonRemaining float64      `json:"epsilon_remaining"`
+	WALSeq           uint64       `json:"wal_seq"`
+	Entries          []AuditEntry `json:"entries"`
+}
+
+// Audit fetches a dataset's ε accounting history. Read-only, so it
+// retries without restriction.
+func (c *Client) Audit(ctx context.Context, dataset string) (*AuditTrail, error) {
+	var out AuditTrail
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/audit"
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // do runs one logical call: marshal once, attempt with retries per the
@@ -287,8 +365,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 		}
 	}
 	c.bkt.deposit()
+	c.requests.Inc()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		c.attempts.Inc()
+		if attempt > 1 {
+			c.retries.Inc()
+		}
 		err := c.once(ctx, method, path, body, out)
 		if err == nil {
 			return nil
@@ -301,6 +384,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 			return lastErr
 		}
 		if !c.bkt.withdraw() {
+			c.budgetDenied.Inc()
 			return fmt.Errorf("client: retry budget exhausted: %w", lastErr)
 		}
 		delay := c.retry.delay(attempt)
@@ -310,6 +394,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 		t := time.NewTimer(delay)
 		select {
 		case <-t.C:
+			c.backoffNanos.Add(uint64(delay))
 		case <-ctx.Done():
 			t.Stop()
 			return lastErr

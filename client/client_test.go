@@ -286,3 +286,74 @@ func TestRetryDelayShape(t *testing.T) {
 		}
 	}
 }
+
+// TestClientStats verifies the retry loop's self-instrumentation: one
+// logical call that succeeds on its third attempt records 3 attempts, 2
+// retries, and nonzero backoff sleep.
+func TestClientStats(t *testing.T) {
+	h, _ := overloadedThenOK(2, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"release_id":"r1","kind":"spatial"}`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastRetry(4)))
+	if _, err := c.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 request, 3 attempts, 2 retries", st)
+	}
+	if st.Attempts-st.Retries != st.Requests {
+		t.Fatalf("stats identity broken: %+v", st)
+	}
+	if st.BudgetDenied != 0 {
+		t.Fatalf("budget denied = %d, want 0", st.BudgetDenied)
+	}
+}
+
+// TestClientStatsBudgetDenied verifies a drained retry budget is visible
+// in the stats.
+func TestClientStatsBudgetDenied(t *testing.T) {
+	h, _ := overloadedThenOK(1<<40, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, BudgetRatio: 0.1}))
+	for i := 0; i < 30; i++ {
+		_, _ = c.Query(context.Background(), "d", "r", QueryRequest{Queries: [][]float64{{0, 0, 1, 1}}})
+	}
+	if st := c.Stats(); st.BudgetDenied == 0 {
+		t.Fatalf("stats = %+v, want budget denials after a drained bucket", st)
+	}
+}
+
+// TestClientAudit verifies the audit accessor against a real server: the
+// entries' net ε equals the reported spent budget.
+func TestClientAudit(t *testing.T) {
+	c, _ := testServer(t)
+	ctx := context.Background()
+	if _, err := c.Register(ctx, RegisterRequest{Name: "aud", Epsilon: 1.0, Points: clusterPoints(200)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRelease(ctx, "aud", ReleaseParams{Epsilon: 0.25, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	trail, err := c.Audit(ctx, "aud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trail.Dataset != "aud" || len(trail.Entries) == 0 {
+		t.Fatalf("audit trail: %+v", trail)
+	}
+	var net float64
+	for _, e := range trail.Entries {
+		if e.Kind == "debit" || e.Kind == "refund" {
+			net += e.Epsilon
+		}
+	}
+	if net != trail.EpsilonSpent || trail.EpsilonSpent != 0.25 {
+		t.Fatalf("audit net ε %v vs spent %v, want 0.25", net, trail.EpsilonSpent)
+	}
+}

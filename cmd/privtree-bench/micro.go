@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"privtree"
+	"privtree/internal/obs"
 	"privtree/internal/server"
 	"privtree/internal/store"
 )
@@ -344,6 +345,31 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 				}
 			}
 		}},
+		// MetricsOverhead prices everything the observability plane adds to
+		// one served request: a fresh trace with one timed span plus its ID
+		// render (the X-Trace-Id header), the per-route request counter and
+		// latency histogram, and the sliding throughput window. The counter,
+		// histogram, and window observations are allocation-free by guard
+		// test (internal/obs); the handful of allocations here is the trace
+		// object itself, so the gate keeps per-request instrumentation cost
+		// pinned.
+		{"MetricsOverhead", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			lbl := obs.Label{Name: "route", Value: "query"}
+			reqs := reg.Counter("privtree_bench_requests_total", "bench: per-route requests.", lbl)
+			lat := reg.Histogram("privtree_bench_request_seconds", "bench: per-route latency.", nil, lbl)
+			win := obs.NewWindow()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr := obs.NewTrace()
+				_ = tr.ID()
+				span := tr.Begin("build")
+				reqs.Inc()
+				win.Add(1)
+				span.End()
+				lat.Observe(2.5e-4)
+			}
+		}},
 	}
 
 	// Store rows: the durable-debit hot path (WAL append + fsync — the
@@ -478,6 +504,7 @@ var guardedBenchmarks = map[string]bool{
 	"TopK20x5":             true,
 	"EnvelopeEncode":       true,
 	"EnvelopeDecode":       true,
+	"MetricsOverhead":      true,
 	"StoreDebit":           true,
 	"StoreRecover10k":      true,
 	"ServerBatchUnderLoad": true,

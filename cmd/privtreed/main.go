@@ -10,6 +10,7 @@
 //	privtreed -addr :8181 -workers 8 -max-batch 1048576
 //	privtreed -addr :8181 -max-builds 4 -build-timeout 10s  # overload knobs
 //	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
+//	privtreed -addr :8181 -slow-request 250ms -log-format json  # observability knobs
 //
 // With -data-dir, every dataset's privacy ledger is write-ahead logged
 // (fsync before the mechanism runs) and every release envelope is stored
@@ -23,7 +24,9 @@
 //	curl -s localhost:8181/v1/datasets -d '{"name":"demo","epsilon":1.0,"synthetic":{"generator":"road","n":200000,"seed":1}}'
 //	curl -s localhost:8181/v1/datasets/demo/releases -d '{"epsilon":0.5,"seed":7}'
 //	curl -s localhost:8181/v1/datasets/demo/releases/r1/query -d '{"queries":[[0.1,0.1,0.4,0.5]]}'
-//	curl -s localhost:8181/metrics
+//	curl -s localhost:8181/v1/datasets/demo/audit   # ε accounting history with trace IDs
+//	curl -s localhost:8181/metrics    # Prometheus text exposition
+//	curl -s localhost:8181/metricsz   # operational counters as JSON
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get up to -drain to complete.
@@ -34,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -58,8 +62,21 @@ func main() {
 		admitQueue   = flag.Int("admission-queue", 0, "bounded wait queue per admission plane (0 = 2x the plane's limit)")
 		dataDir   = flag.String("data-dir", "", "directory for crash-safe persistence: privacy ledgers are write-ahead logged (fsync-on-debit) and release envelopes stored content-addressed; on restart every dataset resumes with its spent ε, audit trail, and cached releases intact (empty = in-memory only, budgets reset on restart)")
 		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
+		slowReq   = flag.Duration("slow-request", 0, "log any request slower than this, with its route, status, trace ID, and span breakdown (0 = disabled)")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
 	flag.Parse()
+
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(logHandler)
 
 	if *pprofAddr != "" {
 		// Profiles ride a separate listener so the query plane's address
@@ -90,6 +107,8 @@ func main() {
 		MaxConcurrentBatches: *maxBatches,
 		AdmissionQueue:       *admitQueue,
 		DrainTimeout:         *drain,
+		SlowRequest:          *slowReq,
+		Logger:               logger,
 	})
 	if err != nil {
 		fatal(err)

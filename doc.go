@@ -143,6 +143,23 @@
 // blackholes and asserts the ledger balances exactly. See README.md
 // ("Operating under load & failure").
 //
+// # Observability
+//
+// Instrumentation lives in internal/obs — atomic counters, gauges, and
+// fixed-bucket histograms that cost zero heap allocations per
+// observation, collected in a named registry the server exposes as
+// Prometheus text on GET /metrics (the JSON snapshot remains at
+// /metricsz). Every request carries a trace: Session.ReleaseContext
+// reads it from the context and records spans for the debit, the WAL
+// append, the mechanism build, the envelope encoding, and the commit,
+// so one trace ID — echoed to the client as X-Trace-Id, written into
+// the slow-request log, and persisted into the WAL — explains where a
+// release's wall-clock and its ε went. Session.Audit (served as GET
+// /v1/datasets/{name}/audit) returns that history: WAL-sequenced
+// debit/refund/commit entries whose net ε equals the ledger's spent
+// balance exactly, each tagged with the trace ID of the request that
+// caused it. See README.md ("Observability").
+//
 // Build entry points validate their parameters and return errors — never
 // panics — on non-positive ε, unusable fanouts, or degenerate domains, so
 // they can sit directly behind untrusted inputs, and the

@@ -43,6 +43,11 @@ type Debit struct {
 	Note string
 	// At is the wall-clock spend time.
 	At time.Time
+	// TraceID links the debit to the request trace that caused it ("" when
+	// the spend happened outside a traced request). It makes the audit
+	// trail explainable end to end: every unit of spent ε names the
+	// request that spent it.
+	TraceID string
 }
 
 // Ledger is a concurrent-safe privacy-budget accountant enforcing
@@ -103,6 +108,12 @@ func (l *Ledger) remainingLocked() float64 {
 // round-off in fractional splits), and a plain error for non-positive or
 // non-finite eps.
 func (l *Ledger) Spend(eps float64, note string) error {
+	return l.SpendTraced(eps, note, "")
+}
+
+// SpendTraced is Spend with the request trace ID recorded in the audit
+// trail alongside the note.
+func (l *Ledger) SpendTraced(eps float64, note, traceID string) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return fmt.Errorf("dp: cannot spend non-positive budget %v", eps)
 	}
@@ -113,7 +124,7 @@ func (l *Ledger) Spend(eps float64, note string) error {
 		return &BudgetError{Requested: eps, Remaining: l.remainingLocked(), Total: l.total}
 	}
 	l.spent += eps
-	l.debits = append(l.debits, Debit{Kind: DebitKindSpend, Epsilon: eps, Note: note, At: time.Now()})
+	l.debits = append(l.debits, Debit{Kind: DebitKindSpend, Epsilon: eps, Note: note, At: time.Now(), TraceID: traceID})
 	return nil
 }
 
@@ -123,6 +134,12 @@ func (l *Ledger) Spend(eps float64, note string) error {
 // would break the sequential-composition guarantee. The refund is recorded
 // in the audit trail as a negative debit.
 func (l *Ledger) Refund(eps float64, note string) {
+	l.RefundTraced(eps, note, "")
+}
+
+// RefundTraced is Refund with the request trace ID recorded in the audit
+// trail alongside the note.
+func (l *Ledger) RefundTraced(eps float64, note, traceID string) {
 	if !(eps > 0) {
 		return
 	}
@@ -132,7 +149,7 @@ func (l *Ledger) Refund(eps float64, note string) {
 	if l.spent < 0 {
 		l.spent = 0
 	}
-	l.debits = append(l.debits, Debit{Kind: DebitKindRefund, Epsilon: -eps, Note: note, At: time.Now()})
+	l.debits = append(l.debits, Debit{Kind: DebitKindRefund, Epsilon: -eps, Note: note, At: time.Now(), TraceID: traceID})
 }
 
 // Restore replaces the ledger's state with a recovered audit trail,

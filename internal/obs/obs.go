@@ -1,0 +1,211 @@
+// Package obs is privtree's dependency-free instrumentation core: atomic
+// counters, gauges, fixed-bucket histograms, and sliding-window rates
+// that cost ZERO heap allocations per observation, collected in a named
+// registry that renders the Prometheus text exposition format.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path observations (Counter.Inc, Histogram.Observe, Window.Add,
+//     Gauge.Set) are lock-free and allocation-free — the serving plane
+//     answers ~hundreds of thousands of queries per second on one core,
+//     so instrumentation must be invisible there. Guard tests pin this
+//     with testing.AllocsPerRun.
+//  2. Registration (Registry.Counter, …) is mutex-guarded and get-or-
+//     create, so concurrent handler setup can never race a scrape or
+//     lose a counter; callers resolve their instruments once, at
+//     registration time, and the request path touches only atomics.
+//  3. Exposition is pull-only and allocation-tolerant: WriteText walks
+//     the registry under its lock and renders valid Prometheus text
+//     format (HELP/TYPE once per family, escaped labels, cumulative
+//     histogram buckets).
+//
+// The package also carries the request-trace facility (trace.go): a
+// per-request Trace accumulates named spans (stage + duration) and rides
+// the context from HTTP handler through Session.ReleaseContext down to
+// the store's WAL fsyncs, so one trace ID explains where a release's
+// wall-clock — and its ε — went.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; Inc and Add are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers must not pass a negative delta via conversion;
+// counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready to use; all methods are lock-free and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by delta (CAS loop; contended adds retry).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefTimeBuckets are the default latency histogram bounds, in seconds:
+// 100µs to 10s in a coarse exponential ladder. They bracket everything
+// the server does, from a cached-release fetch (~100µs) through a WAL
+// fsync (~ms) to a 100k-point tree build (~tens of ms) and a deadline'd
+// request (seconds).
+var DefTimeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets
+// are fixed at registration; Observe is lock-free and allocation-free.
+// Bucket counts, the total count, and the sum are each individually
+// atomic — a scrape may catch an observation between its bucket and sum
+// updates, which Prometheus tolerates by design (counters are scraped,
+// not snapshotted).
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, strictly
+	// increasing; an implicit +Inf bucket follows the last bound.
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket ladders are short (~16 bounds) and the scan is
+	// branch-predictable, beating binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Buckets returns the bucket upper bounds and the CUMULATIVE count at or
+// below each bound, ending with the implicit +Inf bucket (equal to
+// Count up to scrape skew). Allocates; intended for exposition and tests.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(h.bounds)] = math.Inf(1)
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
+// windowBuckets is the ring size of a Window: it must exceed any rate
+// window queried so the ring never wraps inside one.
+const windowBuckets = 64
+
+// Window is a sliding-window event-rate estimator: a ring of per-second
+// buckets over the last windowBuckets seconds. Add is lock-free and
+// allocation-free; Rate folds the ring. It exists because a lifetime
+// average lies — a server idle for an hour reports near-zero throughput
+// for the burst it is currently serving (the bug this type replaced).
+//
+// The ring is racy by design: a bucket reset can drop a concurrent
+// add's events from that second. Rates are estimates; the lifetime total
+// belongs in a Counter next to the Window.
+type Window struct {
+	// now returns the current unix second; tests substitute a fake clock.
+	now     func() int64
+	buckets [windowBuckets]struct {
+		sec atomic.Int64
+		n   atomic.Uint64
+	}
+}
+
+// NewWindow returns a sliding window on the real clock.
+func NewWindow() *Window {
+	return &Window{now: func() int64 { return time.Now().Unix() }}
+}
+
+// newWindowClock returns a window on a substitute clock (tests).
+func newWindowClock(now func() int64) *Window { return &Window{now: now} }
+
+// Add records n events at the current second.
+func (w *Window) Add(n uint64) {
+	sec := w.now()
+	b := &w.buckets[int(sec%windowBuckets)]
+	if old := b.sec.Load(); old != sec {
+		// Claim the bucket for this second; the loser of the race simply
+		// adds into the freshly reset bucket.
+		if b.sec.CompareAndSwap(old, sec) {
+			b.n.Store(0)
+		}
+	}
+	b.n.Add(n)
+}
+
+// Rate returns events per second over the trailing window (capped at
+// windowBuckets-1 seconds). The current, partially elapsed second is
+// included — a burst shows up immediately — and the divisor is the full
+// window, so the estimate is conservative during ramp-up.
+func (w *Window) Rate(window time.Duration) float64 {
+	secs := int64(window / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > windowBuckets-1 {
+		secs = windowBuckets - 1
+	}
+	now := w.now()
+	var total uint64
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if sec := b.sec.Load(); sec > now-secs && sec <= now {
+			total += b.n.Load()
+		}
+	}
+	return float64(total) / float64(secs)
+}

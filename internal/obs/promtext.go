@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// SeriesKey returns a canonical identity for the sample (name plus
+// sorted labels) for duplicate detection and lookups in tests.
+func (s Sample) SeriesKey() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteByte('{')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// ParseText is a STRICT parser for the Prometheus text exposition format
+// (version 0.0.4), used by tests to validate /metrics end to end. Beyond
+// the format grammar it enforces the conventions the registry promises:
+// every sample's family has a preceding # HELP and # TYPE, no family
+// appears in two blocks, no series is duplicated, histogram samples only
+// follow a histogram TYPE.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var samples []Sample
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	seriesSeen := map[string]bool{}
+	current := "" // family of the current HELP/TYPE block
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if helpSeen[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+				current = name
+				_ = rest
+			case "TYPE":
+				if typeSeen[name] != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: invalid TYPE %q for %q", lineNo, rest, name)
+				}
+				typeSeen[name] = rest
+				current = name
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(s.Name, typeSeen)
+		if !helpSeen[fam] {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # HELP %s", lineNo, s.Name, fam)
+		}
+		if typeSeen[fam] == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE %s", lineNo, s.Name, fam)
+		}
+		if fam != current {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block (current %q)", lineNo, s.Name, current)
+		}
+		if fam != s.Name && typeSeen[fam] != "histogram" && typeSeen[fam] != "summary" {
+			return nil, fmt.Errorf("line %d: suffixed sample %q under non-histogram family %q", lineNo, s.Name, fam)
+		}
+		key := s.SeriesKey()
+		if seriesSeen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seriesSeen[key] = true
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf strips a histogram/summary suffix if (and only if) the
+// stripped base is a family with a registered TYPE.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	body, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		// Bare comments are legal in the format; the registry never emits
+		// them, so reject to keep the strict contract.
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind, body, ok = strings.Cut(body, " ")
+	if !ok || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	if err := checkMetricName(name); err != nil {
+		return "", "", "", err
+	}
+	return kind, name, rest, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if err := checkMetricName(s.Name); err != nil {
+		return s, err
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+	}
+	val := strings.TrimSpace(rest)
+	// Reject a trailing timestamp (legal in the format, never emitted by
+	// the registry) and anything else after the value.
+	if strings.ContainsAny(val, " \t") {
+		return s, fmt.Errorf("sample %q: trailing fields after value", s.Name)
+	}
+	v, err := parseValue(val)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",…}` and returns the remainder of
+// the line after the closing brace.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("malformed labels near %q", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if err := checkLabelName(name); err != nil {
+			return "", err
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		val, rem, err := parseQuoted(rest[1:])
+		if err != nil {
+			return "", fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return "", fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val
+		rest = rem
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = rest[1:]
+		case strings.HasPrefix(rest, "}"):
+			return rest[1:], nil
+		default:
+			return "", fmt.Errorf("malformed labels near %q", rest)
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote;
+// only \\, \", and \n escapes are valid.
+func parseQuoted(rest string) (val, rem string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", rest[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	case "":
+		return 0, fmt.Errorf("missing value")
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// RegisterRuntimeMetrics registers Go runtime gauges on reg, refreshed by
+// a single ReadMemStats in an OnScrape hook. ReadMemStats stops the world
+// briefly, so the refresh happens only when something actually scrapes.
+func RegisterRuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("privtree_go_goroutines", "Number of live goroutines.")
+	heapAlloc := reg.Gauge("privtree_go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := reg.Gauge("privtree_go_heap_objects", "Number of allocated heap objects.")
+	sysBytes := reg.Gauge("privtree_go_sys_bytes", "Total bytes obtained from the OS.")
+	gcRuns := reg.Gauge("privtree_go_gc_runs_total", "Completed GC cycles.")
+	gcPause := reg.Gauge("privtree_go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+
+	// One goroutine may scrape while another does; ReadMemStats itself is
+	// safe, the gate just avoids piling up world-stops under scrape storms.
+	var busy atomic.Bool
+	reg.OnScrape(func() {
+		if !busy.CompareAndSwap(false, true) {
+			return
+		}
+		defer busy.Store(false)
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sysBytes.Set(float64(ms.Sys))
+		gcRuns.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a per-request trace: a random ID plus an append-only list of
+// named spans. It rides the context from the HTTP handler through
+// Session.ReleaseContext down to the store's WAL fsyncs, so one ID
+// explains where a release's wall-clock — and its ε — went.
+//
+// Every method is nil-safe: code below the handler can instrument
+// unconditionally and pay nothing when no trace is installed (direct
+// library use, benchmarks).
+type Trace struct {
+	id    string
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one named stage of a traced request.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// NewTrace returns a trace with a fresh 16-byte hex ID.
+func NewTrace() *Trace {
+	var b [16]byte
+	hi, lo := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(hi >> (56 - 8*i))
+		b[8+i] = byte(lo >> (56 - 8*i))
+	}
+	const hex = "0123456789abcdef"
+	id := make([]byte, 32)
+	for i, c := range b {
+		id[2*i] = hex[c>>4]
+		id[2*i+1] = hex[c&0xf]
+	}
+	return &Trace{id: string(id)}
+}
+
+// ID returns the trace ID, or "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Add appends a completed span.
+func (t *Trace) Add(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Summary renders the spans as "name=dur name=dur …" sorted by span
+// start, for slow-request logs.
+func (t *Trace) Summary() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Name, s.Dur.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// SpanTimer measures one span; it is a value type so Begin/End pairs do
+// not allocate. End is safe on the zero value (no-op).
+type SpanTimer struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Begin starts timing a named span on t. Safe on a nil trace — the
+// returned timer's End is then a no-op.
+func (t *Trace) Begin(name string) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{t: t, name: name, start: time.Now()}
+}
+
+// End records the span.
+func (st SpanTimer) End() {
+	if st.t == nil {
+		return
+	}
+	st.t.Add(st.name, st.start, time.Since(st.start))
+}
+
+// traceKey is the context key for the request trace.
+type traceKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace
+// methods tolerate nil, so callers never need to check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -3,101 +3,171 @@ package server
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"privtree/internal/obs"
 )
 
-// metrics aggregates the server's operational counters. All fields are
-// updated with atomics so handlers never contend on a lock for accounting.
+// qpsWindow is the sliding window behind the queries_per_second gauge. A
+// lifetime average lies — a server idle for an hour reports near-zero
+// throughput for the burst it is currently serving — so the rate covers
+// only the trailing window; the lifetime total stays available as the
+// privtree_queries_answered_total counter.
+const qpsWindow = 30 * time.Second
+
+// metrics is the server's instrumentation plane, re-based on
+// internal/obs: every counter, gauge, and histogram lives in one named
+// registry (served as Prometheus text on /metrics), handlers resolve
+// their instruments once at registration time, and every hot-path
+// observation is lock-free and allocation-free.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	requestsTotal atomic.Int64
-
-	mu      sync.Mutex
-	byRoute map[string]*atomic.Int64
-
-	queriesAnswered  atomic.Int64
-	queryNanos       atomic.Int64
-	releasesBuilt    atomic.Int64
-	releaseCacheHits atomic.Int64
+	requestsTotal    *obs.Counter
+	queriesAnswered  *obs.Counter
+	queryNanos       *obs.Counter
+	queryWindow      *obs.Window
+	releasesBuilt    *obs.Counter
+	releaseCacheHits *obs.Counter
 
 	// Overload observability: shedTotal counts requests bounced by a
 	// saturated admission gate (HTTP 429), deadlineTotal counts requests
 	// that died to a per-route deadline or client cancellation (503
 	// deadline_exceeded), drainRejects counts requests refused during
 	// shutdown (503 shutting_down). retryableTotal is their sum — every
-	// response that told a well-behaved client "back off and retry" —
-	// so a dashboard can see retry pressure at a glance.
-	shedTotal      atomic.Int64
-	deadlineTotal  atomic.Int64
-	drainRejects   atomic.Int64
-	retryableTotal atomic.Int64
+	// response that told a well-behaved client "back off and retry".
+	shedTotal      *obs.Counter
+	deadlineTotal  *obs.Counter
+	drainRejects   *obs.Counter
+	retryableTotal *obs.Counter
+
+	// walFsync times every WAL fsync across all datasets (the store's
+	// fsync observer feeds it).
+	walFsync *obs.Histogram
+
+	// byRoute mirrors the per-route request counters for the /metricsz
+	// JSON view. The obs registry is the source of truth (and is
+	// race-free by construction); this map exists only because the JSON
+	// shape predates it. Guarded by mu — routes register concurrently in
+	// tests even though New wires them serially.
+	mu      sync.Mutex
+	byRoute map[string]*obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		start:   time.Now(),
+		reg:     reg,
+		byRoute: make(map[string]*obs.Counter),
+
+		requestsTotal:    reg.Counter("privtree_requests_total", "HTTP requests received, all routes."),
+		queriesAnswered:  reg.Counter("privtree_queries_answered_total", "Range-count and frequency queries answered."),
+		queryNanos:       reg.Counter("privtree_query_nanos_total", "Cumulative nanoseconds spent answering query batches."),
+		queryWindow:      obs.NewWindow(),
+		releasesBuilt:    reg.Counter("privtree_releases_built_total", "Releases built (ε debited)."),
+		releaseCacheHits: reg.Counter("privtree_release_cache_hits_total", "Release requests served from cache (no new debit)."),
+
+		shedTotal:      reg.Counter("privtree_shed_total", "Requests shed by a saturated admission gate (HTTP 429)."),
+		deadlineTotal:  reg.Counter("privtree_deadline_exceeded_total", "Requests that died to a deadline or client cancellation."),
+		drainRejects:   reg.Counter("privtree_draining_rejects_total", "Requests refused during shutdown."),
+		retryableTotal: reg.Counter("privtree_retryable_errors_total", "All responses that told the client to back off and retry."),
+
+		walFsync: reg.Histogram("privtree_wal_fsync_seconds", "WAL fsync latency, all datasets.", nil),
+	}
+	reg.GaugeFunc("privtree_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("privtree_queries_per_second", "Query throughput over the trailing 30s window.",
+		func() float64 { return m.queryWindow.Rate(qpsWindow) })
+	obs.RegisterRuntimeMetrics(reg)
+	return m
+}
+
+// routeInstruments returns the request counter and latency histogram for
+// a named route, registering them on first use. Registration is
+// get-or-create inside the obs registry, so concurrent handler setup can
+// never race a scrape or lose a counter — the request path touches only
+// the returned atomics.
+func (m *metrics) routeInstruments(name string) (*obs.Counter, *obs.Histogram) {
+	lbl := obs.Label{Name: "route", Value: name}
+	c := m.reg.Counter("privtree_http_requests_total", "HTTP requests by route.", lbl)
+	h := m.reg.Histogram("privtree_http_request_seconds", "HTTP request latency by route.", nil, lbl)
+	m.mu.Lock()
+	m.byRoute[name] = c
+	m.mu.Unlock()
+	return c, h
+}
+
+// snapshotRoutes copies the per-route counters (the /metricsz JSON view).
+func (m *metrics) snapshotRoutes() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byRoute))
+	for name, c := range m.byRoute {
+		out[name] = int64(c.Value())
+	}
+	return out
+}
+
+// stageHist returns the build-stage latency histogram for one named
+// stage (debit, wal_debit, build, envelope, wal_commit); the create-
+// release handler feeds it from the request trace's spans.
+func (m *metrics) stageHist(stage string) *obs.Histogram {
+	return m.reg.Histogram("privtree_build_stage_seconds", "Release build stage latency, from request traces.",
+		nil, obs.Label{Name: "stage", Value: stage})
+}
+
+// registerDataset registers the per-dataset gauges. They are gauge
+// functions over the dataset's own ledger and store — the authoritative
+// state — so scrapes can never drift from the accounting.
+func (m *metrics) registerDataset(d *Dataset) {
+	lbl := obs.Label{Name: "dataset", Value: d.Name}
+	led := d.Ledger
+	m.reg.GaugeFunc("privtree_dataset_epsilon_total", "Configured total privacy budget.",
+		func() float64 { return led.Total() }, lbl)
+	m.reg.GaugeFunc("privtree_dataset_epsilon_spent", "Privacy budget consumed.",
+		func() float64 { return led.Spent() }, lbl)
+	m.reg.GaugeFunc("privtree_dataset_epsilon_remaining", "Privacy budget still available.",
+		func() float64 { return led.Remaining() }, lbl)
+	m.reg.GaugeFunc("privtree_dataset_releases", "Releases registered for the dataset.",
+		func() float64 { return float64(d.NumReleases()) }, lbl)
+	m.reg.GaugeFunc("privtree_dataset_store_bytes", "On-disk store footprint (0 without persistence).",
+		func() float64 { return float64(d.StoreBytes()) }, lbl)
+	m.reg.GaugeFunc("privtree_dataset_wal_seq", "Highest WAL sequence number issued (0 without persistence).",
+		func() float64 { return float64(d.WALSeq()) }, lbl)
 }
 
 // recordAdmissionReject accounts for a gate rejection by kind.
 func (m *metrics) recordAdmissionReject(err error) {
 	switch {
 	case errors.Is(err, errShed):
-		m.shedTotal.Add(1)
+		m.shedTotal.Inc()
 	case errors.Is(err, errDraining):
-		m.drainRejects.Add(1)
+		m.drainRejects.Inc()
 	default:
-		m.deadlineTotal.Add(1)
+		m.deadlineTotal.Inc()
 	}
-	m.retryableTotal.Add(1)
+	m.retryableTotal.Inc()
 }
 
 // recordDeadlineHit accounts for a request that was admitted but died to
 // its context (deadline or client disconnect) mid-work.
 func (m *metrics) recordDeadlineHit() {
-	m.deadlineTotal.Add(1)
-	m.retryableTotal.Add(1)
+	m.deadlineTotal.Inc()
+	m.retryableTotal.Inc()
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), byRoute: make(map[string]*atomic.Int64)}
-}
-
-// routeCounter returns the request counter for a named route, creating it
-// on first use (registration time), so request-path increments are lock-free.
-func (m *metrics) routeCounter(name string) *atomic.Int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c, ok := m.byRoute[name]
-	if !ok {
-		c = &atomic.Int64{}
-		m.byRoute[name] = c
-	}
-	return c
-}
-
-// snapshotRoutes copies the per-route counters.
-func (m *metrics) snapshotRoutes() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.byRoute))
-	for name, c := range m.byRoute {
-		out[name] = c.Load()
-	}
-	return out
-}
-
-// recordQueries accounts for a batch of answered queries.
+// recordQueries accounts for a batch of answered queries: the lifetime
+// counters plus the sliding throughput window.
 func (m *metrics) recordQueries(n int, elapsed time.Duration) {
-	m.queriesAnswered.Add(int64(n))
-	m.queryNanos.Add(elapsed.Nanoseconds())
+	m.queriesAnswered.Add(uint64(n))
+	m.queryNanos.Add(uint64(elapsed.Nanoseconds()))
+	m.queryWindow.Add(uint64(n))
 }
 
 // uptime returns the time since the server started.
 func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
 
-// queriesPerSecond returns the average query throughput over the server's
-// lifetime (0 before any query).
-func (m *metrics) queriesPerSecond() float64 {
-	up := m.uptime().Seconds()
-	if up <= 0 {
-		return 0
-	}
-	return float64(m.queriesAnswered.Load()) / up
-}
+// queriesPerSecond returns the sliding-window query throughput.
+func (m *metrics) queriesPerSecond() float64 { return m.queryWindow.Rate(qpsWindow) }

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// These tests cover the observability plane: /metrics serves strictly
+// valid Prometheus text with the promised families, every metric name
+// follows the privtree_* convention, requests carry trace IDs end to
+// end, release builds leave a full span record behind them, and the
+// audit endpoint explains every unit of spent ε.
+
+// scrape GETs /metrics and parses it with the strict exposition parser,
+// returning the samples indexed by series key.
+func scrape(t *testing.T, client *http.Client, base string) map[string]obs.Sample {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics is not strictly valid exposition text: %v", err)
+	}
+	out := make(map[string]obs.Sample, len(samples))
+	for _, s := range samples {
+		out[s.SeriesKey()] = s
+	}
+	return out
+}
+
+// obsTestServer starts a persistent server with one dataset ("watched",
+// ε=1.0) and one built release, exercising register, create_release, and
+// query so every layer has observed traffic.
+func obsTestServer(t *testing.T) (*Server, *httptest.Server, string) {
+	t.Helper()
+	s := mustNew(t, Options{Workers: 1, DataDir: t.TempDir()})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	client := ts.Client()
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "watched", "epsilon": 1.0, "points": rows(testPoints(300)),
+	}, nil); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	var rel struct {
+		ReleaseID string `json:"release_id"`
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/watched/releases",
+		ReleaseParams{Epsilon: 0.25, Seed: 7}, &rel); status != http.StatusCreated {
+		t.Fatalf("create release: status %d", status)
+	}
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets/watched/releases/"+rel.ReleaseID+"/query",
+		map[string]any{"queries": [][]float64{{0, 0, 1, 1}, {0, 0, 0.5, 0.5}}}, nil)
+	return s, ts, rel.ReleaseID
+}
+
+// TestMetricsExposition scrapes the full /metrics document through the
+// strict parser and checks the promised families are present with sane
+// values: per-route traffic, per-dataset ε accounting, build-stage
+// spans, WAL fsync timings, and Go runtime stats.
+func TestMetricsExposition(t *testing.T) {
+	_, ts, _ := obsTestServer(t)
+	samples := scrape(t, ts.Client(), ts.URL)
+
+	get := func(key string) float64 {
+		t.Helper()
+		s, ok := samples[key]
+		if !ok {
+			t.Fatalf("exposition missing series %q", key)
+		}
+		return s.Value
+	}
+
+	if got := get(`privtree_http_requests_total{route=create_release}`); got != 1 {
+		t.Fatalf("create_release requests = %v, want 1", got)
+	}
+	if got := get(`privtree_http_request_seconds_count{route=query}`); got != 1 {
+		t.Fatalf("query latency observations = %v, want 1", got)
+	}
+	if got := get(`privtree_queries_answered_total`); got != 2 {
+		t.Fatalf("queries_answered_total = %v, want 2", got)
+	}
+	if got := get(`privtree_dataset_epsilon_total{dataset=watched}`); got != 1.0 {
+		t.Fatalf("dataset ε total = %v, want 1", got)
+	}
+	spent := get(`privtree_dataset_epsilon_spent{dataset=watched}`)
+	if math.Abs(spent-0.25) > 1e-12 {
+		t.Fatalf("dataset ε spent = %v, want 0.25", spent)
+	}
+	remaining := get(`privtree_dataset_epsilon_remaining{dataset=watched}`)
+	if math.Abs(spent+remaining-1.0) > 1e-12 {
+		t.Fatalf("spent (%v) + remaining (%v) != total 1", spent, remaining)
+	}
+	if got := get(`privtree_dataset_releases{dataset=watched}`); got != 1 {
+		t.Fatalf("dataset releases = %v, want 1", got)
+	}
+	if got := get(`privtree_dataset_store_bytes{dataset=watched}`); got <= 0 {
+		t.Fatalf("store bytes = %v, want > 0 with persistence", got)
+	}
+	if got := get(`privtree_dataset_wal_seq{dataset=watched}`); got < 2 {
+		t.Fatalf("wal seq = %v, want >= 2 (debit + commit)", got)
+	}
+	// One persisted release = at least two fsyncs (debit, commit).
+	if got := get(`privtree_wal_fsync_seconds_count`); got < 2 {
+		t.Fatalf("wal fsync count = %v, want >= 2", got)
+	}
+	// Every release-build stage left a latency observation.
+	for _, stage := range []string{"debit", "wal_debit", "build", "envelope", "wal_commit"} {
+		key := `privtree_build_stage_seconds_count{stage=` + stage + `}`
+		if got := get(key); got != 1 {
+			t.Fatalf("build stage %q observations = %v, want 1", stage, got)
+		}
+	}
+	// Runtime stats rode along.
+	if got := get(`privtree_go_goroutines`); got <= 0 {
+		t.Fatalf("goroutines gauge = %v, want > 0", got)
+	}
+	if got := get(`privtree_go_heap_alloc_bytes`); got <= 0 {
+		t.Fatalf("heap alloc gauge = %v, want > 0", got)
+	}
+	if got := get(`privtree_uptime_seconds`); got < 0 {
+		t.Fatalf("uptime = %v, want >= 0", got)
+	}
+}
+
+// TestMetricNameConvention vets every registered metric name against the
+// project naming rule: privtree_ prefix, lower-snake body.
+func TestMetricNameConvention(t *testing.T) {
+	s, _, _ := obsTestServer(t)
+	re := regexp.MustCompile(`^privtree_[a-z0-9_]+$`)
+	names := s.metrics.reg.Names()
+	if len(names) == 0 {
+		t.Fatal("registry has no metrics")
+	}
+	for _, name := range names {
+		if !re.MatchString(name) {
+			t.Errorf("metric %q violates ^privtree_[a-z0-9_]+$", name)
+		}
+	}
+}
+
+// TestTraceHeader asserts every response carries a fresh 32-hex
+// X-Trace-Id.
+func TestTraceHeader(t *testing.T) {
+	_, ts, _ := obsTestServer(t)
+	hexID := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Trace-Id")
+		if !hexID.MatchString(id) {
+			t.Fatalf("X-Trace-Id = %q, want 32 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %q repeated across requests", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestAuditEndpoint checks that /v1/datasets/{name}/audit explains every
+// unit of spent ε: WAL-sequenced entries whose debits (net of refunds)
+// sum to the spent gauge, each carrying the trace ID of the request that
+// caused it.
+func TestAuditEndpoint(t *testing.T) {
+	_, ts, _ := obsTestServer(t)
+	client := ts.Client()
+
+	// A second release adds a second debit+commit pair to the trail.
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/watched/releases",
+		ReleaseParams{Epsilon: 0.1, Seed: 8}, nil); status != http.StatusCreated {
+		t.Fatalf("second release: status %d", status)
+	}
+
+	var audit struct {
+		Dataset          string  `json:"dataset"`
+		EpsilonSpent     float64 `json:"epsilon_spent"`
+		EpsilonRemaining float64 `json:"epsilon_remaining"`
+		WALSeq           uint64  `json:"wal_seq"`
+		Entries          []struct {
+			Seq     uint64  `json:"seq"`
+			Kind    string  `json:"kind"`
+			Epsilon float64 `json:"epsilon"`
+			Key     string  `json:"key"`
+			TraceID string  `json:"trace_id"`
+			SHA     string  `json:"sha256"`
+		} `json:"entries"`
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/datasets/watched/audit", nil, &audit); status != http.StatusOK {
+		t.Fatalf("audit: status %d", status)
+	}
+	if audit.Dataset != "watched" {
+		t.Fatalf("audit dataset = %q", audit.Dataset)
+	}
+	if len(audit.Entries) != 4 {
+		t.Fatalf("audit entries = %d, want 4 (2× debit + 2× commit)", len(audit.Entries))
+	}
+	hexID := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	var net float64
+	var lastSeq uint64
+	kinds := map[string]int{}
+	for _, e := range audit.Entries {
+		kinds[e.Kind]++
+		if e.Seq == 0 || e.Seq <= lastSeq {
+			t.Fatalf("audit entries not strictly WAL-ordered: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Kind == "debit" || e.Kind == "refund" {
+			net += e.Epsilon // refunds arrive negated
+			if !hexID.MatchString(e.TraceID) {
+				t.Fatalf("%s entry seq %d trace_id = %q, want 32 hex", e.Kind, e.Seq, e.TraceID)
+			}
+		}
+		if e.Kind == "commit" {
+			if len(e.SHA) != 64 {
+				t.Fatalf("commit entry seq %d sha256 = %q, want 64 hex", e.Seq, e.SHA)
+			}
+			if e.Key == "" {
+				t.Fatalf("commit entry seq %d missing release key", e.Seq)
+			}
+		}
+	}
+	if kinds["debit"] != 2 || kinds["commit"] != 2 {
+		t.Fatalf("audit kinds = %v, want 2 debits and 2 commits", kinds)
+	}
+	if math.Abs(net-audit.EpsilonSpent) > 1e-12 {
+		t.Fatalf("audit debit sum %v != reported spent ε %v", net, audit.EpsilonSpent)
+	}
+	if audit.WALSeq != lastSeq {
+		t.Fatalf("audit wal_seq = %d, want last entry seq %d", audit.WALSeq, lastSeq)
+	}
+
+	// Cross-check the trail against the metrics plane: the audit's net
+	// debits must equal the scraped spent-ε gauge exactly.
+	samples := scrape(t, client, ts.URL)
+	gauge, ok := samples[`privtree_dataset_epsilon_spent{dataset=watched}`]
+	if !ok {
+		t.Fatal("exposition missing spent-ε gauge")
+	}
+	if math.Abs(net-gauge.Value) > 1e-12 {
+		t.Fatalf("audit debit sum %v != /metrics spent-ε gauge %v", net, gauge.Value)
+	}
+}
+
+// TestAuditWithoutPersistence checks the in-memory fallback: no WAL
+// sequence numbers, but the debit history is still explained.
+func TestAuditWithoutPersistence(t *testing.T) {
+	s := mustNew(t, Options{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "mem", "epsilon": 1.0, "points": rows(testPoints(200)),
+	}, nil)
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/mem/releases",
+		ReleaseParams{Epsilon: 0.5, Seed: 1}, nil); status != http.StatusCreated {
+		t.Fatalf("release: status %d", status)
+	}
+	var audit struct {
+		EpsilonSpent float64 `json:"epsilon_spent"`
+		WALSeq       uint64  `json:"wal_seq"`
+		Entries      []struct {
+			Seq     uint64  `json:"seq"`
+			Kind    string  `json:"kind"`
+			Epsilon float64 `json:"epsilon"`
+			TraceID string  `json:"trace_id"`
+		} `json:"entries"`
+	}
+	if status := doJSON(t, client, "GET", ts.URL+"/v1/datasets/mem/audit", nil, &audit); status != http.StatusOK {
+		t.Fatalf("audit: status %d", status)
+	}
+	if audit.WALSeq != 0 {
+		t.Fatalf("in-memory wal_seq = %d, want 0", audit.WALSeq)
+	}
+	var net float64
+	for _, e := range audit.Entries {
+		if e.Seq != 0 {
+			t.Fatalf("in-memory audit entry has WAL seq %d", e.Seq)
+		}
+		net += e.Epsilon
+	}
+	if math.Abs(net-audit.EpsilonSpent) > 1e-12 {
+		t.Fatalf("audit debit sum %v != spent ε %v", net, audit.EpsilonSpent)
+	}
+}
+
+// TestMetricszWireCompat asserts the JSON view keeps its pre-Prometheus
+// shape (the fields the old /metrics served) at the new path.
+func TestMetricszWireCompat(t *testing.T) {
+	_, ts, _ := obsTestServer(t)
+	var doc map[string]any
+	if status := doJSON(t, ts.Client(), "GET", ts.URL+"/metricsz", nil, &doc); status != http.StatusOK {
+		t.Fatalf("/metricsz: status %d", status)
+	}
+	for _, key := range []string{
+		"uptime_seconds", "requests_total", "requests_by_route",
+		"queries_answered", "queries_per_second", "query_nanos_total",
+		"releases_built", "release_cache_hits",
+		"datasets", "builds_in_flight", "batches_in_flight",
+		"shed_total", "deadline_exceeded_total", "draining_rejects_total",
+		"retryable_errors_total", "store_bytes_total",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("/metricsz missing %q", key)
+		}
+	}
+	byRoute, ok := doc["requests_by_route"].(map[string]any)
+	if !ok {
+		t.Fatalf("requests_by_route = %T, want object", doc["requests_by_route"])
+	}
+	if v, ok := byRoute["create_release"].(float64); !ok || v != 1 {
+		t.Fatalf("requests_by_route[create_release] = %v, want 1", byRoute["create_release"])
+	}
+}
+
+// TestSlowRequestLog drives a request through a nanosecond slow-request
+// threshold and checks the structured log line: route, status, and the
+// request's trace ID (matching the X-Trace-Id the client saw).
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	s := mustNew(t, Options{Workers: 1, SlowRequest: time.Nanosecond, Logger: logger})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Trace-Id")
+	line := buf.String()
+	if !strings.Contains(line, `"msg":"slow request"`) {
+		t.Fatalf("slow-request log missing, got: %q", line)
+	}
+	for _, want := range []string{`"route":"healthz"`, `"status":200`, `"trace":"` + id + `"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-request log missing %s, got: %q", want, line)
+		}
+	}
+}

@@ -135,6 +135,7 @@ func (s *Server) loadDataDir() error {
 			d.Close()
 			return err
 		}
+		s.datasetRegistered(d)
 	}
 	return nil
 }

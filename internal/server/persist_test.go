@@ -139,7 +139,7 @@ func TestServerRestartResumesState(t *testing.T) {
 
 	// Store-bytes gauges are live.
 	var met metricsResponse
-	if code := doJSON(t, client2, "GET", ts2.URL+"/metrics", nil, &met); code != http.StatusOK {
+	if code := doJSON(t, client2, "GET", ts2.URL+"/metricsz", nil, &met); code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}
 	if met.StoreBytesTotal <= 0 {

@@ -144,6 +144,21 @@ func (d *Dataset) StoreBytes() int64 {
 	return d.store.SizeBytes()
 }
 
+// WALSeq returns the highest WAL sequence number the dataset's store has
+// issued (0 without persistence); /metrics exports it per dataset, and
+// audit entries reference these numbers.
+func (d *Dataset) WALSeq() uint64 {
+	if d.store == nil {
+		return 0
+	}
+	return d.store.LastSeq()
+}
+
+// Audit returns the dataset's ε audit plane: every ledger debit, refund,
+// and release commit with its WAL sequence number and originating trace
+// ID, in WAL order. For store-backed datasets the rows survive restarts.
+func (d *Dataset) Audit() []privtree.AuditEntry { return d.session.Audit() }
+
 // Close releases the dataset's store (if any). Idempotent; all
 // acknowledged state is already durable.
 func (d *Dataset) Close() error { return d.session.Close() }

@@ -184,7 +184,7 @@ func TestServerShedsUnderSaturation(t *testing.T) {
 		}
 	}
 	waitFor(t, func() bool { return s.buildGate.Inflight() == 0 })
-	if got := s.metrics.shedTotal.Load(); got != 1 {
+	if got := s.metrics.shedTotal.Value(); got != 1 {
 		t.Fatalf("shed_total = %d, want 1", got)
 	}
 }
@@ -222,7 +222,7 @@ func TestServerBuildDeadline(t *testing.T) {
 	if info.EpsilonSpent != 0 {
 		t.Fatalf("spent ε after refunded deadline = %v, want 0", info.EpsilonSpent)
 	}
-	if got := s.metrics.deadlineTotal.Load(); got == 0 {
+	if got := s.metrics.deadlineTotal.Value(); got == 0 {
 		t.Fatal("deadline_exceeded_total not incremented")
 	}
 	release()
@@ -316,7 +316,7 @@ func TestServerCloseDrainsUnderLoad(t *testing.T) {
 	if err := <-closed; err != nil {
 		t.Fatalf("Close after clean drain: %v", err)
 	}
-	if got := s.metrics.drainRejects.Load(); got != 1 {
+	if got := s.metrics.drainRejects.Value(); got != 1 {
 		t.Fatalf("draining_rejects_total = %d, want 1", got)
 	}
 }
@@ -350,7 +350,7 @@ func TestServerCloseDrainTimeout(t *testing.T) {
 	<-done
 }
 
-// TestMetricsOverloadFields asserts the /metrics document carries the
+// TestMetricsOverloadFields asserts the /metricsz document carries the
 // overload-plane gauges and counters, and that they reflect traffic.
 func TestMetricsOverloadFields(t *testing.T) {
 	s := mustNew(t, Options{QueryTimeout: time.Nanosecond, Workers: 1})
@@ -368,15 +368,15 @@ func TestMetricsOverloadFields(t *testing.T) {
 		map[string]any{"queries": [][]float64{{0, 0, 1, 1}}})
 
 	var doc map[string]any
-	if status := doJSON(t, client, "GET", ts.URL+"/metrics", nil, &doc); status != http.StatusOK {
-		t.Fatalf("/metrics: status %d", status)
+	if status := doJSON(t, client, "GET", ts.URL+"/metricsz", nil, &doc); status != http.StatusOK {
+		t.Fatalf("/metricsz: status %d", status)
 	}
 	for _, key := range []string{
 		"builds_in_flight", "batches_in_flight", "shed_total",
 		"deadline_exceeded_total", "draining_rejects_total", "retryable_errors_total",
 	} {
 		if _, ok := doc[key]; !ok {
-			t.Fatalf("/metrics missing %q", key)
+			t.Fatalf("/metricsz missing %q", key)
 		}
 	}
 	if doc["deadline_exceeded_total"].(float64) < 1 {

@@ -20,12 +20,27 @@
 //	POST   /v1/datasets/{name}/releases          buy (or fetch cached) release
 //	GET    /v1/datasets/{name}/releases/{id}     released artifact (wire JSON)
 //	POST   /v1/datasets/{name}/releases/{id}/query  batched queries
+//	GET    /v1/datasets/{name}/audit             ε audit plane (WAL seq + trace IDs)
 //	GET    /healthz                              liveness
-//	GET    /metrics                              operational counters
+//	GET    /metrics                              Prometheus text exposition
+//	GET    /metricsz                             legacy JSON counters
 //
 // Errors use a structured envelope {"error":{"code",...}}; budget
 // exhaustion is code "budget_exhausted" with the ledger arithmetic
 // attached.
+//
+// # Observability
+//
+// Every request gets a trace ID (echoed as X-Trace-Id) whose context
+// rides from the handler through Session.ReleaseContext down to the
+// store's WAL fsyncs; release builds record named spans (debit,
+// wal_debit, build, envelope, wal_commit) that feed the
+// privtree_build_stage_seconds histograms and the audit endpoint.
+// Metrics live in an internal/obs registry — zero allocations per
+// hot-path observation — served as Prometheus text on /metrics with
+// per-route latency histograms, per-dataset ε gauges, and Go runtime
+// stats; requests slower than Options.SlowRequest are logged through
+// Options.Logger with their span breakdown.
 package server
 
 import (
@@ -33,6 +48,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -46,6 +63,7 @@ import (
 	"privtree/internal/dataset"
 	"privtree/internal/dp"
 	"privtree/internal/geom"
+	"privtree/internal/obs"
 	"privtree/internal/synth"
 )
 
@@ -89,6 +107,13 @@ type Options struct {
 	// DrainTimeout bounds how long Close waits for in-flight builds and
 	// batches before closing the registry under them; 0 means 5s.
 	DrainTimeout time.Duration
+
+	// Logger receives the server's structured logs (slow requests, and
+	// anything handlers report). Nil means logs are discarded.
+	Logger *slog.Logger
+	// SlowRequest, when positive, logs any request slower than it at
+	// Warn level with route, status, trace ID, and span breakdown.
+	SlowRequest time.Duration
 }
 
 // Server is the privtreed HTTP handler.
@@ -111,6 +136,9 @@ type Server struct {
 	// wait queue, crisp 429s beyond it, and a drain switch for Close.
 	buildGate *gate
 	batchGate *gate
+	// logger is Options.Logger, defaulted to a discard handler so
+	// handlers log unconditionally.
+	logger *slog.Logger
 }
 
 // New returns a ready-to-serve Server. With Options.DataDir set it first
@@ -152,7 +180,28 @@ func New(opts Options) (*Server, error) {
 		opts:      opts,
 		buildGate: newGate(opts.MaxConcurrentBuilds, buildQueue),
 		batchGate: newGate(opts.MaxConcurrentBatches, batchQueue),
+		logger:    opts.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// Point-in-time gauges over authoritative state: the gates' admitted
+	// counts and the registry's aggregate footprint are computed at scrape
+	// time, never shadowed by a copy.
+	s.metrics.reg.GaugeFunc("privtree_builds_in_flight", "Release builds admitted and running.",
+		func() float64 { return float64(s.buildGate.Inflight()) })
+	s.metrics.reg.GaugeFunc("privtree_batches_in_flight", "Query batches admitted and running.",
+		func() float64 { return float64(s.batchGate.Inflight()) })
+	s.metrics.reg.GaugeFunc("privtree_datasets", "Registered datasets.",
+		func() float64 { return float64(s.registry.Len()) })
+	s.metrics.reg.GaugeFunc("privtree_store_bytes_total", "On-disk store footprint, all datasets.",
+		func() float64 {
+			var total int64
+			for _, d := range s.registry.List() {
+				total += d.StoreBytes()
+			}
+			return float64(total)
+		})
 	s.scratch.New = func() any { return new(queryScratch) }
 	s.mux.HandleFunc("POST /v1/datasets", s.route("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/datasets", s.route("list_datasets", s.handleListDatasets))
@@ -160,8 +209,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases", s.route("create_release", s.handleCreateRelease))
 	s.mux.HandleFunc("GET /v1/datasets/{name}/releases/{id}", s.route("get_release", s.handleGetRelease))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
+	s.mux.HandleFunc("GET /v1/datasets/{name}/audit", s.route("audit", s.handleAudit))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /metricsz", s.route("metricsz", s.handleMetricsz))
 	if err := s.loadDataDir(); err != nil {
 		return nil, err
 	}
@@ -193,17 +244,49 @@ func (s *Server) Close() error {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requestsTotal.Add(1)
+	s.metrics.requestsTotal.Inc()
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	s.mux.ServeHTTP(w, r)
 }
 
-// route wraps a handler with its per-route request counter.
+// statusWriter captures the response status for latency histograms and
+// slow-request logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with the request plumbing every route shares: a
+// per-route request counter and latency histogram (resolved ONCE, at
+// registration — the request path touches only atomics), a fresh trace
+// whose ID is echoed as X-Trace-Id and whose context flows down to the
+// WAL, and the slow-request log.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
-	c := s.metrics.routeCounter(name)
+	c, lat := s.metrics.routeInstruments(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		c.Add(1)
-		h(w, r)
+		c.Inc()
+		tr := obs.NewTrace()
+		w.Header().Set("X-Trace-Id", tr.ID())
+		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(&sw, r.WithContext(obs.NewContext(r.Context(), tr)))
+		dur := time.Since(start)
+		lat.Observe(dur.Seconds())
+		if slow := s.opts.SlowRequest; slow > 0 && dur >= slow {
+			s.logger.Warn("slow request",
+				"route", name,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", dur.Milliseconds(),
+				"trace", tr.ID(),
+				"spans", tr.Summary())
+		}
 	}
 }
 
@@ -379,13 +462,25 @@ func (s *Server) register(req *registerRequest) (*Dataset, error) {
 			os.RemoveAll(dsDir)
 			return nil, err
 		}
+		s.datasetRegistered(d)
 		return d, nil
 	}
 	if err := s.registry.Insert(d); err != nil {
 		d.Close()
 		return nil, err
 	}
+	s.datasetRegistered(d)
 	return d, nil
+}
+
+// datasetRegistered wires a just-inserted dataset into the metrics
+// plane: per-dataset gauges, and (with persistence) the WAL fsync
+// latency observer.
+func (s *Server) datasetRegistered(d *Dataset) {
+	s.metrics.registerDataset(d)
+	if d.store != nil {
+		d.store.SetFsyncObserver(s.metrics.walFsync.Observe)
+	}
 }
 
 // buildDataset constructs (without registering) the dataset described by
@@ -570,9 +665,15 @@ func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cached {
-		s.metrics.releaseCacheHits.Add(1)
+		s.metrics.releaseCacheHits.Inc()
 	} else {
-		s.metrics.releasesBuilt.Add(1)
+		s.metrics.releasesBuilt.Inc()
+		// A genuine build produced trace spans (debit, wal_debit, build,
+		// envelope, wal_commit); fold them into the per-stage latency
+		// histograms so operators see where build wall-clock goes.
+		for _, span := range obs.FromContext(ctx).Spans() {
+			s.metrics.stageHist(span.Name).Observe(span.Dur.Seconds())
+		}
 	}
 	status := http.StatusCreated
 	if cached {
@@ -750,7 +851,56 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// metricsResponse is the GET /metrics document.
+// auditEntryJSON is one row of the audit endpoint: a ledger event or a
+// release commit with its WAL sequence number and originating trace ID.
+type auditEntryJSON struct {
+	Seq     uint64    `json:"seq,omitempty"`
+	Kind    string    `json:"kind"`
+	Epsilon float64   `json:"epsilon,omitempty"`
+	Key     string    `json:"key"`
+	TraceID string    `json:"trace_id,omitempty"`
+	SHA     string    `json:"sha256,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// auditResponse is the GET /v1/datasets/{name}/audit document: the
+// ledger position plus every event that produced it, so spent ε is
+// explainable end to end — each entry names the WAL record that made it
+// durable and the request trace that caused it.
+type auditResponse struct {
+	Dataset          string           `json:"dataset"`
+	EpsilonTotal     float64          `json:"epsilon_total"`
+	EpsilonSpent     float64          `json:"epsilon_spent"`
+	EpsilonRemaining float64          `json:"epsilon_remaining"`
+	WALSeq           uint64           `json:"wal_seq"`
+	Entries          []auditEntryJSON `json:"entries"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	entries := d.Audit()
+	out := auditResponse{
+		Dataset:          d.Name,
+		EpsilonTotal:     d.Ledger.Total(),
+		EpsilonSpent:     d.Ledger.Spent(),
+		EpsilonRemaining: d.Ledger.Remaining(),
+		WALSeq:           d.WALSeq(),
+		Entries:          make([]auditEntryJSON, len(entries)),
+	}
+	for i, e := range entries {
+		out.Entries[i] = auditEntryJSON{
+			Seq: e.Seq, Kind: e.Kind, Epsilon: e.Epsilon, Key: e.Key,
+			TraceID: e.TraceID, SHA: e.SHA, At: e.At,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metricsResponse is the GET /metricsz document (the pre-Prometheus JSON
+// shape, preserved wire-compatibly for existing scrapers).
 type metricsResponse struct {
 	UptimeSeconds    float64          `json:"uptime_seconds"`
 	RequestsTotal    int64            `json:"requests_total"`
@@ -776,7 +926,16 @@ type metricsResponse struct {
 	RetryableErrorsTotal  int64 `json:"retryable_errors_total"`
 }
 
+// handleMetrics serves the Prometheus text exposition: every registered
+// counter, gauge, and histogram, with per-route latency, per-dataset ε
+// gauges, and Go runtime stats.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.reg.ServeHTTP(w, r)
+}
+
+// handleMetricsz serves the legacy JSON counters, wire-compatible with
+// the shape /metrics had before the Prometheus exposition replaced it.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	ds := s.registry.List()
 	infos := make([]datasetInfo, len(ds))
 	var storeBytes int64
@@ -786,21 +945,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, metricsResponse{
 		UptimeSeconds:    s.metrics.uptime().Seconds(),
-		RequestsTotal:    s.metrics.requestsTotal.Load(),
+		RequestsTotal:    int64(s.metrics.requestsTotal.Value()),
 		RequestsByRoute:  s.metrics.snapshotRoutes(),
-		QueriesAnswered:  s.metrics.queriesAnswered.Load(),
+		QueriesAnswered:  int64(s.metrics.queriesAnswered.Value()),
 		QueriesPerSecond: s.metrics.queriesPerSecond(),
-		QueryNanosTotal:  s.metrics.queryNanos.Load(),
-		ReleasesBuilt:    s.metrics.releasesBuilt.Load(),
-		ReleaseCacheHits: s.metrics.releaseCacheHits.Load(),
+		QueryNanosTotal:  int64(s.metrics.queryNanos.Value()),
+		ReleasesBuilt:    int64(s.metrics.releasesBuilt.Value()),
+		ReleaseCacheHits: int64(s.metrics.releaseCacheHits.Value()),
 		StoreBytesTotal:  storeBytes,
 		Datasets:         infos,
 
 		BuildsInFlight:        s.buildGate.Inflight(),
 		BatchesInFlight:       s.batchGate.Inflight(),
-		ShedTotal:             s.metrics.shedTotal.Load(),
-		DeadlineExceededTotal: s.metrics.deadlineTotal.Load(),
-		DrainingRejectsTotal:  s.metrics.drainRejects.Load(),
-		RetryableErrorsTotal:  s.metrics.retryableTotal.Load(),
+		ShedTotal:             int64(s.metrics.shedTotal.Value()),
+		DeadlineExceededTotal: int64(s.metrics.deadlineTotal.Value()),
+		DrainingRejectsTotal:  int64(s.metrics.drainRejects.Value()),
+		RetryableErrorsTotal:  int64(s.metrics.retryableTotal.Value()),
 	})
 }

@@ -237,7 +237,7 @@ func TestServerEndToEnd(t *testing.T) {
 	for path, extract := range map[string]string{
 		"/v1/datasets":      "datasets",
 		"/v1/datasets/taxi": "",
-		"/metrics":          "datasets",
+		"/metricsz":         "datasets",
 	} {
 		var doc map[string]any
 		if status := doJSON(t, client, "GET", ts.URL+path, nil, &doc); status != http.StatusOK {
@@ -256,7 +256,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// 7. Metrics reflect the traffic.
 	var m metricsResponse
-	if status = doJSON(t, client, "GET", ts.URL+"/metrics", nil, &m); status != http.StatusOK {
+	if status = doJSON(t, client, "GET", ts.URL+"/metricsz", nil, &m); status != http.StatusOK {
 		t.Fatalf("metrics returned %d", status)
 	}
 	if m.QueriesAnswered != nq {

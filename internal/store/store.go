@@ -123,6 +123,7 @@ type snapEvent struct {
 	Key     string  `json:"key"`
 	At      int64   `json:"at_unix_nano"`
 	SHA     string  `json:"sha256,omitempty"`
+	Trace   string  `json:"trace,omitempty"`
 }
 
 // Open opens (creating if needed) the store rooted at dir and recovers
@@ -203,7 +204,7 @@ func (s *Store) loadSnapshot() error {
 	}
 	restore := func(kind EventKind, rows []snapEvent) error {
 		for _, r := range rows {
-			e := Event{Seq: r.Seq, Epsilon: r.Epsilon, Key: r.Key, At: time.Unix(0, r.At)}
+			e := Event{Seq: r.Seq, Epsilon: r.Epsilon, Key: r.Key, At: time.Unix(0, r.At), Trace: r.Trace}
 			switch {
 			case kind == EventCommit && r.Kind == "commit":
 				sha, err := hex.DecodeString(r.SHA)
@@ -322,23 +323,36 @@ func (s *Store) appendLocked(e *Event) error {
 // record is written and fsynced. Callers must invoke it BEFORE running
 // the mechanism the debit pays for.
 func (s *Store) AppendDebit(eps float64, key string) error {
+	return s.AppendDebitTraced(eps, key, "")
+}
+
+// AppendDebitTraced is AppendDebit with the request trace ID persisted in
+// the record, so recovered audit trails keep naming the request that
+// spent each unit of ε across restarts.
+func (s *Store) AppendDebitTraced(eps float64, key, trace string) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return fmt.Errorf("store: debit epsilon must be positive and finite, got %v", eps)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(&Event{Kind: EventDebit, At: time.Now(), Epsilon: eps, Key: key})
+	return s.appendLocked(&Event{Kind: EventDebit, At: time.Now(), Epsilon: eps, Key: key, Trace: trace})
 }
 
 // AppendRefund makes an ε refund durable. Callers must invoke it BEFORE
 // returning the build failure that justifies the refund.
 func (s *Store) AppendRefund(eps float64, key string) error {
+	return s.AppendRefundTraced(eps, key, "")
+}
+
+// AppendRefundTraced is AppendRefund with the request trace ID persisted
+// in the record.
+func (s *Store) AppendRefundTraced(eps float64, key, trace string) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		return fmt.Errorf("store: refund epsilon must be positive and finite, got %v", eps)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(&Event{Kind: EventRefund, At: time.Now(), Epsilon: eps, Key: key})
+	return s.appendLocked(&Event{Kind: EventRefund, At: time.Now(), Epsilon: eps, Key: key, Trace: trace})
 }
 
 // CommitRelease persists envelope in the content-addressed artifact
@@ -348,6 +362,12 @@ func (s *Store) AppendRefund(eps float64, key string) error {
 // reclaimed by the next commit of the same content), never a record
 // pointing at missing bytes.
 func (s *Store) CommitRelease(key string, envelope []byte) error {
+	return s.CommitReleaseTraced(key, envelope, "")
+}
+
+// CommitReleaseTraced is CommitRelease with the request trace ID
+// persisted in the commit record.
+func (s *Store) CommitReleaseTraced(key string, envelope []byte, trace string) error {
 	if len(envelope) == 0 {
 		return fmt.Errorf("store: refusing to commit empty envelope for %q", key)
 	}
@@ -367,7 +387,7 @@ func (s *Store) CommitRelease(key string, envelope []byte) error {
 		return err
 	}
 	crash("commit.before_record")
-	if err := s.appendLocked(&Event{Kind: EventCommit, At: time.Now(), Key: key, SHA: sha}); err != nil {
+	if err := s.appendLocked(&Event{Kind: EventCommit, At: time.Now(), Key: key, SHA: sha, Trace: trace}); err != nil {
 		return err
 	}
 	s.artifactBytes += size
@@ -444,12 +464,13 @@ func (s *Store) Compact() error {
 	snap := snapshotFile{Version: snapshotVersion, Seq: s.wal.nextSeq - 1}
 	for _, e := range s.events {
 		snap.Events = append(snap.Events, snapEvent{
-			Seq: e.Seq, Kind: e.Kind.String(), Epsilon: e.Epsilon, Key: e.Key, At: e.At.UnixNano()})
+			Seq: e.Seq, Kind: e.Kind.String(), Epsilon: e.Epsilon, Key: e.Key, At: e.At.UnixNano(),
+			Trace: e.Trace})
 	}
 	for _, e := range s.commits {
 		snap.Commits = append(snap.Commits, snapEvent{
 			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
-			SHA: hex.EncodeToString(e.SHA[:])})
+			SHA: hex.EncodeToString(e.SHA[:]), Trace: e.Trace})
 	}
 	blob, err := json.Marshal(&snap)
 	if err != nil {
@@ -494,6 +515,24 @@ func (s *Store) SizeBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.wal.size + s.snapshotBytes + s.artifactBytes
+}
+
+// LastSeq returns the highest WAL sequence number issued so far (0 on a
+// fresh store). It is the /metrics WAL-seq gauge.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.nextSeq - 1
+}
+
+// SetFsyncObserver installs fn (nil to clear) to receive the duration,
+// in seconds, of every WAL fsync. The server points this at a latency
+// histogram; fn runs on the append path under the store lock, so it must
+// be cheap and must not call back into the store.
+func (s *Store) SetFsyncObserver(fn func(seconds float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.fsyncObs = fn
 }
 
 // Dir returns the store's root directory.

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+	"time"
+)
+
+// appendFrameRaw frames an arbitrary (possibly malformed) payload with a
+// valid length + CRC header.
+func appendFrameRaw(data, payload []byte) []byte {
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(payload)))
+	data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(payload, castagnoli))
+	return append(data, payload...)
+}
+
+// TestTraceRoundTrip proves trace IDs survive the full durability cycle:
+// WAL append → reopen, then snapshot compaction → reopen.
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trace = "0123456789abcdef0123456789abcdef"
+	if err := s.AppendDebitTraced(0.5, "k1", trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRefundTraced(0.25, "k1", trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDebit(0.5, "k2"); err != nil { // untraced
+		t.Fatal(err)
+	}
+	if err := s.CommitReleaseTraced("k2", []byte(`{"x":1}`), trace); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq = %d, want 4", got)
+	}
+	check := func(s *Store, stage string) {
+		t.Helper()
+		ev, cm := s.Events(), s.Commits()
+		if len(ev) != 3 || len(cm) != 1 {
+			t.Fatalf("%s: %d events, %d commits", stage, len(ev), len(cm))
+		}
+		if ev[0].Trace != trace || ev[1].Trace != trace {
+			t.Fatalf("%s: traced events lost traces: %q %q", stage, ev[0].Trace, ev[1].Trace)
+		}
+		if ev[2].Trace != "" {
+			t.Fatalf("%s: untraced event grew trace %q", stage, ev[2].Trace)
+		}
+		if cm[0].Trace != trace {
+			t.Fatalf("%s: commit lost trace: %q", stage, cm[0].Trace)
+		}
+	}
+	check(s, "live")
+
+	// Reopen: WAL replay path.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s, "wal replay")
+	if got := s.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq after replay = %d, want 4", got)
+	}
+
+	// Compact + reopen: snapshot path.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	check(s, "snapshot")
+}
+
+// TestDecodeWALPreTraceRecords pins backward compatibility: frames
+// encoded without the optional trace field (the pre-trace on-disk form)
+// decode with an empty trace.
+func TestDecodeWALPreTraceRecords(t *testing.T) {
+	events := sampleEvents() // no traces → encoder omits the field
+	data := walImage(events)
+	got, validLen := DecodeWAL(data)
+	if validLen != int64(len(data)) || len(got) != len(events) {
+		t.Fatalf("decoded %d events over %d bytes, want %d over %d", len(got), validLen, len(events), len(data))
+	}
+	for i, e := range got {
+		if e.Trace != "" {
+			t.Fatalf("event %d invented trace %q", i, e.Trace)
+		}
+	}
+}
+
+func TestDecodeWALTracedFrames(t *testing.T) {
+	sha := sha256.Sum256([]byte("env"))
+	events := []Event{
+		{Kind: EventDebit, Epsilon: 0.5, Key: "k", At: time.Unix(1, 0), Trace: "aaaa"},
+		{Kind: EventCommit, Key: "k", SHA: sha, At: time.Unix(2, 0), Trace: "bbbb"},
+	}
+	data := walImage(events)
+	got, validLen := DecodeWAL(data)
+	if validLen != int64(len(data)) || len(got) != 2 {
+		t.Fatalf("decode: %d events, %d/%d bytes", len(got), validLen, len(data))
+	}
+	if got[0].Trace != "aaaa" || got[1].Trace != "bbbb" {
+		t.Fatalf("traces = %q, %q", got[0].Trace, got[1].Trace)
+	}
+	// A frame whose trace-length byte disagrees with the actual bytes
+	// must end the valid prefix, not decode garbage.
+	bad := events[0]
+	payload := appendEventPayload(nil, &bad)
+	payload[len(payload)-5]++ // corrupt traceLen (trace is last 4 bytes)
+	img := []byte(walMagic)
+	img = appendFrameRaw(img, payload)
+	if ev, _ := DecodeWAL(img); len(ev) != 0 {
+		t.Fatalf("malformed trace frame decoded: %+v", ev)
+	}
+}
+
+func TestFsyncObserver(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var n int
+	var total float64
+	s.SetFsyncObserver(func(sec float64) { n++; total += sec })
+	if err := s.AppendDebit(0.1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRelease("k", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("observer saw %d fsyncs, want 2", n)
+	}
+	if total < 0 {
+		t.Fatalf("negative fsync time %v", total)
+	}
+}

@@ -26,6 +26,7 @@ import (
 //	record := len(u32) crc(u32) payload              (little-endian)
 //	payload:= seq(u64) kind(u8) at(i64, unix nanos)
 //	          eps(f64) keyLen(u16) key [sha(32)]     (sha on commits only)
+//	          [traceLen(u8) trace]                   (optional, all kinds)
 //
 // The CRC is crc32.Castagnoli over the payload. Zero-length frames,
 // frames longer than maxRecordPayload, bad CRCs, malformed payloads
@@ -33,6 +34,11 @@ import (
 // numbers all terminate the valid prefix; duplicated frames (a record
 // re-appended after a retried write) are skipped by the seq check without
 // ending recovery.
+//
+// The trailing trace field links the record to the request trace that
+// produced it and is optional in both directions: records written before
+// it existed decode with an empty trace, and untraced appends omit the
+// field entirely, so the magic/version did not need to change.
 
 // walMagic identifies a ledger WAL file and its format version.
 const walMagic = "PTWAL\x00\x01\n"
@@ -80,13 +86,17 @@ type Event struct {
 	Key string
 	// SHA is the content address of the committed envelope (commits only).
 	SHA [32]byte
+	// Trace is the request trace ID that produced the event ("" for
+	// untraced appends and for records written before the field existed).
+	Trace string
 }
 
 const (
 	recHeaderLen     = 8 // len(u32) + crc(u32)
 	recFixedLen      = 8 + 1 + 8 + 8 + 2
 	maxKeyLen        = 4096
-	maxRecordPayload = recFixedLen + maxKeyLen + 32
+	maxTraceLen      = 255 // the length prefix is one byte
+	maxRecordPayload = recFixedLen + maxKeyLen + 32 + 1 + maxTraceLen
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -102,6 +112,14 @@ func appendEventPayload(buf []byte, e *Event) []byte {
 	buf = append(buf, e.Key...)
 	if e.Kind == EventCommit {
 		buf = append(buf, e.SHA[:]...)
+	}
+	if e.Trace != "" {
+		t := e.Trace
+		if len(t) > maxTraceLen {
+			t = t[:maxTraceLen]
+		}
+		buf = append(buf, byte(len(t)))
+		buf = append(buf, t...)
 	}
 	return buf
 }
@@ -126,22 +144,29 @@ func decodeEventPayload(p []byte) (Event, error) {
 	rest = rest[keyLen:]
 	switch e.Kind {
 	case EventDebit, EventRefund:
-		if len(rest) != 0 {
-			return e, fmt.Errorf("store: %s record has %d trailing bytes", e.Kind, len(rest))
-		}
 		if !(e.Epsilon > 0) || math.IsInf(e.Epsilon, 0) {
 			return e, fmt.Errorf("store: %s record has unusable epsilon %v", e.Kind, e.Epsilon)
 		}
 	case EventCommit:
-		if len(rest) != 32 {
+		if len(rest) < 32 {
 			return e, fmt.Errorf("store: commit record has %d sha bytes, want 32", len(rest))
 		}
 		copy(e.SHA[:], rest)
+		rest = rest[32:]
 		if e.Epsilon != 0 {
 			return e, fmt.Errorf("store: commit record carries epsilon %v", e.Epsilon)
 		}
 	default:
 		return e, fmt.Errorf("store: unknown record kind %d", uint8(e.Kind))
+	}
+	// Optional trailing trace: absent on records written before the field
+	// existed and on untraced appends.
+	if len(rest) > 0 {
+		traceLen := int(rest[0])
+		if len(rest) != 1+traceLen {
+			return e, fmt.Errorf("store: %s record has %d trace bytes, header says %d", e.Kind, len(rest)-1, traceLen)
+		}
+		e.Trace = string(rest[1:])
 	}
 	return e, nil
 }
@@ -198,6 +223,10 @@ type wal struct {
 	size    int64
 	nextSeq uint64
 	buf     []byte // scratch frame buffer, reused across appends
+
+	// fsyncObs, when set, receives each record fsync's duration in
+	// seconds (the /metrics WAL-fsync histogram).
+	fsyncObs func(seconds float64)
 }
 
 // openWAL opens (creating if absent) the WAL at path and recovers its
@@ -289,11 +318,15 @@ func (w *wal) append(e *Event) error {
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
 	crash("wal.after_write")
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// The record's durability is unknown; the caller must treat the
 		// operation as failed. Recovery tolerates the possibly-durable
 		// record: an orphan debit only over-counts spent ε (safe direction).
 		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
+	if w.fsyncObs != nil {
+		w.fsyncObs(time.Since(syncStart).Seconds())
 	}
 	crash("wal.after_sync")
 	return nil

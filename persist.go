@@ -40,6 +40,17 @@ func (st *Store) Dir() string { return st.inner.Dir() }
 // artifacts); servers export it as a store-bytes gauge.
 func (st *Store) SizeBytes() int64 { return st.inner.SizeBytes() }
 
+// LastSeq returns the highest write-ahead-log sequence number issued so
+// far (0 on a fresh store); servers export it as a WAL-seq gauge, and
+// audit entries reference these numbers.
+func (st *Store) LastSeq() uint64 { return st.inner.LastSeq() }
+
+// SetFsyncObserver installs fn (nil to clear) to receive the duration,
+// in seconds, of every WAL fsync — the hook servers point at a latency
+// histogram. fn runs on the append path and must be cheap and must not
+// call back into the store.
+func (st *Store) SetFsyncObserver(fn func(seconds float64)) { st.inner.SetFsyncObserver(fn) }
+
 // Compact folds the ledger history into a fresh snapshot and rotates the
 // write-ahead log. State is preserved exactly; a crash during compaction
 // recovers consistently (the snapshot becomes visible atomically, and

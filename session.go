@@ -2,11 +2,15 @@ package privtree
 
 import (
 	"context"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"privtree/internal/dp"
+	"privtree/internal/obs"
 	"privtree/internal/store"
 	"privtree/internal/testhooks"
 )
@@ -159,7 +163,7 @@ func (s *Session) WithStore(st *Store) error {
 	events := st.inner.Events()
 	hist := make([]dp.Debit, len(events))
 	for i, e := range events {
-		d := dp.Debit{Note: "release " + e.Key, At: e.At}
+		d := dp.Debit{Note: "release " + e.Key, At: e.At, TraceID: e.Trace}
 		switch e.Kind {
 		case store.EventRefund:
 			d.Kind, d.Epsilon = dp.DebitKindRefund, -e.Epsilon
@@ -218,6 +222,78 @@ func (s *Session) Remaining() float64 { return s.ledger.Remaining() }
 // every event of prior processes.
 func (s *Session) History() []BudgetDebit { return s.ledger.History() }
 
+// AuditEntry is one explainable row of a session's ε audit plane: a
+// ledger debit, a refund, or a release commit, with the WAL sequence
+// number that made it durable and the request trace that caused it.
+// Summing Epsilon over the entries (with the ledger's clamp-at-zero
+// refund rule) reproduces the session's spent ε exactly.
+type AuditEntry struct {
+	// Seq is the WAL sequence number (0 for in-memory sessions, which
+	// have no WAL).
+	Seq uint64
+	// Kind is "debit", "refund", or "commit".
+	Kind string
+	// Epsilon is the budget moved: positive for debits, negative for
+	// refunds, zero for commits.
+	Epsilon float64
+	// Key is the release fingerprint the entry belongs to.
+	Key string
+	// TraceID names the request trace that produced the entry ("" for
+	// untraced work).
+	TraceID string
+	// SHA is the hex content address of the committed envelope (commits
+	// only).
+	SHA string
+	// At is the wall-clock time of the event.
+	At time.Time
+}
+
+// Audit returns the session's full audit plane in WAL order: every
+// debit, refund, and release commit, each with its durable sequence
+// number and originating trace ID. For store-backed sessions the rows
+// come from the recovered-plus-appended WAL state, so they survive
+// restarts; in-memory sessions fall back to the ledger's history with
+// Seq 0.
+func (s *Session) Audit() []AuditEntry {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		hist := s.ledger.History()
+		out := make([]AuditEntry, len(hist))
+		for i, d := range hist {
+			out[i] = AuditEntry{
+				Kind:    d.Kind,
+				Epsilon: d.Epsilon,
+				Key:     strings.TrimPrefix(d.Note, "release "),
+				TraceID: d.TraceID,
+				At:      d.At,
+			}
+		}
+		return out
+	}
+	events, commits := st.Events(), st.Commits()
+	out := make([]AuditEntry, 0, len(events)+len(commits))
+	for _, e := range events {
+		eps := e.Epsilon
+		if e.Kind == store.EventRefund {
+			eps = -eps
+		}
+		out = append(out, AuditEntry{
+			Seq: e.Seq, Kind: e.Kind.String(), Epsilon: eps,
+			Key: e.Key, TraceID: e.Trace, At: e.At,
+		})
+	}
+	for _, c := range commits {
+		out = append(out, AuditEntry{
+			Seq: c.Seq, Kind: c.Kind.String(), Key: c.Key,
+			TraceID: c.Trace, SHA: hex.EncodeToString(c.SHA[:]), At: c.At,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
 // Release runs mechanism m on data under budget eps against the session
 // ledger. The ledger is debited before the build; over-budget requests are
 // rejected with a *BudgetError and the mechanism never runs. The boolean
@@ -264,6 +340,12 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 	fp := releaseFingerprint(m.spec.name, eps, m.params)
 	key := fmt.Sprintf("data=%d %s", data.id, fp)
 	note := "release " + fp
+	// The request trace (if any) rides ctx from the HTTP handler; every
+	// obs call below is a no-op without one, so direct library use pays
+	// nothing. The trace ID is recorded on each ledger debit and persisted
+	// in each WAL record, which is what makes the audit trail explain
+	// every unit of spent ε end to end.
+	tr := obs.FromContext(ctx)
 	var done chan struct{}
 	for {
 		// A request that is already dead must not debit the ledger: the
@@ -299,10 +381,12 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 		}
 		// Claim the key: debit inside the lock so the exhaustion check and
 		// the claim are one atomic step.
-		if err := s.ledger.Spend(eps, note); err != nil {
+		debitSpan := tr.Begin("debit")
+		if err := s.ledger.SpendTraced(eps, note, tr.ID()); err != nil {
 			s.mu.Unlock()
 			return nil, false, err
 		}
+		debitSpan.End()
 		done = make(chan struct{})
 		s.pending[key] = done
 		s.mu.Unlock()
@@ -316,11 +400,14 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 		// the build itself — so concurrent cache hits and unrelated
 		// releases never stall behind a disk sync; the pending claim above
 		// already guarantees only one debit per fingerprint.
-		if err := s.store.AppendDebit(eps, fp); err != nil {
+		walSpan := tr.Begin("wal_debit")
+		err := s.store.AppendDebitTraced(eps, fp, tr.ID())
+		walSpan.End()
+		if err != nil {
 			// Nothing ran and the record did not land (or its durability is
 			// unknown, in which case recovery can only over-count): the
 			// in-memory refund is sound and the request fails.
-			s.ledger.Refund(eps, note)
+			s.ledger.RefundTraced(eps, note, tr.ID())
 			s.mu.Lock()
 			delete(s.pending, key)
 			s.mu.Unlock()
@@ -329,7 +416,9 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 		}
 	}
 
+	buildSpan := tr.Begin("build")
 	rel, err, cancelled := s.runBuild(ctx, m, data, eps, fp)
+	buildSpan.End()
 	if cancelled {
 		// Cancelled mid-build: the debit has landed (durably, with a
 		// store), so it must be refunded — durably BEFORE the error
@@ -338,13 +427,13 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 		// is released, so the refund is sound.
 		refunded := true
 		if s.store != nil {
-			if rerr := s.store.AppendRefund(eps, fp); rerr != nil {
+			if rerr := s.store.AppendRefundTraced(eps, fp, tr.ID()); rerr != nil {
 				refunded = false
 				err = fmt.Errorf("%w (and the refund could not be persisted, budget remains spent: %v)", err, rerr)
 			}
 		}
 		if refunded {
-			s.ledger.Refund(eps, note)
+			s.ledger.RefundTraced(eps, note, tr.ID())
 		}
 		s.mu.Lock()
 		delete(s.pending, key)
@@ -361,17 +450,23 @@ func (s *Session) ReleaseContext(ctx context.Context, m *Mechanism, data *Data, 
 		// over-counting is the safe direction.
 		refund := true
 		if s.store != nil {
-			if rerr := s.store.AppendRefund(eps, fp); rerr != nil {
+			if rerr := s.store.AppendRefundTraced(eps, fp, tr.ID()); rerr != nil {
 				refund = false
 				err = fmt.Errorf("%w (and the refund could not be persisted, budget remains spent: %v)", err, rerr)
 			}
 		}
 		if refund {
-			s.ledger.Refund(eps, note)
+			s.ledger.RefundTraced(eps, note, tr.ID())
 		}
 	} else if s.store != nil {
-		if blob, eerr := rel.Envelope(); eerr == nil {
-			if cerr := s.store.CommitRelease(fp, blob); cerr != nil {
+		envSpan := tr.Begin("envelope")
+		blob, eerr := rel.Envelope()
+		envSpan.End()
+		if eerr == nil {
+			commitSpan := tr.Begin("wal_commit")
+			cerr := s.store.CommitReleaseTraced(fp, blob, tr.ID())
+			commitSpan.End()
+			if cerr != nil {
 				// The debit is durable and the release was built; failing to
 				// persist the envelope only means a future restart rebuilds
 				// (and re-debits) it. Surface the degraded durability but
