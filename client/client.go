@@ -38,22 +38,33 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"privtree/internal/obs"
 )
 
-// Client talks to one privtreed server. It is safe for concurrent use.
+// Client talks to a privtreed server — or, via NewCluster, to a
+// replicated deployment. It is safe for concurrent use.
 type Client struct {
 	base  string
 	httpc *http.Client
 	retry RetryPolicy
 	bkt   *retryBudget
+
+	// Cluster mode (NewCluster): endpoints is the node list, primary the
+	// sticky index writes go to (advanced on read_only / fenced /
+	// transport failures), readCursor the round-robin cursor reads
+	// rotate on. Empty endpoints means single-node mode using base.
+	endpoints  []string
+	primary    atomic.Int64
+	readCursor atomic.Uint64
 
 	// Self-instrumentation: lock-free obs atomics fed by the retry loop,
 	// snapshotted by Stats. A fleet operator reads these to see how much
@@ -120,6 +131,72 @@ func New(baseURL string, opts ...Option) *Client {
 	c.retry = c.retry.withDefaults()
 	c.bkt = newRetryBudget(c.retry.BudgetRatio)
 	return c
+}
+
+// NewCluster returns a client for a replicated deployment: endpoints
+// lists every node (primary and replicas, in any order).
+//
+// Reads (queries, artifact and dataset fetches, audit) round-robin
+// across all endpoints and fail over to the next node on transport
+// errors and node-level rejections (not_ready, and not_found caused by
+// replica lag). Writes (Register, CreateRelease) stick to one endpoint
+// and advance to the next when it proves to be the wrong one — a
+// structured read_only or fenced rejection, or a transport failure —
+// which is how the client follows a failover: after a replica is
+// promoted, the first write bounced by the dead or fenced old primary
+// rolls the sticky cursor until it lands on the new one. Every retry
+// still spends the same retry budget as single-node mode, so a fully
+// down cluster fails fast instead of spinning.
+func NewCluster(endpoints []string, opts ...Option) (*Client, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("client: NewCluster needs at least one endpoint")
+	}
+	trimmed := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		if e = strings.TrimRight(e, "/"); e == "" {
+			return nil, fmt.Errorf("client: empty endpoint at index %d", i)
+		}
+		trimmed[i] = e
+	}
+	c := New(trimmed[0], opts...)
+	c.endpoints = trimmed
+	return c, nil
+}
+
+// Endpoints returns the cluster endpoint list (nil in single-node mode).
+func (c *Client) Endpoints() []string {
+	out := make([]string, len(c.endpoints))
+	copy(out, c.endpoints)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// clustered reports whether retries can land on a different endpoint.
+func (c *Client) clustered() bool { return len(c.endpoints) > 1 }
+
+// pickBase resolves the endpoint for one attempt: the sticky primary
+// for writes, the next round-robin endpoint for reads.
+func (c *Client) pickBase(write bool) (base string, idx int64) {
+	if len(c.endpoints) == 0 {
+		return c.base, -1
+	}
+	if write {
+		idx = c.primary.Load() % int64(len(c.endpoints))
+		return c.endpoints[idx], idx
+	}
+	idx = int64(c.readCursor.Add(1) % uint64(len(c.endpoints)))
+	return c.endpoints[idx], idx
+}
+
+// advancePrimary rolls the sticky write endpoint past idx, exactly once
+// per observed failure (concurrent failures on the same endpoint
+// advance a single step, not one step each).
+func (c *Client) advancePrimary(idx int64) {
+	if idx >= 0 && len(c.endpoints) > 1 {
+		c.primary.CompareAndSwap(idx, (idx+1)%int64(len(c.endpoints)))
+	}
 }
 
 // Rect is the wire form of an axis-aligned domain box.
@@ -239,7 +316,7 @@ type QueryResult struct {
 // Dataset to discover whether the registration landed before retrying.
 func (c *Client) Register(ctx context.Context, req RegisterRequest) (*RegisterResult, error) {
 	var out RegisterResult
-	if err := c.do(ctx, http.MethodPost, "/v1/datasets", req, &out, retryIfUnadmitted); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets", req, &out, retryIfUnadmitted, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -250,7 +327,7 @@ func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 	var out struct {
 		Datasets []DatasetInfo `json:"datasets"`
 	}
-	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out, retryAlways, false); err != nil {
 		return nil, err
 	}
 	return out.Datasets, nil
@@ -259,7 +336,7 @@ func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 // Dataset fetches one dataset with its releases.
 func (c *Client) Dataset(ctx context.Context, name string) (*DatasetInfo, error) {
 	var out DatasetInfo
-	if err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil, &out, retryAlways, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -273,7 +350,7 @@ func (c *Client) Dataset(ctx context.Context, name string) (*DatasetInfo, error)
 func (c *Client) CreateRelease(ctx context.Context, dataset string, p ReleaseParams) (*ReleaseResult, error) {
 	var out ReleaseResult
 	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases"
-	if err := c.do(ctx, http.MethodPost, path, p, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, p, &out, retryAlways, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -284,7 +361,7 @@ func (c *Client) CreateRelease(ctx context.Context, dataset string, p ReleasePar
 func (c *Client) Release(ctx context.Context, dataset, id string) (*Artifact, error) {
 	var out Artifact
 	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases/" + url.PathEscape(id)
-	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -296,7 +373,7 @@ func (c *Client) Release(ctx context.Context, dataset, id string) (*Artifact, er
 func (c *Client) Query(ctx context.Context, dataset, id string, q QueryRequest) (*QueryResult, error) {
 	var out QueryResult
 	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases/" + url.PathEscape(id) + "/query"
-	if err := c.do(ctx, http.MethodPost, path, q, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, q, &out, retryAlways, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -304,7 +381,7 @@ func (c *Client) Query(ctx context.Context, dataset, id string, q QueryRequest) 
 
 // Health probes liveness.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, retryAlways)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, retryAlways, false)
 }
 
 // Metrics fetches the operational counters document (the JSON view at
@@ -312,7 +389,7 @@ func (c *Client) Health(ctx context.Context) error {
 // scrapers).
 func (c *Client) Metrics(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(ctx, http.MethodGet, "/metricsz", nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metricsz", nil, &out, retryAlways, false); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -348,15 +425,58 @@ type AuditTrail struct {
 func (c *Client) Audit(ctx context.Context, dataset string) (*AuditTrail, error) {
 	var out AuditTrail
 	path := "/v1/datasets/" + url.PathEscape(dataset) + "/audit"
-	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryAlways, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes readiness (GET /readyz): whether the node should receive
+// traffic, as opposed to Health's "is the process up". A replica is not
+// ready until it has fully caught up with its primary once; a draining
+// server is not ready. In cluster mode the probe targets the current
+// write endpoint. Returns nil when ready; a not-ready node returns an
+// *APIError with code "not_ready".
+func (c *Client) Ready(ctx context.Context) error {
+	base, _ := c.pickBase(true)
+	c.requests.Inc()
+	c.attempts.Inc()
+	return c.once(ctx, base, http.MethodGet, "/readyz", nil, nil)
+}
+
+// PromoteResult acknowledges a promotion: the new writer epoch granted
+// to each dataset's store.
+type PromoteResult struct {
+	Promoted     bool              `json:"promoted"`
+	WriterEpochs map[string]uint64 `json:"writer_epochs"`
+	WasReplicaOf string            `json:"was_replica_of"`
+}
+
+// Promote asks the node this client was built for to promote itself
+// from replica to primary (POST /v1/admin/promote): it stops pulling
+// from the old primary, durably bumps every dataset's writer epoch, and
+// starts accepting writes. Promotion is an explicit operator action
+// against one specific node, so it requires a single-node client (New,
+// not NewCluster) and is never retried — a conflict means the node is
+// already primary.
+func (c *Client) Promote(ctx context.Context) (*PromoteResult, error) {
+	if len(c.endpoints) > 0 {
+		return nil, fmt.Errorf("client: Promote targets one specific node; use New(endpoint), not NewCluster")
+	}
+	c.requests.Inc()
+	c.attempts.Inc()
+	var out PromoteResult
+	if err := c.once(ctx, c.base, http.MethodPost, "/v1/admin/promote", []byte("{}"), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // do runs one logical call: marshal once, attempt with retries per the
-// policy and the call's idempotency class, decode into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out any, class retryClass) error {
+// policy and the call's idempotency class, decode into out. write
+// selects the routing plane in cluster mode (sticky primary vs
+// round-robin reads).
+func (c *Client) do(ctx context.Context, method, path string, in, out any, class retryClass, write bool) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -372,15 +492,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 		if attempt > 1 {
 			c.retries.Inc()
 		}
-		err := c.once(ctx, method, path, body, out)
+		base, idx := c.pickBase(write)
+		err := c.once(ctx, base, method, path, body, out)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
+		if write && c.clustered() && misroutedWrite(err) {
+			// The sticky endpoint cannot take writes (replica, fenced, or
+			// unreachable): advance so the retry — and every later write —
+			// tries the next node.
+			c.advancePrimary(idx)
+		}
 		if ctx.Err() != nil {
 			return lastErr
 		}
-		if attempt >= c.retry.MaxAttempts || !retryable(err, class) {
+		if attempt >= c.retry.MaxAttempts || !retryable(err, class, c.clustered()) {
 			return lastErr
 		}
 		if !c.bkt.withdraw() {
@@ -402,9 +529,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 	}
 }
 
-// once performs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+// misroutedWrite reports a failure proving the write went to a node
+// that cannot serve writes at all, as opposed to one that merely failed
+// this request.
+func misroutedWrite(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Code == CodeReadOnly || apiErr.Code == CodeFenced || apiErr.Code == CodeNotReady
+	}
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+// once performs a single HTTP attempt against base.
+func (c *Client) once(ctx context.Context, base, method, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("client: building %s %s: %w", method, path, err)
 	}

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"privtree/internal/server"
+)
+
+// clusterPair starts a persistent primary and a replica syncing from it,
+// both registered with the cleanup stack, and returns them with their
+// test servers.
+func clusterPair(t *testing.T) (primary, replica *server.Server, tsP, tsR *httptest.Server) {
+	t.Helper()
+	var err error
+	primary, err = server.New(server.Options{DataDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsP = httptest.NewServer(primary)
+	t.Cleanup(tsP.Close)
+	t.Cleanup(func() { primary.Close() })
+	replica, err = server.New(server.Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: tsP.URL, ReplicaPoll: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsR = httptest.NewServer(replica)
+	t.Cleanup(tsR.Close)
+	t.Cleanup(func() { replica.Close() })
+	return primary, replica, tsP, tsR
+}
+
+// TestClusterRoutingAndFailover drives the cluster client against a real
+// primary/replica pair: writes land on the primary regardless of
+// endpoint order, reads round-robin over both nodes, and after the
+// primary dies and the replica is promoted, the same client's writes
+// follow the failover with no configuration change.
+func TestClusterRoutingAndFailover(t *testing.T) {
+	primary, _, tsP, tsR := clusterPair(t)
+	ctx := context.Background()
+
+	// Replica FIRST in the endpoint list: the initial write must bounce
+	// off its read_only rejection and advance to the primary.
+	cc, err := NewCluster([]string{tsR.URL, tsP.URL}, WithRetryPolicy(fastRetry(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCluster(nil); err == nil {
+		t.Fatal("NewCluster accepted an empty endpoint list")
+	}
+
+	reg, err := cc.Register(ctx, RegisterRequest{Name: "ha", Epsilon: 2.0, Points: clusterPoints(400)})
+	if err != nil {
+		t.Fatalf("register through cluster client: %v", err)
+	}
+	if reg.N != 400 {
+		t.Fatalf("register ack n=%d", reg.N)
+	}
+	rel, err := cc.CreateRelease(ctx, "ha", ReleaseParams{Epsilon: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the replica to be ready, then verify reads succeed many
+	// times in a row — round-robin means both nodes serve them.
+	replicaClient := New(tsR.URL, WithRetryPolicy(fastRetry(3)))
+	deadline := time.Now().Add(15 * time.Second)
+	for replicaClient.Ready(ctx) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cc.Query(ctx, "ha", rel.ID, QueryRequest{Queries: [][]float64{{0.1, 0.1, 0.9, 0.9}}}); err != nil {
+			t.Fatalf("cluster read %d: %v", i, err)
+		}
+	}
+
+	// Kill the primary and promote the replica. The next write through
+	// the SAME cluster client must fail over: the dead endpoint yields a
+	// transport error, the cursor advances, and the promoted node serves
+	// the write.
+	tsP.CloseClientConnections()
+	tsP.Close()
+	if _, err := replicaClient.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	rel2, err := cc.CreateRelease(ctx, "ha", ReleaseParams{Epsilon: 0.25, Seed: 43})
+	if err != nil {
+		t.Fatalf("post-failover write: %v", err)
+	}
+	if rel2.EpsilonSpent != 0.75 {
+		t.Fatalf("post-failover spent = %v, want 0.75 (history continued)", rel2.EpsilonSpent)
+	}
+	// Reads keep working (degraded: one node down, round-robin retries
+	// onto the live one).
+	if _, err := cc.Query(ctx, "ha", rel2.ID, QueryRequest{Queries: [][]float64{{0.2, 0.2, 0.8, 0.8}}}); err != nil {
+		t.Fatalf("post-failover read: %v", err)
+	}
+
+	// Promote on a cluster client is refused — it targets one node.
+	if _, err := cc.Promote(ctx); err == nil {
+		t.Fatal("cluster client Promote succeeded")
+	}
+	_ = primary
+}
+
+// TestReadyDistinguishesCatchUp proves Ready reports not_ready (with the
+// structured code) for a replica that cannot reach its primary, while
+// Health stays fine.
+func TestReadyDistinguishesCatchUp(t *testing.T) {
+	s, err := server.New(server.Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: "http://127.0.0.1:1", ReplicaPoll: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	ctx := context.Background()
+	err = c.Ready(ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeNotReady || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("Ready = %v, want 503 not_ready", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health on a catching-up replica: %v", err)
+	}
+}

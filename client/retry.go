@@ -21,6 +21,19 @@ const (
 	CodeBudgetExhausted  = "budget_exhausted"
 	CodeConflict         = "conflict"
 	CodeInternal         = "internal"
+	CodeNotFound         = "not_found"
+
+	// Replication-plane codes. read_only means the node is a replica and
+	// the write belongs on the primary; fenced means the node was
+	// superseded by a higher-epoch writer; not_ready means the node is up
+	// but should not take traffic yet (replica catch-up, drain);
+	// store_unavailable means a durable write failed on the serving node
+	// (the attempted debit is over-counted, never leaked, so retrying is
+	// privacy-safe — though it may spend fresh ε).
+	CodeReadOnly         = "read_only"
+	CodeFenced           = "fenced"
+	CodeNotReady         = "not_ready"
+	CodeStoreUnavailable = "store_unavailable"
 )
 
 // RetryPolicy tunes the client's retry loop: capped exponential backoff
@@ -181,8 +194,11 @@ func decodeAPIError(resp *http.Response, method, path string) error {
 }
 
 // retryable decides whether err justifies another attempt for a call of
-// the given class.
-func retryable(err error, class retryClass) bool {
+// the given class. clustered reports whether a retry can land on a
+// DIFFERENT endpoint — which makes rejections that are about the node,
+// not the request (read_only, fenced, not_ready, a lagging replica's
+// not_found), worth another attempt.
+func retryable(err error, class retryClass, clustered bool) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
 		switch apiErr.Code {
@@ -190,13 +206,28 @@ func retryable(err error, class retryClass) bool {
 			// The server rejected at admission, before any work: safe for
 			// every call class, including Register.
 			return true
-		case CodeDeadlineExceeded, CodeInternal:
+		case CodeReadOnly, CodeFenced:
+			// Structured proof the node did no work — but a retry only
+			// helps when the route can advance to another node.
+			return clustered
+		case CodeNotReady:
+			// The node refused traffic outright; another node (or the same
+			// one, later) may be ready.
+			return true
+		case CodeDeadlineExceeded, CodeInternal, CodeStoreUnavailable:
 			// Work started and died; safe only for calls with an
-			// idempotency story (refund-on-failure + fingerprint dedup).
+			// idempotency story (refund-on-failure + fingerprint dedup;
+			// for store_unavailable the failed debit is over-counted,
+			// never leaked).
 			return class == retryAlways
+		case CodeNotFound:
+			// On a cluster read this can be replica lag: the release
+			// exists on the primary but has not shipped yet. Another
+			// endpoint may have it.
+			return clustered && class == retryAlways
 		default:
-			// Client errors (bad_request, conflict, not_found, too_large)
-			// and budget_exhausted: retrying cannot help.
+			// Client errors (bad_request, conflict, too_large) and
+			// budget_exhausted: retrying cannot help.
 			return false
 		}
 	}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"privtree/client"
+	"privtree/internal/server"
+)
+
+// This file implements the multi-process cluster benchmark: a primary
+// and a log-shipping replica run as real child processes (each with its
+// own data directory, WAL, and HTTP listener), and a cluster client
+// round-robins read batches across them. Two rows land in BENCH.json:
+//
+//	ClusterBatchOneNode  — all readers pinned to the primary
+//	ClusterBatch         — readers round-robin primary + replica
+//
+// Comparing the two queries/sec figures shows what a second serving
+// process buys for the read plane, and the answer is machine-honest
+// because every node runs with Workers=1 and its default admission
+// limits: four concurrent readers overrun one node's batch-admission
+// plane (sheds and retry round-trips dominate), while two nodes absorb
+// the same offered load — so the cluster row scales even on a
+// single-CPU host, where the win is admission capacity rather than
+// compute. On a multi-core host the extra process adds both. Neither
+// row is regression-gated: wall-clock here depends on scheduling and
+// retry timing, not on any code path the gate should pin.
+
+// Child-mode environment: when PRIVTREE_BENCH_SERVE_NODE=1, the binary
+// becomes one serving node instead of the benchmark driver.
+const (
+	serveNodeEnv      = "PRIVTREE_BENCH_SERVE_NODE"
+	serveNodeDirEnv   = "PRIVTREE_BENCH_DATA_DIR"
+	serveNodeUpstream = "PRIVTREE_BENCH_REPLICA_OF"
+)
+
+const (
+	clusterReaders   = 4
+	clusterBatchSize = 2_000
+	clusterPoints    = 50_000
+)
+
+// serveNode runs the binary as one cluster node: a privtreed-equivalent
+// server on a kernel-assigned port, printing "ADDR http://..." so the
+// parent can find it. It serves until the parent kills the process.
+func serveNode() {
+	opts := server.Options{
+		DataDir: os.Getenv(serveNodeDirEnv),
+		Workers: 1,
+	}
+	if up := os.Getenv(serveNodeUpstream); up != "" {
+		opts.ReplicaOf = up
+		opts.ReplicaPoll = 25 * time.Millisecond
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privtree-bench serve-node: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privtree-bench serve-node: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "privtree-bench serve-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// startNode launches one serve-node child and returns its base URL.
+func startNode(dir, replicaOf string) (*exec.Cmd, string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		serveNodeEnv+"=1",
+		serveNodeDirEnv+"="+dir,
+		serveNodeUpstream+"="+replicaOf,
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrCh <- rest
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			_ = cmd.Process.Kill()
+			return nil, "", fmt.Errorf("serve-node child exited before printing its address")
+		}
+		return cmd, addr, nil
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("serve-node child did not print its address within 30s")
+	}
+}
+
+// clusterCases builds the two read-scaling benchmark rows. It spawns the
+// primary, registers and releases one spatial dataset over HTTP, spawns
+// a replica, waits for it to report ready (fully caught up), and returns
+// cases that answer clusterReaders concurrent query batches per op.
+func clusterCases() (cases []struct {
+	name string
+	fn   func(b *testing.B)
+}, closeFn func(), err error) {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "privtree-bench-cluster-")
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	cleanup := func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_, _ = p.Process.Wait()
+		}
+		os.RemoveAll(dir)
+	}
+	fail := func(err error) ([]struct {
+		name string
+		fn   func(b *testing.B)
+	}, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+
+	primary, primaryURL, err := startNode(dir+"/primary", "")
+	if err != nil {
+		return fail(err)
+	}
+	procs = append(procs, primary)
+
+	cc := client.New(primaryURL)
+	if _, err := cc.Register(ctx, client.RegisterRequest{
+		Name: "cluster", Epsilon: 8.0,
+		Synthetic: &client.Synthetic{Generator: "road", N: clusterPoints, Seed: 1},
+	}); err != nil {
+		return fail(fmt.Errorf("registering cluster dataset: %w", err))
+	}
+	rel, err := cc.CreateRelease(ctx, "cluster", client.ReleaseParams{Epsilon: 1.0, Seed: 1})
+	if err != nil {
+		return fail(fmt.Errorf("releasing cluster dataset: %w", err))
+	}
+
+	replica, replicaURL, err := startNode(dir+"/replica", primaryURL)
+	if err != nil {
+		return fail(err)
+	}
+	procs = append(procs, replica)
+	rc := client.New(replicaURL)
+	deadline := time.Now().Add(30 * time.Second)
+	for rc.Ready(ctx) != nil {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("replica did not catch up within 30s"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewPCG(900, 1000))
+	req := client.QueryRequest{Queries: make([][]float64, clusterBatchSize)}
+	for i := range req.Queries {
+		lox, loy := rng.Float64()*0.8, rng.Float64()*0.8
+		w, h := 0.02+rng.Float64()*0.18, 0.02+rng.Float64()*0.18
+		req.Queries[i] = []float64{lox, loy, lox + w, loy + h}
+	}
+
+	mkCase := func(name string, endpoints []string) (c struct {
+		name string
+		fn   func(b *testing.B)
+	}) {
+		c.name = name
+		c.fn = func(b *testing.B) {
+			cl, err := client.NewCluster(endpoints)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for r := 0; r < clusterReaders; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						res, err := cl.Query(ctx, "cluster", rel.ID, req)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if res.Queries != clusterBatchSize {
+							b.Errorf("cluster batch answered %d queries, want %d", res.Queries, clusterBatchSize)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		}
+		return c
+	}
+	cases = append(cases,
+		mkCase("ClusterBatchOneNode", []string{primaryURL}),
+		mkCase("ClusterBatch", []string{primaryURL, replicaURL}),
+	)
+	return cases, cleanup, nil
+}

@@ -24,6 +24,15 @@ import (
 )
 
 func main() {
+	// Child mode for the multi-process cluster benchmark: the -micro
+	// driver re-execs this binary as serving nodes (a primary and a
+	// log-shipping replica) so the ClusterBatch rows measure real
+	// process-per-node read scaling, not goroutines sharing one heap.
+	if os.Getenv(serveNodeEnv) == "1" {
+		serveNode()
+		return
+	}
+
 	var (
 		exp      = flag.String("exp", "", "experiment id (see -list)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")

@@ -430,7 +430,7 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 		}},
 	)
 
-	serverCase, serverBatch, closeServer, err := serverThroughputCase(pts100k)
+	serverCase, _, closeServer, err := serverThroughputCase(pts100k)
 	if err != nil {
 		return err
 	}
@@ -443,6 +443,22 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 	}
 	defer closeLoad()
 	cases = append(cases, loadCase)
+
+	ccCases, closeCluster, err := clusterCases()
+	if err != nil {
+		return err
+	}
+	defer closeCluster()
+	cases = append(cases, ccCases...)
+
+	// batchedQueries maps throughput rows to the number of end-to-end
+	// queries answered per op, so each gets a queries/sec figure.
+	batchedQueries := map[string]float64{
+		serverCase.name:       serverBatchSize,
+		loadCase.name:         loadClients * loadBatchSize,
+		"ClusterBatchOneNode": clusterReaders * clusterBatchSize,
+		"ClusterBatch":        clusterReaders * clusterBatchSize,
+	}
 
 	report := microReport{
 		GoVersion: runtime.Version(),
@@ -459,11 +475,8 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
-		if c.name == serverCase.name {
-			row.QueriesPerSec = float64(serverBatch) / (row.NsPerOp / 1e9)
-		}
-		if c.name == loadCase.name {
-			row.QueriesPerSec = float64(loadClients*loadBatchSize) / (row.NsPerOp / 1e9)
+		if q := batchedQueries[c.name]; q > 0 {
+			row.QueriesPerSec = q / (row.NsPerOp / 1e9)
 		}
 		report.Benchmarks = append(report.Benchmarks, row)
 		fmt.Printf("%-24s %12.0f ns/op %12d B/op %10d allocs/op",

@@ -11,11 +11,22 @@
 //	cat rects.txt | privtree -demo -eps 0.5 -queries -    # batch from stdin
 //	privtree inspect release.json                         # provenance, no payload decode
 //	privtree inspect data/datasets/demo/store/artifacts/*.json
+//	privtree verify /var/lib/privtreed                    # offline integrity scrub
+//	privtree verify data/datasets/demo/store              # one store directory
 //
 // inspect prints each file's kind, mechanism, ε, seed, and params
 // fingerprint from the envelope metadata alone — it works on -out files
 // and on privtreed store artifacts alike, and succeeds even when the
 // payload would be expensive (or too damaged) to decode.
+//
+// verify scrubs a privtreed data directory (or a single dataset store)
+// offline and read-only: WAL frame CRCs and sequence order, snapshot
+// integrity, every artifact's bytes against its content-address filename,
+// and every committed release against an existing artifact. Every finding
+// is printed with its severity; the exit status is non-zero when any
+// error-severity finding (real corruption, not benign crash leftovers)
+// is present. Run it against a copy or a stopped server — it takes the
+// store's exclusive lock, so it refuses to race a live one.
 //
 // The CSV has one point per line, d comma-separated coordinates, all in
 // [0,1) (use -domain to override). A -queries file has one query rectangle
@@ -38,17 +49,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"privtree"
 	"privtree/internal/dp"
+	"privtree/internal/store"
 	"privtree/internal/synth"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "inspect" {
 		if err := runInspect(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		if err := runVerify(os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return
@@ -203,6 +222,78 @@ func runInspect(paths []string) error {
 		return fmt.Errorf("%d of %d file(s) failed to inspect", failed, len(paths))
 	}
 	return nil
+}
+
+// runVerify implements the verify subcommand: an offline, read-only
+// integrity scrub of either one dataset store directory or a whole
+// privtreed data dir (every datasets/*/store under it).
+func runVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: privtree verify <data-dir | store-dir>")
+	}
+	dirs, err := storeDirsUnder(args[0])
+	if err != nil {
+		return err
+	}
+	scrubErrors := 0
+	for _, dir := range dirs {
+		report, err := store.Scrub(dir)
+		if err != nil {
+			// The scrub could not even run (dir vanished, lock held by a
+			// live server): report and keep sweeping the rest.
+			fmt.Fprintf(os.Stderr, "privtree: %s: %v\n", dir, err)
+			scrubErrors++
+			continue
+		}
+		printReport(report)
+		if !report.OK() {
+			scrubErrors++
+		}
+	}
+	if scrubErrors > 0 {
+		return fmt.Errorf("%d of %d store(s) failed verification", scrubErrors, len(dirs))
+	}
+	fmt.Printf("OK: %d store(s) verified\n", len(dirs))
+	return nil
+}
+
+// storeDirsUnder resolves the verify target: a directory holding a
+// ledger.wal is itself a store; otherwise it must be a privtreed data dir
+// whose datasets/<name>/store children are the stores.
+func storeDirsUnder(root string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(root, "ledger.wal")); err == nil {
+		return []string{root}, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "datasets"))
+	if err != nil {
+		return nil, fmt.Errorf("%s is neither a store directory (no ledger.wal) nor a privtreed data dir (no datasets/): %v", root, err)
+	}
+	var dirs []string
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, "datasets", ent.Name(), "store")
+		if _, err := os.Stat(dir); err == nil {
+			dirs = append(dirs, dir)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("%s: no dataset stores found under datasets/", root)
+	}
+	return dirs, nil
+}
+
+func printReport(r *store.ScrubReport) {
+	status := "ok"
+	if !r.OK() {
+		status = "CORRUPT"
+	}
+	fmt.Printf("%s: %s (%d WAL records, %d commits, %d artifacts verified)\n",
+		r.Dir, status, r.WALRecords, r.Commits, r.Artifacts)
+	for _, f := range r.Findings {
+		fmt.Printf("  [%s] %s: %s\n", f.Severity, f.Path, f.Detail)
+	}
 }
 
 // answerBatch streams query rectangles from path ('-' = stdin) and prints

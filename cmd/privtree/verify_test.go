@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"privtree/internal/store"
+)
+
+// seedStore creates a closed store at dir with one debit and one
+// committed release, so the scrub has every record kind to verify.
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDebit(0.5, "rel-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitRelease("rel-1", []byte(`{"privtree_release":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	if err := runVerify([]string{dir}); err != nil {
+		t.Fatalf("verify of a clean store: %v", err)
+	}
+}
+
+func TestVerifyDataDirLayout(t *testing.T) {
+	root := t.TempDir()
+	seedStore(t, filepath.Join(root, "datasets", "a", "store"))
+	seedStore(t, filepath.Join(root, "datasets", "b", "store"))
+	if err := runVerify([]string{root}); err != nil {
+		t.Fatalf("verify of a data dir: %v", err)
+	}
+}
+
+// TestVerifyDetectsHostileEdits proves every class of tamper the scrub
+// guards against turns into a non-zero verify result: flipped WAL bytes,
+// artifact bytes that no longer match their content address, and a
+// commit whose artifact was deleted.
+func TestVerifyDetectsHostileEdits(t *testing.T) {
+	t.Run("wal-bitflip", func(t *testing.T) {
+		dir := t.TempDir()
+		seedStore(t, dir)
+		wal := filepath.Join(dir, "ledger.wal")
+		blob, err := os.ReadFile(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob[len(blob)/2] ^= 0xff
+		if err := os.WriteFile(wal, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runVerify([]string{dir}); err == nil {
+			t.Fatal("verify accepted a WAL with a flipped byte")
+		}
+	})
+
+	t.Run("artifact-tamper", func(t *testing.T) {
+		dir := t.TempDir()
+		seedStore(t, dir)
+		arts, err := filepath.Glob(filepath.Join(dir, "artifacts", "*.json"))
+		if err != nil || len(arts) != 1 {
+			t.Fatalf("artifacts = %v, %v", arts, err)
+		}
+		if err := os.WriteFile(arts[0], []byte(`{"privtree_release":1,"edited":true}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := runVerify([]string{dir}); err == nil {
+			t.Fatal("verify accepted an artifact that does not hash to its name")
+		}
+	})
+
+	t.Run("missing-artifact", func(t *testing.T) {
+		dir := t.TempDir()
+		seedStore(t, dir)
+		arts, _ := filepath.Glob(filepath.Join(dir, "artifacts", "*.json"))
+		for _, a := range arts {
+			if err := os.Remove(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := runVerify([]string{dir}); err == nil {
+			t.Fatal("verify accepted a commit pointing at a deleted artifact")
+		}
+	})
+
+	t.Run("not-a-store", func(t *testing.T) {
+		if err := runVerify([]string{t.TempDir()}); err == nil {
+			t.Fatal("verify accepted an empty directory")
+		}
+	})
+
+	t.Run("usage", func(t *testing.T) {
+		if err := runVerify(nil); err == nil {
+			t.Fatal("verify accepted no arguments")
+		}
+	})
+}

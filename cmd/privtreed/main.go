@@ -10,6 +10,7 @@
 //	privtreed -addr :8181 -workers 8 -max-batch 1048576
 //	privtreed -addr :8181 -max-builds 4 -build-timeout 10s  # overload knobs
 //	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
+//	privtreed -addr :8182 -data-dir /var/lib/privtreed-r1 -replica-of http://primary:8181  # read replica
 //	privtreed -addr :8181 -slow-request 250ms -log-format json  # observability knobs
 //
 // With -data-dir, every dataset's privacy ledger is write-ahead logged
@@ -50,20 +51,23 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8181", "listen address")
-		workers      = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
-		maxBatch     = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
-		maxBody      = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
-		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		buildTimeout = flag.Duration("build-timeout", 30*time.Second, "per-request deadline for release builds; past it the build is abandoned, its debit refunded durably, and the client gets 503 deadline_exceeded (0 = none)")
-		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request deadline for batched queries (0 = none)")
-		maxBuilds    = flag.Int("max-builds", 0, "release builds admitted concurrently; excess queues briefly, then sheds as 429 overloaded (0 = GOMAXPROCS)")
-		maxBatches   = flag.Int("max-batches", 0, "query batches admitted concurrently, same shed behavior (0 = GOMAXPROCS)")
-		admitQueue   = flag.Int("admission-queue", 0, "bounded wait queue per admission plane (0 = 2x the plane's limit)")
-		dataDir   = flag.String("data-dir", "", "directory for crash-safe persistence: privacy ledgers are write-ahead logged (fsync-on-debit) and release envelopes stored content-addressed; on restart every dataset resumes with its spent ε, audit trail, and cached releases intact (empty = in-memory only, budgets reset on restart)")
-		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
-		slowReq   = flag.Duration("slow-request", 0, "log any request slower than this, with its route, status, trace ID, and span breakdown (0 = disabled)")
-		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		addr           = flag.String("addr", ":8181", "listen address")
+		workers        = flag.Int("workers", 0, "goroutines per build and per query batch (0 = GOMAXPROCS)")
+		maxBatch       = flag.Int("max-batch", 0, "maximum queries per batch request (0 = 2^20)")
+		maxBody        = flag.Int64("max-body", 0, "maximum request body bytes (0 = 256 MiB)")
+		drain          = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		buildTimeout   = flag.Duration("build-timeout", 30*time.Second, "per-request deadline for release builds; past it the build is abandoned, its debit refunded durably, and the client gets 503 deadline_exceeded (0 = none)")
+		queryTimeout   = flag.Duration("query-timeout", 30*time.Second, "per-request deadline for batched queries (0 = none)")
+		maxBuilds      = flag.Int("max-builds", 0, "release builds admitted concurrently; excess queues briefly, then sheds as 429 overloaded (0 = GOMAXPROCS)")
+		maxBatches     = flag.Int("max-batches", 0, "query batches admitted concurrently, same shed behavior (0 = GOMAXPROCS)")
+		admitQueue     = flag.Int("admission-queue", 0, "bounded wait queue per admission plane (0 = 2x the plane's limit)")
+		dataDir        = flag.String("data-dir", "", "directory for crash-safe persistence: privacy ledgers are write-ahead logged (fsync-on-debit) and release envelopes stored content-addressed; on restart every dataset resumes with its spent ε, audit trail, and cached releases intact (empty = in-memory only, budgets reset on restart)")
+		replicaOf      = flag.String("replica-of", "", "start as a read replica of the primary at this base URL (e.g. http://10.0.0.1:8181): pull its WAL and artifacts continuously, serve reads from the replicated state, reject writes as read_only until promoted via POST /v1/admin/promote; requires -data-dir")
+		replicaPoll    = flag.Duration("replica-poll", 0, "interval between replication sync passes (0 = 250ms)")
+		replicaTimeout = flag.Duration("replica-timeout", 0, "per-request deadline for replication pulls, so a partitioned primary cannot wedge the sync loop (0 = 30s)")
+		pprofAddr      = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
+		slowReq        = flag.Duration("slow-request", 0, "log any request slower than this, with its route, status, trace ID, and span breakdown (0 = disabled)")
+		logFormat      = flag.String("log-format", "text", "structured log encoding: text or json")
 	)
 	flag.Parse()
 
@@ -101,6 +105,9 @@ func main() {
 		MaxBatch:             *maxBatch,
 		MaxBodyBytes:         *maxBody,
 		DataDir:              *dataDir,
+		ReplicaOf:            *replicaOf,
+		ReplicaPoll:          *replicaPoll,
+		ReplicaTimeout:       *replicaTimeout,
 		BuildTimeout:         *buildTimeout,
 		QueryTimeout:         *queryTimeout,
 		MaxConcurrentBuilds:  *maxBuilds,
@@ -116,6 +123,9 @@ func main() {
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "privtreed: recovered %d dataset(s) from %s\n",
 			handler.Registry().Len(), *dataDir)
+	}
+	if *replicaOf != "" {
+		fmt.Fprintf(os.Stderr, "privtreed: read replica of %s (writes rejected until promoted)\n", *replicaOf)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

@@ -143,6 +143,31 @@
 // blackholes and asserts the ledger balances exactly. See README.md
 // ("Operating under load & failure").
 //
+// # Replication and failover
+//
+// The store's WAL doubles as a replication log. A replica process
+// (privtreed -replica-of URL) pulls every dataset's WAL from its own
+// cursor and every release artifact by content address — frames
+// re-verified by CRC, artifacts by SHA-256 — and applies them through
+// the same replay path as crash recovery, so a replica is a
+// continuously refreshed restart-recovered copy of the primary. It
+// serves the full read plane (queries, artifacts, audit) from that
+// state with bit-identical envelopes and rejects writes with a
+// structured read_only error; when the primary dies it keeps serving
+// reads (stale-but-exact post-processing is always privacy-safe) until
+// an operator promotes it. Promotion bumps a durable writer epoch —
+// fsynced before the first write is accepted — and the epoch fences the
+// old primary if it comes back: its stores durably refuse further
+// appends rather than ever letting two live nodes debit the same
+// budget. Session.ApplyReplicated and the Store replication surface
+// (WALFrames, PutArtifact, Promote, Fence) expose the same machinery to
+// library users; client.NewCluster gives clients endpoint-list routing
+// with read round-robin and write failover. A replication chaos sweep
+// (fault-injected link, primary SIGKILLed mid-debit, replica promoted)
+// asserts the invariant end to end: spent ε on the promoted node equals
+// the acknowledged debits exactly. See README.md ("Replication &
+// failover").
+//
 // # Observability
 //
 // Instrumentation lives in internal/obs — atomic counters, gauges, and

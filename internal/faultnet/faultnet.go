@@ -2,8 +2,10 @@
 // testing: it sits between a client and a server and, per connection,
 // rolls one fault from a deterministic PRNG — added latency, a mid-stream
 // connection reset, a truncated response (clean FIN after a few bytes),
-// or a blackhole (accept, read, never reply). Everything else is proxied
-// byte-for-byte.
+// a blackhole (accept, read, never reply), a one-way partition (the
+// request reaches the server, the response is dropped), or a bandwidth
+// throttle (the response dribbles out at a capped rate). Everything else
+// is proxied byte-for-byte.
 //
 // Faults are rolled per *connection*, so a chaos client that disables
 // HTTP keep-alives gets an independent roll for every request. The seed
@@ -38,6 +40,16 @@ const (
 	// FaultBlackhole accepts and reads the request but never replies;
 	// the client hangs until its own deadline fires.
 	FaultBlackhole
+	// FaultPartitionOneWay forwards the request to the server but drops
+	// every response byte — a one-way partition. Unlike FaultBlackhole the
+	// server DOES the work (debits budget, builds the release) and only
+	// the acknowledgment is lost, the exact shape that tempts a client
+	// into double-spending retries.
+	FaultPartitionOneWay
+	// FaultThrottle proxies both directions faithfully but limits the
+	// response to ThrottleBytesPerSec — a congested or rate-limited link.
+	// Requests succeed, slowly; catch-up streams stretch out.
+	FaultThrottle
 )
 
 func (f Fault) String() string {
@@ -52,6 +64,10 @@ func (f Fault) String() string {
 		return "truncate"
 	case FaultBlackhole:
 		return "blackhole"
+	case FaultPartitionOneWay:
+		return "partition-one-way"
+	case FaultThrottle:
+		return "throttle"
 	}
 	return "unknown"
 }
@@ -69,6 +85,8 @@ type Options struct {
 	ResetProb     float64
 	TruncateProb  float64
 	BlackholeProb float64
+	PartitionProb float64
+	ThrottleProb  float64
 
 	// Latency is the injected delay for FaultLatency; 0 means 20ms.
 	Latency time.Duration
@@ -76,11 +94,14 @@ type Options struct {
 	// forward before cutting; 0 means 12 — enough for the status line to
 	// start, not enough to be useful.
 	CutAfter int64
+	// ThrottleBytesPerSec caps the response rate for FaultThrottle;
+	// 0 means 64 KiB/s.
+	ThrottleBytesPerSec int64
 }
 
 // Counts is a snapshot of injected faults by kind.
 type Counts struct {
-	Conns, None, Latency, Reset, Truncate, Blackhole int64
+	Conns, None, Latency, Reset, Truncate, Blackhole, Partition, Throttle int64
 }
 
 // Proxy is a running fault-injection proxy. Close it to release the
@@ -99,6 +120,7 @@ type Proxy struct {
 	wg     sync.WaitGroup
 
 	nConns, nNone, nLatency, nReset, nTruncate, nBlackhole atomic.Int64
+	nPartition, nThrottle                                  atomic.Int64
 }
 
 // New starts a proxy on a fresh loopback port forwarding to target
@@ -109,6 +131,9 @@ func New(target string, opts Options) (*Proxy, error) {
 	}
 	if opts.CutAfter == 0 {
 		opts.CutAfter = 12
+	}
+	if opts.ThrottleBytesPerSec == 0 {
+		opts.ThrottleBytesPerSec = 64 << 10
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -139,6 +164,8 @@ func (p *Proxy) Counts() Counts {
 		Reset:     p.nReset.Load(),
 		Truncate:  p.nTruncate.Load(),
 		Blackhole: p.nBlackhole.Load(),
+		Partition: p.nPartition.Load(),
+		Throttle:  p.nThrottle.Load(),
 	}
 }
 
@@ -193,6 +220,12 @@ func (p *Proxy) roll() Fault {
 	}
 	if cum += p.opts.BlackholeProb; u < cum {
 		return FaultBlackhole
+	}
+	if cum += p.opts.PartitionProb; u < cum {
+		return FaultPartitionOneWay
+	}
+	if cum += p.opts.ThrottleProb; u < cum {
+		return FaultThrottle
 	}
 	return FaultNone
 }
@@ -264,10 +297,38 @@ func (p *Proxy) serve(client net.Conn, fault Fault) {
 	case FaultTruncate:
 		p.nTruncate.Add(1)
 		_, _ = io.CopyN(client, server, p.opts.CutAfter)
+	case FaultPartitionOneWay:
+		p.nPartition.Add(1)
+		// The server's reply is read and dropped: the work happened, the
+		// acknowledgment is gone, the client waits out its deadline.
+		_, _ = io.Copy(io.Discard, server)
+	case FaultThrottle:
+		p.nThrottle.Add(1)
+		p.throttledCopy(client, server)
 	default:
 		if fault == FaultNone {
 			p.nNone.Add(1)
 		}
 		_, _ = io.Copy(client, server)
+	}
+}
+
+// throttledCopy relays src to dst in 50ms quanta capped at
+// ThrottleBytesPerSec, so a response of B bytes takes about
+// B/ThrottleBytesPerSec seconds to deliver.
+func (p *Proxy) throttledCopy(dst io.Writer, src io.Reader) {
+	quantum := p.opts.ThrottleBytesPerSec / 20
+	if quantum < 1 {
+		quantum = 1
+	}
+	for {
+		n, err := io.CopyN(dst, src, quantum)
+		if err != nil || n < quantum {
+			return
+		}
+		if p.closed.Load() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -120,11 +120,76 @@ func TestProxyLatency(t *testing.T) {
 	}
 }
 
+// TestProxyPartitionOneWay verifies the one-way partition delivers the
+// request (the server does the work) while the client never hears back —
+// the lost-acknowledgment shape, distinct from a blackhole where the
+// server never sees the request.
+func TestProxyPartitionOneWay(t *testing.T) {
+	served := make(chan struct{}, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		served <- struct{}{}
+		_, _ = w.Write([]byte("acknowledged"))
+	}))
+	t.Cleanup(ts.Close)
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 7, PartitionProb: 1})
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get("http://" + p.Addr())
+	if err == nil {
+		t.Fatal("partitioned request returned a response")
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("partitioned request failed after %v, want it to hang to the client deadline", elapsed)
+	}
+	select {
+	case <-served:
+		// The defining property: the server processed the request.
+	case <-time.After(2 * time.Second):
+		t.Fatal("one-way partition never delivered the request to the server")
+	}
+	if c := p.Counts(); c.Partition != 1 {
+		t.Fatalf("counts = %+v, want one partition", c)
+	}
+}
+
+// TestProxyThrottle verifies a throttled response arrives intact but no
+// faster than the configured rate.
+func TestProxyThrottle(t *testing.T) {
+	body := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	// 4 KiB body at 8 KiB/s in 50ms quanta: ~10 quanta, >= 400ms on the wire.
+	p := mustProxy(t, ts.Listener.Addr().String(), Options{Seed: 8, ThrottleProb: 1, ThrottleBytesPerSec: 8 << 10})
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 10 * time.Second}
+	start := time.Now()
+	resp, err := client.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if err != nil || string(got) != body {
+		t.Fatalf("throttled response corrupted: err=%v len=%d", err, len(got))
+	}
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("throttled 4 KiB response arrived in %v, want >= 300ms at 8 KiB/s", elapsed)
+	}
+	if c := p.Counts(); c.Throttle != 1 {
+		t.Fatalf("counts = %+v, want one throttle", c)
+	}
+}
+
 // TestProxySeededScheduleIsDeterministic verifies two proxies with one
 // seed roll identical fault sequences — the property that makes a chaos
 // failure replayable.
 func TestProxySeededScheduleIsDeterministic(t *testing.T) {
-	opts := Options{Seed: 42, LatencyProb: 0.2, ResetProb: 0.2, TruncateProb: 0.2, BlackholeProb: 0.2}
+	opts := Options{Seed: 42, LatencyProb: 0.15, ResetProb: 0.15, TruncateProb: 0.15,
+		BlackholeProb: 0.15, PartitionProb: 0.15, ThrottleProb: 0.15}
 	ts, _ := backend(t)
 	a := mustProxy(t, ts.Listener.Addr().String(), opts)
 	b := mustProxy(t, ts.Listener.Addr().String(), opts)

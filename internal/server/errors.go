@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"privtree/internal/dp"
+	"privtree/internal/store"
 )
 
 // Error codes returned in the structured error envelope.
@@ -30,6 +31,19 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeShuttingDown     = "shutting_down"
+
+	// Replication-plane codes (see repl.go). CodeReadOnly (403) means the
+	// node is a read replica and the write belongs on the primary.
+	// CodeFenced (403) means a higher-epoch writer superseded this node;
+	// its budget-mutating paths are durably disabled. CodeNotReady (503)
+	// means the node is up but should not receive traffic yet (replica
+	// catch-up, drain). CodeStoreUnavailable (503) means a durable write
+	// failed — the debit may be over-counted, never leaked, so retrying is
+	// safe for privacy (though it may spend fresh ε).
+	CodeReadOnly         = "read_only"
+	CodeFenced           = "fenced"
+	CodeNotReady         = "not_ready"
+	CodeStoreUnavailable = "store_unavailable"
 )
 
 // errInternal tags failures that are the server's fault, not the
@@ -87,6 +101,19 @@ func writeErrorFrom(w http.ResponseWriter, err error) {
 		// client should back off and retry (any mid-build debit was
 		// refunded durably before this line ran).
 		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeDeadlineExceeded, Message: err.Error()})
+		return
+	}
+	if errors.Is(err, store.ErrFenced) {
+		// Checked before ErrAppend: a fenced append wraps both sentinels,
+		// and "another writer owns the budget" is the actionable signal.
+		writeError(w, http.StatusForbidden, &APIError{Code: CodeFenced, Message: err.Error()})
+		return
+	}
+	if errors.Is(err, store.ErrAppend) {
+		// A durable write failed (disk full, I/O error). The ledger
+		// over-counts the attempted debit — never leaks it — so the client
+		// may retry; 503 marks the node, not the request, as the problem.
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeStoreUnavailable, Message: err.Error()})
 		return
 	}
 	if errors.Is(err, errInternal) {

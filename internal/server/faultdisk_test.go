@@ -1,0 +1,91 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"privtree/internal/store"
+)
+
+// TestDebitAppendFailureIsSafe drives the ENOSPC-style failure path end
+// to end: when the debit's WAL append fails, the client gets a structured
+// 503 store_unavailable, and the budget direction is always safe — a
+// failure after the bytes hit the file over-counts on restart (the orphan
+// debit is replayed), a failure before anything was written costs
+// nothing. Neither case ever leaks budget.
+func TestDebitAppendFailureIsSafe(t *testing.T) {
+	defer store.SetFailHook(nil)
+	dir := t.TempDir()
+	s := mustNew(t, Options{DataDir: dir, Workers: 1})
+	ts := httptest.NewServer(s)
+	client := ts.Client()
+
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "demo", "epsilon": 2.0,
+		"synthetic": map[string]any{"generator": "road", "n": 2000, "seed": 1},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	d, _ := s.Registry().Get("demo")
+
+	// Failure AFTER the write: the record is in the file but durability is
+	// unknown — the live server refunds in memory and fails the request.
+	store.SetFailHook(func(point string) error {
+		if point == "wal.after_write" {
+			return errors.New("no space left on device")
+		}
+		return nil
+	})
+	if status, code := errCode(t, client, "POST", ts.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 7}); status != http.StatusServiceUnavailable || code != "store_unavailable" {
+		t.Fatalf("failed debit = %d %q, want 503 store_unavailable", status, code)
+	}
+	if got := d.Ledger.Spent(); got != 0 {
+		t.Fatalf("live spent after refused debit = %v, want 0 (refunded in memory)", got)
+	}
+
+	// Failure BEFORE the write: nothing landed, same client-visible error.
+	store.SetFailHook(func(point string) error {
+		if point == "wal.before_write" {
+			return errors.New("no space left on device")
+		}
+		return nil
+	})
+	if status, code := errCode(t, client, "POST", ts.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 8}); status != http.StatusServiceUnavailable || code != "store_unavailable" {
+		t.Fatalf("failed debit = %d %q, want 503 store_unavailable", status, code)
+	}
+	store.SetFailHook(nil)
+
+	// The disk recovered: the same client retry now succeeds and spends
+	// fresh budget.
+	var rel releaseResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 7}, &rel); code != http.StatusCreated {
+		t.Fatalf("retry after recovery: %d", code)
+	}
+	if got := d.Ledger.Spent(); got != 0.25 {
+		t.Fatalf("live spent = %v, want 0.25", got)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the same data dir. The after_write failure left its
+	// debit bytes in the WAL with no refund, so recovery over-counts it:
+	// spent = 0.25 orphan + 0.25 acked. The before_write failure left
+	// nothing. Over-counting is the safe direction; leaking (spent below
+	// the acked 0.25) would be a privacy violation.
+	s2 := mustNew(t, Options{DataDir: dir, Workers: 1})
+	defer s2.Close()
+	d2, ok := s2.Registry().Get("demo")
+	if !ok {
+		t.Fatal("restart lost dataset demo")
+	}
+	if got := d2.Ledger.Spent(); got != 0.5 {
+		t.Fatalf("recovered spent = %v, want 0.5 (0.25 acked + 0.25 orphan over-count)", got)
+	}
+}

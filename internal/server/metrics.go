@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"privtree/internal/obs"
+	"privtree/internal/repl"
 )
 
 // qpsWindow is the sliding window behind the queries_per_second gauge. A
@@ -136,6 +137,18 @@ func (m *metrics) registerDataset(d *Dataset) {
 		func() float64 { return float64(d.StoreBytes()) }, lbl)
 	m.reg.GaugeFunc("privtree_dataset_wal_seq", "Highest WAL sequence number issued (0 without persistence).",
 		func() float64 { return float64(d.WALSeq()) }, lbl)
+}
+
+// registerReplicaDataset adds the shipping-progress gauges for one
+// replicated dataset: the last primary WAL sequence applied locally, and
+// the record lag behind the last observed primary position. Like every
+// other dataset gauge, both are functions over the authoritative state.
+func (m *metrics) registerReplicaDataset(d *Dataset, sy *repl.Syncer) {
+	lbl := obs.Label{Name: "dataset", Value: d.Name}
+	m.reg.GaugeFunc("privtree_replica_last_applied_seq", "Highest primary WAL sequence number applied locally.",
+		func() float64 { return float64(d.WALSeq()) }, lbl)
+	m.reg.GaugeFunc("privtree_replica_lag_records", "WAL records observed on the primary but not yet applied.",
+		func() float64 { return float64(sy.Status()[d.Name].Lag()) }, lbl)
 }
 
 // recordAdmissionReject accounts for a gate rejection by kind.

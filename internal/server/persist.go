@@ -44,15 +44,22 @@ func (s *Server) datasetDir(name string) string {
 // fsync, rename, directory fsync. After a crash either the complete file
 // exists or none does.
 func writeDatasetFile(dsDir string, req *registerRequest, createdAt time.Time) error {
-	if err := os.MkdirAll(dsDir, 0o755); err != nil {
-		return err
-	}
 	blob, err := json.Marshal(persistedDataset{
 		Version:   datasetFileVersion,
 		CreatedAt: createdAt,
 		Request:   *req,
 	})
 	if err != nil {
+		return err
+	}
+	return writeDatasetBlob(dsDir, blob)
+}
+
+// writeDatasetBlob durably writes already-marshaled dataset.json bytes.
+// Replicas use it directly so the registration document they persist is
+// byte-identical to the primary's, not a re-marshaling of it.
+func writeDatasetBlob(dsDir string, blob []byte) error {
+	if err := os.MkdirAll(dsDir, 0o755); err != nil {
 		return err
 	}
 	final := filepath.Join(dsDir, "dataset.json")

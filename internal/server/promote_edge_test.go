@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/faultnet"
+)
+
+// TestPromoteMidCatchUp promotes a replica that is still pulling the
+// primary's tail through a throttled link. The promotion must succeed on
+// whatever prefix has been applied — a prefix is always a consistent
+// ledger state — and the node must immediately act as a full primary:
+// accept writes, continue the budget exactly from the applied prefix,
+// and keep serving the releases it has.
+func TestPromoteMidCatchUp(t *testing.T) {
+	primary := mustNew(t, Options{DataDir: t.TempDir(), Workers: 1})
+	tsP := httptest.NewServer(primary)
+	defer tsP.Close()
+	defer primary.Close()
+	client := tsP.Client()
+
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets", map[string]any{
+		"name": "lag", "epsilon": 4.0,
+		"synthetic": map[string]any{"generator": "road", "n": 4000, "seed": 3},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	var rel1 releaseResponse
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets/lag/releases",
+		map[string]any{"epsilon": 0.25, "seed": 1}, &rel1); code != http.StatusCreated {
+		t.Fatalf("release 1: %d", code)
+	}
+
+	// The replica pulls through a bandwidth throttle, so shipping the
+	// second release's artifact takes long enough to promote mid-stream.
+	proxy, err := faultnet.New(strings.TrimPrefix(tsP.URL, "http://"), faultnet.Options{
+		Seed: 11, ThrottleProb: 1, ThrottleBytesPerSec: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: "http://" + proxy.Addr(), ReplicaPoll: 10 * time.Millisecond,
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+	defer replica.Close()
+
+	// Wait only for release 1 to apply, then pile a bigger release onto
+	// the primary and promote immediately — its artifact is still
+	// dribbling through the throttle.
+	waitUntil(t, "release 1 to replicate", func() bool {
+		dR, ok := replica.Registry().Get("lag")
+		return ok && dR.Ledger.Spent() >= 0.25
+	})
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets/lag/releases",
+		map[string]any{"epsilon": 0.5, "seed": 2}, nil); code != http.StatusCreated {
+		t.Fatalf("release 2: %d", code)
+	}
+	var promoted struct {
+		Promoted     bool              `json:"promoted"`
+		WriterEpochs map[string]uint64 `json:"writer_epochs"`
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/admin/promote", map[string]any{}, &promoted); code != http.StatusOK {
+		t.Fatalf("promote mid-catch-up: %d", code)
+	}
+	if !promoted.Promoted || promoted.WriterEpochs["lag"] != 1 {
+		t.Fatalf("promotion response: %+v", promoted)
+	}
+
+	// The applied prefix is one of the consistent ledger states: release 1
+	// only, release 1 + release 2's debit (commit not yet applied), or
+	// both releases. Anything else means a record was half-applied.
+	dR, _ := replica.Registry().Get("lag")
+	before := dR.Ledger.Spent()
+	if before != 0.25 && before != 0.75 {
+		t.Fatalf("promoted node spent = %v, want a prefix state (0.25 or 0.75)", before)
+	}
+
+	// Full primary duties, immediately: the budget continues exactly from
+	// the applied prefix, reads keep serving, and registration works.
+	var rel3 releaseResponse
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/datasets/lag/releases",
+		map[string]any{"epsilon": 0.125, "seed": 9}, &rel3); code != http.StatusCreated {
+		t.Fatalf("post-promotion release: %d", code)
+	}
+	if got, want := dR.Ledger.Spent(), before+0.125; got != want {
+		t.Fatalf("spent after post-promotion release = %v, want %v", got, want)
+	}
+	if got := queryOne(t, client, tsR.URL+"/v1/datasets/lag/releases/"+rel1.Release.ID+"/query"); got < 0 {
+		t.Fatalf("replicated release query = %v", got)
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/datasets", map[string]any{
+		"name": "fresh", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register on promoted node: %d", code)
+	}
+}
+
+// TestPromoteNeverCaughtUp covers the disaster case: the primary died
+// before this replica ever completed a sync pass. The operator promotes
+// anyway, accepting the data loss — the node must come up as an empty,
+// working primary rather than staying wedged behind a readiness gate.
+func TestPromoteNeverCaughtUp(t *testing.T) {
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: "http://127.0.0.1:1", ReplicaPoll: 5 * time.Millisecond,
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+	defer replica.Close()
+	client := tsR.Client()
+
+	if status, _ := errCode(t, client, "GET", tsR.URL+"/readyz", nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before promote = %d, want 503", status)
+	}
+	var promoted struct {
+		Promoted bool `json:"promoted"`
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/admin/promote", map[string]any{}, &promoted); code != http.StatusOK || !promoted.Promoted {
+		t.Fatalf("promote of never-caught-up replica: %d %+v", code, promoted)
+	}
+	var ready struct {
+		Ready bool   `json:"ready"`
+		Role  string `json:"role"`
+	}
+	if code := doJSON(t, client, "GET", tsR.URL+"/readyz", nil, &ready); code != http.StatusOK || ready.Role != "primary" {
+		t.Fatalf("readyz after promote = %d %+v", code, ready)
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/datasets", map[string]any{
+		"name": "reborn", "epsilon": 1.0, "points": [][]float64{{0.25, 0.75}},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register after disaster promote: %d", code)
+	}
+}

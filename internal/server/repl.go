@@ -1,0 +1,411 @@
+// Replication plane: the primary's log-shipping endpoints, the replica's
+// applying side, and the failover controls. See internal/repl for the
+// protocol and the single-budget-writer argument.
+//
+//	GET  /v1/repl/datasets                           replicated dataset listing
+//	GET  /v1/repl/datasets/{name}/wal?from=N         CRC-framed WAL records after N
+//	GET  /v1/repl/datasets/{name}/artifacts/{sha}    committed envelope by content address
+//	POST /v1/admin/promote                           replica → primary (bumps writer epoch)
+//	POST /v1/admin/fence                             durably fence below a writer epoch
+//	GET  /readyz                                     readiness (distinct from /healthz liveness)
+//
+// A replica (Options.ReplicaOf) serves the full read plane — queries,
+// batches, audit, artifact fetch, /metrics — from bit-identical
+// replicated state, and rejects writes with a structured "read_only"
+// error. Promotion stops the syncer, appends a durable epoch record to
+// every dataset's WAL, and best-effort delivers a fence to the old
+// primary; any later shipping request the stale node receives fences it
+// durably as well.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"privtree/internal/obs"
+	"privtree/internal/repl"
+)
+
+// replDatasetDoc mirrors repl.DatasetDoc (kept separate so the wire shape
+// is owned by the handler that serves it).
+type replDatasetDoc struct {
+	Name         string          `json:"name"`
+	CreatedAt    time.Time       `json:"created_at"`
+	WriterEpoch  uint64          `json:"writer_epoch"`
+	LastSeq      uint64          `json:"last_seq"`
+	Registration json.RawMessage `json:"registration"`
+}
+
+// handleReplDatasets serves the replicated-dataset listing: every
+// store-backed dataset with its registration document verbatim, its
+// writer epoch, and its last WAL sequence number.
+func (s *Server) handleReplDatasets(w http.ResponseWriter, r *http.Request) {
+	if s.opts.DataDir == "" {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: "replication requires a data dir (-data-dir)"})
+		return
+	}
+	ds := s.registry.List()
+	out := make([]replDatasetDoc, 0, len(ds))
+	for _, d := range ds {
+		if d.store == nil {
+			continue // in-memory dataset: nothing durable to ship
+		}
+		blob, err := os.ReadFile(filepath.Join(s.datasetDir(d.Name), "dataset.json"))
+		if err != nil {
+			writeErrorFrom(w, fmt.Errorf("%w: reading registration for %q: %v", errInternal, d.Name, err))
+			return
+		}
+		out = append(out, replDatasetDoc{
+			Name:         d.Name,
+			CreatedAt:    d.CreatedAt,
+			WriterEpoch:  d.store.WriterEpoch(),
+			LastSeq:      d.store.LastSeq(),
+			Registration: blob,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// handleReplWAL serves CRC-framed WAL records after ?from=N, capped at
+// ?max_bytes. The puller's X-Privtree-Min-Epoch header is the fencing
+// trigger: a node asked for a stream below that epoch knows a newer
+// writer exists, fences itself durably, and refuses.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if d.store == nil {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: fmt.Sprintf("dataset %q has no store; nothing to ship", d.Name)})
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: "from must be a WAL sequence number"})
+		return
+	}
+	maxBytes := 0
+	if v := r.URL.Query().Get("max_bytes"); v != "" {
+		if maxBytes, err = strconv.Atoi(v); err != nil || maxBytes < 0 {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+				Message: "max_bytes must be a non-negative integer"})
+			return
+		}
+	}
+	if epoch, fenced := d.store.FencedEpoch(); fenced {
+		writeError(w, http.StatusForbidden, &APIError{Code: CodeFenced,
+			Message: fmt.Sprintf("node fenced by writer epoch %d; its history may diverge and will not be shipped", epoch)})
+		return
+	}
+	if h := r.Header.Get(repl.HeaderMinEpoch); h != "" {
+		minEpoch, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+				Message: repl.HeaderMinEpoch + " must be a writer epoch"})
+			return
+		}
+		if minEpoch > d.store.WriterEpoch() {
+			// The puller has seen a newer writer than us: we are stale.
+			// Fence durably BEFORE refusing, so a crashed-and-revived stale
+			// primary stays dead.
+			s.fenceAll(minEpoch)
+			writeError(w, http.StatusForbidden, &APIError{Code: CodeFenced,
+				Message: fmt.Sprintf("puller requires writer epoch >= %d, node holds %d; fenced", minEpoch, d.store.WriterEpoch())})
+			return
+		}
+	}
+	frames, last, err := d.store.WALFrames(from, maxBytes)
+	if err != nil {
+		writeErrorFrom(w, fmt.Errorf("%w: reading WAL frames: %v", errInternal, err))
+		return
+	}
+	w.Header().Set(repl.HeaderWriterEpoch, strconv.FormatUint(d.store.WriterEpoch(), 10))
+	w.Header().Set(repl.HeaderLastSeq, strconv.FormatUint(last, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(frames)
+}
+
+// handleReplArtifact serves one committed envelope by content address;
+// the bytes are re-verified against the address before they leave.
+func (s *Server) handleReplArtifact(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	sha := r.PathValue("sha")
+	if d.store == nil || !d.store.HasArtifact(sha) {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("dataset %q has no artifact %q", d.Name, sha)})
+		return
+	}
+	blob, err := d.store.Artifact(sha)
+	if err != nil {
+		writeErrorFrom(w, fmt.Errorf("%w: loading artifact: %v", errInternal, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(blob)
+}
+
+// fenceAll durably fences every store-backed dataset below epoch (best
+// effort: stores already at or above the epoch refuse, which is correct —
+// they ARE the newer writer) and flips the server's fenced flag so
+// registrations are refused too.
+func (s *Server) fenceAll(epoch uint64) {
+	for _, d := range s.registry.List() {
+		if d.store != nil {
+			if err := d.store.Fence(epoch); err != nil {
+				s.logger.Warn("fencing dataset failed", "dataset", d.Name, "epoch", epoch, "err", err)
+			}
+		}
+	}
+	s.fenced.Store(true)
+}
+
+// handleFence durably fences this node below the requested writer epoch.
+// The request is refused outright when any local dataset already holds
+// that epoch or higher — a stray or replayed fence request must never
+// take down the live writer.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Epoch == 0 {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: "epoch must be a positive writer epoch"})
+		return
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for _, d := range s.registry.List() {
+		if d.store != nil && d.store.WriterEpoch() >= req.Epoch {
+			writeError(w, http.StatusConflict, &APIError{Code: CodeConflict,
+				Message: fmt.Sprintf("dataset %q holds writer epoch %d >= %d; refusing to fence the live writer",
+					d.Name, d.store.WriterEpoch(), req.Epoch)})
+			return
+		}
+	}
+	s.fenceAll(req.Epoch)
+	writeJSON(w, http.StatusOK, map[string]any{"fenced": true, "epoch": req.Epoch})
+}
+
+// handlePromote promotes a replica to primary: the syncer is stopped (no
+// more frames can arrive mid-promotion), every dataset's store appends a
+// durable epoch record granting it the next writer epoch, write handlers
+// open up, and a fence at the new maximum epoch is delivered to the old
+// primary best-effort. Promoting a node that is already primary is a
+// conflict — so is promoting twice.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	// promoteMu, not regMu: stopping the syncer waits for a loop whose
+	// Ensure takes regMu, so holding regMu here would deadlock. No
+	// registrations can race — a replica rejects them as read_only until
+	// the flip below, and the flip happens only after the syncer is gone.
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if !s.isReplica.Load() {
+		writeError(w, http.StatusConflict, &APIError{Code: CodeConflict,
+			Message: "node is already a primary"})
+		return
+	}
+	s.stopSyncer()
+	trace := obs.FromContext(r.Context()).ID()
+	epochs := make(map[string]uint64)
+	var maxEpoch uint64
+	for _, d := range s.registry.List() {
+		if d.store == nil {
+			continue
+		}
+		epoch, err := d.store.Promote(trace)
+		if err != nil {
+			writeErrorFrom(w, fmt.Errorf("promoting dataset %q: %w", d.Name, err))
+			return
+		}
+		epochs[d.Name] = epoch
+		if epoch > maxEpoch {
+			maxEpoch = epoch
+		}
+	}
+	s.isReplica.Store(false)
+	if old := s.opts.ReplicaOf; old != "" && maxEpoch > 0 {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := repl.NewClient(old, nil).Fence(ctx, maxEpoch); err != nil {
+				s.logger.Warn("best-effort fence of old primary failed (it will self-fence on first shipping contact)",
+					"primary", old, "epoch", maxEpoch, "err", err)
+			}
+		}()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true, "writer_epochs": epochs, "was_replica_of": s.opts.ReplicaOf,
+	})
+}
+
+// handleReady serves GET /readyz: whether this node should receive
+// traffic, as opposed to /healthz's "is the process up". A replica is
+// not ready until its first fully caught-up sync pass (the latch never
+// clears — degraded reads during a later primary outage are the point);
+// a draining server is not ready; a fenced node still serves reads and
+// stays ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	role := "primary"
+	if s.isReplica.Load() {
+		role = "replica"
+	}
+	switch {
+	case s.buildGate.draining.Load() || s.batchGate.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeNotReady,
+			Message: "draining for shutdown"})
+	case role == "replica" && s.syncer != nil && !s.syncer.CaughtUp():
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeNotReady,
+			Message: fmt.Sprintf("replica catching up from %s", s.syncer.Primary())})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": role})
+	}
+}
+
+// writeReadOnly rejects a write on a replica with the structured
+// read_only error naming the primary.
+func (s *Server) writeReadOnly(w http.ResponseWriter) {
+	writeError(w, http.StatusForbidden, &APIError{Code: CodeReadOnly,
+		Message: fmt.Sprintf("this node is a read replica of %s; send writes to the primary", s.opts.ReplicaOf)})
+}
+
+// replicaDataset adapts a *Dataset to repl.Replica: the applying side of
+// log shipping.
+type replicaDataset struct{ d *Dataset }
+
+func (r replicaDataset) LastSeq() uint64                        { return r.d.store.LastSeq() }
+func (r replicaDataset) WriterEpoch() uint64                    { return r.d.store.WriterEpoch() }
+func (r replicaDataset) HasArtifact(sha string) bool            { return r.d.store.HasArtifact(sha) }
+func (r replicaDataset) PutArtifact(sha string, b []byte) error { return r.d.store.PutArtifact(sha, b) }
+
+// ApplyFrames applies shipped WAL frames verbatim through the session —
+// which validates, persists, and replays them into the ledger — then
+// registers any newly committed releases in the serving maps, exactly as
+// restart recovery does, so the replica serves them bit-identically.
+func (r replicaDataset) ApplyFrames(frames []byte) error {
+	restored, err := r.d.session.ApplyReplicated(frames)
+	if err != nil {
+		return err
+	}
+	for _, rr := range restored {
+		if err := r.d.restoreRelease(rr.Release, rr.At); err != nil {
+			return fmt.Errorf("registering replicated release: %w", err)
+		}
+	}
+	return nil
+}
+
+// replicaTarget implements repl.Target over the server's registry:
+// Ensure materializes a dataset the first time the primary's listing
+// advertises it, persisting the primary's registration bytes verbatim.
+type replicaTarget struct{ s *Server }
+
+func (t replicaTarget) Ensure(doc repl.DatasetDoc) (repl.Replica, error) {
+	s := t.s
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if d, ok := s.registry.Get(doc.Name); ok {
+		if d.store == nil {
+			return nil, fmt.Errorf("dataset %q exists without a store; cannot replicate into it", doc.Name)
+		}
+		return replicaDataset{d}, nil
+	}
+	var pd persistedDataset
+	if err := json.Unmarshal(doc.Registration, &pd); err != nil {
+		return nil, fmt.Errorf("dataset %q: corrupt registration document: %w", doc.Name, err)
+	}
+	if pd.Version != datasetFileVersion {
+		return nil, fmt.Errorf("dataset %q: unsupported dataset file version %d", doc.Name, pd.Version)
+	}
+	if pd.Request.Name != doc.Name {
+		return nil, fmt.Errorf("dataset %q: registration document names %q", doc.Name, pd.Request.Name)
+	}
+	d, err := s.buildDataset(&pd.Request)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: rebuilding from registration: %w", doc.Name, err)
+	}
+	d.CreatedAt = pd.CreatedAt
+	dsDir := s.datasetDir(d.Name)
+	// The primary's bytes, not a re-marshaling: a restart of this replica
+	// must recover exactly the document the primary registered.
+	if err := writeDatasetBlob(dsDir, doc.Registration); err != nil {
+		return nil, fmt.Errorf("dataset %q: persisting registration: %w", doc.Name, err)
+	}
+	if err := d.AttachStore(filepath.Join(dsDir, "store")); err != nil {
+		os.RemoveAll(dsDir)
+		return nil, fmt.Errorf("dataset %q: %w", doc.Name, err)
+	}
+	if err := s.registry.Insert(d); err != nil {
+		d.Close()
+		os.RemoveAll(dsDir)
+		return nil, err
+	}
+	s.datasetRegistered(d)
+	return replicaDataset{d}, nil
+}
+
+// startSyncer begins continuous log shipping from Options.ReplicaOf.
+func (s *Server) startSyncer() {
+	httpc := s.opts.ReplicaHTTP
+	if httpc == nil {
+		timeout := s.opts.ReplicaTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		httpc = &http.Client{Timeout: timeout}
+	}
+	s.syncer = repl.NewSyncer(s.opts.ReplicaOf, replicaTarget{s}, repl.Options{
+		Interval:   s.opts.ReplicaPoll,
+		HTTPClient: httpc,
+		Logger:     s.logger,
+	})
+	// Datasets recovered from disk before the syncer existed (a replica
+	// restart) get their shipping gauges here; later ones get them in
+	// datasetRegistered as Ensure inserts them.
+	for _, d := range s.registry.List() {
+		s.metrics.registerReplicaDataset(d, s.syncer)
+	}
+	s.metrics.reg.GaugeFunc("privtree_replica_caught_up",
+		"1 after the replica's first fully caught-up sync pass (latches).",
+		func() float64 {
+			if s.syncer.CaughtUp() {
+				return 1
+			}
+			return 0
+		})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.syncCancel = cancel
+	s.syncDone = make(chan struct{})
+	go func() {
+		defer close(s.syncDone)
+		s.syncer.Run(ctx)
+	}()
+}
+
+// stopSyncer cancels the shipping loop and waits for it to exit, so no
+// frame application can race a promotion or shutdown. Idempotent and
+// safe under concurrent promote/Close.
+func (s *Server) stopSyncer() {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.syncCancel == nil {
+		return
+	}
+	s.syncCancel()
+	<-s.syncDone
+	s.syncCancel = nil
+}

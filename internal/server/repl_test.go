@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func errCode(t *testing.T, client *http.Client, method, url string, body any) (int, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&envelope)
+	return resp.StatusCode, envelope.Error.Code
+}
+
+// TestReplicationEndToEnd drives the whole replication plane in-process:
+// a primary and a replica syncing from it, bit-identical read serving,
+// read_only write rejection, catch-up readiness, promotion with fencing
+// of the old primary, and continued writes on the promoted node.
+func TestReplicationEndToEnd(t *testing.T) {
+	primary := mustNew(t, Options{DataDir: t.TempDir(), Workers: 1})
+	tsP := httptest.NewServer(primary)
+	defer tsP.Close()
+	client := tsP.Client()
+
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets", map[string]any{
+		"name": "demo", "epsilon": 2.0,
+		"synthetic": map[string]any{"generator": "road", "n": 3000, "seed": 42},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	var rel1, rel2 releaseResponse
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 7}, &rel1); code != http.StatusCreated {
+		t.Fatalf("release 1: %d", code)
+	}
+
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: tsP.URL, ReplicaPoll: 10 * time.Millisecond,
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+
+	// Readiness flips only after the first fully caught-up pass.
+	waitUntil(t, "replica readiness", func() bool {
+		resp, err := client.Get(tsR.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// The replicated dataset serves bit-identical artifacts and equal budgets.
+	dP, _ := primary.Registry().Get("demo")
+	dR, ok := replica.Registry().Get("demo")
+	if !ok {
+		t.Fatal("replica did not materialize dataset demo")
+	}
+	if got, want := dR.Ledger.Spent(), dP.Ledger.Spent(); got != want {
+		t.Fatalf("replica spent %v, primary %v", got, want)
+	}
+	artP := fetchArtifact(t, client, tsP.URL+"/v1/datasets/demo/releases/"+rel1.Release.ID)
+	artR := fetchArtifact(t, client, tsR.URL+"/v1/datasets/demo/releases/"+rel1.Release.ID)
+	if !bytes.Equal(artP, artR) {
+		t.Fatal("replicated artifact bytes differ from the primary's")
+	}
+	if got := queryOne(t, client, tsR.URL+"/v1/datasets/demo/releases/"+rel1.Release.ID+"/query"); got < 0 {
+		t.Fatalf("replica query = %v", got)
+	}
+
+	// Writes are rejected with the structured read_only code.
+	if status, code := errCode(t, client, "POST", tsR.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 9}); status != http.StatusForbidden || code != "read_only" {
+		t.Fatalf("replica write = %d %q, want 403 read_only", status, code)
+	}
+	if status, code := errCode(t, client, "POST", tsR.URL+"/v1/datasets",
+		map[string]any{"name": "x", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}}}); status != http.StatusForbidden || code != "read_only" {
+		t.Fatalf("replica register = %d %q, want 403 read_only", status, code)
+	}
+
+	// A release created after the replica attached ships too.
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.5, "seed": 8}, &rel2); code != http.StatusCreated {
+		t.Fatalf("release 2: %d", code)
+	}
+	waitUntil(t, "release 2 to replicate", func() bool { return dR.WALSeq() >= dP.WALSeq() })
+	if !bytes.Equal(
+		fetchArtifact(t, client, tsP.URL+"/v1/datasets/demo/releases/"+rel2.Release.ID),
+		fetchArtifact(t, client, tsR.URL+"/v1/datasets/demo/releases/"+rel2.Release.ID)) {
+		t.Fatal("second replicated artifact differs")
+	}
+
+	// Fencing the live writer is refused; epoch 0 is malformed.
+	if status, code := errCode(t, client, "POST", tsP.URL+"/v1/admin/fence",
+		map[string]any{"epoch": 0}); status != http.StatusBadRequest || code != "bad_request" {
+		t.Fatalf("fence epoch 0 = %d %q", status, code)
+	}
+
+	// Promote the replica. The old primary is fenced (best-effort push,
+	// so poll), the new primary accepts writes, and re-promotion is a
+	// conflict.
+	var promoted struct {
+		Promoted     bool              `json:"promoted"`
+		WriterEpochs map[string]uint64 `json:"writer_epochs"`
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/admin/promote", map[string]any{}, &promoted); code != http.StatusOK {
+		t.Fatalf("promote: %d", code)
+	}
+	if !promoted.Promoted || promoted.WriterEpochs["demo"] != 1 {
+		t.Fatalf("promotion response: %+v", promoted)
+	}
+	if status, code := errCode(t, client, "POST", tsR.URL+"/v1/admin/promote", map[string]any{}); status != http.StatusConflict || code != "conflict" {
+		t.Fatalf("second promote = %d %q, want 409 conflict", status, code)
+	}
+	waitUntil(t, "old primary to be fenced", func() bool {
+		_, fenced := dP.store.FencedEpoch()
+		return fenced
+	})
+	if status, code := errCode(t, client, "POST", tsP.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.125, "seed": 11}); status != http.StatusForbidden || code != "fenced" {
+		t.Fatalf("fenced primary write = %d %q, want 403 fenced", status, code)
+	}
+	if status, code := errCode(t, client, "POST", tsP.URL+"/v1/datasets",
+		map[string]any{"name": "y", "epsilon": 1.0, "points": [][]float64{{0.5, 0.5}}}); status != http.StatusForbidden || code != "fenced" {
+		t.Fatalf("fenced primary register = %d %q, want 403 fenced", status, code)
+	}
+
+	// The promoted node is the budget-writer now: new releases debit its
+	// ledger, continuing exactly where the acked history left off.
+	var rel3 releaseResponse
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/datasets/demo/releases",
+		map[string]any{"epsilon": 0.25, "seed": 10}, &rel3); code != http.StatusCreated {
+		t.Fatalf("post-promotion release: %d", code)
+	}
+	if got, want := dR.Ledger.Spent(), 1.0; got != want {
+		t.Fatalf("promoted spent = %v, want %v", got, want)
+	}
+	// Readiness survives promotion; role flips to primary.
+	var ready struct {
+		Ready bool   `json:"ready"`
+		Role  string `json:"role"`
+	}
+	if code := doJSON(t, client, "GET", tsR.URL+"/readyz", nil, &ready); code != http.StatusOK || ready.Role != "primary" {
+		t.Fatalf("readyz after promotion = %d %+v", code, ready)
+	}
+
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaNotReadyWithDeadPrimary proves /readyz stays 503 not_ready
+// while a replica has never completed a catch-up pass, and /healthz
+// stays 200 — readiness and liveness are distinct signals.
+func TestReplicaNotReadyWithDeadPrimary(t *testing.T) {
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: "http://127.0.0.1:1", ReplicaPoll: 5 * time.Millisecond,
+	})
+	defer replica.Close()
+	ts := httptest.NewServer(replica)
+	defer ts.Close()
+
+	status, code := errCode(t, ts.Client(), "GET", ts.URL+"/readyz", nil)
+	if status != http.StatusServiceUnavailable || code != "not_ready" {
+		t.Fatalf("readyz = %d %q, want 503 not_ready", status, code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReplicaRequiresDataDir proves the constructor refuses a replica
+// without durable state.
+func TestReplicaRequiresDataDir(t *testing.T) {
+	if _, err := New(Options{ReplicaOf: "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("New accepted -replica-of without a data dir")
+	}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"privtree"
+	"privtree/internal/faultnet"
+	"privtree/internal/store"
+)
+
+// Replication chaos sweep: a child-process primary, an in-process replica
+// pulling through a seeded fault-injection proxy (resets, truncations,
+// one-way partitions, throttling, latency), then a SIGKILL of the primary
+// in the middle of a debit's WAL append, a promotion, and continued
+// service. The end-to-end contract being proven:
+//
+//   - the promoted node's spent ε equals the acknowledged debits EXACTLY
+//     (the killed, unacknowledged debit never ships — the primary dies
+//     holding it);
+//   - every acknowledged envelope refetches from the promoted node
+//     bit-identically and decodes via privtree.Decode;
+//   - the revived old primary over-counts (keeps the orphan debit), and
+//     fencing rejects its writes permanently.
+
+const (
+	replChaosChildEnv   = "PRIVTREE_REPL_CHAOS_CHILD"
+	replChaosDirEnv     = "PRIVTREE_REPL_CHAOS_DIR"
+	replChaosTriggerEnv = "PRIVTREE_REPL_CHAOS_TRIGGER"
+)
+
+// TestReplChaosChild is the child body: a real primary on a loopback
+// port, with a SIGKILL armed at the WAL append fsync point that fires
+// once the parent creates the trigger file — so the parent controls
+// exactly which debit dies mid-append.
+func TestReplChaosChild(t *testing.T) {
+	if os.Getenv(replChaosChildEnv) != "1" {
+		t.Skip("chaos-harness child process only")
+	}
+	dir := os.Getenv(replChaosDirEnv)
+	trigger := os.Getenv(replChaosTriggerEnv)
+	if trigger != "" {
+		store.SetCrashHook(func(point string) {
+			if point != "wal.after_sync" {
+				return
+			}
+			if _, err := os.Stat(trigger); err == nil {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {}
+			}
+		})
+		defer store.SetCrashHook(nil)
+	}
+	s, err := New(Options{DataDir: dir, Workers: 1})
+	if err != nil {
+		fmt.Printf("CHILD-ERROR new: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHILD-ERROR listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR http://%s\n", ln.Addr())
+	_ = http.Serve(ln, s) // runs until the parent kills the process
+}
+
+// startChaosPrimary re-executes the test binary as a primary child and
+// returns its process and base URL once it is listening.
+func startChaosPrimary(t *testing.T, dir, trigger string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestReplChaosChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		replChaosChildEnv+"=1",
+		replChaosDirEnv+"="+dir,
+		replChaosTriggerEnv+"="+trigger,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "ADDR ") {
+				addrCh <- strings.TrimPrefix(line, "ADDR ")
+			}
+			if strings.HasPrefix(line, "CHILD-ERROR") {
+				fmt.Fprintf(os.Stderr, "chaos primary: %s\n", line)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("chaos primary never reported its address")
+		return nil, ""
+	}
+}
+
+// primaryLastSeq reads the primary's advertised WAL sequence for dataset
+// over the shipping protocol (hitting the child directly, no faults).
+func primaryLastSeq(client *http.Client, base, dataset string) (uint64, bool) {
+	resp, err := client.Get(base + "/v1/repl/datasets")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Datasets []struct {
+			Name    string `json:"name"`
+			LastSeq uint64 `json:"last_seq"`
+		} `json:"datasets"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return 0, false
+	}
+	for _, d := range out.Datasets {
+		if d.Name == dataset {
+			return d.LastSeq, true
+		}
+	}
+	return 0, false
+}
+
+func TestReplicationChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes and runs a multi-second chaos schedule")
+	}
+	dirP := t.TempDir()
+	trigger := filepath.Join(t.TempDir(), "kill-on-next-debit")
+	cmd, primaryURL := startChaosPrimary(t, dirP, trigger)
+	childDone := make(chan error, 1)
+	go func() { childDone <- cmd.Wait() }()
+	var killedChild atomic.Bool
+	defer func() {
+		if !killedChild.Load() {
+			_ = cmd.Process.Kill()
+			<-childDone
+		}
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if code := doJSON(t, client, "POST", primaryURL+"/v1/datasets", map[string]any{
+		"name": "chaos", "epsilon": 4.0,
+		"synthetic": map[string]any{"generator": "road", "n": 3000, "seed": 5},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+
+	// The replica pulls through the fault proxy; keep-alives off so every
+	// shipping request rolls a fresh fault from the seeded schedule. The
+	// 2s client timeout is what unwedges one-way partitions.
+	proxy, err := faultnet.New(strings.TrimPrefix(primaryURL, "http://"), faultnet.Options{
+		Seed: 77, LatencyProb: 0.1, ResetProb: 0.15, TruncateProb: 0.15,
+		PartitionProb: 0.08, ThrottleProb: 0.07, ThrottleBytesPerSec: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: "http://" + proxy.Addr(), ReplicaPoll: 10 * time.Millisecond,
+		ReplicaHTTP: &http.Client{
+			Transport: &http.Transport{DisableKeepAlives: true},
+			Timeout:   2 * time.Second,
+		},
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+	defer replica.Close()
+
+	// Drive acknowledged releases against the primary (direct, no faults
+	// — the chaos is on the replication link). Record exactly what was
+	// acknowledged: only those debits may count on the promoted node.
+	type acked struct {
+		id       string
+		eps      float64
+		envelope []byte
+	}
+	var ackedReleases []acked
+	ackedEps := 0.0
+	for i := 0; i < 8; i++ {
+		eps := float64(i+1) / 64
+		var rel releaseResponse
+		if code := doJSON(t, client, "POST", primaryURL+"/v1/datasets/chaos/releases",
+			map[string]any{"epsilon": eps, "seed": 100 + i}, &rel); code != http.StatusCreated {
+			t.Fatalf("release %d: %d", i, code)
+		}
+		env := fetchArtifact(t, client, primaryURL+"/v1/datasets/chaos/releases/"+rel.Release.ID)
+		ackedReleases = append(ackedReleases, acked{id: rel.Release.ID, eps: eps, envelope: env})
+		ackedEps += eps
+	}
+
+	// Let the schedule hurt: keep polling until the proxy has injected at
+	// least one reset, one truncation, and one one-way partition into the
+	// replication stream (the syncer must survive all of them).
+	waitUntil(t, "chaos faults to fire", func() bool {
+		c := proxy.Counts()
+		return c.Reset >= 1 && c.Truncate >= 1 && c.Partition >= 1
+	})
+
+	// Quiesce: the replica must be exactly caught up before the kill, so
+	// "acked debits" and "shipped debits" coincide.
+	var dR *Dataset
+	waitUntil(t, "replica to fully catch up", func() bool {
+		d, ok := replica.Registry().Get("chaos")
+		if !ok {
+			return false
+		}
+		dR = d
+		last, ok := primaryLastSeq(client, primaryURL, "chaos")
+		return ok && d.WALSeq() == last && d.Ledger.Spent() == ackedEps
+	})
+
+	// Arm the kill and send one more release: its debit fsyncs, the
+	// SIGKILL lands inside the append, and the client never gets an ack.
+	if err := os.WriteFile(trigger, []byte("armed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	killEps := 1.0 / 32
+	resp, err := client.Post(primaryURL+"/v1/datasets/chaos/releases", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"epsilon":%g,"seed":999}`, killEps)))
+	if err == nil {
+		if resp.StatusCode == http.StatusCreated {
+			t.Fatal("the killing release was acknowledged; the crash hook did not fire")
+		}
+		resp.Body.Close()
+	}
+	select {
+	case <-childDone:
+		killedChild.Store(true)
+	case <-time.After(30 * time.Second):
+		t.Fatal("primary child did not die after the armed debit")
+	}
+
+	// Failover: promote the replica and verify the exactness contract.
+	var promoted struct {
+		Promoted     bool              `json:"promoted"`
+		WriterEpochs map[string]uint64 `json:"writer_epochs"`
+	}
+	if code := doJSON(t, client, "POST", tsR.URL+"/v1/admin/promote", map[string]any{}, &promoted); code != http.StatusOK {
+		t.Fatalf("promote: %d", code)
+	}
+	if !promoted.Promoted || promoted.WriterEpochs["chaos"] != 1 {
+		t.Fatalf("promotion response: %+v", promoted)
+	}
+	if got := dR.Ledger.Spent(); got != ackedEps {
+		t.Fatalf("promoted node spent ε = %v, want exactly the acked %v", got, ackedEps)
+	}
+
+	// Every acknowledged envelope is served bit-identically by the
+	// promoted node and decodes as a release.
+	for _, a := range ackedReleases {
+		env := fetchArtifact(t, client, tsR.URL+"/v1/datasets/chaos/releases/"+a.id)
+		if !bytes.Equal(env, a.envelope) {
+			t.Fatalf("release %s: replicated envelope differs from the acknowledged bytes", a.id)
+		}
+		if _, err := privtree.Decode(env); err != nil {
+			t.Fatalf("release %s: replicated envelope does not decode: %v", a.id, err)
+		}
+	}
+
+	// Service continues: the promoted node is the budget-writer.
+	for i := 0; i < 2; i++ {
+		if code := doJSON(t, client, "POST", tsR.URL+"/v1/datasets/chaos/releases",
+			map[string]any{"epsilon": 1.0 / 16, "seed": 200 + i}, nil); code != http.StatusCreated {
+			t.Fatalf("post-failover release %d: %d", i, code)
+		}
+	}
+	if got, want := dR.Ledger.Spent(), ackedEps+2.0/16; got != want {
+		t.Fatalf("spent after failover writes = %v, want %v", got, want)
+	}
+
+	// Revive the old primary from its data dir. It recovers the orphan
+	// debit (over-count — the safe direction), and fencing shuts its
+	// write plane down for good.
+	if err := os.Remove(trigger); err != nil {
+		t.Fatal(err)
+	}
+	cmd2, revivedURL := startChaosPrimary(t, dirP, "")
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	var info struct {
+		EpsilonSpent float64 `json:"epsilon_spent"`
+	}
+	if code := doJSON(t, client, "GET", revivedURL+"/v1/datasets/chaos", nil, &info); code != http.StatusOK {
+		t.Fatalf("revived primary dataset: %d", code)
+	}
+	if want := ackedEps + killEps; info.EpsilonSpent != want {
+		t.Fatalf("revived primary spent ε = %v, want %v (acked + orphan debit)", info.EpsilonSpent, want)
+	}
+	if code := doJSON(t, client, "POST", revivedURL+"/v1/admin/fence",
+		map[string]any{"epoch": promoted.WriterEpochs["chaos"]}, nil); code != http.StatusOK {
+		t.Fatalf("fencing revived primary: %d", code)
+	}
+	if status, code := errCode(t, client, "POST", revivedURL+"/v1/datasets/chaos/releases",
+		map[string]any{"epsilon": 0.125, "seed": 300}); status != http.StatusForbidden || code != "fenced" {
+		t.Fatalf("revived primary write = %d %q, want 403 fenced", status, code)
+	}
+}

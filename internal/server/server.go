@@ -57,6 +57,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privtree"
@@ -64,6 +65,7 @@ import (
 	"privtree/internal/dp"
 	"privtree/internal/geom"
 	"privtree/internal/obs"
+	"privtree/internal/repl"
 	"privtree/internal/synth"
 )
 
@@ -85,6 +87,28 @@ type Options struct {
 	// bit-identical cached artifacts survive a restart. Empty means the
 	// pre-existing in-memory behavior.
 	DataDir string
+
+	// ReplicaOf, when non-empty, starts the server as a read replica of
+	// the primary at this base URL (e.g. "http://10.0.0.1:8080"): it
+	// pulls the primary's WAL and artifacts continuously (see
+	// internal/repl), serves the full read plane from the replicated
+	// state, and rejects writes with a structured read_only error until
+	// promoted via POST /v1/admin/promote. Requires DataDir — a replica
+	// without durable state could not survive its own restart, let alone
+	// a failover.
+	ReplicaOf string
+	// ReplicaPoll is the interval between replication sync passes; 0
+	// means the internal/repl default (250ms).
+	ReplicaPoll time.Duration
+	// ReplicaTimeout bounds one shipping request (dataset listing, WAL
+	// pull, artifact fetch); 0 means 30s. Without it a one-way partition
+	// — request delivered, response dropped — would wedge the sync loop
+	// forever.
+	ReplicaTimeout time.Duration
+	// ReplicaHTTP overrides the HTTP client used for shipping pulls
+	// (custom TLS, proxies, fault injection in tests). nil means a
+	// default client honoring ReplicaTimeout.
+	ReplicaHTTP *http.Client
 
 	// BuildTimeout bounds one release build (POST .../releases), measured
 	// from admission. A build that outlives it is abandoned and its debit
@@ -139,6 +163,18 @@ type Server struct {
 	// logger is Options.Logger, defaulted to a discard handler so
 	// handlers log unconditionally.
 	logger *slog.Logger
+
+	// Replication plane (see repl.go). isReplica flips false exactly once,
+	// at promotion; fenced flips true when a higher-epoch writer fences
+	// this node. syncer is non-nil iff the server started with ReplicaOf;
+	// promoteMu serializes promotion, syncMu guards the stop handshake.
+	isReplica  atomic.Bool
+	fenced     atomic.Bool
+	syncer     *repl.Syncer
+	syncCancel context.CancelFunc
+	syncDone   chan struct{}
+	promoteMu  sync.Mutex
+	syncMu     sync.Mutex
 }
 
 // New returns a ready-to-serve Server. With Options.DataDir set it first
@@ -211,10 +247,30 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/datasets/{name}/audit", s.route("audit", s.handleAudit))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /metricsz", s.route("metricsz", s.handleMetricsz))
+	s.mux.HandleFunc("GET /v1/repl/datasets", s.route("repl_datasets", s.handleReplDatasets))
+	s.mux.HandleFunc("GET /v1/repl/datasets/{name}/wal", s.route("repl_wal", s.handleReplWAL))
+	s.mux.HandleFunc("GET /v1/repl/datasets/{name}/artifacts/{sha}", s.route("repl_artifact", s.handleReplArtifact))
+	s.mux.HandleFunc("POST /v1/admin/promote", s.route("promote", s.handlePromote))
+	s.mux.HandleFunc("POST /v1/admin/fence", s.route("fence", s.handleFence))
+	if opts.ReplicaOf != "" && opts.DataDir == "" {
+		return nil, fmt.Errorf("server: -replica-of requires a data dir: a replica's state must survive its own restart")
+	}
 	if err := s.loadDataDir(); err != nil {
 		return nil, err
+	}
+	for _, d := range s.registry.List() {
+		if d.store != nil {
+			if _, fenced := d.store.FencedEpoch(); fenced {
+				s.fenced.Store(true)
+			}
+		}
+	}
+	if opts.ReplicaOf != "" {
+		s.isReplica.Store(true)
+		s.startSyncer()
 	}
 	return s, nil
 }
@@ -231,6 +287,7 @@ func (s *Server) Registry() *Registry { return s.registry }
 // error when the drain deadline passed with work still in flight (the
 // registry is closed regardless; stragglers fail with store errors).
 func (s *Server) Close() error {
+	s.stopSyncer()
 	deadline := time.Now().Add(s.opts.DrainTimeout)
 	buildsDone := s.buildGate.drain(deadline)
 	batchesDone := s.batchGate.drain(deadline)
@@ -395,6 +452,19 @@ var spatialGenerators = map[string]bool{"road": true, "gowalla": true, "nyc": tr
 var sequenceGenerators = map[string]bool{"mooc": true, "msnbc": true}
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.isReplica.Load() {
+		s.writeReadOnly(w)
+		return
+	}
+	if s.fenced.Load() {
+		// Registration never touches a store (the dataset gets a fresh
+		// one), so the per-store fencing cannot reject it; the server-wide
+		// flag must. A fenced node acquiring new datasets would become a
+		// second live budget-writer.
+		writeError(w, http.StatusForbidden, &APIError{Code: CodeFenced,
+			Message: "node fenced by a higher writer epoch; register datasets on the current primary"})
+		return
+	}
 	var req registerRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -480,6 +550,9 @@ func (s *Server) datasetRegistered(d *Dataset) {
 	s.metrics.registerDataset(d)
 	if d.store != nil {
 		d.store.SetFsyncObserver(s.metrics.walFsync.Observe)
+	}
+	if s.syncer != nil {
+		s.metrics.registerReplicaDataset(d, s.syncer)
 	}
 }
 
@@ -631,6 +704,14 @@ type releaseResponse struct {
 }
 
 func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
+	if s.isReplica.Load() {
+		// Replicas have no budget authority: a release is a ledger debit,
+		// and the primary is the dataset's single budget-writer. (Cached
+		// re-fetches still belong on the primary — routing them here would
+		// make the cached/non-cached distinction depend on replica lag.)
+		s.writeReadOnly(w)
+		return
+	}
 	d, ok := s.lookup(w, r)
 	if !ok {
 		return

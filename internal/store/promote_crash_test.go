@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// Promotion crash injection: the epoch bump is one WAL append, so a
+// SIGKILL during it must leave the store in exactly one of two states —
+// the old epoch (record never durable) or the new one (record landed) —
+// and the store must reopen cleanly and accept a fresh promotion either
+// way. A half-granted epoch would let two nodes both believe they hold
+// the writer role, the one state fencing exists to prevent.
+
+const (
+	promoteCrashChildEnv = "PRIVTREE_PROMOTE_CRASH_CHILD"
+	promoteCrashDirEnv   = "PRIVTREE_PROMOTE_CRASH_DIR"
+	promoteCrashPointEnv = "PRIVTREE_PROMOTE_CRASH_POINT"
+)
+
+func TestPromoteCrashHelper(t *testing.T) {
+	if os.Getenv(promoteCrashChildEnv) != "1" {
+		t.Skip("crash-harness child process only")
+	}
+	dir := os.Getenv(promoteCrashDirEnv)
+	point := os.Getenv(promoteCrashPointEnv)
+
+	st, err := Open(dir)
+	if err != nil {
+		fmt.Printf("CHILD-ERROR open: %v\n", err)
+		os.Exit(1)
+	}
+	// Pre-promotion history, fully acknowledged before the hook is armed:
+	// the crash must not disturb it.
+	if err := st.AppendDebit(0.25, "rel-0"); err != nil {
+		fmt.Printf("CHILD-ERROR debit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("ACK setup")
+
+	SetCrashHook(func(p string) {
+		if p == point {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+	})
+	defer SetCrashHook(nil)
+	epoch, err := st.Promote("crash-test")
+	if err != nil {
+		fmt.Printf("CHILD-ERROR promote: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ACK promote %d\n", epoch)
+	fmt.Println("DONE")
+}
+
+func TestPromoteCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one child process per fault point")
+	}
+	cases := []struct {
+		point   string
+		allowed []uint64 // writer epochs recovery may observe
+	}{
+		// Nothing written: the grant never happened.
+		{"wal.before_write", []uint64{0}},
+		// Bytes in the file, fsync unknown: either outcome is legal, but
+		// nothing in between.
+		{"wal.after_write", []uint64{0, 1}},
+		// Durable before the kill: the grant must survive.
+		{"wal.after_sync", []uint64{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestPromoteCrashHelper$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				promoteCrashChildEnv+"=1",
+				promoteCrashDirEnv+"="+dir,
+				promoteCrashPointEnv+"="+tc.point,
+			)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			runErr := cmd.Run()
+			out := stdout.String()
+			if strings.Contains(out, "CHILD-ERROR") {
+				t.Fatalf("child error:\n%s\nstderr:\n%s", out, stderr.String())
+			}
+			if runErr == nil {
+				t.Fatalf("child survived a SIGKILL at %s:\n%s", tc.point, out)
+			}
+			if !strings.Contains(out, "ACK setup") {
+				t.Fatalf("child died before the workload was set up:\n%s", out)
+			}
+
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatalf("store did not reopen after promote crash: %v", err)
+			}
+			defer st.Close()
+			got := st.WriterEpoch()
+			ok := false
+			for _, e := range tc.allowed {
+				ok = ok || got == e
+			}
+			if !ok {
+				t.Fatalf("recovered writer epoch %d at %s, want one of %v", got, tc.point, tc.allowed)
+			}
+			// The acknowledged pre-crash debit survived.
+			if spent := st.SpentEpsilon(); spent != 0.25 {
+				t.Fatalf("recovered spent = %v, want 0.25", spent)
+			}
+			// Re-promotion works from whichever epoch recovery landed on,
+			// and the store keeps taking appends.
+			epoch, err := st.Promote("retry")
+			if err != nil {
+				t.Fatalf("re-promotion after crash: %v", err)
+			}
+			if epoch != got+1 {
+				t.Fatalf("re-promotion granted epoch %d, want %d", epoch, got+1)
+			}
+			if err := st.AppendDebit(0.125, "rel-post"); err != nil {
+				t.Fatalf("append after recovered promotion: %v", err)
+			}
+			st.Close()
+
+			// The offline scrub agrees the directory is intact (a torn tail
+			// is a warning, not corruption).
+			report, err := Scrub(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.OK() {
+				t.Fatalf("scrub found corruption after promote crash: %+v", report.Findings)
+			}
+		})
+	}
+}

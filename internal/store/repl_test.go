@@ -1,0 +1,362 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+// TestEpochRecordRoundTrip proves an epoch grant survives the full
+// durability cycle: append, recover from WAL, recover from snapshot.
+func TestEpochRecordRoundTrip(t *testing.T) {
+	s, dir := openTestStore(t)
+	if got := s.WriterEpoch(); got != 0 {
+		t.Fatalf("fresh store writer epoch = %d, want 0", got)
+	}
+	epoch, err := s.Promote("trace-1")
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("Promote granted %d, want 1", epoch)
+	}
+	if err := s.AppendDebit(0.5, "k"); err != nil {
+		t.Fatalf("AppendDebit after promote: %v", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := s2.WriterEpoch(); got != 1 {
+		t.Fatalf("recovered writer epoch = %d, want 1", got)
+	}
+	eps := s2.Epochs()
+	if len(eps) != 1 || eps[0].Epoch != 1 || eps[0].Trace != "trace-1" {
+		t.Fatalf("recovered epochs = %+v", eps)
+	}
+	// Epoch grants must not leak into the ledger replay input.
+	for _, e := range s2.Events() {
+		if e.Kind == EventEpoch {
+			t.Fatalf("Events() leaked an epoch record: %+v", e)
+		}
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	s2.Close()
+
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer s3.Close()
+	if got := s3.WriterEpoch(); got != 1 {
+		t.Fatalf("post-compact writer epoch = %d, want 1", got)
+	}
+	if got := s3.SpentEpsilon(); got != 0.5 {
+		t.Fatalf("post-compact spent = %v, want 0.5", got)
+	}
+}
+
+// TestFenceRejectsAppendsDurably proves a fenced store rejects every
+// mutation with ErrFenced, across restarts, and refuses to fence the live
+// writer.
+func TestFenceRejectsAppendsDurably(t *testing.T) {
+	s, dir := openTestStore(t)
+	if _, err := s.Promote(""); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if err := s.Fence(1); err == nil {
+		t.Fatal("Fence(1) succeeded against the epoch-1 writer itself")
+	}
+	if err := s.Fence(2); err != nil {
+		t.Fatalf("Fence(2): %v", err)
+	}
+	if err := s.Fence(2); err != nil {
+		t.Fatalf("idempotent Fence(2): %v", err)
+	}
+	if err := s.AppendDebit(0.1, "k"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("AppendDebit on fenced store = %v, want ErrFenced", err)
+	}
+	if err := s.CommitRelease("k", []byte("{}")); !errors.Is(err, ErrFenced) {
+		t.Fatalf("CommitRelease on fenced store = %v, want ErrFenced", err)
+	}
+	if _, err := s.Promote(""); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Promote on fenced store = %v, want ErrFenced", err)
+	}
+	if _, err := s.AppendReplicated([]byte{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("AppendReplicated on fenced store = %v, want ErrFenced", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen fenced store: %v", err)
+	}
+	defer s2.Close()
+	if at, fenced := s2.FencedEpoch(); !fenced || at != 2 {
+		t.Fatalf("recovered fence = (%d,%v), want (2,true)", at, fenced)
+	}
+	if err := s2.AppendDebit(0.1, "k"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("AppendDebit after reopen = %v, want ErrFenced", err)
+	}
+}
+
+// TestFramesShipBitIdentically proves the ship/apply cycle: frames pulled
+// from a primary apply to a replica with identical sequence numbers,
+// events, spent ε, and — after artifact transfer — identical envelope
+// bytes; and the replica's WAL file is a byte-identical copy.
+func TestFramesShipBitIdentically(t *testing.T) {
+	primary, pdir := openTestStore(t)
+	if err := primary.AppendDebitTraced(0.5, "rel-a", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	envelope := []byte(`{"payload":"bytes"}`)
+	if err := primary.CommitReleaseTraced("rel-a", envelope, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AppendDebit(0.25, "rel-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AppendRefund(0.25, "rel-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, rdir := openTestStore(t)
+	frames, last, err := primary.FramesSince(0, 0)
+	if err != nil {
+		t.Fatalf("FramesSince: %v", err)
+	}
+	if last != primary.LastSeq() {
+		t.Fatalf("FramesSince last = %d, want %d", last, primary.LastSeq())
+	}
+	// Commits must be rejected until their artifacts are present.
+	if _, err := replica.AppendReplicated(frames); err == nil {
+		t.Fatal("AppendReplicated accepted a commit with no artifact on disk")
+	}
+	sha := sha256.Sum256(envelope)
+	shaHex := hex.EncodeToString(sha[:])
+	if replica.HasArtifact(shaHex) {
+		t.Fatal("HasArtifact true before PutArtifact")
+	}
+	if err := replica.PutArtifact(shaHex, []byte("forged")); err == nil {
+		t.Fatal("PutArtifact accepted bytes that do not match their address")
+	}
+	if err := replica.PutArtifact(shaHex, envelope); err != nil {
+		t.Fatalf("PutArtifact: %v", err)
+	}
+	applied, err := replica.AppendReplicated(frames)
+	if err != nil {
+		t.Fatalf("AppendReplicated: %v", err)
+	}
+	if len(applied) != 4 {
+		t.Fatalf("applied %d events, want 4", len(applied))
+	}
+	// Re-applying the same shipment is a no-op.
+	if again, err := replica.AppendReplicated(frames); err != nil || again != nil {
+		t.Fatalf("duplicate AppendReplicated = (%v, %v), want (nil, nil)", again, err)
+	}
+	if got, want := replica.SpentEpsilon(), primary.SpentEpsilon(); got != want {
+		t.Fatalf("replica spent %v, primary spent %v", got, want)
+	}
+	if got, want := replica.LastSeq(), primary.LastSeq(); got != want {
+		t.Fatalf("replica seq %v, primary seq %v", got, want)
+	}
+	blob, err := replica.ArtifactByAddr(shaHex)
+	if err != nil || string(blob) != string(envelope) {
+		t.Fatalf("replica artifact = (%q, %v), want envelope bytes", blob, err)
+	}
+	pwal, err := os.ReadFile(filepath.Join(pdir, "ledger.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwal, err := os.ReadFile(filepath.Join(rdir, "ledger.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pwal) != string(rwal) {
+		t.Fatal("replica WAL is not a byte-identical copy of the primary WAL")
+	}
+
+	// Shipping keeps working after the primary compacts its WAL away.
+	if err := primary.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := primary.AppendDebit(0.1, "rel-c"); err != nil {
+		t.Fatal(err)
+	}
+	frames2, _, err := primary.FramesSince(replica.LastSeq(), 0)
+	if err != nil {
+		t.Fatalf("FramesSince after compact: %v", err)
+	}
+	if _, err := replica.AppendReplicated(frames2); err != nil {
+		t.Fatalf("AppendReplicated after compact: %v", err)
+	}
+	if got, want := replica.SpentEpsilon(), primary.SpentEpsilon(); got != want {
+		t.Fatalf("post-compact replica spent %v, primary spent %v", got, want)
+	}
+}
+
+// TestFramesSinceRespectsMaxBytes proves pagination: small maxBytes still
+// makes progress one frame at a time and the pages concatenate to the
+// full history.
+func TestFramesSinceRespectsMaxBytes(t *testing.T) {
+	s, _ := openTestStore(t)
+	for i := 0; i < 10; i++ {
+		if err := s.AppendDebit(0.1, fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replica, _ := openTestStore(t)
+	cursor := uint64(0)
+	pulls := 0
+	for cursor < s.LastSeq() {
+		frames, last, err := s.FramesSince(cursor, 1) // absurdly small cap
+		if err != nil {
+			t.Fatalf("FramesSince(%d): %v", cursor, err)
+		}
+		if last <= cursor {
+			t.Fatalf("no progress at cursor %d", cursor)
+		}
+		if _, err := replica.AppendReplicated(frames); err != nil {
+			t.Fatalf("apply page at %d: %v", cursor, err)
+		}
+		cursor = last
+		pulls++
+	}
+	if pulls != 10 {
+		t.Fatalf("pulled %d pages, want 10 (one frame per page)", pulls)
+	}
+	if got, want := replica.SpentEpsilon(), s.SpentEpsilon(); got != want {
+		t.Fatalf("replica spent %v, want %v", got, want)
+	}
+}
+
+// TestAppendReplicatedRejectsHostileBatches covers the strict-validation
+// contract: corrupt framing, epoch regressions, and garbage are rejected
+// without applying anything.
+func TestAppendReplicatedRejectsHostileBatches(t *testing.T) {
+	primary, _ := openTestStore(t)
+	if err := primary.AppendDebit(0.5, "k"); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := primary.FramesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":   frames[:len(frames)-3],
+		"flipped bit": append(append([]byte{}, frames[:len(frames)-1]...), frames[len(frames)-1]^0x01),
+		"garbage":     []byte("not frames at all"),
+	}
+	for name, data := range cases {
+		replica, _ := openTestStore(t)
+		if _, err := replica.AppendReplicated(data); err == nil {
+			t.Errorf("%s batch accepted", name)
+		}
+		if replica.LastSeq() != 0 || replica.SpentEpsilon() != 0 {
+			t.Errorf("%s batch partially applied: seq=%d spent=%v", name, replica.LastSeq(), replica.SpentEpsilon())
+		}
+	}
+
+	// An epoch regression (shipment grants an epoch <= the replica's) must
+	// be rejected: it means the stream comes from a stale writer.
+	regressor, _ := openTestStore(t)
+	if _, err := regressor.Promote(""); err != nil {
+		t.Fatal(err)
+	}
+	eframes, _, err := regressor.FramesSince(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, _ := openTestStore(t)
+	if _, err := replica.AppendReplicated(eframes); err != nil {
+		t.Fatalf("first epoch shipment: %v", err)
+	}
+	// Hand-build a second store at epoch 1 whose grant would re-ship epoch
+	// 1 at a later seq.
+	stale, _ := openTestStore(t)
+	if err := stale.AppendDebit(0.1, "pad1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.AppendDebit(0.1, "pad2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Promote(""); err != nil {
+		t.Fatal(err)
+	}
+	sframes, _, err := stale.FramesSince(replica.LastSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.AppendReplicated(sframes); err == nil {
+		t.Fatal("replica accepted an epoch-1 grant while already at epoch 1")
+	}
+}
+
+// TestFailHookInjectsCleanErrors proves the error-returning fault mode: a
+// failed append surfaces as ErrAppend, the store survives, and the seq is
+// burned (over-count direction), never reused.
+func TestFailHookInjectsCleanErrors(t *testing.T) {
+	s, dir := openTestStore(t)
+	defer SetFailHook(nil)
+
+	for _, point := range []string{"wal.before_write", "wal.after_write"} {
+		SetFailHook(func(p string) error {
+			if p == point {
+				return fmt.Errorf("injected ENOSPC at %s", p)
+			}
+			return nil
+		})
+		err := s.AppendDebit(0.3, "failing-"+point)
+		if !errors.Is(err, ErrAppend) {
+			t.Fatalf("%s: AppendDebit error = %v, want ErrAppend", point, err)
+		}
+		SetFailHook(nil)
+		if err := s.AppendDebit(0.1, "ok-after-"+point); err != nil {
+			t.Fatalf("append after injected failure at %s: %v", point, err)
+		}
+	}
+
+	// wal.after_write models a failed fsync: the bytes are in the file, so
+	// recovery may over-count the failed debit — but reopening must
+	// succeed and spent ε must be at least the acknowledged debits.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after injected failures: %v", err)
+	}
+	defer s2.Close()
+	spent := s2.SpentEpsilon()
+	if spent < 0.2 {
+		t.Fatalf("recovered spent %v dropped an acknowledged debit", spent)
+	}
+	if spent > 0.2+0.3+0.3+1e-12 {
+		t.Fatalf("recovered spent %v exceeds even the over-count bound", spent)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range s2.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("sequence %d reused", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -39,14 +39,30 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrFenced marks every mutation rejected because a higher writer epoch
+// exists: this store has durably ceded budget-writer authority and must
+// never append again. Check with errors.Is.
+var ErrFenced = errors.New("store: fenced by a higher writer epoch")
+
+// ErrAppend marks a durable write (WAL append or artifact store) that
+// failed for I/O reasons — ENOSPC, EIO, a torn disk. The operation did not
+// complete; budget already debited for it may be over-counted on recovery
+// (the safe direction) but is never silently leaked. Check with errors.Is;
+// servers map it to 503 store_unavailable.
+var ErrAppend = errors.New("store: durable write failed")
 
 // CrashFunc is a fault-injection hook: tests install one with
 // SetCrashHook and kill the process at a named fault point to prove the
@@ -86,6 +102,36 @@ func crash(point string) {
 	}
 }
 
+// FailFunc is the error-returning sibling of CrashFunc: instead of killing
+// the process at a fault point, the hook makes the surrounding I/O report
+// the returned error (ENOSPC-style), driving the clean-failure paths that
+// SIGKILL injection cannot reach. Returning nil lets the operation
+// proceed. Fail points reuse the CrashPoints names; the ones that matter
+// are wal.before_write (nothing written), wal.after_write (bytes written,
+// durability unknown — a failed fsync), artifact.after_write, and
+// commit.before_record.
+type FailFunc func(point string) error
+
+var failHook atomic.Pointer[FailFunc]
+
+// SetFailHook installs f (nil to clear) as the process-wide error
+// injection hook. Production code never sets it; the hot path pays one
+// atomic load.
+func SetFailHook(f FailFunc) {
+	if f == nil {
+		failHook.Store(nil)
+		return
+	}
+	failHook.Store(&f)
+}
+
+func failpoint(point string) error {
+	if f := failHook.Load(); f != nil {
+		return (*f)(point)
+	}
+	return nil
+}
+
 // Store is a crash-safe persistence root for one privacy ledger and its
 // release artifacts. It is safe for concurrent use; every mutating call
 // returns only after the mutation is durable.
@@ -100,11 +146,24 @@ type Store struct {
 
 	events  []Event // debits and refunds, replay order
 	commits []Event // release commits, replay order
+	epochs  []Event // writer-epoch grants, replay order
 	byKey   map[string]int
+
+	// writerEpoch is the highest epoch granted in the replicated history
+	// (0 before any promotion). fencedAt, when non-zero, is the durable
+	// fence: a writer at that epoch exists elsewhere and every local
+	// mutation is rejected with ErrFenced.
+	writerEpoch uint64
+	fencedAt    uint64
 
 	snapshotBytes int64
 	artifactBytes int64
 }
+
+// epochKey is the WAL record key used for writer-epoch grants (records
+// require a non-empty key; epoch records belong to the store, not to any
+// release).
+const epochKey = "writer-epoch"
 
 const snapshotVersion = 1
 
@@ -114,6 +173,7 @@ type snapshotFile struct {
 	Seq     uint64      `json:"seq"`
 	Events  []snapEvent `json:"events"`
 	Commits []snapEvent `json:"commits"`
+	Epochs  []snapEvent `json:"epochs,omitempty"`
 }
 
 type snapEvent struct {
@@ -123,6 +183,7 @@ type snapEvent struct {
 	Key     string  `json:"key"`
 	At      int64   `json:"at_unix_nano"`
 	SHA     string  `json:"sha256,omitempty"`
+	Epoch   uint64  `json:"epoch,omitempty"`
 	Trace   string  `json:"trace,omitempty"`
 }
 
@@ -164,6 +225,10 @@ func Open(dir string) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	if err := s.loadFence(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	// Make the directory entries themselves durable (first creation).
 	if err := syncDir(dir); err != nil {
 		s.Close()
@@ -172,7 +237,28 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// loadFence reads the durable FENCED marker, if any. The marker survives
+// restarts by design: a fenced store stays fenced forever — reviving the
+// old primary must never revive its write authority.
+func (s *Store) loadFence() error {
+	blob, err := os.ReadFile(filepath.Join(s.dir, "FENCED"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	epoch, perr := strconv.ParseUint(strings.TrimSpace(string(blob)), 10, 64)
+	if perr != nil || epoch == 0 {
+		return fmt.Errorf("store: corrupt FENCED marker in %s: %q", s.dir, strings.TrimSpace(string(blob)))
+	}
+	s.fencedAt = epoch
+	return nil
+}
+
 // apply folds one recovered or appended event into the in-memory state.
+// Epoch grants live in their own slice so Events() — the input to ledger
+// replay — carries exactly the debit/refund history it always did.
 func (s *Store) apply(e Event) {
 	switch e.Kind {
 	case EventCommit:
@@ -181,6 +267,11 @@ func (s *Store) apply(e Event) {
 		}
 		s.commits = append(s.commits, e)
 		s.byKey[e.Key] = len(s.commits) - 1
+	case EventEpoch:
+		s.epochs = append(s.epochs, e)
+		if e.Epoch > s.writerEpoch {
+			s.writerEpoch = e.Epoch
+		}
 	default:
 		s.events = append(s.events, e)
 	}
@@ -213,14 +304,20 @@ func (s *Store) loadSnapshot() error {
 				}
 				copy(e.SHA[:], sha)
 				e.Kind = EventCommit
-			case kind != EventCommit && r.Kind == "debit":
+			case kind == EventEpoch && r.Kind == "epoch":
+				if r.Epoch == 0 {
+					return fmt.Errorf("store: snapshot epoch row grants epoch 0")
+				}
+				e.Epoch = r.Epoch
+				e.Kind = EventEpoch
+			case kind == EventDebit && r.Kind == "debit":
 				e.Kind = EventDebit
-			case kind != EventCommit && r.Kind == "refund":
+			case kind == EventDebit && r.Kind == "refund":
 				e.Kind = EventRefund
 			default:
 				return fmt.Errorf("store: snapshot row has unexpected kind %q", r.Kind)
 			}
-			if e.Kind != EventCommit && (!(e.Epsilon > 0) || math.IsInf(e.Epsilon, 0)) {
+			if (e.Kind == EventDebit || e.Kind == EventRefund) && (!(e.Epsilon > 0) || math.IsInf(e.Epsilon, 0)) {
 				return fmt.Errorf("store: snapshot %s row has unusable epsilon %v", r.Kind, r.Epsilon)
 			}
 			s.apply(e)
@@ -231,6 +328,9 @@ func (s *Store) loadSnapshot() error {
 		return err
 	}
 	if err := restore(EventCommit, snap.Commits); err != nil {
+		return err
+	}
+	if err := restore(EventEpoch, snap.Epochs); err != nil {
 		return err
 	}
 	s.snapshotSeq = snap.Seq
@@ -302,6 +402,9 @@ func (s *Store) appendLocked(e *Event) error {
 	if s.closed {
 		return fmt.Errorf("store: %s is closed", s.dir)
 	}
+	if s.fencedAt != 0 {
+		return fmt.Errorf("store: %s: writer epoch %d superseded by %d: %w", s.dir, s.writerEpoch, s.fencedAt, ErrFenced)
+	}
 	if e.Key == "" || len(e.Key) > maxKeyLen {
 		return fmt.Errorf("store: record key must be 1..%d bytes, got %d", maxKeyLen, len(e.Key))
 	}
@@ -313,7 +416,7 @@ func (s *Store) appendLocked(e *Event) error {
 	e.Seq = s.wal.nextSeq
 	s.wal.nextSeq++
 	if err := s.wal.append(e); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrAppend, err)
 	}
 	s.apply(*e)
 	return nil
@@ -382,11 +485,17 @@ func (s *Store) CommitReleaseTraced(key string, envelope []byte, trace string) e
 		}
 		return nil // idempotent re-commit
 	}
+	if s.fencedAt != 0 {
+		return fmt.Errorf("store: %s: writer epoch %d superseded by %d: %w", s.dir, s.writerEpoch, s.fencedAt, ErrFenced)
+	}
 	sha, size, err := s.writeArtifact(envelope)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrAppend, err)
 	}
 	crash("commit.before_record")
+	if err := failpoint("commit.before_record"); err != nil {
+		return fmt.Errorf("%w: %w", ErrAppend, err)
+	}
 	if err := s.appendLocked(&Event{Kind: EventCommit, At: time.Now(), Key: key, SHA: sha, Trace: trace}); err != nil {
 		return err
 	}
@@ -425,6 +534,10 @@ func (s *Store) writeArtifact(blob []byte) ([32]byte, int64, error) {
 		return sha, 0, err
 	}
 	crash("artifact.after_write")
+	if err := failpoint("artifact.after_write"); err != nil {
+		os.Remove(tmp)
+		return sha, 0, err
+	}
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return sha, 0, err
@@ -451,6 +564,293 @@ func (s *Store) LoadArtifact(sha [32]byte) ([]byte, error) {
 	return blob, nil
 }
 
+// Epochs returns the writer-epoch grant records in replay order.
+func (s *Store) Epochs() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.epochs))
+	copy(out, s.epochs)
+	return out
+}
+
+// WriterEpoch returns the highest writer epoch granted in the store's
+// history (0 before any promotion).
+func (s *Store) WriterEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writerEpoch
+}
+
+// FencedEpoch reports whether the store is fenced and, if so, the epoch of
+// the writer that superseded it.
+func (s *Store) FencedEpoch() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fencedAt, s.fencedAt != 0
+}
+
+// Promote grants this store the next writer epoch by appending a durable
+// epoch record. The record rides the WAL like any other event — it is
+// fsynced before Promote returns, replicated by log shipping, and replayed
+// on recovery — so once a promotion is acknowledged every node that ever
+// syncs past it knows a writer at that epoch exists. Returns the granted
+// epoch. A fenced store cannot be promoted.
+func (s *Store) Promote(trace string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: %s is closed", s.dir)
+	}
+	next := s.writerEpoch + 1
+	e := &Event{Kind: EventEpoch, At: time.Now(), Key: epochKey, Epoch: next, Trace: trace}
+	if err := s.appendLocked(e); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Fence durably marks this store as superseded by a writer at epoch:
+// every subsequent append (debit, refund, commit, promotion, replicated
+// batch) is rejected with ErrFenced, across restarts. Fencing the live
+// writer itself is refused — epoch must exceed the store's own writer
+// epoch — so a confused or malicious fence request can never take down
+// the node that actually holds the budget-writer role. Fence is
+// idempotent and only ever raises the fence epoch.
+func (s *Store) Fence(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if epoch == 0 {
+		return fmt.Errorf("store: cannot fence at epoch 0")
+	}
+	if epoch <= s.writerEpoch {
+		return fmt.Errorf("store: refusing fence at epoch %d: this store holds writer epoch %d", epoch, s.writerEpoch)
+	}
+	if s.fencedAt >= epoch {
+		return nil
+	}
+	final := filepath.Join(s.dir, "FENCED")
+	tmp := final + ".tmp"
+	blob := []byte(strconv.FormatUint(epoch, 10) + "\n")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.fencedAt = epoch
+	return nil
+}
+
+// FramesSince re-frames every record with sequence number beyond afterSeq
+// into shippable WAL frame bytes, up to roughly maxBytes (at least one
+// frame is always returned when any record qualifies, so a pull always
+// makes progress). It returns the frames and the sequence number of the
+// last record included. Frames are re-encoded from the in-memory history
+// rather than read from disk — the encoding is deterministic, so the bytes
+// match what the WAL held before any compaction, and shipping keeps
+// working after Compact rotates the log away.
+func (s *Store) FramesSince(afterSeq uint64, maxBytes int) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	var pending []*Event
+	for i := range s.events {
+		if s.events[i].Seq > afterSeq {
+			pending = append(pending, &s.events[i])
+		}
+	}
+	for i := range s.commits {
+		if s.commits[i].Seq > afterSeq {
+			pending = append(pending, &s.commits[i])
+		}
+	}
+	for i := range s.epochs {
+		if s.epochs[i].Seq > afterSeq {
+			pending = append(pending, &s.epochs[i])
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	var buf []byte
+	last := afterSeq
+	for _, e := range pending {
+		mark := len(buf)
+		buf = appendFrame(buf, e)
+		if len(buf) > maxBytes && mark > 0 {
+			buf = buf[:mark]
+			break
+		}
+		last = e.Seq
+	}
+	return buf, last, nil
+}
+
+// AppendReplicated applies a batch of shipped WAL frames. The entire
+// batch is validated before a single byte is written — strict framing
+// (ParseFrames), monotonic epochs, and every commit's artifact already
+// present on disk — then the accepted frames are appended to the local
+// WAL verbatim, preserving the primary's sequence numbers, and fsynced as
+// one batch. Frames at or below the local last sequence are skipped (a
+// re-poll after a partial apply re-ships bytes the replica already has).
+// Because the primary's frames are applied byte-for-byte at the same
+// sequence numbers, a caught-up replica's WAL is a bit-identical prefix
+// of the primary's history, and a promotion simply continues the same
+// numbering. Returns the newly applied events in order.
+func (s *Store) AppendReplicated(frames []byte) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: %s is closed", s.dir)
+	}
+	if s.fencedAt != 0 {
+		return nil, fmt.Errorf("store: %s: writer epoch %d superseded by %d: %w", s.dir, s.writerEpoch, s.fencedAt, ErrFenced)
+	}
+	events, err := ParseFrames(frames)
+	if err != nil {
+		return nil, fmt.Errorf("store: rejecting replicated batch: %w", err)
+	}
+	lastSeq := s.wal.nextSeq - 1
+	epoch := s.writerEpoch
+	accepted := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			continue // already applied (overlapping re-ship)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case EventEpoch:
+			if e.Epoch <= epoch {
+				return nil, fmt.Errorf("store: rejecting replicated batch: epoch record grants %d but local writer epoch is already %d", e.Epoch, epoch)
+			}
+			epoch = e.Epoch
+		case EventCommit:
+			if !s.hasArtifactLocked(e.SHA) {
+				return nil, fmt.Errorf("store: rejecting replicated batch: commit %q references missing artifact %s (fetch artifacts before applying frames)", e.Key, hex.EncodeToString(e.SHA[:]))
+			}
+		}
+		accepted = append(accepted, e)
+	}
+	if len(accepted) == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, 0, len(frames))
+	for i := range accepted {
+		buf = appendFrame(buf, &accepted[i])
+	}
+	if err := s.wal.appendRaw(buf); err != nil {
+		// Durability of the batch is unknown; in-memory state is not
+		// advanced, so the next poll re-ships the same frames. If the bytes
+		// did land, recovery's duplicate-skip folds the re-append away.
+		return nil, fmt.Errorf("%w: %w", ErrAppend, err)
+	}
+	for _, e := range accepted {
+		s.apply(e)
+	}
+	s.wal.nextSeq = accepted[len(accepted)-1].Seq + 1
+	return accepted, nil
+}
+
+// AddrString returns the hex content address for sha.
+func AddrString(sha [32]byte) string { return hex.EncodeToString(sha[:]) }
+
+// VerifyAddr reports whether blob hashes to the hex content address.
+func VerifyAddr(shaHex string, blob []byte) bool {
+	want, err := parseSHA(shaHex)
+	if err != nil {
+		return false
+	}
+	return sha256.Sum256(blob) == want
+}
+
+// parseSHA decodes a 64-hex-digit SHA-256 content address.
+func parseSHA(hexStr string) ([32]byte, error) {
+	var sha [32]byte
+	raw, err := hex.DecodeString(hexStr)
+	if err != nil || len(raw) != 32 {
+		return sha, fmt.Errorf("store: %q is not a sha256 content address", hexStr)
+	}
+	copy(sha[:], raw)
+	return sha, nil
+}
+
+func (s *Store) hasArtifactLocked(sha [32]byte) bool {
+	path := filepath.Join(s.dir, "artifacts", hex.EncodeToString(sha[:])+".json")
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// HasArtifact reports whether the artifact with the given hex content
+// address is present on disk.
+func (s *Store) HasArtifact(shaHex string) bool {
+	sha, err := parseSHA(shaHex)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hasArtifactLocked(sha)
+}
+
+// PutArtifact stores blob under its hex content address, verifying the
+// hash on receipt — a replica must never trust shipped artifact bytes
+// without proving they are the bytes the commit record names.
+func (s *Store) PutArtifact(shaHex string, blob []byte) error {
+	want, err := parseSHA(shaHex)
+	if err != nil {
+		return err
+	}
+	if sha256.Sum256(blob) != want {
+		return fmt.Errorf("store: artifact bytes do not hash to %s", shaHex)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	_, size, err := s.writeArtifact(blob)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrAppend, err)
+	}
+	s.artifactBytes += size
+	return nil
+}
+
+// ArtifactByAddr loads a committed envelope by hex content address,
+// verifying the bytes against it (the log-shipping artifact fetch path).
+func (s *Store) ArtifactByAddr(shaHex string) ([]byte, error) {
+	sha, err := parseSHA(shaHex)
+	if err != nil {
+		return nil, err
+	}
+	return s.LoadArtifact(sha)
+}
+
 // Compact folds the current state into a fresh snapshot and rotates the
 // WAL. Recovery after a crash at any point is consistent: the snapshot
 // becomes visible atomically (rename), and stale WAL records left by a
@@ -471,6 +871,11 @@ func (s *Store) Compact() error {
 		snap.Commits = append(snap.Commits, snapEvent{
 			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
 			SHA: hex.EncodeToString(e.SHA[:]), Trace: e.Trace})
+	}
+	for _, e := range s.epochs {
+		snap.Epochs = append(snap.Epochs, snapEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
+			Epoch: e.Epoch, Trace: e.Trace})
 	}
 	blob, err := json.Marshal(&snap)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 //	record := len(u32) crc(u32) payload              (little-endian)
 //	payload:= seq(u64) kind(u8) at(i64, unix nanos)
 //	          eps(f64) keyLen(u16) key [sha(32)]     (sha on commits only)
+//	          [epoch(u64)]                           (epoch records only)
 //	          [traceLen(u8) trace]                   (optional, all kinds)
 //
 // The CRC is crc32.Castagnoli over the payload. Zero-length frames,
@@ -56,6 +57,12 @@ const (
 	// EventCommit records that a release's wire envelope is durable in the
 	// artifact store under SHA, keyed by the release fingerprint in Key.
 	EventCommit EventKind = 3
+	// EventEpoch records a writer-epoch bump: the store's owner was
+	// promoted to the dataset's single budget-writer at Epoch. The record
+	// rides the WAL (durable, CRC-framed, replicated by log shipping) so
+	// every node that has the prefix knows the highest epoch ever granted,
+	// which is what makes fencing a pure function of replicated state.
+	EventEpoch EventKind = 4
 )
 
 func (k EventKind) String() string {
@@ -66,6 +73,8 @@ func (k EventKind) String() string {
 		return "refund"
 	case EventCommit:
 		return "commit"
+	case EventEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -86,6 +95,9 @@ type Event struct {
 	Key string
 	// SHA is the content address of the committed envelope (commits only).
 	SHA [32]byte
+	// Epoch is the writer epoch granted by an epoch record (epoch records
+	// only; zero otherwise).
+	Epoch uint64
 	// Trace is the request trace ID that produced the event ("" for
 	// untraced appends and for records written before the field existed).
 	Trace string
@@ -112,6 +124,9 @@ func appendEventPayload(buf []byte, e *Event) []byte {
 	buf = append(buf, e.Key...)
 	if e.Kind == EventCommit {
 		buf = append(buf, e.SHA[:]...)
+	}
+	if e.Kind == EventEpoch {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
 	}
 	if e.Trace != "" {
 		t := e.Trace
@@ -156,6 +171,18 @@ func decodeEventPayload(p []byte) (Event, error) {
 		if e.Epsilon != 0 {
 			return e, fmt.Errorf("store: commit record carries epsilon %v", e.Epsilon)
 		}
+	case EventEpoch:
+		if len(rest) < 8 {
+			return e, fmt.Errorf("store: epoch record has %d epoch bytes, want 8", len(rest))
+		}
+		e.Epoch = binary.LittleEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		if e.Epoch == 0 {
+			return e, fmt.Errorf("store: epoch record grants epoch 0")
+		}
+		if e.Epsilon != 0 {
+			return e, fmt.Errorf("store: epoch record carries epsilon %v", e.Epsilon)
+		}
 	default:
 		return e, fmt.Errorf("store: unknown record kind %d", uint8(e.Kind))
 	}
@@ -169,6 +196,56 @@ func decodeEventPayload(p []byte) (Event, error) {
 		e.Trace = string(rest[1:])
 	}
 	return e, nil
+}
+
+// appendFrame encodes e as one complete CRC-framed record (header +
+// payload) appended to buf. The encoding is deterministic: re-framing a
+// decoded Event yields the exact bytes that were (or will be) on disk,
+// which is what lets replication re-ship frames out of memory and still
+// promise bit-identical WAL prefixes on every node.
+func appendFrame(buf []byte, e *Event) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, recHeaderLen)...)
+	buf = appendEventPayload(buf, e)
+	payload := buf[start+recHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// ParseFrames parses a bare frame sequence (no magic header) and fails on
+// ANY defect: a short or oversized frame, a bad CRC, a malformed payload,
+// or trailing garbage. It is the strict sibling of DecodeWAL used on the
+// replication receive path — a replica must refuse a corrupt shipment
+// outright rather than silently apply a prefix of it — and by the offline
+// scrubber. Sequence ordering is NOT checked here; the applier owns that.
+func ParseFrames(data []byte) ([]Event, error) {
+	var events []Event
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return nil, fmt.Errorf("store: truncated frame header at offset %d (%d trailing bytes)", off, len(rest))
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		if plen == 0 || plen > maxRecordPayload {
+			return nil, fmt.Errorf("store: frame at offset %d has payload length %d out of range", off, plen)
+		}
+		if len(rest) < recHeaderLen+int(plen) {
+			return nil, fmt.Errorf("store: truncated frame at offset %d (want %d payload bytes, have %d)", off, plen, len(rest)-recHeaderLen)
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return nil, fmt.Errorf("store: frame at offset %d fails CRC", off)
+		}
+		e, err := decodeEventPayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: frame at offset %d: %w", off, err)
+		}
+		events = append(events, e)
+		off += recHeaderLen + int(plen)
+	}
+	return events, nil
 }
 
 // DecodeWAL parses a WAL image (magic + frames) and returns the longest
@@ -290,18 +367,26 @@ func openWAL(path string) (*wal, []Event, error) {
 // when append returns nil. On a write error the torn bytes are truncated
 // away so the file's valid prefix is preserved for later appends.
 func (w *wal) append(e *Event) error {
-	w.buf = w.buf[:0]
-	// Reserve the header, encode the payload behind it, then fill in the
-	// frame header over the reserved bytes.
-	w.buf = append(w.buf, make([]byte, recHeaderLen)...)
-	w.buf = appendEventPayload(w.buf, e)
-	payload := w.buf[recHeaderLen:]
-	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	w.buf = appendFrame(w.buf[:0], e)
+	return w.appendRaw(w.buf)
+}
 
+// appendRaw writes and fsyncs pre-framed record bytes (one frame from
+// append, or a validated batch from AppendReplicated). The bytes are
+// durable when it returns nil. On a write error the torn bytes are
+// truncated away so the file's valid prefix is preserved; on a sync error
+// durability is unknown and the caller must treat the operation as failed
+// (recovery tolerates the possibly-durable records — orphan debits only
+// over-count spent ε, the safe direction, and duplicates re-appended after
+// a retry are skipped by the seq check).
+func (w *wal) appendRaw(frames []byte) error {
 	start := w.size
 	crash("wal.before_write")
-	n, err := w.f.Write(w.buf)
+	if err := failpoint("wal.before_write"); err != nil {
+		// Injected clean failure: nothing was written.
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	n, err := w.f.Write(frames)
 	if n > 0 {
 		// The bytes are in the file whether or not the write (or the sync
 		// below) reports success, so the in-memory size must advance NOW: a
@@ -318,6 +403,13 @@ func (w *wal) append(e *Event) error {
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
 	crash("wal.after_write")
+	if err := failpoint("wal.after_write"); err != nil {
+		// Injected sync-path failure: the bytes are in the file but their
+		// durability is unknown — exactly the ENOSPC/EIO shape. The caller
+		// must fail the operation; the possibly-durable record can only
+		// over-count spent ε on recovery.
+		return fmt.Errorf("store: syncing WAL: %w", err)
+	}
 	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		// The record's durability is unknown; the caller must treat the

@@ -3,7 +3,6 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -23,13 +22,6 @@ func walImage(events []Event) []byte {
 		data = appendFrame(data, &e)
 	}
 	return data
-}
-
-func appendFrame(data []byte, e *Event) []byte {
-	payload := appendEventPayload(nil, e)
-	data = binary.LittleEndian.AppendUint32(data, uint32(len(payload)))
-	data = binary.LittleEndian.AppendUint32(data, crc32.Checksum(payload, castagnoli))
-	return append(data, payload...)
 }
 
 func sampleEvents() []Event {

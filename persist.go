@@ -57,6 +57,57 @@ func (st *Store) SetFsyncObserver(fn func(seconds float64)) { st.inner.SetFsyncO
 // stale WAL records are skipped by its sequence cursor).
 func (st *Store) Compact() error { return st.inner.Compact() }
 
+// WriterEpoch returns the highest writer epoch granted in the store's
+// replicated history (0 before any promotion). Exactly one store per
+// dataset may hold the current epoch as a live budget-writer; see the
+// package documentation's "Replication and failover" section.
+func (st *Store) WriterEpoch() uint64 { return st.inner.WriterEpoch() }
+
+// FencedEpoch reports whether this store has been durably fenced — a
+// writer at the returned epoch superseded it — in which case every local
+// mutation fails with a fenced error, across restarts.
+func (st *Store) FencedEpoch() (uint64, bool) { return st.inner.FencedEpoch() }
+
+// Promote grants this store the next writer epoch via a durable,
+// replicated WAL record and returns it. trace optionally links the grant
+// to the request trace that caused the promotion. A fenced store cannot
+// be promoted.
+func (st *Store) Promote(trace string) (uint64, error) { return st.inner.Promote(trace) }
+
+// Fence durably marks this store as superseded by a writer at epoch:
+// every later append is rejected, across restarts. Fencing at an epoch
+// the store itself holds (or lower) is refused, so a stray fence request
+// cannot take down the live writer.
+func (st *Store) Fence(epoch uint64) error { return st.inner.Fence(epoch) }
+
+// WALFrames returns up to roughly maxBytes of CRC-framed ledger records
+// with sequence numbers after afterSeq, exactly as they appear in the
+// write-ahead log, plus the last sequence number included. It is the
+// log-shipping read side: a replica applies the frames verbatim with
+// Session.ApplyReplicated. maxBytes <= 0 selects a sensible default; when
+// any record qualifies at least one frame is returned, so pulls always
+// make progress.
+func (st *Store) WALFrames(afterSeq uint64, maxBytes int) ([]byte, uint64, error) {
+	return st.inner.FramesSince(afterSeq, maxBytes)
+}
+
+// HasArtifact reports whether the envelope with the given hex SHA-256
+// content address is already present in the artifact store.
+func (st *Store) HasArtifact(shaHex string) bool { return st.inner.HasArtifact(shaHex) }
+
+// PutArtifact stores envelope bytes under their hex SHA-256 content
+// address, verifying the hash on receipt; mismatched bytes are rejected.
+// Replicas call it for each artifact referenced by shipped commit records
+// before applying the frames.
+func (st *Store) PutArtifact(shaHex string, blob []byte) error {
+	return st.inner.PutArtifact(shaHex, blob)
+}
+
+// Artifact loads a committed envelope by hex SHA-256 content address and
+// verifies the bytes against it — the serving side of replicated artifact
+// fetch.
+func (st *Store) Artifact(shaHex string) ([]byte, error) { return st.inner.ArtifactByAddr(shaHex) }
+
 // Close releases the store's file handles. Every acknowledged operation
 // is already durable, so Close is never a flush barrier. Idempotent.
 func (st *Store) Close() error { return st.inner.Close() }

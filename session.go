@@ -160,7 +160,16 @@ func (s *Session) WithStore(st *Store) error {
 		list = append(list, RestoredRelease{Release: rel, At: c.At})
 	}
 
-	events := st.inner.Events()
+	s.ledger.Restore(ledgerHistory(st.inner.Events()))
+	s.store = st.inner
+	s.restored = restored
+	s.restoredList = list
+	return nil
+}
+
+// ledgerHistory converts recovered store events into the ledger's audit
+// trail form, preserving the WAL's arithmetic exactly.
+func ledgerHistory(events []store.Event) []dp.Debit {
 	hist := make([]dp.Debit, len(events))
 	for i, e := range events {
 		d := dp.Debit{Note: "release " + e.Key, At: e.At, TraceID: e.Trace}
@@ -172,11 +181,62 @@ func (s *Session) WithStore(st *Store) error {
 		}
 		hist[i] = d
 	}
-	s.ledger.Restore(hist)
-	s.store = st.inner
-	s.restored = restored
-	s.restoredList = list
-	return nil
+	return hist
+}
+
+// ApplyReplicated applies a batch of WAL frames shipped from a primary's
+// Store.WALFrames to this read replica's session: the frames are
+// strictly validated and appended to the local WAL verbatim (preserving
+// the primary's sequence numbers, so the replica's history stays a
+// bit-identical prefix of the primary's), the ledger's spent ε is rebuilt
+// by replaying the full replicated history — replicated debits bypass the
+// budget check, because the primary already enforced it and replay must
+// reproduce its arithmetic exactly — and each newly shipped commit is
+// decoded from its (previously fetched, hash-verified) artifact into a
+// recovered release served bit-identically from the persisted bytes.
+//
+// Artifacts referenced by commit records in the batch must be present in
+// the store (Store.PutArtifact) before the batch is applied; a commit
+// naming a missing artifact rejects the whole batch with nothing applied.
+// Returns the newly recovered releases in commit order.
+func (s *Session) ApplyReplicated(frames []byte) ([]RestoredRelease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil, fmt.Errorf("privtree: ApplyReplicated requires a store-backed session")
+	}
+	applied, err := s.store.AppendReplicated(frames)
+	if err != nil {
+		return nil, err
+	}
+	if len(applied) == 0 {
+		return nil, nil
+	}
+	var out []RestoredRelease
+	for _, e := range applied {
+		if e.Kind != store.EventCommit {
+			continue
+		}
+		if _, dup := s.restored[e.Key]; dup {
+			continue
+		}
+		blob, lerr := s.store.LoadArtifact(e.SHA)
+		if lerr != nil {
+			return out, fmt.Errorf("privtree: replicated release %q: %w", e.Key, lerr)
+		}
+		rel, derr := Decode(blob)
+		if derr != nil {
+			return out, fmt.Errorf("privtree: replicated release %q: %w", e.Key, derr)
+		}
+		// Serve the exact replicated bytes, not a re-marshal.
+		rel.wire.Store(&wireEnvelope{blob: blob})
+		s.restored[e.Key] = rel
+		rr := RestoredRelease{Release: rel, At: e.At}
+		s.restoredList = append(s.restoredList, rr)
+		out = append(out, rr)
+	}
+	s.ledger.Restore(ledgerHistory(s.store.Events()))
+	return out, nil
 }
 
 // Restored returns the releases recovered from the session's store at
@@ -231,7 +291,8 @@ type AuditEntry struct {
 	// Seq is the WAL sequence number (0 for in-memory sessions, which
 	// have no WAL).
 	Seq uint64
-	// Kind is "debit", "refund", or "commit".
+	// Kind is "debit", "refund", "commit", or "epoch" (a writer-epoch
+	// grant from a replication promotion; carries no ε).
 	Kind string
 	// Epsilon is the budget moved: positive for debits, negative for
 	// refunds, zero for commits.
@@ -272,8 +333,8 @@ func (s *Session) Audit() []AuditEntry {
 		}
 		return out
 	}
-	events, commits := st.Events(), st.Commits()
-	out := make([]AuditEntry, 0, len(events)+len(commits))
+	events, commits, epochs := st.Events(), st.Commits(), st.Epochs()
+	out := make([]AuditEntry, 0, len(events)+len(commits)+len(epochs))
 	for _, e := range events {
 		eps := e.Epsilon
 		if e.Kind == store.EventRefund {
@@ -288,6 +349,12 @@ func (s *Session) Audit() []AuditEntry {
 		out = append(out, AuditEntry{
 			Seq: c.Seq, Kind: c.Kind.String(), Key: c.Key,
 			TraceID: c.Trace, SHA: hex.EncodeToString(c.SHA[:]), At: c.At,
+		})
+	}
+	for _, e := range epochs {
+		out = append(out, AuditEntry{
+			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key,
+			TraceID: e.Trace, At: e.At,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
