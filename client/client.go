@@ -227,6 +227,30 @@ type RegisterRequest struct {
 
 	Alphabet  int     `json:"alphabet,omitempty"`
 	Sequences [][]int `json:"sequences,omitempty"`
+
+	// Stream registers a streaming dataset: it starts empty (set no data
+	// source), requires Domain (spatial) or Alphabet (sequence), and is
+	// fed through Ingest.
+	Stream *StreamSpec `json:"stream,omitempty"`
+}
+
+// StreamSpec is a streaming dataset's epoch policy plus the per-epoch
+// release knobs. Each sealed epoch debits EpochEpsilon; the server's
+// `latest` alias serves the last Window epochs, whose composed privacy
+// cost is bounded by Window × EpochEpsilon.
+type StreamSpec struct {
+	EpochEpsilon float64 `json:"epoch_epsilon"`
+	Window       int     `json:"window"`
+	SealEvery    int     `json:"seal_every,omitempty"`
+	IntervalMS   int64   `json:"interval_ms,omitempty"`
+
+	Seed               uint64  `json:"seed,omitempty"`
+	Fanout             int     `json:"fanout,omitempty"`
+	Theta              float64 `json:"theta,omitempty"`
+	TreeBudgetFraction float64 `json:"tree_budget_fraction,omitempty"`
+	MaxDepth           int     `json:"max_depth,omitempty"`
+	AffectedLeaves     int     `json:"affected_leaves,omitempty"`
+	MaxLength          int     `json:"max_length,omitempty"`
 }
 
 // ReleaseParams selects the mechanism knobs and the ε one release debits.
@@ -267,6 +291,19 @@ type DatasetInfo struct {
 	StoreBytes       int64         `json:"store_bytes,omitempty"`
 	Releases         []ReleaseInfo `json:"releases,omitempty"`
 	NumReleases      int           `json:"num_releases"`
+	Stream           *StreamStatus `json:"stream,omitempty"`
+}
+
+// StreamStatus is the streaming state of a dataset: epoch positions and
+// the served window's composed ε.
+type StreamStatus struct {
+	EpochEpsilon  float64   `json:"epoch_epsilon"`
+	Window        int       `json:"window"`
+	LastEpoch     uint64    `json:"last_epoch"`
+	WindowEpochs  int       `json:"window_epochs"`
+	WindowEpsilon float64   `json:"window_epsilon"`
+	Pending       int       `json:"pending"`
+	LastSealedAt  time.Time `json:"last_sealed_at,omitempty"`
 }
 
 // RegisterResult acknowledges a registration; N is the exact ingested
@@ -374,6 +411,56 @@ func (c *Client) Query(ctx context.Context, dataset, id string, q QueryRequest) 
 	var out QueryResult
 	path := "/v1/datasets/" + url.PathEscape(dataset) + "/releases/" + url.PathEscape(id) + "/query"
 	if err := c.do(ctx, http.MethodPost, path, q, &out, retryAlways, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestRequest is one batch of records appended to a streaming
+// dataset. BatchSeq is the client-supplied idempotency token: the server
+// applies each sequence number at most once and acks replays as
+// duplicates, so callers that set strictly increasing sequence numbers
+// may retry blindly. Zero lets the server assign the next number, which
+// forfeits retry safety for that batch.
+type IngestRequest struct {
+	BatchSeq uint64      `json:"batch_seq,omitempty"`
+	Points   [][]float64 `json:"points,omitempty"`
+	Strings  [][]int     `json:"strings,omitempty"`
+	Seal     bool        `json:"seal,omitempty"`
+}
+
+// IngestResult acknowledges an ingest batch. BatchSeq echoes the applied
+// (or server-assigned) sequence number; when the batch triggered a seal,
+// Sealed/Epoch/ReleaseID describe the epoch it froze and SealError
+// carries a seal failure that did not affect the already-durable batch.
+type IngestResult struct {
+	BatchSeq      uint64  `json:"batch_seq"`
+	Applied       int     `json:"applied"`
+	Duplicate     bool    `json:"duplicate,omitempty"`
+	Pending       int     `json:"pending"`
+	Sealed        bool    `json:"sealed,omitempty"`
+	Epoch         uint64  `json:"epoch,omitempty"`
+	ReleaseID     string  `json:"release_id,omitempty"`
+	LastEpoch     uint64  `json:"last_epoch"`
+	WindowEpsilon float64 `json:"window_epsilon"`
+	EpsilonSpent  float64 `json:"epsilon_spent"`
+	SealError     string  `json:"seal_error,omitempty"`
+}
+
+// Ingest appends a batch to a streaming dataset. Ingest is a write: in
+// cluster mode it routes to the sticky primary and fails over on
+// read_only/fenced redirects like every other mutation. With a non-zero
+// BatchSeq the server dedups replays, so the batch retries without
+// restriction; with BatchSeq zero a retry could apply twice, so only
+// pre-admission rejections (429/shed) are retried.
+func (c *Client) Ingest(ctx context.Context, dataset string, req IngestRequest) (*IngestResult, error) {
+	var out IngestResult
+	class := retryAlways
+	if req.BatchSeq == 0 {
+		class = retryIfUnadmitted
+	}
+	path := "/v1/datasets/" + url.PathEscape(dataset) + "/ingest"
+	if err := c.do(ctx, http.MethodPost, path, req, &out, class, true); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -113,6 +113,108 @@ func TestClusterRoutingAndFailover(t *testing.T) {
 	_ = primary
 }
 
+// TestClusterStreamIngestFailover proves ingest is classified as a
+// write: batches route to the sticky primary (bouncing off the replica's
+// read_only rejection), replays of an explicit batch sequence dedup
+// server-side, the replica's latest window converges bit-identically to
+// the primary's, and after failover the same client keeps ingesting with
+// the epoch history and ε accounting intact.
+func TestClusterStreamIngestFailover(t *testing.T) {
+	_, _, tsP, tsR := clusterPair(t)
+	ctx := context.Background()
+
+	// Replica FIRST: the initial ingest must advance off it.
+	cc, err := NewCluster([]string{tsR.URL, tsP.URL}, WithRetryPolicy(fastRetry(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cc.Register(ctx, RegisterRequest{
+		Name: "sw", Epsilon: 1.0,
+		Domain: &Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}},
+		Stream: &StreamSpec{EpochEpsilon: 0.125, Window: 2, Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("register streaming dataset: %v", err)
+	}
+
+	pts := clusterPoints(90)
+	seq := uint64(0)
+	ingest := func(c *Client, batch [][]float64, seal bool) *IngestResult {
+		t.Helper()
+		seq++
+		res, err := c.Ingest(ctx, "sw", IngestRequest{BatchSeq: seq, Points: batch, Seal: seal})
+		if err != nil {
+			t.Fatalf("ingest batch %d: %v", seq, err)
+		}
+		return res
+	}
+
+	res := ingest(cc, pts[:30], true)
+	if !res.Sealed || res.Epoch != 1 || res.EpsilonSpent != 0.125 {
+		t.Fatalf("first seal ack = %+v", res)
+	}
+	// Replay the same batch sequence: acked as a duplicate, nothing applied.
+	dup, err := cc.Ingest(ctx, "sw", IngestRequest{BatchSeq: seq, Points: pts[:30]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Duplicate || dup.Applied != 0 {
+		t.Fatalf("replayed batch ack = %+v, want duplicate with nothing applied", dup)
+	}
+
+	ingest(cc, pts[30:60], true)
+	res = ingest(cc, pts[60:], true)
+	if res.Epoch != 3 || res.LastEpoch != 3 {
+		t.Fatalf("third seal ack = %+v", res)
+	}
+	// Window of 2: composed window ε stays at 2×0.125 while total spend is 3×0.125.
+	if res.WindowEpsilon != 0.25 || res.EpsilonSpent != 0.375 {
+		t.Fatalf("after 3 seals: window ε=%v spent=%v, want 0.25 / 0.375", res.WindowEpsilon, res.EpsilonSpent)
+	}
+
+	// Wait for the replica's window to reach epoch 3, then the latest
+	// alias must answer bit-identically on both nodes.
+	pc := New(tsP.URL, WithRetryPolicy(fastRetry(3)))
+	rc := New(tsR.URL, WithRetryPolicy(fastRetry(3)))
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		info, err := rc.Dataset(ctx, "sw")
+		if err == nil && info.Stream != nil && info.Stream.LastEpoch == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reached epoch 3 (info err=%v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	q := QueryRequest{Queries: [][]float64{{0, 0, 1, 1}, {0.25, 0.25, 0.75, 0.75}, {0.1, 0.6, 0.4, 0.9}}}
+	pAns, err := pc.Query(ctx, "sw", "latest", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAns, err := rc.Query(ctx, "sw", "latest", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pAns.Counts {
+		if pAns.Counts[i] != rAns.Counts[i] {
+			t.Fatalf("latest diverges at query %d: primary %v, replica %v", i, pAns.Counts, rAns.Counts)
+		}
+	}
+
+	// Failover: kill the primary, promote the replica, keep ingesting
+	// through the SAME cluster client.
+	tsP.CloseClientConnections()
+	tsP.Close()
+	if _, err := rc.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	res = ingest(cc, pts[:30], true)
+	if res.Epoch != 4 || res.EpsilonSpent != 0.5 {
+		t.Fatalf("post-failover seal ack = %+v, want epoch 4 spent 0.5", res)
+	}
+}
+
 // TestReadyDistinguishesCatchUp proves Ready reports not_ready (with the
 // structured code) for a replica that cannot reach its primary, while
 // Health stays fine.

@@ -29,6 +29,16 @@
 //	curl -s localhost:8181/metrics    # Prometheus text exposition
 //	curl -s localhost:8181/metricsz   # operational counters as JSON
 //
+// Streaming datasets (registered with a "stream" spec instead of inline
+// data) accept appends at POST /v1/datasets/{name}/ingest — journaled
+// before acknowledgment, idempotent by batch_seq — and seal epochs by
+// count (seal_every), wall clock (interval_ms), or an explicit
+// {"seal":true}; the releases/latest alias serves the sliding window:
+//
+//	curl -s localhost:8181/v1/datasets -d '{"name":"taxi","epsilon":4.0,"domain":{"lo":[0,0],"hi":[1,1]},"stream":{"epoch_epsilon":0.125,"window":8,"seal_every":50000}}'
+//	curl -s localhost:8181/v1/datasets/taxi/ingest -d '{"batch_seq":1,"points":[[0.1,0.2]]}'
+//	curl -s localhost:8181/v1/datasets/taxi/releases/latest/query -d '{"queries":[[0,0,1,1]]}'
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get up to -drain to complete.
 package main

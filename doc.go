@@ -185,6 +185,31 @@
 // balance exactly, each tagged with the trace ID of the request that
 // caused it. See README.md ("Observability").
 //
+// # Streaming ingestion and continual release
+//
+// Data is frozen at construction; Stream (NewSpatialStream,
+// NewSequenceStream) is its appendable counterpart for datasets that
+// keep arriving. AppendPoints/AppendSequences validate each batch
+// atomically before buffering any of it, and Seal freezes everything
+// since the previous seal into an immutable *Data for exactly one epoch
+// (ErrEmptyEpoch, not a charge, when nothing is pending). The privacy
+// argument is epoch disjointness plus sliding-window composition
+// (internal/stream): each epoch's records are released exactly once,
+// debiting ε_epoch through the Session like any other release, and the
+// served window — the latest alias, a sum over the last W epoch
+// releases — is post-processing, so the window is (W·ε_epoch)-DP while
+// any single record is touched by only ε_epoch. Sliding the window
+// never refunds ε: aged-out epochs stay spent on the ledger.
+// Session.AppendSeal/Seals persist the epoch boundaries (WAL-backed
+// when a store is attached), and Store.LastSealedEpoch lets recovery
+// and replicas agree on the seal position. cmd/privtreed exposes the
+// plane as a stream spec at registration plus POST
+// /v1/datasets/{name}/ingest — batches fsynced into an ingest journal
+// before acknowledgment, batch_seq idempotency for exactly-once
+// writers, auto-seal by count or wall clock — with crash, chaos, and
+// fuzz harnesses holding the accounting exact at every boundary. See
+// README.md ("Streaming & continual release").
+//
 // Build entry points validate their parameters and return errors — never
 // panics — on non-positive ε, unusable fanouts, or degenerate domains, so
 // they can sit directly behind untrusted inputs, and the

@@ -99,10 +99,14 @@ const (
 // verbatim, so a replica rebuilds the dataset from exactly the bytes the
 // primary registered it with.
 type DatasetDoc struct {
-	Name         string          `json:"name"`
-	CreatedAt    time.Time       `json:"created_at"`
-	WriterEpoch  uint64          `json:"writer_epoch"`
-	LastSeq      uint64          `json:"last_seq"`
+	Name        string    `json:"name"`
+	CreatedAt   time.Time `json:"created_at"`
+	WriterEpoch uint64    `json:"writer_epoch"`
+	LastSeq     uint64    `json:"last_seq"`
+	// LastEpoch is the newest stream epoch sealed on the advertising node
+	// (0 for non-streaming datasets); replicas compare it against their
+	// local seal position to report epochs-behind.
+	LastEpoch    uint64          `json:"last_epoch,omitempty"`
 	Registration json.RawMessage `json:"registration"`
 }
 
@@ -298,10 +302,15 @@ type Options struct {
 }
 
 // DatasetLag is one dataset's shipping progress: the last sequence
-// number applied locally and the last one observed on the primary.
+// number applied locally and the last one observed on the primary, plus
+// (for streaming datasets) the primary's newest sealed epoch.
 type DatasetLag struct {
 	Applied  uint64
 	Observed uint64
+	// PrimaryEpoch is the newest stream epoch the primary advertised (0
+	// for non-streaming datasets); compare against the local store's
+	// LastSealedEpoch for epochs-behind.
+	PrimaryEpoch uint64
 }
 
 // Lag returns the record lag (observed - applied, never negative).
@@ -446,7 +455,7 @@ func (s *Syncer) syncDataset(ctx context.Context, doc DatasetDoc) (caught bool, 
 	cur := rep.LastSeq()
 	defer func() {
 		s.mu.Lock()
-		s.lag[doc.Name] = DatasetLag{Applied: rep.LastSeq(), Observed: max(doc.LastSeq, rep.LastSeq())}
+		s.lag[doc.Name] = DatasetLag{Applied: rep.LastSeq(), Observed: max(doc.LastSeq, rep.LastSeq()), PrimaryEpoch: doc.LastEpoch}
 		s.mu.Unlock()
 	}()
 	for cur < doc.LastSeq {

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzIngestDecode throws arbitrary bytes at the full ingest plane — the
+// pooled columnar decoder, validation, and the apply path — against live
+// spatial and sequence streaming datasets. The properties under fuzz:
+//
+//  1. no input panics the handler, however hostile, truncated, or
+//     numerically degenerate (NaN/Inf coordinates, overflowing
+//     integers, mismatched row shapes);
+//  2. batches never partially apply: a rejected request leaves the
+//     pending epoch buffer exactly as it was, and an accepted one grows
+//     it by exactly the acknowledged row count (all-or-nothing);
+//  3. the journal payload decoder never panics on arbitrary bytes (its
+//     openIngestJournal caller relies on error returns, not recovery).
+func FuzzIngestDecode(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"points":[[0.5,0.5]]}`,
+		`{"batch_seq":3,"points":[[0.1,0.2],[0.3,0.4]],"seal":true}`,
+		`{"strings":[[0,1,2],[3]]}`,
+		`{"points":[[1e999,0.5]]}`,                  // +Inf coordinate
+		`{"points":[[0.5]]}`,                        // wrong dimensionality
+		`{"points":[[-0.5,0.5]]}`,                   // outside the domain
+		`{"points":[[0.5,0.5]],"strings":[[1]]}`,    // both planes at once
+		`{"strings":[[99]]}`,                        // symbol out of alphabet
+		`{"batch_seq":18446744073709551615,"seal"`,  // truncated mid-key
+		`{"batch_seq":01,"points":[[0.5,0.5]]}`,     // leading zero
+		`{"batch_seq":1.5,"points":[[0.5,0.5]]}`,    // float sequence
+		`{"seal":true}`,                             // bare seal, no rows
+		`{"unknown":1}`,                             // unknown field
+		`{"points":[[0.5,0.5],]}`,                   // trailing comma
+		`{"points":[["0.5","0.5"]]}`,                // strings where floats go
+		"\x00\xff\xfe",                              // not JSON at all
+		`{"points":[[0.30000000000000004,0.7e-1]]}`, // fussy floats
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	s, err := New(Options{Workers: 1, MaxBatch: 256})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	reg := func(body map[string]any) {
+		blob, _ := json.Marshal(body)
+		req := httptest.NewRequest("POST", "/v1/datasets", bytes.NewReader(blob))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 201 {
+			f.Fatalf("register: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	// Huge budgets: a fuzzer-crafted valid {"seal":true} batch seals for
+	// real, and the run must not die to budget exhaustion.
+	reg(map[string]any{
+		"name": "fz-spatial", "epsilon": 1e18,
+		"domain": map[string]any{"lo": []float64{0, 0}, "hi": []float64{1, 1}},
+		"stream": map[string]any{"epoch_epsilon": 0.125, "window": 2, "seed": 11},
+	})
+	reg(map[string]any{
+		"name": "fz-seq", "epsilon": 1e18, "alphabet": 8,
+		"stream": map[string]any{"epoch_epsilon": 0.125, "window": 2, "seed": 12, "max_length": 6},
+	})
+	targets := []string{"fz-spatial", "fz-seq"}
+
+	pending := func(name string) int {
+		req := httptest.NewRequest("GET", "/v1/datasets/"+name, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		var info struct {
+			Stream *streamInfoJSON `json:"stream"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil || info.Stream == nil {
+			f.Fatalf("dataset info %s: %v", name, err)
+		}
+		return info.Stream.Pending
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := decodeJournalPayload(data); err != nil {
+			_ = err // hostile payloads must error, never panic
+		}
+		for _, name := range targets {
+			before := pending(name)
+			req := httptest.NewRequest("POST", "/v1/datasets/"+name+"/ingest", bytes.NewReader(data))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			after := pending(name)
+			if rec.Code != 200 {
+				if after != before {
+					t.Fatalf("%s: rejected batch (HTTP %d) PARTIALLY APPLIED: pending %d → %d\nbody: %q",
+						name, rec.Code, before, after, data)
+				}
+				continue
+			}
+			var resp ingestResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("%s: undecodable 200 ack: %v", name, err)
+			}
+			if resp.Sealed || resp.SealError != "" {
+				// A seal (or failed seal retaining a frozen epoch) moves rows
+				// out of / keeps them in pending legitimately; the invariant
+				// below only holds for plain appends.
+				continue
+			}
+			if resp.Duplicate && resp.Applied != 0 {
+				t.Fatalf("%s: duplicate ack claims %d rows applied", name, resp.Applied)
+			}
+			if after != before+resp.Applied {
+				t.Fatalf("%s: acked %d rows but pending moved %d → %d (partial apply)\nbody: %q",
+					name, resp.Applied, before, after, data)
+			}
+		}
+	})
+}

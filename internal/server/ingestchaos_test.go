@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/faultnet"
+)
+
+// Ingestion chaos sweep: a retrying writer pushes batches into a
+// streaming dataset through a seeded fault-injection proxy that resets
+// connections, truncates and drops acknowledgments, and throttles the
+// link. Lost acks are the dangerous shape — the server applied the batch
+// but the writer must retry blind — so the contract under chaos is the
+// batch-sequence idempotency guarantee end to end:
+//
+//   - every batch applies EXACTLY once: after the sweep the pending
+//     buffer holds precisely rows × batches, no loss and no double
+//     apply, however many retries the faults forced;
+//   - the sealed epoch's accounting is exact (one debit of ε_epoch);
+//   - a replica syncing from the battered primary converges to a
+//     bit-identical served window.
+func TestIngestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-second fault schedule")
+	}
+	primary := mustNew(t, Options{DataDir: t.TempDir(), Workers: 1})
+	tsP := httptest.NewServer(primary)
+	defer tsP.Close()
+	defer primary.Close()
+	direct := &http.Client{Timeout: 30 * time.Second}
+
+	if code := doJSON(t, direct, "POST", tsP.URL+"/v1/datasets",
+		streamRegisterBody("chaos-stream", nil), nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+
+	// The writer talks through the proxy; keep-alives off so every request
+	// rolls a fresh fault. The 1s timeout unwedges blackholes/partitions.
+	proxy, err := faultnet.New(strings.TrimPrefix(tsP.URL, "http://"), faultnet.Options{
+		Seed: 91, LatencyProb: 0.1, ResetProb: 0.15, TruncateProb: 0.15,
+		PartitionProb: 0.1, ThrottleProb: 0.05, ThrottleBytesPerSec: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	chaos := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   1 * time.Second,
+	}
+
+	// Each batch retries until an acknowledgment arrives. A retry whose
+	// original was applied-but-unacked must come back as a duplicate with
+	// nothing applied — that, not luck, is what keeps the count exact.
+	const nBatches, rows = 24, 10
+	var retries, duplicates int
+	for seq := uint64(1); seq <= nBatches; seq++ {
+		body, _ := json.Marshal(map[string]any{
+			"batch_seq": seq, "points": streamCrashBatch(seq),
+		})
+		var ack ingestResponse
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				t.Fatalf("batch %d: no acknowledgment after %d attempts", seq, attempt)
+			}
+			resp, err := chaos.Post("http://"+proxy.Addr()+"/v1/datasets/chaos-stream/ingest",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				retries++
+				continue
+			}
+			decodeErr := json.NewDecoder(resp.Body).Decode(&ack)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil {
+				// Truncated replies decode-fail; anything else is a real bug.
+				if resp.StatusCode != http.StatusOK && decodeErr == nil {
+					t.Fatalf("batch %d: HTTP %d", seq, resp.StatusCode)
+				}
+				retries++
+				continue
+			}
+			break
+		}
+		if ack.Duplicate {
+			duplicates++
+			if ack.Applied != 0 {
+				t.Fatalf("batch %d: duplicate ack claims %d rows applied", seq, ack.Applied)
+			}
+		} else if ack.Applied != rows {
+			t.Fatalf("batch %d: applied %d rows, want %d", seq, ack.Applied, rows)
+		}
+	}
+	c := proxy.Counts()
+	t.Logf("chaos: %d conns (%d reset, %d truncate, %d blackhole, %d partition), %d retries, %d duplicate acks",
+		c.Conns, c.Reset, c.Truncate, c.Blackhole, c.Partition, retries, duplicates)
+	if c.Reset+c.Truncate+c.Blackhole+c.Partition == 0 {
+		t.Fatal("the fault schedule never fired; the sweep proved nothing")
+	}
+
+	// Exactly-once, measured: the pending buffer holds every row once.
+	var info struct {
+		Stream *streamInfoJSON `json:"stream"`
+	}
+	if code := doJSON(t, direct, "GET", tsP.URL+"/v1/datasets/chaos-stream", nil, &info); code != 200 || info.Stream == nil {
+		t.Fatalf("info: %d", code)
+	}
+	if info.Stream.Pending != nBatches*rows {
+		t.Fatalf("pending %d rows after chaos sweep, want exactly %d (lost or double-applied batches)",
+			info.Stream.Pending, nBatches*rows)
+	}
+
+	// Seal (direct — the chaos was on the write path) and check accounting.
+	var sealAck ingestResponse
+	if code := doJSON(t, direct, "POST", tsP.URL+"/v1/datasets/chaos-stream/ingest",
+		map[string]any{"seal": true}, &sealAck); code != 200 || !sealAck.Sealed || sealAck.Epoch != 1 {
+		t.Fatalf("seal: %d %+v", code, sealAck)
+	}
+	if sealAck.EpsilonSpent != 0.125 || sealAck.WindowEpsilon != 0.125 {
+		t.Fatalf("sealed accounting: spent=%v window=%v, want 0.125/0.125",
+			sealAck.EpsilonSpent, sealAck.WindowEpsilon)
+	}
+
+	// A replica syncing from the primary serves the same window
+	// bit-identically.
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1,
+		ReplicaOf: tsP.URL, ReplicaPoll: 10 * time.Millisecond,
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+	defer replica.Close()
+	waitUntil(t, "replica to reach the sealed epoch", func() bool {
+		var ri struct {
+			Stream *streamInfoJSON `json:"stream"`
+		}
+		code := doJSON(t, direct, "GET", tsR.URL+"/v1/datasets/chaos-stream", nil, &ri)
+		return code == 200 && ri.Stream != nil && ri.Stream.LastEpoch == 1
+	})
+	q := map[string]any{"queries": streamCrashQueries}
+	digest := func(base string) string {
+		var out struct {
+			Counts []float64 `json:"counts"`
+		}
+		if code := doJSON(t, direct, "POST", base+"/v1/datasets/chaos-stream/releases/latest/query", q, &out); code != 200 {
+			t.Fatalf("latest on %s: %d", base, code)
+		}
+		return fmt.Sprintf("%x", out.Counts)
+	}
+	if dp, dr := digest(tsP.URL), digest(tsR.URL); dp != dr {
+		t.Fatalf("replica window diverges: primary %s, replica %s", dp, dr)
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"privtree"
+)
+
+// The ingest journal makes acknowledged-but-unsealed ingest batches
+// crash-safe: a batch's frame is fsynced BEFORE the ingest response is
+// written, so a restarted primary replays exactly the acknowledged
+// pending buffer (batches already inside a sealed epoch are filtered by
+// the seal record's batch sequence). The format mirrors the store WAL's
+// discipline — length + CRC framing, torn-tail truncation on open —
+// without its replication machinery: the journal is primary-local state
+// and is reset (not shipped) once its batches are sealed.
+//
+// Layout: an 8-byte magic, then frames of
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// where payload is
+//
+//	u64 batchSeq | u8 kind | u32 rows | body
+//	kind 1 (points):    u16 dims, then rows·dims float64 bits
+//	kind 2 (sequences): rows × ( u32 n, then n × u32 symbols )
+
+const (
+	ingestJournalMagic = "PTJRN\x00\x01\n"
+	journalKindPoints  = 1
+	journalKindSeqs    = 2
+
+	// maxJournalPayload bounds a single frame so a corrupt length field
+	// cannot trigger a huge allocation on replay.
+	maxJournalPayload = 1 << 28
+)
+
+var journalCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ingestCrashHook, when non-nil, runs at the named durability boundaries
+// of a journal append ("journal.before_sync", "journal.after_sync").
+// Crash-injection tests point it at a process killer.
+var ingestCrashHook func(point string)
+
+// journalRec is one decoded journal frame.
+type journalRec struct {
+	seq  uint64
+	pts  []privtree.Point
+	seqs []privtree.Sequence
+}
+
+// ingestJournal is an open, append-only journal file. Callers serialize
+// access (the dataset stream mutex).
+type ingestJournal struct {
+	f   *os.File
+	buf []byte // reusable frame-encode buffer
+}
+
+// openIngestJournal opens (creating if needed) the journal at path and
+// replays its valid frame prefix. A torn or corrupt tail — the signature
+// of a crash mid-append — is truncated away; anything after the first
+// bad frame was never acknowledged.
+func openIngestJournal(path string) (*ingestJournal, []journalRec, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: opening ingest journal: %w", err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: reading ingest journal: %w", err)
+	}
+	if len(raw) == 0 {
+		if _, err := f.Write([]byte(ingestJournalMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: initializing ingest journal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: initializing ingest journal: %w", err)
+		}
+		return &ingestJournal{f: f}, nil, nil
+	}
+	if len(raw) < len(ingestJournalMagic) || string(raw[:len(ingestJournalMagic)]) != ingestJournalMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: %s is not an ingest journal", path)
+	}
+	var (
+		recs    []journalRec
+		off     = len(ingestJournalMagic)
+		lastSeq uint64
+	)
+	for off < len(raw) {
+		if len(raw)-off < 8 {
+			break // torn header
+		}
+		plen := binary.LittleEndian.Uint32(raw[off:])
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if plen > maxJournalPayload || len(raw)-off-8 < int(plen) {
+			break // torn or corrupt payload
+		}
+		payload := raw[off+8 : off+8+int(plen)]
+		if crc32.Checksum(payload, journalCRC) != crc {
+			break // torn write
+		}
+		rec, err := decodeJournalPayload(payload)
+		if err != nil || rec.seq <= lastSeq {
+			break // corrupt or out-of-order: never acknowledged past here
+		}
+		recs = append(recs, rec)
+		lastSeq = rec.seq
+		off += 8 + int(plen)
+	}
+	if off < len(raw) {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: truncating torn ingest journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: truncating torn ingest journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: seeking ingest journal: %w", err)
+	}
+	return &ingestJournal{f: f}, recs, nil
+}
+
+func decodeJournalPayload(p []byte) (journalRec, error) {
+	var rec journalRec
+	if len(p) < 13 {
+		return rec, fmt.Errorf("short payload")
+	}
+	rec.seq = binary.LittleEndian.Uint64(p)
+	kind := p[8]
+	rows := int(binary.LittleEndian.Uint32(p[9:]))
+	body := p[13:]
+	switch kind {
+	case journalKindPoints:
+		if len(body) < 2 {
+			return rec, fmt.Errorf("short points body")
+		}
+		dims := int(binary.LittleEndian.Uint16(body))
+		body = body[2:]
+		if dims < 1 || rows < 0 || len(body) != rows*dims*8 {
+			return rec, fmt.Errorf("points body size mismatch")
+		}
+		flat := make([]float64, rows*dims)
+		for i := range flat {
+			flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+		}
+		rec.pts = make([]privtree.Point, rows)
+		for r := 0; r < rows; r++ {
+			rec.pts[r] = privtree.Point(flat[r*dims : (r+1)*dims : (r+1)*dims])
+		}
+	case journalKindSeqs:
+		// Bound the allocation by the bytes actually present (each row
+		// needs at least its 4-byte length header) before trusting rows —
+		// a hostile count must not pre-allocate gigabytes.
+		if rows < 0 || len(body) < rows*4 {
+			return rec, fmt.Errorf("sequence body size mismatch")
+		}
+		rec.seqs = make([]privtree.Sequence, 0, rows)
+		for r := 0; r < rows; r++ {
+			if len(body) < 4 {
+				return rec, fmt.Errorf("short sequence header")
+			}
+			n := int(binary.LittleEndian.Uint32(body))
+			body = body[4:]
+			if n < 0 || len(body) < n*4 {
+				return rec, fmt.Errorf("sequence body size mismatch")
+			}
+			syms := make([]int, n)
+			for i := 0; i < n; i++ {
+				syms[i] = int(int32(binary.LittleEndian.Uint32(body[i*4:])))
+			}
+			body = body[n*4:]
+			rec.seqs = append(rec.seqs, privtree.Sequence(syms))
+		}
+		if len(body) != 0 {
+			return rec, fmt.Errorf("trailing sequence bytes")
+		}
+	default:
+		return rec, fmt.Errorf("unknown journal record kind %d", kind)
+	}
+	return rec, nil
+}
+
+// Append encodes one batch as a frame, writes it, and fsyncs before
+// returning — the durability barrier the ingest handler relies on before
+// acknowledging the batch. Exactly one of pts/seqs is non-empty.
+func (j *ingestJournal) Append(seq uint64, pts []privtree.Point, seqs []privtree.Sequence) error {
+	j.buf = j.buf[:0]
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(nil, seq)
+	if len(pts) > 0 {
+		payload = append(payload, journalKindPoints)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(pts)))
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(pts[0])))
+		for _, p := range pts {
+			for _, c := range p {
+				payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(c))
+			}
+		}
+	} else {
+		payload = append(payload, journalKindSeqs)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(seqs)))
+		for _, sq := range seqs {
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(len(sq)))
+			for _, sym := range sq {
+				payload = binary.LittleEndian.AppendUint32(payload, uint32(sym))
+			}
+		}
+	}
+	if len(payload) > maxJournalPayload {
+		return fmt.Errorf("server: ingest batch exceeds journal frame limit")
+	}
+	frame := binary.LittleEndian.AppendUint32(j.buf, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, journalCRC))
+	frame = append(frame, payload...)
+	j.buf = frame[:0]
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("server: appending ingest journal: %w", err)
+	}
+	if h := ingestCrashHook; h != nil {
+		h("journal.before_sync")
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("server: syncing ingest journal: %w", err)
+	}
+	if h := ingestCrashHook; h != nil {
+		h("journal.after_sync")
+	}
+	return nil
+}
+
+// Reset truncates the journal back to its magic — called only when every
+// journaled batch is inside a sealed (durably recorded) epoch, so replay
+// after the reset reconstructs the same (empty) pending buffer.
+func (j *ingestJournal) Reset() error {
+	if err := j.f.Truncate(int64(len(ingestJournalMagic))); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(int64(len(ingestJournalMagic)), io.SeekStart)
+	return err
+}
+
+// Close releases the journal's file handle. Idempotent.
+func (j *ingestJournal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

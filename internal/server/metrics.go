@@ -32,6 +32,14 @@ type metrics struct {
 	releasesBuilt    *obs.Counter
 	releaseCacheHits *obs.Counter
 
+	// Streaming plane: ingest traffic totals (batch/record counts are
+	// API-traffic accounting, like the request counters), a trailing
+	// ingest-rate window, and the epoch-seal counter.
+	ingestBatches *obs.Counter
+	ingestRecords *obs.Counter
+	ingestWindow  *obs.Window
+	sealsTotal    *obs.Counter
+
 	// Overload observability: shedTotal counts requests bounced by a
 	// saturated admission gate (HTTP 429), deadlineTotal counts requests
 	// that died to a per-route deadline or client cancellation (503
@@ -70,6 +78,11 @@ func newMetrics() *metrics {
 		releasesBuilt:    reg.Counter("privtree_releases_built_total", "Releases built (ε debited)."),
 		releaseCacheHits: reg.Counter("privtree_release_cache_hits_total", "Release requests served from cache (no new debit)."),
 
+		ingestBatches: reg.Counter("privtree_ingest_batches_total", "Ingest batches applied (duplicates excluded)."),
+		ingestRecords: reg.Counter("privtree_ingest_records_total", "Records ingested into streaming datasets."),
+		ingestWindow:  obs.NewWindow(),
+		sealsTotal:    reg.Counter("privtree_stream_seals_total", "Stream epochs sealed and released."),
+
 		shedTotal:      reg.Counter("privtree_shed_total", "Requests shed by a saturated admission gate (HTTP 429)."),
 		deadlineTotal:  reg.Counter("privtree_deadline_exceeded_total", "Requests that died to a deadline or client cancellation."),
 		drainRejects:   reg.Counter("privtree_draining_rejects_total", "Requests refused during shutdown."),
@@ -81,6 +94,8 @@ func newMetrics() *metrics {
 		func() float64 { return time.Since(m.start).Seconds() })
 	reg.GaugeFunc("privtree_queries_per_second", "Query throughput over the trailing 30s window.",
 		func() float64 { return m.queryWindow.Rate(qpsWindow) })
+	reg.GaugeFunc("privtree_ingest_records_per_second", "Ingest throughput over the trailing 30s window.",
+		func() float64 { return m.ingestWindow.Rate(qpsWindow) })
 	obs.RegisterRuntimeMetrics(reg)
 	return m
 }
@@ -140,15 +155,52 @@ func (m *metrics) registerDataset(d *Dataset) {
 }
 
 // registerReplicaDataset adds the shipping-progress gauges for one
-// replicated dataset: the last primary WAL sequence applied locally, and
-// the record lag behind the last observed primary position. Like every
-// other dataset gauge, both are functions over the authoritative state.
+// replicated dataset: the last primary WAL sequence applied locally, the
+// record lag behind the last observed primary position, and — for
+// streaming datasets — the epochs the replica's served window trails the
+// primary's. Like every other dataset gauge, all are functions over the
+// authoritative state.
 func (m *metrics) registerReplicaDataset(d *Dataset, sy *repl.Syncer) {
 	lbl := obs.Label{Name: "dataset", Value: d.Name}
 	m.reg.GaugeFunc("privtree_replica_last_applied_seq", "Highest primary WAL sequence number applied locally.",
 		func() float64 { return float64(d.WALSeq()) }, lbl)
 	m.reg.GaugeFunc("privtree_replica_lag_records", "WAL records observed on the primary but not yet applied.",
 		func() float64 { return float64(sy.Status()[d.Name].Lag()) }, lbl)
+	if d.IsStream() {
+		m.reg.GaugeFunc("privtree_replica_epochs_behind", "Sealed epochs observed on the primary but not yet in the local window.",
+			func() float64 { return float64(d.epochsBehind(sy)) }, lbl)
+	}
+}
+
+// registerStreamDataset adds the per-dataset streaming gauges. Pending
+// counts acknowledged-but-unsealed records — derived from ingest API
+// traffic, not from hidden data (contrast the undisclosed cardinality).
+func (m *metrics) registerStreamDataset(d *Dataset) {
+	lbl := obs.Label{Name: "dataset", Value: d.Name}
+	st := d.stream
+	m.reg.GaugeFunc("privtree_stream_last_epoch", "Newest sealed epoch in the served window.",
+		func() float64 { return float64(st.ring.LastIndex()) }, lbl)
+	m.reg.GaugeFunc("privtree_stream_window_epochs", "Sealed epochs currently served by the latest alias.",
+		func() float64 { return float64(st.ring.Len()) }, lbl)
+	m.reg.GaugeFunc("privtree_stream_window_epsilon", "Composed ε of the served window (≤ window × epoch ε).",
+		func() float64 { return st.ring.WindowEpsilon() }, lbl)
+	m.reg.GaugeFunc("privtree_stream_pending_records", "Acknowledged ingest records not yet sealed into an epoch.",
+		func() float64 { return float64(st.pending()) }, lbl)
+	m.reg.GaugeFunc("privtree_stream_seconds_since_seal", "Seconds since the newest epoch sealed (0 before the first).",
+		func() float64 {
+			at := st.ring.LastSealedAt()
+			if at.IsZero() {
+				return 0
+			}
+			return time.Since(at).Seconds()
+		}, lbl)
+}
+
+// recordIngest accounts for one applied ingest batch.
+func (m *metrics) recordIngest(records int) {
+	m.ingestBatches.Inc()
+	m.ingestRecords.Add(uint64(records))
+	m.ingestWindow.Add(uint64(records))
 }
 
 // recordAdmissionReject accounts for a gate rejection by kind.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
@@ -48,6 +49,12 @@ type Dataset struct {
 	// Ledger is the session's ε accountant, exposed for budget reporting.
 	Ledger *privtree.Ledger
 
+	// stream is the continual-release state of a streaming dataset (nil
+	// for ordinary frozen datasets): the pending ingest buffer, the
+	// sliding window of sealed epochs, and the durable ingest journal.
+	// See stream.go.
+	stream *datasetStream
+
 	// mu guards the release-ID bookkeeping. Builds and ledger traffic run
 	// in the session, outside this lock, so queries and metadata reads
 	// never stall behind a slow mechanism.
@@ -56,6 +63,11 @@ type Dataset struct {
 	byKey    map[string]string
 	nextID   int
 }
+
+// IsStream reports whether the dataset is a streaming dataset (registered
+// with a stream spec, fed by POST .../ingest, served via the `latest`
+// window alias).
+func (d *Dataset) IsStream() bool { return d.stream != nil }
 
 // N returns the dataset cardinality (points or sequences).
 func (d *Dataset) N() int { return d.data.N() }
@@ -85,6 +97,14 @@ func (d *Dataset) AttachStore(dir string) error {
 	for _, rr := range d.session.Restored() {
 		if err := d.restoreRelease(rr.Release, rr.At); err != nil {
 			return fmt.Errorf("server: dataset %q: restoring release: %w", d.Name, err)
+		}
+	}
+	if d.stream != nil {
+		// The WAL's seal records plus the ingest journal reconstruct the
+		// exact streaming state: served window, next epoch, last applied
+		// batch, and the unsealed pending buffer.
+		if err := d.stream.recover(d, filepath.Join(dir, "..", "ingest.log")); err != nil {
+			return fmt.Errorf("server: dataset %q: recovering stream: %w", d.Name, err)
 		}
 	}
 	return nil
@@ -159,9 +179,14 @@ func (d *Dataset) WALSeq() uint64 {
 // ID, in WAL order. For store-backed datasets the rows survive restarts.
 func (d *Dataset) Audit() []privtree.AuditEntry { return d.session.Audit() }
 
-// Close releases the dataset's store (if any). Idempotent; all
-// acknowledged state is already durable.
-func (d *Dataset) Close() error { return d.session.Close() }
+// Close releases the dataset's store and ingest journal (if any).
+// Idempotent; all acknowledged state is already durable.
+func (d *Dataset) Close() error {
+	if d.stream != nil {
+		d.stream.close()
+	}
+	return d.session.Close()
+}
 
 // ReleaseParams are the client-settable knobs of one release: ε plus the
 // library's Params union. Together with the dataset they fully determine
@@ -244,13 +269,23 @@ func (d *Dataset) Release(p ReleaseParams, workers int) (*Release, bool, error) 
 // either the cancelled attempt was refunded, or it completed server-side
 // and the retry is a cache hit.
 func (d *Dataset) ReleaseContext(ctx context.Context, p ReleaseParams, workers int) (*Release, bool, error) {
+	rel, _, cached, err := d.releaseData(ctx, d.data, p, workers)
+	return rel, cached, err
+}
+
+// releaseData runs one release of data — the dataset's frozen Data, or
+// one sealed stream epoch — through the session and registers it in the
+// serving maps. It additionally returns the release fingerprint, which
+// the streaming plane writes into the WAL seal record so a recovered
+// node can resolve the served window back to its member releases.
+func (d *Dataset) releaseData(ctx context.Context, data *privtree.Data, p ReleaseParams, workers int) (*Release, string, bool, error) {
 	m, err := p.mechanism(d.Kind, workers)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
-	rel, cached, err := d.session.ReleaseContext(ctx, m, d.data, p.Epsilon)
+	rel, cached, err := d.session.ReleaseContext(ctx, m, data, p.Epsilon)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
 	key := rel.Fingerprint()
 
@@ -261,7 +296,7 @@ func (d *Dataset) ReleaseContext(ctx context.Context, p ReleaseParams, workers i
 	if id, known := d.byKey[key]; known {
 		out := d.releases[id]
 		d.mu.RUnlock()
-		return out, cached, nil
+		return out, key, cached, nil
 	}
 	d.mu.RUnlock()
 
@@ -271,7 +306,7 @@ func (d *Dataset) ReleaseContext(ctx context.Context, p ReleaseParams, workers i
 	// recovery all serve bit-identical JSON.
 	blob, err := rel.Envelope()
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
+		return nil, "", false, fmt.Errorf("%w: marshaling release artifact: %v", errInternal, err)
 	}
 	out := &Release{
 		Kind:      d.Kind,
@@ -293,14 +328,27 @@ func (d *Dataset) ReleaseContext(ctx context.Context, p ReleaseParams, workers i
 		// A concurrent identical request registered it first.
 		prev := d.releases[id]
 		d.mu.Unlock()
-		return prev, cached, nil
+		return prev, key, cached, nil
 	}
 	d.nextID++
 	out.ID = fmt.Sprintf("r%d", d.nextID)
 	d.releases[out.ID] = out
 	d.byKey[key] = out.ID
 	d.mu.Unlock()
-	return out, cached, nil
+	return out, key, cached, nil
+}
+
+// releaseByFingerprint resolves a release fingerprint (the key a WAL seal
+// record carries) to its registered release.
+func (d *Dataset) releaseByFingerprint(fp string) (*Release, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[fp]
+	if !ok {
+		return nil, false
+	}
+	r, ok := d.releases[id]
+	return r, ok
 }
 
 // GetRelease returns a release by id.

@@ -39,6 +39,7 @@ type replDatasetDoc struct {
 	CreatedAt    time.Time       `json:"created_at"`
 	WriterEpoch  uint64          `json:"writer_epoch"`
 	LastSeq      uint64          `json:"last_seq"`
+	LastEpoch    uint64          `json:"last_epoch,omitempty"`
 	Registration json.RawMessage `json:"registration"`
 }
 
@@ -67,6 +68,7 @@ func (s *Server) handleReplDatasets(w http.ResponseWriter, r *http.Request) {
 			CreatedAt:    d.CreatedAt,
 			WriterEpoch:  d.store.WriterEpoch(),
 			LastSeq:      d.store.LastSeq(),
+			LastEpoch:    d.store.LastSealedEpoch(),
 			Registration: blob,
 		})
 	}
@@ -272,8 +274,53 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeNotReady,
 			Message: fmt.Sprintf("replica catching up from %s", s.syncer.Primary())})
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": role})
+		doc := map[string]any{"ready": true, "role": role}
+		if streams := s.streamStaleness(); len(streams) > 0 {
+			doc["streams"] = streams
+		}
+		writeJSON(w, http.StatusOK, doc)
 	}
+}
+
+// streamStaleness summarizes every streaming dataset's serving freshness
+// for /readyz: the newest sealed epoch, seconds since it sealed, and —
+// on replicas — how many epochs the local window trails the primary's
+// advertised seal position.
+func (s *Server) streamStaleness() map[string]any {
+	var out map[string]any
+	replica := s.isReplica.Load()
+	for _, d := range s.registry.List() {
+		if d.stream == nil {
+			continue
+		}
+		doc := map[string]any{"last_epoch": d.stream.ring.LastIndex()}
+		if at := d.stream.ring.LastSealedAt(); !at.IsZero() {
+			doc["seconds_since_seal"] = time.Since(at).Seconds()
+		}
+		if replica && s.syncer != nil {
+			doc["epochs_behind"] = d.epochsBehind(s.syncer)
+		}
+		if out == nil {
+			out = make(map[string]any)
+		}
+		out[d.Name] = doc
+	}
+	return out
+}
+
+// epochsBehind returns how many sealed epochs the primary has advertised
+// beyond this node's local seal position (0 when caught up or not
+// replicating).
+func (d *Dataset) epochsBehind(sy *repl.Syncer) uint64 {
+	if d.store == nil || sy == nil {
+		return 0
+	}
+	primary := sy.Status()[d.Name].PrimaryEpoch
+	local := d.store.LastSealedEpoch()
+	if primary <= local {
+		return 0
+	}
+	return primary - local
 }
 
 // writeReadOnly rejects a write on a replica with the structured
@@ -304,6 +351,14 @@ func (r replicaDataset) ApplyFrames(frames []byte) error {
 	for _, rr := range restored {
 		if err := r.d.restoreRelease(rr.Release, rr.At); err != nil {
 			return fmt.Errorf("registering replicated release: %w", err)
+		}
+	}
+	if r.d.stream != nil {
+		// Shipped seal records advance the replica's served window. The
+		// member releases were restored just above (artifacts are fetched
+		// before frames are applied), so every fingerprint resolves.
+		if err := r.d.stream.refresh(r.d); err != nil {
+			return fmt.Errorf("refreshing stream window: %w", err)
 		}
 	}
 	return nil

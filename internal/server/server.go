@@ -12,11 +12,17 @@
 // a new debit — re-sending released bytes is post-processing. Queries hit
 // only released trees, never the raw data, so they are free.
 //
+// Streaming datasets (registered with a "stream" spec) start empty and
+// grow through POST .../ingest; sealed epochs are released continually and
+// served through the releases/latest window alias. See stream.go and
+// internal/stream for the sliding-window ε accounting.
+//
 // # HTTP API (all JSON)
 //
 //	POST   /v1/datasets                          register a dataset
 //	GET    /v1/datasets                          list datasets + budgets
 //	GET    /v1/datasets/{name}                   one dataset + its releases
+//	POST   /v1/datasets/{name}/ingest            append records to a streaming dataset
 //	POST   /v1/datasets/{name}/releases          buy (or fetch cached) release
 //	GET    /v1/datasets/{name}/releases/{id}     released artifact (wire JSON)
 //	POST   /v1/datasets/{name}/releases/{id}/query  batched queries
@@ -242,6 +248,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/datasets", s.route("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/datasets", s.route("list_datasets", s.handleListDatasets))
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.route("get_dataset", s.handleGetDataset))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/ingest", s.route("ingest", s.handleIngest))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases", s.route("create_release", s.handleCreateRelease))
 	s.mux.HandleFunc("GET /v1/datasets/{name}/releases/{id}", s.route("get_release", s.handleGetRelease))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
@@ -403,6 +410,11 @@ type registerRequest struct {
 
 	Alphabet  int     `json:"alphabet,omitempty"`
 	Sequences [][]int `json:"sequences,omitempty"`
+
+	// Stream registers a streaming dataset: it starts EMPTY (no data
+	// source), requires an explicit domain (spatial) or alphabet
+	// (sequence), and is fed through POST .../ingest. See streamSpec.
+	Stream *streamSpec `json:"stream,omitempty"`
 }
 
 // datasetInfo is the public (privacy-safe) view of a dataset: budgets,
@@ -412,15 +424,31 @@ type registerRequest struct {
 // already); emitting it from list/get/metrics would disclose exact
 // membership information outside the ledger's accounting.
 type datasetInfo struct {
-	Name             string     `json:"name"`
-	Kind             Kind       `json:"kind"`
-	Dims             int        `json:"dims,omitempty"`
-	EpsilonTotal     float64    `json:"epsilon_total"`
-	EpsilonSpent     float64    `json:"epsilon_spent"`
-	EpsilonRemaining float64    `json:"epsilon_remaining"`
-	StoreBytes       int64      `json:"store_bytes,omitempty"`
-	Releases         []*Release `json:"releases,omitempty"`
-	NumReleases      int        `json:"num_releases"`
+	Name             string          `json:"name"`
+	Kind             Kind            `json:"kind"`
+	Dims             int             `json:"dims,omitempty"`
+	EpsilonTotal     float64         `json:"epsilon_total"`
+	EpsilonSpent     float64         `json:"epsilon_spent"`
+	EpsilonRemaining float64         `json:"epsilon_remaining"`
+	StoreBytes       int64           `json:"store_bytes,omitempty"`
+	Releases         []*Release      `json:"releases,omitempty"`
+	NumReleases      int             `json:"num_releases"`
+	Stream           *streamInfoJSON `json:"stream,omitempty"`
+}
+
+// streamInfoJSON is the streaming status of a dataset: epoch positions
+// and the window's composed ε. Pending counts the acknowledged-but-
+// unsealed records; it is derived entirely from ingest API traffic (each
+// batch's size was visible to its sender), not from hidden data, unlike
+// the dataset cardinality which stays undisclosed.
+type streamInfoJSON struct {
+	EpochEpsilon  float64   `json:"epoch_epsilon"`
+	Window        int       `json:"window"`
+	LastEpoch     uint64    `json:"last_epoch"`
+	WindowEpochs  int       `json:"window_epochs"`
+	WindowEpsilon float64   `json:"window_epsilon"`
+	Pending       int       `json:"pending"`
+	LastSealedAt  time.Time `json:"last_sealed_at,omitempty"`
 }
 
 func info(d *Dataset, withReleases bool) datasetInfo {
@@ -437,6 +465,17 @@ func info(d *Dataset, withReleases bool) datasetInfo {
 	if withReleases {
 		out.Releases = d.Releases()
 		out.NumReleases = len(out.Releases)
+	}
+	if st := d.stream; st != nil {
+		out.Stream = &streamInfoJSON{
+			EpochEpsilon:  st.cfg.EpochEpsilon,
+			Window:        st.cfg.Window,
+			LastEpoch:     st.ring.LastIndex(),
+			WindowEpochs:  st.ring.Len(),
+			WindowEpsilon: st.ring.WindowEpsilon(),
+			Pending:       st.pending(),
+			LastSealedAt:  st.ring.LastSealedAt(),
+		}
 	}
 	return out
 }
@@ -475,7 +514,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			sources++
 		}
 	}
-	if sources != 1 {
+	if req.Stream != nil {
+		if sources != 0 {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+				Message: "a streaming dataset starts empty: provide no data source, then POST .../ingest"})
+			return
+		}
+	} else if sources != 1 {
 		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
 			Message: "exactly one of csv, points, sequences, synthetic must be provided"})
 		return
@@ -554,6 +599,12 @@ func (s *Server) datasetRegistered(d *Dataset) {
 	if s.syncer != nil {
 		s.metrics.registerReplicaDataset(d, s.syncer)
 	}
+	if d.stream != nil {
+		s.metrics.registerStreamDataset(d)
+		if d.stream.cfg.Interval > 0 {
+			go s.runSealTimer(d)
+		}
+	}
 }
 
 // buildDataset constructs (without registering) the dataset described by
@@ -574,12 +625,18 @@ func (s *Server) buildDataset(req *registerRequest) (*Dataset, error) {
 			kind = KindSequence
 		case req.Synthetic != nil && sequenceGenerators[req.Synthetic.Generator]:
 			kind = KindSequence
+		case req.Stream != nil && req.Alphabet > 0:
+			kind = KindSequence
 		default:
 			kind = KindSpatial
 		}
 	}
 	if kind != KindSpatial && kind != KindSequence {
 		return nil, fmt.Errorf("server: unknown dataset kind %q", req.Kind)
+	}
+
+	if req.Stream != nil {
+		return s.buildStreamDataset(req, kind)
 	}
 
 	if req.Synthetic != nil {
@@ -633,6 +690,49 @@ func (s *Server) buildDataset(req *registerRequest) (*Dataset, error) {
 		}
 		return s.registry.NewSpatialDataset(req.Name, domain, pts, req.Epsilon)
 	}
+}
+
+// buildStreamDataset constructs a streaming dataset: an EMPTY Data of the
+// declared shape (explicit domain or alphabet — there are no records yet
+// to infer them from) plus the streaming runtime state. The stream spec
+// rides inside the persisted registration request, so a restarted node —
+// and every replica, which rebuilds datasets from the registration
+// document verbatim — derives the identical epoch policy and per-epoch
+// release parameters.
+func (s *Server) buildStreamDataset(req *registerRequest, kind Kind) (*Dataset, error) {
+	var (
+		d      *Dataset
+		domain geom.Rect
+		err    error
+	)
+	switch kind {
+	case KindSequence:
+		if req.Alphabet < 1 {
+			return nil, fmt.Errorf("server: streaming sequence dataset needs a positive alphabet")
+		}
+		d, err = s.registry.NewSequenceDataset(req.Name, req.Alphabet, nil, req.Epsilon)
+	default:
+		if req.Domain == nil {
+			return nil, fmt.Errorf("server: streaming spatial dataset needs an explicit domain")
+		}
+		domain, err = geom.MakeRect(req.Domain.Lo, req.Domain.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("server: invalid domain: %w", err)
+		}
+		if err := domain.Validate(); err != nil {
+			return nil, fmt.Errorf("server: invalid domain: %w", err)
+		}
+		d, err = s.registry.NewSpatialDataset(req.Name, domain, nil, req.Epsilon)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := newDatasetStream(*req.Stream, kind, domain, req.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	d.stream = st
+	return d, nil
 }
 
 // registerSynthetic generates one of the paper's synthetic datasets
@@ -716,6 +816,14 @@ func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if d.IsStream() {
+		// Ad-hoc releases would debit ε outside the epoch accounting,
+		// breaking the spent = epochs × ε_epoch invariant the streaming
+		// plane maintains. Epoch seals are the only release path.
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest,
+			Message: fmt.Sprintf("dataset %q is a streaming dataset: releases are created by epoch seals; query the releases/latest window alias", d.Name)})
+		return
+	}
 	var params ReleaseParams
 	if !decodeJSON(w, r, &params) {
 		return
@@ -785,6 +893,10 @@ func (s *Server) lookupRelease(w http.ResponseWriter, r *http.Request) (*Dataset
 }
 
 func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	if d, ok := s.registry.Get(r.PathValue("name")); ok && d.IsStream() && r.PathValue("id") == "latest" {
+		s.writeLatestWindow(w, d)
+		return
+	}
 	_, rel, ok := s.lookupRelease(w, r)
 	if !ok {
 		return
@@ -797,13 +909,70 @@ func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// windowEpochJSON is one sealed epoch in the latest-window document.
+// Record counts are deliberately absent: the read plane never discloses
+// exact cardinalities (see datasetInfo).
+type windowEpochJSON struct {
+	Epoch     uint64    `json:"epoch"`
+	ReleaseID string    `json:"release_id"`
+	Epsilon   float64   `json:"epsilon"`
+	SealedAt  time.Time `json:"sealed_at"`
+}
+
+// writeLatestWindow serves GET .../releases/latest for a streaming
+// dataset: the served window's membership and its composed ε cost, so a
+// reader can fetch each member artifact (or just query the alias).
+func (s *Server) writeLatestWindow(w http.ResponseWriter, d *Dataset) {
+	_, live := d.windowReleases()
+	if len(live) == 0 {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("streaming dataset %q has no sealed epochs yet", d.Name)})
+		return
+	}
+	epochs := make([]windowEpochJSON, len(live))
+	var windowEps float64
+	for i, e := range live {
+		epochs[i] = windowEpochJSON{Epoch: e.Index, ReleaseID: e.ReleaseID, Epsilon: e.Epsilon, SealedAt: e.SealedAt}
+		windowEps += e.Epsilon
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"release_id":     "latest",
+		"kind":           d.Kind,
+		"window":         epochs,
+		"window_size":    d.stream.cfg.Window,
+		"window_epsilon": windowEps,
+		"last_epoch":     live[len(live)-1].Index,
+	})
+}
+
 // handleQuery answers a batched-query body: rectangles (spatial, flat
 // lo...hi rows) or symbol strings (sequence). The request is decoded and
 // the reply encoded through the pooled columnar codec in batchcodec.go, so
 // a batch costs O(1) heap allocations end to end.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	d, rel, ok := s.lookupRelease(w, r)
+	d, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	// Resolve the release — or, on a streaming dataset, the `latest` window
+	// alias: the last W sealed epochs, whose per-query answers are SUMMED
+	// across members (each member is an already-released artifact, so the
+	// sum is post-processing: no new ε). The window snapshot is taken once
+	// here; a seal landing mid-batch does not tear the answer.
+	id := r.PathValue("id")
+	var rel *Release
+	var window []*Release
+	if d.IsStream() && id == "latest" {
+		window, _ = d.windowReleases()
+		if len(window) == 0 {
+			writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+				Message: fmt.Sprintf("streaming dataset %q has no sealed epochs yet", d.Name)})
+			return
+		}
+		rel = window[len(window)-1]
+	} else if rel, ok = d.GetRelease(id); !ok {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("dataset %q has no release %q", d.Name, id)})
 		return
 	}
 	// Admission + deadline for the batch plane. The gate is taken before
@@ -888,9 +1057,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErrorFrom(w, err)
 			return
 		}
-		tree, rects := rel.tree, sc.rects
+		trees := []*privtree.SpatialTree{rel.tree}
+		if window != nil {
+			trees = make([]*privtree.SpatialTree, len(window))
+			for i, wr := range window {
+				trees[i] = wr.tree
+			}
+		}
+		rects := sc.rects
 		if err := answerBatchCtx(ctx, counts, s.opts.Workers, func(i int) float64 {
-			return tree.RangeCount(rects[i])
+			var sum float64
+			for _, t := range trees {
+				sum += t.RangeCount(rects[i])
+			}
+			return sum
 		}); err != nil {
 			s.metrics.recordDeadlineHit()
 			writeErrorFrom(w, err)
@@ -906,9 +1086,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErrorFrom(w, err)
 			return
 		}
-		model, syms, soffs := rel.model, sc.syms, sc.soffs
+		models := []*privtree.SequenceModel{rel.model}
+		if window != nil {
+			models = make([]*privtree.SequenceModel, len(window))
+			for i, wr := range window {
+				models[i] = wr.model
+			}
+		}
+		syms, soffs := sc.syms, sc.soffs
 		if err := answerBatchCtx(ctx, counts, s.opts.Workers, func(i int) float64 {
-			return model.EstimateFrequency(privtree.Sequence(syms[soffs[i]:soffs[i+1]]))
+			var sum float64
+			for _, m := range models {
+				sum += m.EstimateFrequency(privtree.Sequence(syms[soffs[i]:soffs[i+1]]))
+			}
+			return sum
 		}); err != nil {
 			s.metrics.recordDeadlineHit()
 			writeErrorFrom(w, err)
@@ -918,7 +1109,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.recordQueries(n, elapsed)
 
-	sc.out = appendQueryResponse(sc.out[:0], rel.ID, counts, elapsed.Nanoseconds())
+	respID := rel.ID
+	if window != nil {
+		respID = "latest"
+	}
+	sc.out = appendQueryResponse(sc.out[:0], respID, counts, elapsed.Nanoseconds())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(sc.out)

@@ -1,0 +1,384 @@
+// Streaming ingestion and continual release (see internal/stream for the
+// sliding-window composition argument). A dataset registered with a
+// stream spec starts empty and grows through POST .../ingest; records
+// accumulate in a pending privtree.Stream buffer (journaled durably
+// before they are acknowledged) until a seal — explicit, size-triggered,
+// or timer-triggered — freezes them into one epoch:
+//
+//  1. the epoch's Data is released through the ordinary session path
+//     with per-epoch derived params (debit durable BEFORE the build,
+//     commit durable after it, exactly like any release);
+//  2. a WAL seal record binds epoch → release fingerprint → last ingest
+//     batch, durable BEFORE the seal is acknowledged — so the WAL prefix
+//     alone reconstructs the served window and spent ε on any restarted
+//     or replicated node;
+//  3. the epoch enters the sliding window ring, aging out the oldest
+//     epoch beyond W.
+//
+// Crash anywhere in that transaction and the retry is idempotent: the
+// epoch's params fingerprint is a pure function of (base seed, epoch), so
+// a re-seal after a crash between commit and seal record is served from
+// the params-fingerprint cache with no second debit. The same dedup makes
+// timer re-releases free: an unchanged (empty-pending) tick is skipped
+// outright, and a repeated seal of the same epoch is a cache hit.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privtree"
+	"privtree/internal/geom"
+	"privtree/internal/obs"
+	"privtree/internal/stream"
+)
+
+// streamSpec is the registration form of a streaming dataset: the epoch
+// policy plus the per-epoch release knobs. It rides inside dataset.json,
+// so a restarted node (and every replica, which receives the registration
+// document verbatim) derives identical epoch parameters.
+type streamSpec struct {
+	// EpochEpsilon is the ε each sealed epoch's release debits. Required.
+	EpochEpsilon float64 `json:"epoch_epsilon"`
+	// Window is W, the number of most-recent epochs the `latest` alias
+	// serves; the live window is bounded by W·EpochEpsilon. Required.
+	Window int `json:"window"`
+	// SealEvery auto-seals as soon as this many records are pending
+	// (0 = no size trigger).
+	SealEvery int `json:"seal_every,omitempty"`
+	// IntervalMS seals any non-empty pending buffer on a timer
+	// (0 = no timer).
+	IntervalMS int64 `json:"interval_ms,omitempty"`
+
+	// Per-epoch release knobs: the ReleaseParams union minus epsilon
+	// (EpochEpsilon is the spend). Seed is a BASE seed; epoch e releases
+	// with DeriveSeed(Seed, e), so every epoch's fingerprint is distinct
+	// and reproducible.
+	Seed               uint64  `json:"seed,omitempty"`
+	Fanout             int     `json:"fanout,omitempty"`
+	Theta              float64 `json:"theta,omitempty"`
+	TreeBudgetFraction float64 `json:"tree_budget_fraction,omitempty"`
+	MaxDepth           int     `json:"max_depth,omitempty"`
+	AffectedLeaves     int     `json:"affected_leaves,omitempty"`
+	MaxLength          int     `json:"max_length,omitempty"`
+}
+
+// config converts the wire spec to the internal/stream policy.
+func (sp *streamSpec) config() stream.Config {
+	return stream.Config{
+		EpochEpsilon: sp.EpochEpsilon,
+		Window:       sp.Window,
+		SealEvery:    sp.SealEvery,
+		Interval:     time.Duration(sp.IntervalMS) * time.Millisecond,
+	}
+}
+
+// datasetStream is the runtime streaming state of one dataset. mu
+// serializes ingest application and sealing — the epoch boundary must be
+// exact — while queries read only the ring snapshot and immutable
+// releases, never this lock.
+type datasetStream struct {
+	spec     streamSpec
+	cfg      stream.Config
+	domain   geom.Rect // spatial streams: the fixed ingest domain
+	alphabet int       // sequence streams: the fixed symbol alphabet
+
+	mu        sync.Mutex
+	buf       *privtree.Stream // pending, unsealed records
+	ring      *stream.Ring     // served window of sealed epochs
+	nextEpoch uint64           // next epoch to seal (last sealed + 1)
+	lastBatch uint64           // highest applied ingest batch sequence
+	journal   *ingestJournal   // durable pending-buffer journal (nil in-memory)
+
+	// frozen is an epoch consumed from buf whose seal transaction has not
+	// completed (release or seal-record append failed); it is retried on
+	// the next seal trigger. frozenBatch is lastBatch at freeze time.
+	frozen      *privtree.Data
+	frozenN     int
+	frozenBatch uint64
+
+	stopCh   chan struct{} // closes to stop the seal timer
+	stopOnce sync.Once
+
+	// Ingest-rate instrumentation, read by the metrics plane.
+	batches atomic.Uint64
+	records atomic.Uint64
+}
+
+// newDatasetStream builds the streaming state for a just-registered (or
+// recovering) dataset.
+func newDatasetStream(spec streamSpec, kind Kind, domain geom.Rect, alphabet int) (*datasetStream, error) {
+	cfg := spec.config()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid stream spec: %w", err)
+	}
+	var buf *privtree.Stream
+	var err error
+	switch kind {
+	case KindSpatial:
+		buf, err = privtree.NewSpatialStream(domain)
+	default:
+		buf, err = privtree.NewSequenceStream(alphabet)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &datasetStream{
+		spec:      spec,
+		cfg:       cfg,
+		domain:    domain,
+		alphabet:  alphabet,
+		buf:       buf,
+		ring:      stream.NewRing(cfg.Window),
+		nextEpoch: 1,
+		stopCh:    make(chan struct{}),
+	}, nil
+}
+
+// validateBatch screens an ingest batch in full before any durable
+// effect: dimensionality, finiteness (JSON cannot carry NaN, but the
+// journal replay path can see anything, and Contains would silently pass
+// NaN through its comparisons), domain membership, and alphabet range.
+// privtree.Stream re-validates on append; this pass exists so the
+// journal-then-apply sequence cannot fail halfway.
+func (st *datasetStream) validateBatch(pts []privtree.Point, seqs []privtree.Sequence) error {
+	dims := st.domain.Dims()
+	for i, p := range pts {
+		if len(p) != dims {
+			return fmt.Errorf("point %d has %d coordinates, want %d", i, len(p), dims)
+		}
+		for _, c := range p {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("point %d has a non-finite coordinate", i)
+			}
+		}
+		if !st.domain.Contains(p) {
+			return fmt.Errorf("point %d lies outside the stream domain", i)
+		}
+	}
+	for i, sq := range seqs {
+		for _, sym := range sq {
+			if sym < 0 || sym >= st.alphabet {
+				return fmt.Errorf("string %d has symbol %d outside [0,%d)", i, sym, st.alphabet)
+			}
+		}
+	}
+	return nil
+}
+
+// epochParams derives epoch e's release parameters: the spec's knobs,
+// ε = EpochEpsilon, and a seed mixed from the base seed and the epoch
+// number — a pure function, so a restarted or replicated node re-derives
+// the exact same release fingerprint.
+func (st *datasetStream) epochParams(epoch uint64) ReleaseParams {
+	sp := st.spec
+	return ReleaseParams{
+		Epsilon:            sp.EpochEpsilon,
+		Seed:               stream.DeriveSeed(sp.Seed, epoch),
+		Fanout:             sp.Fanout,
+		Theta:              sp.Theta,
+		TreeBudgetFraction: sp.TreeBudgetFraction,
+		MaxDepth:           sp.MaxDepth,
+		AffectedLeaves:     sp.AffectedLeaves,
+		MaxLength:          sp.MaxLength,
+	}
+}
+
+// close stops the seal timer and releases the journal.
+func (st *datasetStream) close() {
+	st.stopOnce.Do(func() { close(st.stopCh) })
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal != nil {
+		st.journal.Close()
+		st.journal = nil
+	}
+}
+
+// pending returns the unsealed record count (frozen epoch included: those
+// records are consumed but not yet served).
+func (st *datasetStream) pending() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.buf.Pending() + st.frozenN
+}
+
+// recover rebuilds the streaming state after a restart (or on a replica's
+// first attach): the WAL's seal records reconstruct the served window,
+// the next epoch number, and the last sealed batch sequence; the ingest
+// journal then replays every acknowledged-but-unsealed batch into the
+// pending buffer. journalPath == "" skips the journal (in-memory mode).
+func (st *datasetStream) recover(d *Dataset, journalPath string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.refreshLocked(d); err != nil {
+		return err
+	}
+	if journalPath == "" {
+		return nil
+	}
+	j, recs, err := openIngestJournal(journalPath)
+	if err != nil {
+		return err
+	}
+	st.journal = j
+	for _, rec := range recs {
+		if rec.seq <= st.lastBatch {
+			continue // already inside a sealed epoch
+		}
+		if err := st.applyLocked(rec.pts, rec.seqs); err != nil {
+			return fmt.Errorf("replaying ingest journal batch %d: %w", rec.seq, err)
+		}
+		st.lastBatch = rec.seq
+	}
+	return nil
+}
+
+// refresh folds any seal records not yet reflected in the ring into the
+// served window — the replica-side path, called after each ApplyFrames.
+func (st *datasetStream) refresh(d *Dataset) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.refreshLocked(d)
+}
+
+func (st *datasetStream) refreshLocked(d *Dataset) error {
+	for _, sl := range d.session.Seals() {
+		if sl.Epoch < st.nextEpoch {
+			continue
+		}
+		rel, ok := d.releaseByFingerprint(sl.Fingerprint)
+		if !ok {
+			// A seal record is appended only after its release commit is
+			// durable, and replicas fetch artifacts before applying frames,
+			// so an unresolvable fingerprint is corruption, not a race.
+			return fmt.Errorf("seal for epoch %d names unknown release fingerprint %q", sl.Epoch, sl.Fingerprint)
+		}
+		if err := st.ring.Add(stream.Epoch{
+			Index: sl.Epoch, ReleaseID: rel.ID, Fingerprint: sl.Fingerprint,
+			Epsilon: st.cfg.EpochEpsilon, SealedAt: sl.At,
+		}); err != nil {
+			return err
+		}
+		st.nextEpoch = sl.Epoch + 1
+		if sl.BatchSeq > st.lastBatch {
+			st.lastBatch = sl.BatchSeq
+		}
+	}
+	return nil
+}
+
+// applyLocked appends one validated batch to the pending buffer.
+func (st *datasetStream) applyLocked(pts []privtree.Point, seqs []privtree.Sequence) error {
+	if len(pts) > 0 {
+		if err := st.buf.AppendPoints(pts); err != nil {
+			return err
+		}
+	}
+	if len(seqs) > 0 {
+		if err := st.buf.AppendSequences(seqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// windowReleases resolves the current served window to its member
+// releases, oldest epoch first.
+func (d *Dataset) windowReleases() ([]*Release, []stream.Epoch) {
+	live := d.stream.ring.Live()
+	rels := make([]*Release, 0, len(live))
+	for _, e := range live {
+		if r, ok := d.releaseByFingerprint(e.Fingerprint); ok {
+			rels = append(rels, r)
+		}
+	}
+	return rels, live
+}
+
+// sealStream runs one epoch-seal transaction (see the file comment for
+// the ordering argument). It returns privtree.ErrEmptyEpoch when nothing
+// is pending — the caller skips the epoch rather than spending ε on a
+// release of nothing. On any other error the frozen epoch is retained and
+// the next trigger retries the transaction idempotently.
+func (s *Server) sealStream(ctx context.Context, d *Dataset) (*Release, uint64, error) {
+	st := d.stream
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return s.sealStreamLocked(ctx, d)
+}
+
+func (s *Server) sealStreamLocked(ctx context.Context, d *Dataset) (*Release, uint64, error) {
+	st := d.stream
+	if st.frozen == nil {
+		if st.buf.Pending() == 0 {
+			return nil, 0, privtree.ErrEmptyEpoch
+		}
+		data, err := st.buf.Seal()
+		if err != nil {
+			return nil, 0, err
+		}
+		st.frozen, st.frozenN, st.frozenBatch = data, data.N(), st.lastBatch
+	}
+	epoch := st.nextEpoch
+	rel, fp, _, err := d.releaseData(ctx, st.frozen, st.epochParams(epoch), s.opts.Workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	trace := obs.FromContext(ctx).ID()
+	if err := d.session.AppendSeal(epoch, st.frozenBatch, fp, trace); err != nil {
+		// The release is paid and committed but the seal record is not
+		// durable: the epoch is NOT in the served window and the client was
+		// not acked. The retry re-runs the release as a fingerprint-cache
+		// hit (no second debit) and re-appends the seal.
+		return nil, 0, err
+	}
+	if err := st.ring.Add(stream.Epoch{
+		Index: epoch, ReleaseID: rel.ID, Fingerprint: fp, Records: st.frozenN,
+		Epsilon: st.cfg.EpochEpsilon, SealedAt: time.Now(),
+	}); err != nil {
+		return nil, 0, err
+	}
+	st.nextEpoch = epoch + 1
+	st.frozen, st.frozenN, st.frozenBatch = nil, 0, 0
+	if st.journal != nil && st.buf.Pending() == 0 {
+		// Space reclamation only: every journaled batch is now ≤ the sealed
+		// batch sequence, so replay would skip them all anyway. When later
+		// batches raced in during a retried seal the journal is left alone;
+		// a future empty-pending seal reclaims it.
+		if err := st.journal.Reset(); err != nil {
+			s.logger.Warn("ingest journal reset failed (replay stays correct; space not reclaimed)",
+				"dataset", d.Name, "err", err)
+		}
+	}
+	s.metrics.sealsTotal.Inc()
+	return rel, epoch, nil
+}
+
+// runSealTimer is the continual-release scheduler for one streaming
+// dataset: every Interval it seals whatever is pending. Unchanged (empty)
+// epochs are skipped — the served window, and therefore every `latest`
+// answer, changes only at seal boundaries. The timer runs on replicas too
+// but stays dormant until promotion flips the node to primary.
+func (s *Server) runSealTimer(d *Dataset) {
+	t := time.NewTicker(d.stream.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stream.stopCh:
+			return
+		case <-t.C:
+			if s.isReplica.Load() || s.fenced.Load() {
+				continue
+			}
+			if _, _, err := s.sealStream(context.Background(), d); err != nil && !errors.Is(err, privtree.ErrEmptyEpoch) {
+				s.logger.Warn("timer seal failed; will retry next tick", "dataset", d.Name, "err", err)
+			}
+		}
+	}
+}

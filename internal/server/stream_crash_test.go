@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"privtree/internal/store"
+)
+
+// Streaming crash harness. The parent re-executes this test binary as a
+// child that registers a streaming dataset, arms a crash hook at one
+// durability boundary (every store fault point plus the two ingest-
+// journal sync points), and ingests 8 batches sealing every second one.
+// The hook SIGKILLs the child mid-operation. The child acks each batch,
+// seal, and latest-window digest on stdout only AFTER the HTTP response
+// — i.e. after the fsync that made the effect durable.
+//
+// The parent then recovers the directory in-process and checks the
+// streaming crash contract:
+//
+//   - every acknowledged batch survives: resending its sequence number
+//     is acked as a duplicate (a lost batch would be re-applied);
+//   - the recovered window is at least the acknowledged one, and when it
+//     matches an acknowledged seal, the served latest answers are
+//     bit-identical to the acknowledged digest;
+//   - spent ε never under-counts acknowledged seals;
+//   - resuming the workload converges to the exact no-crash control
+//     state: same final epoch, same window ε, bit-identical latest
+//     answers, and spent ε equal to epochs × ε_epoch plus at most one
+//     dangling debit (a crash between a durable debit and its commit
+//     over-counts — the safe direction for a privacy ledger).
+
+const (
+	streamCrashChildEnv = "PRIVTREE_STREAM_CRASH_CHILD"
+	streamCrashDirEnv   = "PRIVTREE_STREAM_CRASH_DIR"
+	streamCrashPointEnv = "PRIVTREE_STREAM_CRASH_POINT"
+	streamCrashHitEnv   = "PRIVTREE_STREAM_CRASH_HIT"
+
+	streamCrashBatches  = 8 // seal every 2nd → 4 epochs
+	streamCrashRows     = 10
+	streamCrashEpochEps = 0.125 // exactly representable: float comparisons are equality
+	streamCrashWindow   = 2
+)
+
+// streamCrashBatch derives batch seq's rows deterministically, so the
+// child, the recovery continuation, and the control run all ingest
+// identical data.
+func streamCrashBatch(seq uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seq, 0xC0FFEE))
+	rows := make([][]float64, streamCrashRows)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return rows
+}
+
+var streamCrashQueries = [][]float64{
+	{0, 0, 1, 1},
+	{0.25, 0.25, 0.75, 0.75},
+	{0.1, 0.55, 0.45, 0.95},
+}
+
+// streamCrashServe runs one request against the in-process server and
+// decodes the JSON reply, returning the HTTP status.
+func streamCrashServe(s *Server, method, path string, body, out any) (int, error) {
+	var rdr *bytes.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rdr = bytes.NewReader(blob)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if out != nil && rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			return rec.Code, err
+		}
+	}
+	return rec.Code, nil
+}
+
+func streamCrashRegister(s *Server) (int, error) {
+	return streamCrashServe(s, "POST", "/v1/datasets", map[string]any{
+		"name": "sw", "epsilon": 1.0,
+		"domain": map[string]any{"lo": []float64{0, 0}, "hi": []float64{1, 1}},
+		"stream": map[string]any{
+			"epoch_epsilon": streamCrashEpochEps, "window": streamCrashWindow, "seed": 9,
+		},
+	}, nil)
+}
+
+// streamCrashDigest queries the latest window and joins the counts with
+// full float precision — bit-identical answers ⇒ identical digests.
+func streamCrashDigest(s *Server) (string, int, error) {
+	var out struct {
+		Counts []float64 `json:"counts"`
+	}
+	code, err := streamCrashServe(s, "POST", "/v1/datasets/sw/releases/latest/query",
+		map[string]any{"queries": streamCrashQueries}, &out)
+	if err != nil || code != 200 {
+		return "", code, err
+	}
+	parts := make([]string, len(out.Counts))
+	for i, c := range out.Counts {
+		parts[i] = strconv.FormatFloat(c, 'g', 17, 64)
+	}
+	return strings.Join(parts, ","), code, nil
+}
+
+// TestStreamCrashHelper is the child body; it skips unless re-executed
+// by TestStreamCrashRecovery.
+func TestStreamCrashHelper(t *testing.T) {
+	if os.Getenv(streamCrashChildEnv) != "1" {
+		t.Skip("stream-crash child process only")
+	}
+	dir := os.Getenv(streamCrashDirEnv)
+	point := os.Getenv(streamCrashPointEnv)
+	hit, _ := strconv.Atoi(os.Getenv(streamCrashHitEnv))
+
+	die := func(format string, args ...any) {
+		fmt.Printf("CHILD-ERROR "+format+"\n", args...)
+		os.Exit(1)
+	}
+	s, err := New(Options{DataDir: dir, Workers: 1})
+	if err != nil {
+		die("open: %v", err)
+	}
+	// Register BEFORE arming the hook: the fault points under test are
+	// the ingest/seal boundaries, not dataset creation.
+	if code, err := streamCrashRegister(s); err != nil || code != 201 {
+		die("register: code=%d err=%v", code, err)
+	}
+	fmt.Println("ACK registered")
+
+	var seen atomic.Int64
+	hook := func(p string) {
+		if p != point {
+			return
+		}
+		if int(seen.Add(1)) == hit {
+			// A real crash: no flushes, no cleanup, straight to SIGKILL.
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		}
+	}
+	if strings.HasPrefix(point, "journal.") {
+		ingestCrashHook = hook
+		defer func() { ingestCrashHook = nil }()
+	} else {
+		store.SetCrashHook(hook)
+		defer store.SetCrashHook(nil)
+	}
+
+	for seq := uint64(1); seq <= streamCrashBatches; seq++ {
+		var resp ingestResponse
+		code, err := streamCrashServe(s, "POST", "/v1/datasets/sw/ingest", map[string]any{
+			"batch_seq": seq, "points": streamCrashBatch(seq), "seal": seq%2 == 0,
+		}, &resp)
+		if err != nil || code != 200 {
+			die("ingest %d: code=%d err=%v", seq, code, err)
+		}
+		// Stdout is unbuffered: the ack is in the parent's pipe before the
+		// next call can crash us.
+		fmt.Printf("ACK batch %d\n", seq)
+		if resp.SealError != "" {
+			die("seal after batch %d: %s", seq, resp.SealError)
+		}
+		if resp.Sealed {
+			fmt.Printf("ACK seal %d %.17g\n", resp.Epoch, resp.EpsilonSpent)
+			dig, code, err := streamCrashDigest(s)
+			if err != nil || code != 200 {
+				die("latest after epoch %d: code=%d err=%v", resp.Epoch, code, err)
+			}
+			fmt.Printf("ACK latest %d %s\n", resp.Epoch, dig)
+		}
+	}
+	fmt.Println("DONE")
+}
+
+// streamCrashAcks is the child's acknowledged state.
+type streamCrashAcks struct {
+	batches   map[uint64]bool   // acked batch sequences
+	lastEpoch uint64            // newest acked sealed epoch
+	lastSpent float64           // spent ε acked with that seal
+	digests   map[uint64]string // latest digest acked per epoch
+	done      bool
+}
+
+func parseStreamAcks(t *testing.T, out []byte) streamCrashAcks {
+	t.Helper()
+	acks := streamCrashAcks{batches: make(map[uint64]bool), digests: make(map[uint64]string)}
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "CHILD-ERROR"):
+			t.Fatalf("child reported an unexpected error: %s", line)
+		case line == "DONE":
+			acks.done = true
+		case len(fields) == 3 && fields[0] == "ACK" && fields[1] == "batch":
+			seq, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bad ACK line %q: %v", line, err)
+			}
+			acks.batches[seq] = true
+		case len(fields) == 4 && fields[0] == "ACK" && fields[1] == "seal":
+			epoch, err1 := strconv.ParseUint(fields[2], 10, 64)
+			spent, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("bad ACK line %q", line)
+			}
+			acks.lastEpoch, acks.lastSpent = epoch, spent
+		case len(fields) == 4 && fields[0] == "ACK" && fields[1] == "latest":
+			epoch, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bad ACK line %q: %v", line, err)
+			}
+			acks.digests[epoch] = fields[3]
+		}
+	}
+	return acks
+}
+
+// streamCrashResume drives the full 8-batch workload against s, treating
+// duplicates as already-durable work: when a seal-carrying batch dedups
+// but its epoch has not sealed, an explicit empty seal recovers the
+// boundary. Returns which sequences were acked as duplicates.
+func streamCrashResume(t *testing.T, s *Server) map[uint64]bool {
+	t.Helper()
+	dups := make(map[uint64]bool)
+	for seq := uint64(1); seq <= streamCrashBatches; seq++ {
+		var resp ingestResponse
+		code, err := streamCrashServe(s, "POST", "/v1/datasets/sw/ingest", map[string]any{
+			"batch_seq": seq, "points": streamCrashBatch(seq), "seal": seq%2 == 0,
+		}, &resp)
+		if err != nil || code != 200 {
+			t.Fatalf("resume ingest %d: code=%d err=%v", seq, code, err)
+		}
+		if resp.SealError != "" {
+			t.Fatalf("resume seal after batch %d: %s", seq, resp.SealError)
+		}
+		if resp.Duplicate {
+			dups[seq] = true
+			if wantEpoch := seq / 2; seq%2 == 0 && resp.LastEpoch < wantEpoch {
+				// The batch was durable before the crash but its seal was not:
+				// recover the epoch boundary explicitly.
+				code, err := streamCrashServe(s, "POST", "/v1/datasets/sw/ingest",
+					map[string]any{"seal": true}, &resp)
+				if err != nil || code != 200 || resp.SealError != "" {
+					t.Fatalf("resume forced seal %d: code=%d err=%v sealErr=%q", wantEpoch, code, err, resp.SealError)
+				}
+				if !resp.Sealed || resp.Epoch != wantEpoch {
+					t.Fatalf("forced seal produced epoch %d (sealed=%v), want %d", resp.Epoch, resp.Sealed, wantEpoch)
+				}
+			}
+		}
+	}
+	return dups
+}
+
+func streamCrashInfo(t *testing.T, s *Server) (spent float64, st streamInfoJSON) {
+	t.Helper()
+	var info struct {
+		EpsilonSpent float64         `json:"epsilon_spent"`
+		Stream       *streamInfoJSON `json:"stream"`
+	}
+	code, err := streamCrashServe(s, "GET", "/v1/datasets/sw", nil, &info)
+	if err != nil || code != 200 || info.Stream == nil {
+		t.Fatalf("dataset info: code=%d err=%v stream=%v", code, err, info.Stream)
+	}
+	return info.EpsilonSpent, *info.Stream
+}
+
+// TestStreamCrashRecovery SIGKILLs a child mid-seal at every durability
+// boundary and asserts the recovered window, spent ε, and served latest
+// match the acknowledged state exactly, then resumes the workload to the
+// exact no-crash control state.
+func TestStreamCrashRecovery(t *testing.T) {
+	if goos := os.Getenv("GOOS"); goos != "" && goos != "linux" {
+		t.Skip("SIGKILL harness is POSIX-only")
+	}
+
+	// Control: the same workload with no crash, for the exact final state.
+	control := mustNew(t, Options{DataDir: t.TempDir(), Workers: 1})
+	defer control.Close()
+	if code, err := streamCrashRegister(control); err != nil || code != 201 {
+		t.Fatalf("control register: code=%d err=%v", code, err)
+	}
+	streamCrashResume(t, control)
+	controlDigest, code, err := streamCrashDigest(control)
+	if err != nil || code != 200 {
+		t.Fatalf("control digest: code=%d err=%v", code, err)
+	}
+	controlSpent, controlStream := streamCrashInfo(t, control)
+	wantEpochs := uint64(streamCrashBatches / 2)
+	if controlStream.LastEpoch != wantEpochs || controlSpent != float64(wantEpochs)*streamCrashEpochEps {
+		t.Fatalf("control state: epoch=%d spent=%v", controlStream.LastEpoch, controlSpent)
+	}
+
+	points := append(append([]string{}, store.CrashPoints...), "journal.before_sync", "journal.after_sync")
+	for _, point := range points {
+		for _, hit := range []int{1, 2, 3} {
+			point, hit := point, hit
+			t.Run(fmt.Sprintf("%s/hit%d", point, hit), func(t *testing.T) {
+				dir := t.TempDir()
+				cmd := exec.Command(os.Args[0], "-test.run", "^TestStreamCrashHelper$", "-test.v")
+				cmd.Env = append(os.Environ(),
+					streamCrashChildEnv+"=1",
+					streamCrashDirEnv+"="+dir,
+					streamCrashPointEnv+"="+point,
+					streamCrashHitEnv+"="+strconv.Itoa(hit),
+				)
+				var stdout, stderr bytes.Buffer
+				cmd.Stdout, cmd.Stderr = &stdout, &stderr
+				runErr := cmd.Run()
+				acks := parseStreamAcks(t, stdout.Bytes())
+				if runErr == nil && !acks.done {
+					t.Fatalf("child exited cleanly without finishing\nstdout:\n%s\nstderr:\n%s",
+						stdout.String(), stderr.String())
+				}
+				if runErr != nil {
+					ee, ok := runErr.(*exec.ExitError)
+					if !ok || !ee.ProcessState.Exited() && ee.ProcessState.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+						t.Fatalf("child died abnormally: %v\nstdout:\n%s\nstderr:\n%s",
+							runErr, stdout.String(), stderr.String())
+					}
+				}
+
+				// Recover in-process from the crashed directory.
+				s, err := New(Options{DataDir: dir, Workers: 1})
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				defer s.Close()
+
+				spent, st := streamCrashInfo(t, s)
+				if st.LastEpoch < acks.lastEpoch {
+					t.Fatalf("recovered epoch %d FORGETS acknowledged seal %d", st.LastEpoch, acks.lastEpoch)
+				}
+				if spent < acks.lastSpent {
+					t.Fatalf("recovered spent ε=%v under-counts acknowledged %v", spent, acks.lastSpent)
+				}
+				if dig, ok := acks.digests[st.LastEpoch]; ok {
+					got, code, err := streamCrashDigest(s)
+					if err != nil || code != 200 {
+						t.Fatalf("recovered latest: code=%d err=%v", code, err)
+					}
+					if got != dig {
+						t.Fatalf("recovered latest diverges from acknowledged at epoch %d:\n got %s\nwant %s",
+							st.LastEpoch, got, dig)
+					}
+				}
+
+				// Resume: every acked batch must dedup (it was durable), and
+				// the workload must converge to the exact control state.
+				dups := streamCrashResume(t, s)
+				for seq := range acks.batches {
+					if !dups[seq] {
+						t.Fatalf("acknowledged batch %d was LOST by recovery (re-applied on resume)", seq)
+					}
+				}
+				finalSpent, finalStream := streamCrashInfo(t, s)
+				if finalStream.LastEpoch != wantEpochs {
+					t.Fatalf("resumed to epoch %d, want %d", finalStream.LastEpoch, wantEpochs)
+				}
+				if finalStream.WindowEpsilon != controlStream.WindowEpsilon {
+					t.Fatalf("resumed window ε=%v, control %v", finalStream.WindowEpsilon, controlStream.WindowEpsilon)
+				}
+				// A crash between a durable debit and its commit leaves one
+				// dangling debit; the retried epoch pays again. Spent is exact
+				// either way — never any other value.
+				if finalSpent != controlSpent && finalSpent != controlSpent+streamCrashEpochEps {
+					t.Fatalf("resumed spent ε=%v, want %v (or +%v for one dangling debit)",
+						finalSpent, controlSpent, streamCrashEpochEps)
+				}
+				gotDigest, code, err := streamCrashDigest(s)
+				if err != nil || code != 200 {
+					t.Fatalf("resumed latest: code=%d err=%v", code, err)
+				}
+				if gotDigest != controlDigest {
+					t.Fatalf("resumed latest diverges from control:\n got %s\nwant %s", gotDigest, controlDigest)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// streamRegisterBody is the canonical spatial streaming registration used
+// across these tests: ε_epoch exactly representable, window of 2.
+func streamRegisterBody(name string, extra map[string]any) map[string]any {
+	spec := map[string]any{"epoch_epsilon": 0.125, "window": 2, "seed": 21}
+	for k, v := range extra {
+		spec[k] = v
+	}
+	return map[string]any{
+		"name": name, "epsilon": 1.0,
+		"domain": map[string]any{"lo": []float64{0, 0}, "hi": []float64{1, 1}},
+		"stream": spec,
+	}
+}
+
+// TestStreamEndToEnd is the subsystem's acceptance test: a streaming
+// dataset is registered and fed across 5 epochs through real HTTP, and
+//
+//	(a) spent ε equals epochs-released × ε_epoch exactly, before and
+//	    after restart recovery;
+//	(b) the live window's composed ε never exceeds window × ε_epoch;
+//	(c) the latest alias changes only at seal boundaries, and the
+//	    recovered process serves it bit-identically.
+func TestStreamEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Options{DataDir: dir, Workers: 1})
+	ts := httptest.NewServer(s)
+	client := ts.Client()
+
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/datasets", streamRegisterBody("sw", nil), nil); code != 201 {
+		t.Fatalf("register: HTTP %d", code)
+	}
+
+	digest := func() string {
+		var out struct {
+			Counts []float64 `json:"counts"`
+		}
+		code := doJSON(t, client, "POST", ts.URL+"/v1/datasets/sw/releases/latest/query",
+			map[string]any{"queries": streamCrashQueries}, &out)
+		if code != 200 {
+			t.Fatalf("latest query: HTTP %d", code)
+		}
+		return fmt.Sprintf("%x", out.Counts)
+	}
+	state := func() (spent float64, st streamInfoJSON) {
+		var info struct {
+			EpsilonSpent float64         `json:"epsilon_spent"`
+			Stream       *streamInfoJSON `json:"stream"`
+		}
+		if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets/sw", nil, &info); code != 200 || info.Stream == nil {
+			t.Fatalf("info: HTTP %d stream=%v", code, info.Stream)
+		}
+		return info.EpsilonSpent, *info.Stream
+	}
+
+	var lastDigest string
+	seq := uint64(0)
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		// Two plain batches, then a sealing one. Between plain batches the
+		// served latest must not move — releases change only at seals.
+		for b := 0; b < 3; b++ {
+			seq++
+			var resp ingestResponse
+			code := doJSON(t, client, "POST", ts.URL+"/v1/datasets/sw/ingest", map[string]any{
+				"batch_seq": seq, "points": streamCrashBatch(seq), "seal": b == 2,
+			}, &resp)
+			if code != 200 {
+				t.Fatalf("ingest %d: HTTP %d", seq, code)
+			}
+			if b < 2 && epoch > 1 && digest() != lastDigest {
+				t.Fatalf("latest changed between seals (epoch %d batch %d)", epoch, b)
+			}
+			if b == 2 && !resp.Sealed {
+				t.Fatalf("batch %d did not seal: %+v", seq, resp)
+			}
+		}
+		spent, st := state()
+		if want := float64(epoch) * 0.125; spent != want {
+			t.Fatalf("after epoch %d: spent ε=%v, want exactly %v", epoch, spent, want)
+		}
+		if st.WindowEpsilon > 2*0.125 {
+			t.Fatalf("after epoch %d: window ε=%v exceeds bound %v", epoch, st.WindowEpsilon, 2*0.125)
+		}
+		if epoch >= 2 && (st.WindowEpochs != 2 || st.WindowEpsilon != 0.25) {
+			t.Fatalf("after epoch %d: window has %d epochs ε=%v, want 2 epochs ε=0.25 (aged epochs must drop)",
+				epoch, st.WindowEpochs, st.WindowEpsilon)
+		}
+		if st.LastEpoch != epoch {
+			t.Fatalf("last epoch %d, want %d", st.LastEpoch, epoch)
+		}
+		d := digest()
+		if d == lastDigest {
+			t.Fatalf("latest did not change at seal boundary %d", epoch)
+		}
+		lastDigest = d
+	}
+	spentBefore, stBefore := state()
+
+	// Restart from the same directory: the recovered window, accounting,
+	// and served latest must match exactly.
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNew(t, Options{DataDir: dir, Workers: 1})
+	defer s2.Close()
+	ts = httptest.NewServer(s2)
+	defer ts.Close()
+	client = ts.Client()
+
+	spentAfter, stAfter := state()
+	if spentAfter != spentBefore {
+		t.Fatalf("restart changed spent ε: %v → %v", spentBefore, spentAfter)
+	}
+	if stAfter.LastEpoch != stBefore.LastEpoch || stAfter.WindowEpochs != stBefore.WindowEpochs ||
+		stAfter.WindowEpsilon != stBefore.WindowEpsilon {
+		t.Fatalf("restart changed the window: %+v → %+v", stBefore, stAfter)
+	}
+	if d := digest(); d != lastDigest {
+		t.Fatal("restart changed the served latest window")
+	}
+
+	// The ingest plane keeps working after recovery, with sequence
+	// idempotency intact across the restart.
+	var resp ingestResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/datasets/sw/ingest", map[string]any{
+		"batch_seq": seq, "points": streamCrashBatch(seq),
+	}, &resp); code != 200 || !resp.Duplicate {
+		t.Fatalf("replay of acked batch after restart: HTTP %d %+v", code, resp)
+	}
+	seq++
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/datasets/sw/ingest", map[string]any{
+		"batch_seq": seq, "points": streamCrashBatch(seq), "seal": true,
+	}, &resp); code != 200 || !resp.Sealed || resp.Epoch != 6 {
+		t.Fatalf("post-restart seal: HTTP %d %+v", code, resp)
+	}
+	if spent, _ := state(); spent != 6*0.125 {
+		t.Fatalf("post-restart spend: %v, want %v", spent, 6*0.125)
+	}
+}
+
+// TestStreamIngestValidation locks the all-or-nothing contract of the
+// ingest plane: malformed, out-of-domain, non-finite, or wrong-plane
+// batches are rejected whole with HTTP 400 and change nothing.
+func TestStreamIngestValidation(t *testing.T) {
+	s := mustNew(t, Options{Workers: 1})
+	defer s.Close()
+	if code, err := streamCrashServe(s, "POST", "/v1/datasets", streamRegisterBody("sw", nil), nil); err != nil || code != 201 {
+		t.Fatalf("register: %d %v", code, err)
+	}
+	if code, err := streamCrashServe(s, "POST", "/v1/datasets", map[string]any{
+		"name": "seqs", "epsilon": 1.0, "alphabet": 4,
+		"stream": map[string]any{"epoch_epsilon": 0.125, "window": 2, "max_length": 4},
+	}, nil); err != nil || code != 201 {
+		t.Fatalf("register sequence stream: %d %v", code, err)
+	}
+	// A plain (non-stream) dataset for the not-a-stream rejection.
+	if code, err := streamCrashServe(s, "POST", "/v1/datasets", map[string]any{
+		"name": "static", "epsilon": 1.0,
+		"points": [][]float64{{0.1, 0.2}, {0.3, 0.4}},
+	}, nil); err != nil || code != 201 {
+		t.Fatalf("register static: %d %v", code, err)
+	}
+
+	rejected := []struct {
+		name string
+		path string
+		body map[string]any
+	}{
+		{"wrong dims", "sw", map[string]any{"points": [][]float64{{0.5}}}},
+		{"out of domain", "sw", map[string]any{"points": [][]float64{{0.5, 1.5}}}},
+		{"empty without seal", "sw", map[string]any{"points": [][]float64{}}},
+		{"strings to spatial", "sw", map[string]any{"strings": [][]int{{0, 1}}}},
+		{"points to sequence", "seqs", map[string]any{"points": [][]float64{{0.5, 0.5}}}},
+		{"symbol out of range", "seqs", map[string]any{"strings": [][]int{{0, 9}}}},
+		{"not a stream", "static", map[string]any{"points": [][]float64{{0.5, 0.5}}}},
+	}
+	for _, tc := range rejected {
+		// One bad row poisons the whole batch.
+		if tc.name == "out of domain" {
+			tc.body = map[string]any{"points": [][]float64{{0.25, 0.25}, {0.5, 1.5}}}
+		}
+		code, err := streamCrashServe(s, "POST", "/v1/datasets/"+tc.path+"/ingest", tc.body, nil)
+		if err != nil || code != 400 {
+			t.Fatalf("%s: HTTP %d err=%v, want 400", tc.name, code, err)
+		}
+	}
+
+	// NaN/Inf cannot round-trip through encoding/json; send raw JSON with
+	// an overflowing literal (decodes to +Inf in a lenient reader) and a
+	// bare NaN token — both must reject without applying.
+	for _, raw := range []string{
+		`{"points":[[1e999,0.5]]}`,
+		`{"points":[[NaN,0.5]]}`,
+	} {
+		req := httptest.NewRequest("POST", "/v1/datasets/sw/ingest", strings.NewReader(raw))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 400 {
+			t.Fatalf("raw %q: HTTP %d, want 400", raw, rec.Code)
+		}
+	}
+
+	var info struct {
+		Stream *streamInfoJSON `json:"stream"`
+	}
+	if _, err := streamCrashServe(s, "GET", "/v1/datasets/sw", nil, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Stream.Pending != 0 || info.Stream.LastEpoch != 0 {
+		t.Fatalf("rejected batches left state behind: %+v", info.Stream)
+	}
+
+	// A streaming dataset's releases come from seals only.
+	if code, _ := streamCrashServe(s, "POST", "/v1/datasets/sw/releases",
+		map[string]any{"epsilon": 0.125}, nil); code != 400 {
+		t.Fatalf("direct release on a stream: HTTP %d, want 400", code)
+	}
+	// A streaming registration starts empty: data sources are rejected.
+	body := streamRegisterBody("sw2", nil)
+	body["points"] = [][]float64{{0.5, 0.5}}
+	if code, _ := streamCrashServe(s, "POST", "/v1/datasets", body, nil); code != 400 {
+		t.Fatalf("stream registration with a data source: HTTP %d, want 400", code)
+	}
+	// Latest on an unsealed stream: nothing released yet.
+	if code, _ := streamCrashServe(s, "GET", "/v1/datasets/sw/releases/latest", nil, nil); code != 404 {
+		t.Fatalf("latest before any seal: HTTP %d, want 404", code)
+	}
+}
+
+// TestStreamSealTriggers covers the two non-explicit seal triggers: the
+// seal_every row threshold and the background interval timer.
+func TestStreamSealTriggers(t *testing.T) {
+	s := mustNew(t, Options{Workers: 1})
+	defer s.Close()
+	if code, err := streamCrashServe(s, "POST", "/v1/datasets",
+		streamRegisterBody("bysize", map[string]any{"seal_every": 20}), nil); err != nil || code != 201 {
+		t.Fatalf("register: %d %v", code, err)
+	}
+
+	var resp ingestResponse
+	if _, err := streamCrashServe(s, "POST", "/v1/datasets/bysize/ingest",
+		map[string]any{"points": streamCrashBatch(1)}, &resp); err != nil || resp.Sealed {
+		t.Fatalf("10 rows sealed early: %+v err=%v", resp, err)
+	}
+	if _, err := streamCrashServe(s, "POST", "/v1/datasets/bysize/ingest",
+		map[string]any{"points": streamCrashBatch(2)}, &resp); err != nil || !resp.Sealed || resp.Epoch != 1 {
+		t.Fatalf("seal_every threshold did not seal: %+v err=%v", resp, err)
+	}
+	// An explicit empty seal with nothing pending is a no-op.
+	if _, err := streamCrashServe(s, "POST", "/v1/datasets/bysize/ingest",
+		map[string]any{"seal": true}, &resp); err != nil || resp.Sealed || resp.LastEpoch != 1 {
+		t.Fatalf("empty seal was not a no-op: %+v err=%v", resp, err)
+	}
+
+	// Interval timer: epochs seal with no further requests.
+	if code, err := streamCrashServe(s, "POST", "/v1/datasets",
+		streamRegisterBody("bytime", map[string]any{"interval_ms": 20}), nil); err != nil || code != 201 {
+		t.Fatalf("register timed stream: %d %v", code, err)
+	}
+	if _, err := streamCrashServe(s, "POST", "/v1/datasets/bytime/ingest",
+		map[string]any{"points": streamCrashBatch(3)}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var info struct {
+			Stream *streamInfoJSON `json:"stream"`
+		}
+		if _, err := streamCrashServe(s, "GET", "/v1/datasets/bytime", nil, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Stream.LastEpoch >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval timer never sealed the pending epoch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -147,6 +147,7 @@ type Store struct {
 	events  []Event // debits and refunds, replay order
 	commits []Event // release commits, replay order
 	epochs  []Event // writer-epoch grants, replay order
+	seals   []Event // stream epoch seals, replay order
 	byKey   map[string]int
 
 	// writerEpoch is the highest epoch granted in the replicated history
@@ -174,17 +175,19 @@ type snapshotFile struct {
 	Events  []snapEvent `json:"events"`
 	Commits []snapEvent `json:"commits"`
 	Epochs  []snapEvent `json:"epochs,omitempty"`
+	Seals   []snapEvent `json:"seals,omitempty"`
 }
 
 type snapEvent struct {
-	Seq     uint64  `json:"seq"`
-	Kind    string  `json:"kind"`
-	Epsilon float64 `json:"epsilon,omitempty"`
-	Key     string  `json:"key"`
-	At      int64   `json:"at_unix_nano"`
-	SHA     string  `json:"sha256,omitempty"`
-	Epoch   uint64  `json:"epoch,omitempty"`
-	Trace   string  `json:"trace,omitempty"`
+	Seq      uint64  `json:"seq"`
+	Kind     string  `json:"kind"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Key      string  `json:"key"`
+	At       int64   `json:"at_unix_nano"`
+	SHA      string  `json:"sha256,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"`
+	BatchSeq uint64  `json:"batch_seq,omitempty"`
+	Trace    string  `json:"trace,omitempty"`
 }
 
 // Open opens (creating if needed) the store rooted at dir and recovers
@@ -272,6 +275,8 @@ func (s *Store) apply(e Event) {
 		if e.Epoch > s.writerEpoch {
 			s.writerEpoch = e.Epoch
 		}
+	case EventSeal:
+		s.seals = append(s.seals, e)
 	default:
 		s.events = append(s.events, e)
 	}
@@ -310,6 +315,13 @@ func (s *Store) loadSnapshot() error {
 				}
 				e.Epoch = r.Epoch
 				e.Kind = EventEpoch
+			case kind == EventSeal && r.Kind == "seal":
+				if r.Epoch == 0 {
+					return fmt.Errorf("store: snapshot seal row seals epoch 0")
+				}
+				e.Epoch = r.Epoch
+				e.BatchSeq = r.BatchSeq
+				e.Kind = EventSeal
 			case kind == EventDebit && r.Kind == "debit":
 				e.Kind = EventDebit
 			case kind == EventDebit && r.Kind == "refund":
@@ -331,6 +343,9 @@ func (s *Store) loadSnapshot() error {
 		return err
 	}
 	if err := restore(EventEpoch, snap.Epochs); err != nil {
+		return err
+	}
+	if err := restore(EventSeal, snap.Seals); err != nil {
 		return err
 	}
 	s.snapshotSeq = snap.Seq
@@ -564,6 +579,48 @@ func (s *Store) LoadArtifact(sha [32]byte) ([]byte, error) {
 	return blob, nil
 }
 
+// Seals returns the stream epoch-seal records in replay order. Each seal
+// binds one sealed stream epoch to the fingerprint (Key) of the release
+// frozen for it and the highest ingest batch sequence it consumed; the
+// served sliding window is a pure function of this history.
+func (s *Store) Seals() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.seals))
+	copy(out, s.seals)
+	return out
+}
+
+// LastSealedEpoch returns the stream epoch of the most recent seal record
+// (0 before any seal).
+func (s *Store) LastSealedEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.seals) == 0 {
+		return 0
+	}
+	return s.seals[len(s.seals)-1].Epoch
+}
+
+// AppendSeal makes a stream epoch seal durable: epoch is the 1-based
+// stream epoch index being frozen, key is the fingerprint of the release
+// built for it (whose debit and commit records must already be durable —
+// the seal is the LAST record of a seal transaction, so a crash before it
+// leaves a paid-for release outside the window, never a window entry
+// without its ε), and batchSeq is the highest ingest batch sequence the
+// epoch consumed. Seal epochs must be strictly increasing.
+func (s *Store) AppendSeal(epoch, batchSeq uint64, key, trace string) error {
+	if epoch == 0 {
+		return fmt.Errorf("store: cannot seal epoch 0")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.seals); n > 0 && epoch <= s.seals[n-1].Epoch {
+		return fmt.Errorf("store: seal epoch %d not after last sealed epoch %d", epoch, s.seals[n-1].Epoch)
+	}
+	return s.appendLocked(&Event{Kind: EventSeal, At: time.Now(), Key: key, Epoch: epoch, BatchSeq: batchSeq, Trace: trace})
+}
+
 // Epochs returns the writer-epoch grant records in replay order.
 func (s *Store) Epochs() []Event {
 	s.mu.Lock()
@@ -696,6 +753,11 @@ func (s *Store) FramesSince(afterSeq uint64, maxBytes int) ([]byte, uint64, erro
 			pending = append(pending, &s.epochs[i])
 		}
 	}
+	for i := range s.seals {
+		if s.seals[i].Seq > afterSeq {
+			pending = append(pending, &s.seals[i])
+		}
+	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
 	var buf []byte
 	last := afterSeq
@@ -737,6 +799,10 @@ func (s *Store) AppendReplicated(frames []byte) ([]Event, error) {
 	}
 	lastSeq := s.wal.nextSeq - 1
 	epoch := s.writerEpoch
+	sealEpoch := uint64(0)
+	if n := len(s.seals); n > 0 {
+		sealEpoch = s.seals[n-1].Epoch
+	}
 	accepted := make([]Event, 0, len(events))
 	for _, e := range events {
 		if e.Seq <= lastSeq {
@@ -749,6 +815,11 @@ func (s *Store) AppendReplicated(frames []byte) ([]Event, error) {
 				return nil, fmt.Errorf("store: rejecting replicated batch: epoch record grants %d but local writer epoch is already %d", e.Epoch, epoch)
 			}
 			epoch = e.Epoch
+		case EventSeal:
+			if e.Epoch <= sealEpoch {
+				return nil, fmt.Errorf("store: rejecting replicated batch: seal record for epoch %d but local last sealed epoch is already %d", e.Epoch, sealEpoch)
+			}
+			sealEpoch = e.Epoch
 		case EventCommit:
 			if !s.hasArtifactLocked(e.SHA) {
 				return nil, fmt.Errorf("store: rejecting replicated batch: commit %q references missing artifact %s (fetch artifacts before applying frames)", e.Key, hex.EncodeToString(e.SHA[:]))
@@ -876,6 +947,11 @@ func (s *Store) Compact() error {
 		snap.Epochs = append(snap.Epochs, snapEvent{
 			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
 			Epoch: e.Epoch, Trace: e.Trace})
+	}
+	for _, e := range s.seals {
+		snap.Seals = append(snap.Seals, snapEvent{
+			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key, At: e.At.UnixNano(),
+			Epoch: e.Epoch, BatchSeq: e.BatchSeq, Trace: e.Trace})
 	}
 	blob, err := json.Marshal(&snap)
 	if err != nil {

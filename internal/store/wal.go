@@ -27,6 +27,7 @@ import (
 //	payload:= seq(u64) kind(u8) at(i64, unix nanos)
 //	          eps(f64) keyLen(u16) key [sha(32)]     (sha on commits only)
 //	          [epoch(u64)]                           (epoch records only)
+//	          [epoch(u64) batchseq(u64)]             (seal records only)
 //	          [traceLen(u8) trace]                   (optional, all kinds)
 //
 // The CRC is crc32.Castagnoli over the payload. Zero-length frames,
@@ -63,6 +64,14 @@ const (
 	// every node that has the prefix knows the highest epoch ever granted,
 	// which is what makes fencing a pure function of replicated state.
 	EventEpoch EventKind = 4
+	// EventSeal records that a streaming dataset sealed stream epoch Epoch
+	// into the release whose fingerprint is Key, consuming ingest batches
+	// up to BatchSeq. Seals carry no ε of their own (the sealed release's
+	// debit and commit are separate records, appended before the seal), so
+	// they never enter ledger replay; they exist so a restarted or
+	// replicated node can re-derive the served sliding window — which
+	// epochs are live, in order — as a pure function of the WAL prefix.
+	EventSeal EventKind = 5
 )
 
 func (k EventKind) String() string {
@@ -75,6 +84,8 @@ func (k EventKind) String() string {
 		return "commit"
 	case EventEpoch:
 		return "epoch"
+	case EventSeal:
+		return "seal"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -95,9 +106,12 @@ type Event struct {
 	Key string
 	// SHA is the content address of the committed envelope (commits only).
 	SHA [32]byte
-	// Epoch is the writer epoch granted by an epoch record (epoch records
-	// only; zero otherwise).
+	// Epoch is the writer epoch granted by an epoch record, or the stream
+	// epoch index frozen by a seal record (zero otherwise; both start at 1).
 	Epoch uint64
+	// BatchSeq is the highest ingest batch sequence number consumed by a
+	// seal record (seal records only; zero otherwise).
+	BatchSeq uint64
 	// Trace is the request trace ID that produced the event ("" for
 	// untraced appends and for records written before the field existed).
 	Trace string
@@ -127,6 +141,10 @@ func appendEventPayload(buf []byte, e *Event) []byte {
 	}
 	if e.Kind == EventEpoch {
 		buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
+	}
+	if e.Kind == EventSeal {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, e.BatchSeq)
 	}
 	if e.Trace != "" {
 		t := e.Trace
@@ -182,6 +200,19 @@ func decodeEventPayload(p []byte) (Event, error) {
 		}
 		if e.Epsilon != 0 {
 			return e, fmt.Errorf("store: epoch record carries epsilon %v", e.Epsilon)
+		}
+	case EventSeal:
+		if len(rest) < 16 {
+			return e, fmt.Errorf("store: seal record has %d body bytes, want 16", len(rest))
+		}
+		e.Epoch = binary.LittleEndian.Uint64(rest[:8])
+		e.BatchSeq = binary.LittleEndian.Uint64(rest[8:16])
+		rest = rest[16:]
+		if e.Epoch == 0 {
+			return e, fmt.Errorf("store: seal record seals epoch 0")
+		}
+		if e.Epsilon != 0 {
+			return e, fmt.Errorf("store: seal record carries epsilon %v", e.Epsilon)
 		}
 	default:
 		return e, fmt.Errorf("store: unknown record kind %d", uint8(e.Kind))

@@ -1,0 +1,180 @@
+// Package stream implements the accounting core of continual release: a
+// sliding window of sealed stream epochs with sequential-composition
+// bookkeeping, and the per-epoch seed derivation that keeps every epoch's
+// release fingerprint distinct.
+//
+// # The sliding-window composition argument
+//
+// Each sealed epoch e is released by one ordinary Session release that
+// debits ε_epoch — durable-before-build, exactly like any other release.
+// The served window at any moment is the last W sealed epochs; answering
+// a query against the window is post-processing of those W releases (a
+// sum of already-released range counts or frequencies), so by sequential
+// composition the window's privacy cost is bounded by W·ε_epoch.
+//
+// Aged-out epochs leave the served window but their ε stays spent in the
+// ledger: the TOTAL cost of everything ever released is Σ debits, which
+// the session's budget bounds as always. The window bound is the per-
+// moment guarantee (what the live dashboard reveals about recent data);
+// the ledger bound is the lifetime guarantee. Both hold simultaneously,
+// and both survive restarts because debits and seals are WAL records.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config is a streaming dataset's epoch policy, fixed at registration.
+type Config struct {
+	// EpochEpsilon is the ε debited per sealed epoch; positive.
+	EpochEpsilon float64
+	// Window is W, the number of most-recent sealed epochs served by the
+	// `latest` alias; at least 1. The live window's privacy cost is
+	// bounded by Window·EpochEpsilon.
+	Window int
+	// SealEvery, when positive, auto-seals an epoch as soon as at least
+	// this many records are pending. Zero disables size-triggered seals.
+	SealEvery int
+	// Interval, when positive, seals any non-empty pending buffer on a
+	// timer. Zero disables timer-triggered seals.
+	Interval time.Duration
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if !(c.EpochEpsilon > 0) {
+		return fmt.Errorf("stream: epoch epsilon must be positive, got %g", c.EpochEpsilon)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("stream: window must be >= 1, got %d", c.Window)
+	}
+	if c.SealEvery < 0 {
+		return fmt.Errorf("stream: seal_every must be >= 0, got %d", c.SealEvery)
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("stream: interval must be >= 0, got %s", c.Interval)
+	}
+	return nil
+}
+
+// DeriveSeed maps a stream's base seed and a 1-based epoch number to the
+// epoch's release seed via a splitmix64-style mix. Distinct epochs get
+// distinct seeds with overwhelming probability, which keeps every epoch's
+// release fingerprint distinct — the fingerprint is what the WAL commit
+// log, the session cache, and the seal records key on — while remaining a
+// pure function of (base, epoch) so a restarted or replicated node
+// re-derives the exact same release parameters.
+func DeriveSeed(base, epoch uint64) uint64 {
+	z := base + epoch*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Epoch is one sealed epoch in the served window.
+type Epoch struct {
+	// Index is the 1-based epoch number.
+	Index uint64
+	// ReleaseID is the serving-layer id of the epoch's release.
+	ReleaseID string
+	// Fingerprint is the epoch's release fingerprint (the WAL seal key).
+	Fingerprint string
+	// Records is the number of private records the epoch contains.
+	Records int
+	// Epsilon is the ε the epoch's release debited.
+	Epsilon float64
+	// SealedAt is the wall-clock seal time.
+	SealedAt time.Time
+}
+
+// Ring is the sliding window of the last W sealed epochs. Seals push new
+// epochs in and age the oldest out; readers see a consistent snapshot.
+// It is safe for concurrent use.
+type Ring struct {
+	mu     sync.Mutex
+	window int
+	epochs []Epoch // oldest first, len <= window
+}
+
+// NewRing returns an empty ring serving a window of w epochs (w >= 1).
+func NewRing(w int) *Ring {
+	if w < 1 {
+		w = 1
+	}
+	return &Ring{window: w}
+}
+
+// Window returns W, the ring's capacity in epochs.
+func (r *Ring) Window() int { return r.window }
+
+// Add appends a sealed epoch and ages out the oldest if the window is
+// full. Epoch indices must be strictly increasing.
+func (r *Ring) Add(e Epoch) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.epochs); n > 0 && e.Index <= r.epochs[n-1].Index {
+		return fmt.Errorf("stream: epoch %d not after last sealed epoch %d", e.Index, r.epochs[n-1].Index)
+	}
+	if e.Index == 0 {
+		return fmt.Errorf("stream: epoch index must be >= 1")
+	}
+	r.epochs = append(r.epochs, e)
+	if len(r.epochs) > r.window {
+		// Age out: shift rather than re-slice so aged-out epochs are not
+		// pinned by the backing array.
+		copy(r.epochs, r.epochs[1:])
+		r.epochs = r.epochs[:r.window]
+	}
+	return nil
+}
+
+// Live returns a copy of the served window, oldest epoch first.
+func (r *Ring) Live() []Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Epoch, len(r.epochs))
+	copy(out, r.epochs)
+	return out
+}
+
+// Len returns the number of epochs currently in the window.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.epochs)
+}
+
+// WindowEpsilon returns the summed ε of the epochs in the served window —
+// by sequential composition, the privacy cost of everything the window
+// currently reveals. It is bounded by Window()·ε_epoch by construction.
+func (r *Ring) WindowEpsilon() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum float64
+	for _, e := range r.epochs {
+		sum += e.Epsilon
+	}
+	return sum
+}
+
+// LastIndex returns the newest sealed epoch number, 0 if none.
+func (r *Ring) LastIndex() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.epochs); n > 0 {
+		return r.epochs[n-1].Index
+	}
+	return 0
+}
+
+// LastSealedAt returns the newest epoch's seal time (zero time if none).
+func (r *Ring) LastSealedAt() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.epochs); n > 0 {
+		return r.epochs[n-1].SealedAt
+	}
+	return time.Time{}
+}

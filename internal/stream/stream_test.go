@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{EpochEpsilon: 0.5, Window: 3, SealEvery: 100, Interval: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{EpochEpsilon: 0, Window: 3},
+		{EpochEpsilon: -1, Window: 3},
+		{EpochEpsilon: 0.5, Window: 0},
+		{EpochEpsilon: 0.5, Window: 1, SealEvery: -1},
+		{EpochEpsilon: 0.5, Window: 1, Interval: -time.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for epoch := uint64(1); epoch <= 1000; epoch++ {
+		s := DeriveSeed(42, epoch)
+		if s2 := DeriveSeed(42, epoch); s2 != s {
+			t.Fatalf("DeriveSeed not deterministic at epoch %d: %d vs %d", epoch, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: epochs %d and %d both derive %d", prev, epoch, s)
+		}
+		seen[s] = epoch
+	}
+	if DeriveSeed(1, 1) == DeriveSeed(2, 1) {
+		t.Fatalf("distinct bases derived the same epoch-1 seed")
+	}
+}
+
+func TestRingSlidingWindow(t *testing.T) {
+	const w = 3
+	const eps = 0.25
+	r := NewRing(w)
+	if r.LastIndex() != 0 || r.Len() != 0 || r.WindowEpsilon() != 0 {
+		t.Fatalf("fresh ring not empty")
+	}
+	if !r.LastSealedAt().IsZero() {
+		t.Fatalf("fresh ring has a seal time")
+	}
+	for i := uint64(1); i <= 7; i++ {
+		e := Epoch{Index: i, ReleaseID: "r", Fingerprint: "fp", Epsilon: eps, SealedAt: time.Unix(int64(i), 0)}
+		if err := r.Add(e); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+		// The live window never exceeds W epochs or W·ε_epoch.
+		if got := r.Len(); got > w {
+			t.Fatalf("after epoch %d: window holds %d > %d epochs", i, got, w)
+		}
+		if got, bound := r.WindowEpsilon(), float64(w)*eps; got > bound {
+			t.Fatalf("after epoch %d: window ε %g exceeds %g", i, got, bound)
+		}
+		if got := r.LastIndex(); got != i {
+			t.Fatalf("LastIndex = %d, want %d", got, i)
+		}
+	}
+	live := r.Live()
+	if len(live) != w {
+		t.Fatalf("live window has %d epochs, want %d", len(live), w)
+	}
+	for j, e := range live {
+		if want := uint64(5 + j); e.Index != want {
+			t.Fatalf("live[%d].Index = %d, want %d (oldest epochs must age out)", j, e.Index, want)
+		}
+	}
+	if got := r.LastSealedAt(); !got.Equal(time.Unix(7, 0)) {
+		t.Fatalf("LastSealedAt = %v", got)
+	}
+	if err := r.Add(Epoch{Index: 7}); err == nil {
+		t.Fatalf("non-increasing epoch accepted")
+	}
+	if err := r.Add(Epoch{Index: 3}); err == nil {
+		t.Fatalf("stale epoch accepted")
+	}
+}
+
+func TestRingZeroIndexRejected(t *testing.T) {
+	r := NewRing(2)
+	if err := r.Add(Epoch{Index: 0}); err == nil {
+		t.Fatalf("epoch 0 accepted")
+	}
+}

@@ -91,6 +91,12 @@ func (st *Store) WALFrames(afterSeq uint64, maxBytes int) ([]byte, uint64, error
 	return st.inner.FramesSince(afterSeq, maxBytes)
 }
 
+// LastSealedEpoch returns the newest stream epoch sealed into this
+// store's history (0 before any seal); see Session.AppendSeal for the
+// seal record's contract. Servers export it per dataset, and replicas
+// compare it against the primary's to report epochs-behind.
+func (st *Store) LastSealedEpoch() uint64 { return st.inner.LastSealedEpoch() }
+
 // HasArtifact reports whether the envelope with the given hex SHA-256
 // content address is already present in the artifact store.
 func (st *Store) HasArtifact(shaHex string) bool { return st.inner.HasArtifact(shaHex) }

@@ -73,6 +73,10 @@ type Session struct {
 	// restoredList is the immutable recovery inventory, for Restored.
 	restored     map[string]*Release
 	restoredList []RestoredRelease
+
+	// seals is the in-memory stream-epoch seal log, used only when no
+	// store is attached; store-backed sessions read seals from the WAL.
+	seals []SealRecord
 }
 
 // RestoredRelease is one release recovered from a session's store: the
@@ -291,8 +295,10 @@ type AuditEntry struct {
 	// Seq is the WAL sequence number (0 for in-memory sessions, which
 	// have no WAL).
 	Seq uint64
-	// Kind is "debit", "refund", "commit", or "epoch" (a writer-epoch
-	// grant from a replication promotion; carries no ε).
+	// Kind is "debit", "refund", "commit", "epoch" (a writer-epoch grant
+	// from a replication promotion; carries no ε), or "seal" (a stream
+	// epoch sealed into the released window; carries no ε — the epoch's
+	// spend is its own debit entry).
 	Kind string
 	// Epsilon is the budget moved: positive for debits, negative for
 	// refunds, zero for commits.
@@ -333,8 +339,8 @@ func (s *Session) Audit() []AuditEntry {
 		}
 		return out
 	}
-	events, commits, epochs := st.Events(), st.Commits(), st.Epochs()
-	out := make([]AuditEntry, 0, len(events)+len(commits)+len(epochs))
+	events, commits, epochs, seals := st.Events(), st.Commits(), st.Epochs(), st.Seals()
+	out := make([]AuditEntry, 0, len(events)+len(commits)+len(epochs)+len(seals))
 	for _, e := range events {
 		eps := e.Epsilon
 		if e.Kind == store.EventRefund {
@@ -357,7 +363,89 @@ func (s *Session) Audit() []AuditEntry {
 			TraceID: e.Trace, At: e.At,
 		})
 	}
+	for _, e := range seals {
+		out = append(out, AuditEntry{
+			Seq: e.Seq, Kind: e.Kind.String(), Key: e.Key,
+			TraceID: e.Trace, At: e.At,
+		})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// SealRecord is one stream-epoch seal in a session's history: the binding
+// of an epoch number to the release fingerprint that published it and the
+// last ingest batch it covers. Seals carry no ε of their own — each
+// epoch's spend is the ordinary debit of its release — but they are the
+// durable record from which a restarted or replicated node re-derives the
+// served sliding window.
+type SealRecord struct {
+	// Seq is the WAL sequence number (0 for in-memory sessions).
+	Seq uint64
+	// Epoch is the 1-based stream epoch the seal freezes.
+	Epoch uint64
+	// BatchSeq is the highest ingest batch sequence number included in
+	// the epoch (0 when the producer does not number batches).
+	BatchSeq uint64
+	// Fingerprint is the release fingerprint of the epoch's release.
+	Fingerprint string
+	// At is the wall-clock seal time.
+	At time.Time
+}
+
+// AppendSeal records that stream epoch number epoch was sealed and
+// released as the release with the given fingerprint, covering ingest
+// batches up to batchSeq. Epochs must be appended in order, strictly
+// increasing from 1. With a store attached the seal is durable (fsynced
+// into the WAL) before AppendSeal returns; the caller must append the
+// seal only AFTER the epoch's release commit is durable, so that a WAL
+// prefix ending before the seal record never names a release it does not
+// contain.
+func (s *Session) AppendSeal(epoch, batchSeq uint64, fingerprint, trace string) error {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st != nil {
+		return st.AppendSeal(epoch, batchSeq, fingerprint, trace)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var last uint64
+	if n := len(s.seals); n > 0 {
+		last = s.seals[n-1].Epoch
+	}
+	if epoch == 0 || epoch <= last {
+		return fmt.Errorf("privtree: seal epoch %d not after last sealed epoch %d", epoch, last)
+	}
+	s.seals = append(s.seals, SealRecord{
+		Epoch: epoch, BatchSeq: batchSeq, Fingerprint: fingerprint, At: time.Now(),
+	})
+	return nil
+}
+
+// Seals returns the session's stream-epoch seal log in epoch order. For
+// store-backed sessions the records come from the recovered-plus-appended
+// WAL state — including seals applied through ApplyReplicated — so the
+// log survives restarts and is identical on a caught-up replica.
+func (s *Session) Seals() []SealRecord {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]SealRecord, len(s.seals))
+		copy(out, s.seals)
+		return out
+	}
+	events := st.Seals()
+	out := make([]SealRecord, len(events))
+	for i, e := range events {
+		out[i] = SealRecord{
+			Seq: e.Seq, Epoch: e.Epoch, BatchSeq: e.BatchSeq,
+			Fingerprint: e.Key, At: e.At,
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,196 @@
+package privtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrEmptyEpoch is returned by Stream.Seal when no records have been
+// appended since the previous seal. Sealing an empty epoch would spend
+// ε_epoch on a release of nothing; callers should skip the epoch instead
+// (the continual-release scheduler does exactly that).
+var ErrEmptyEpoch = errors.New("privtree: stream has no pending records to seal")
+
+// Stream is an appendable, epoch-structured private dataset for continual
+// release. Where Data is frozen at construction, a Stream accumulates
+// arriving records into a pending buffer — Append is O(1) amortized over
+// slab storage, mirroring the arena layout of the batch pipelines — and
+// Seal freezes everything appended since the previous seal into an
+// immutable *Data for exactly one epoch. The sealed Data owns the slab it
+// was built over; the stream starts a fresh slab, so later appends can
+// never mutate an already-released epoch.
+//
+// Validation is batch-atomic and eager, one step earlier than Data's
+// constructors: AppendPoints and AppendSequences check every record
+// (dimensionality, finite coordinates, domain containment, alphabet
+// bounds) before buffering any of them, so a rejected batch leaves the
+// pending buffer untouched and Seal can only fail on an empty epoch.
+//
+// A Stream holds raw private records between seals. Like Data, it never
+// exposes them: only Releases built from sealed epochs are.
+//
+// Stream is safe for concurrent use.
+type Stream struct {
+	mu   sync.Mutex
+	kind ReleaseKind
+
+	domain Rect      // KindSpatial
+	coords []float64 // KindSpatial: pending points, row-major slab
+
+	alphabet int   // KindSequence
+	syms     []int // KindSequence: pending symbols, one slab
+	lens     []int // KindSequence: per-pending-sequence lengths
+
+	epoch uint64 // seals so far; the next Seal freezes epoch+1
+	total uint64 // records appended over the stream's lifetime
+}
+
+// NewSpatialStream returns an empty stream of points over domain.
+func NewSpatialStream(domain Rect) (*Stream, error) {
+	if err := domain.Validate(); err != nil {
+		return nil, fmt.Errorf("privtree: invalid domain: %w", err)
+	}
+	return &Stream{kind: KindSpatial, domain: domain.Clone()}, nil
+}
+
+// NewSequenceStream returns an empty stream of sequences over the symbol
+// alphabet [0, alphabet).
+func NewSequenceStream(alphabet int) (*Stream, error) {
+	if alphabet < 1 {
+		return nil, fmt.Errorf("privtree: alphabet size must be >= 1, got %d", alphabet)
+	}
+	return &Stream{kind: KindSequence, alphabet: alphabet}, nil
+}
+
+// Kind returns the stream's data family: KindSpatial or KindSequence.
+func (s *Stream) Kind() ReleaseKind { return s.kind }
+
+// AppendPoints buffers a batch of points for the next epoch. The whole
+// batch is validated first — every point must have the domain's
+// dimensionality, finite coordinates, and lie inside the domain — and a
+// validation error applies none of it. Points are copied into the
+// stream's slab; the caller keeps ownership of pts.
+func (s *Stream) AppendPoints(pts []Point) error {
+	if s.kind != KindSpatial {
+		return fmt.Errorf("privtree: AppendPoints on a %s stream", s.kind)
+	}
+	d := s.domain.Dims()
+	for i, p := range pts {
+		if len(p) != d {
+			return fmt.Errorf("privtree: point %d has dim %d, domain has dim %d", i, len(p), d)
+		}
+		for _, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("privtree: point %d has non-finite coordinate %v", i, x)
+			}
+		}
+		if !s.domain.Contains(p) {
+			return fmt.Errorf("privtree: point %d (%v) outside domain %v", i, p, s.domain)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range pts {
+		s.coords = append(s.coords, p...)
+	}
+	s.total += uint64(len(pts))
+	return nil
+}
+
+// AppendSequences buffers a batch of sequences for the next epoch. The
+// whole batch is validated first — every symbol must lie in
+// [0, alphabet) — and a validation error applies none of it. Symbols are
+// copied into the stream's slab; the caller keeps ownership of seqs.
+// Empty sequences are legal records, exactly as in NewSequenceData.
+func (s *Stream) AppendSequences(seqs []Sequence) error {
+	if s.kind != KindSequence {
+		return fmt.Errorf("privtree: AppendSequences on a %s stream", s.kind)
+	}
+	if err := validateSequenceSymbols(s.alphabet, seqs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range seqs {
+		s.syms = append(s.syms, q...)
+		s.lens = append(s.lens, len(q))
+	}
+	s.total += uint64(len(seqs))
+	return nil
+}
+
+// Pending returns the number of records buffered since the last seal.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kind == KindSpatial {
+		if d := s.domain.Dims(); d > 0 {
+			return len(s.coords) / d
+		}
+		return 0
+	}
+	return len(s.lens)
+}
+
+// Epoch returns the number of epochs sealed so far; the next successful
+// Seal freezes epoch Epoch()+1.
+func (s *Stream) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Total returns the number of records appended over the stream's
+// lifetime, sealed and pending.
+func (s *Stream) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Seal freezes the pending buffer into an immutable *Data — the dataset
+// of exactly one epoch — and starts a fresh buffer. It returns
+// ErrEmptyEpoch (and advances nothing) when no records are pending. The
+// returned Data aliases the stream's old slab, which the stream abandons,
+// so the Data honours the frozen-at-construction contract.
+func (s *Stream) Seal() (*Data, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.kind {
+	case KindSpatial:
+		d := s.domain.Dims()
+		if len(s.coords) == 0 {
+			return nil, ErrEmptyEpoch
+		}
+		pts := make([]Point, 0, len(s.coords)/d)
+		for off := 0; off+d <= len(s.coords); off += d {
+			pts = append(pts, Point(s.coords[off:off+d:off+d]))
+		}
+		data, err := NewSpatialData(s.domain, pts)
+		if err != nil {
+			return nil, err
+		}
+		s.coords = nil
+		s.epoch++
+		return data, nil
+	default:
+		if len(s.lens) == 0 {
+			return nil, ErrEmptyEpoch
+		}
+		seqs := make([]Sequence, 0, len(s.lens))
+		off := 0
+		for _, n := range s.lens {
+			seqs = append(seqs, Sequence(s.syms[off:off+n:off+n]))
+			off += n
+		}
+		data, err := NewSequenceData(s.alphabet, seqs)
+		if err != nil {
+			return nil, err
+		}
+		s.syms, s.lens = nil, nil
+		s.epoch++
+		return data, nil
+	}
+}
