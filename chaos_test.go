@@ -2,6 +2,7 @@ package privtree_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -59,6 +60,10 @@ func chaosRun(t *testing.T, seed uint64) {
 		BuildTimeout:         2 * time.Second,
 		QueryTimeout:         2 * time.Second,
 		DataDir:              dir,
+		// Keep every completed trace: the post-hoc check below must find
+		// a release by the trace ID recorded in its WAL debit entry.
+		TraceRetain: 8192,
+		TraceSample: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,6 +243,57 @@ func chaosRun(t *testing.T, seed uint64) {
 	}
 	verify("under-load", clean)
 	verifyAudit("under-load", backend.URL, clean)
+
+	// Post-hoc debuggability: pick a committed release's trace ID out of
+	// the audit trail (the ID the client stamped on the winning attempt)
+	// and pull the retained trace from the flight recorder. The span
+	// breakdown must explain the release: budget debit, tree build, WAL
+	// commit.
+	trail, err := clean.Audit(ctx, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range trail.Entries {
+		if e.Kind != "debit" {
+			continue
+		}
+		resp, err := http.Get(backend.URL + "/v1/traces/" + e.TraceID)
+		if err != nil {
+			t.Fatalf("trace lookup for debit %s: %v", e.TraceID, err)
+		}
+		var rec struct {
+			Route string `json:"route"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		code := resp.StatusCode
+		resp.Body.Close()
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("debit trace %s not retained: status %d err %v", e.TraceID, code, err)
+		}
+		if rec.Route != "create_release" {
+			t.Fatalf("debit trace %s retained as route %q", e.TraceID, rec.Route)
+		}
+		for _, want := range []string{"debit", "build", "wal_commit"} {
+			found := false
+			for _, sp := range rec.Spans {
+				if sp.Name == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("debit trace %s missing span %q: %+v", e.TraceID, want, rec.Spans)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no debit entries to cross-check against the flight recorder")
+	}
+	t.Logf("cross-checked %d debit trace IDs against the flight recorder", checked)
 
 	// Every acknowledged release is durable and refetches bit-identically.
 	payloads := map[uint64]string{}

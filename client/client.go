@@ -528,7 +528,7 @@ func (c *Client) Ready(ctx context.Context) error {
 	base, _ := c.pickBase(true)
 	c.requests.Inc()
 	c.attempts.Inc()
-	return c.once(ctx, base, http.MethodGet, "/readyz", nil, nil)
+	return c.once(ctx, base, http.MethodGet, "/readyz", nil, obs.NewID(), nil)
 }
 
 // PromoteResult acknowledges a promotion: the new writer epoch granted
@@ -553,7 +553,7 @@ func (c *Client) Promote(ctx context.Context) (*PromoteResult, error) {
 	c.requests.Inc()
 	c.attempts.Inc()
 	var out PromoteResult
-	if err := c.once(ctx, c.base, http.MethodPost, "/v1/admin/promote", []byte("{}"), &out); err != nil {
+	if err := c.once(ctx, c.base, http.MethodPost, "/v1/admin/promote", []byte("{}"), obs.NewID(), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -573,6 +573,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 	}
 	c.bkt.deposit()
 	c.requests.Inc()
+	// One trace ID per LOGICAL call, reused verbatim on every retry
+	// attempt: a retried release must show up server-side as one story,
+	// not as unrelated traces (and the server's duplicate/cache handling
+	// means the attempts really are one request).
+	traceID := obs.NewID()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		c.attempts.Inc()
@@ -580,7 +585,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, class
 			c.retries.Inc()
 		}
 		base, idx := c.pickBase(write)
-		err := c.once(ctx, base, method, path, body, out)
+		err := c.once(ctx, base, method, path, body, traceID, out)
 		if err == nil {
 			return nil
 		}
@@ -628,14 +633,19 @@ func misroutedWrite(err error) bool {
 	return errors.As(err, &te)
 }
 
-// once performs a single HTTP attempt against base.
-func (c *Client) once(ctx context.Context, base, method, path string, body []byte, out any) error {
+// once performs a single HTTP attempt against base, sending traceID as
+// X-Trace-Id so the server adopts (rather than mints) the request's
+// trace identity.
+func (c *Client) once(ctx context.Context, base, method, path string, body []byte, traceID string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("client: building %s %s: %w", method, path, err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {

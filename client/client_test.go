@@ -7,10 +7,12 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"privtree/internal/obs"
 	"privtree/internal/server"
 )
 
@@ -355,5 +357,54 @@ func TestClientAudit(t *testing.T) {
 	}
 	if net != trail.EpsilonSpent || trail.EpsilonSpent != 0.25 {
 		t.Fatalf("audit net ε %v vs spent %v, want 0.25", net, trail.EpsilonSpent)
+	}
+}
+
+// TestClientRetriesReuseTraceID pins the one-ID-per-logical-call
+// contract: every retry attempt of one CreateRelease carries the SAME
+// well-formed X-Trace-Id, and a second logical call gets a fresh one —
+// so a retried release shows up server-side as one trace, not three.
+func TestClientRetriesReuseTraceID(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	h, _ := overloadedThenOK(2, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"release_id":"r1","kind":"spatial","cached":false}`))
+	})
+	capture := func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Trace-Id"))
+		mu.Unlock()
+		h(w, r)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(capture))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastRetry(4)))
+	if _, err := c.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ids) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(ids))
+	}
+	if !obs.ValidTraceID(ids[0]) {
+		t.Fatalf("attempt 1 trace ID %q not well-formed", ids[0])
+	}
+	if ids[1] != ids[0] || ids[2] != ids[0] {
+		t.Fatalf("retry attempts changed trace ID: %v", ids)
+	}
+
+	// A second logical call must NOT reuse the first call's ID.
+	before := ids[0]
+	ids = ids[:0]
+	mu.Unlock()
+	_, err := c.CreateRelease(context.Background(), "d", ReleaseParams{Epsilon: 0.2})
+	mu.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || ids[0] == before {
+		t.Fatalf("second logical call reused trace ID %q", before)
 	}
 }

@@ -474,6 +474,53 @@ func runMicro(outPath, comparePath string, nsHeadroom float64) error {
 				lat.Observe(2.5e-4)
 			}
 		}},
+		// TraceRecord prices the flight recorder's retention decision plus
+		// the ring write for one completed request (sampleN=1, so every op
+		// takes the full copy path). The ring is warmed first because slot
+		// span storage is reused in place: the steady state the gate pins
+		// is allocation-free, exactly like the rest of the request-path
+		// instrumentation.
+		{"TraceRecord", func(b *testing.B) {
+			rec := obs.NewFlightRecorder(512, 0, 1)
+			tr := obs.NewTrace()
+			for _, stage := range []string{"debit", "build", "wal_commit"} {
+				sp := tr.Begin(stage)
+				sp.End()
+			}
+			start := time.Now()
+			for i := 0; i < 600; i++ { // fill every slot's span storage
+				rec.Record(tr, "create_release", "bench", 200, start, time.Millisecond)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rec.Record(tr, "create_release", "bench", 200, start, time.Millisecond)
+			}
+		}},
+		// FlightRecorderLookup prices a trace pull from a full 512-slot
+		// ring — the /v1/traces/{id} hot cost. The scan visits every slot
+		// (duplicate IDs from retried calls mean it cannot early-exit) and
+		// the hit is deep-copied, so the op is a full scan plus one span
+		// clone.
+		{"FlightRecorderLookup", func(b *testing.B) {
+			rec := obs.NewFlightRecorder(512, 0, 1)
+			start := time.Now()
+			fill := func(id string) {
+				tr := obs.NewTraceWithID(id)
+				sp := tr.Begin("build")
+				sp.End()
+				rec.Record(tr, "create_release", "bench", 200, start, time.Millisecond)
+			}
+			for i := 0; i < 511; i++ {
+				fill(fmt.Sprintf("bench-filler-%04d", i))
+			}
+			fill("bench-lookup-target")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := rec.Lookup("bench-lookup-target"); !ok {
+					b.Fatal("lookup missed")
+				}
+			}
+		}},
 	}
 
 	// Store rows: the durable-debit hot path (WAL append + fsync — the
@@ -629,6 +676,8 @@ var guardedBenchmarks = map[string]bool{
 	"EnvelopeEncode":        true,
 	"EnvelopeDecode":        true,
 	"MetricsOverhead":       true,
+	"TraceRecord":           true,
+	"FlightRecorderLookup":  true,
 	"StoreDebit":            true,
 	"StoreRecover10k":       true,
 	"ServerBatchUnderLoad":  true,

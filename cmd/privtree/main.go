@@ -13,6 +13,8 @@
 //	privtree inspect data/datasets/demo/store/artifacts/*.json
 //	privtree verify /var/lib/privtreed                    # offline integrity scrub
 //	privtree verify data/datasets/demo/store              # one store directory
+//	privtree top -nodes http://a:8080,http://b:8080       # live cluster view
+//	privtree top -nodes http://a:8080 -once               # one frame, scriptable
 //
 // inspect prints each file's kind, mechanism, ε, seed, and params
 // fingerprint from the envelope metadata alone — it works on -out files
@@ -27,6 +29,13 @@
 // error-severity finding (real corruption, not benign crash leftovers)
 // is present. Run it against a copy or a stopped server — it takes the
 // store's exclusive lock, so it refuses to race a live one.
+//
+// top polls every node's /metrics, /readyz, and /v1/traces planes and
+// renders one row per node — role, readiness, request rate, in-flight
+// work, ε spend, replica lag, stream freshness — plus the newest
+// retained slow/error traces with their IDs, ready to paste into
+// `curl <node>/v1/traces/<id>` for the span breakdown. -once renders a
+// single frame (no screen clearing) for scripts and tests.
 //
 // The CSV has one point per line, d comma-separated coordinates, all in
 // [0,1) (use -domain to override). A -queries file has one query rectangle
@@ -68,6 +77,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		if err := runVerify(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// The top subcommand: a polling live-ops view over a privtree cluster.
+// Each tick it scrapes every node's /metrics (strictly parsed), /readyz,
+// and /v1/traces, and renders one row per node — role, readiness,
+// request rate, in-flight work, ε spend, replica lag, stream freshness —
+// followed by the newest retained slow/error traces so "something is
+// wrong" comes with trace IDs to pull. It reads only operational planes
+// that replicas and fenced nodes serve too, so it works mid-incident.
+
+// topNode is one node's scraped state for a single tick.
+type topNode struct {
+	addr  string
+	err   error // scrape failure: node rendered as DOWN
+	role  string
+	ready bool
+	note  string // why not ready
+
+	reqs      float64 // privtree_requests_total (cumulative)
+	qps       float64 // privtree_queries_per_second
+	inflight  float64 // builds + batches in flight
+	epsSpent  float64 // Σ datasets
+	epsTotal  float64
+	lagRecs   float64 // max replica lag, -1 when not a replica
+	streamAge float64 // max seconds since seal, -1 without streams
+
+	traces []topTrace
+}
+
+type topTrace struct {
+	TraceID    string  `json:"trace_id"`
+	Route      string  `json:"route"`
+	Dataset    string  `json:"dataset"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Retained   string  `json:"retained"`
+}
+
+// runTop implements `privtree top`. It writes rendered frames to w and
+// returns after one frame in -once mode, else loops until the process is
+// interrupted.
+func runTop(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	nodes := fs.String("nodes", "http://localhost:8080", "comma-separated node base URLs")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request scrape timeout")
+	once := fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	nTraces := fs.Int("traces", 3, "retained slow/error traces to show per node (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("top: -nodes is empty")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	// prev holds last tick's cumulative request counters so the rate
+	// column can be a real delta, not a lifetime average.
+	prev := map[string]struct {
+		reqs float64
+		at   time.Time
+	}{}
+	for {
+		now := time.Now()
+		states := make([]topNode, len(addrs))
+		for i, addr := range addrs {
+			states[i] = scrapeNode(client, addr, *nTraces)
+		}
+		if !*once {
+			fmt.Fprint(w, "\033[2J\033[H") // clear screen, home cursor
+		}
+		fmt.Fprintf(w, "privtree top — %d node(s) @ %s\n\n", len(addrs), now.Format("15:04:05"))
+		fmt.Fprintf(w, "%-28s %-8s %-9s %9s %7s %5s %16s %8s %10s\n",
+			"NODE", "ROLE", "READY", "REQ/S", "QPS", "INFL", "ε SPENT/TOTAL", "LAG", "STREAM AGE")
+		for _, st := range states {
+			renderNode(w, st, prev, now)
+		}
+		if *nTraces > 0 {
+			renderTraces(w, states)
+		}
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func renderNode(w io.Writer, st topNode, prev map[string]struct {
+	reqs float64
+	at   time.Time
+}, now time.Time) {
+	if st.err != nil {
+		fmt.Fprintf(w, "%-28s %-8s %s\n", trunc(st.addr, 28), "DOWN", st.err)
+		return
+	}
+	rate := "-"
+	if p, ok := prev[st.addr]; ok && now.After(p.at) {
+		rate = fmt.Sprintf("%.1f", (st.reqs-p.reqs)/now.Sub(p.at).Seconds())
+	}
+	prev[st.addr] = struct {
+		reqs float64
+		at   time.Time
+	}{st.reqs, now}
+	ready := "yes"
+	if !st.ready {
+		ready = "NO"
+		if st.note != "" {
+			ready = "NO (" + trunc(st.note, 20) + ")"
+		}
+	}
+	lag := "-"
+	if st.lagRecs >= 0 {
+		lag = fmt.Sprintf("%.0f rec", st.lagRecs)
+	}
+	age := "-"
+	if st.streamAge >= 0 {
+		age = fmt.Sprintf("%.1fs", st.streamAge)
+	}
+	fmt.Fprintf(w, "%-28s %-8s %-9s %9s %7.1f %5.0f %8.3f/%-7.3f %8s %10s\n",
+		trunc(st.addr, 28), st.role, ready, rate, st.qps, st.inflight,
+		st.epsSpent, st.epsTotal, lag, age)
+}
+
+func renderTraces(w io.Writer, states []topNode) {
+	any := false
+	for _, st := range states {
+		for _, tr := range st.traces {
+			if !any {
+				fmt.Fprintf(w, "\nretained slow/error traces (newest first — `curl <node>/v1/traces/<id>` for spans):\n")
+				any = true
+			}
+			fmt.Fprintf(w, "  %-28s %-6s %3d %8.1fms %-14s %-12s %s\n",
+				trunc(st.addr, 28), tr.Retained, tr.Status, tr.DurationMS,
+				trunc(tr.Route, 14), trunc(tr.Dataset, 12), tr.TraceID)
+		}
+	}
+	if !any {
+		fmt.Fprintf(w, "\nno retained slow/error traces\n")
+	}
+}
+
+// scrapeNode pulls one node's three operational planes. Any failure on
+// /metrics or /readyz marks the node DOWN; a missing trace plane (older
+// node) just leaves the trace list empty.
+func scrapeNode(client *http.Client, addr string, nTraces int) topNode {
+	st := topNode{addr: addr, lagRecs: -1, streamAge: -1}
+
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		st.err = err
+		return st
+	}
+	samples, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		st.err = fmt.Errorf("/metrics: %v", err)
+		return st
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case "privtree_requests_total":
+			st.reqs = s.Value
+		case "privtree_queries_per_second":
+			st.qps = s.Value
+		case "privtree_builds_in_flight", "privtree_batches_in_flight":
+			st.inflight += s.Value
+		case "privtree_dataset_epsilon_spent":
+			st.epsSpent += s.Value
+		case "privtree_dataset_epsilon_total":
+			st.epsTotal += s.Value
+		case "privtree_replica_lag_records":
+			if s.Value > st.lagRecs {
+				st.lagRecs = s.Value
+			}
+		case "privtree_stream_seconds_since_seal":
+			if s.Value > st.streamAge {
+				st.streamAge = s.Value
+			}
+		}
+	}
+
+	st.role, st.ready, st.note, err = scrapeReady(client, addr)
+	if err != nil {
+		st.err = err
+		return st
+	}
+	if nTraces > 0 {
+		st.traces = scrapeTraces(client, addr, nTraces)
+	}
+	return st
+}
+
+// scrapeReady distinguishes "node down" (error) from "node up but not
+// ready" (503 with a structured body) — top must keep rendering both.
+func scrapeReady(client *http.Client, addr string) (role string, ready bool, note string, err error) {
+	resp, err := client.Get(addr + "/readyz")
+	if err != nil {
+		return "", false, "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Ready bool   `json:"ready"`
+		Role  string `json:"role"`
+		Error *struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", false, "", fmt.Errorf("/readyz: %v", err)
+	}
+	role = doc.Role
+	if role == "" {
+		role = "?"
+	}
+	if doc.Error != nil {
+		note = doc.Error.Message
+	}
+	return role, doc.Ready, note, nil
+}
+
+func scrapeTraces(client *http.Client, addr string, n int) []topTrace {
+	resp, err := client.Get(addr + "/v1/traces?limit=200")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Traces []topTrace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	// The listing is already newest first; keep the first n slow/error.
+	var kept []topTrace
+	for _, tr := range doc.Traces {
+		if tr.Retained == "slow" || tr.Retained == "error" {
+			kept = append(kept, tr)
+		}
+	}
+	if len(kept) > n {
+		kept = kept[:n]
+	}
+	return kept
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/server"
+)
+
+// TestTopOnce renders one frame against a live in-process server: the
+// node row must carry its role and ε accounting, and the trace section
+// must surface a retained error trace with its ID.
+func TestTopOnce(t *testing.T) {
+	srv, err := server.New(server.Options{Workers: 1, TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path string, body any, want int) {
+		t.Helper()
+		enc, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/v1/datasets", map[string]any{
+		"name": "topdemo", "epsilon": 2.0,
+		"synthetic": map[string]any{"generator": "road", "n": 1000, "seed": 1},
+	}, http.StatusCreated)
+	post("/v1/datasets/topdemo/releases", map[string]any{"epsilon": 0.5, "seed": 3}, http.StatusCreated)
+	// One error-class request, so the trace section has something to show.
+	post("/v1/datasets/missing/releases", map[string]any{"epsilon": 0.1}, http.StatusNotFound)
+
+	var out bytes.Buffer
+	if err := runTop([]string{"-nodes", ts.URL, "-once", "-traces", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{"primary", "yes", "0.500/2.000", "error", "404", "create_release", "/v1/traces/"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("top frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "DOWN") {
+		t.Fatalf("live node rendered as DOWN:\n%s", frame)
+	}
+}
+
+// TestTopDownNode keeps rendering when a node is unreachable.
+func TestTopDownNode(t *testing.T) {
+	var out bytes.Buffer
+	err := runTop([]string{
+		"-nodes", "http://127.0.0.1:1", "-once", "-timeout", (50 * time.Millisecond).String(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DOWN") {
+		t.Fatalf("unreachable node not rendered as DOWN:\n%s", out.String())
+	}
+}

@@ -12,6 +12,7 @@
 //	privtreed -addr :8181 -pprof-addr localhost:6060   # opt-in net/http/pprof
 //	privtreed -addr :8182 -data-dir /var/lib/privtreed-r1 -replica-of http://primary:8181  # read replica
 //	privtreed -addr :8181 -slow-request 250ms -log-format json  # observability knobs
+//	privtreed -addr :8181 -trace-retain 1024 -trace-slow 100ms -trace-sample 50  # flight recorder
 //
 // With -data-dir, every dataset's privacy ledger is write-ahead logged
 // (fsync before the mechanism runs) and every release envelope is stored
@@ -26,8 +27,15 @@
 //	curl -s localhost:8181/v1/datasets/demo/releases -d '{"epsilon":0.5,"seed":7}'
 //	curl -s localhost:8181/v1/datasets/demo/releases/r1/query -d '{"queries":[[0.1,0.1,0.4,0.5]]}'
 //	curl -s localhost:8181/v1/datasets/demo/audit   # ε accounting history with trace IDs
-//	curl -s localhost:8181/metrics    # Prometheus text exposition
+//	curl -s localhost:8181/metrics    # Prometheus text exposition, exemplars on latency buckets
 //	curl -s localhost:8181/metricsz   # operational counters as JSON
+//	curl -s localhost:8181/v1/traces?route=create_release   # retained traces, newest first
+//	curl -s localhost:8181/v1/traces/<trace-id>             # one trace's span breakdown
+//
+// Every response carries an X-Trace-Id header (a well-formed inbound one
+// is adopted, so callers can stamp their own); the flight recorder keeps
+// every error, everything slower than -trace-slow, and 1-in--trace-sample
+// of normal traffic, ring-buffered to the newest -trace-retain traces.
 //
 // Streaming datasets (registered with a "stream" spec instead of inline
 // data) accept appends at POST /v1/datasets/{name}/ingest — journaled
@@ -78,6 +86,9 @@ func main() {
 		pprofAddr      = flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (empty = disabled); bind it to localhost, profiles are not privacy-reviewed output")
 		slowReq        = flag.Duration("slow-request", 0, "log any request slower than this, with its route, status, trace ID, and span breakdown (0 = disabled)")
 		logFormat      = flag.String("log-format", "text", "structured log encoding: text or json")
+		traceRetain    = flag.Int("trace-retain", 0, "completed traces retained by the in-process flight recorder, served at GET /v1/traces (0 = 512)")
+		traceSlow      = flag.Duration("trace-slow", 0, "retain every trace at least this slow, regardless of sampling (0 = 250ms, negative = disable the slow class)")
+		traceSample    = flag.Int("trace-sample", 0, "retain 1 in N normal traces — errors and slow traces are always kept (0 = 100, 1 = keep everything)")
 	)
 	flag.Parse()
 
@@ -126,6 +137,9 @@ func main() {
 		DrainTimeout:         *drain,
 		SlowRequest:          *slowReq,
 		Logger:               logger,
+		TraceRetain:          *traceRetain,
+		TraceSlow:            *traceSlow,
+		TraceSample:          *traceSample,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// TestDaemonScrape is the end-to-end exposition check: build the real
+// privtreed binary, run it, drive traffic, and require that GET /metrics
+// from the live process is strictly valid exposition — including the
+// exemplar syntax on latency-histogram buckets — and that an exemplar's
+// trace ID resolves via the daemon's own /v1/traces plane. This is what
+// a real Prometheus scrape plus an on-call trace pull sees, not an
+// httptest shortcut.
+func TestDaemonScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("relies on SIGTERM")
+	}
+	bin := filepath.Join(t.TempDir(), "privtreed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve a port, release it, and hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	var logs bytes.Buffer
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-data-dir", t.TempDir(),
+		"-trace-sample", "1", // retain everything: the exemplar must resolve
+		"-drain", "2s",
+	)
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	post := func(path, body string, want int) {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	post("/v1/datasets", `{"name":"demo","epsilon":1.0,"synthetic":{"generator":"road","n":2000,"seed":1}}`, http.StatusCreated)
+	post("/v1/datasets/demo/releases", `{"epsilon":0.25,"seed":7}`, http.StatusCreated)
+
+	// The scrape: strictly valid exposition, exemplars included.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("live /metrics is not strictly valid exposition: %v\n%s", err, raw)
+	}
+	var exID string
+	for _, s := range samples {
+		if s.Name == "privtree_http_request_seconds_bucket" &&
+			s.Labels["route"] == "create_release" && s.Exemplar != nil {
+			exID = s.Exemplar.Labels["trace_id"]
+		}
+	}
+	if !obs.ValidTraceID(exID) {
+		t.Fatalf("no resolvable exemplar on the create_release latency histogram:\n%s", raw)
+	}
+
+	// The exemplar's trace ID resolves against the live trace plane.
+	trResp, err := client.Get(base + "/v1/traces/" + exID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Route string `json:"route"`
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(trResp.Body).Decode(&rec)
+	code := trResp.StatusCode
+	trResp.Body.Close()
+	if err != nil || code != http.StatusOK || rec.Route != "create_release" {
+		t.Fatalf("exemplar trace %s did not resolve: status %d err %v rec %+v", exID, code, err, rec)
+	}
+	names := make([]string, len(rec.Spans))
+	for i, sp := range rec.Spans {
+		names[i] = sp.Name
+	}
+	if !strings.Contains(fmt.Sprint(names), "debit") {
+		t.Fatalf("resolved trace has no debit span: %v", names)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon ignored SIGTERM; logs:\n%s", logs.String())
+	}
+}

@@ -183,7 +183,23 @@
 // /v1/datasets/{name}/audit) returns that history: WAL-sequenced
 // debit/refund/commit entries whose net ε equals the ledger's spent
 // balance exactly, each tagged with the trace ID of the request that
-// caused it. See README.md ("Observability").
+// caused it.
+//
+// Traces outlive their responses: an in-process flight recorder
+// (obs.FlightRecorder) retains completed traces in a fixed ring under
+// tail-based sampling — every error, everything slower than a
+// threshold, and a deterministic 1-in-N of normal traffic — and serves
+// them at GET /v1/traces (filterable) and GET /v1/traces/{id}. A
+// well-formed inbound X-Trace-Id is adopted, the client reuses one ID
+// across a logical call's retries, and a replica records the shipped
+// artifact fetch under the originating release's ID, so a single ID a
+// caller stamped resolves on every node that touched the release —
+// including post-hoc, from the WAL's audit trail. Latency-histogram
+// buckets on /metrics carry OpenMetrics exemplars naming the last
+// trace that landed in them, and the privtree CLI's top subcommand
+// polls /metrics, /readyz, and /v1/traces across a node list into a
+// live cluster view. See README.md ("Observability" and "Debugging
+// with traces").
 //
 // # Streaming ingestion and continual release
 //

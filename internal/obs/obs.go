@@ -28,6 +28,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -94,26 +95,82 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
 	count  atomic.Uint64
 	sum    Gauge
+	// exemplars holds the latest traced observation per bucket,
+	// rendered as OpenMetrics exemplars on the _bucket lines. Fixed
+	// storage allocated at registration; ObserveTraced copies the trace
+	// ID into place under a short per-bucket mutex, so the traced path
+	// stays allocation-free too.
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's latest traced observation. The ID lives in a
+// fixed array so overwriting it never allocates.
+type exemplar struct {
+	mu  sync.Mutex
+	id  [64]byte
+	n   int // bytes of id in use; 0 = no exemplar yet
+	val float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]exemplar, len(bounds)+1),
 	}
 }
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
-	// Linear scan: bucket ladders are short (~16 bounds) and the scan is
-	// branch-predictable, beating binary search at this size.
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIndex returns the bucket for v. Linear scan: bucket ladders are
+// short (~16 bounds) and the scan is branch-predictable, beating binary
+// search at this size.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	return i
+}
+
+// ObserveTraced records one observation and, when traceID fits the
+// exemplar charset, pins it as the bucket's exemplar so the latency
+// histogram links back to a retained trace. Allocation-free: the ID is
+// copied into the bucket's fixed storage.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || !ValidTraceID(traceID) {
+		return
+	}
+	e := &h.exemplars[h.bucketIndex(v)]
+	e.mu.Lock()
+	e.n = copy(e.id[:], traceID)
+	e.val = v
+	e.mu.Unlock()
+}
+
+// appendExemplar renders bucket i's exemplar as
+// ` # {trace_id="…"} value` into buf (nothing when the bucket has never
+// seen a traced observation). Exposition-path only.
+func (h *Histogram) appendExemplar(buf []byte, i int) []byte {
+	if h.exemplars == nil {
+		return buf
+	}
+	e := &h.exemplars[i]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return buf
+	}
+	buf = append(buf, ` # {trace_id="`...)
+	buf = append(buf, e.id[:e.n]...)
+	buf = append(buf, `"} `...)
+	return appendValue(buf, e.val)
 }
 
 // ObserveSince records the seconds elapsed since start.

@@ -14,6 +14,17 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the OpenMetrics exemplar attached to the sample, if
+	// any. The registry emits them on histogram _bucket lines only.
+	Exemplar *Exemplar
+}
+
+// Exemplar is an OpenMetrics exemplar: a labelled reference observation
+// (the registry emits trace_id plus the observed value) linking a
+// histogram bucket back to a retained trace.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // SeriesKey returns a canonical identity for the sample (name plus
@@ -101,6 +112,9 @@ func ParseText(r io.Reader) ([]Sample, error) {
 		if fam != s.Name && typeSeen[fam] != "histogram" && typeSeen[fam] != "summary" {
 			return nil, fmt.Errorf("line %d: suffixed sample %q under non-histogram family %q", lineNo, s.Name, fam)
 		}
+		if s.Exemplar != nil && (!strings.HasSuffix(s.Name, "_bucket") || typeSeen[fam] != "histogram") {
+			return nil, fmt.Errorf("line %d: exemplar on non-histogram-bucket sample %q", lineNo, s.Name)
+		}
 		key := s.SeriesKey()
 		if seriesSeen[key] {
 			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
@@ -164,6 +178,15 @@ func parseSample(line string) (Sample, error) {
 		}
 	}
 	val := strings.TrimSpace(rest)
+	if before, after, ok := strings.Cut(val, " # "); ok {
+		// OpenMetrics exemplar: VALUE # {labels} EXEMPLAR_VALUE.
+		ex, err := parseExemplar(after)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Exemplar = &ex
+		val = strings.TrimSpace(before)
+	}
 	// Reject a trailing timestamp (legal in the format, never emitted by
 	// the registry) and anything else after the value.
 	if strings.ContainsAny(val, " \t") {
@@ -175,6 +198,30 @@ func parseSample(line string) (Sample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar consumes `{name="value",…} value` — the exemplar half of
+// a bucket line. Strict like the rest of the parser: no timestamp, no
+// trailing fields.
+func parseExemplar(s string) (Exemplar, error) {
+	ex := Exemplar{Labels: map[string]string{}}
+	if !strings.HasPrefix(s, "{") {
+		return ex, fmt.Errorf("exemplar must open with labels, near %q", s)
+	}
+	rest, err := parseLabels(s[1:], ex.Labels)
+	if err != nil {
+		return ex, fmt.Errorf("exemplar: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.ContainsAny(rest, " \t") {
+		return ex, fmt.Errorf("exemplar: trailing fields after value")
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return ex, fmt.Errorf("exemplar: %w", err)
+	}
+	ex.Value = v
+	return ex, nil
 }
 
 // parseLabels consumes `name="value",…}` and returns the remainder of

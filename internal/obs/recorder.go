@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one completed request retained by the flight recorder:
+// identity, outcome, and the full span breakdown, everything an operator
+// needs to answer "where did this request's time go" after the response
+// is long gone.
+type TraceRecord struct {
+	TraceID  string
+	Route    string
+	Dataset  string
+	Status   int
+	Start    time.Time
+	Dur      time.Duration
+	Retained string // why the record was kept: "error", "slow", or "sample"
+	Spans    []Span
+}
+
+// FlightRecorder is a fixed-capacity ring buffer of completed traces
+// with tail-based retention: every error (status >= 400) and every
+// over-threshold trace is kept, plus a deterministic 1-in-N sample of
+// normal traffic. Recording reuses the evicted slot's span storage, so
+// the steady state allocates nothing per retained request; lookups are
+// linear scans over the ring — an operator path, bounded by capacity,
+// that never builds an index the hot path would have to maintain.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	slots  []TraceRecord
+	filled int // slots in use, grows to len(slots) then stays
+	next   int // ring write cursor
+	normal uint64
+	seen   uint64
+	kept   uint64
+
+	slow    time.Duration
+	sampleN uint64
+}
+
+// NewFlightRecorder returns a recorder retaining up to capacity traces,
+// keeping everything slower than slow (0 disables the slow class) and a
+// deterministic 1-in-sampleN of normal traffic (1 keeps everything).
+func NewFlightRecorder(capacity int, slow time.Duration, sampleN int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &FlightRecorder{
+		slots:   make([]TraceRecord, capacity),
+		slow:    slow,
+		sampleN: uint64(sampleN),
+	}
+}
+
+// Record applies the retention policy to one completed request and, when
+// retained, copies it into the ring. Returns whether it was kept. Nil
+// recorder and nil trace are both no-ops, so callers can record
+// unconditionally.
+func (f *FlightRecorder) Record(tr *Trace, route, dataset string, status int, start time.Time, dur time.Duration) bool {
+	if f == nil || tr == nil {
+		return false
+	}
+	why := ""
+	switch {
+	case status >= 400:
+		why = "error"
+	case f.slow > 0 && dur >= f.slow:
+		why = "slow"
+	}
+	f.mu.Lock()
+	f.seen++
+	if why == "" {
+		f.normal++
+		if f.normal%f.sampleN != 0 {
+			f.mu.Unlock()
+			return false
+		}
+		why = "sample"
+	}
+	f.kept++
+	slot := &f.slots[f.next]
+	f.next = (f.next + 1) % len(f.slots)
+	if f.filled < len(f.slots) {
+		f.filled++
+	}
+	slot.TraceID = tr.ID()
+	slot.Route = route
+	slot.Dataset = dataset
+	slot.Status = status
+	slot.Start = start
+	slot.Dur = dur
+	slot.Retained = why
+	slot.Spans = tr.AppendSpans(slot.Spans[:0])
+	f.mu.Unlock()
+	return true
+}
+
+// Lookup returns the retained record for the given trace ID. Retries
+// reuse the logical call's ID, so several entries can share it (the
+// attempt that did the work plus dedup cache hits); among those the most
+// informative record — the one with the most spans, newest on ties —
+// is the one that explains the request, and that's what a debugging
+// lookup gets.
+func (f *FlightRecorder) Lookup(id string) (TraceRecord, bool) {
+	if f == nil || id == "" {
+		return TraceRecord{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.slots)
+	best := -1
+	for i := 0; i < f.filled; i++ {
+		idx := ((f.next-1-i)%n + n) % n
+		if f.slots[idx].TraceID != id {
+			continue
+		}
+		if best < 0 || len(f.slots[idx].Spans) > len(f.slots[best].Spans) {
+			best = idx
+		}
+	}
+	if best < 0 {
+		return TraceRecord{}, false
+	}
+	return cloneRecord(f.slots[best]), true
+}
+
+// Snapshot returns up to limit retained records, newest first, for which
+// keep returns true (nil keep matches everything). Records are deep
+// copies — callers never alias ring storage.
+func (f *FlightRecorder) Snapshot(limit int, keep func(*TraceRecord) bool) []TraceRecord {
+	if f == nil || limit == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []TraceRecord
+	n := len(f.slots)
+	for i := 0; i < f.filled; i++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		idx := ((f.next-1-i)%n + n) % n
+		if keep == nil || keep(&f.slots[idx]) {
+			out = append(out, cloneRecord(f.slots[idx]))
+		}
+	}
+	return out
+}
+
+// Counts returns how many completed requests the recorder has seen and
+// how many it retained — the observability of the observer, so a scrape
+// can tell how aggressively the tail sampler is dropping.
+func (f *FlightRecorder) Counts() (seen, kept uint64) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen, f.kept
+}
+
+func cloneRecord(r TraceRecord) TraceRecord {
+	c := r
+	c.Spans = append([]Span(nil), r.Spans...)
+	return c
+}

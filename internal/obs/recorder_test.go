@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func recTrace(spans ...string) *Trace {
+	tr := NewTrace()
+	for _, name := range spans {
+		tr.Add(name, time.Now(), time.Millisecond)
+	}
+	return tr
+}
+
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(64, 100*time.Millisecond, 10)
+
+	// Errors are always kept.
+	for i := 0; i < 5; i++ {
+		if !f.Record(recTrace("debit"), "create_release", "d", 500, time.Now(), time.Millisecond) {
+			t.Fatalf("error %d not retained", i)
+		}
+	}
+	// Slow requests are always kept.
+	if !f.Record(recTrace("build"), "ingest", "taxi", 200, time.Now(), 150*time.Millisecond) {
+		t.Fatal("slow request not retained")
+	}
+	// Normal traffic is downsampled 1-in-10.
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if f.Record(recTrace(), "query", "d", 200, time.Now(), time.Millisecond) {
+			kept++
+		}
+	}
+	if kept != 10 {
+		t.Fatalf("normal traffic: kept %d of 100, want exactly 10", kept)
+	}
+	seen, total := f.Counts()
+	if seen != 106 || total != 16 {
+		t.Fatalf("counts = (%d seen, %d kept), want (106, 16)", seen, total)
+	}
+
+	slow := f.Snapshot(-1, func(r *TraceRecord) bool { return r.Retained == "slow" })
+	if len(slow) != 1 || slow[0].Dataset != "taxi" || len(slow[0].Spans) != 1 {
+		t.Fatalf("slow snapshot = %+v", slow)
+	}
+	errs := f.Snapshot(-1, func(r *TraceRecord) bool { return r.Retained == "error" })
+	if len(errs) != 5 {
+		t.Fatalf("error snapshot has %d records, want 5", len(errs))
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(4, 0, 1)
+	ids := make([]string, 10)
+	for i := range ids {
+		tr := recTrace("debit", "build")
+		ids[i] = tr.ID()
+		f.Record(tr, "r", "d", 200, time.Now(), time.Duration(i)*time.Millisecond)
+	}
+	// Only the last 4 survive; the newest is first in an unfiltered snapshot.
+	for i, id := range ids {
+		_, ok := f.Lookup(id)
+		if want := i >= 6; ok != want {
+			t.Fatalf("Lookup(ids[%d]) = %v, want %v", i, ok, want)
+		}
+	}
+	snap := f.Snapshot(-1, nil)
+	if len(snap) != 4 || snap[0].TraceID != ids[9] || snap[3].TraceID != ids[6] {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	if got := f.Snapshot(2, nil); len(got) != 2 || got[0].TraceID != ids[9] {
+		t.Fatalf("limited snapshot = %+v", got)
+	}
+	if rec, ok := f.Lookup(ids[9]); !ok || len(rec.Spans) != 2 || rec.Spans[0].Name != "debit" {
+		t.Fatalf("Lookup record = %+v, %v", rec, ok)
+	}
+}
+
+// TestFlightRecorderZeroAlloc pins the tentpole constraint: recording
+// into a warmed ring allocates nothing — span storage is reused from the
+// evicted slot.
+func TestFlightRecorderZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(8, 0, 1)
+	tr := recTrace("debit", "wal_debit", "build", "envelope", "wal_commit")
+	start := time.Now()
+	// Warm every slot so each has span capacity.
+	for i := 0; i < 16; i++ {
+		f.Record(tr, "create_release", "d", 200, start, time.Millisecond)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		f.Record(tr, "create_release", "d", 200, start, time.Millisecond)
+	}); allocs != 0 {
+		t.Fatalf("Record: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	good := []string{NewID(), "abcdef01", strings.Repeat("a", 64), "A-Z_09zz"}
+	for _, id := range good {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	bad := []string{"", "short", strings.Repeat("a", 65), "abcdef0\"", "has space", "ü12345678", "semi;colon"}
+	for _, id := range bad {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("privtree_demo_seconds", "demo latency", []float64{0.01, 0.1, 1})
+	id := NewID()
+	h.ObserveTraced(0.05, id)               // lands in the le="0.1" bucket
+	h.Observe(0.05)                         // untraced observation must not disturb the exemplar
+	h.ObserveTraced(0.5, "not a valid id!") // rejected, no exemplar on le="1"
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `le="0.1"} 2 # {trace_id="`+id+`"} 0.05`) {
+		t.Fatalf("exposition missing exemplar:\n%s", text)
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parse of exemplar exposition: %v", err)
+	}
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		byKey[s.SeriesKey()] = s
+	}
+	s, ok := byKey[`privtree_demo_seconds_bucket{le=0.1}`]
+	if !ok {
+		t.Fatalf("bucket sample missing; keys: %v", keysOf(byKey))
+	}
+	if s.Exemplar == nil || s.Exemplar.Labels["trace_id"] != id || s.Exemplar.Value != 0.05 {
+		t.Fatalf("parsed exemplar = %+v", s.Exemplar)
+	}
+	if s := byKey[`privtree_demo_seconds_bucket{le=1}`]; s.Exemplar != nil {
+		t.Fatalf("invalid trace ID produced an exemplar: %+v", s.Exemplar)
+	}
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveTraced(0.05, id)
+	}); allocs != 0 {
+		t.Fatalf("ObserveTraced: %v allocs/op, want 0", allocs)
+	}
+}
+
+func keysOf(m map[string]Sample) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestParseTextRejectsMisplacedExemplars(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"counter", "# HELP c t\n# TYPE c counter\nc 1 # {trace_id=\"abcdef0123456789\"} 1\n"},
+		{"hist_sum", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1 # {trace_id=\"abcdef0123456789\"} 1\nh_count 1\n"},
+		{"malformed", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # trace_id no braces\nh_sum 1\nh_count 1\n"},
+		{"no_value", "# HELP h t\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"abcdef0123456789\"}\nh_sum 1\nh_count 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseText(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: ParseText accepted misplaced/malformed exemplar", tc.name)
+		}
+	}
+}
+
+// TestFlightRecorderLookupPrefersInformative pins the retry shadowing
+// rule: when several retained entries share one trace ID (a retried
+// logical call whose later attempt hit a dedup cache), Lookup returns
+// the entry with the span breakdown, not merely the newest.
+func TestFlightRecorderLookupPrefersInformative(t *testing.T) {
+	f := NewFlightRecorder(8, 0, 1)
+	full := NewTraceWithID("shared0123456789")
+	sp := full.Begin("debit")
+	sp.End()
+	sp = full.Begin("build")
+	sp.End()
+	start := time.Unix(1000, 0)
+	f.Record(full, "create_release", "d", 201, start, time.Millisecond)
+	empty := NewTraceWithID("shared0123456789")
+	f.Record(empty, "create_release", "d", 201, start.Add(time.Second), time.Millisecond)
+
+	rec, ok := f.Lookup("shared0123456789")
+	if !ok || len(rec.Spans) != 2 {
+		t.Fatalf("lookup returned ok=%v spans=%d, want the 2-span attempt", ok, len(rec.Spans))
+	}
+	// Snapshot still lists both, newest first.
+	all := f.Snapshot(-1, nil)
+	if len(all) != 2 || len(all[0].Spans) != 0 || len(all[1].Spans) != 2 {
+		t.Fatalf("snapshot: %+v", all)
+	}
+}

@@ -347,7 +347,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // appendHistogram renders one histogram series: cumulative _bucket rows
-// (le is an ADDITIONAL label, merged into any series labels), then _sum
+// (le is an ADDITIONAL label, merged into any series labels) each
+// carrying its latest OpenMetrics exemplar when one exists, then _sum
 // and _count.
 func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
 	bounds, cum := h.Buckets()
@@ -357,6 +358,7 @@ func appendHistogram(buf []byte, name, labels string, h *Histogram) []byte {
 		buf = appendLabelsWith(buf, labels, "le", formatLe(le))
 		buf = append(buf, ' ')
 		buf = strconv.AppendUint(buf, cum[i], 10)
+		buf = h.appendExemplar(buf, i)
 		buf = append(buf, '\n')
 	}
 	buf = append(buf, name...)

@@ -33,6 +33,19 @@ type Span struct {
 
 // NewTrace returns a trace with a fresh 16-byte hex ID.
 func NewTrace() *Trace {
+	return &Trace{id: NewID()}
+}
+
+// NewTraceWithID returns a trace carrying a caller-supplied ID — the
+// adoption path for an inbound X-Trace-Id header or a replicated WAL
+// record, so one ID follows a request across process boundaries.
+// Callers must gate untrusted IDs through ValidTraceID first.
+func NewTraceWithID(id string) *Trace {
+	return &Trace{id: id}
+}
+
+// NewID returns a fresh 32-hex-character trace ID (16 random bytes).
+func NewID() string {
 	var b [16]byte
 	hi, lo := rand.Uint64(), rand.Uint64()
 	for i := 0; i < 8; i++ {
@@ -45,7 +58,27 @@ func NewTrace() *Trace {
 		id[2*i] = hex[c>>4]
 		id[2*i+1] = hex[c&0xf]
 	}
-	return &Trace{id: string(id)}
+	return string(id)
+}
+
+// ValidTraceID reports whether id is acceptable as a trace ID from an
+// untrusted source: 8–64 characters from [0-9a-zA-Z_-]. The charset
+// needs no escaping anywhere an ID is rendered (exemplar label values,
+// WAL records, log lines), and the length bound keeps a hostile header
+// from bloating retained traces.
+func ValidTraceID(id string) bool {
+	if len(id) < 8 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // ID returns the trace ID, or "" on a nil trace.
@@ -74,6 +107,30 @@ func (t *Trace) Spans() []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Span(nil), t.spans...)
+}
+
+// AppendSpans appends the recorded spans to dst and returns it — the
+// allocation-free sibling of Spans for callers that own a reusable
+// buffer (the flight recorder's ring slots).
+func (t *Trace) AppendSpans(dst []Span) []Span {
+	if t == nil {
+		return dst
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append(dst, t.spans...)
+}
+
+// SpanCount returns the number of spans recorded so far, so a caller
+// can attribute the spans a sub-operation adds (everything past the
+// count taken before it ran).
+func (t *Trace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
 }
 
 // Summary renders the spans as "name=dur name=dur …" sorted by span

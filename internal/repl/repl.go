@@ -77,6 +77,7 @@ import (
 	"sync"
 	"time"
 
+	"privtree/internal/obs"
 	"privtree/internal/store"
 )
 
@@ -153,6 +154,11 @@ func (c *Client) get(ctx context.Context, path string, header http.Header) (*htt
 	}
 	for k, vs := range header {
 		req.Header[k] = vs
+	}
+	// Propagate the pull's trace so the primary's flight recorder and the
+	// replica's see the same ID for one shipping operation.
+	if id := obs.FromContext(ctx).ID(); id != "" {
+		req.Header.Set("X-Trace-Id", id)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
@@ -299,6 +305,13 @@ type Options struct {
 	MaxBytes int
 	// Logger for sync errors (default slog.Default).
 	Logger *slog.Logger
+	// TraceHook, when non-nil, receives one completed trace per shipping
+	// operation (op "repl.wal_pull" or "repl.artifact_fetch") — the
+	// replica server feeds these into its flight recorder and stage
+	// histograms. An artifact fetch's trace carries the ORIGINATING
+	// release's trace ID (from the shipped WAL commit record), so the ID
+	// a client saw on its release resolves on the replica too.
+	TraceHook func(dataset, op string, tr *obs.Trace, start time.Time, dur time.Duration, err error)
 }
 
 // DatasetLag is one dataset's shipping progress: the last sequence
@@ -325,11 +338,12 @@ func (l DatasetLag) Lag() uint64 {
 // Run it in a goroutine; it stops when its context is cancelled. All
 // methods are safe for concurrent use.
 type Syncer struct {
-	client   *Client
-	target   Target
-	interval time.Duration
-	maxBytes int
-	log      *slog.Logger
+	client    *Client
+	target    Target
+	interval  time.Duration
+	maxBytes  int
+	log       *slog.Logger
+	traceHook func(dataset, op string, tr *obs.Trace, start time.Time, dur time.Duration, err error)
 
 	mu     sync.Mutex
 	lag    map[string]DatasetLag
@@ -350,12 +364,23 @@ func NewSyncer(base string, target Target, opts Options) *Syncer {
 		opts.Logger = slog.Default()
 	}
 	return &Syncer{
-		client:   NewClient(base, opts.HTTPClient),
-		target:   target,
-		interval: opts.Interval,
-		maxBytes: opts.MaxBytes,
-		log:      opts.Logger,
-		lag:      make(map[string]DatasetLag),
+		client:    NewClient(base, opts.HTTPClient),
+		target:    target,
+		interval:  opts.Interval,
+		maxBytes:  opts.MaxBytes,
+		log:       opts.Logger,
+		traceHook: opts.TraceHook,
+		lag:       make(map[string]DatasetLag),
+	}
+}
+
+// observeOp finishes one traced shipping operation: closes its span and
+// hands the trace to the TraceHook, if any.
+func (s *Syncer) observeOp(dataset, op string, tr *obs.Trace, start time.Time, err error) {
+	dur := time.Since(start)
+	tr.Add(op, start, dur)
+	if s.traceHook != nil {
+		s.traceHook(dataset, op, tr, start, dur, err)
 	}
 }
 
@@ -462,7 +487,13 @@ func (s *Syncer) syncDataset(ctx context.Context, doc DatasetDoc) (caught bool, 
 		if ctx.Err() != nil {
 			return false, ctx.Err()
 		}
-		frames, epoch, last, err := s.client.WALFrames(ctx, doc.Name, cur, local, s.maxBytes)
+		// Each pull gets its own trace: the ID rides the request to the
+		// primary (whose recorder may retain the serving side) and lands
+		// in the replica's recorder via the TraceHook.
+		pullTr := obs.NewTrace()
+		pullStart := time.Now()
+		frames, epoch, last, err := s.client.WALFrames(obs.NewContext(ctx, pullTr), doc.Name, cur, local, s.maxBytes)
+		s.observeOp(doc.Name, "repl.wal_pull", pullTr, pullStart, err)
 		if err != nil {
 			return false, err
 		}
@@ -499,11 +530,22 @@ func (s *Syncer) fetchArtifacts(ctx context.Context, dataset string, rep Replica
 		if rep.HasArtifact(shaHex) {
 			continue
 		}
-		blob, err := s.client.Artifact(ctx, dataset, shaHex)
-		if err != nil {
-			return err
+		// The fetch adopts the ORIGINATING release's trace ID from the
+		// shipped commit record: an operator holding the X-Trace-Id a
+		// client saw can look up the artifact's arrival on the replica.
+		var tr *obs.Trace
+		if obs.ValidTraceID(e.Trace) {
+			tr = obs.NewTraceWithID(e.Trace)
+		} else {
+			tr = obs.NewTrace()
 		}
-		if err := rep.PutArtifact(shaHex, blob); err != nil {
+		start := time.Now()
+		blob, err := s.client.Artifact(obs.NewContext(ctx, tr), dataset, shaHex)
+		if err == nil {
+			err = rep.PutArtifact(shaHex, blob)
+		}
+		s.observeOp(dataset, "repl.artifact_fetch", tr, start, err)
+		if err != nil {
 			return err
 		}
 	}

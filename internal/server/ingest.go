@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"privtree"
+	"privtree/internal/obs"
 )
 
 // POST /v1/datasets/{name}/ingest — the write side of a streaming
@@ -284,12 +285,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if st.journal != nil {
 			// Durability before acknowledgment: the batch's journal frame is
 			// fsynced before the response (or even the in-memory apply), so a
-			// crash at any later instant replays exactly this batch.
-			if err := st.journal.Append(seq, pts, seqs); err != nil {
+			// crash at any later instant replays exactly this batch. The
+			// append and its inner fsync are recorded as spans and fed to
+			// the stage histograms — on a saturated disk this is where
+			// ingest latency lives.
+			tr := obs.FromContext(ctx)
+			appendSpan := tr.Begin("ingest.append")
+			err := st.journal.Append(seq, pts, seqs, tr)
+			appendSpan.End()
+			if err != nil {
 				st.mu.Unlock()
 				writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeStoreUnavailable,
 					Message: "journaling ingest batch: " + err.Error()})
 				return
+			}
+			for _, sp := range tr.Spans() {
+				switch sp.Name {
+				case "ingest.append", "journal.fsync":
+					s.metrics.stageHist(sp.Name).Observe(sp.Dur.Seconds())
+				}
 			}
 		}
 		if err := st.applyLocked(pts, seqs); err != nil {

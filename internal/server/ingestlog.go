@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"privtree"
+	"privtree/internal/obs"
 )
 
 // The ingest journal makes acknowledged-but-unsealed ingest batches
@@ -195,8 +196,10 @@ func decodeJournalPayload(p []byte) (journalRec, error) {
 
 // Append encodes one batch as a frame, writes it, and fsyncs before
 // returning — the durability barrier the ingest handler relies on before
-// acknowledging the batch. Exactly one of pts/seqs is non-empty.
-func (j *ingestJournal) Append(seq uint64, pts []privtree.Point, seqs []privtree.Sequence) error {
+// acknowledging the batch. Exactly one of pts/seqs is non-empty. The
+// fsync is recorded as a journal.fsync span on tr (nil-safe), since it
+// dominates ingest latency on spinning disks and saturated devices.
+func (j *ingestJournal) Append(seq uint64, pts []privtree.Point, seqs []privtree.Sequence, tr *obs.Trace) error {
 	j.buf = j.buf[:0]
 	var payload []byte
 	payload = binary.LittleEndian.AppendUint64(nil, seq)
@@ -232,9 +235,11 @@ func (j *ingestJournal) Append(seq uint64, pts []privtree.Point, seqs []privtree
 	if h := ingestCrashHook; h != nil {
 		h("journal.before_sync")
 	}
+	fsync := tr.Begin("journal.fsync")
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("server: syncing ingest journal: %w", err)
 	}
+	fsync.End()
 	if h := ingestCrashHook; h != nil {
 		h("journal.after_sync")
 	}

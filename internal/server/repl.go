@@ -427,6 +427,18 @@ func (s *Server) startSyncer() {
 		Interval:   s.opts.ReplicaPoll,
 		HTTPClient: httpc,
 		Logger:     s.logger,
+		// Shipping operations land in the replica's own flight recorder
+		// and stage histograms; an artifact fetch arrives under the
+		// originating release's trace ID, so the X-Trace-Id a client saw
+		// on the primary resolves here too.
+		TraceHook: func(dataset, op string, tr *obs.Trace, start time.Time, dur time.Duration, err error) {
+			status := http.StatusOK
+			if err != nil {
+				status = http.StatusBadGateway
+			}
+			s.recorder.Record(tr, op, dataset, status, start, dur)
+			s.metrics.stageHist(op).Observe(dur.Seconds())
+		},
 	})
 	// Datasets recovered from disk before the syncer existed (a replica
 	// restart) get their shipping gauges here; later ones get them in

@@ -27,6 +27,8 @@
 //	GET    /v1/datasets/{name}/releases/{id}     released artifact (wire JSON)
 //	POST   /v1/datasets/{name}/releases/{id}/query  batched queries
 //	GET    /v1/datasets/{name}/audit             ε audit plane (WAL seq + trace IDs)
+//	GET    /v1/traces                            retained traces (flight recorder)
+//	GET    /v1/traces/{id}                       one retained trace by X-Trace-Id
 //	GET    /healthz                              liveness
 //	GET    /metrics                              Prometheus text exposition
 //	GET    /metricsz                             legacy JSON counters
@@ -37,16 +39,24 @@
 //
 // # Observability
 //
-// Every request gets a trace ID (echoed as X-Trace-Id) whose context
-// rides from the handler through Session.ReleaseContext down to the
-// store's WAL fsyncs; release builds record named spans (debit,
-// wal_debit, build, envelope, wal_commit) that feed the
+// Every request gets a trace ID (echoed as X-Trace-Id; a well-formed
+// inbound X-Trace-Id is adopted, so one ID follows a request across
+// retries and replication hops) whose context rides from the handler
+// through Session.ReleaseContext down to the store's WAL fsyncs;
+// release builds record named spans (debit, wal_debit, build, envelope,
+// wal_commit), ingest records ingest.append/journal.fsync, and epoch
+// seals record seal.* stages — all feeding the
 // privtree_build_stage_seconds histograms and the audit endpoint.
-// Metrics live in an internal/obs registry — zero allocations per
-// hot-path observation — served as Prometheus text on /metrics with
-// per-route latency histograms, per-dataset ε gauges, and Go runtime
-// stats; requests slower than Options.SlowRequest are logged through
-// Options.Logger with their span breakdown.
+// Completed traces land in an in-process flight recorder with
+// tail-based retention (every error and every request slower than
+// Options.TraceSlow, plus 1-in-Options.TraceSample of normal traffic)
+// and can be fetched post-hoc from /v1/traces. Metrics live in an
+// internal/obs registry — zero allocations per hot-path observation —
+// served as Prometheus text on /metrics with per-route latency
+// histograms carrying trace-ID exemplars on their buckets, per-dataset
+// ε gauges, and Go runtime stats; requests slower than
+// Options.SlowRequest are logged through Options.Logger with their span
+// breakdown.
 package server
 
 import (
@@ -144,6 +154,17 @@ type Options struct {
 	// SlowRequest, when positive, logs any request slower than it at
 	// Warn level with route, status, trace ID, and span breakdown.
 	SlowRequest time.Duration
+
+	// TraceRetain is the flight recorder's capacity: how many completed
+	// traces are retained for post-hoc lookup via /v1/traces. 0 means 512.
+	TraceRetain int
+	// TraceSlow is the tail-sampling slowness threshold: every request at
+	// least this slow is retained regardless of sampling. 0 means 250ms;
+	// negative disables the slow class (errors are still always kept).
+	TraceSlow time.Duration
+	// TraceSample keeps 1-in-N of normal (fast, non-error) traffic in the
+	// flight recorder. 0 means 100; 1 keeps everything.
+	TraceSample int
 }
 
 // Server is the privtreed HTTP handler.
@@ -169,6 +190,9 @@ type Server struct {
 	// logger is Options.Logger, defaulted to a discard handler so
 	// handlers log unconditionally.
 	logger *slog.Logger
+	// recorder is the flight recorder: a ring of completed traces with
+	// tail-based retention, served by /v1/traces (see internal/obs).
+	recorder *obs.FlightRecorder
 
 	// Replication plane (see repl.go). isReplica flips false exactly once,
 	// at promotion; fenced flips true when a higher-epoch writer fences
@@ -208,6 +232,15 @@ func New(opts Options) (*Server, error) {
 	if opts.DrainTimeout == 0 {
 		opts.DrainTimeout = 5 * time.Second
 	}
+	if opts.TraceRetain == 0 {
+		opts.TraceRetain = 512
+	}
+	if opts.TraceSlow == 0 {
+		opts.TraceSlow = 250 * time.Millisecond
+	}
+	if opts.TraceSample == 0 {
+		opts.TraceSample = 100
+	}
 	buildQueue, batchQueue := opts.AdmissionQueue, opts.AdmissionQueue
 	if buildQueue == 0 {
 		buildQueue = 2 * opts.MaxConcurrentBuilds
@@ -223,6 +256,7 @@ func New(opts Options) (*Server, error) {
 		buildGate: newGate(opts.MaxConcurrentBuilds, buildQueue),
 		batchGate: newGate(opts.MaxConcurrentBatches, batchQueue),
 		logger:    opts.Logger,
+		recorder:  obs.NewFlightRecorder(opts.TraceRetain, opts.TraceSlow, opts.TraceSample),
 	}
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -253,6 +287,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/datasets/{name}/releases/{id}", s.route("get_release", s.handleGetRelease))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/releases/{id}/query", s.route("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/datasets/{name}/audit", s.route("audit", s.handleAudit))
+	s.mux.HandleFunc("GET /v1/traces", s.route("list_traces", s.handleListTraces))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.route("get_trace", s.handleGetTrace))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
@@ -327,20 +363,32 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // route wraps a handler with the request plumbing every route shares: a
 // per-route request counter and latency histogram (resolved ONCE, at
-// registration — the request path touches only atomics), a fresh trace
-// whose ID is echoed as X-Trace-Id and whose context flows down to the
-// WAL, and the slow-request log.
+// registration — the request path touches only atomics), a trace whose
+// ID is echoed as X-Trace-Id and whose context flows down to the WAL,
+// the flight-recorder capture, and the slow-request log. A well-formed
+// inbound X-Trace-Id is adopted instead of minting a fresh ID, so one
+// ID follows a request across client retries and cluster hops.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	c, lat := s.metrics.routeInstruments(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
-		tr := obs.NewTrace()
+		var tr *obs.Trace
+		if id := r.Header.Get("X-Trace-Id"); obs.ValidTraceID(id) {
+			tr = obs.NewTraceWithID(id)
+		} else {
+			tr = obs.NewTrace()
+		}
 		w.Header().Set("X-Trace-Id", tr.ID())
 		sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(&sw, r.WithContext(obs.NewContext(r.Context(), tr)))
 		dur := time.Since(start)
-		lat.Observe(dur.Seconds())
+		// ObserveTraced pins the trace ID as the latency bucket's exemplar;
+		// the recorder decides whether the full span breakdown is retained
+		// for /v1/traces (tail sampling: errors and slow always, 1-in-N
+		// otherwise).
+		lat.ObserveTraced(dur.Seconds(), tr.ID())
+		s.recorder.Record(tr, name, r.PathValue("name"), sw.status, start, dur)
 		if slow := s.opts.SlowRequest; slow > 0 && dur >= slow {
 			s.logger.Warn("slow request",
 				"route", name,

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -326,12 +327,26 @@ func (s *Server) sealStreamLocked(ctx context.Context, d *Dataset) (*Release, ui
 		st.frozen, st.frozenN, st.frozenBatch = data, data.N(), st.lastBatch
 	}
 	epoch := st.nextEpoch
+	tr := obs.FromContext(ctx)
+	spanBase := tr.SpanCount()
 	rel, fp, _, err := d.releaseData(ctx, st.frozen, st.epochParams(epoch), s.opts.Workers)
+	// Everything the release transaction recorded past spanBase (debit,
+	// wal_debit, build, envelope, wal_commit on a fresh release; nothing
+	// on a fingerprint-cache hit) is re-attributed to seal.* stage
+	// histograms — "seal.build" and "create_release build" are different
+	// latency populations and must not share a series.
+	for _, sp := range tr.Spans()[spanBase:] {
+		s.metrics.stageHist("seal." + sp.Name).Observe(sp.Dur.Seconds())
+	}
 	if err != nil {
 		return nil, 0, err
 	}
-	trace := obs.FromContext(ctx).ID()
-	if err := d.session.AppendSeal(epoch, st.frozenBatch, fp, trace); err != nil {
+	trace := tr.ID()
+	walStart := time.Now()
+	err = d.session.AppendSeal(epoch, st.frozenBatch, fp, trace)
+	tr.Add("seal.wal", walStart, time.Since(walStart))
+	s.metrics.stageHist("seal.wal").Observe(time.Since(walStart).Seconds())
+	if err != nil {
 		// The release is paid and committed but the seal record is not
 		// durable: the epoch is NOT in the served window and the client was
 		// not acked. The retry re-runs the release as a fingerprint-cache
@@ -376,9 +391,23 @@ func (s *Server) runSealTimer(d *Dataset) {
 			if s.isReplica.Load() || s.fenced.Load() {
 				continue
 			}
-			if _, _, err := s.sealStream(context.Background(), d); err != nil && !errors.Is(err, privtree.ErrEmptyEpoch) {
-				s.logger.Warn("timer seal failed; will retry next tick", "dataset", d.Name, "err", err)
+			// Timer seals have no HTTP request to trace, so they get their
+			// own trace and flight-recorder entry — a 900ms background seal
+			// must be as look-up-able as a slow release. Empty ticks are not
+			// recorded: an idle stream would otherwise flood the sample slots.
+			tr := obs.NewTrace()
+			start := time.Now()
+			_, _, err := s.sealStream(obs.NewContext(context.Background(), tr), d)
+			if errors.Is(err, privtree.ErrEmptyEpoch) {
+				continue
 			}
+			status := http.StatusOK
+			if err != nil {
+				status = http.StatusInternalServerError
+				s.logger.Warn("timer seal failed; will retry next tick",
+					"dataset", d.Name, "trace", tr.ID(), "err", err)
+			}
+			s.recorder.Record(tr, "seal_timer", d.Name, status, start, time.Since(start))
 		}
 	}
 }

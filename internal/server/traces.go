@@ -1,0 +1,126 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// The trace plane: read-only views over the flight recorder, so an
+// operator holding an X-Trace-Id from a response header, a slow-request
+// log line, an exemplar, or an audit entry can pull the full span
+// breakdown after the fact. Trace data is operational metadata (routes,
+// durations, span names) — it never contains raw records or query
+// answers, so the plane is readable on replicas and fenced nodes alike.
+
+// traceJSON is the wire shape of one retained trace.
+type traceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Route      string     `json:"route"`
+	Dataset    string     `json:"dataset,omitempty"`
+	Status     int        `json:"status"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Retained   string     `json:"retained"`
+	Spans      []spanJSON `json:"spans,omitempty"`
+}
+
+type spanJSON struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type tracesResponse struct {
+	Traces []traceJSON `json:"traces"`
+	// Seen/Retained expose the tail sampler's behavior: how many
+	// completed requests were considered and how many were kept.
+	Seen     uint64 `json:"seen"`
+	Retained uint64 `json:"retained"`
+}
+
+func traceToJSON(rec obs.TraceRecord) traceJSON {
+	out := traceJSON{
+		TraceID:    rec.TraceID,
+		Route:      rec.Route,
+		Dataset:    rec.Dataset,
+		Status:     rec.Status,
+		Start:      rec.Start.UTC(),
+		DurationMS: float64(rec.Dur) / float64(time.Millisecond),
+		Retained:   rec.Retained,
+	}
+	for _, sp := range rec.Spans {
+		out.Spans = append(out.Spans, spanJSON{Name: sp.Name, DurationMS: float64(sp.Dur) / float64(time.Millisecond)})
+	}
+	return out
+}
+
+// handleListTraces serves GET /v1/traces: retained traces, newest
+// first, filterable by route, dataset, status, and min_duration_ms;
+// limit bounds the page (default 100).
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	var status int
+	if v := q.Get("status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 || n > 599 {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "status must be an HTTP status code"})
+			return
+		}
+		status = n
+	}
+	var minDur time.Duration
+	if v := q.Get("min_duration_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeBadRequest, Message: "min_duration_ms must be a non-negative number"})
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	route, dataset := q.Get("route"), q.Get("dataset")
+	recs := s.recorder.Snapshot(limit, func(rec *obs.TraceRecord) bool {
+		if route != "" && rec.Route != route {
+			return false
+		}
+		if dataset != "" && rec.Dataset != dataset {
+			return false
+		}
+		if status != 0 && rec.Status != status {
+			return false
+		}
+		if rec.Dur < minDur {
+			return false
+		}
+		return true
+	})
+	resp := tracesResponse{Traces: make([]traceJSON, 0, len(recs))}
+	for _, rec := range recs {
+		resp.Traces = append(resp.Traces, traceToJSON(rec))
+	}
+	resp.Seen, resp.Retained = s.recorder.Counts()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGetTrace serves GET /v1/traces/{id}: one retained trace by its
+// X-Trace-Id.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.recorder.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: "no retained trace with that ID (it may have been evicted or sampled out)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, traceToJSON(rec))
+}

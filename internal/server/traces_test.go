@@ -1,0 +1,395 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"privtree/internal/obs"
+)
+
+// These tests cover the flight-recorder plane: /v1/traces listing and
+// lookup, inbound X-Trace-Id adoption, tail sampling (slow ingest kept,
+// normal traffic downsampled), metrics exemplars resolving to retained
+// traces, and end-to-end propagation of one client-supplied ID through
+// the primary's recorder, the WAL, the audit plane, and a replica's
+// artifact fetch.
+
+// getTraces GETs a /v1/traces URL and decodes the listing.
+func getTraces(t *testing.T, client *http.Client, url string) tracesResponse {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out tracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// getTrace GETs one trace by ID, returning ok=false on 404.
+func getTrace(t *testing.T, client *http.Client, base, id string) (traceJSON, bool) {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return traceJSON{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s: status %d", id, resp.StatusCode)
+	}
+	var out traceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, true
+}
+
+func spanNames(spans []spanJSON) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func hasSpan(spans []spanJSON, name string) bool {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTracesPlane drives real traffic through a keep-everything recorder
+// and exercises the /v1/traces API: listing, filters, lookup by ID, and
+// 404 on unknown IDs.
+func TestTracesPlane(t *testing.T) {
+	s := mustNew(t, Options{Workers: 1, DataDir: t.TempDir(), TraceSample: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "flights", "epsilon": 1.0, "points": rows(testPoints(200)),
+	}, nil); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	var rel struct {
+		ReleaseID string `json:"release_id"`
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/flights/releases",
+		ReleaseParams{Epsilon: 0.25, Seed: 7}, &rel); status != http.StatusCreated {
+		t.Fatalf("create release: status %d", status)
+	}
+	// One error-class request: a release against a missing dataset.
+	doJSON(t, client, "POST", ts.URL+"/v1/datasets/nope/releases", ReleaseParams{Epsilon: 0.1}, nil)
+
+	all := getTraces(t, client, ts.URL+"/v1/traces")
+	if len(all.Traces) < 3 || all.Seen < uint64(len(all.Traces)) || all.Retained != all.Seen {
+		t.Fatalf("keep-everything listing: %d traces, seen=%d retained=%d", len(all.Traces), all.Seen, all.Retained)
+	}
+
+	byRoute := getTraces(t, client, ts.URL+"/v1/traces?route=create_release&dataset=flights")
+	if len(byRoute.Traces) != 1 {
+		t.Fatalf("route+dataset filter matched %d traces, want 1", len(byRoute.Traces))
+	}
+	rec := byRoute.Traces[0]
+	if rec.Status != http.StatusCreated || rec.Dataset != "flights" || !obs.ValidTraceID(rec.TraceID) {
+		t.Fatalf("create_release record: %+v", rec)
+	}
+	for _, want := range []string{"debit", "wal_debit", "build", "envelope", "wal_commit"} {
+		if !hasSpan(rec.Spans, want) {
+			t.Fatalf("create_release trace missing span %q: %v", want, spanNames(rec.Spans))
+		}
+	}
+
+	errs := getTraces(t, client, ts.URL+"/v1/traces?status=404")
+	if len(errs.Traces) != 1 || errs.Traces[0].Retained != "error" || errs.Traces[0].Dataset != "nope" {
+		t.Fatalf("status filter: %+v", errs.Traces)
+	}
+
+	got, ok := getTrace(t, client, ts.URL, rec.TraceID)
+	if !ok || got.TraceID != rec.TraceID || got.Route != "create_release" {
+		t.Fatalf("lookup by ID: %+v ok=%v", got, ok)
+	}
+	if _, ok := getTrace(t, client, ts.URL, "ffffffffffffffffffffffffffffffff"); ok {
+		t.Fatal("unknown trace ID did not 404")
+	}
+
+	if resp, err := client.Get(ts.URL + "/v1/traces?limit=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad limit: status %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceHeaderAdoption pins the inbound half of propagation: a
+// well-formed X-Trace-Id is adopted and echoed; a malformed one is
+// replaced with a fresh ID.
+func TestTraceHeaderAdoption(t *testing.T) {
+	ts := httptest.NewServer(mustNew(t, Options{}))
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Trace-Id", "feedface0123456789abcdef00000042")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "feedface0123456789abcdef00000042" {
+		t.Fatalf("valid inbound ID not adopted: echoed %q", got)
+	}
+
+	req2, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req2.Header.Set("X-Trace-Id", `bad id with "quotes" and spaces`)
+	resp2, err := ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Trace-Id"); !obs.ValidTraceID(got) || strings.Contains(got, " ") {
+		t.Fatalf("malformed inbound ID produced echo %q, want fresh valid ID", got)
+	}
+}
+
+// TestTailSamplingRetainsSlowIngest is the acceptance scenario: a burst
+// of normal ingest batches is downsampled away while one forced-slow
+// batch (its journal fsync path delayed) is retained, with the
+// ingest.append / journal.fsync spans explaining where the time went.
+func TestTailSamplingRetainsSlowIngest(t *testing.T) {
+	s := mustNew(t, Options{
+		Workers: 1, DataDir: t.TempDir(),
+		TraceSlow:   30 * time.Millisecond,
+		TraceSample: 100000, // normal traffic effectively never sampled here
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "taxi", "epsilon": 4.0,
+		"domain": map[string]any{"lo": []float64{0, 0}, "hi": []float64{1, 1}},
+		"stream": map[string]any{"epoch_epsilon": 0.125, "window": 8, "seal_every": 1 << 20},
+	}, nil); status != http.StatusCreated {
+		t.Fatalf("register stream: status %d", status)
+	}
+
+	ingest := func(seq uint64, traceID string) {
+		t.Helper()
+		body := strings.NewReader(`{"batch_seq":` + strconv.FormatUint(seq, 10) +
+			`,"points":[[0.1,0.2],[0.3,0.4]]}`)
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/datasets/taxi/ingest", body)
+		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set("X-Trace-Id", traceID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d", seq, resp.StatusCode)
+		}
+	}
+	for seq := uint64(1); seq <= 20; seq++ {
+		ingest(seq, "")
+	}
+
+	// Force one slow batch by stalling at the journal's pre-fsync
+	// boundary — the delay lands inside the ingest.append span. The batch
+	// is stamped with its own trace ID so the post-hoc lookup does not
+	// depend on what else the sampler happened to keep (a loaded machine
+	// can legitimately push a "normal" fsync over the slow threshold).
+	const slowID = "forced-slow-ingest-batch"
+	ingestCrashHook = func(point string) {
+		if point == "journal.before_sync" {
+			time.Sleep(45 * time.Millisecond)
+		}
+	}
+	defer func() { ingestCrashHook = nil }()
+	ingest(21, slowID)
+	ingestCrashHook = nil
+
+	rec, ok := getTrace(t, client, ts.URL, slowID)
+	if !ok || rec.Retained != "slow" || rec.Dataset != "taxi" || rec.DurationMS < 40 {
+		t.Fatalf("slow ingest record: ok=%v %+v", ok, rec)
+	}
+	// The fast batches were downsampled, not retained: nothing in the
+	// recorder was kept by the 1-in-N sampler.
+	got := getTraces(t, client, ts.URL+"/v1/traces?route=ingest")
+	for _, r := range got.Traces {
+		if r.Retained == "sample" {
+			t.Fatalf("normal ingest batch retained despite 1-in-100000 sampling: %+v", r)
+		}
+	}
+	for _, want := range []string{"ingest.append", "journal.fsync"} {
+		if !hasSpan(rec.Spans, want) {
+			t.Fatalf("slow ingest trace missing span %q: %v", want, spanNames(rec.Spans))
+		}
+	}
+	// The spans also fed the stage histograms.
+	samples := scrape(t, client, ts.URL)
+	for _, stage := range []string{"ingest.append", "journal.fsync"} {
+		s, ok := samples[`privtree_build_stage_seconds_count{stage=`+stage+`}`]
+		if !ok || s.Value != 21 {
+			t.Fatalf("stage %s histogram count = %+v, want 21 observations", stage, s)
+		}
+	}
+}
+
+// TestMetricsExemplars verifies /metrics carries OpenMetrics exemplars on
+// latency-histogram buckets, that the strict parser accepts them, and
+// that an exemplar's trace_id resolves against the flight recorder.
+func TestMetricsExemplars(t *testing.T) {
+	s := mustNew(t, Options{Workers: 1, DataDir: t.TempDir(), TraceSample: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets", map[string]any{
+		"name": "exemplars", "epsilon": 1.0, "points": rows(testPoints(200)),
+	}, nil); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	if status := doJSON(t, client, "POST", ts.URL+"/v1/datasets/exemplars/releases",
+		ReleaseParams{Epsilon: 0.25, Seed: 7}, nil); status != http.StatusCreated {
+		t.Fatalf("create release: status %d", status)
+	}
+
+	samples := scrape(t, client, ts.URL) // strict ParseText inside
+	var exID string
+	for _, smp := range samples {
+		if smp.Exemplar == nil || !strings.HasSuffix(smp.Name, "_bucket") {
+			continue
+		}
+		if smp.Name == "privtree_http_request_seconds_bucket" && smp.Labels["route"] == "create_release" {
+			exID = smp.Exemplar.Labels["trace_id"]
+			if !obs.ValidTraceID(exID) {
+				t.Fatalf("exemplar trace_id %q not well-formed", exID)
+			}
+			if smp.Exemplar.Value <= 0 {
+				t.Fatalf("exemplar value = %v, want the observed latency", smp.Exemplar.Value)
+			}
+		}
+	}
+	if exID == "" {
+		t.Fatal("no exemplar found on the create_release latency histogram")
+	}
+	rec, ok := getTrace(t, client, ts.URL, exID)
+	if !ok || rec.Route != "create_release" {
+		t.Fatalf("exemplar trace_id %q did not resolve to the release trace (ok=%v rec=%+v)", exID, ok, rec)
+	}
+}
+
+// TestTracePropagationEndToEnd follows ONE client-supplied X-Trace-Id
+// across the cluster: adopted by the primary, retained in its flight
+// recorder with the full release span breakdown, persisted in the WAL
+// debit record (surfaced by /v1/datasets/{name}/audit), and — once the
+// release ships — present on the replica as the artifact fetch's
+// recorder entry.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	primary := mustNew(t, Options{DataDir: t.TempDir(), Workers: 1, TraceSample: 1, TraceRetain: 4096})
+	tsP := httptest.NewServer(primary)
+	defer tsP.Close()
+	client := tsP.Client()
+
+	if code := doJSON(t, client, "POST", tsP.URL+"/v1/datasets", map[string]any{
+		"name": "demo", "epsilon": 2.0,
+		"synthetic": map[string]any{"generator": "road", "n": 2000, "seed": 42},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+
+	const traceID = "e2e0123456789abcdef0123456789abc"
+	body := strings.NewReader(`{"epsilon":0.25,"seed":7}`)
+	req, _ := http.NewRequest("POST", tsP.URL+"/v1/datasets/demo/releases", body)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("release: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("primary echoed %q, want the supplied ID", got)
+	}
+
+	// 1. Primary's flight recorder has the full span breakdown.
+	rec, ok := getTrace(t, client, tsP.URL, traceID)
+	if !ok || rec.Route != "create_release" || rec.Dataset != "demo" {
+		t.Fatalf("primary recorder lookup: ok=%v rec=%+v", ok, rec)
+	}
+	for _, want := range []string{"debit", "build", "wal_commit"} {
+		if !hasSpan(rec.Spans, want) {
+			t.Fatalf("retained release trace missing span %q: %v", want, spanNames(rec.Spans))
+		}
+	}
+
+	// 2. The WAL debit record carries the ID, surfaced by the audit plane.
+	var audit struct {
+		Entries []struct {
+			Kind    string `json:"kind"`
+			TraceID string `json:"trace_id"`
+		} `json:"entries"`
+	}
+	if code := doJSON(t, client, "GET", tsP.URL+"/v1/datasets/demo/audit", nil, &audit); code != http.StatusOK {
+		t.Fatalf("audit: %d", code)
+	}
+	found := false
+	for _, e := range audit.Entries {
+		if e.Kind == "debit" && e.TraceID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no debit audit entry carries trace %s: %+v", traceID, audit.Entries)
+	}
+
+	// 3. The replica's recorder sees the shipped artifact fetch under the
+	// SAME ID (adopted from the WAL commit record it pulled).
+	replica := mustNew(t, Options{
+		DataDir: t.TempDir(), Workers: 1, TraceSample: 1, TraceRetain: 4096,
+		ReplicaOf: tsP.URL, ReplicaPoll: 10 * time.Millisecond,
+	})
+	tsR := httptest.NewServer(replica)
+	defer tsR.Close()
+	var fetched traceJSON
+	waitUntil(t, "artifact fetch to land in the replica's recorder", func() bool {
+		got, ok := getTrace(t, client, tsR.URL, traceID)
+		if ok {
+			fetched = got
+		}
+		return ok
+	})
+	if fetched.Route != "repl.artifact_fetch" || fetched.Dataset != "demo" || !hasSpan(fetched.Spans, "repl.artifact_fetch") {
+		t.Fatalf("replica recorder entry: %+v", fetched)
+	}
+	// The replica also retained its WAL pulls as first-class traces.
+	pulls := getTraces(t, client, tsR.URL+"/v1/traces?route=repl.wal_pull")
+	if len(pulls.Traces) == 0 || !hasSpan(pulls.Traces[0].Spans, "repl.wal_pull") {
+		t.Fatalf("replica wal_pull traces: %+v", pulls.Traces)
+	}
+}
